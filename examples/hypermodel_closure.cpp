@@ -1,0 +1,93 @@
+// HyperModel-style closure queries through the plan builder.
+//
+// The HyperModel benchmark's group/closure operations are exactly what the
+// assembly operator accelerates: "retrieve the aggregation closure of these
+// nodes and compute over it."  This example builds the hierarchy, shows the
+// plan (EXPLAIN), assembles the closures of all level-1 nodes, and
+// aggregates an attribute over each closure — the aggregation running
+// purely over swizzled memory pointers.
+
+#include <cstdio>
+#include <iostream>
+
+#include "exec/plan.h"
+#include "stats/metrics.h"
+#include "workload/hypermodel.h"
+
+int main() {
+  using namespace cobra;  // NOLINT: example brevity
+
+  HyperModelOptions options;
+  options.levels = 5;
+  options.fanout = 5;
+  options.refers_to_fraction = 0.4;
+  auto db = BuildHyperModelDatabase(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "HyperModel hierarchy: %zu nodes (%d levels, fanout %d), "
+      "refersTo on %.0f%% of interior nodes\n\n",
+      (*db)->total_nodes, options.levels, options.fanout,
+      options.refers_to_fraction * 100);
+
+  // Closures of the root's children (5 sub-hierarchies).
+  std::vector<Oid> roots((*db)->nodes.begin() + 1,
+                         (*db)->nodes.begin() + 1 + options.fanout);
+
+  // Plan: assemble closures, project (closure size, attribute sum), print.
+  exec::PlanBuilder builder =
+      exec::PlanBuilder::FromOids(roots)
+          .Assemble(&(*db)->closure_tmpl, (*db)->store.get(),
+                    AssemblyOptions{.window_size = 5,
+                                    .scheduler = SchedulerKind::kElevator})
+          .Project([] {
+            std::vector<exec::ExprPtr> exprs;
+            exprs.push_back(exec::Col(0));  // the assembled closure
+            exprs.push_back(exec::Fn([](const exec::Row& row)
+                                         -> Result<exec::Value> {
+              return exec::Value::Int(static_cast<int64_t>(
+                  CountAssembled(row[0].AsObject())));
+            }));
+            exprs.push_back(exec::Fn([](const exec::Row& row)
+                                         -> Result<exec::Value> {
+              return exec::Value::Int(
+                  SumField(row[0].AsObject(), kHyperHundredField));
+            }));
+            return exprs;
+          }());
+  AssemblyOperator* assembly = builder.last_assembly();
+  std::printf("plan:\n%s\n", builder.Explain().c_str());
+  auto plan = std::move(builder).Build();
+
+  if (auto s = plan->Open(); !s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  TablePrinter table({"closure root", "distinct nodes", "sum(hundred)"});
+  exec::Row row;
+  for (;;) {
+    auto has = plan->Next(&row);
+    if (!has.ok()) {
+      std::fprintf(stderr, "next failed: %s\n",
+                   has.status().ToString().c_str());
+      return 1;
+    }
+    if (!*has) break;
+    table.AddRow({"node " + std::to_string(row[0].AsObject()->oid),
+                  FmtInt(static_cast<uint64_t>(row[1].AsInt())),
+                  FmtInt(static_cast<uint64_t>(row[2].AsInt()))});
+  }
+  (void)plan->Close();
+  table.Print(std::cout);
+
+  const DiskStats& d = (*db)->disk->stats();
+  std::printf(
+      "\ndisk: %llu reads, %.1f pages average seek; %llu shared-component "
+      "hits\n(leaves cross-referenced from several closures were loaded "
+      "once)\n",
+      static_cast<unsigned long long>(d.reads), d.AvgSeekPerRead(),
+      static_cast<unsigned long long>(assembly->stats().shared_hits));
+  return 0;
+}

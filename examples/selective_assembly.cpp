@@ -1,0 +1,91 @@
+// Selective assembly (paper §6.5): predicates abort failing complex objects
+// as early as possible, and the component iterator fetches the component
+// with the highest rejection probability first.
+//
+// This example installs a predicate of varying selectivity on one component
+// of the paper's binary-tree benchmark objects and shows how the number of
+// fetched objects (and the seek traffic) shrinks with the selectivity —
+// work that naive execution would have spent traversing doomed objects.
+
+#include <cstdio>
+#include <iostream>
+
+#include "assembly/assembly_operator.h"
+#include "exec/scan.h"
+#include "stats/metrics.h"
+#include "workload/acob.h"
+
+int main() {
+  using namespace cobra;  // NOLINT: example brevity
+
+  AcobOptions options;
+  options.num_complex_objects = 1000;
+  options.clustering = Clustering::kUnclustered;
+  auto db = BuildAcobDatabase(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "database: %zu complex objects x 7 components, unclustered\n"
+      "predicate installed on component B; selectivity = fraction passing\n\n",
+      (*db)->roots.size());
+
+  TablePrinter table({"selectivity", "emitted", "aborted", "objects fetched",
+                      "reads", "avg seek (pages)"});
+
+  for (double selectivity : {1.0, 0.5, 0.2, 0.05}) {
+    // Attach the predicate to template node B (field 0 uniform in
+    // [0, 10000)).
+    TemplateNode* b = (*db)->nodes[1];
+    if (selectivity >= 1.0) {
+      b->predicate = nullptr;
+      b->selectivity = 1.0;
+    } else {
+      int32_t threshold = static_cast<int32_t>(10000 * selectivity);
+      b->predicate = [threshold](const ObjectData& obj) {
+        return obj.fields[0] < threshold;
+      };
+      b->selectivity = selectivity;
+    }
+
+    if (auto s = (*db)->ColdRestart(); !s.ok()) return 1;
+    std::vector<exec::Row> roots;
+    for (Oid oid : (*db)->roots) {
+      roots.push_back(exec::Row{exec::Value::Ref(oid)});
+    }
+    AssemblyOptions aopts;
+    aopts.window_size = 50;
+    aopts.scheduler = SchedulerKind::kElevator;
+    aopts.prioritize_predicates = true;
+    AssemblyOperator assembly(
+        std::make_unique<exec::VectorScan>(std::move(roots)), &(*db)->tmpl,
+        (*db)->store.get(), aopts);
+    if (auto s = assembly.Open(); !s.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    exec::Row row;
+    for (;;) {
+      auto has = assembly.Next(&row);
+      if (!has.ok()) {
+        std::fprintf(stderr, "next failed: %s\n",
+                     has.status().ToString().c_str());
+        return 1;
+      }
+      if (!*has) break;
+    }
+    const AssemblyStats& stats = assembly.stats();
+    const DiskStats& d = (*db)->disk->stats();
+    table.AddRow({Fmt(selectivity, 2), FmtInt(stats.complex_emitted),
+                  FmtInt(stats.complex_aborted),
+                  FmtInt(stats.objects_fetched), FmtInt(d.reads),
+                  Fmt(d.AvgSeekPerRead())});
+    (void)assembly.Close();
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nlower selectivity => more early aborts => fewer fetches: the\n"
+      "assembly operator never pays for components of doomed objects.\n");
+  return 0;
+}

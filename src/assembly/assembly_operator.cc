@@ -1,0 +1,472 @@
+#include "assembly/assembly_operator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace cobra {
+
+AssemblyOperator::AssemblyOperator(std::unique_ptr<exec::Iterator> input,
+                                   const AssemblyTemplate* tmpl,
+                                   ObjectStore* store, AssemblyOptions options,
+                                   size_t root_column, int prebuilt_column)
+    : input_(std::move(input)),
+      template_(tmpl),
+      store_(store),
+      options_(options),
+      root_column_(root_column),
+      prebuilt_column_(prebuilt_column),
+      components_(tmpl) {}
+
+Status AssemblyOperator::Open() {
+  if (options_.window_size == 0) {
+    return Status::InvalidArgument("window size must be at least 1");
+  }
+  COBRA_RETURN_IF_ERROR(template_->Validate());
+  COBRA_RETURN_IF_ERROR(input_->Open());
+  template_recursive_ = template_->IsRecursive();
+  scheduler_ = MakeScheduler(options_.scheduler);
+  arena_ = std::make_shared<ObjectArena>();
+  in_flight_.clear();
+  shared_map_.clear();
+  ready_.clear();
+  window_page_use_.clear();
+  next_complex_id_ = 1;
+  input_exhausted_ = false;
+  stats_ = AssemblyStats();
+  open_ = true;
+  return Status::OK();
+}
+
+Status AssemblyOperator::Close() {
+  open_ = false;
+  in_flight_.clear();
+  shared_map_.clear();
+  ready_.clear();
+  window_page_use_.clear();
+  scheduler_.reset();
+  // arena_ intentionally survives: emitted rows point into it.
+  return input_->Close();
+}
+
+void AssemblyOperator::ChargePage(InFlight* fl, PageId page) {
+  if (fl->pages.insert(page).second) {
+    window_page_use_[page]++;
+    NoteWindowPages();
+  }
+}
+
+void AssemblyOperator::ChargeSharedPage(PageId page) {
+  // Shared components stay resident for the lifetime of the run ("the
+  // shared component remains in memory as long as there is at least one
+  // valid reference to it", §5), so their pages are charged once and
+  // released only at Close.
+  window_page_use_[page]++;
+  NoteWindowPages();
+}
+
+void AssemblyOperator::NoteWindowPages() {
+  stats_.max_window_pages =
+      std::max(stats_.max_window_pages, window_page_use_.size());
+}
+
+void AssemblyOperator::Notify(AssemblyEvent::Kind kind, uint64_t complex_id,
+                              Oid oid, PageId page,
+                              const TemplateNode* node) {
+  if (observer_ == nullptr) return;
+  AssemblyEvent event;
+  event.kind = kind;
+  event.complex_id = complex_id;
+  event.oid = oid;
+  event.page = page;
+  event.node = node;
+  observer_->OnEvent(event);
+}
+
+void AssemblyOperator::ReleasePages(const std::unordered_set<PageId>& pages) {
+  for (PageId page : pages) {
+    auto it = window_page_use_.find(page);
+    if (it != window_page_use_.end() && --it->second == 0) {
+      window_page_use_.erase(it);
+    }
+  }
+}
+
+void AssemblyOperator::ReleasePages(const std::vector<PageId>& pages) {
+  for (PageId page : pages) {
+    auto it = window_page_use_.find(page);
+    if (it != window_page_use_.end() && --it->second == 0) {
+      window_page_use_.erase(it);
+    }
+  }
+}
+
+Status AssemblyOperator::AdmitOne() {
+  exec::Row row;
+  COBRA_ASSIGN_OR_RETURN(bool has, input_->Next(&row));
+  if (!has) {
+    input_exhausted_ = true;
+    return Status::OK();
+  }
+  if (root_column_ >= row.size()) {
+    return Status::InvalidArgument("assembly root column out of range");
+  }
+  if (row[root_column_].kind() != exec::ValueKind::kOid) {
+    return Status::InvalidArgument("assembly root column must carry an OID, got " +
+                                   row[root_column_].ToString());
+  }
+  Oid root_oid = row[root_column_].AsOid();
+  uint64_t id = next_complex_id_++;
+  InFlight fl;
+  fl.id = id;
+  if (prebuilt_column_ >= 0) {
+    size_t col = static_cast<size_t>(prebuilt_column_);
+    if (col >= row.size() ||
+        row[col].kind() != exec::ValueKind::kPrebuilt) {
+      return Status::InvalidArgument(
+          "prebuilt column missing or of wrong kind");
+    }
+    fl.prebuilt = row[col].AsPrebuilt();
+  }
+  fl.input_row = std::move(row);
+  fl.unresolved = 1;  // the root reference
+
+  COBRA_ASSIGN_OR_RETURN(RecordId location, store_->Locate(root_oid));
+  PendingRef root_ref;
+  root_ref.complex_id = id;
+  root_ref.node = template_->root();
+  root_ref.parent = nullptr;
+  root_ref.oid = root_oid;
+  root_ref.page = location.page;
+  root_ref.depth = 0;
+  in_flight_.emplace(id, std::move(fl));
+  scheduler_->AddBatch({root_ref}, /*is_root=*/true);
+  stats_.max_pool_size = std::max(stats_.max_pool_size, scheduler_->Size());
+  stats_.complex_admitted++;
+  Notify(AssemblyEvent::Kind::kAdmit, id, root_oid);
+  return Status::OK();
+}
+
+void AssemblyOperator::LinkChild(const PendingRef& ref,
+                                 AssembledObject* child) {
+  child->ref_count++;
+  if (ref.parent == nullptr) {
+    auto it = in_flight_.find(ref.complex_id);
+    if (it != in_flight_.end()) {
+      it->second.root = child;
+    }
+    return;
+  }
+  ref.parent->children[ref.child_index] = child;
+  ref.parent->child_slots[ref.child_index] = ref.ref_slot;
+}
+
+void AssemblyOperator::AbortComplex(uint64_t id) {
+  auto it = in_flight_.find(id);
+  if (it == in_flight_.end()) return;  // already emitted or aborted
+  scheduler_->RemoveComplex(id);
+  ReleasePages(it->second.pages);
+  Oid root_oid = it->second.root != nullptr ? it->second.root->oid
+                                            : kInvalidOid;
+  in_flight_.erase(it);
+  stats_.complex_aborted++;
+  Notify(AssemblyEvent::Kind::kAbort, id, root_oid);
+}
+
+void AssemblyOperator::MaybeFinishComplex(uint64_t id) {
+  auto it = in_flight_.find(id);
+  if (it == in_flight_.end()) return;
+  InFlight& fl = it->second;
+  if (fl.unresolved != 0 || fl.shared_pending != 0) return;
+  ReadyRow ready;
+  ready.row = std::move(fl.input_row);
+  ready.row[root_column_] = exec::Value::Obj(fl.root);
+  ready.pages.assign(fl.pages.begin(), fl.pages.end());
+  Oid root_oid = fl.root != nullptr ? fl.root->oid : kInvalidOid;
+  ready_.push_back(std::move(ready));
+  in_flight_.erase(it);
+  stats_.complex_emitted++;
+  Notify(AssemblyEvent::Kind::kEmit, id, root_oid);
+}
+
+void AssemblyOperator::CompleteSharedEntry(Oid entry_oid) {
+  auto it = shared_map_.find(entry_oid);
+  if (it == shared_map_.end()) return;
+  std::vector<uint64_t> waiters = std::move(it->second.waiters);
+  std::vector<Oid> parents = std::move(it->second.parent_entries);
+  it->second.waiters.clear();
+  it->second.parent_entries.clear();
+  for (uint64_t waiter : waiters) {
+    auto fit = in_flight_.find(waiter);
+    if (fit == in_flight_.end()) continue;
+    fit->second.shared_pending--;
+    MaybeFinishComplex(waiter);
+  }
+  for (Oid parent : parents) {
+    auto pit = shared_map_.find(parent);
+    if (pit == shared_map_.end() || pit->second.failed) continue;
+    if (--pit->second.pending == 0) {
+      CompleteSharedEntry(parent);
+    }
+  }
+}
+
+void AssemblyOperator::FailSharedEntry(Oid entry_oid) {
+  auto it = shared_map_.find(entry_oid);
+  if (it == shared_map_.end() || it->second.failed) return;
+  it->second.failed = true;
+  std::vector<uint64_t> waiters = std::move(it->second.waiters);
+  std::vector<Oid> parents = std::move(it->second.parent_entries);
+  it->second.waiters.clear();
+  it->second.parent_entries.clear();
+  for (uint64_t waiter : waiters) {
+    AbortComplex(waiter);
+  }
+  for (Oid parent : parents) {
+    FailSharedEntry(parent);
+  }
+}
+
+Status AssemblyOperator::FinishOwnRef(const PendingRef& ref) {
+  auto it = in_flight_.find(ref.complex_id);
+  if (it == in_flight_.end()) {
+    return Status::Internal("resolved reference for unknown complex object");
+  }
+  it->second.unresolved--;
+  MaybeFinishComplex(ref.complex_id);
+  return Status::OK();
+}
+
+void AssemblyOperator::FinishSharedRef(const PendingRef& ref) {
+  auto it = shared_map_.find(ref.shared_owner);
+  if (it == shared_map_.end() || it->second.failed) return;
+  if (--it->second.pending == 0) {
+    CompleteSharedEntry(ref.shared_owner);
+  }
+}
+
+Result<AssembledObject*> AssemblyOperator::FetchAndExpand(
+    const PendingRef& ref) {
+  COBRA_ASSIGN_OR_RETURN(ObjectData data, store_->Get(ref.oid));
+  COBRA_RETURN_IF_ERROR(components_.CheckObject(data, ref.node));
+  stats_.objects_fetched++;
+  Notify(AssemblyEvent::Kind::kFetch,
+         ref.shared_owned ? 0 : ref.complex_id, ref.oid, ref.page, ref.node);
+  if (ref.shared_owned) {
+    ChargeSharedPage(ref.page);
+  } else {
+    auto it = in_flight_.find(ref.complex_id);
+    if (it != in_flight_.end()) {
+      ChargePage(&it->second, ref.page);
+    }
+  }
+
+  bool this_shared = options_.use_sharing_statistics && ref.node->shared;
+
+  if (ref.node->predicate && !ref.node->predicate(data)) {
+    if (this_shared) {
+      // Remember the failure so later references to this component abort
+      // their complex objects without re-fetching.
+      SharedEntry failed_entry;
+      failed_entry.obj = arena_->NewFrom(data, ref.node->children.size());
+      failed_entry.failed = true;
+      shared_map_[ref.oid] = std::move(failed_entry);
+    }
+    if (ref.shared_owned) {
+      FailSharedEntry(ref.shared_owner);
+    } else {
+      AbortComplex(ref.complex_id);
+    }
+    return static_cast<AssembledObject*>(nullptr);
+  }
+
+  AssembledObject* obj = arena_->NewFrom(data, ref.node->children.size());
+
+  // Recursive templates truncate below max_depth; acyclic ones never do.
+  bool expand = !template_recursive_ || ref.depth + 1 < template_->max_depth();
+  std::vector<PendingRef> batch;
+  if (expand) {
+    COBRA_ASSIGN_OR_RETURN(
+        std::vector<ComponentRef> children,
+        components_.Expand(data, ref.node, options_.prioritize_predicates));
+    batch.reserve(children.size());
+    for (const ComponentRef& child : children) {
+      COBRA_ASSIGN_OR_RETURN(RecordId location, store_->Locate(child.oid));
+      PendingRef child_ref;
+      child_ref.complex_id = ref.complex_id;
+      child_ref.node = child.node;
+      child_ref.parent = obj;
+      child_ref.child_index = child.child_index;
+      child_ref.ref_slot = child.ref_slot;
+      child_ref.oid = child.oid;
+      child_ref.page = location.page;
+      child_ref.depth = ref.depth + 1;
+      child_ref.shared_owner = this_shared ? ref.oid : ref.shared_owner;
+      child_ref.shared_owned = child_ref.shared_owner != kInvalidOid;
+      batch.push_back(child_ref);
+    }
+  }
+
+  if (this_shared) {
+    // Register the resident component before its children are scheduled;
+    // the children belong to this entry, and the current resolver (complex
+    // object or enclosing shared component) waits for its completion.
+    SharedEntry entry;
+    entry.obj = obj;
+    entry.pending = batch.size();
+    if (entry.pending > 0) {
+      if (ref.shared_owned) {
+        auto outer = shared_map_.find(ref.shared_owner);
+        if (outer != shared_map_.end()) {
+          outer->second.pending++;
+          entry.parent_entries.push_back(ref.shared_owner);
+        }
+      } else {
+        auto fit = in_flight_.find(ref.complex_id);
+        if (fit != in_flight_.end()) {
+          fit->second.shared_pending++;
+          entry.waiters.push_back(ref.complex_id);
+        }
+      }
+    }
+    shared_map_[ref.oid] = std::move(entry);
+  } else if (!batch.empty()) {
+    // Children of an unshared node belong to whatever owns the node.
+    if (ref.shared_owned) {
+      auto outer = shared_map_.find(ref.shared_owner);
+      if (outer != shared_map_.end()) {
+        outer->second.pending += batch.size();
+      }
+    } else {
+      auto fit = in_flight_.find(ref.complex_id);
+      if (fit != in_flight_.end()) {
+        fit->second.unresolved += batch.size();
+      }
+    }
+  }
+
+  if (!batch.empty()) {
+    scheduler_->AddBatch(batch, /*is_root=*/false);
+    stats_.max_pool_size = std::max(stats_.max_pool_size, scheduler_->Size());
+  }
+  return obj;
+}
+
+Status AssemblyOperator::ResolveOne() {
+  PendingRef ref = scheduler_->Pop(store_->buffer()->disk()->head());
+  stats_.refs_resolved++;
+
+  // References inside an already-failed shared subtree are dead work.
+  if (ref.shared_owned) {
+    auto owner = shared_map_.find(ref.shared_owner);
+    if (owner != shared_map_.end() && owner->second.failed) {
+      return Status::OK();
+    }
+  }
+
+  InFlight* fl = nullptr;
+  if (!ref.shared_owned) {
+    auto it = in_flight_.find(ref.complex_id);
+    if (it == in_flight_.end()) {
+      return Status::Internal("pending reference for unknown complex object");
+    }
+    fl = &it->second;
+    // Stacked assembly: components assembled by an upstream operator link
+    // without a fetch.
+    if (fl->prebuilt != nullptr) {
+      auto pre = fl->prebuilt->by_oid.find(ref.oid);
+      if (pre != fl->prebuilt->by_oid.end()) {
+        stats_.prebuilt_hits++;
+        Notify(AssemblyEvent::Kind::kPrebuiltHit, ref.complex_id, ref.oid,
+               ref.page, ref.node);
+        LinkChild(ref, pre->second);
+        return FinishOwnRef(ref);
+      }
+    }
+  }
+
+  if (options_.use_sharing_statistics && ref.node->shared) {
+    auto it = shared_map_.find(ref.oid);
+    if (it != shared_map_.end()) {
+      stats_.shared_hits++;
+      Notify(AssemblyEvent::Kind::kSharedHit,
+             ref.shared_owned ? 0 : ref.complex_id, ref.oid, ref.page,
+             ref.node);
+      if (it->second.failed) {
+        if (ref.shared_owned) {
+          FailSharedEntry(ref.shared_owner);
+        } else {
+          AbortComplex(ref.complex_id);
+        }
+        return Status::OK();
+      }
+      LinkChild(ref, it->second.obj);
+      if (it->second.pending > 0) {
+        // Incomplete component: whoever links it must wait for it.
+        if (ref.shared_owned) {
+          auto outer = shared_map_.find(ref.shared_owner);
+          if (outer != shared_map_.end()) {
+            outer->second.pending++;
+            it->second.parent_entries.push_back(ref.shared_owner);
+          }
+        } else {
+          fl->shared_pending++;
+          it->second.waiters.push_back(ref.complex_id);
+        }
+      }
+      if (ref.shared_owned) {
+        FinishSharedRef(ref);
+        return Status::OK();
+      }
+      return FinishOwnRef(ref);
+    }
+  }
+
+  COBRA_ASSIGN_OR_RETURN(AssembledObject* obj, FetchAndExpand(ref));
+  if (obj == nullptr) {
+    return Status::OK();  // predicate failure, owner already aborted
+  }
+  LinkChild(ref, obj);
+  if (ref.shared_owned) {
+    FinishSharedRef(ref);
+    return Status::OK();
+  }
+  return FinishOwnRef(ref);
+}
+
+Result<bool> AssemblyOperator::Next(exec::Row* out) {
+  if (!open_) {
+    return Status::Internal("Next() before Open()");
+  }
+  for (;;) {
+    if (!ready_.empty()) {
+      ReadyRow ready = std::move(ready_.front());
+      ready_.pop_front();
+      ReleasePages(ready.pages);
+      *out = std::move(ready.row);
+      return true;
+    }
+    // Sliding window: refill to W in-flight complex objects.
+    while (!input_exhausted_ && in_flight_.size() < options_.window_size) {
+      COBRA_RETURN_IF_ERROR(AdmitOne());
+    }
+    if (scheduler_->Empty()) {
+      if (!in_flight_.empty()) {
+        // Reachable only when shared components form a dependency cycle
+        // (cyclic object data under a shared template node): each entry
+        // waits for another and none can complete.  Acyclic data never
+        // stalls.
+        return Status::InvalidArgument(
+            "assembly stalled: shared components form a cycle (cyclic "
+            "object graph under a shared template node)");
+      }
+      if (input_exhausted_) {
+        return false;
+      }
+      continue;
+    }
+    COBRA_RETURN_IF_ERROR(ResolveOne());
+  }
+}
+
+}  // namespace cobra

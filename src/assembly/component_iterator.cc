@@ -1,0 +1,51 @@
+#include "assembly/component_iterator.h"
+
+#include <algorithm>
+
+namespace cobra {
+
+Status ComponentIterator::CheckObject(const ObjectData& obj,
+                                      const TemplateNode* node) const {
+  if (node->expected_type != kAnyTypeId &&
+      obj.type_id != node->expected_type) {
+    return Status::Corruption(
+        "object " + std::to_string(obj.oid) + " has type " +
+        std::to_string(obj.type_id) + ", template node '" + node->label +
+        "' expects " + std::to_string(node->expected_type));
+  }
+  for (const auto& edge : node->children) {
+    if (static_cast<size_t>(edge.ref_slot) >= obj.refs.size()) {
+      return Status::Corruption("object " + std::to_string(obj.oid) +
+                                " has no reference slot " +
+                                std::to_string(edge.ref_slot) +
+                                " required by template node '" + node->label +
+                                "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ComponentRef>> ComponentIterator::Expand(
+    const ObjectData& obj, const TemplateNode* node,
+    bool prioritize_predicates) const {
+  COBRA_RETURN_IF_ERROR(CheckObject(obj, node));
+  std::vector<ComponentRef> refs;
+  refs.reserve(node->children.size());
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const auto& edge = node->children[i];
+    Oid child_oid = obj.refs[edge.ref_slot];
+    if (child_oid == kInvalidOid) continue;
+    refs.push_back(ComponentRef{edge.child, child_oid, edge.ref_slot,
+                                static_cast<int>(i)});
+  }
+  if (prioritize_predicates) {
+    std::stable_sort(refs.begin(), refs.end(),
+                     [](const ComponentRef& a, const ComponentRef& b) {
+                       return a.node->rejection_probability() >
+                              b.node->rejection_probability();
+                     });
+  }
+  return refs;
+}
+
+}  // namespace cobra

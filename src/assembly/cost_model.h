@@ -1,0 +1,93 @@
+// Analytic cost model for the assembly operator, and the §7 window advisor.
+//
+// The paper's optimizer (Figure 1) must choose physical operators and their
+// parameters; for assembly the decisive knobs are the scheduler and the
+// window size, traded against buffer space ("We suspect that for a given
+// buffer size the window size can be tuned so that performance is
+// maximized", §7).  This module provides closed-form estimates of the
+// quantities the benchmarks measure:
+//
+//   * expected disk reads for assembling the whole set (distinct pages via
+//     a coupon-collector bound, per clustering policy);
+//   * expected average seek per read: a SCAN sweep over a pool of k
+//     uniformly placed pending requests on a span of S pages travels ~S
+//     pages per k requests served, so avg ~ S / (k + 1); object-at-a-time
+//     random probing averages ~S/3;
+//   * the buffer footprint bound 6(W-1)+7 generalized to
+//     (c-1)(W-1) + c for c components per complex object (§6.3.3);
+//   * AdviseWindowSize: the largest window whose footprint bound fits the
+//     available buffer.
+//
+// The estimates are deliberately coarse — they order alternatives and get
+// magnitudes right (validated against measurements in the tests), exactly
+// what an optimizer cost function needs.
+
+#ifndef COBRA_ASSEMBLY_COST_MODEL_H_
+#define COBRA_ASSEMBLY_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "assembly/scheduler.h"
+
+namespace cobra {
+
+enum class PlacementClass {
+  kRandom,      // unclustered: components uniform over the data span
+  kTypeExtents, // inter-object: one oversized extent per component type
+  kContiguous,  // intra-object: a complex object's components adjacent
+};
+
+struct DatabaseProfile {
+  size_t num_complex_objects = 0;
+  size_t components_per_complex = 7;
+  size_t objects_per_page = 9;
+  // Pages that actually hold data.
+  size_t data_pages = 0;
+  // Size of the page-address span seeks range over (>= data_pages; much
+  // larger for oversized type extents).
+  size_t page_span = 0;
+  PlacementClass placement = PlacementClass::kRandom;
+  // Expected fraction of complex objects surviving all predicates.
+  double predicate_selectivity = 1.0;
+};
+
+struct AssemblyCostEstimate {
+  double expected_object_fetches = 0;
+  double expected_reads = 0;      // disk reads (distinct pages, cold pool)
+  double expected_avg_seek = 0;   // pages per read
+  double expected_total_seek = 0;
+  // The §6.3.3 worst-case buffer footprint for the window.
+  size_t window_buffer_pages = 0;
+};
+
+// Estimates the cost of assembling every complex object of `profile` with
+// window `window_size` under `scheduler`.  Buffer capacity is assumed to
+// cover the working set (use AdviseWindowSize to ensure it).
+AssemblyCostEstimate EstimateAssemblyCost(const DatabaseProfile& profile,
+                                          SchedulerKind scheduler,
+                                          size_t window_size);
+
+// The paper's buffer bound for a window of W objects with c components:
+// (c-1) partially-resolved pages per unfinished object + c for the one
+// being completed.
+size_t WindowBufferBound(size_t components_per_complex, size_t window_size);
+
+// Largest window whose WindowBufferBound fits in `buffer_frames`, clamped
+// to [1, num_complex_objects].  The §7 tuning rule.
+size_t AdviseWindowSize(const DatabaseProfile& profile, size_t buffer_frames);
+
+// The optimizer entry point: picks the cheapest scheduler at the advised
+// window size.  (The elevator wins whenever the pool helps; degenerate
+// profiles — one-component objects, contiguous placement — tie, and ties
+// break toward the elevator, which never loses.)
+struct AssemblyChoice {
+  SchedulerKind scheduler = SchedulerKind::kElevator;
+  size_t window_size = 1;
+  AssemblyCostEstimate estimate;
+};
+AssemblyChoice ChooseAssemblyOptions(const DatabaseProfile& profile,
+                                     size_t buffer_frames);
+
+}  // namespace cobra
+
+#endif  // COBRA_ASSEMBLY_COST_MODEL_H_

@@ -1,0 +1,74 @@
+#include "assembly/naive.h"
+
+#include "assembly/component_iterator.h"
+
+namespace cobra {
+
+Result<AssembledObject*> NaiveAssembler::Walk(Oid oid,
+                                              const TemplateNode* node,
+                                              int depth, WalkState* state) {
+  auto visited = state->visited.find(oid);
+  if (visited != state->visited.end()) {
+    return visited->second;
+  }
+  COBRA_ASSIGN_OR_RETURN(ObjectData data, store_->Get(oid));
+  ComponentIterator components(template_);
+  COBRA_RETURN_IF_ERROR(components.CheckObject(data, node));
+  if (node->predicate && !node->predicate(data)) {
+    state->rejected = true;
+    return static_cast<AssembledObject*>(nullptr);
+  }
+  AssembledObject* obj = state->arena->NewFrom(data, node->children.size());
+  state->visited.emplace(oid, obj);
+  bool expand =
+      !template_->IsRecursive() || depth + 1 < template_->max_depth();
+  if (expand) {
+    // Template (= reference storage) order: no predicate prioritization,
+    // matching how a hand-written method would traverse.
+    COBRA_ASSIGN_OR_RETURN(
+        std::vector<ComponentRef> children,
+        components.Expand(data, node, /*prioritize_predicates=*/false));
+    for (const ComponentRef& child : children) {
+      COBRA_ASSIGN_OR_RETURN(AssembledObject* child_obj,
+                             Walk(child.oid, child.node, depth + 1, state));
+      if (state->rejected) {
+        return static_cast<AssembledObject*>(nullptr);
+      }
+      obj->children[child.child_index] = child_obj;
+      obj->child_slots[child.child_index] = child.ref_slot;
+      if (child_obj != nullptr) {
+        child_obj->ref_count++;
+      }
+    }
+  }
+  return obj;
+}
+
+Result<AssembledObject*> NaiveAssembler::AssembleOne(Oid root,
+                                                     ObjectArena* arena) {
+  COBRA_RETURN_IF_ERROR(template_->Validate());
+  WalkState state;
+  state.arena = arena;
+  COBRA_ASSIGN_OR_RETURN(AssembledObject* obj,
+                         Walk(root, template_->root(), 0, &state));
+  if (state.rejected) {
+    return static_cast<AssembledObject*>(nullptr);
+  }
+  obj->ref_count++;
+  return obj;
+}
+
+Result<std::vector<AssembledObject*>> NaiveAssembler::AssembleAll(
+    const std::vector<Oid>& roots, ObjectArena* arena) {
+  std::vector<AssembledObject*> assembled;
+  assembled.reserve(roots.size());
+  for (Oid root : roots) {
+    COBRA_ASSIGN_OR_RETURN(AssembledObject* obj, AssembleOne(root, arena));
+    if (obj != nullptr) {
+      assembled.push_back(obj);
+    }
+  }
+  return assembled;
+}
+
+}  // namespace cobra

@@ -1,0 +1,61 @@
+// Naive (object-at-a-time) complex-object assembly.
+//
+// The baseline the paper argues against (§4): "When this query is executed
+// naively, each complex object gets completely traversed before another is
+// considered.  Furthermore, the order that each complex object is traversed
+// depends on how the methods were written" — i.e., a depth-first walk in
+// reference-storage order, fetching every object the moment it is reached.
+//
+// This is both the performance baseline for every benchmark and the
+// correctness oracle for the assembly operator's property tests: for any
+// database, template, scheduler, and window size, the set-oriented operator
+// must produce exactly the complex objects the naive walk produces.
+
+#ifndef COBRA_ASSEMBLY_NAIVE_H_
+#define COBRA_ASSEMBLY_NAIVE_H_
+
+#include <vector>
+
+#include "assembly/template.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "object/assembled_object.h"
+#include "object/object_store.h"
+
+namespace cobra {
+
+class NaiveAssembler {
+ public:
+  // Does not take ownership.
+  NaiveAssembler(ObjectStore* store, const AssemblyTemplate* tmpl)
+      : store_(store), template_(tmpl) {}
+
+  // Assembles one complex object depth-first.  Returns nullptr if a node
+  // predicate rejected it (selective assembly).  Within one complex object,
+  // an OID reached through several paths is fetched once (the runtime's
+  // object table would catch the second access); across complex objects
+  // everything is re-fetched — exactly the naive behavior whose repeated
+  // reads the sharing statistics of §6.4 eliminate.
+  Result<AssembledObject*> AssembleOne(Oid root, ObjectArena* arena);
+
+  // Assembles a whole set, skipping predicate-rejected objects.
+  Result<std::vector<AssembledObject*>> AssembleAll(
+      const std::vector<Oid>& roots, ObjectArena* arena);
+
+ private:
+  struct WalkState {
+    ObjectArena* arena = nullptr;
+    std::unordered_map<Oid, AssembledObject*> visited;
+    bool rejected = false;
+  };
+
+  Result<AssembledObject*> Walk(Oid oid, const TemplateNode* node, int depth,
+                                WalkState* state);
+
+  ObjectStore* store_;
+  const AssemblyTemplate* template_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_ASSEMBLY_NAIVE_H_

@@ -1,0 +1,122 @@
+#include "assembly/scheduler.h"
+
+#include <algorithm>
+
+namespace cobra {
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDepthFirst:
+      return "depth-first";
+    case SchedulerKind::kBreadthFirst:
+      return "breadth-first";
+    case SchedulerKind::kElevator:
+      return "elevator";
+  }
+  return "?";
+}
+
+void DepthFirstScheduler::AddBatch(const std::vector<PendingRef>& batch,
+                                   bool is_root) {
+  if (is_root) {
+    // New window admissions queue behind everything: depth-first finishes
+    // the complex object in progress first (object-at-a-time).
+    for (const PendingRef& ref : batch) {
+      queue_.push_back(ref);
+    }
+  } else {
+    // Children of the just-expanded object go on top, keeping the batch's
+    // internal order (first child of the batch pops first).
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+      queue_.push_front(*it);
+    }
+  }
+}
+
+PendingRef DepthFirstScheduler::Pop(PageId) {
+  PendingRef ref = queue_.front();
+  queue_.pop_front();
+  return ref;
+}
+
+void DepthFirstScheduler::RemoveComplex(uint64_t id) {
+  std::erase_if(queue_, [id](const PendingRef& ref) {
+    return ref.complex_id == id && !ref.shared_owned;
+  });
+}
+
+void BreadthFirstScheduler::AddBatch(const std::vector<PendingRef>& batch,
+                                     bool is_root) {
+  (void)is_root;  // FIFO regardless: breadth across the whole window.
+  for (const PendingRef& ref : batch) {
+    queue_.push_back(ref);
+  }
+}
+
+PendingRef BreadthFirstScheduler::Pop(PageId) {
+  PendingRef ref = queue_.front();
+  queue_.pop_front();
+  return ref;
+}
+
+void BreadthFirstScheduler::RemoveComplex(uint64_t id) {
+  std::erase_if(queue_, [id](const PendingRef& ref) {
+    return ref.complex_id == id && !ref.shared_owned;
+  });
+}
+
+void ElevatorScheduler::AddBatch(const std::vector<PendingRef>& batch,
+                                 bool is_root) {
+  (void)is_root;  // Physical position is all that matters.
+  for (const PendingRef& ref : batch) {
+    by_page_.emplace(ref.page, ref);
+  }
+}
+
+PendingRef ElevatorScheduler::Pop(PageId head) {
+  // Classic SCAN: keep moving in the current direction; when no request
+  // remains ahead of the head, reverse.
+  auto take = [this](std::multimap<PageId, PendingRef>::iterator it) {
+    PendingRef ref = it->second;
+    by_page_.erase(it);
+    return ref;
+  };
+  if (sweeping_up_) {
+    auto it = by_page_.lower_bound(head);
+    if (it != by_page_.end()) {
+      return take(it);
+    }
+    sweeping_up_ = false;
+  }
+  // Sweeping down: the largest page <= head; if none, reverse again.
+  auto it = by_page_.upper_bound(head);
+  if (it != by_page_.begin()) {
+    return take(std::prev(it));
+  }
+  sweeping_up_ = true;
+  return take(by_page_.begin());
+}
+
+void ElevatorScheduler::RemoveComplex(uint64_t id) {
+  for (auto it = by_page_.begin(); it != by_page_.end();) {
+    if (it->second.complex_id == id && !it->second.shared_owned) {
+      it = by_page_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDepthFirst:
+      return std::make_unique<DepthFirstScheduler>();
+    case SchedulerKind::kBreadthFirst:
+      return std::make_unique<BreadthFirstScheduler>();
+    case SchedulerKind::kElevator:
+      return std::make_unique<ElevatorScheduler>();
+  }
+  return std::make_unique<ElevatorScheduler>();
+}
+
+}  // namespace cobra

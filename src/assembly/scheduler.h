@@ -1,0 +1,132 @@
+// Reference-resolution schedulers (paper §6.2).
+//
+// At every step the assembly operator holds a pool of unresolved references
+// (across the whole window of in-flight complex objects) and must pick one
+// to resolve.  The paper compares three policies:
+//
+//   * depth-first   — LIFO within the most recently expanded object; with
+//                     any window size this resolves one complex object at a
+//                     time, which is why the paper calls it "equivalent to
+//                     object-at-a-time assembly, regardless of window size";
+//   * breadth-first — FIFO across the window ("'breadth' refers to the
+//                     breadth of the window and not ... a single complex
+//                     object");
+//   * elevator      — SCAN over physical page numbers: continue in the
+//                     current direction from the disk head, reverse at the
+//                     end; ties on one page drain together.
+//
+// References arrive in *batches* (all children discovered by one expansion,
+// already priority-ordered by the component iterator); schedulers must keep
+// a batch's internal order stable.
+
+#ifndef COBRA_ASSEMBLY_SCHEDULER_H_
+#define COBRA_ASSEMBLY_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "assembly/template.h"
+#include "object/assembled_object.h"
+#include "object/oid.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+enum class SchedulerKind { kDepthFirst, kBreadthFirst, kElevator };
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+// One unresolved reference in the scheduler pool.
+struct PendingRef {
+  // Complex object (window entry) this reference belongs to.
+  uint64_t complex_id = 0;
+  // Template node of the child to assemble.
+  const TemplateNode* node = nullptr;
+  // Object to link the child into (nullptr for a root reference).
+  AssembledObject* parent = nullptr;
+  // Position in parent->children; ref_slot is the on-disk reference field.
+  int child_index = 0;
+  int ref_slot = 0;
+  Oid oid = kInvalidOid;
+  // Physical page (from the directory; known without I/O) — what the
+  // elevator scheduler orders by.
+  PageId page = kInvalidPageId;
+  // Assembly depth (root = 0); bounds recursive templates.
+  int depth = 0;
+  // Reference into a shared component's subtree: survives aborts of any one
+  // waiting complex object (other complex objects may still need it).
+  bool shared_owned = false;
+  // OID of the nearest enclosing shared component (kInvalidOid when the
+  // reference belongs directly to a complex object).
+  Oid shared_owner = kInvalidOid;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Adds one expansion batch (order within the batch is meaningful).
+  // `is_root` marks window-admission references, which depth-first ordering
+  // must keep *behind* all in-progress work.
+  virtual void AddBatch(const std::vector<PendingRef>& batch,
+                        bool is_root) = 0;
+
+  virtual bool Empty() const = 0;
+  virtual size_t Size() const = 0;
+
+  // Removes and returns the next reference to resolve; `head` is the
+  // current disk head position.  Must not be called when Empty().
+  virtual PendingRef Pop(PageId head) = 0;
+
+  // Drops all non-shared-owned references of complex object `id`
+  // (predicate abort).
+  virtual void RemoveComplex(uint64_t id) = 0;
+};
+
+class DepthFirstScheduler : public Scheduler {
+ public:
+  void AddBatch(const std::vector<PendingRef>& batch, bool is_root) override;
+  bool Empty() const override { return queue_.empty(); }
+  size_t Size() const override { return queue_.size(); }
+  PendingRef Pop(PageId head) override;
+  void RemoveComplex(uint64_t id) override;
+
+ private:
+  std::deque<PendingRef> queue_;  // front = next
+};
+
+class BreadthFirstScheduler : public Scheduler {
+ public:
+  void AddBatch(const std::vector<PendingRef>& batch, bool is_root) override;
+  bool Empty() const override { return queue_.empty(); }
+  size_t Size() const override { return queue_.size(); }
+  PendingRef Pop(PageId head) override;
+  void RemoveComplex(uint64_t id) override;
+
+ private:
+  std::deque<PendingRef> queue_;
+};
+
+class ElevatorScheduler : public Scheduler {
+ public:
+  void AddBatch(const std::vector<PendingRef>& batch, bool is_root) override;
+  bool Empty() const override { return by_page_.empty(); }
+  size_t Size() const override { return by_page_.size(); }
+  PendingRef Pop(PageId head) override;
+  void RemoveComplex(uint64_t id) override;
+
+ private:
+  // Multimap keeps insertion order among equal pages, so same-page
+  // references drain in (priority-ordered) arrival order.
+  std::multimap<PageId, PendingRef> by_page_;
+  bool sweeping_up_ = true;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind);
+
+}  // namespace cobra
+
+#endif  // COBRA_ASSEMBLY_SCHEDULER_H_

@@ -1,0 +1,195 @@
+#include "assembly/sorted_fetch.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "assembly/component_iterator.h"
+
+namespace cobra {
+namespace {
+
+struct LevelRef {
+  size_t complex_index = 0;
+  const TemplateNode* node = nullptr;
+  AssembledObject* parent = nullptr;
+  int child_index = 0;
+  int ref_slot = 0;
+  Oid oid = kInvalidOid;
+  PageId page = kInvalidPageId;
+  int depth = 0;
+  Oid shared_owner = kInvalidOid;
+};
+
+struct ResidentEntry {
+  AssembledObject* obj = nullptr;
+  bool failed = false;
+  std::vector<size_t> linkers;
+  std::vector<Oid> parents;
+};
+
+}  // namespace
+
+Result<SortedFetchResult> AssembleBySortedFetch(
+    ObjectStore* store, const AssemblyTemplate* tmpl,
+    const std::vector<Oid>& roots) {
+  COBRA_RETURN_IF_ERROR(tmpl->Validate());
+  const bool recursive = tmpl->IsRecursive();
+  ComponentIterator components(tmpl);
+
+  SortedFetchResult result;
+  result.arena = std::make_shared<ObjectArena>();
+  std::vector<AssembledObject*> complex_roots(roots.size(), nullptr);
+  std::vector<bool> aborted(roots.size(), false);
+  std::unordered_map<Oid, ResidentEntry> resident;
+
+  // Failure cascade: abort all linkers, propagate to enclosing entries.
+  std::function<void(Oid)> fail_entry = [&](Oid entry_oid) {
+    auto it = resident.find(entry_oid);
+    if (it == resident.end() || it->second.failed) return;
+    it->second.failed = true;
+    std::vector<size_t> linkers = std::move(it->second.linkers);
+    std::vector<Oid> parents = std::move(it->second.parents);
+    for (size_t complex_index : linkers) {
+      if (!aborted[complex_index]) {
+        aborted[complex_index] = true;
+        result.stats.complex_aborted++;
+      }
+    }
+    for (Oid parent : parents) {
+      fail_entry(parent);
+    }
+  };
+
+  // Level 0: the roots.
+  std::vector<LevelRef> level;
+  level.reserve(roots.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    LevelRef ref;
+    ref.complex_index = i;
+    ref.node = tmpl->root();
+    ref.oid = roots[i];
+    COBRA_ASSIGN_OR_RETURN(RecordId location, store->Locate(roots[i]));
+    ref.page = location.page;
+    level.push_back(ref);
+  }
+
+  while (!level.empty()) {
+    result.stats.levels++;
+    result.stats.max_sorted_refs =
+        std::max(result.stats.max_sorted_refs, level.size());
+    // The §2 move: sort the whole pointer set of this level by physical
+    // location and fetch in one sweep.
+    std::stable_sort(level.begin(), level.end(),
+                     [](const LevelRef& a, const LevelRef& b) {
+                       return a.page < b.page;
+                     });
+    std::vector<LevelRef> next;
+    for (const LevelRef& ref : level) {
+      bool shared_owned = ref.shared_owner != kInvalidOid;
+      if (!shared_owned && aborted[ref.complex_index]) continue;
+      if (shared_owned) {
+        auto owner = resident.find(ref.shared_owner);
+        if (owner != resident.end() && owner->second.failed) continue;
+      }
+
+      auto link = [&](AssembledObject* child) {
+        child->ref_count++;
+        if (ref.parent == nullptr) {
+          complex_roots[ref.complex_index] = child;
+        } else {
+          ref.parent->children[ref.child_index] = child;
+          ref.parent->child_slots[ref.child_index] = ref.ref_slot;
+        }
+      };
+
+      bool node_shared = ref.node->shared;
+      if (node_shared) {
+        auto it = resident.find(ref.oid);
+        if (it != resident.end()) {
+          result.stats.shared_hits++;
+          if (it->second.failed) {
+            if (shared_owned) {
+              fail_entry(ref.shared_owner);
+            } else if (!aborted[ref.complex_index]) {
+              aborted[ref.complex_index] = true;
+              result.stats.complex_aborted++;
+            }
+            continue;
+          }
+          link(it->second.obj);
+          if (shared_owned) {
+            it->second.parents.push_back(ref.shared_owner);
+          } else {
+            it->second.linkers.push_back(ref.complex_index);
+          }
+          continue;
+        }
+      }
+
+      COBRA_ASSIGN_OR_RETURN(ObjectData data, store->Get(ref.oid));
+      COBRA_RETURN_IF_ERROR(components.CheckObject(data, ref.node));
+      result.stats.objects_fetched++;
+
+      if (ref.node->predicate && !ref.node->predicate(data)) {
+        if (node_shared) {
+          ResidentEntry entry;
+          entry.obj = result.arena->NewFrom(data, ref.node->children.size());
+          entry.failed = true;
+          resident[ref.oid] = std::move(entry);
+        }
+        if (shared_owned) {
+          fail_entry(ref.shared_owner);
+        } else if (!aborted[ref.complex_index]) {
+          aborted[ref.complex_index] = true;
+          result.stats.complex_aborted++;
+        }
+        continue;
+      }
+
+      AssembledObject* obj =
+          result.arena->NewFrom(data, ref.node->children.size());
+      link(obj);
+      if (node_shared) {
+        ResidentEntry entry;
+        entry.obj = obj;
+        if (shared_owned) {
+          entry.parents.push_back(ref.shared_owner);
+        } else {
+          entry.linkers.push_back(ref.complex_index);
+        }
+        resident[ref.oid] = std::move(entry);
+      }
+
+      bool expand = !recursive || ref.depth + 1 < tmpl->max_depth();
+      if (!expand) continue;
+      COBRA_ASSIGN_OR_RETURN(
+          std::vector<ComponentRef> children,
+          components.Expand(data, ref.node, /*prioritize_predicates=*/true));
+      for (const ComponentRef& child : children) {
+        LevelRef child_ref;
+        child_ref.complex_index = ref.complex_index;
+        child_ref.node = child.node;
+        child_ref.parent = obj;
+        child_ref.child_index = child.child_index;
+        child_ref.ref_slot = child.ref_slot;
+        child_ref.oid = child.oid;
+        COBRA_ASSIGN_OR_RETURN(RecordId location, store->Locate(child.oid));
+        child_ref.page = location.page;
+        child_ref.depth = ref.depth + 1;
+        child_ref.shared_owner = node_shared ? ref.oid : ref.shared_owner;
+        next.push_back(child_ref);
+      }
+    }
+    level = std::move(next);
+  }
+
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (!aborted[i] && complex_roots[i] != nullptr) {
+      result.assembled.push_back(complex_roots[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace cobra

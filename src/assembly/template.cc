@@ -1,0 +1,145 @@
+#include "assembly/template.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cobra {
+
+TemplateNode* AssemblyTemplate::AddNode(std::string label) {
+  TemplateNode& node = nodes_.emplace_back();
+  node.label = std::move(label);
+  return &node;
+}
+
+namespace {
+
+// DFS colors for cycle detection.
+enum class Color { kWhite, kGray, kBlack };
+
+bool HasCycle(const TemplateNode* node,
+              std::unordered_map<const TemplateNode*, Color>* colors) {
+  (*colors)[node] = Color::kGray;
+  for (const auto& edge : node->children) {
+    if (edge.child == nullptr) continue;
+    Color c = colors->count(edge.child) ? (*colors)[edge.child]
+                                        : Color::kWhite;
+    if (c == Color::kGray) return true;
+    if (c == Color::kWhite && HasCycle(edge.child, colors)) return true;
+  }
+  (*colors)[node] = Color::kBlack;
+  return false;
+}
+
+void CollectReachable(const TemplateNode* node,
+                      std::unordered_set<const TemplateNode*>* seen) {
+  if (node == nullptr || !seen->insert(node).second) return;
+  for (const auto& edge : node->children) {
+    CollectReachable(edge.child, seen);
+  }
+}
+
+}  // namespace
+
+Status AssemblyTemplate::Validate() const {
+  if (root_ == nullptr) {
+    return Status::InvalidArgument("template has no root");
+  }
+  std::unordered_set<const TemplateNode*> owned;
+  for (const TemplateNode& node : nodes_) {
+    owned.insert(&node);
+  }
+  if (!owned.contains(root_)) {
+    return Status::InvalidArgument("root node not owned by this template");
+  }
+  std::unordered_set<const TemplateNode*> reachable;
+  CollectReachable(root_, &reachable);
+  for (const TemplateNode* node : reachable) {
+    if (!owned.contains(node)) {
+      return Status::InvalidArgument("node '" + node->label +
+                                     "' not owned by this template");
+    }
+    if (node->selectivity < 0.0 || node->selectivity > 1.0) {
+      return Status::InvalidArgument("node '" + node->label +
+                                     "' has selectivity outside [0, 1]");
+    }
+    for (const auto& edge : node->children) {
+      if (edge.child == nullptr) {
+        return Status::InvalidArgument("node '" + node->label +
+                                       "' has a null child edge");
+      }
+      if (edge.ref_slot < 0) {
+        return Status::InvalidArgument("node '" + node->label +
+                                       "' has a negative reference slot");
+      }
+    }
+  }
+  if (max_depth_ < 1) {
+    return Status::InvalidArgument("max_depth must be at least 1");
+  }
+  return Status::OK();
+}
+
+bool AssemblyTemplate::IsRecursive() const {
+  if (root_ == nullptr) return false;
+  std::unordered_map<const TemplateNode*, Color> colors;
+  return HasCycle(root_, &colors);
+}
+
+size_t AssemblyTemplate::ReachableNodeCount() const {
+  std::unordered_set<const TemplateNode*> reachable;
+  CollectReachable(root_, &reachable);
+  return reachable.size();
+}
+
+namespace {
+
+size_t CountPaths(const TemplateNode* node) {
+  size_t total = 1;
+  for (const auto& edge : node->children) {
+    total += CountPaths(edge.child);
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<size_t> AssemblyTemplate::ComponentsPerComplexObject() const {
+  if (root_ == nullptr) {
+    return Status::InvalidArgument("template has no root");
+  }
+  if (IsRecursive()) {
+    return Status::InvalidArgument(
+        "recursive template has unbounded component count");
+  }
+  return CountPaths(root_);
+}
+
+AssemblyTemplate MakeBinaryTreeTemplate(int levels,
+                                        std::vector<TemplateNode*>* nodes_out) {
+  AssemblyTemplate tmpl;
+  size_t node_count = (size_t{1} << levels) - 1;
+  std::vector<TemplateNode*> nodes(node_count);
+  for (size_t i = 0; i < node_count; ++i) {
+    // Breadth-first labels A, B, C, ... like the paper's Figure 4.
+    std::string label(1, static_cast<char>('A' + (i % 26)));
+    nodes[i] = tmpl.AddNode(label);
+    nodes[i]->expected_type = static_cast<TypeId>(i + 1);
+  }
+  for (size_t i = 0; i < node_count; ++i) {
+    size_t left = 2 * i + 1;
+    size_t right = 2 * i + 2;
+    if (left < node_count) {
+      nodes[i]->children.push_back({0, nodes[left]});
+    }
+    if (right < node_count) {
+      nodes[i]->children.push_back({1, nodes[right]});
+    }
+  }
+  tmpl.SetRoot(nodes[0]);
+  if (nodes_out != nullptr) {
+    *nodes_out = nodes;
+  }
+  return tmpl;
+}
+
+}  // namespace cobra

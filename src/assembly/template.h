@@ -1,0 +1,121 @@
+// Assembly templates (paper §5).
+//
+// A template tells the assembly operator which portion of a complex object
+// to materialize: a tree (or DAG, or — following Batory's observation the
+// paper cites — a *recursive* structure) of nodes, each describing one
+// component.  Each node says which reference fields of its parent lead to
+// it, and is annotated with the statistical information the paper lists:
+//
+//   * a predicate plus its estimated selectivity, used both for selective
+//     assembly (abort on failure, §6.5) and for fetch ordering (fetch the
+//     component with the highest rejection probability first, §5);
+//   * a sharing annotation ("the template ... indicates borders of shared
+//     components"), which switches on the resident-component map and keeps
+//     shared sub-objects pinned while referenced (§6.4).
+//
+// Template nodes are owned by the AssemblyTemplate; plans hold const
+// pointers into it.
+
+#ifndef COBRA_ASSEMBLY_TEMPLATE_H_
+#define COBRA_ASSEMBLY_TEMPLATE_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "object/object.h"
+#include "object/oid.h"
+
+namespace cobra {
+
+// Evaluated against the raw storage object as soon as it is fetched, so a
+// failing complex object is abandoned with as little work as possible.
+using NodePredicate = std::function<bool(const ObjectData&)>;
+
+struct TemplateNode {
+  // Name used in diagnostics ("Person", "B", ...).
+  std::string label;
+
+  // Type the fetched object must have; kAnyTypeId disables the check.
+  TypeId expected_type = kAnyTypeId;
+
+  // child = template node assembled from the OID in reference field
+  // `ref_slot` of this object.
+  struct ChildEdge {
+    int ref_slot = 0;
+    const TemplateNode* child = nullptr;
+  };
+  std::vector<ChildEdge> children;
+
+  // Selective assembly: objects failing the predicate abort their complex
+  // object.  `selectivity` is the estimated pass fraction in [0, 1]; the
+  // rejection probability (1 - selectivity) drives fetch ordering.
+  NodePredicate predicate;
+  double selectivity = 1.0;
+
+  // Sharing statistics: true if instances of this component may be shared
+  // between complex objects.  sharing_degree is the paper's shared/sharing
+  // ratio (e.g. 100 objects sharing 5 sub-objects = 0.05); informational.
+  bool shared = false;
+  double sharing_degree = 0.0;
+
+  double rejection_probability() const { return 1.0 - selectivity; }
+};
+
+class AssemblyTemplate {
+ public:
+  AssemblyTemplate() = default;
+  // Node pointers must remain stable; forbid copies.
+  AssemblyTemplate(const AssemblyTemplate&) = delete;
+  AssemblyTemplate& operator=(const AssemblyTemplate&) = delete;
+  AssemblyTemplate(AssemblyTemplate&&) = default;
+  AssemblyTemplate& operator=(AssemblyTemplate&&) = default;
+
+  // Creates a node owned by this template.
+  TemplateNode* AddNode(std::string label = "");
+
+  void SetRoot(const TemplateNode* root) { root_ = root; }
+  const TemplateNode* root() const { return root_; }
+
+  // Maximum assembly depth.  Only consulted for recursive templates (a
+  // template with a cycle assembles each path down to this depth and
+  // truncates below it); acyclic templates are never truncated.
+  int max_depth() const { return max_depth_; }
+  void set_max_depth(int depth) { max_depth_ = depth; }
+
+  // Checks: root set and owned by this template, every edge's child owned,
+  // ref_slot non-negative, selectivity within [0, 1].
+  Status Validate() const;
+
+  // True if the node graph contains a cycle (a recursive template).
+  bool IsRecursive() const;
+
+  // Distinct template nodes reachable from the root.
+  size_t ReachableNodeCount() const;
+
+  // For acyclic templates: number of component objects one fully assembled
+  // complex object has, counting a node once per distinct path (sharing
+  // reduces *instances*, not template positions).  InvalidArgument for
+  // recursive templates, where the count is unbounded.
+  Result<size_t> ComponentsPerComplexObject() const;
+
+ private:
+  std::deque<TemplateNode> nodes_;
+  const TemplateNode* root_ = nullptr;
+  int max_depth_ = 32;
+};
+
+// Builds the paper's benchmark template: a complete binary tree of `levels`
+// levels (3 levels = 7 components, §6), all nodes of distinct types
+// 1..2^levels-1 in breadth-first order, children on reference slots 0 and 1.
+// When `nodes_out` is non-null it receives the nodes in BFS order so callers
+// can attach predicates / sharing annotations to specific positions.
+AssemblyTemplate MakeBinaryTreeTemplate(
+    int levels, std::vector<TemplateNode*>* nodes_out = nullptr);
+
+}  // namespace cobra
+
+#endif  // COBRA_ASSEMBLY_TEMPLATE_H_

@@ -1,0 +1,191 @@
+#include "buffer/buffer_manager.h"
+
+#include <cstring>
+
+namespace cobra {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.manager_ = nullptr;
+    other.page_id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+std::span<std::byte> PageGuard::data() {
+  auto& frame = manager_->frames_[frame_];
+  return std::span<std::byte>(frame.data.data(), frame.data.size());
+}
+
+std::span<const std::byte> PageGuard::data() const {
+  const auto& frame = manager_->frames_[frame_];
+  return std::span<const std::byte>(frame.data.data(), frame.data.size());
+}
+
+void PageGuard::MarkDirty() { manager_->frames_[frame_].dirty = true; }
+
+void PageGuard::Release() {
+  if (manager_ != nullptr) {
+    manager_->Unpin(frame_);
+    manager_ = nullptr;
+    page_id_ = kInvalidPageId;
+  }
+}
+
+BufferManager::BufferManager(SimulatedDisk* disk, BufferOptions options)
+    : disk_(disk),
+      options_(options),
+      policy_(MakeReplacementPolicy(options.replacement, options.num_frames)) {
+  frames_.resize(options_.num_frames);
+  free_list_.reserve(options_.num_frames);
+  for (size_t i = options_.num_frames; i > 0; --i) {
+    free_list_.push_back(i - 1);
+  }
+}
+
+BufferManager::~BufferManager() {
+  // Best effort: persist dirty pages so a test that rebuilds a manager over
+  // the same disk sees its data.
+  (void)FlushAll();
+}
+
+void BufferManager::NotePin(Frame* frame) {
+  if (frame->pin_count == 0) {
+    ++pinned_frames_;
+    if (pinned_frames_ > stats_.max_pinned) {
+      stats_.max_pinned = pinned_frames_;
+    }
+  }
+  ++frame->pin_count;
+}
+
+void BufferManager::Unpin(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  --frame.pin_count;
+  if (frame.pin_count == 0) {
+    --pinned_frames_;
+  }
+}
+
+Status BufferManager::WriteBack(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  if (frame.dirty) {
+    COBRA_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.data()));
+    frame.dirty = false;
+    stats_.dirty_writebacks++;
+  }
+  return Status::OK();
+}
+
+Result<size_t> BufferManager::ObtainFrame() {
+  if (!free_list_.empty()) {
+    size_t frame = free_list_.back();
+    free_list_.pop_back();
+    return frame;
+  }
+  std::optional<size_t> victim = policy_->Victim(
+      [this](size_t f) { return frames_[f].pin_count == 0; });
+  if (!victim.has_value()) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  size_t frame_index = *victim;
+  COBRA_RETURN_IF_ERROR(WriteBack(frame_index));
+  Frame& frame = frames_[frame_index];
+  page_table_.erase(frame.page_id);
+  policy_->Remove(frame_index);
+  frame.valid = false;
+  frame.page_id = kInvalidPageId;
+  stats_.evictions++;
+  return frame_index;
+}
+
+Result<PageGuard> BufferManager::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    stats_.hits++;
+    size_t frame_index = it->second;
+    policy_->RecordAccess(frame_index);
+    NotePin(&frames_[frame_index]);
+    return PageGuard(this, frame_index, id);
+  }
+  COBRA_ASSIGN_OR_RETURN(size_t frame_index, ObtainFrame());
+  Frame& frame = frames_[frame_index];
+  frame.data.resize(disk_->page_size());
+  Status read = disk_->ReadPage(id, frame.data.data());
+  if (!read.ok()) {
+    free_list_.push_back(frame_index);
+    return read;
+  }
+  stats_.faults++;
+  faulted_pages_.insert(id);
+  frame.page_id = id;
+  frame.valid = true;
+  frame.dirty = false;
+  frame.pin_count = 0;
+  page_table_[id] = frame_index;
+  policy_->RecordAccess(frame_index);
+  NotePin(&frame);
+  return PageGuard(this, frame_index, id);
+}
+
+Result<PageGuard> BufferManager::CreatePage(PageId id) {
+  if (page_table_.contains(id) || disk_->Exists(id)) {
+    return Status::AlreadyExists("page " + std::to_string(id) +
+                                 " already exists");
+  }
+  if (id == kInvalidPageId) {
+    return Status::InvalidArgument("cannot create the invalid page id");
+  }
+  COBRA_ASSIGN_OR_RETURN(size_t frame_index, ObtainFrame());
+  Frame& frame = frames_[frame_index];
+  frame.data.assign(disk_->page_size(), std::byte{0});
+  frame.page_id = id;
+  frame.valid = true;
+  frame.dirty = true;
+  frame.pin_count = 0;
+  page_table_[id] = frame_index;
+  policy_->RecordAccess(frame_index);
+  NotePin(&frame);
+  return PageGuard(this, frame_index, id);
+}
+
+Status BufferManager::FlushPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("page not resident");
+  }
+  return WriteBack(it->second);
+}
+
+Status BufferManager::FlushAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].valid) {
+      COBRA_RETURN_IF_ERROR(WriteBack(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferManager::DropAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (!frame.valid) continue;
+    if (frame.pin_count > 0) {
+      return Status::ResourceExhausted("cannot drop pinned page " +
+                                       std::to_string(frame.page_id));
+    }
+    COBRA_RETURN_IF_ERROR(WriteBack(i));
+    page_table_.erase(frame.page_id);
+    policy_->Remove(i);
+    frame.valid = false;
+    frame.page_id = kInvalidPageId;
+    free_list_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace cobra

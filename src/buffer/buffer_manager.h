@@ -1,0 +1,155 @@
+// BufferManager: fixed pool of page frames between the engine and the disk.
+//
+// Mirrors the Volcano/WiSS design the paper builds on: a page table, pin
+// counts, write-back of dirty victims, and pluggable replacement.  The paper
+// notes (§4, footnote 4) that even buffer *hits* are not free; we therefore
+// count hits and faults separately so experiments can report both.
+//
+// Pins are expressed as RAII PageGuards: holding a guard keeps the frame
+// resident; dropping it makes the frame evictable again.
+
+#ifndef COBRA_BUFFER_BUFFER_MANAGER_H_
+#define COBRA_BUFFER_BUFFER_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "buffer/replacement.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+struct BufferOptions {
+  size_t num_frames = 1024;
+  ReplacementKind replacement = ReplacementKind::kLru;
+};
+
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t faults = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+  // High-water mark of simultaneously pinned frames.
+  size_t max_pinned = 0;
+
+  uint64_t requests() const { return hits + faults; }
+  double HitRate() const {
+    uint64_t r = requests();
+    return r == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(r);
+  }
+};
+
+class BufferManager;
+
+// RAII pin on a buffer frame.  Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return manager_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  std::span<std::byte> data();
+  std::span<const std::byte> data() const;
+
+  // Marks the page dirty so eviction writes it back.
+  void MarkDirty();
+
+  // Drops the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageGuard(BufferManager* manager, size_t frame, PageId page_id)
+      : manager_(manager), frame_(frame), page_id_(page_id) {}
+
+  BufferManager* manager_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+};
+
+class BufferManager {
+ public:
+  BufferManager(SimulatedDisk* disk, BufferOptions options = {});
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+  ~BufferManager();
+
+  // Returns a pinned guard on `id`, reading it from disk on a fault.
+  // Fails with ResourceExhausted when every frame is pinned.
+  Result<PageGuard> FetchPage(PageId id);
+
+  // Allocates `id` as a fresh zero-filled dirty page without a disk read.
+  // Fails with AlreadyExists if the page is resident or on disk.
+  Result<PageGuard> CreatePage(PageId id);
+
+  // Writes back one dirty page / all dirty pages.
+  Status FlushPage(PageId id);
+  Status FlushAll();
+
+  // Flushes and evicts every unpinned page, leaving the pool cold.  Fails
+  // with ResourceExhausted if any page is still pinned.
+  Status DropAll();
+
+  // True if the page currently occupies a frame (no I/O performed).
+  bool IsResident(PageId id) const { return page_table_.contains(id); }
+
+  size_t num_frames() const { return options_.num_frames; }
+  size_t pinned_frames() const { return pinned_frames_; }
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats(); }
+
+  // Distinct pages ever faulted in since the last ResetFetchTrace(); the
+  // difference (faults - unique) counts *re-reads*, the §7 buffer-pressure
+  // metric.
+  size_t unique_pages_faulted() const { return faulted_pages_.size(); }
+  void ResetFetchTrace() { faulted_pages_.clear(); }
+
+  SimulatedDisk* disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::vector<std::byte> data;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;
+  };
+
+  void Unpin(size_t frame);
+  // Finds a frame to fill: free-list first, then a replacement victim
+  // (writing it back if dirty).
+  Result<size_t> ObtainFrame();
+  Status WriteBack(size_t frame);
+  void NotePin(Frame* frame);
+
+  SimulatedDisk* disk_;
+  BufferOptions options_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_list_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::unordered_set<PageId> faulted_pages_;
+  size_t pinned_frames_ = 0;
+  BufferStats stats_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_BUFFER_BUFFER_MANAGER_H_

@@ -1,0 +1,75 @@
+#include "buffer/replacement.h"
+
+namespace cobra {
+
+void LruPolicy::RecordAccess(size_t frame) {
+  auto it = position_.find(frame);
+  if (it != position_.end()) {
+    order_.erase(it->second);
+  }
+  order_.push_back(frame);
+  position_[frame] = std::prev(order_.end());
+}
+
+std::optional<size_t> LruPolicy::Victim(
+    const std::function<bool(size_t)>& evictable) {
+  for (size_t frame : order_) {
+    if (evictable(frame)) {
+      return frame;
+    }
+  }
+  return std::nullopt;
+}
+
+void LruPolicy::Remove(size_t frame) {
+  auto it = position_.find(frame);
+  if (it != position_.end()) {
+    order_.erase(it->second);
+    position_.erase(it);
+  }
+}
+
+ClockPolicy::ClockPolicy(size_t num_frames)
+    : referenced_(num_frames, false), tracked_(num_frames, false) {}
+
+void ClockPolicy::RecordAccess(size_t frame) {
+  referenced_[frame] = true;
+  tracked_[frame] = true;
+}
+
+std::optional<size_t> ClockPolicy::Victim(
+    const std::function<bool(size_t)>& evictable) {
+  const size_t n = referenced_.size();
+  if (n == 0) return std::nullopt;
+  // Two full sweeps suffice: the first clears reference bits, the second
+  // must find any evictable frame.
+  for (size_t step = 0; step < 2 * n; ++step) {
+    size_t frame = hand_;
+    hand_ = (hand_ + 1) % n;
+    if (!tracked_[frame] || !evictable(frame)) continue;
+    if (referenced_[frame]) {
+      referenced_[frame] = false;  // second chance
+    } else {
+      return frame;
+    }
+  }
+  return std::nullopt;
+}
+
+void ClockPolicy::Remove(size_t frame) {
+  referenced_[frame] = false;
+  tracked_[frame] = false;
+}
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(ReplacementKind kind,
+                                                         size_t num_frames) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case ReplacementKind::kClock:
+      return std::make_unique<ClockPolicy>(num_frames);
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+}  // namespace cobra

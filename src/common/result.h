@@ -1,0 +1,91 @@
+// Result<T>: a value-or-Status return type (the absl::StatusOr shape).
+//
+// Fallible functions that produce a value return Result<T>; the caller either
+// checks ok() and reads value(), or uses COBRA_ASSIGN_OR_RETURN to propagate
+// errors.  Accessing value() on an error Result aborts — errors must be
+// checked, never silently consumed.
+
+#ifndef COBRA_COMMON_RESULT_H_
+#define COBRA_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cobra {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions from T and Status make `return value;` and
+  // `return Status::NotFound(...);` both work, mirroring absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // An OK status without a value is a programming error.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      // Accessing the value of an error Result is a contract violation.
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `expr` (a Result<T>), propagates the error, or assigns the value:
+//   COBRA_ASSIGN_OR_RETURN(auto page, buffer.FetchPage(id));
+#define COBRA_ASSIGN_OR_RETURN(lhs, expr)                       \
+  COBRA_ASSIGN_OR_RETURN_IMPL_(                                 \
+      COBRA_RESULT_CONCAT_(cobra_result_tmp_, __LINE__), lhs, expr)
+
+#define COBRA_RESULT_CONCAT_INNER_(a, b) a##b
+#define COBRA_RESULT_CONCAT_(a, b) COBRA_RESULT_CONCAT_INNER_(a, b)
+
+#define COBRA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace cobra
+
+#endif  // COBRA_COMMON_RESULT_H_

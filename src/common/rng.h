@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generator.
+//
+// Every experiment in the paper reproduction must be exactly repeatable from
+// a seed, so all randomness (object placement, reference wiring, predicate
+// field values) flows through this splitmix64/xoshiro256** generator rather
+// than std::mt19937 (whose distributions are not specified bit-exactly across
+// standard library implementations).
+
+#ifndef COBRA_COMMON_RNG_H_
+#define COBRA_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cobra {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound).  bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // A random permutation of [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+  // Derives an independent generator; useful for giving each workload
+  // component its own stream so adding randomness in one place does not
+  // perturb another.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_COMMON_RNG_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace cobra {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  if (message_ && !message_->empty()) {
+    out += ": ";
+    out += *message_;
+  }
+  return out;
+}
+
+}  // namespace cobra

@@ -1,0 +1,128 @@
+// Status: the error model used throughout COBRA.
+//
+// Database engines avoid exceptions on hot paths; every fallible operation
+// returns a Status (or a Result<T>, see common/result.h).  The design follows
+// the familiar LevelDB/RocksDB/absl shape: a small value type carrying a code
+// and an optional message, cheap to return by value in the OK case.
+
+#ifndef COBRA_COMMON_STATUS_H_
+#define COBRA_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cobra {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kOutOfRange = 3,
+  kCorruption = 4,
+  kResourceExhausted = 5,
+  kAlreadyExists = 6,
+  kNotSupported = 7,
+  kInternal = 8,
+};
+
+// Human-readable name of a status code ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.  The OK state stores no heap data, so
+  // returning Status::OK() is as cheap as returning an int.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code),
+        message_(message.empty() ? nullptr
+                                 : std::make_unique<std::string>(
+                                       std::move(message))) {}
+
+  Status(const Status& other)
+      : code_(other.code_),
+        message_(other.message_
+                     ? std::make_unique<std::string>(*other.message_)
+                     : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      code_ = other.code_;
+      message_ = other.message_
+                     ? std::make_unique<std::string>(*other.message_)
+                     : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  std::string_view message() const {
+    return message_ ? std::string_view(*message_) : std::string_view();
+  }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::unique_ptr<std::string> message_;
+};
+
+// Propagates a non-OK Status to the caller.  Usage:
+//   COBRA_RETURN_IF_ERROR(file.Read(...));
+#define COBRA_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::cobra::Status cobra_status_tmp_ = (expr);     \
+    if (!cobra_status_tmp_.ok()) {                  \
+      return cobra_status_tmp_;                     \
+    }                                               \
+  } while (false)
+
+}  // namespace cobra
+
+#endif  // COBRA_COMMON_STATUS_H_

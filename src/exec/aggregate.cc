@@ -1,0 +1,149 @@
+#include "exec/aggregate.h"
+
+#include <cmath>
+
+namespace cobra::exec {
+
+Status HashAggregate::Accumulate(const Row& row, GroupState* group) {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    const AggSpec& spec = aggs_[a];
+    GroupState::Acc& acc = group->accs[a];
+    if (spec.input == nullptr) {
+      if (spec.fn != AggFn::kCount) {
+        return Status::InvalidArgument(
+            "aggregate without input must be COUNT(*)");
+      }
+      acc.count++;
+      continue;
+    }
+    COBRA_ASSIGN_OR_RETURN(Value v, spec.input->Eval(row));
+    if (v.is_null()) continue;  // SQL semantics: nulls ignored
+    acc.count++;
+    switch (spec.fn) {
+      case AggFn::kCount:
+        break;
+      case AggFn::kSum:
+      case AggFn::kAvg: {
+        COBRA_ASSIGN_OR_RETURN(double number, v.ToNumber());
+        acc.sum += number;
+        acc.all_int = acc.all_int && v.kind() == ValueKind::kInt;
+        break;
+      }
+      case AggFn::kMin:
+      case AggFn::kMax: {
+        if (acc.extreme.is_null()) {
+          acc.extreme = v;
+        } else {
+          COBRA_ASSIGN_OR_RETURN(int cmp, v.Compare(acc.extreme));
+          bool take = spec.fn == AggFn::kMin ? cmp < 0 : cmp > 0;
+          if (take) acc.extreme = v;
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Row> HashAggregate::Finalize(const GroupState& group) const {
+  Row out = group.key;
+  out.reserve(group.key.size() + aggs_.size());
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    const GroupState::Acc& acc = group.accs[a];
+    switch (aggs_[a].fn) {
+      case AggFn::kCount:
+        out.push_back(Value::Int(static_cast<int64_t>(acc.count)));
+        break;
+      case AggFn::kSum:
+        if (acc.count == 0) {
+          out.push_back(Value::Null());
+        } else if (acc.all_int) {
+          out.push_back(Value::Int(static_cast<int64_t>(acc.sum)));
+        } else {
+          out.push_back(Value::Double(acc.sum));
+        }
+        break;
+      case AggFn::kAvg:
+        out.push_back(acc.count == 0
+                          ? Value::Null()
+                          : Value::Double(acc.sum /
+                                          static_cast<double>(acc.count)));
+        break;
+      case AggFn::kMin:
+      case AggFn::kMax:
+        out.push_back(acc.extreme);
+        break;
+    }
+  }
+  return out;
+}
+
+Status HashAggregate::Open() {
+  COBRA_RETURN_IF_ERROR(child_->Open());
+  groups_.clear();
+  position_ = 0;
+
+  // Hash index over groups_ (indices, to keep GroupState stable).
+  std::unordered_multimap<size_t, size_t> index;
+  Row row;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    std::vector<Value> key;
+    key.reserve(group_by_.size());
+    size_t hash = 0x811c9dc5;
+    for (const ExprPtr& expr : group_by_) {
+      COBRA_ASSIGN_OR_RETURN(Value v, expr->Eval(row));
+      hash = hash * 16777619 + v.Hash();
+      key.push_back(std::move(v));
+    }
+    GroupState* group = nullptr;
+    auto [begin, end] = index.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      GroupState& candidate = groups_[it->second];
+      bool equal = candidate.key.size() == key.size();
+      for (size_t i = 0; equal && i < key.size(); ++i) {
+        // Group keys match by sort-equality so that null groups merge.
+        auto cmp = candidate.key[i].Compare(key[i]);
+        equal = cmp.ok() && *cmp == 0;
+      }
+      if (equal) {
+        group = &candidate;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      GroupState fresh;
+      fresh.key = std::move(key);
+      fresh.accs.resize(aggs_.size());
+      groups_.push_back(std::move(fresh));
+      index.emplace(hash, groups_.size() - 1);
+      group = &groups_.back();
+    }
+    COBRA_RETURN_IF_ERROR(Accumulate(row, group));
+  }
+  COBRA_RETURN_IF_ERROR(child_->Close());
+
+  // Global aggregation over empty input still yields one (empty-key) group.
+  if (group_by_.empty() && groups_.empty()) {
+    GroupState global;
+    global.accs.resize(aggs_.size());
+    groups_.push_back(std::move(global));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregate::Next(Row* out) {
+  if (position_ >= groups_.size()) return false;
+  COBRA_ASSIGN_OR_RETURN(Row row, Finalize(groups_[position_]));
+  ++position_;
+  *out = std::move(row);
+  return true;
+}
+
+Status HashAggregate::Close() {
+  groups_.clear();
+  return Status::OK();
+}
+
+}  // namespace cobra::exec

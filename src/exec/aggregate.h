@@ -1,0 +1,67 @@
+// HashAggregate: grouped aggregation (COUNT / SUM / MIN / MAX / AVG).
+//
+// A materializing operator: Open() drains the child into a hash table keyed
+// by the group-by expression values, then Next() streams one row per group:
+// the group key values followed by one value per aggregate.
+
+#ifndef COBRA_EXEC_AGGREGATE_H_
+#define COBRA_EXEC_AGGREGATE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/iterator.h"
+
+namespace cobra::exec {
+
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  // Input expression; null means COUNT(*) (valid only with kCount).
+  ExprPtr input;
+};
+
+class HashAggregate : public Iterator {
+ public:
+  // With empty `group_by` produces exactly one row (global aggregation),
+  // even over an empty input.
+  HashAggregate(std::unique_ptr<Iterator> child, std::vector<ExprPtr> group_by,
+                std::vector<AggSpec> aggs)
+      : child_(std::move(child)),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+
+ private:
+  struct GroupState {
+    std::vector<Value> key;
+    // Per aggregate: running count and numeric accumulator (min/max kept in
+    // `value` as a Value for type fidelity).
+    struct Acc {
+      uint64_t count = 0;
+      double sum = 0;
+      bool all_int = true;
+      Value extreme;  // running min or max
+    };
+    std::vector<Acc> accs;
+  };
+
+  Status Accumulate(const Row& row, GroupState* group);
+  Result<Row> Finalize(const GroupState& group) const;
+
+  std::unique_ptr<Iterator> child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggSpec> aggs_;
+  std::vector<GroupState> groups_;
+  size_t position_ = 0;
+};
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_AGGREGATE_H_

@@ -1,0 +1,47 @@
+#include "exec/distinct.h"
+
+namespace cobra::exec {
+namespace {
+
+size_t HashRow(const Row& row) {
+  size_t hash = 0x811c9dc5;
+  for (const Value& value : row) {
+    hash = hash * 16777619 + value.Hash();
+  }
+  return hash;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto cmp = a[i].Compare(b[i]);
+    if (!cmp.ok() || *cmp != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> Distinct::Next(Row* out) {
+  Row row;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) return false;
+    size_t hash = HashRow(row);
+    bool duplicate = false;
+    auto [begin, end] = seen_.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      if (RowsEqual(kept_[it->second], row)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    kept_.push_back(row);
+    seen_.emplace(hash, kept_.size() - 1);
+    *out = std::move(row);
+    return true;
+  }
+}
+
+}  // namespace cobra::exec

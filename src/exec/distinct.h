@@ -1,0 +1,45 @@
+// Distinct: drops duplicate rows (hash-based, streaming).
+//
+// Rows compare by per-column sort-equality (nulls equal nulls), the same
+// convention HashAggregate uses for group keys.
+
+#ifndef COBRA_EXEC_DISTINCT_H_
+#define COBRA_EXEC_DISTINCT_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/iterator.h"
+
+namespace cobra::exec {
+
+class Distinct : public Iterator {
+ public:
+  explicit Distinct(std::unique_ptr<Iterator> child)
+      : child_(std::move(child)) {}
+
+  Status Open() override {
+    seen_.clear();
+    kept_.clear();
+    return child_->Open();
+  }
+
+  Result<bool> Next(Row* out) override;
+
+  Status Close() override {
+    seen_.clear();
+    kept_.clear();
+    return child_->Close();
+  }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  // Hash -> indices into kept_ (collision chain).
+  std::unordered_multimap<size_t, size_t> seen_;
+  std::vector<Row> kept_;
+};
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_DISTINCT_H_

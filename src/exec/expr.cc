@@ -1,0 +1,282 @@
+#include "exec/expr.h"
+
+#include <cmath>
+
+namespace cobra::exec {
+namespace {
+
+class ColExpr : public Expr {
+ public:
+  explicit ColExpr(size_t index) : index_(index) {}
+  Result<Value> Eval(const Row& row) const override {
+    if (index_ >= row.size()) {
+      return Status::OutOfRange("column " + std::to_string(index_) +
+                                " beyond row of width " +
+                                std::to_string(row.size()));
+    }
+    return row[index_];
+  }
+
+ private:
+  size_t index_;
+};
+
+class LitExpr : public Expr {
+ public:
+  explicit LitExpr(Value value) : value_(std::move(value)) {}
+  Result<Value> Eval(const Row&) const override { return value_; }
+
+ private:
+  Value value_;
+};
+
+class CmpExpr : public Expr {
+ public:
+  CmpExpr(CmpOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Result<Value> Eval(const Row& row) const override {
+    COBRA_ASSIGN_OR_RETURN(Value lhs, left_->Eval(row));
+    COBRA_ASSIGN_OR_RETURN(Value rhs, right_->Eval(row));
+    if (lhs.is_null() || rhs.is_null()) {
+      return Value::Null();  // SQL-style: comparisons with null are unknown
+    }
+    COBRA_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+    bool result = false;
+    switch (op_) {
+      case CmpOp::kEq:
+        result = cmp == 0;
+        break;
+      case CmpOp::kNe:
+        result = cmp != 0;
+        break;
+      case CmpOp::kLt:
+        result = cmp < 0;
+        break;
+      case CmpOp::kLe:
+        result = cmp <= 0;
+        break;
+      case CmpOp::kGt:
+        result = cmp > 0;
+        break;
+      case CmpOp::kGe:
+        result = cmp >= 0;
+        break;
+    }
+    return Value::Int(result ? 1 : 0);
+  }
+
+ private:
+  CmpOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Result<Value> Eval(const Row& row) const override {
+    COBRA_ASSIGN_OR_RETURN(Value lhs, left_->Eval(row));
+    COBRA_ASSIGN_OR_RETURN(Value rhs, right_->Eval(row));
+    if (lhs.kind() == ValueKind::kInt && rhs.kind() == ValueKind::kInt) {
+      int64_t a = lhs.AsInt();
+      int64_t b = rhs.AsInt();
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Value::Int(a + b);
+        case ArithOp::kSub:
+          return Value::Int(a - b);
+        case ArithOp::kMul:
+          return Value::Int(a * b);
+        case ArithOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          return Value::Int(a / b);
+        case ArithOp::kMod:
+          if (b == 0) return Status::InvalidArgument("modulo by zero");
+          return Value::Int(a % b);
+      }
+    }
+    COBRA_ASSIGN_OR_RETURN(double a, lhs.ToNumber());
+    COBRA_ASSIGN_OR_RETURN(double b, rhs.ToNumber());
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Double(a + b);
+      case ArithOp::kSub:
+        return Value::Double(a - b);
+      case ArithOp::kMul:
+        return Value::Double(a * b);
+      case ArithOp::kDiv:
+        if (b == 0.0) return Status::InvalidArgument("division by zero");
+        return Value::Double(a / b);
+      case ArithOp::kMod:
+        if (b == 0.0) return Status::InvalidArgument("modulo by zero");
+        return Value::Double(std::fmod(a, b));
+    }
+    return Status::Internal("unreachable arithmetic op");
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+enum class BoolOp { kAnd, kOr };
+
+class BoolExpr : public Expr {
+ public:
+  BoolExpr(BoolOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Result<Value> Eval(const Row& row) const override {
+    COBRA_ASSIGN_OR_RETURN(bool lhs, EvalPredicate(*left_, row));
+    if (op_ == BoolOp::kAnd && !lhs) return Value::Int(0);
+    if (op_ == BoolOp::kOr && lhs) return Value::Int(1);
+    COBRA_ASSIGN_OR_RETURN(bool rhs, EvalPredicate(*right_, row));
+    return Value::Int(rhs ? 1 : 0);
+  }
+
+ private:
+  BoolOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  Result<Value> Eval(const Row& row) const override {
+    COBRA_ASSIGN_OR_RETURN(bool v, EvalPredicate(*operand_, row));
+    return Value::Int(v ? 0 : 1);
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class ObjFieldExpr : public Expr {
+ public:
+  ObjFieldExpr(ExprPtr object, size_t field_index)
+      : object_(std::move(object)), field_index_(field_index) {}
+  Result<Value> Eval(const Row& row) const override {
+    COBRA_ASSIGN_OR_RETURN(Value obj_value, object_->Eval(row));
+    if (obj_value.is_null()) return Value::Null();  // null propagates
+    if (obj_value.kind() != ValueKind::kObject) {
+      return Status::InvalidArgument("ObjField applied to " +
+                                     obj_value.ToString());
+    }
+    const AssembledObject* obj = obj_value.AsObject();
+    if (obj == nullptr) return Value::Null();
+    if (field_index_ >= obj->fields.size()) {
+      return Status::OutOfRange("object has no field " +
+                                std::to_string(field_index_));
+    }
+    return Value::Int(obj->fields[field_index_]);
+  }
+
+ private:
+  ExprPtr object_;
+  size_t field_index_;
+};
+
+class ObjChildExpr : public Expr {
+ public:
+  ObjChildExpr(ExprPtr object, size_t child_index)
+      : object_(std::move(object)), child_index_(child_index) {}
+  Result<Value> Eval(const Row& row) const override {
+    COBRA_ASSIGN_OR_RETURN(Value obj_value, object_->Eval(row));
+    if (obj_value.is_null()) return Value::Null();  // null propagates
+    if (obj_value.kind() != ValueKind::kObject) {
+      return Status::InvalidArgument("ObjChild applied to " +
+                                     obj_value.ToString());
+    }
+    const AssembledObject* obj = obj_value.AsObject();
+    if (obj == nullptr) return Value::Null();
+    if (child_index_ >= obj->children.size()) {
+      return Status::OutOfRange("object has no child " +
+                                std::to_string(child_index_));
+    }
+    AssembledObject* child = obj->children[child_index_];
+    return child == nullptr ? Value::Null() : Value::Obj(child);
+  }
+
+ private:
+  ExprPtr object_;
+  size_t child_index_;
+};
+
+class AsRefExpr : public Expr {
+ public:
+  explicit AsRefExpr(ExprPtr operand) : operand_(std::move(operand)) {}
+  Result<Value> Eval(const Row& row) const override {
+    COBRA_ASSIGN_OR_RETURN(Value v, operand_->Eval(row));
+    if (v.is_null()) return Value::Null();
+    if (v.kind() == ValueKind::kOid) return v;
+    if (v.kind() != ValueKind::kInt || v.AsInt() < 0) {
+      return Status::InvalidArgument("cannot interpret " + v.ToString() +
+                                     " as an OID");
+    }
+    return Value::Ref(static_cast<Oid>(v.AsInt()));
+  }
+
+ private:
+  ExprPtr operand_;
+};
+
+class FnExpr : public Expr {
+ public:
+  explicit FnExpr(std::function<Result<Value>(const Row&)> fn)
+      : fn_(std::move(fn)) {}
+  Result<Value> Eval(const Row& row) const override { return fn_(row); }
+
+ private:
+  std::function<Result<Value>(const Row&)> fn_;
+};
+
+}  // namespace
+
+ExprPtr Col(size_t index) { return std::make_unique<ColExpr>(index); }
+ExprPtr Lit(Value value) { return std::make_unique<LitExpr>(std::move(value)); }
+ExprPtr LitInt(int64_t value) {
+  return std::make_unique<LitExpr>(Value::Int(value));
+}
+ExprPtr Cmp(CmpOp op, ExprPtr left, ExprPtr right) {
+  return std::make_unique<CmpExpr>(op, std::move(left), std::move(right));
+}
+ExprPtr Arith(ArithOp op, ExprPtr left, ExprPtr right) {
+  return std::make_unique<ArithExpr>(op, std::move(left), std::move(right));
+}
+ExprPtr And(ExprPtr left, ExprPtr right) {
+  return std::make_unique<BoolExpr>(BoolOp::kAnd, std::move(left),
+                                    std::move(right));
+}
+ExprPtr Or(ExprPtr left, ExprPtr right) {
+  return std::make_unique<BoolExpr>(BoolOp::kOr, std::move(left),
+                                    std::move(right));
+}
+ExprPtr Not(ExprPtr operand) {
+  return std::make_unique<NotExpr>(std::move(operand));
+}
+ExprPtr ObjField(ExprPtr object, size_t field_index) {
+  return std::make_unique<ObjFieldExpr>(std::move(object), field_index);
+}
+ExprPtr ObjChild(ExprPtr object, size_t child_index) {
+  return std::make_unique<ObjChildExpr>(std::move(object), child_index);
+}
+ExprPtr AsRef(ExprPtr operand) {
+  return std::make_unique<AsRefExpr>(std::move(operand));
+}
+ExprPtr Fn(std::function<Result<Value>(const Row&)> fn) {
+  return std::make_unique<FnExpr>(std::move(fn));
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const Row& row) {
+  COBRA_ASSIGN_OR_RETURN(Value v, expr.Eval(row));
+  if (v.is_null()) return false;
+  if (v.kind() != ValueKind::kInt) {
+    return Status::InvalidArgument("predicate evaluated to non-boolean " +
+                                   v.ToString());
+  }
+  return v.AsInt() != 0;
+}
+
+}  // namespace cobra::exec

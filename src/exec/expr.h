@@ -1,0 +1,75 @@
+// Expressions evaluated against rows.
+//
+// A small interpreted expression tree: column references, literals,
+// comparisons, arithmetic, boolean connectives, field access into swizzled
+// objects, and an escape hatch for arbitrary predicates (the paper
+// anticipates "computations that are not algebraically expressible", §4,
+// e.g. the latitude/longitude distance in lives-close-to-father).
+//
+// Booleans are represented as kInt 0/1.
+
+#ifndef COBRA_EXEC_EXPR_H_
+#define COBRA_EXEC_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/value.h"
+
+namespace cobra::exec {
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual Result<Value> Eval(const Row& row) const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+
+// Column `index` of the row.
+ExprPtr Col(size_t index);
+
+// Constant.
+ExprPtr Lit(Value value);
+ExprPtr LitInt(int64_t value);
+
+// Comparison; yields int 0/1.
+ExprPtr Cmp(CmpOp op, ExprPtr left, ExprPtr right);
+
+// Integer/double arithmetic.
+ExprPtr Arith(ArithOp op, ExprPtr left, ExprPtr right);
+
+// Boolean connectives over int 0/1 operands (short-circuiting).
+ExprPtr And(ExprPtr left, ExprPtr right);
+ExprPtr Or(ExprPtr left, ExprPtr right);
+ExprPtr Not(ExprPtr operand);
+
+// Scalar field `field_index` of the AssembledObject held in the evaluated
+// operand (usually a Col).  Yields kInt.
+ExprPtr ObjField(ExprPtr object, size_t field_index);
+
+// Child `child_index` (template order) of the AssembledObject operand;
+// yields kObject (null Value if the child pointer is null).
+ExprPtr ObjChild(ExprPtr object, size_t child_index);
+
+// Reinterprets a non-negative integer operand as an OID reference (kOid).
+// Lets index scans — whose [key, value] outputs are integers — feed the
+// assembly operator's root column.  Null propagates; kOid passes through.
+ExprPtr AsRef(ExprPtr operand);
+
+// Arbitrary function of the row.
+ExprPtr Fn(std::function<Result<Value>(const Row&)> fn);
+
+// Evaluates a predicate expression to a bool (non-zero int = true).
+Result<bool> EvalPredicate(const Expr& expr, const Row& row);
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_EXPR_H_

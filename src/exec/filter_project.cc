@@ -1,0 +1,34 @@
+#include "exec/filter_project.h"
+
+namespace cobra::exec {
+
+Result<bool> Filter::Next(Row* out) {
+  Row row;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) return false;
+    rows_in_++;
+    COBRA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, row));
+    if (pass) {
+      rows_out_++;
+      *out = std::move(row);
+      return true;
+    }
+  }
+}
+
+Result<bool> Project::Next(Row* out) {
+  Row row;
+  COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+  if (!has) return false;
+  Row projected;
+  projected.reserve(exprs_.size());
+  for (const ExprPtr& expr : exprs_) {
+    COBRA_ASSIGN_OR_RETURN(Value v, expr->Eval(row));
+    projected.push_back(std::move(v));
+  }
+  *out = std::move(projected);
+  return true;
+}
+
+}  // namespace cobra::exec

@@ -1,0 +1,50 @@
+// Filter and Project: the row-at-a-time relational operators.
+
+#ifndef COBRA_EXEC_FILTER_PROJECT_H_
+#define COBRA_EXEC_FILTER_PROJECT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/iterator.h"
+
+namespace cobra::exec {
+
+class Filter : public Iterator {
+ public:
+  Filter(std::unique_ptr<Iterator> child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  Status Close() override { return child_->Close(); }
+
+  // Rows consumed / rows emitted (observed selectivity).
+  uint64_t rows_in() const { return rows_in_; }
+  uint64_t rows_out() const { return rows_out_; }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  ExprPtr predicate_;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
+};
+
+class Project : public Iterator {
+ public:
+  Project(std::unique_ptr<Iterator> child, std::vector<ExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_FILTER_PROJECT_H_

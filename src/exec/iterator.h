@@ -1,0 +1,40 @@
+// The Volcano iterator protocol.
+//
+// "Volcano queries are composed of operators that provide a uniform iterator
+// interface.  Each Volcano operator conforms to the iterator paradigm by
+// providing open, next and close calls." (§3).  Every COBRA operator —
+// including the assembly operator — implements this interface, so plans
+// compose as trees exactly as in the paper's Figure 1/17.
+
+#ifndef COBRA_EXEC_ITERATOR_H_
+#define COBRA_EXEC_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/value.h"
+
+namespace cobra::exec {
+
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  // Prepares the operator (and, transitively, its inputs) for production.
+  virtual Status Open() = 0;
+
+  // Produces the next row into *out.  Returns false at end of stream.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  // Releases resources.  Must be callable after end-of-stream or error.
+  virtual Status Close() = 0;
+};
+
+// Runs a plan to completion and collects all rows (testing / examples).
+Result<std::vector<Row>> DrainAll(Iterator* plan);
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_ITERATOR_H_

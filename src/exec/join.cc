@@ -1,0 +1,116 @@
+#include "exec/join.h"
+
+namespace cobra::exec {
+
+Result<size_t> HashJoin::HashKeys(const std::vector<ExprPtr>& keys,
+                                  const Row& row,
+                                  std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(keys.size());
+  size_t hash = 0x811c9dc5;
+  for (const ExprPtr& key : keys) {
+    COBRA_ASSIGN_OR_RETURN(Value v, key->Eval(row));
+    hash = hash * 16777619 + v.Hash();
+    out->push_back(std::move(v));
+  }
+  return hash;
+}
+
+Status HashJoin::Open() {
+  if (left_keys_.size() != right_keys_.size() || left_keys_.empty()) {
+    return Status::InvalidArgument("hash join needs matching non-empty keys");
+  }
+  COBRA_RETURN_IF_ERROR(left_->Open());
+  table_.clear();
+  Row row;
+  std::vector<Value> key;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(bool has, left_->Next(&row));
+    if (!has) break;
+    COBRA_ASSIGN_OR_RETURN(size_t hash, HashKeys(left_keys_, row, &key));
+    table_.emplace(hash, BuildEntry{key, row});
+  }
+  COBRA_RETURN_IF_ERROR(left_->Close());
+  COBRA_RETURN_IF_ERROR(right_->Open());
+  pending_matches_.clear();
+  match_position_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoin::Next(Row* out) {
+  for (;;) {
+    if (match_position_ < pending_matches_.size()) {
+      const Row* left_row = pending_matches_[match_position_++];
+      *out = ConcatRows(*left_row, current_right_);
+      return true;
+    }
+    COBRA_ASSIGN_OR_RETURN(bool has, right_->Next(&current_right_));
+    if (!has) return false;
+    std::vector<Value> key;
+    COBRA_ASSIGN_OR_RETURN(size_t hash,
+                           HashKeys(right_keys_, current_right_, &key));
+    pending_matches_.clear();
+    match_position_ = 0;
+    auto [begin, end] = table_.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      const BuildEntry& entry = it->second;
+      bool equal = entry.key.size() == key.size();
+      for (size_t i = 0; equal && i < key.size(); ++i) {
+        equal = entry.key[i].EqualsForJoin(key[i]);
+      }
+      if (equal) {
+        pending_matches_.push_back(&entry.row);
+      }
+    }
+  }
+}
+
+Status HashJoin::Close() {
+  table_.clear();
+  pending_matches_.clear();
+  return right_->Close();
+}
+
+Status NestedLoopJoin::Open() {
+  COBRA_RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  Row row;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    if (!has) break;
+    right_rows_.push_back(std::move(row));
+  }
+  COBRA_RETURN_IF_ERROR(right_->Close());
+  COBRA_RETURN_IF_ERROR(left_->Open());
+  have_left_ = false;
+  right_position_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoin::Next(Row* out) {
+  for (;;) {
+    if (!have_left_) {
+      COBRA_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+      if (!has) return false;
+      have_left_ = true;
+      right_position_ = 0;
+    }
+    while (right_position_ < right_rows_.size()) {
+      Row combined = ConcatRows(current_left_, right_rows_[right_position_]);
+      ++right_position_;
+      COBRA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, combined));
+      if (pass) {
+        *out = std::move(combined);
+        return true;
+      }
+    }
+    have_left_ = false;
+  }
+}
+
+Status NestedLoopJoin::Close() {
+  right_rows_.clear();
+  return left_->Close();
+}
+
+}  // namespace cobra::exec

@@ -1,0 +1,80 @@
+// Value-based joins: hash join and nested-loop join.
+//
+// These are the relational set-processing methods the paper's Figure 1
+// places alongside the assembly operator in the physical algebra.  Hash join
+// builds on the left input; nested-loop join materializes the right.
+
+#ifndef COBRA_EXEC_JOIN_H_
+#define COBRA_EXEC_JOIN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/iterator.h"
+
+namespace cobra::exec {
+
+class HashJoin : public Iterator {
+ public:
+  // Equi-join: left_keys[i] must equal right_keys[i].  Output rows are
+  // left ++ right.
+  HashJoin(std::unique_ptr<Iterator> left, std::unique_ptr<Iterator> right,
+           std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+
+ private:
+  Result<size_t> HashKeys(const std::vector<ExprPtr>& keys, const Row& row,
+                          std::vector<Value>* out) const;
+
+  std::unique_ptr<Iterator> left_;
+  std::unique_ptr<Iterator> right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+
+  struct BuildEntry {
+    std::vector<Value> key;
+    Row row;
+  };
+  std::unordered_multimap<size_t, BuildEntry> table_;
+  // Probe state: matches of the current right row not yet emitted.
+  Row current_right_;
+  std::vector<const Row*> pending_matches_;
+  size_t match_position_ = 0;
+};
+
+class NestedLoopJoin : public Iterator {
+ public:
+  // Emits left ++ right for every pair satisfying `predicate` (evaluated
+  // over the concatenated row).
+  NestedLoopJoin(std::unique_ptr<Iterator> left,
+                 std::unique_ptr<Iterator> right, ExprPtr predicate)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        predicate_(std::move(predicate)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+
+ private:
+  std::unique_ptr<Iterator> left_;
+  std::unique_ptr<Iterator> right_;
+  ExprPtr predicate_;
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool have_left_ = false;
+  size_t right_position_ = 0;
+};
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_JOIN_H_

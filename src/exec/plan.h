@@ -1,0 +1,93 @@
+// PlanBuilder: fluent construction of Volcano plan trees + EXPLAIN.
+//
+// Plans compose bottom-up exactly like the paper's Figure 1 ("Query
+// Plan(s)" of physical algebra operators):
+//
+//   auto plan = PlanBuilder::FromRows(roots)
+//                   .Assemble(&tmpl, store, {.window_size = 50})
+//                   .Filter(Cmp(CmpOp::kEq, city_a, city_b))
+//                   .Build();
+//
+// Explain() renders the operator tree for logging/tests without executing:
+//
+//   Filter
+//   └─ Assembly [elevator, W=50]
+//      └─ VectorScan [1000 rows]
+
+#ifndef COBRA_EXEC_PLAN_H_
+#define COBRA_EXEC_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "exec/aggregate.h"
+#include "exec/expr.h"
+#include "exec/iterator.h"
+#include "exec/join.h"
+#include "exec/pointer_join.h"
+#include "exec/scan.h"
+#include "exec/sort_limit.h"
+#include "file/heap_file.h"
+#include "index/btree.h"
+#include "object/object_store.h"
+
+namespace cobra::exec {
+
+class PlanBuilder {
+ public:
+  // --- leaves ---
+  static PlanBuilder FromRows(std::vector<Row> rows);
+  // Rows of [oid] for every object root in `roots`.
+  static PlanBuilder FromOids(const std::vector<cobra::Oid>& roots);
+  static PlanBuilder ScanOids(const HeapFile* file);
+  static PlanBuilder ScanObjects(const HeapFile* file, size_t num_fields);
+  static PlanBuilder ScanBTree(const BTree* tree, uint64_t lo,
+                               std::optional<uint64_t> hi);
+
+  // --- unary operators (consume *this) ---
+  PlanBuilder Filter(ExprPtr predicate) &&;
+  PlanBuilder Project(std::vector<ExprPtr> exprs) &&;
+  PlanBuilder Sort(std::vector<SortKey> keys) &&;
+  PlanBuilder Limit(size_t limit) &&;
+  PlanBuilder Aggregate(std::vector<ExprPtr> group_by,
+                        std::vector<AggSpec> aggs) &&;
+  PlanBuilder Distinct() &&;
+  PlanBuilder PointerJoin(size_t ref_column, size_t num_fields,
+                          ObjectStore* store, bool keep_unmatched = false) &&;
+  PlanBuilder Assemble(const AssemblyTemplate* tmpl, ObjectStore* store,
+                       AssemblyOptions options = {}, size_t root_column = 0,
+                       int prebuilt_column = -1) &&;
+
+  // --- binary operators ---
+  PlanBuilder HashJoin(PlanBuilder right, std::vector<ExprPtr> left_keys,
+                       std::vector<ExprPtr> right_keys) &&;
+  PlanBuilder NestedLoopJoin(PlanBuilder right, ExprPtr predicate) &&;
+
+  // Finishes the plan.  The builder is spent afterwards.
+  std::unique_ptr<Iterator> Build() &&;
+
+  // Renders the operator tree (valid before Build()).
+  std::string Explain() const;
+
+  // The most recently added assembly operator (borrowed; owned by the
+  // plan), for reading its statistics after execution.  Null if none.
+  AssemblyOperator* last_assembly() const { return last_assembly_; }
+
+ private:
+  PlanBuilder() = default;
+
+  // Wraps the current root with a new operator labelled `label`.
+  void Wrap(std::unique_ptr<Iterator> op, std::string label);
+  void WrapBinary(std::unique_ptr<Iterator> op, std::string label,
+                  PlanBuilder right);
+
+  std::unique_ptr<Iterator> root_;
+  std::vector<std::string> explain_lines_;
+  AssemblyOperator* last_assembly_ = nullptr;
+};
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_PLAN_H_

@@ -1,0 +1,44 @@
+#include "exec/pointer_join.h"
+
+namespace cobra::exec {
+
+Result<bool> PointerJoin::Next(Row* out) {
+  Row row;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) return false;
+    if (ref_column_ >= row.size()) {
+      return Status::OutOfRange("pointer join ref column out of range");
+    }
+    const Value& ref = row[ref_column_];
+    if (ref.kind() != ValueKind::kOid || ref.AsOid() == kInvalidOid) {
+      if (!keep_unmatched_) continue;
+      Row padded = row;
+      padded.push_back(Value::Null());
+      for (size_t i = 0; i < num_fields_; ++i) padded.push_back(Value::Null());
+      *out = std::move(padded);
+      return true;
+    }
+    auto target = store_->Get(ref.AsOid());
+    if (!target.ok()) {
+      if (target.status().IsNotFound() && !keep_unmatched_) continue;
+      if (!target.status().IsNotFound()) return target.status();
+      Row padded = row;
+      padded.push_back(Value::Null());
+      for (size_t i = 0; i < num_fields_; ++i) padded.push_back(Value::Null());
+      *out = std::move(padded);
+      return true;
+    }
+    Row joined = row;
+    joined.push_back(Value::Ref(target->oid));
+    for (size_t i = 0; i < num_fields_; ++i) {
+      joined.push_back(i < target->fields.size()
+                           ? Value::Int(target->fields[i])
+                           : Value::Null());
+    }
+    *out = std::move(joined);
+    return true;
+  }
+}
+
+}  // namespace cobra::exec

@@ -1,0 +1,50 @@
+// PointerJoin: the pointer-based functional join of the related-work
+// section (§2).
+//
+// For every input row, the OID in `ref_column` is resolved through the
+// object store (directory lookup + page fetch + decode) and the target
+// object's scalar fields are appended to the row.  This is the classic
+// object-at-a-time reference traversal that pointer-based joins perform and
+// that the assembly operator's set-oriented scheduling improves on: fetches
+// happen strictly in input order, so the disk head is at the mercy of the
+// reference pattern.
+
+#ifndef COBRA_EXEC_POINTER_JOIN_H_
+#define COBRA_EXEC_POINTER_JOIN_H_
+
+#include <memory>
+
+#include "exec/iterator.h"
+#include "object/object_store.h"
+
+namespace cobra::exec {
+
+class PointerJoin : public Iterator {
+ public:
+  // Output: input row ++ [target oid, target field0..num_fields-1].
+  // A null / invalid reference produces null padding (outer-join style) when
+  // `keep_unmatched` is true, otherwise the row is dropped.
+  PointerJoin(std::unique_ptr<Iterator> child, size_t ref_column,
+              size_t num_fields, ObjectStore* store,
+              bool keep_unmatched = false)
+      : child_(std::move(child)),
+        ref_column_(ref_column),
+        num_fields_(num_fields),
+        store_(store),
+        keep_unmatched_(keep_unmatched) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  size_t ref_column_;
+  size_t num_fields_;
+  ObjectStore* store_;
+  bool keep_unmatched_;
+};
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_POINTER_JOIN_H_

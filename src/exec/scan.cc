@@ -1,0 +1,92 @@
+#include "exec/scan.h"
+
+namespace cobra::exec {
+
+Result<std::vector<Row>> DrainAll(Iterator* plan) {
+  COBRA_RETURN_IF_ERROR(plan->Open());
+  std::vector<Row> rows;
+  Row row;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(bool has, plan->Next(&row));
+    if (!has) break;
+    rows.push_back(row);
+  }
+  COBRA_RETURN_IF_ERROR(plan->Close());
+  return rows;
+}
+
+Status OidScan::Open() {
+  cursor_.emplace(file_->Scan());
+  return Status::OK();
+}
+
+Result<bool> OidScan::Next(Row* out) {
+  RecordId id;
+  std::vector<std::byte> record;
+  COBRA_ASSIGN_OR_RETURN(bool has, cursor_->Next(&id, &record));
+  if (!has) return false;
+  COBRA_ASSIGN_OR_RETURN(ObjectData obj, ObjectData::Deserialize(record));
+  *out = Row{Value::Ref(obj.oid)};
+  return true;
+}
+
+Status OidScan::Close() {
+  cursor_.reset();
+  return Status::OK();
+}
+
+Status ObjectFieldScan::Open() {
+  cursor_.emplace(file_->Scan());
+  return Status::OK();
+}
+
+Result<bool> ObjectFieldScan::Next(Row* out) {
+  RecordId id;
+  std::vector<std::byte> record;
+  COBRA_ASSIGN_OR_RETURN(bool has, cursor_->Next(&id, &record));
+  if (!has) return false;
+  COBRA_ASSIGN_OR_RETURN(ObjectData obj, ObjectData::Deserialize(record));
+  Row row;
+  row.reserve(2 + num_fields_);
+  row.push_back(Value::Ref(obj.oid));
+  row.push_back(Value::Int(obj.type_id));
+  for (size_t i = 0; i < num_fields_; ++i) {
+    row.push_back(i < obj.fields.size() ? Value::Int(obj.fields[i])
+                                        : Value::Null());
+  }
+  *out = std::move(row);
+  return true;
+}
+
+Status ObjectFieldScan::Close() {
+  cursor_.reset();
+  return Status::OK();
+}
+
+Status BTreeScan::Open() {
+  COBRA_ASSIGN_OR_RETURN(BTree::Iterator it, tree_->Seek(lo_));
+  iter_.emplace(it);
+  return Status::OK();
+}
+
+Result<bool> BTreeScan::Next(Row* out) {
+  if (!iter_.has_value()) return false;
+  uint64_t key = 0;
+  uint64_t value = 0;
+  COBRA_ASSIGN_OR_RETURN(bool has, iter_->Next(&key, &value));
+  if (!has) return false;
+  if (hi_.has_value() && key >= *hi_) {
+    iter_.reset();
+    return false;
+  }
+  *out = Row{Value::Int(static_cast<int64_t>(key)),
+             Value::Int(static_cast<int64_t>(value))};
+  return true;
+}
+
+Status BTreeScan::Close() {
+  iter_.reset();
+  return Status::OK();
+}
+
+}  // namespace cobra::exec

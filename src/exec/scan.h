@@ -1,0 +1,94 @@
+// Scan operators: plan leaves.
+//
+//   VectorScan      — rows from memory (tests, parameter feeds).
+//   OidScan         — OIDs of all objects in a heap file; the usual input to
+//                     an assembly operator (a set of complex-object roots).
+//   ObjectFieldScan — decodes each object into a flat row
+//                     [oid, type, field0..fieldN-1]; relational-style access
+//                     to the object store.
+//   BTreeScan       — ordered [key, value] pairs from a B-tree range.
+
+#ifndef COBRA_EXEC_SCAN_H_
+#define COBRA_EXEC_SCAN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/iterator.h"
+#include "file/heap_file.h"
+#include "index/btree.h"
+#include "object/object.h"
+
+namespace cobra::exec {
+
+class VectorScan : public Iterator {
+ public:
+  explicit VectorScan(std::vector<Row> rows) : rows_(std::move(rows)) {}
+
+  Status Open() override {
+    position_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* out) override {
+    if (position_ >= rows_.size()) return false;
+    *out = rows_[position_++];
+    return true;
+  }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::vector<Row> rows_;
+  size_t position_ = 0;
+};
+
+class OidScan : public Iterator {
+ public:
+  explicit OidScan(const HeapFile* file) : file_(file) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+
+ private:
+  const HeapFile* file_;
+  std::optional<HeapFile::Cursor> cursor_;
+};
+
+class ObjectFieldScan : public Iterator {
+ public:
+  // `num_fields` fixes the output arity; objects with fewer fields pad with
+  // nulls, extra fields are dropped.
+  ObjectFieldScan(const HeapFile* file, size_t num_fields)
+      : file_(file), num_fields_(num_fields) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+
+ private:
+  const HeapFile* file_;
+  size_t num_fields_;
+  std::optional<HeapFile::Cursor> cursor_;
+};
+
+class BTreeScan : public Iterator {
+ public:
+  // Emits keys in [lo, hi); hi == nullopt scans to the end.
+  BTreeScan(const BTree* tree, uint64_t lo, std::optional<uint64_t> hi)
+      : tree_(tree), lo_(lo), hi_(hi) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+
+ private:
+  const BTree* tree_;
+  uint64_t lo_;
+  std::optional<uint64_t> hi_;
+  std::optional<BTree::Iterator> iter_;
+};
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_SCAN_H_

@@ -1,0 +1,69 @@
+#include "exec/sort_limit.h"
+
+#include <algorithm>
+
+namespace cobra::exec {
+
+Status Sort::Open() {
+  COBRA_RETURN_IF_ERROR(child_->Open());
+  sorted_.clear();
+  position_ = 0;
+  Row row;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    sorted_.push_back(std::move(row));
+  }
+  COBRA_RETURN_IF_ERROR(child_->Close());
+
+  // Pre-compute key tuples so the comparator stays infallible; an eval error
+  // surfaces here rather than mid-sort.
+  std::vector<std::vector<Value>> key_values(sorted_.size());
+  for (size_t i = 0; i < sorted_.size(); ++i) {
+    key_values[i].reserve(keys_.size());
+    for (const SortKey& key : keys_) {
+      COBRA_ASSIGN_OR_RETURN(Value v, key.expr->Eval(sorted_[i]));
+      key_values[i].push_back(std::move(v));
+    }
+  }
+  std::vector<size_t> order(sorted_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  bool comparison_error = false;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) {
+                     for (size_t k = 0; k < keys_.size(); ++k) {
+                       auto cmp = key_values[a][k].Compare(key_values[b][k]);
+                       if (!cmp.ok()) {
+                         comparison_error = true;
+                         return false;
+                       }
+                       if (*cmp != 0) {
+                         return keys_[k].ascending ? *cmp < 0 : *cmp > 0;
+                       }
+                     }
+                     return false;
+                   });
+  if (comparison_error) {
+    return Status::InvalidArgument("incomparable sort keys");
+  }
+  std::vector<Row> reordered;
+  reordered.reserve(sorted_.size());
+  for (size_t index : order) {
+    reordered.push_back(std::move(sorted_[index]));
+  }
+  sorted_ = std::move(reordered);
+  return Status::OK();
+}
+
+Result<bool> Sort::Next(Row* out) {
+  if (position_ >= sorted_.size()) return false;
+  *out = sorted_[position_++];
+  return true;
+}
+
+Status Sort::Close() {
+  sorted_.clear();
+  return Status::OK();
+}
+
+}  // namespace cobra::exec

@@ -1,0 +1,66 @@
+// Sort and Limit.
+//
+// Sort is a materializing operator (open() drains its input), mirroring the
+// paper's observation that the assembly operator is "similar to a sort
+// operator in relational systems where the operator enforces a physical
+// property of the data that is not logically apparent" (§3).
+
+#ifndef COBRA_EXEC_SORT_LIMIT_H_
+#define COBRA_EXEC_SORT_LIMIT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/iterator.h"
+
+namespace cobra::exec {
+
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+class Sort : public Iterator {
+ public:
+  Sort(std::unique_ptr<Iterator> child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> sorted_;
+  size_t position_ = 0;
+};
+
+class Limit : public Iterator {
+ public:
+  Limit(std::unique_ptr<Iterator> child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override {
+    produced_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Row* out) override {
+    if (produced_ >= limit_) return false;
+    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    ++produced_;
+    return true;
+  }
+  Status Close() override { return child_->Close(); }
+
+ private:
+  std::unique_ptr<Iterator> child_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_SORT_LIMIT_H_

@@ -1,0 +1,145 @@
+#include "exec/value.h"
+
+#include <functional>
+
+namespace cobra::exec {
+
+ValueKind Value::kind() const {
+  switch (storage_.index()) {
+    case 0:
+      return ValueKind::kNull;
+    case 1:
+      return ValueKind::kInt;
+    case 2:
+      return ValueKind::kDouble;
+    case 3:
+      return ValueKind::kString;
+    case 4:
+      return ValueKind::kOid;
+    case 5:
+      return ValueKind::kObject;
+    default:
+      return ValueKind::kPrebuilt;
+  }
+}
+
+Result<double> Value::ToNumber() const {
+  switch (kind()) {
+    case ValueKind::kInt:
+      return static_cast<double>(AsInt());
+    case ValueKind::kDouble:
+      return AsDouble();
+    default:
+      return Status::InvalidArgument("value is not numeric: " + ToString());
+  }
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  ValueKind a = kind();
+  ValueKind b = other.kind();
+  if (a == ValueKind::kNull || b == ValueKind::kNull) {
+    // Nulls sort first and equal to each other (sort semantics only;
+    // EqualsForJoin never matches nulls).
+    if (a == b) return 0;
+    return a == ValueKind::kNull ? -1 : 1;
+  }
+  auto three_way = [](auto x, auto y) { return x < y ? -1 : (x > y ? 1 : 0); };
+  if ((a == ValueKind::kInt || a == ValueKind::kDouble) &&
+      (b == ValueKind::kInt || b == ValueKind::kDouble)) {
+    if (a == ValueKind::kInt && b == ValueKind::kInt) {
+      return three_way(AsInt(), other.AsInt());
+    }
+    COBRA_ASSIGN_OR_RETURN(double x, ToNumber());
+    COBRA_ASSIGN_OR_RETURN(double y, other.ToNumber());
+    return three_way(x, y);
+  }
+  if (a != b) {
+    return Status::InvalidArgument("cannot compare " + ToString() + " with " +
+                                   other.ToString());
+  }
+  switch (a) {
+    case ValueKind::kString:
+      return three_way(AsStr(), other.AsStr());
+    case ValueKind::kOid:
+      return three_way(AsOid(), other.AsOid());
+    default:
+      return Status::InvalidArgument("values of this kind have no order");
+  }
+}
+
+bool Value::EqualsForJoin(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  auto cmp = Compare(other);
+  return cmp.ok() && *cmp == 0;
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0x9e3779b9;
+    case ValueKind::kInt:
+      return std::hash<int64_t>()(AsInt());
+    case ValueKind::kDouble: {
+      // Hash doubles through their numeric value so 1 and 1.0 collide with
+      // equal ints only when they compare equal: hash integral doubles as
+      // their int64 value.
+      double d = AsDouble();
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return std::hash<int64_t>()(as_int);
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueKind::kString:
+      return std::hash<std::string>()(AsStr());
+    case ValueKind::kOid:
+      return std::hash<uint64_t>()(AsOid()) ^ 0x5bd1e995;
+    case ValueKind::kObject:
+      return std::hash<const void*>()(AsObject());
+    case ValueKind::kPrebuilt:
+      return std::hash<const void*>()(AsPrebuilt().get());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kDouble:
+      return std::to_string(AsDouble());
+    case ValueKind::kString:
+      return "\"" + AsStr() + "\"";
+    case ValueKind::kOid:
+      return "oid:" + std::to_string(AsOid());
+    case ValueKind::kObject: {
+      const AssembledObject* obj = AsObject();
+      return obj == nullptr ? "obj:null" : "obj:" + std::to_string(obj->oid);
+    }
+    case ValueKind::kPrebuilt:
+      return "prebuilt[" + std::to_string(AsPrebuilt()->by_oid.size()) + "]";
+  }
+  return "?";
+}
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cobra::exec

@@ -1,0 +1,105 @@
+// Value / Row: the tuples flowing between Volcano operators.
+//
+// Volcano operators exchange uniform records; COBRA rows are vectors of a
+// small tagged value type.  Besides the usual scalars, a Value can carry an
+// OID (an unresolved reference), a pointer to a swizzled AssembledObject
+// (what the assembly operator emits), or a PrebuiltComponents handle (what a
+// stacked assembly operator passes upward, Fig. 17).
+
+#ifndef COBRA_EXEC_VALUE_H_
+#define COBRA_EXEC_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "object/assembled_object.h"
+#include "object/oid.h"
+
+namespace cobra::exec {
+
+enum class ValueKind : uint8_t {
+  kNull,
+  kInt,
+  kDouble,
+  kString,
+  kOid,       // unresolved object reference
+  kObject,    // swizzled complex object (borrowed pointer)
+  kPrebuilt,  // pre-assembled component map (stacked assembly)
+};
+
+class Value {
+ public:
+  Value() = default;  // null
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Storage(v)); }
+  static Value Double(double v) { return Value(Storage(v)); }
+  static Value Str(std::string v) { return Value(Storage(std::move(v))); }
+  static Value Ref(Oid oid) { return Value(Storage(OidBox{oid})); }
+  static Value Obj(AssembledObject* obj) { return Value(Storage(obj)); }
+  static Value Prebuilt(std::shared_ptr<PrebuiltComponents> p) {
+    return Value(Storage(std::move(p)));
+  }
+
+  ValueKind kind() const;
+  bool is_null() const { return kind() == ValueKind::kNull; }
+
+  // Accessors abort on kind mismatch (a programming error, like variant
+  // misuse); operators validate kinds before calling them.
+  int64_t AsInt() const { return std::get<int64_t>(storage_); }
+  double AsDouble() const { return std::get<double>(storage_); }
+  const std::string& AsStr() const { return std::get<std::string>(storage_); }
+  Oid AsOid() const { return std::get<OidBox>(storage_).oid; }
+  AssembledObject* AsObject() const {
+    return std::get<AssembledObject*>(storage_);
+  }
+  const std::shared_ptr<PrebuiltComponents>& AsPrebuilt() const {
+    return std::get<std::shared_ptr<PrebuiltComponents>>(storage_);
+  }
+
+  // Numeric value as double (int or double kinds).
+  Result<double> ToNumber() const;
+
+  // Three-way comparison for sorting and join keys.  Only like kinds (and
+  // int/double mixes) compare; others return InvalidArgument.
+  Result<int> Compare(const Value& other) const;
+
+  // Equality usable as a hash-join key predicate: null != anything,
+  // mismatched kinds are unequal (not an error).
+  bool EqualsForJoin(const Value& other) const;
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  // Distinct wrapper so Oid (uint64_t) does not collide with int64_t in the
+  // variant overload set.
+  struct OidBox {
+    Oid oid;
+    friend bool operator==(const OidBox&, const OidBox&) = default;
+  };
+  using Storage =
+      std::variant<std::monostate, int64_t, double, std::string, OidBox,
+                   AssembledObject*, std::shared_ptr<PrebuiltComponents>>;
+
+  explicit Value(Storage storage) : storage_(std::move(storage)) {}
+
+  Storage storage_;
+};
+
+using Row = std::vector<Value>;
+
+// Concatenates two rows (join output).
+Row ConcatRows(const Row& left, const Row& right);
+
+std::string RowToString(const Row& row);
+
+}  // namespace cobra::exec
+
+#endif  // COBRA_EXEC_VALUE_H_

@@ -1,0 +1,128 @@
+#include "file/heap_file.h"
+
+#include "storage/slotted_page.h"
+
+namespace cobra {
+
+HeapFile::HeapFile(BufferManager* buffer, PageId first_page, size_t max_pages)
+    : buffer_(buffer), first_page_(first_page), max_pages_(max_pages) {}
+
+Result<HeapFile> HeapFile::Open(BufferManager* buffer, PageId first_page,
+                                size_t max_pages) {
+  HeapFile file(buffer, first_page, max_pages);
+  // Pages of an extent are not necessarily materialized contiguously (random
+  // placement inside clusters), so probe the whole extent.
+  size_t highest_used = 0;
+  for (size_t i = 0; i < max_pages; ++i) {
+    PageId id = first_page + i;
+    if (!buffer->disk()->Exists(id) && !buffer->IsResident(id)) continue;
+    highest_used = i + 1;
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer->FetchPage(id));
+    SlottedPage page(guard.data().data(), guard.data().size());
+    file.record_count_ += page.live_count();
+  }
+  file.pages_used_ = highest_used;
+  return file;
+}
+
+Result<PageGuard> HeapFile::GetOrCreatePage(size_t page_index) {
+  if (page_index >= max_pages_) {
+    return Status::OutOfRange("page index beyond file extent");
+  }
+  PageId id = first_page_ + page_index;
+  if (buffer_->IsResident(id) || buffer_->disk()->Exists(id)) {
+    return buffer_->FetchPage(id);
+  }
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->CreatePage(id));
+  SlottedPage::Init(guard.data().data(), guard.data().size());
+  guard.MarkDirty();
+  if (page_index + 1 > pages_used_) {
+    pages_used_ = page_index + 1;
+  }
+  return guard;
+}
+
+Result<RecordId> HeapFile::Append(std::span<const std::byte> record) {
+  while (append_cursor_ < max_pages_) {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, GetOrCreatePage(append_cursor_));
+    SlottedPage page(guard.data().data(), guard.data().size());
+    if (page.CanFit(record.size())) {
+      COBRA_ASSIGN_OR_RETURN(uint16_t slot, page.Insert(record));
+      guard.MarkDirty();
+      record_count_++;
+      return RecordId{guard.page_id(), slot};
+    }
+    append_cursor_++;
+  }
+  return Status::ResourceExhausted("heap file extent is full");
+}
+
+Result<RecordId> HeapFile::InsertAtPage(size_t page_index,
+                                        std::span<const std::byte> record) {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, GetOrCreatePage(page_index));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  if (!page.CanFit(record.size())) {
+    return Status::ResourceExhausted("target page is full");
+  }
+  COBRA_ASSIGN_OR_RETURN(uint16_t slot, page.Insert(record));
+  guard.MarkDirty();
+  record_count_++;
+  return RecordId{guard.page_id(), slot};
+}
+
+Result<std::vector<std::byte>> HeapFile::Get(RecordId id) const {
+  if (id.page < first_page_ || id.page >= first_page_ + max_pages_) {
+    return Status::OutOfRange("record id outside file extent");
+  }
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_ASSIGN_OR_RETURN(std::span<const std::byte> body, page.Get(id.slot));
+  return std::vector<std::byte>(body.begin(), body.end());
+}
+
+Status HeapFile::Delete(RecordId id) {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_RETURN_IF_ERROR(page.Delete(id.slot));
+  guard.MarkDirty();
+  record_count_--;
+  return Status::OK();
+}
+
+Status HeapFile::Update(RecordId id, std::span<const std::byte> record) {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_RETURN_IF_ERROR(page.Update(id.slot, record));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<bool> HeapFile::Cursor::Next(RecordId* id,
+                                    std::vector<std::byte>* record) {
+  while (page_index_ < file_->pages_used_) {
+    PageId page_id = file_->first_page_ + page_index_;
+    if (!file_->buffer_->IsResident(page_id) &&
+        !file_->buffer_->disk()->Exists(page_id)) {
+      // Hole in a sparsely materialized extent.
+      page_index_++;
+      slot_ = 0;
+      continue;
+    }
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard,
+                           file_->buffer_->FetchPage(page_id));
+    SlottedPage page(guard.data().data(), guard.data().size());
+    while (slot_ < page.slot_count()) {
+      uint16_t slot = slot_++;
+      if (!page.IsLive(slot)) continue;
+      COBRA_ASSIGN_OR_RETURN(std::span<const std::byte> body, page.Get(slot));
+      *id = RecordId{page_id, slot};
+      record->assign(body.begin(), body.end());
+      return true;
+    }
+    page_index_++;
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace cobra

@@ -1,0 +1,128 @@
+// HeapFile: unordered record storage over an explicit page range.
+//
+// Clustering is the whole point of the paper's §6.1, so unlike most heap
+// files this one gives the caller full control over physical placement:
+//
+//   * a file occupies an explicit extent [first_page, first_page + max_pages)
+//     handed out by a PageAllocator, so the workload generator can lay
+//     clusters out at chosen disk addresses (e.g., the oversized per-type
+//     extents of Fig. 12);
+//   * records can be appended (first page with room) or placed into a
+//     specific page of the extent (InsertAtPage), which is how "randomly
+//     placed within a cluster" is realized.
+//
+// Records never span pages (objects are 96 bytes on 1 KB pages).
+
+#ifndef COBRA_FILE_HEAP_FILE_H_
+#define COBRA_FILE_HEAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+// Physical address of a record: page + slot.
+struct RecordId {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+  friend auto operator<=>(const RecordId&, const RecordId&) = default;
+};
+
+// Hands out page ids.  All structures sharing one disk must share one
+// allocator so their extents never collide.
+class PageAllocator {
+ public:
+  explicit PageAllocator(PageId start = 0) : next_(start) {}
+
+  PageId Allocate() { return next_++; }
+
+  // Contiguous run of `n` pages; returns the first id.
+  PageId AllocateExtent(size_t n) {
+    PageId first = next_;
+    next_ += n;
+    return first;
+  }
+
+  PageId next() const { return next_; }
+
+ private:
+  PageId next_;
+};
+
+class HeapFile {
+ public:
+  // A file over the extent [first_page, first_page + max_pages).  Pages are
+  // formatted lazily on first use.
+  HeapFile(BufferManager* buffer, PageId first_page, size_t max_pages);
+
+  // Reattaches to a file previously written to this extent, probing the disk
+  // to find which pages already exist.
+  static Result<HeapFile> Open(BufferManager* buffer, PageId first_page,
+                               size_t max_pages);
+
+  // Appends into the current tail page, advancing to the next page of the
+  // extent when full.  ResourceExhausted when the extent is full.
+  Result<RecordId> Append(std::span<const std::byte> record);
+
+  // Places the record in page `page_index` of the extent (0-based), creating
+  // intermediate pages as needed.  ResourceExhausted if that page is full.
+  Result<RecordId> InsertAtPage(size_t page_index,
+                                std::span<const std::byte> record);
+
+  // Copies the record out (the page pin is dropped before returning).
+  Result<std::vector<std::byte>> Get(RecordId id) const;
+
+  Status Delete(RecordId id);
+  // Same-length overwrite.
+  Status Update(RecordId id, std::span<const std::byte> record);
+
+  // Forward scan over all live records, in (page, slot) order.
+  class Cursor {
+   public:
+    // Advances to the next record; returns false at end-of-file.  On true,
+    // *id and *record (copied) describe the record.
+    Result<bool> Next(RecordId* id, std::vector<std::byte>* record);
+
+   private:
+    friend class HeapFile;
+    explicit Cursor(const HeapFile* file) : file_(file) {}
+    const HeapFile* file_;
+    size_t page_index_ = 0;
+    uint16_t slot_ = 0;
+  };
+
+  Cursor Scan() const { return Cursor(this); }
+
+  PageId first_page() const { return first_page_; }
+  size_t max_pages() const { return max_pages_; }
+  // Pages of the extent that have been materialized so far.
+  size_t pages_used() const { return pages_used_; }
+  // Live records across the file (maintained incrementally).
+  size_t record_count() const { return record_count_; }
+
+ private:
+  // Fetches page `page_index`, formatting it if it does not exist yet.
+  Result<PageGuard> GetOrCreatePage(size_t page_index);
+
+  BufferManager* buffer_;
+  PageId first_page_;
+  size_t max_pages_;
+  size_t pages_used_ = 0;
+  size_t append_cursor_ = 0;  // page index Append() is currently filling
+  size_t record_count_ = 0;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_FILE_HEAP_FILE_H_

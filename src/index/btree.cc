@@ -1,0 +1,737 @@
+#include "index/btree.h"
+
+#include <cstring>
+#include <string>
+
+namespace cobra {
+namespace {
+
+// Node layout (offsets in bytes):
+//   0..2    u16 flags (bit 0: leaf)
+//   2..4    u16 num_keys
+//   8..16   u64 next-leaf page id (leaves only; kInvalidPageId when none)
+//   16..    payload
+// Leaf payload:      num_keys x (u64 key, u64 value), key-sorted.
+// Internal payload:  u64 child[0], then num_keys x (u64 key, u64 child).
+// Routing rule: keys >= key[i] descend into child[i+1] (upper-bound).
+constexpr size_t kHeaderSize = 16;
+constexpr uint64_t kMetaMagic = 0xC0B7A6B7EEULL;
+
+uint64_t LoadU64(const std::byte* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU64(std::byte* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+uint16_t LoadU16(const std::byte* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU16(std::byte* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+// Mutable view over one node page.
+struct Node {
+  std::byte* p;
+  size_t page_size;
+
+  bool leaf() const { return (LoadU16(p) & 1) != 0; }
+  void set_leaf(bool is_leaf) { StoreU16(p, is_leaf ? 1 : 0); }
+  int n() const { return LoadU16(p + 2); }
+  void set_n(int count) { StoreU16(p + 2, static_cast<uint16_t>(count)); }
+  uint64_t next() const { return LoadU64(p + 8); }
+  void set_next(uint64_t id) { StoreU64(p + 8, id); }
+
+  size_t leaf_cap() const { return (page_size - kHeaderSize) / 16; }
+  size_t internal_cap() const { return (page_size - kHeaderSize - 8) / 16; }
+  size_t cap() const { return leaf() ? leaf_cap() : internal_cap(); }
+  // Merging two internal nodes also pulls one separator down, hence the -1.
+  size_t min_keys() const {
+    return leaf() ? leaf_cap() / 2 : (internal_cap() - 1) / 2;
+  }
+  bool full() const { return static_cast<size_t>(n()) == cap(); }
+
+  // --- leaf entries ---
+  std::byte* leaf_entry(int i) { return p + kHeaderSize + i * 16; }
+  const std::byte* leaf_entry(int i) const { return p + kHeaderSize + i * 16; }
+  uint64_t key(int i) const { return LoadU64(leaf_entry(i)); }
+  uint64_t value(int i) const { return LoadU64(leaf_entry(i) + 8); }
+  void set_entry(int i, uint64_t k, uint64_t v) {
+    StoreU64(leaf_entry(i), k);
+    StoreU64(leaf_entry(i) + 8, v);
+  }
+  void set_value(int i, uint64_t v) { StoreU64(leaf_entry(i) + 8, v); }
+
+  // First index with key(i) >= k; n() if none.
+  int LeafLowerBound(uint64_t k) const {
+    int lo = 0, hi = n();
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (key(mid) < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  void LeafInsertAt(int i, uint64_t k, uint64_t v) {
+    std::memmove(leaf_entry(i + 1), leaf_entry(i), (n() - i) * 16);
+    set_entry(i, k, v);
+    set_n(n() + 1);
+  }
+
+  void LeafRemoveAt(int i) {
+    std::memmove(leaf_entry(i), leaf_entry(i + 1), (n() - i - 1) * 16);
+    set_n(n() - 1);
+  }
+
+  // --- internal entries ---
+  std::byte* child_ptr(int i) {
+    return p + kHeaderSize + (i == 0 ? 0 : 8 + (i - 1) * 16 + 8);
+  }
+  const std::byte* child_ptr(int i) const {
+    return p + kHeaderSize + (i == 0 ? 0 : 8 + (i - 1) * 16 + 8);
+  }
+  std::byte* ikey_ptr(int i) { return p + kHeaderSize + 8 + i * 16; }
+  const std::byte* ikey_ptr(int i) const {
+    return p + kHeaderSize + 8 + i * 16;
+  }
+  uint64_t child(int i) const { return LoadU64(child_ptr(i)); }
+  void set_child(int i, uint64_t c) {
+    StoreU64(p + kHeaderSize + (i == 0 ? 0 : 8 + (i - 1) * 16 + 8), c);
+  }
+  uint64_t ikey(int i) const { return LoadU64(ikey_ptr(i)); }
+  void set_ikey(int i, uint64_t k) { StoreU64(ikey_ptr(i), k); }
+
+  // Index of the child that keys equal to `k` route into: number of
+  // separators <= k (upper bound).
+  int ChildIndex(uint64_t k) const {
+    int lo = 0, hi = n();
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (ikey(mid) <= k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Inserts separator `k` with right child `c` at separator position `i`.
+  void InternalInsertAt(int i, uint64_t k, uint64_t c) {
+    std::memmove(ikey_ptr(i + 1), ikey_ptr(i), (n() - i) * 16);
+    set_ikey(i, k);
+    StoreU64(ikey_ptr(i) + 8, c);
+    set_n(n() + 1);
+  }
+
+  // Removes separator `i` and its right child (child i+1).
+  void InternalRemoveAt(int i) {
+    std::memmove(ikey_ptr(i), ikey_ptr(i + 1), (n() - i - 1) * 16);
+    set_n(n() - 1);
+  }
+};
+
+struct MetaView {
+  std::byte* p;
+  uint64_t magic() const { return LoadU64(p); }
+  uint64_t root() const { return LoadU64(p + 8); }
+  uint64_t count() const { return LoadU64(p + 16); }
+  void set(uint64_t root, uint64_t count) {
+    StoreU64(p, kMetaMagic);
+    StoreU64(p + 8, root);
+    StoreU64(p + 16, count);
+  }
+};
+
+}  // namespace
+
+Result<BTree> BTree::Create(BufferManager* buffer, PageAllocator* allocator) {
+  PageId meta_page = allocator->Allocate();
+  PageId root = allocator->Allocate();
+  {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer->CreatePage(root));
+    Node node{guard.data().data(), guard.data().size()};
+    std::memset(node.p, 0, node.page_size);
+    node.set_leaf(true);
+    node.set_n(0);
+    node.set_next(kInvalidPageId);
+    guard.MarkDirty();
+  }
+  BTree tree(buffer, allocator, meta_page, root, 0);
+  {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer->CreatePage(meta_page));
+    MetaView meta{guard.data().data()};
+    meta.set(root, 0);
+    guard.MarkDirty();
+  }
+  return tree;
+}
+
+Result<BTree> BTree::Open(BufferManager* buffer, PageAllocator* allocator,
+                          PageId meta_page) {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer->FetchPage(meta_page));
+  MetaView meta{guard.data().data()};
+  if (meta.magic() != kMetaMagic) {
+    return Status::Corruption("bad btree meta page magic");
+  }
+  return BTree(buffer, allocator, meta_page, meta.root(), meta.count());
+}
+
+Result<BTree> BTree::BulkLoad(
+    BufferManager* buffer, PageAllocator* allocator,
+    const std::vector<std::pair<uint64_t, uint64_t>>& sorted, double fill) {
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1].first >= sorted[i].first) {
+      return Status::InvalidArgument(
+          "bulk load input must be strictly key-sorted");
+    }
+  }
+  if (fill < 0.5) fill = 0.5;
+  if (fill > 1.0) fill = 1.0;
+  if (sorted.empty()) {
+    return Create(buffer, allocator);
+  }
+
+  const size_t page_size = buffer->disk()->page_size();
+  const size_t leaf_cap = (page_size - kHeaderSize) / 16;
+  const size_t internal_cap = (page_size - kHeaderSize - 8) / 16;
+  const size_t leaf_min = leaf_cap / 2;
+  const size_t internal_min_children = (internal_cap - 1) / 2 + 1;
+
+  // Partition `total` items into chunks of ~`target`, each within
+  // [minimum, cap] — except a single final chunk (a lone root or the whole
+  // remainder fitting one node), which may underflow the minimum.
+  auto chunk_sizes = [](size_t total, size_t target, size_t minimum,
+                        size_t cap) {
+    std::vector<size_t> sizes;
+    size_t remaining = total;
+    while (remaining > 0) {
+      if (remaining <= cap) {
+        sizes.push_back(remaining);
+        break;
+      }
+      size_t take = std::min(target, remaining);
+      // Don't leave a runt below the minimum: shrink this chunk instead
+      // (remaining > cap >= 2*minimum keeps `take` >= minimum).
+      if (remaining - take < minimum) {
+        take = remaining - minimum;
+      }
+      sizes.push_back(take);
+      remaining -= take;
+    }
+    return sizes;
+  };
+
+  // --- leaves ---
+  struct Built {
+    PageId page;
+    uint64_t lowest_key;
+  };
+  std::vector<Built> level;
+  size_t leaf_target = std::max<size_t>(
+      leaf_min, static_cast<size_t>(static_cast<double>(leaf_cap) * fill));
+  std::vector<size_t> leaf_sizes = chunk_sizes(
+      sorted.size(), leaf_target, std::min(leaf_min, sorted.size()),
+      leaf_cap);
+  size_t cursor = 0;
+  PageId previous_leaf = kInvalidPageId;
+  for (size_t size : leaf_sizes) {
+    PageId page_id = allocator->Allocate();
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer->CreatePage(page_id));
+    Node node{guard.data().data(), guard.data().size()};
+    std::memset(node.p, 0, node.page_size);
+    node.set_leaf(true);
+    node.set_next(kInvalidPageId);
+    for (size_t i = 0; i < size; ++i) {
+      node.set_entry(static_cast<int>(i), sorted[cursor + i].first,
+                     sorted[cursor + i].second);
+    }
+    node.set_n(static_cast<int>(size));
+    guard.MarkDirty();
+    if (previous_leaf != kInvalidPageId) {
+      COBRA_ASSIGN_OR_RETURN(PageGuard prev, buffer->FetchPage(previous_leaf));
+      Node prev_node{prev.data().data(), prev.data().size()};
+      prev_node.set_next(page_id);
+      prev.MarkDirty();
+    }
+    previous_leaf = page_id;
+    level.push_back({page_id, sorted[cursor].first});
+    cursor += size;
+  }
+
+  // --- internal levels ---
+  size_t child_target = std::max<size_t>(
+      internal_min_children,
+      static_cast<size_t>(static_cast<double>(internal_cap + 1) * fill));
+  while (level.size() > 1) {
+    std::vector<Built> parent_level;
+    std::vector<size_t> group_sizes = chunk_sizes(
+        level.size(), child_target,
+        std::min(internal_min_children, level.size()), internal_cap + 1);
+    size_t child_cursor = 0;
+    for (size_t group : group_sizes) {
+      PageId page_id = allocator->Allocate();
+      COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer->CreatePage(page_id));
+      Node node{guard.data().data(), guard.data().size()};
+      std::memset(node.p, 0, node.page_size);
+      node.set_leaf(false);
+      node.set_next(kInvalidPageId);
+      node.set_child(0, level[child_cursor].page);
+      for (size_t i = 1; i < group; ++i) {
+        node.set_ikey(static_cast<int>(i - 1),
+                      level[child_cursor + i].lowest_key);
+        node.set_child(static_cast<int>(i), level[child_cursor + i].page);
+      }
+      node.set_n(static_cast<int>(group - 1));
+      guard.MarkDirty();
+      parent_level.push_back({page_id, level[child_cursor].lowest_key});
+      child_cursor += group;
+    }
+    level = std::move(parent_level);
+  }
+
+  PageId meta_page = allocator->Allocate();
+  BTree tree(buffer, allocator, meta_page, level[0].page, sorted.size());
+  {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer->CreatePage(meta_page));
+    MetaView meta{guard.data().data()};
+    meta.set(level[0].page, sorted.size());
+    guard.MarkDirty();
+  }
+  return tree;
+}
+
+Status BTree::PersistMeta() {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(meta_page_));
+  MetaView meta{guard.data().data()};
+  meta.set(root_, count_);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+// Splits full child `child_pos` of non-full internal `parent`.  The caller
+// guarantees parent has room for one more separator.
+namespace {
+
+Status SplitChild(BufferManager* buffer, PageAllocator* allocator,
+                  PageGuard* parent_guard, int child_pos) {
+  Node parent{parent_guard->data().data(), parent_guard->data().size()};
+  PageId left_id = parent.child(child_pos);
+  COBRA_ASSIGN_OR_RETURN(PageGuard left_guard, buffer->FetchPage(left_id));
+  Node left{left_guard.data().data(), left_guard.data().size()};
+
+  PageId right_id = allocator->Allocate();
+  COBRA_ASSIGN_OR_RETURN(PageGuard right_guard, buffer->CreatePage(right_id));
+  Node right{right_guard.data().data(), right_guard.data().size()};
+  std::memset(right.p, 0, right.page_size);
+  right.set_leaf(left.leaf());
+  right.set_next(kInvalidPageId);
+
+  uint64_t separator;
+  if (left.leaf()) {
+    // B+ leaf split: right gets the upper half; the separator is a *copy*
+    // of right's first key (it stays in the leaf).
+    int total = left.n();
+    int keep = total / 2;
+    int moved = total - keep;
+    std::memcpy(right.leaf_entry(0), left.leaf_entry(keep), moved * 16);
+    right.set_n(moved);
+    left.set_n(keep);
+    right.set_next(left.next());
+    left.set_next(right_id);
+    separator = right.key(0);
+  } else {
+    // Internal split: the middle key moves *up* (it routes, it is not data).
+    int total = left.n();
+    int mid = total / 2;
+    separator = left.ikey(mid);
+    int moved = total - mid - 1;
+    right.set_child(0, left.child(mid + 1));
+    for (int i = 0; i < moved; ++i) {
+      right.set_ikey(i, left.ikey(mid + 1 + i));
+      right.set_child(i + 1, left.child(mid + 2 + i));
+    }
+    right.set_n(moved);
+    left.set_n(mid);
+  }
+  parent.InternalInsertAt(child_pos, separator, right_id);
+  parent_guard->MarkDirty();
+  left_guard.MarkDirty();
+  right_guard.MarkDirty();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BTree::Put(uint64_t key, uint64_t value) {
+  bool inserted = false;
+  COBRA_ASSIGN_OR_RETURN(auto split,
+                         InsertRecursive(root_, key, value,
+                                         /*overwrite=*/true, &inserted));
+  (void)split;  // Root splits are handled inside InsertRecursive.
+  if (inserted) {
+    ++count_;
+  }
+  return PersistMeta();
+}
+
+Status BTree::Insert(uint64_t key, uint64_t value) {
+  if (Contains(key)) {
+    return Status::AlreadyExists("key " + std::to_string(key));
+  }
+  return Put(key, value);
+}
+
+// Despite the name (kept for the header's narrative), this is an iterative
+// top-down insert: children are split on the way down so no split ever
+// propagates upward.
+Result<std::optional<BTree::SplitResult>> BTree::InsertRecursive(
+    PageId node_id, uint64_t key, uint64_t value, bool overwrite,
+    bool* inserted) {
+  // Grow the root first if it is full.
+  {
+    COBRA_ASSIGN_OR_RETURN(PageGuard root_guard, buffer_->FetchPage(root_));
+    Node root{root_guard.data().data(), root_guard.data().size()};
+    if (root.full()) {
+      PageId new_root_id = allocator_->Allocate();
+      COBRA_ASSIGN_OR_RETURN(PageGuard new_root_guard,
+                             buffer_->CreatePage(new_root_id));
+      Node new_root{new_root_guard.data().data(),
+                    new_root_guard.data().size()};
+      std::memset(new_root.p, 0, new_root.page_size);
+      new_root.set_leaf(false);
+      new_root.set_n(0);
+      new_root.set_next(kInvalidPageId);
+      new_root.set_child(0, root_);
+      new_root_guard.MarkDirty();
+      COBRA_RETURN_IF_ERROR(
+          SplitChild(buffer_, allocator_, &new_root_guard, 0));
+      root_ = new_root_id;
+      node_id = root_;
+    } else {
+      node_id = root_;
+    }
+  }
+
+  PageId current = node_id;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(current));
+    Node node{guard.data().data(), guard.data().size()};
+    if (node.leaf()) {
+      int pos = node.LeafLowerBound(key);
+      if (pos < node.n() && node.key(pos) == key) {
+        if (!overwrite) {
+          return Status::AlreadyExists("key " + std::to_string(key));
+        }
+        node.set_value(pos, value);
+        guard.MarkDirty();
+        *inserted = false;
+        return std::optional<SplitResult>();
+      }
+      node.LeafInsertAt(pos, key, value);
+      guard.MarkDirty();
+      *inserted = true;
+      return std::optional<SplitResult>();
+    }
+    int child_pos = node.ChildIndex(key);
+    PageId child_id = node.child(child_pos);
+    {
+      COBRA_ASSIGN_OR_RETURN(PageGuard child_guard,
+                             buffer_->FetchPage(child_id));
+      Node child{child_guard.data().data(), child_guard.data().size()};
+      if (child.full()) {
+        child_guard.Release();
+        COBRA_RETURN_IF_ERROR(
+            SplitChild(buffer_, allocator_, &guard, child_pos));
+        // Re-route: the new separator may push the key to the new sibling.
+        child_pos = node.ChildIndex(key);
+        child_id = node.child(child_pos);
+      }
+    }
+    current = child_id;
+  }
+}
+
+Result<PageId> BTree::DescendToLeaf(uint64_t key) const {
+  PageId current = root_;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(current));
+    Node node{guard.data().data(), guard.data().size()};
+    if (node.leaf()) {
+      return current;
+    }
+    current = node.child(node.ChildIndex(key));
+  }
+}
+
+Result<uint64_t> BTree::Get(uint64_t key) const {
+  COBRA_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key));
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(leaf_id));
+  Node node{guard.data().data(), guard.data().size()};
+  int pos = node.LeafLowerBound(key);
+  if (pos < node.n() && node.key(pos) == key) {
+    return node.value(pos);
+  }
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+bool BTree::Contains(uint64_t key) const { return Get(key).ok(); }
+
+Status BTree::FixUnderflow(PageId parent_id, int child_pos) {
+  COBRA_ASSIGN_OR_RETURN(PageGuard parent_guard,
+                         buffer_->FetchPage(parent_id));
+  Node parent{parent_guard.data().data(), parent_guard.data().size()};
+  PageId child_id = parent.child(child_pos);
+  COBRA_ASSIGN_OR_RETURN(PageGuard child_guard, buffer_->FetchPage(child_id));
+  Node child{child_guard.data().data(), child_guard.data().size()};
+
+  // Try borrowing from the left sibling.
+  if (child_pos > 0) {
+    PageId left_id = parent.child(child_pos - 1);
+    COBRA_ASSIGN_OR_RETURN(PageGuard left_guard, buffer_->FetchPage(left_id));
+    Node left{left_guard.data().data(), left_guard.data().size()};
+    if (static_cast<size_t>(left.n()) > left.min_keys()) {
+      if (child.leaf()) {
+        child.LeafInsertAt(0, left.key(left.n() - 1),
+                           left.value(left.n() - 1));
+        left.set_n(left.n() - 1);
+        parent.set_ikey(child_pos - 1, child.key(0));
+      } else {
+        // Rotate right through the parent separator.  The memmove shifts the
+        // (key, right-child) pairs one stride up; the old child[0] then
+        // becomes child[1].
+        std::memmove(child.ikey_ptr(1), child.ikey_ptr(0), child.n() * 16);
+        child.set_child(1, child.child(0));
+        child.set_ikey(0, parent.ikey(child_pos - 1));
+        child.set_child(0, left.child(left.n()));
+        child.set_n(child.n() + 1);
+        parent.set_ikey(child_pos - 1, left.ikey(left.n() - 1));
+        left.set_n(left.n() - 1);
+      }
+      parent_guard.MarkDirty();
+      left_guard.MarkDirty();
+      child_guard.MarkDirty();
+      return Status::OK();
+    }
+  }
+
+  // Try borrowing from the right sibling.
+  if (child_pos < parent.n()) {
+    PageId right_id = parent.child(child_pos + 1);
+    COBRA_ASSIGN_OR_RETURN(PageGuard right_guard,
+                           buffer_->FetchPage(right_id));
+    Node right{right_guard.data().data(), right_guard.data().size()};
+    if (static_cast<size_t>(right.n()) > right.min_keys()) {
+      if (child.leaf()) {
+        child.LeafInsertAt(child.n(), right.key(0), right.value(0));
+        right.LeafRemoveAt(0);
+        parent.set_ikey(child_pos, right.key(0));
+      } else {
+        // Rotate left through the parent separator.
+        child.set_ikey(child.n(), parent.ikey(child_pos));
+        child.set_child(child.n() + 1, right.child(0));
+        child.set_n(child.n() + 1);
+        parent.set_ikey(child_pos, right.ikey(0));
+        // Old child[1] becomes child[0]; then the (key, right-child) pairs
+        // shift one stride down.
+        right.set_child(0, right.child(1));
+        std::memmove(right.ikey_ptr(0), right.ikey_ptr(1),
+                     (right.n() - 1) * 16);
+        right.set_n(right.n() - 1);
+      }
+      parent_guard.MarkDirty();
+      right_guard.MarkDirty();
+      child_guard.MarkDirty();
+      return Status::OK();
+    }
+  }
+
+  // Merge with a sibling.  Merge child into its left sibling when one
+  // exists, otherwise merge the right sibling into child.
+  int left_pos = child_pos > 0 ? child_pos - 1 : child_pos;
+  PageId left_id = parent.child(left_pos);
+  PageId right_id = parent.child(left_pos + 1);
+  COBRA_ASSIGN_OR_RETURN(PageGuard left_guard, buffer_->FetchPage(left_id));
+  COBRA_ASSIGN_OR_RETURN(PageGuard right_guard, buffer_->FetchPage(right_id));
+  Node left{left_guard.data().data(), left_guard.data().size()};
+  Node right{right_guard.data().data(), right_guard.data().size()};
+  if (left.leaf()) {
+    std::memcpy(left.leaf_entry(left.n()), right.leaf_entry(0),
+                right.n() * 16);
+    left.set_n(left.n() + right.n());
+    left.set_next(right.next());
+  } else {
+    left.set_ikey(left.n(), parent.ikey(left_pos));
+    left.set_child(left.n() + 1, right.child(0));
+    for (int i = 0; i < right.n(); ++i) {
+      left.set_ikey(left.n() + 1 + i, right.ikey(i));
+      left.set_child(left.n() + 2 + i, right.child(i + 1));
+    }
+    left.set_n(left.n() + 1 + right.n());
+  }
+  parent.InternalRemoveAt(left_pos);
+  parent_guard.MarkDirty();
+  left_guard.MarkDirty();
+  right_guard.MarkDirty();
+  // The right page is now orphaned; we do not maintain a free list (the
+  // simulated disk has no space pressure), matching classic WiSS behavior.
+  return Status::OK();
+}
+
+Status BTree::Delete(uint64_t key) {
+  // Top-down: ensure every node we descend *from* has more than min keys,
+  // so the leaf deletion can never propagate underflow upward.
+  PageId current = root_;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(current));
+    Node node{guard.data().data(), guard.data().size()};
+    if (node.leaf()) {
+      int pos = node.LeafLowerBound(key);
+      if (pos >= node.n() || node.key(pos) != key) {
+        return Status::NotFound("key " + std::to_string(key));
+      }
+      node.LeafRemoveAt(pos);
+      guard.MarkDirty();
+      --count_;
+      break;
+    }
+    int child_pos = node.ChildIndex(key);
+    PageId child_id = node.child(child_pos);
+    bool child_at_min = false;
+    {
+      COBRA_ASSIGN_OR_RETURN(PageGuard child_guard,
+                             buffer_->FetchPage(child_id));
+      Node child{child_guard.data().data(), child_guard.data().size()};
+      child_at_min = static_cast<size_t>(child.n()) <= child.min_keys();
+    }
+    if (child_at_min) {
+      guard.Release();
+      COBRA_RETURN_IF_ERROR(FixUnderflow(current, child_pos));
+      // Separators moved; re-route from the same node (it may have merged
+      // into having fewer children).
+      COBRA_ASSIGN_OR_RETURN(PageGuard reguard, buffer_->FetchPage(current));
+      Node renode{reguard.data().data(), reguard.data().size()};
+      if (renode.n() == 0 && !renode.leaf()) {
+        // Only possible at the root: collapse one level.
+        PageId only_child = renode.child(0);
+        if (current == root_) {
+          root_ = only_child;
+        }
+        current = only_child;
+        continue;
+      }
+      child_pos = renode.ChildIndex(key);
+      child_id = renode.child(child_pos);
+    }
+    current = child_id;
+  }
+  return PersistMeta();
+}
+
+Result<BTree::Iterator> BTree::Seek(uint64_t key) const {
+  COBRA_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key));
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(leaf_id));
+  Node node{guard.data().data(), guard.data().size()};
+  int pos = node.LeafLowerBound(key);
+  if (pos >= node.n()) {
+    // Key is past this leaf: start at the next leaf (or end).
+    return Iterator(this, node.next(), 0);
+  }
+  return Iterator(this, leaf_id, static_cast<uint16_t>(pos));
+}
+
+Result<BTree::Iterator> BTree::Begin() const { return Seek(0); }
+
+Result<bool> BTree::Iterator::Next(uint64_t* key, uint64_t* value) {
+  while (leaf_ != kInvalidPageId) {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, tree_->buffer_->FetchPage(leaf_));
+    Node node{guard.data().data(), guard.data().size()};
+    if (index_ < node.n()) {
+      *key = node.key(index_);
+      *value = node.value(index_);
+      ++index_;
+      return true;
+    }
+    leaf_ = node.next();
+    index_ = 0;
+  }
+  return false;
+}
+
+Status BTree::CheckNode(PageId node_id, std::optional<uint64_t> lo,
+                        std::optional<uint64_t> hi, int depth,
+                        int* leaf_depth) const {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(node_id));
+  Node node{guard.data().data(), guard.data().size()};
+  bool is_root = (node_id == root_);
+  if (!is_root && static_cast<size_t>(node.n()) < node.min_keys()) {
+    return Status::Corruption("underfull node " + std::to_string(node_id));
+  }
+  if (static_cast<size_t>(node.n()) > node.cap()) {
+    return Status::Corruption("overfull node " + std::to_string(node_id));
+  }
+  auto in_bounds = [&](uint64_t k) {
+    if (lo.has_value() && k < *lo) return false;
+    if (hi.has_value() && k >= *hi) return false;
+    return true;
+  };
+  if (node.leaf()) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at unequal depth");
+    }
+    for (int i = 0; i < node.n(); ++i) {
+      if (i > 0 && node.key(i - 1) >= node.key(i)) {
+        return Status::Corruption("unsorted leaf keys");
+      }
+      if (!in_bounds(node.key(i))) {
+        return Status::Corruption("leaf key outside separator bounds");
+      }
+    }
+    return Status::OK();
+  }
+  for (int i = 0; i < node.n(); ++i) {
+    if (i > 0 && node.ikey(i - 1) >= node.ikey(i)) {
+      return Status::Corruption("unsorted separators");
+    }
+    if (!in_bounds(node.ikey(i))) {
+      return Status::Corruption("separator outside bounds");
+    }
+  }
+  for (int i = 0; i <= node.n(); ++i) {
+    std::optional<uint64_t> child_lo = i == 0 ? lo : node.ikey(i - 1);
+    std::optional<uint64_t> child_hi = i == node.n() ? hi : node.ikey(i);
+    COBRA_RETURN_IF_ERROR(
+        CheckNode(node.child(i), child_lo, child_hi, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  return CheckNode(root_, std::nullopt, std::nullopt, 0, &leaf_depth);
+}
+
+Result<int> BTree::Height() const {
+  int height = 1;
+  PageId current = root_;
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(current));
+    Node node{guard.data().data(), guard.data().size()};
+    if (node.leaf()) {
+      return height;
+    }
+    current = node.child(0);
+    ++height;
+  }
+}
+
+}  // namespace cobra

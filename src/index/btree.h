@@ -1,0 +1,133 @@
+// BTree: a disk-resident B+-tree with fixed-width uint64 keys and values.
+//
+// Volcano (the substrate the paper builds on) ships heap files and B-trees;
+// COBRA uses the tree for OID directories (OID -> packed physical address)
+// and for ordered index scans feeding query plans.  All node access goes
+// through the buffer manager, so tree traffic shows up in the same disk and
+// buffer statistics as everything else.
+//
+// Structure: a meta page (root pointer + entry count), internal nodes with
+// n keys / n+1 children, and leaf nodes chained left-to-right for range
+// scans.  Deletion rebalances via borrow-from-sibling or merge, collapsing
+// the root when it empties.
+
+#ifndef COBRA_INDEX_BTREE_H_
+#define COBRA_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "file/heap_file.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+class BTree {
+ public:
+  // Creates an empty tree: allocates a meta page and an empty root leaf.
+  static Result<BTree> Create(BufferManager* buffer, PageAllocator* allocator);
+
+  // Reattaches to a tree previously created with `meta_page`.
+  static Result<BTree> Open(BufferManager* buffer, PageAllocator* allocator,
+                            PageId meta_page);
+
+  // Builds a tree from key-sorted, duplicate-free (key, value) pairs by
+  // packing leaves left-to-right at `fill` occupancy (clamped to
+  // [0.5, 1.0]) and stacking internal levels bottom-up — one sequential
+  // pass instead of n logarithmic inserts.  The resulting tree satisfies
+  // all invariants and remains fully updatable.
+  static Result<BTree> BulkLoad(
+      BufferManager* buffer, PageAllocator* allocator,
+      const std::vector<std::pair<uint64_t, uint64_t>>& sorted,
+      double fill = 0.9);
+
+  // Inserts or overwrites.
+  Status Put(uint64_t key, uint64_t value);
+
+  // Inserts; AlreadyExists if the key is present.
+  Status Insert(uint64_t key, uint64_t value);
+
+  // NotFound if absent.
+  Result<uint64_t> Get(uint64_t key) const;
+  bool Contains(uint64_t key) const;
+
+  // NotFound if absent.
+  Status Delete(uint64_t key);
+
+  uint64_t size() const { return count_; }
+  PageId meta_page() const { return meta_page_; }
+
+  // Forward iterator over key order.  Valid while the tree is not mutated.
+  class Iterator {
+   public:
+    // Advances; returns false at end.
+    Result<bool> Next(uint64_t* key, uint64_t* value);
+
+   private:
+    friend class BTree;
+    Iterator(const BTree* tree, PageId leaf, uint16_t index)
+        : tree_(tree), leaf_(leaf), index_(index) {}
+    const BTree* tree_;
+    PageId leaf_;
+    uint16_t index_;
+  };
+
+  // Iterator positioned at the first key >= `key`.
+  Result<Iterator> Seek(uint64_t key) const;
+  Result<Iterator> Begin() const;
+
+  // Structural invariant check used by tests: keys sorted within nodes,
+  // separators bound subtrees, all leaves at equal depth, node occupancy
+  // within bounds.  Returns Corruption with a description on violation.
+  Status CheckInvariants() const;
+
+  // Tree height (1 = root is a leaf).  For tests and stats.
+  Result<int> Height() const;
+
+ private:
+  BTree(BufferManager* buffer, PageAllocator* allocator, PageId meta_page,
+        PageId root, uint64_t count)
+      : buffer_(buffer),
+        allocator_(allocator),
+        meta_page_(meta_page),
+        root_(root),
+        count_(count) {}
+
+  // Outcome of a recursive insert: set when the child split and the parent
+  // must add (separator, new right sibling).
+  struct SplitResult {
+    uint64_t separator;
+    PageId right;
+  };
+
+  Result<std::optional<SplitResult>> InsertRecursive(PageId node, uint64_t key,
+                                                     uint64_t value,
+                                                     bool overwrite,
+                                                     bool* inserted);
+  // Returns true if `node` is now underfull and the parent must rebalance.
+  Result<bool> DeleteRecursive(PageId node, uint64_t key, bool* deleted);
+  // Rebalances underfull child `child_pos` of internal node `parent`.
+  Status FixUnderflow(PageId parent, int child_pos);
+
+  Status PersistMeta();
+  Result<PageId> DescendToLeaf(uint64_t key) const;
+
+  Status CheckNode(PageId node, std::optional<uint64_t> lo,
+                   std::optional<uint64_t> hi, int depth,
+                   int* leaf_depth) const;
+
+  BufferManager* buffer_;
+  PageAllocator* allocator_;
+  PageId meta_page_;
+  PageId root_;
+  uint64_t count_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_INDEX_BTREE_H_

@@ -1,0 +1,69 @@
+#include "object/assembled_object.h"
+
+namespace cobra {
+
+AssembledObject* ObjectArena::NewFrom(const ObjectData& data,
+                                      size_t template_child_count) {
+  AssembledObject* obj = New();
+  obj->oid = data.oid;
+  obj->type_id = data.type_id;
+  obj->fields = data.fields;
+  obj->children.assign(template_child_count, nullptr);
+  obj->child_slots.assign(template_child_count, -1);
+  return obj;
+}
+
+namespace {
+
+void VisitImpl(const AssembledObject* node,
+               std::unordered_set<const AssembledObject*>* seen,
+               const std::function<void(const AssembledObject&)>& fn) {
+  if (node == nullptr || !seen->insert(node).second) return;
+  fn(*node);
+  for (const AssembledObject* child : node->children) {
+    VisitImpl(child, seen, fn);
+  }
+}
+
+}  // namespace
+
+void VisitAssembled(const AssembledObject* root,
+                    const std::function<void(const AssembledObject&)>& fn) {
+  std::unordered_set<const AssembledObject*> seen;
+  VisitImpl(root, &seen, fn);
+}
+
+size_t CountAssembled(const AssembledObject* root) {
+  size_t count = 0;
+  VisitAssembled(root, [&count](const AssembledObject&) { ++count; });
+  return count;
+}
+
+std::unordered_set<Oid> CollectOids(const AssembledObject* root) {
+  std::unordered_set<Oid> oids;
+  VisitAssembled(root,
+                 [&oids](const AssembledObject& node) { oids.insert(node.oid); });
+  return oids;
+}
+
+const AssembledObject* FindByType(const AssembledObject* root, TypeId type) {
+  const AssembledObject* found = nullptr;
+  VisitAssembled(root, [&found, type](const AssembledObject& node) {
+    if (found == nullptr && node.type_id == type) {
+      found = &node;
+    }
+  });
+  return found;
+}
+
+int64_t SumField(const AssembledObject* root, size_t field_index) {
+  int64_t total = 0;
+  VisitAssembled(root, [&total, field_index](const AssembledObject& node) {
+    if (field_index < node.fields.size()) {
+      total += node.fields[field_index];
+    }
+  });
+  return total;
+}
+
+}  // namespace cobra

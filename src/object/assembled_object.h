@@ -1,0 +1,96 @@
+// AssembledObject: the pointer-swizzled in-memory complex object.
+//
+// §4 of the paper: "all object references (OIDs) are changed to memory
+// pointers.  This 'pointer-swizzling' process results in a structure that
+// can be scanned without the need to consult an OID-to-memory-address
+// mapping table."  An AssembledObject holds the scalar fields plus direct
+// pointers to the children the template asked for; traversal never touches
+// the directory or the buffer pool.
+//
+// Objects live in an ObjectArena (stable addresses, bulk lifetime) owned by
+// whichever operator produced them.  Shared sub-objects are represented by
+// multiple parents pointing at one node; ref_count tracks how many parents
+// hold a pointer so the assembly window knows when a shared component can be
+// dropped from its resident map.
+
+#ifndef COBRA_OBJECT_ASSEMBLED_OBJECT_H_
+#define COBRA_OBJECT_ASSEMBLED_OBJECT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "object/object.h"
+#include "object/oid.h"
+
+namespace cobra {
+
+struct AssembledObject {
+  Oid oid = kInvalidOid;
+  TypeId type_id = kAnyTypeId;
+  std::vector<int32_t> fields;
+
+  // Swizzled children, in the order the template lists them.  child_slots[i]
+  // is the reference-field index in the on-disk object that children[i] was
+  // resolved from.  A child may be nullptr while assembly is in flight or
+  // when the reference field held kInvalidOid.
+  std::vector<AssembledObject*> children;
+  std::vector<int> child_slots;
+
+  // Number of parents currently pointing at this object (> 1 only for
+  // shared sub-objects).
+  int ref_count = 0;
+};
+
+// Bump-style arena with stable addresses.
+class ObjectArena {
+ public:
+  AssembledObject* New() { return &storage_.emplace_back(); }
+
+  // Copies the scalar part of `data` into a fresh node with
+  // `template_child_count` (initially null) child pointers.
+  AssembledObject* NewFrom(const ObjectData& data, size_t template_child_count);
+
+  size_t size() const { return storage_.size(); }
+  void Clear() { storage_.clear(); }
+
+ private:
+  std::deque<AssembledObject> storage_;
+};
+
+// Components pre-assembled by an earlier operator (stacked assembly,
+// Fig. 17): a downstream assembly operator links these instead of fetching.
+// shared_ptr because rows carry it through the Volcano pipeline.
+struct PrebuiltComponents {
+  std::unordered_map<Oid, AssembledObject*> by_oid;
+  // Keeps the producing operator's arena alive as long as any consumer row
+  // still references its objects.
+  std::shared_ptr<ObjectArena> arena;
+};
+
+// --- traversal helpers (DAG-safe: shared nodes visited once) ---
+
+// Calls `fn` exactly once per distinct reachable node, pre-order.
+void VisitAssembled(const AssembledObject* root,
+                    const std::function<void(const AssembledObject&)>& fn);
+
+// Number of distinct nodes reachable from root.
+size_t CountAssembled(const AssembledObject* root);
+
+// OIDs of all distinct reachable nodes (unordered).
+std::unordered_set<Oid> CollectOids(const AssembledObject* root);
+
+// First reachable node with the given type, or nullptr.
+const AssembledObject* FindByType(const AssembledObject* root, TypeId type);
+
+// Sum of a scalar field over all distinct reachable nodes that have it;
+// shared nodes are counted once.
+int64_t SumField(const AssembledObject* root, size_t field_index);
+
+}  // namespace cobra
+
+#endif  // COBRA_OBJECT_ASSEMBLED_OBJECT_H_

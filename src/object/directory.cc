@@ -1,0 +1,46 @@
+#include "object/directory.h"
+
+#include <string>
+
+namespace cobra {
+
+Status HashDirectory::Put(Oid oid, RecordId location) {
+  if (oid == kInvalidOid) {
+    return Status::InvalidArgument("cannot register the invalid OID");
+  }
+  map_[oid] = location;
+  return Status::OK();
+}
+
+Result<RecordId> HashDirectory::Lookup(Oid oid) const {
+  auto it = map_.find(oid);
+  if (it == map_.end()) {
+    return Status::NotFound("OID " + std::to_string(oid) +
+                            " not in directory");
+  }
+  return it->second;
+}
+
+Status HashDirectory::Remove(Oid oid) {
+  if (map_.erase(oid) == 0) {
+    return Status::NotFound("OID " + std::to_string(oid) +
+                            " not in directory");
+  }
+  return Status::OK();
+}
+
+Status BTreeDirectory::Put(Oid oid, RecordId location) {
+  if (oid == kInvalidOid) {
+    return Status::InvalidArgument("cannot register the invalid OID");
+  }
+  return tree_->Put(oid, PackRecordId(location));
+}
+
+Result<RecordId> BTreeDirectory::Lookup(Oid oid) const {
+  COBRA_ASSIGN_OR_RETURN(uint64_t packed, tree_->Get(oid));
+  return UnpackRecordId(packed);
+}
+
+Status BTreeDirectory::Remove(Oid oid) { return tree_->Delete(oid); }
+
+}  // namespace cobra

@@ -1,0 +1,78 @@
+#include "object/object_store.h"
+
+#include <string>
+
+#include "storage/slotted_page.h"
+
+namespace cobra {
+
+Result<Oid> ObjectStore::InsertCommon(const ObjectData& obj, HeapFile* file,
+                                      bool explicit_page, size_t page_index) {
+  ObjectData to_write = obj;
+  if (to_write.oid == kInvalidOid) {
+    to_write.oid = AllocateOid();
+  } else if (to_write.oid >= next_oid_) {
+    // Keep the allocator ahead of externally chosen OIDs.
+    next_oid_ = to_write.oid + 1;
+  }
+  if (directory_->Lookup(to_write.oid).ok()) {
+    return Status::AlreadyExists("OID " + std::to_string(to_write.oid) +
+                                 " already stored");
+  }
+  std::vector<std::byte> record = to_write.Serialize();
+  RecordId location;
+  if (explicit_page) {
+    COBRA_ASSIGN_OR_RETURN(location, file->InsertAtPage(page_index, record));
+  } else {
+    COBRA_ASSIGN_OR_RETURN(location, file->Append(record));
+  }
+  COBRA_RETURN_IF_ERROR(directory_->Put(to_write.oid, location));
+  stats_.objects_written++;
+  return to_write.oid;
+}
+
+Result<Oid> ObjectStore::Insert(const ObjectData& obj, HeapFile* file) {
+  return InsertCommon(obj, file, /*explicit_page=*/false, 0);
+}
+
+Result<Oid> ObjectStore::InsertAtPage(const ObjectData& obj, HeapFile* file,
+                                      size_t page_index) {
+  return InsertCommon(obj, file, /*explicit_page=*/true, page_index);
+}
+
+Result<ObjectData> ObjectStore::Get(Oid oid) const {
+  COBRA_ASSIGN_OR_RETURN(RecordId location, directory_->Lookup(oid));
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(location.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_ASSIGN_OR_RETURN(std::span<const std::byte> body,
+                         page.Get(location.slot));
+  COBRA_ASSIGN_OR_RETURN(ObjectData obj, ObjectData::Deserialize(body));
+  if (obj.oid != oid) {
+    return Status::Corruption("directory points at record with OID " +
+                              std::to_string(obj.oid) + ", expected " +
+                              std::to_string(oid));
+  }
+  stats_.objects_read++;
+  return obj;
+}
+
+Status ObjectStore::Update(const ObjectData& obj) {
+  COBRA_ASSIGN_OR_RETURN(RecordId location, directory_->Lookup(obj.oid));
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(location.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  std::vector<std::byte> record = obj.Serialize();
+  COBRA_RETURN_IF_ERROR(page.Update(location.slot, record));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status ObjectStore::Remove(Oid oid) {
+  COBRA_ASSIGN_OR_RETURN(RecordId location, directory_->Lookup(oid));
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(location.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_RETURN_IF_ERROR(page.Delete(location.slot));
+  guard.MarkDirty();
+  return directory_->Remove(oid);
+}
+
+}  // namespace cobra

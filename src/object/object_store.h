@@ -1,0 +1,80 @@
+// ObjectStore: the storage-layer object API.
+//
+// Writes go into a caller-chosen HeapFile (that is how the workload
+// generator realizes clustering policies — §6.1), reads resolve the OID
+// through the Directory and fetch the record through the buffer manager.
+// Locate() exposes the physical page of an object without I/O; the assembly
+// schedulers are built on it.
+
+#ifndef COBRA_OBJECT_OBJECT_STORE_H_
+#define COBRA_OBJECT_OBJECT_STORE_H_
+
+#include <cstdint>
+
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "file/heap_file.h"
+#include "object/directory.h"
+#include "object/object.h"
+#include "object/oid.h"
+
+namespace cobra {
+
+struct ObjectStoreStats {
+  uint64_t objects_read = 0;
+  uint64_t objects_written = 0;
+};
+
+class ObjectStore {
+ public:
+  // Does not take ownership of `buffer` or `directory`.
+  ObjectStore(BufferManager* buffer, Directory* directory)
+      : buffer_(buffer), directory_(directory) {}
+
+  // Returns a fresh, never-used OID.
+  Oid AllocateOid() { return next_oid_++; }
+
+  // The next OID AllocateOid() would hand out.  A store reattached to
+  // existing data must be seeded past all stored OIDs via set_next_oid().
+  Oid next_oid() const { return next_oid_; }
+  void set_next_oid(Oid oid) { next_oid_ = oid; }
+
+  // Appends `obj` to `file`, registering it in the directory.  If obj.oid is
+  // kInvalidOid a fresh OID is assigned; the returned value is the OID used.
+  Result<Oid> Insert(const ObjectData& obj, HeapFile* file);
+
+  // Places `obj` into page `page_index` of `file`'s extent (explicit
+  // physical placement for clustering control).
+  Result<Oid> InsertAtPage(const ObjectData& obj, HeapFile* file,
+                           size_t page_index);
+
+  // Reads and decodes the object.  NotFound if the OID is unregistered.
+  Result<ObjectData> Get(Oid oid) const;
+
+  // Physical location without I/O (with a HashDirectory).
+  Result<RecordId> Locate(Oid oid) const { return directory_->Lookup(oid); }
+
+  // In-place overwrite; the serialized size must be unchanged.
+  Status Update(const ObjectData& obj);
+
+  Status Remove(Oid oid);
+
+  BufferManager* buffer() const { return buffer_; }
+  Directory* directory() const { return directory_; }
+  const ObjectStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ObjectStoreStats(); }
+
+ private:
+  Result<Oid> InsertCommon(const ObjectData& obj, HeapFile* file,
+                           bool explicit_page, size_t page_index);
+
+  BufferManager* buffer_;
+  Directory* directory_;
+  Oid next_oid_ = 1;
+  mutable ObjectStoreStats stats_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_OBJECT_OBJECT_STORE_H_

@@ -1,0 +1,36 @@
+// Object identifiers and physical-address packing.
+//
+// The paper deliberately does not require object references to carry a
+// physical component — only that "there is a mapping from object reference
+// to physical location" (footnote 1).  COBRA therefore uses purely logical
+// 64-bit OIDs resolved through a Directory (object/directory.h).
+
+#ifndef COBRA_OBJECT_OID_H_
+#define COBRA_OBJECT_OID_H_
+
+#include <cstdint>
+
+#include "file/heap_file.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+using Oid = uint64_t;
+inline constexpr Oid kInvalidOid = 0;
+
+using TypeId = uint32_t;
+inline constexpr TypeId kAnyTypeId = 0;
+
+// Packs a RecordId into a uint64 so physical addresses fit in B-tree values:
+// page in the upper 48 bits, slot in the lower 16.
+inline uint64_t PackRecordId(RecordId id) {
+  return (id.page << 16) | static_cast<uint64_t>(id.slot);
+}
+
+inline RecordId UnpackRecordId(uint64_t packed) {
+  return RecordId{packed >> 16, static_cast<uint16_t>(packed & 0xFFFF)};
+}
+
+}  // namespace cobra
+
+#endif  // COBRA_OBJECT_OID_H_

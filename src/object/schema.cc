@@ -1,0 +1,203 @@
+#include "object/schema.h"
+
+#include <map>
+
+namespace cobra {
+
+int TypeCatalog::TypeInfo::FieldIndex(std::string_view field_name) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i] == field_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int TypeCatalog::TypeInfo::RefIndex(std::string_view ref_name) const {
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (refs[i].name == ref_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<TypeId> TypeCatalog::DefineType(std::string name,
+                                       std::vector<std::string> fields,
+                                       std::vector<RefSpec> refs) {
+  if (name.empty()) {
+    return Status::InvalidArgument("type name must be non-empty");
+  }
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists("type '" + name + "' already defined");
+  }
+  // Duplicate member names would make name-based access ambiguous.
+  for (size_t i = 0; i < fields.size(); ++i) {
+    for (size_t j = i + 1; j < fields.size(); ++j) {
+      if (fields[i] == fields[j]) {
+        return Status::InvalidArgument("duplicate field '" + fields[i] + "'");
+      }
+    }
+  }
+  for (size_t i = 0; i < refs.size(); ++i) {
+    for (size_t j = i + 1; j < refs.size(); ++j) {
+      if (refs[i].name == refs[j].name) {
+        return Status::InvalidArgument("duplicate reference '" +
+                                       refs[i].name + "'");
+      }
+    }
+  }
+  TypeInfo info;
+  info.id = static_cast<TypeId>(types_.size() + 1);
+  info.name = name;
+  info.fields = std::move(fields);
+  info.refs = std::move(refs);
+  by_name_[info.name] = info.id;
+  types_.push_back(std::move(info));
+  return types_.back().id;
+}
+
+Result<const TypeCatalog::TypeInfo*> TypeCatalog::Find(
+    std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("type '" + std::string(name) + "' not defined");
+  }
+  return &types_[it->second - 1];
+}
+
+Result<const TypeCatalog::TypeInfo*> TypeCatalog::Find(TypeId id) const {
+  if (id == kAnyTypeId || id > types_.size()) {
+    return Status::NotFound("type id " + std::to_string(id) + " not defined");
+  }
+  return &types_[id - 1];
+}
+
+Status TypeCatalog::Validate() const {
+  for (const TypeInfo& info : types_) {
+    for (const RefSpec& ref : info.refs) {
+      if (!by_name_.contains(ref.target_type)) {
+        return Status::InvalidArgument(
+            "type '" + info.name + "' reference '" + ref.name +
+            "' targets undefined type '" + ref.target_type + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<AssemblyTemplate> TypeCatalog::BuildTemplate(
+    std::string_view root_type, const std::vector<std::string>& paths) const {
+  COBRA_RETURN_IF_ERROR(Validate());
+  COBRA_ASSIGN_OR_RETURN(const TypeInfo* root_info, Find(root_type));
+
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode(root_info->name);
+  root->expected_type = root_info->id;
+  tmpl.SetRoot(root);
+
+  // Node lookup by (parent node, ref slot): shared prefixes merge.
+  std::map<std::pair<TemplateNode*, int>, TemplateNode*> edges;
+
+  for (const std::string& path : paths) {
+    if (path.empty()) {
+      return Status::InvalidArgument("empty template path");
+    }
+    TemplateNode* node = root;
+    const TypeInfo* info = root_info;
+    size_t start = 0;
+    while (start <= path.size()) {
+      size_t dot = path.find('.', start);
+      std::string segment = path.substr(
+          start, dot == std::string::npos ? std::string::npos : dot - start);
+      if (segment.empty()) {
+        return Status::InvalidArgument("malformed template path '" + path +
+                                       "'");
+      }
+      int slot = info->RefIndex(segment);
+      if (slot < 0) {
+        return Status::InvalidArgument("type '" + info->name +
+                                       "' has no reference '" + segment +
+                                       "' (path '" + path + "')");
+      }
+      const RefSpec& ref = info->refs[static_cast<size_t>(slot)];
+      COBRA_ASSIGN_OR_RETURN(const TypeInfo* child_info,
+                             Find(ref.target_type));
+      auto key = std::make_pair(node, slot);
+      auto it = edges.find(key);
+      TemplateNode* child;
+      if (it != edges.end()) {
+        child = it->second;
+      } else {
+        child = tmpl.AddNode(info->name + "." + ref.name);
+        child->expected_type = child_info->id;
+        child->shared = ref.shared;
+        node->children.push_back({slot, child});
+        edges.emplace(key, child);
+      }
+      node = child;
+      info = child_info;
+      if (dot == std::string::npos) break;
+      start = dot + 1;
+    }
+  }
+  COBRA_RETURN_IF_ERROR(tmpl.Validate());
+  return tmpl;
+}
+
+ObjectBuilder::ObjectBuilder(const TypeCatalog* catalog,
+                             std::string_view type_name)
+    : catalog_(catalog), type_name_(type_name) {
+  auto info = catalog_->Find(type_name);
+  if (info.ok()) {
+    info_ = *info;
+    object_.type_id = info_->id;
+    object_.fields.assign(info_->fields.size(), 0);
+    // Storage objects always carry 8 reference slots (the paper's layout);
+    // grow if the schema declares more.
+    object_.refs.assign(std::max<size_t>(8, info_->refs.size()), kInvalidOid);
+  } else {
+    first_error_ = info.status().ToString();
+  }
+}
+
+ObjectBuilder& ObjectBuilder::Oid(cobra::Oid oid) {
+  object_.oid = oid;
+  return *this;
+}
+
+ObjectBuilder& ObjectBuilder::Set(std::string_view field, int32_t value) {
+  if (info_ == nullptr) return *this;
+  int index = info_->FieldIndex(field);
+  if (index < 0) {
+    if (first_error_.empty()) {
+      first_error_ = "type '" + info_->name + "' has no field '" +
+                     std::string(field) + "'";
+    }
+    return *this;
+  }
+  object_.fields[static_cast<size_t>(index)] = value;
+  return *this;
+}
+
+ObjectBuilder& ObjectBuilder::SetRef(std::string_view ref, cobra::Oid target) {
+  if (info_ == nullptr) return *this;
+  int index = info_->RefIndex(ref);
+  if (index < 0) {
+    if (first_error_.empty()) {
+      first_error_ = "type '" + info_->name + "' has no reference '" +
+                     std::string(ref) + "'";
+    }
+    return *this;
+  }
+  object_.refs[static_cast<size_t>(index)] = target;
+  return *this;
+}
+
+Result<ObjectData> ObjectBuilder::Build() const {
+  if (info_ == nullptr) {
+    return Status::NotFound("type '" + type_name_ + "' not defined");
+  }
+  if (!first_error_.empty()) {
+    return Status::InvalidArgument(first_error_);
+  }
+  return object_;
+}
+
+}  // namespace cobra

@@ -1,0 +1,112 @@
+// TypeCatalog: schema metadata for storage objects, and the friendly way to
+// build assembly templates.
+//
+// The Revelation system the paper belongs to derives structural information
+// about queries by "revealing" encapsulated behavior; COBRA's stand-in is a
+// declared schema: each type names its scalar fields and reference slots
+// (with target types and sharing annotations).  From the schema, templates
+// are built from dotted reference paths:
+//
+//   TypeCatalog catalog;
+//   catalog.DefineType("Residence", {"city", "zip"}, {});
+//   catalog.DefineType("Person", {"id", "birth_year"},
+//                      {{"father", "Person", false},
+//                       {"residence", "Residence", true}});
+//   auto tmpl = catalog.BuildTemplate(
+//       "Person", {"father.residence", "residence"});
+//
+// which produces exactly the paper's Figure-2 template: the portion of the
+// complex object the query needs, nothing more.
+
+#ifndef COBRA_OBJECT_SCHEMA_H_
+#define COBRA_OBJECT_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "assembly/template.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "object/object.h"
+#include "object/oid.h"
+
+namespace cobra {
+
+class TypeCatalog {
+ public:
+  struct RefSpec {
+    std::string name;
+    std::string target_type;
+    // Instances of this reference's target may be shared between complex
+    // objects (copied into template sharing annotations).
+    bool shared = false;
+  };
+
+  struct TypeInfo {
+    TypeId id = kAnyTypeId;
+    std::string name;
+    std::vector<std::string> fields;
+    std::vector<RefSpec> refs;
+
+    // Index of a scalar field / reference slot by name; -1 when absent.
+    int FieldIndex(std::string_view field_name) const;
+    int RefIndex(std::string_view ref_name) const;
+  };
+
+  TypeCatalog() = default;
+
+  // Registers a type.  Reference target types may be registered later
+  // (mutual recursion); they are checked at BuildTemplate/Validate time.
+  // Type ids are assigned sequentially from 1.
+  Result<TypeId> DefineType(std::string name, std::vector<std::string> fields,
+                            std::vector<RefSpec> refs);
+
+  Result<const TypeInfo*> Find(std::string_view name) const;
+  Result<const TypeInfo*> Find(TypeId id) const;
+  size_t size() const { return types_.size(); }
+
+  // Verifies every reference targets a defined type.
+  Status Validate() const;
+
+  // Builds a template rooted at `root_type` covering the given dotted
+  // reference paths.  Shared path prefixes merge into one template node;
+  // every node carries the expected type and the schema's sharing flag.
+  // An empty path list yields a root-only template.
+  Result<AssemblyTemplate> BuildTemplate(
+      std::string_view root_type, const std::vector<std::string>& paths) const;
+
+ private:
+  std::vector<TypeInfo> types_;  // index = TypeId - 1
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+// Fluent construction of ObjectData against a catalog, by name:
+//
+//   COBRA_ASSIGN_OR_RETURN(ObjectData person,
+//       ObjectBuilder(&catalog, "Person")
+//           .Set("id", 7).Set("birth_year", 1970)
+//           .SetRef("residence", home_oid).Build());
+class ObjectBuilder {
+ public:
+  ObjectBuilder(const TypeCatalog* catalog, std::string_view type_name);
+
+  ObjectBuilder& Oid(cobra::Oid oid);
+  ObjectBuilder& Set(std::string_view field, int32_t value);
+  ObjectBuilder& SetRef(std::string_view ref, cobra::Oid target);
+
+  // Fails if the type or any referenced field/ref name was unknown.
+  Result<ObjectData> Build() const;
+
+ private:
+  const TypeCatalog* catalog_;
+  std::string type_name_;
+  ObjectData object_;
+  const TypeCatalog::TypeInfo* info_ = nullptr;  // null if unknown type
+  std::string first_error_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_OBJECT_SCHEMA_H_

@@ -1,0 +1,53 @@
+// SeekHistogram: distribution of per-read seek distances.
+//
+// The paper reports averages; the histogram exposes *why* the averages move
+// (elevator scheduling converts a few huge seeks plus many medium ones into
+// a mass of near-zero seeks and a handful of sweep turnarounds).  Buckets
+// are powers of two.
+
+#ifndef COBRA_STATS_HISTOGRAM_H_
+#define COBRA_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace cobra {
+
+class SeekHistogram {
+ public:
+  SeekHistogram();
+
+  void Add(uint64_t distance);
+
+  // Builds the histogram from a read trace (consecutive page distances),
+  // starting from head position `start`.
+  static SeekHistogram FromReadTrace(const std::vector<PageId>& trace,
+                                     PageId start = 0);
+
+  uint64_t count() const { return count_; }
+  uint64_t total() const { return total_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Smallest distance d such that at least `q` (in [0,1]) of the samples
+  // are <= d.  Bucket-resolution (upper bucket bound).
+  uint64_t Percentile(double q) const;
+
+  // "seek distance     count  cumulative%" rows, one per non-empty bucket.
+  void Print(std::ostream& os) const;
+
+ private:
+  // buckets_[i] counts distances in [2^(i-1), 2^i), buckets_[0] counts 0.
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t total_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_STATS_HISTOGRAM_H_

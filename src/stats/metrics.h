@@ -1,0 +1,50 @@
+// Experiment metrics and table rendering shared by benches and examples.
+
+#ifndef COBRA_STATS_METRICS_H_
+#define COBRA_STATS_METRICS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "buffer/buffer_manager.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+// Everything one measured run produces.
+struct RunMetrics {
+  std::string label;
+  DiskStats disk;
+  BufferStats buffer;
+  AssemblyStats assembly;
+
+  // The paper's headline metric.
+  double avg_seek() const { return disk.AvgSeekPerRead(); }
+};
+
+// Fixed-width text table (the benches print paper-figure series with it).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+  // Rows as CSV (for plotting).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `precision` digits after the point.
+std::string Fmt(double value, int precision = 1);
+std::string FmtInt(uint64_t value);
+
+}  // namespace cobra
+
+#endif  // COBRA_STATS_METRICS_H_

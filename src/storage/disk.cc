@@ -1,0 +1,127 @@
+#include "storage/disk.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cobra {
+namespace {
+
+constexpr uint64_t kImageMagic = 0xC0B7AD15C0001ULL;
+
+// RAII stdio handle.
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU64(std::FILE* file, uint64_t value) {
+  return std::fwrite(&value, sizeof(value), 1, file) == 1;
+}
+
+bool ReadU64(std::FILE* file, uint64_t* value) {
+  return std::fread(value, sizeof(*value), 1, file) == 1;
+}
+
+}  // namespace
+
+SimulatedDisk::SimulatedDisk(DiskOptions options) : options_(options) {}
+
+void SimulatedDisk::ChargeSeek(PageId id, bool is_read) {
+  uint64_t distance = id > head_ ? id - head_ : head_ - id;
+  if (is_read) {
+    stats_.reads++;
+    stats_.read_seek_pages += distance;
+  } else {
+    stats_.writes++;
+    stats_.write_seek_pages += distance;
+  }
+  head_ = id;
+}
+
+Status SimulatedDisk::ReadPage(PageId id, std::byte* out) {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page " + std::to_string(id) + " never written");
+  }
+  ChargeSeek(id, /*is_read=*/true);
+  if (trace_enabled_) {
+    read_trace_.push_back(id);
+  }
+  std::memcpy(out, it->second.data(), options_.page_size);
+  return Status::OK();
+}
+
+Status SimulatedDisk::WritePage(PageId id, const std::byte* data) {
+  if (id == kInvalidPageId) {
+    return Status::InvalidArgument("cannot write the invalid page id");
+  }
+  ChargeSeek(id, /*is_read=*/false);
+  auto [it, inserted] = pages_.try_emplace(id);
+  if (inserted) {
+    it->second.resize(options_.page_size);
+    if (id + 1 > span_) {
+      span_ = id + 1;
+    }
+  }
+  std::memcpy(it->second.data(), data, options_.page_size);
+  return Status::OK();
+}
+
+Status SimulatedDisk::SaveTo(const std::string& path) const {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  if (!WriteU64(file.get(), kImageMagic) ||
+      !WriteU64(file.get(), options_.page_size) ||
+      !WriteU64(file.get(), pages_.size())) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  for (const auto& [id, bytes] : pages_) {
+    if (!WriteU64(file.get(), id) ||
+        std::fwrite(bytes.data(), 1, bytes.size(), file.get()) !=
+            bytes.size()) {
+      return Status::Internal("short write to '" + path + "'");
+    }
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::Internal("flush of '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SimulatedDisk>> SimulatedDisk::LoadFrom(
+    const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  uint64_t magic = 0;
+  uint64_t page_size = 0;
+  uint64_t count = 0;
+  if (!ReadU64(file.get(), &magic) || magic != kImageMagic) {
+    return Status::Corruption("'" + path + "' is not a disk image");
+  }
+  if (!ReadU64(file.get(), &page_size) || page_size == 0 ||
+      page_size > (1u << 20) || !ReadU64(file.get(), &count)) {
+    return Status::Corruption("bad disk image header in '" + path + "'");
+  }
+  auto disk =
+      std::make_unique<SimulatedDisk>(DiskOptions{.page_size = page_size});
+  std::vector<std::byte> buffer(page_size);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    if (!ReadU64(file.get(), &id) ||
+        std::fread(buffer.data(), 1, page_size, file.get()) != page_size) {
+      return Status::Corruption("truncated disk image '" + path + "'");
+    }
+    COBRA_RETURN_IF_ERROR(disk->WritePage(id, buffer.data()));
+  }
+  disk->ResetStats();
+  disk->ParkHead(0);
+  return disk;
+}
+
+}  // namespace cobra

@@ -1,0 +1,170 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace cobra {
+
+void SlottedPage::Init(std::byte* data, size_t page_size) {
+  std::memset(data, 0, page_size);
+  SlottedPage page(data, page_size);
+  page.WriteU16(0, 0);  // slot_count
+  page.WriteU16(2, static_cast<uint16_t>(page_size));  // free_end
+}
+
+uint16_t SlottedPage::ReadU16(size_t offset) const {
+  return static_cast<uint16_t>(static_cast<uint8_t>(data_[offset])) |
+         static_cast<uint16_t>(
+             static_cast<uint16_t>(static_cast<uint8_t>(data_[offset + 1]))
+             << 8);
+}
+
+void SlottedPage::WriteU16(size_t offset, uint16_t value) {
+  data_[offset] = static_cast<std::byte>(value & 0xFF);
+  data_[offset + 1] = static_cast<std::byte>(value >> 8);
+}
+
+uint16_t SlottedPage::slot_count() const { return ReadU16(0); }
+
+uint16_t SlottedPage::SlotOffset(uint16_t slot) const {
+  return ReadU16(kHeaderSize + slot * kSlotSize);
+}
+
+uint16_t SlottedPage::SlotLength(uint16_t slot) const {
+  return ReadU16(kHeaderSize + slot * kSlotSize + 2);
+}
+
+void SlottedPage::SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+  WriteU16(kHeaderSize + slot * kSlotSize, offset);
+  WriteU16(kHeaderSize + slot * kSlotSize + 2, length);
+}
+
+bool SlottedPage::IsLive(uint16_t slot) const {
+  return slot < slot_count() && SlotOffset(slot) != kDeadSlot;
+}
+
+uint16_t SlottedPage::live_count() const {
+  uint16_t n = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (IsLive(s)) ++n;
+  }
+  return n;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t directory_end = kHeaderSize + slot_count() * kSlotSize;
+  size_t fe = free_end();
+  if (fe < directory_end) return 0;
+  size_t gap = fe - directory_end;
+  // A fresh insert may need a new directory entry unless a dead slot exists.
+  if (FindReusableSlot() == slot_count()) {
+    return gap >= kSlotSize ? gap - kSlotSize : 0;
+  }
+  return gap;
+}
+
+size_t SlottedPage::LiveBytes() const {
+  size_t total = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (IsLive(s)) total += SlotLength(s);
+  }
+  return total;
+}
+
+uint16_t SlottedPage::FindReusableSlot() const {
+  uint16_t n = slot_count();
+  for (uint16_t s = 0; s < n; ++s) {
+    if (SlotOffset(s) == kDeadSlot) return s;
+  }
+  return n;
+}
+
+bool SlottedPage::CanFit(size_t record_size) const {
+  size_t directory_bytes = kHeaderSize + slot_count() * kSlotSize;
+  if (FindReusableSlot() == slot_count()) directory_bytes += kSlotSize;
+  return directory_bytes + LiveBytes() + record_size <= page_size_;
+}
+
+void SlottedPage::Compact() {
+  struct Live {
+    uint16_t slot;
+    std::vector<std::byte> body;
+  };
+  std::vector<Live> live;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (!IsLive(s)) continue;
+    const std::byte* src = data_ + SlotOffset(s);
+    live.push_back({s, std::vector<std::byte>(src, src + SlotLength(s))});
+  }
+  uint16_t cursor = static_cast<uint16_t>(page_size_);
+  for (const Live& rec : live) {
+    cursor = static_cast<uint16_t>(cursor - rec.body.size());
+    std::memcpy(data_ + cursor, rec.body.data(), rec.body.size());
+    SetSlot(rec.slot, cursor, static_cast<uint16_t>(rec.body.size()));
+  }
+  set_free_end(cursor);
+}
+
+Result<uint16_t> SlottedPage::Insert(std::span<const std::byte> record) {
+  if (record.empty()) {
+    return Status::InvalidArgument("empty record");
+  }
+  if (record.size() > 0xFFFE) {
+    return Status::InvalidArgument("record larger than a page slot can hold");
+  }
+  if (!CanFit(record.size())) {
+    return Status::ResourceExhausted("record does not fit in page");
+  }
+  uint16_t slot = FindReusableSlot();
+  bool new_slot = (slot == slot_count());
+  size_t directory_end =
+      kHeaderSize + (slot_count() + (new_slot ? 1 : 0)) * kSlotSize;
+  if (free_end() < directory_end + record.size()) {
+    Compact();
+  }
+  // After compaction CanFit() guarantees the gap is large enough.
+  uint16_t offset = static_cast<uint16_t>(free_end() - record.size());
+  std::memcpy(data_ + offset, record.data(), record.size());
+  if (new_slot) {
+    WriteU16(0, static_cast<uint16_t>(slot_count() + 1));
+  }
+  SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
+  set_free_end(offset);
+  return slot;
+}
+
+Result<std::span<const std::byte>> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::OutOfRange("slot " + std::to_string(slot) +
+                              " beyond directory");
+  }
+  if (!IsLive(slot)) {
+    return Status::NotFound("slot " + std::to_string(slot) + " is deleted");
+  }
+  return std::span<const std::byte>(data_ + SlotOffset(slot),
+                                    SlotLength(slot));
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) {
+    return Status::OutOfRange("slot beyond directory");
+  }
+  if (!IsLive(slot)) {
+    return Status::NotFound("slot already deleted");
+  }
+  SetSlot(slot, kDeadSlot, 0);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(uint16_t slot, std::span<const std::byte> record) {
+  if (slot >= slot_count() || !IsLive(slot)) {
+    return Status::NotFound("no live record in slot");
+  }
+  if (record.size() != SlotLength(slot)) {
+    return Status::InvalidArgument("update must preserve record length");
+  }
+  std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
+  return Status::OK();
+}
+
+}  // namespace cobra

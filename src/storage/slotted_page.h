@@ -1,0 +1,92 @@
+// SlottedPage: the record layout inside every data page.
+//
+// Classic slotted-page organization: a small header, a slot directory growing
+// downward from the header, and record bodies growing upward from the end of
+// the page.  Deleting a record frees its slot for reuse; record space is
+// reclaimed lazily by compaction when an insert would otherwise not fit.
+//
+// SlottedPage is a *view* over a caller-owned buffer (typically a buffer-pool
+// frame); it owns no memory itself.
+//
+// Layout (all little-endian uint16):
+//   [0..2)   slot_count      number of slot directory entries (live or dead)
+//   [2..4)   free_end        lowest byte offset used by any record body
+//   [4..)    slot directory  slot_count entries of {offset, length};
+//                            offset == kDeadSlot marks a deleted slot
+//   [free_end..page_size)    record bodies
+
+#ifndef COBRA_STORAGE_SLOTTED_PAGE_H_
+#define COBRA_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cobra {
+
+class SlottedPage {
+ public:
+  static constexpr uint16_t kDeadSlot = 0xFFFF;
+
+  // Wraps an existing, already-initialized page buffer.
+  SlottedPage(std::byte* data, size_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  // Formats a fresh buffer as an empty slotted page.
+  static void Init(std::byte* data, size_t page_size);
+
+  // Inserts a record, compacting the page first if fragmentation requires.
+  // Returns the slot number, or ResourceExhausted if the record cannot fit
+  // even after compaction.  Empty records are rejected as InvalidArgument.
+  Result<uint16_t> Insert(std::span<const std::byte> record);
+
+  // Returns a view of the record in `slot` (valid until the page mutates).
+  Result<std::span<const std::byte>> Get(uint16_t slot) const;
+
+  // Marks `slot` deleted.  Its space is reclaimed by a later compaction.
+  Status Delete(uint16_t slot);
+
+  // Overwrites the record in `slot`.  The new record must be the same length
+  // (our workloads use fixed-size records); differing lengths are rejected.
+  Status Update(uint16_t slot, std::span<const std::byte> record);
+
+  uint16_t slot_count() const;
+  // Number of live (non-deleted) records.
+  uint16_t live_count() const;
+  bool IsLive(uint16_t slot) const;
+
+  // Contiguous free bytes available to an insert right now (before
+  // compaction), accounting for a possible new slot directory entry.
+  size_t FreeSpace() const;
+
+  // True if `record_size` bytes would fit, possibly after compaction.
+  bool CanFit(size_t record_size) const;
+
+ private:
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+
+  uint16_t ReadU16(size_t offset) const;
+  void WriteU16(size_t offset, uint16_t value);
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLength(uint16_t slot) const;
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length);
+  uint16_t free_end() const { return ReadU16(2); }
+  void set_free_end(uint16_t v) { WriteU16(2, v); }
+  // Rewrites live records contiguously at the end of the page.
+  void Compact();
+  // Total record bytes that are live (used by CanFit/Compact).
+  size_t LiveBytes() const;
+  // First dead slot, or slot_count() if none.
+  uint16_t FindReusableSlot() const;
+
+  std::byte* data_;
+  size_t page_size_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_STORAGE_SLOTTED_PAGE_H_

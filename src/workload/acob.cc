@@ -1,0 +1,264 @@
+#include "workload/acob.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace cobra {
+
+const char* ClusteringName(Clustering clustering) {
+  switch (clustering) {
+    case Clustering::kUnclustered:
+      return "unclustered";
+    case Clustering::kInterObject:
+      return "inter-object";
+    case Clustering::kIntraObject:
+      return "intra-object";
+  }
+  return "?";
+}
+
+size_t AcobComponentsPerComplex(int levels) {
+  return (size_t{1} << levels) - 1;
+}
+
+namespace {
+
+// Physical extent slot of tree position p among n clusters: positions are
+// interleaved front/back so consecutive BFS positions land far apart on
+// disk, reproducing Fig. 12's "clusters are not physically placed in that
+// [traversal] order".
+size_t ClusterPhysicalSlot(size_t position, size_t n) {
+  if (position % 2 == 0) {
+    return position / 2;
+  }
+  return n - 1 - position / 2;
+}
+
+void PreorderPositions(size_t position, size_t n, std::vector<size_t>* out) {
+  if (position >= n) return;
+  out->push_back(position);
+  PreorderPositions(2 * position + 1, n, out);
+  PreorderPositions(2 * position + 2, n, out);
+}
+
+}  // namespace
+
+Status AcobDatabase::ColdRestart() {
+  Oid next_oid = store != nullptr ? store->next_oid() : 1;
+  if (buffer != nullptr) {
+    COBRA_RETURN_IF_ERROR(buffer->FlushAll());
+  }
+  store.reset();
+  buffer.reset();
+  buffer = std::make_unique<BufferManager>(
+      disk.get(), BufferOptions{options.buffer_frames, options.replacement});
+  store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
+  store->set_next_oid(next_oid);
+  disk->ResetStats();
+  disk->ParkHead(0);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<AcobDatabase>> BuildAcobDatabase(
+    const AcobOptions& options) {
+  if (options.levels < 1 || options.levels > 10) {
+    return Status::InvalidArgument("levels must be in [1, 10]");
+  }
+  if (options.num_complex_objects == 0) {
+    return Status::InvalidArgument("need at least one complex object");
+  }
+  if (options.sharing < 0.0 || options.sharing > 1.0) {
+    return Status::InvalidArgument("sharing degree must be in [0, 1]");
+  }
+  if (options.objects_per_page == 0) {
+    return Status::InvalidArgument("objects_per_page must be positive");
+  }
+
+  auto db = std::make_unique<AcobDatabase>();
+  db->options = options;
+  db->disk = std::make_unique<SimulatedDisk>();
+  db->buffer = std::make_unique<BufferManager>(
+      db->disk.get(),
+      BufferOptions{options.buffer_frames, options.replacement});
+  db->directory = std::make_unique<HashDirectory>();
+  db->store =
+      std::make_unique<ObjectStore>(db->buffer.get(), db->directory.get());
+  if (options.first_oid == kInvalidOid) {
+    return Status::InvalidArgument("first_oid must be a valid OID");
+  }
+  db->store->set_next_oid(options.first_oid);
+
+  Rng rng(options.seed);
+  const size_t n = options.num_complex_objects;
+  const size_t npos = AcobComponentsPerComplex(options.levels);
+  const bool sharing_on = options.sharing > 0.0;
+  const size_t shared_position = npos - 1;  // last leaf in BFS order
+
+  // --- 1. Assign OIDs ---------------------------------------------------
+  // component_oid[i][p] = OID of complex i's component at tree position p.
+  std::vector<std::vector<Oid>> component_oid(n, std::vector<Oid>(npos));
+  size_t pool_size = 0;
+  if (sharing_on) {
+    pool_size = static_cast<size_t>(
+        std::llround(options.sharing * static_cast<double>(n)));
+    pool_size = std::max<size_t>(1, pool_size);
+    db->shared_pool.reserve(pool_size);
+    for (size_t k = 0; k < pool_size; ++k) {
+      db->shared_pool.push_back(db->store->AllocateOid());
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p = 0; p < npos; ++p) {
+      if (sharing_on && p == shared_position) {
+        component_oid[i][p] =
+            db->shared_pool[rng.NextBounded(pool_size)];
+      } else {
+        component_oid[i][p] = db->store->AllocateOid();
+      }
+    }
+    db->roots.push_back(component_oid[i][0]);
+  }
+
+  // --- 2. Materialize object contents -----------------------------------
+  auto make_object = [&](Oid oid, size_t position,
+                         int64_t complex_index) {
+    ObjectData obj;
+    obj.oid = oid;
+    obj.type_id = static_cast<TypeId>(position + 1);
+    obj.fields = {static_cast<int32_t>(rng.NextBounded(10000)),
+                  static_cast<int32_t>(complex_index),
+                  static_cast<int32_t>(position),
+                  static_cast<int32_t>(rng.NextBounded(1 << 30))};
+    obj.refs.assign(8, kInvalidOid);
+    return obj;
+  };
+
+  std::vector<ObjectData> objects;
+  objects.reserve(n * npos + pool_size);
+  // Pool objects first (stable OIDs, written once).
+  for (size_t k = 0; k < pool_size; ++k) {
+    objects.push_back(make_object(db->shared_pool[k], shared_position, -1));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p = 0; p < npos; ++p) {
+      if (sharing_on && p == shared_position) continue;  // pool-owned
+      ObjectData obj = make_object(component_oid[i][p], p,
+                                   static_cast<int64_t>(i));
+      size_t left = 2 * p + 1;
+      size_t right = 2 * p + 2;
+      if (left < npos) obj.refs[0] = component_oid[i][left];
+      if (right < npos) obj.refs[1] = component_oid[i][right];
+      objects.push_back(std::move(obj));
+    }
+  }
+  db->total_objects = objects.size();
+
+  // Index from OID to its ObjectData position for placement ordering.
+  std::unordered_map<Oid, size_t> object_index;
+  object_index.reserve(objects.size());
+  for (size_t k = 0; k < objects.size(); ++k) {
+    object_index[objects[k].oid] = k;
+  }
+
+  // --- 3. Physical placement --------------------------------------------
+  PageAllocator allocator;
+  const size_t per_page = options.objects_per_page;
+  auto pages_for = [per_page](size_t count) {
+    return (count + per_page - 1) / per_page;
+  };
+
+  switch (options.clustering) {
+    case Clustering::kInterObject: {
+      // One oversized extent per component type, physically permuted.
+      size_t extent = options.cluster_extent_pages;
+      // Group objects by type position.
+      std::vector<std::vector<size_t>> by_position(npos);
+      for (size_t k = 0; k < objects.size(); ++k) {
+        by_position[objects[k].type_id - 1].push_back(k);
+      }
+      for (size_t p = 0; p < npos; ++p) {
+        if (pages_for(by_position[p].size()) > extent) {
+          return Status::InvalidArgument(
+              "cluster_extent_pages too small for this database size");
+        }
+      }
+      allocator.AllocateExtent(extent * npos);
+      for (size_t p = 0; p < npos; ++p) {
+        PageId base = ClusterPhysicalSlot(p, npos) * extent;
+        HeapFile file(db->buffer.get(), base, extent);
+        rng.Shuffle(&by_position[p]);  // random order within the cluster
+        for (size_t k = 0; k < by_position[p].size(); ++k) {
+          const ObjectData& obj = objects[by_position[p][k]];
+          COBRA_ASSIGN_OR_RETURN(
+              Oid stored,
+              db->store->InsertAtPage(obj, &file, k / per_page));
+          (void)stored;
+        }
+        db->data_pages += pages_for(by_position[p].size());
+      }
+      break;
+    }
+    case Clustering::kIntraObject: {
+      // Complex objects contiguous, components in depth-first order.
+      std::vector<size_t> preorder;
+      PreorderPositions(0, npos, &preorder);
+      std::vector<size_t> sequence;
+      sequence.reserve(objects.size());
+      for (size_t k = 0; k < pool_size; ++k) {
+        sequence.push_back(k);  // shared pool up front
+      }
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t p : preorder) {
+          Oid oid = component_oid[i][p];
+          if (sharing_on && p == shared_position) continue;  // in pool
+          sequence.push_back(object_index.at(oid));
+        }
+      }
+      size_t file_pages = pages_for(sequence.size()) + 1;
+      HeapFile file(db->buffer.get(), allocator.AllocateExtent(file_pages),
+                    file_pages);
+      for (size_t k = 0; k < sequence.size(); ++k) {
+        COBRA_ASSIGN_OR_RETURN(
+            Oid stored,
+            db->store->InsertAtPage(objects[sequence[k]], &file,
+                                    k / per_page));
+        (void)stored;
+      }
+      db->data_pages = pages_for(sequence.size());
+      break;
+    }
+    case Clustering::kUnclustered: {
+      // Everything in one dense file, in fully random order.
+      std::vector<size_t> sequence = rng.Permutation(objects.size());
+      size_t file_pages = pages_for(sequence.size()) + 1;
+      HeapFile file(db->buffer.get(), allocator.AllocateExtent(file_pages),
+                    file_pages);
+      for (size_t k = 0; k < sequence.size(); ++k) {
+        COBRA_ASSIGN_OR_RETURN(
+            Oid stored,
+            db->store->InsertAtPage(objects[sequence[k]], &file,
+                                    k / per_page));
+        (void)stored;
+      }
+      db->data_pages = pages_for(sequence.size());
+      break;
+    }
+  }
+
+  // --- 4. Matching template ----------------------------------------------
+  db->tmpl = MakeBinaryTreeTemplate(options.levels, &db->nodes);
+  if (sharing_on) {
+    db->nodes[shared_position]->shared = true;
+    db->nodes[shared_position]->sharing_degree = options.sharing;
+  }
+
+  COBRA_RETURN_IF_ERROR(db->ColdRestart());
+  return db;
+}
+
+}  // namespace cobra

@@ -1,0 +1,130 @@
+#include "workload/cad.h"
+
+#include "common/rng.h"
+
+namespace cobra {
+
+Status CadDatabase::ColdRestart() {
+  Oid next_oid = store != nullptr ? store->next_oid() : 1;
+  if (buffer != nullptr) {
+    COBRA_RETURN_IF_ERROR(buffer->FlushAll());
+  }
+  store.reset();
+  buffer.reset();
+  buffer = std::make_unique<BufferManager>(
+      disk.get(), BufferOptions{options.buffer_frames, ReplacementKind::kLru});
+  store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
+  store->set_next_oid(next_oid);
+  disk->ResetStats();
+  disk->ParkHead(0);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CadDatabase>> BuildCadDatabase(
+    const CadOptions& options) {
+  if (options.fanout < 1 || options.fanout > 8) {
+    return Status::InvalidArgument("fanout must be in [1, 8]");
+  }
+  if (options.depth < 1 || options.num_assemblies == 0 ||
+      options.num_standard_parts == 0) {
+    return Status::InvalidArgument("invalid CAD options");
+  }
+  auto db = std::make_unique<CadDatabase>();
+  db->options = options;
+  db->disk = std::make_unique<SimulatedDisk>();
+  db->buffer = std::make_unique<BufferManager>(
+      db->disk.get(),
+      BufferOptions{options.buffer_frames, ReplacementKind::kLru});
+  db->directory = std::make_unique<HashDirectory>();
+  db->store =
+      std::make_unique<ObjectStore>(db->buffer.get(), db->directory.get());
+
+  Rng rng(options.seed);
+  std::vector<ObjectData> objects;
+
+  auto make_part = [&](int level) {
+    ObjectData part;
+    part.oid = db->store->AllocateOid();
+    part.type_id = kPartType;
+    part.fields = {static_cast<int32_t>(1 + rng.NextBounded(100)),  // cost
+                   static_cast<int32_t>(100000 + rng.NextBounded(900000)),
+                   static_cast<int32_t>(level),
+                   static_cast<int32_t>(rng.NextBounded(1 << 30))};
+    part.refs.assign(8, kInvalidOid);
+    return part;
+  };
+
+  // Shared standard parts (level = depth, leaves).
+  for (size_t s = 0; s < options.num_standard_parts; ++s) {
+    ObjectData part = make_part(options.depth);
+    db->standard_parts.push_back(part.oid);
+    objects.push_back(std::move(part));
+  }
+
+  // Build each product's BOM tree bottom-up is awkward with random fan-in;
+  // instead build top-down with an explicit recursion.
+  struct Builder {
+    CadDatabase* db;
+    const CadOptions& options;
+    Rng& rng;
+    std::vector<ObjectData>& objects;
+    decltype(make_part)& make;
+
+    Oid Build(int level) {
+      ObjectData part = make(level);
+      if (level < options.depth) {
+        for (int f = 0; f < options.fanout; ++f) {
+          bool leaf_child = (level + 1 == options.depth);
+          if (leaf_child && rng.NextBool(options.standard_fraction)) {
+            part.refs[f] = db->standard_parts[rng.NextBounded(
+                db->standard_parts.size())];
+          } else {
+            part.refs[f] = Build(level + 1);
+          }
+        }
+      }
+      Oid oid = part.oid;
+      objects.push_back(std::move(part));
+      return oid;
+    }
+  };
+  Builder builder{db.get(), options, rng, objects, make_part};
+  for (size_t a = 0; a < options.num_assemblies; ++a) {
+    db->roots.push_back(builder.Build(0));
+  }
+
+  // Placement: one dense file, random order (engineering databases rarely
+  // cluster by BOM position).
+  PageAllocator allocator;
+  const size_t per_page = 9;
+  size_t file_pages = objects.size() / per_page + 2;
+  HeapFile file(db->buffer.get(), allocator.AllocateExtent(file_pages),
+                file_pages);
+  std::vector<size_t> order = rng.Permutation(objects.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    COBRA_ASSIGN_OR_RETURN(
+        Oid oid,
+        db->store->InsertAtPage(objects[order[k]], &file, k / per_page));
+    (void)oid;
+  }
+
+  // Recursive template: Part -> Part on every fanout slot.  Every part may
+  // be shared (standard parts are), so the node carries the sharing
+  // annotation and the operator's resident map dedups the pool.
+  db->part_node = db->tmpl.AddNode("Part");
+  db->part_node->expected_type = kPartType;
+  db->part_node->shared = true;
+  db->part_node->sharing_degree =
+      static_cast<double>(options.num_standard_parts) /
+      static_cast<double>(options.num_assemblies);
+  for (int f = 0; f < options.fanout; ++f) {
+    db->part_node->children.push_back({f, db->part_node});
+  }
+  db->tmpl.SetRoot(db->part_node);
+  db->tmpl.set_max_depth(options.depth + 1);
+
+  COBRA_RETURN_IF_ERROR(db->ColdRestart());
+  return db;
+}
+
+}  // namespace cobra

@@ -1,0 +1,69 @@
+// CAD bill-of-materials workload: recursive templates and heavy sharing.
+//
+// The paper motivates complex objects with engineering applications (§1) and
+// requires templates to "allow recursive definitions" (§5, citing Batory).
+// This workload exercises both: a Part references up to `fanout` sub-parts
+// of the same type (a recursive template edge), and the deepest level draws
+// from a pool of shared *standard parts* (fasteners, bearings) referenced by
+// many assemblies — a realistic high-sharing scenario.
+//
+// Part object: fields = [unit cost, part number, BOM level, random]
+//              refs[0..fanout-1] = sub-parts (kInvalidOid when absent)
+
+#ifndef COBRA_WORKLOAD_CAD_H_
+#define COBRA_WORKLOAD_CAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "assembly/template.h"
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "object/directory.h"
+#include "object/object_store.h"
+#include "storage/disk.h"
+#include "workload/acob.h"
+
+namespace cobra {
+
+inline constexpr TypeId kPartType = 200;
+inline constexpr int kPartCostField = 0;
+inline constexpr int kPartNumberField = 1;
+inline constexpr int kPartLevelField = 2;
+
+struct CadOptions {
+  size_t num_assemblies = 100;  // top-level products
+  int depth = 3;                // BOM levels below the root
+  int fanout = 3;               // sub-parts per non-leaf part (max 8)
+  size_t num_standard_parts = 40;
+  // Probability a leaf slot references a standard part instead of a custom
+  // leaf part.
+  double standard_fraction = 0.6;
+  uint64_t seed = 11;
+  size_t buffer_frames = 16384;
+};
+
+struct CadDatabase {
+  CadOptions options;
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<HashDirectory> directory;
+  std::unique_ptr<ObjectStore> store;
+
+  std::vector<Oid> roots;           // top-level assemblies
+  std::vector<Oid> standard_parts;  // the shared pool
+
+  // Recursive template: one Part node whose children edges point back to
+  // itself; max_depth bounds assembly.
+  AssemblyTemplate tmpl;
+  TemplateNode* part_node = nullptr;
+
+  Status ColdRestart();
+};
+
+Result<std::unique_ptr<CadDatabase>> BuildCadDatabase(
+    const CadOptions& options);
+
+}  // namespace cobra
+
+#endif  // COBRA_WORKLOAD_CAD_H_

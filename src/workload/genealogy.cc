@@ -1,0 +1,226 @@
+#include "workload/genealogy.h"
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "exec/expr.h"
+#include "exec/filter_project.h"
+#include "exec/scan.h"
+
+namespace cobra {
+
+Status GenealogyDatabase::ColdRestart() {
+  Oid next_oid = store != nullptr ? store->next_oid() : 1;
+  if (buffer != nullptr) {
+    COBRA_RETURN_IF_ERROR(buffer->FlushAll());
+  }
+  store.reset();
+  buffer.reset();
+  buffer = std::make_unique<BufferManager>(
+      disk.get(), BufferOptions{options.buffer_frames, ReplacementKind::kLru});
+  store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
+  store->set_next_oid(next_oid);
+  disk->ResetStats();
+  disk->ParkHead(0);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<GenealogyDatabase>> BuildGenealogyDatabase(
+    const GenealogyOptions& options) {
+  if (options.num_people == 0 || options.num_cities == 0 ||
+      options.people_per_residence == 0) {
+    return Status::InvalidArgument("genealogy options must be positive");
+  }
+  auto db = std::make_unique<GenealogyDatabase>();
+  db->options = options;
+  db->disk = std::make_unique<SimulatedDisk>();
+  db->buffer = std::make_unique<BufferManager>(
+      db->disk.get(),
+      BufferOptions{options.buffer_frames, ReplacementKind::kLru});
+  db->directory = std::make_unique<HashDirectory>();
+  db->store =
+      std::make_unique<ObjectStore>(db->buffer.get(), db->directory.get());
+
+  Rng rng(options.seed);
+  const size_t n = options.num_people;
+
+  // Residences: one pool per city, households drawn from them.
+  size_t num_residences =
+      std::max<size_t>(options.num_cities,
+                       (n + options.people_per_residence - 1) /
+                           options.people_per_residence);
+  std::vector<ObjectData> residences(num_residences);
+  std::vector<std::vector<size_t>> residences_by_city(options.num_cities);
+  for (size_t r = 0; r < num_residences; ++r) {
+    ObjectData& res = residences[r];
+    res.oid = db->store->AllocateOid();
+    res.type_id = kResidenceType;
+    // The first num_cities residences cover every city so that no city's
+    // pool is ever empty; the rest are spread randomly.
+    int32_t city = r < options.num_cities
+                       ? static_cast<int32_t>(r)
+                       : static_cast<int32_t>(
+                             rng.NextBounded(options.num_cities));
+    res.fields = {city, static_cast<int32_t>(10000 + rng.NextBounded(90000)),
+                  static_cast<int32_t>(rng.NextInRange(-90000, 90000)),
+                  static_cast<int32_t>(rng.NextInRange(-180000, 180000))};
+    res.refs.assign(8, kInvalidOid);
+    residences_by_city[city].push_back(r);
+  }
+
+  // Persons: ordered oldest-first so fathers always precede children.
+  std::vector<ObjectData> persons(n);
+  std::vector<int32_t> person_city(n);
+  for (size_t i = 0; i < n; ++i) {
+    ObjectData& person = persons[i];
+    person.oid = db->store->AllocateOid();
+    person.type_id = kPersonType;
+    person.refs.assign(8, kInvalidOid);
+
+    bool founder = (i == 0) || rng.NextBool(options.founder_fraction);
+    size_t father = 0;
+    if (!founder) {
+      father = rng.NextBounded(i);
+      person.refs[kPersonFatherSlot] = persons[father].oid;
+    }
+    int32_t city;
+    if (!founder && rng.NextBool(options.same_city_fraction)) {
+      city = person_city[father];
+    } else {
+      city = static_cast<int32_t>(rng.NextBounded(options.num_cities));
+    }
+    person_city[i] = city;
+    const auto& pool = residences_by_city[city];
+    const ObjectData& res = residences[pool[rng.NextBounded(pool.size())]];
+    person.refs[kPersonResidenceSlot] = res.oid;
+    person.fields = {static_cast<int32_t>(i),
+                     static_cast<int32_t>(1900 + rng.NextBounded(100)),
+                     static_cast<int32_t>(rng.NextBounded(1 << 30)),
+                     static_cast<int32_t>(rng.NextBounded(1 << 30))};
+    db->persons.push_back(person.oid);
+  }
+
+  // Physical placement.
+  PageAllocator allocator;
+  const size_t per_page = 9;
+  auto pages_for = [per_page](size_t count) {
+    return (count + per_page - 1) / per_page + 1;
+  };
+  if (options.clustering == Clustering::kInterObject) {
+    size_t person_pages = pages_for(n);
+    size_t res_pages = pages_for(num_residences);
+    HeapFile person_file(db->buffer.get(),
+                         allocator.AllocateExtent(person_pages), person_pages);
+    HeapFile res_file(db->buffer.get(), allocator.AllocateExtent(res_pages),
+                      res_pages);
+    std::vector<size_t> person_order = rng.Permutation(n);
+    for (size_t k = 0; k < n; ++k) {
+      COBRA_ASSIGN_OR_RETURN(Oid oid,
+                             db->store->InsertAtPage(persons[person_order[k]],
+                                                     &person_file,
+                                                     k / per_page));
+      (void)oid;
+    }
+    std::vector<size_t> res_order = rng.Permutation(num_residences);
+    for (size_t k = 0; k < num_residences; ++k) {
+      COBRA_ASSIGN_OR_RETURN(
+          Oid oid, db->store->InsertAtPage(residences[res_order[k]], &res_file,
+                                           k / per_page));
+      (void)oid;
+    }
+  } else {
+    // Unclustered (also used for intra: person+residence interleaving is
+    // the natural "intra" layout here only when households are not shared,
+    // so we treat both as one dense random file).
+    size_t total = n + num_residences;
+    size_t file_pages = pages_for(total);
+    HeapFile file(db->buffer.get(), allocator.AllocateExtent(file_pages),
+                  file_pages);
+    std::vector<const ObjectData*> all;
+    all.reserve(total);
+    for (const auto& p : persons) all.push_back(&p);
+    for (const auto& r : residences) all.push_back(&r);
+    rng.Shuffle(&all);
+    for (size_t k = 0; k < all.size(); ++k) {
+      COBRA_ASSIGN_OR_RETURN(
+          Oid oid, db->store->InsertAtPage(*all[k], &file, k / per_page));
+      (void)oid;
+    }
+  }
+
+  // The Figure-2 template.
+  TemplateNode* person = db->tmpl.AddNode("Person");
+  TemplateNode* father = db->tmpl.AddNode("Father");
+  TemplateNode* residence = db->tmpl.AddNode("Residence");
+  TemplateNode* father_residence = db->tmpl.AddNode("FatherResidence");
+  person->expected_type = kPersonType;
+  father->expected_type = kPersonType;
+  residence->expected_type = kResidenceType;
+  father_residence->expected_type = kResidenceType;
+  residence->shared = true;
+  residence->sharing_degree =
+      1.0 / static_cast<double>(options.people_per_residence);
+  father_residence->shared = true;
+  father_residence->sharing_degree = residence->sharing_degree;
+  person->children.push_back({kPersonFatherSlot, father});
+  person->children.push_back({kPersonResidenceSlot, residence});
+  father->children.push_back({kPersonResidenceSlot, father_residence});
+  db->tmpl.SetRoot(person);
+
+  COBRA_RETURN_IF_ERROR(db->ColdRestart());
+  return db;
+}
+
+Result<std::vector<Oid>> LivesCloseToFatherNaive(GenealogyDatabase* db) {
+  std::vector<Oid> matches;
+  for (Oid person_oid : db->persons) {
+    COBRA_ASSIGN_OR_RETURN(ObjectData person, db->store->Get(person_oid));
+    // lives_close_to_father, written the way a method would be: fetch the
+    // father's home town first, then the person's own city.
+    Oid father_oid = person.refs[kPersonFatherSlot];
+    if (father_oid == kInvalidOid) continue;
+    COBRA_ASSIGN_OR_RETURN(ObjectData father, db->store->Get(father_oid));
+    Oid father_res_oid = father.refs[kPersonResidenceSlot];
+    if (father_res_oid == kInvalidOid) continue;
+    COBRA_ASSIGN_OR_RETURN(ObjectData father_res,
+                           db->store->Get(father_res_oid));
+    Oid res_oid = person.refs[kPersonResidenceSlot];
+    if (res_oid == kInvalidOid) continue;
+    COBRA_ASSIGN_OR_RETURN(ObjectData res, db->store->Get(res_oid));
+    if (res.fields[kResidenceCityField] ==
+        father_res.fields[kResidenceCityField]) {
+      matches.push_back(person_oid);
+    }
+  }
+  return matches;
+}
+
+std::unique_ptr<exec::Iterator> MakeLivesCloseToFatherPlan(
+    GenealogyDatabase* db, const AssemblyOptions& options,
+    AssemblyOperator** assembly_out) {
+  std::vector<exec::Row> inputs;
+  inputs.reserve(db->persons.size());
+  for (Oid oid : db->persons) {
+    inputs.push_back(exec::Row{exec::Value::Ref(oid)});
+  }
+  auto scan = std::make_unique<exec::VectorScan>(std::move(inputs));
+  auto assembly = std::make_unique<AssemblyOperator>(
+      std::move(scan), &db->tmpl, db->store.get(), options);
+  if (assembly_out != nullptr) {
+    *assembly_out = assembly.get();
+  }
+  // person.residence.city == person.father.residence.city; template child
+  // order: root child 0 = father, child 1 = residence; father child 0 =
+  // residence.
+  using namespace exec;  // NOLINT: local readability for the expression tree
+  ExprPtr my_city =
+      ObjField(ObjChild(Col(0), 1), kResidenceCityField);
+  ExprPtr father_city =
+      ObjField(ObjChild(ObjChild(Col(0), 0), 0), kResidenceCityField);
+  auto filter = std::make_unique<Filter>(
+      std::move(assembly),
+      Cmp(CmpOp::kEq, std::move(my_city), std::move(father_city)));
+  return filter;
+}
+
+}  // namespace cobra

@@ -1,0 +1,98 @@
+// The paper's running example (Figures 2-3): Person / Residence and the
+// "lives close to father" query.
+//
+// A Person references a father (another Person, absent for the eldest
+// generation) and a Residence; residences are *shared* by household members,
+// so the Residence template nodes carry the sharing annotation.  The query
+// of Figure 3 — "retrieve all people that live close to (live in the same
+// city as) their father" — is provided in two forms:
+//
+//   * LivesCloseToFatherNaive     — method-style object-at-a-time execution
+//     (toplevel_query / lives_close_to_father of Fig. 3, fetches in the
+//     order the method happens to be written);
+//   * MakeLivesCloseToFatherPlan  — a Volcano plan: assembly operator over
+//     the Fig. 2 template feeding a Filter that compares the two cities on
+//     the swizzled objects.
+//
+// Both return the same set of persons; the plan's I/O pattern is what the
+// paper's benchmarks measure.
+
+#ifndef COBRA_WORKLOAD_GENEALOGY_H_
+#define COBRA_WORKLOAD_GENEALOGY_H_
+
+#include <memory>
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "assembly/template.h"
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "exec/iterator.h"
+#include "object/directory.h"
+#include "object/object_store.h"
+#include "storage/disk.h"
+#include "workload/acob.h"
+
+namespace cobra {
+
+inline constexpr TypeId kPersonType = 100;
+inline constexpr TypeId kResidenceType = 101;
+
+// Person object:    fields = [person id, birth year, random, random]
+//                   refs[0] = father (kInvalidOid for founders)
+//                   refs[1] = residence
+// Residence object: fields = [city id, zip, latitude*1e3, longitude*1e3]
+inline constexpr int kPersonFatherSlot = 0;
+inline constexpr int kPersonResidenceSlot = 1;
+inline constexpr int kResidenceCityField = 0;
+
+struct GenealogyOptions {
+  size_t num_people = 1000;
+  size_t num_cities = 25;
+  // Average household size (people per shared residence object).
+  size_t people_per_residence = 3;
+  // Probability that a person with a father lives in the father's city.
+  double same_city_fraction = 0.2;
+  // Probability that a person is a founder (no father reference).
+  double founder_fraction = 0.25;
+  Clustering clustering = Clustering::kUnclustered;
+  uint64_t seed = 7;
+  size_t buffer_frames = 8192;
+};
+
+struct GenealogyDatabase {
+  GenealogyOptions options;
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<HashDirectory> directory;
+  std::unique_ptr<ObjectStore> store;
+
+  std::vector<Oid> persons;
+
+  // The Figure-2 template: Person -> {father Person -> Residence,
+  // Residence}.  Template child order: index 0 = father, index 1 =
+  // residence (on the root node); the father node's child 0 = residence.
+  AssemblyTemplate tmpl;
+
+  Status ColdRestart();
+};
+
+Result<std::unique_ptr<GenealogyDatabase>> BuildGenealogyDatabase(
+    const GenealogyOptions& options);
+
+// Naive execution of Figure 3: for each person, follow refs through the
+// object store and evaluate the same-city test.  Returns matching OIDs in
+// person order.
+Result<std::vector<Oid>> LivesCloseToFatherNaive(GenealogyDatabase* db);
+
+// Volcano plan: VectorScan(persons) -> Assembly(template) -> Filter(same
+// city).  Output rows carry the assembled person object in column 0.
+// The assembly operator pointer is returned through `assembly_out`
+// (borrowed; owned by the plan) so callers can read its statistics.
+std::unique_ptr<exec::Iterator> MakeLivesCloseToFatherPlan(
+    GenealogyDatabase* db, const AssemblyOptions& options,
+    AssemblyOperator** assembly_out = nullptr);
+
+}  // namespace cobra
+
+#endif  // COBRA_WORKLOAD_GENEALOGY_H_

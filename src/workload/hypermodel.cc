@@ -1,0 +1,146 @@
+#include "workload/hypermodel.h"
+
+#include "common/rng.h"
+#include "file/heap_file.h"
+
+namespace cobra {
+
+size_t HyperModelNodeCount(int levels, int fanout) {
+  size_t count = 0;
+  size_t level_nodes = 1;
+  for (int l = 0; l < levels; ++l) {
+    count += level_nodes;
+    level_nodes *= static_cast<size_t>(fanout);
+  }
+  return count;
+}
+
+Status HyperModelDatabase::ColdRestart() {
+  Oid next_oid = store != nullptr ? store->next_oid() : 1;
+  if (buffer != nullptr) {
+    COBRA_RETURN_IF_ERROR(buffer->FlushAll());
+  }
+  store.reset();
+  buffer.reset();
+  buffer = std::make_unique<BufferManager>(
+      disk.get(), BufferOptions{options.buffer_frames, ReplacementKind::kLru});
+  store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
+  store->set_next_oid(next_oid);
+  disk->ResetStats();
+  disk->ParkHead(0);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HyperModelDatabase>> BuildHyperModelDatabase(
+    const HyperModelOptions& options) {
+  if (options.levels < 1 || options.levels > 8) {
+    return Status::InvalidArgument("levels must be in [1, 8]");
+  }
+  if (options.fanout < 1 || options.fanout > 7) {
+    return Status::InvalidArgument("fanout must be in [1, 7]");
+  }
+  auto db = std::make_unique<HyperModelDatabase>();
+  db->options = options;
+  db->disk = std::make_unique<SimulatedDisk>();
+  db->buffer = std::make_unique<BufferManager>(
+      db->disk.get(),
+      BufferOptions{options.buffer_frames, ReplacementKind::kLru});
+  db->directory = std::make_unique<HashDirectory>();
+  db->store =
+      std::make_unique<ObjectStore>(db->buffer.get(), db->directory.get());
+
+  Rng rng(options.seed);
+  const size_t n = HyperModelNodeCount(options.levels, options.fanout);
+  db->total_nodes = n;
+
+  // Pre-assign all OIDs in BFS order: node i's children are
+  // fanout*i + 1 ... fanout*i + fanout.
+  std::vector<Oid> oids(n);
+  for (size_t i = 0; i < n; ++i) {
+    oids[i] = db->store->AllocateOid();
+  }
+  db->nodes = oids;
+  db->root = oids[0];
+
+  // Width of each level; level_width.back() is the leaf count.
+  std::vector<size_t> level_width;
+  {
+    size_t width = 1;
+    for (int l = 0; l < options.levels; ++l) {
+      level_width.push_back(width);
+      width *= static_cast<size_t>(options.fanout);
+    }
+  }
+  // Level of node i in a complete fanout-ary BFS numbering.
+  auto level_of = [&](size_t i) {
+    int level = 0;
+    size_t first = 0;
+    size_t width = 1;
+    while (i >= first + width) {
+      first += width;
+      width *= static_cast<size_t>(options.fanout);
+      ++level;
+    }
+    return level;
+  };
+
+  std::vector<ObjectData> objects(n);
+  for (size_t i = 0; i < n; ++i) {
+    ObjectData& node = objects[i];
+    node.oid = oids[i];
+    node.type_id = kHyperNodeType;
+    node.fields = {static_cast<int32_t>(i),
+                   static_cast<int32_t>(level_of(i)),
+                   static_cast<int32_t>(rng.NextBounded(10)),
+                   static_cast<int32_t>(rng.NextBounded(100))};
+    node.refs.assign(8, kInvalidOid);
+    for (int f = 0; f < options.fanout; ++f) {
+      size_t child =
+          static_cast<size_t>(options.fanout) * i + 1 + static_cast<size_t>(f);
+      if (child < n) {
+        node.refs[f] = oids[child];
+      }
+    }
+    // refersTo: only *interior* nodes reference a random *leaf*.  Leaves
+    // have no outgoing references, so the graph is provably acyclic (which
+    // shared assembly requires), and every path is at most `levels` edges
+    // long, so closures are never depth-truncated and are identical no
+    // matter in which order a scheduler discovers the shared leaves.
+    size_t first_leaf = n - level_width.back();
+    if (i < first_leaf && rng.NextBool(options.refers_to_fraction)) {
+      node.refs[options.fanout] =
+          oids[first_leaf + rng.NextBounded(n - first_leaf)];
+    }
+  }
+
+  // Placement: random order over one dense file (HyperModel does not
+  // prescribe clustering; random is the adversarial case for assembly).
+  PageAllocator allocator;
+  const size_t per_page = 9;
+  size_t file_pages = n / per_page + 2;
+  HeapFile file(db->buffer.get(), allocator.AllocateExtent(file_pages),
+                file_pages);
+  std::vector<size_t> order = rng.Permutation(n);
+  for (size_t k = 0; k < n; ++k) {
+    COBRA_ASSIGN_OR_RETURN(
+        Oid oid,
+        db->store->InsertAtPage(objects[order[k]], &file, k / per_page));
+    (void)oid;
+  }
+
+  // Recursive closure template over children + refersTo.
+  db->node_template = db->closure_tmpl.AddNode("Node");
+  db->node_template->expected_type = kHyperNodeType;
+  db->node_template->shared = true;  // cross-references share nodes
+  db->node_template->sharing_degree = options.refers_to_fraction;
+  for (int f = 0; f <= options.fanout; ++f) {
+    db->node_template->children.push_back({f, db->node_template});
+  }
+  db->closure_tmpl.SetRoot(db->node_template);
+  db->closure_tmpl.set_max_depth(options.levels + 1);
+
+  COBRA_RETURN_IF_ERROR(db->ColdRestart());
+  return db;
+}
+
+}  // namespace cobra

@@ -1,0 +1,81 @@
+// HyperModel-style workload (Anderson et al., the OODB benchmark the paper
+// cites in §6 as "better suited for our system").
+//
+// A single large *aggregation hierarchy*: each node has `fanout` part-of
+// children, plus an optional refersTo cross-reference to an earlier node —
+// so the object graph is a DAG, not a tree, and cross-referenced nodes are
+// genuinely shared between complex-object closures.  The benchmark
+// operations COBRA reproduces are the closure traversals (assemble the
+// aggregation closure of a node, sum an attribute over it).
+//
+// Node object (type 300):
+//   fields = [sequence number, level, ten (uniform 0..9), hundred (0..99)]
+//   refs[0..fanout-1] = children (kInvalidOid below the last level)
+//   refs[fanout]      = refersTo (interior nodes only; targets a leaf)
+//
+// refersTo edges run from interior nodes to leaves only, so the data stays
+// acyclic — which shared assembly requires (a cyclic *shared* component can
+// never complete) — and closures are never depth-truncated, so they are
+// deterministic across schedulers.
+
+#ifndef COBRA_WORKLOAD_HYPERMODEL_H_
+#define COBRA_WORKLOAD_HYPERMODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "assembly/template.h"
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "object/directory.h"
+#include "object/object_store.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+inline constexpr TypeId kHyperNodeType = 300;
+inline constexpr int kHyperSeqField = 0;
+inline constexpr int kHyperLevelField = 1;
+inline constexpr int kHyperTenField = 2;
+inline constexpr int kHyperHundredField = 3;
+
+struct HyperModelOptions {
+  int levels = 5;   // aggregation depth; node count = (f^L - 1) / (f - 1)
+  int fanout = 5;   // HyperModel's 5 (max 7: slot fanout is refersTo)
+  // Fraction of nodes carrying a refersTo cross-reference.
+  double refers_to_fraction = 0.3;
+  uint64_t seed = 17;
+  size_t buffer_frames = 16384;
+};
+
+struct HyperModelDatabase {
+  HyperModelOptions options;
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<HashDirectory> directory;
+  std::unique_ptr<ObjectStore> store;
+
+  // All nodes in breadth-first order; nodes[0] is the hierarchy root.
+  std::vector<Oid> nodes;
+  Oid root = kInvalidOid;
+  size_t total_nodes = 0;
+
+  // Recursive closure template: every child slot and the refersTo slot
+  // point back at the node type; nodes are marked shared (cross-references
+  // create real sharing).  max_depth = levels + 1 so a root closure covers
+  // the whole hierarchy without truncation.
+  AssemblyTemplate closure_tmpl;
+  TemplateNode* node_template = nullptr;
+
+  Status ColdRestart();
+};
+
+Result<std::unique_ptr<HyperModelDatabase>> BuildHyperModelDatabase(
+    const HyperModelOptions& options);
+
+// Number of nodes in a full hierarchy of `levels` levels and `fanout`.
+size_t HyperModelNodeCount(int levels, int fanout);
+
+}  // namespace cobra
+
+#endif  // COBRA_WORKLOAD_HYPERMODEL_H_

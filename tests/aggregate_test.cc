@@ -1,0 +1,180 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/aggregate.h"
+#include "exec/scan.h"
+
+namespace cobra::exec {
+namespace {
+
+Row IntRow(std::initializer_list<int64_t> values) {
+  Row row;
+  for (int64_t v : values) row.push_back(Value::Int(v));
+  return row;
+}
+
+std::unique_ptr<VectorScan> Scan(std::vector<Row> rows) {
+  return std::make_unique<VectorScan>(std::move(rows));
+}
+
+std::vector<AggSpec> OneAgg(AggFn fn, ExprPtr input) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({fn, std::move(input)});
+  return aggs;
+}
+
+TEST(HashAggregateTest, GlobalCountStar) {
+  HashAggregate agg(Scan({IntRow({1}), IntRow({2}), IntRow({3})}), {},
+                    OneAgg(AggFn::kCount, nullptr));
+  auto rows = DrainAll(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 3);
+}
+
+TEST(HashAggregateTest, GlobalOverEmptyInputStillOneRow) {
+  HashAggregate agg(Scan({}), {}, OneAgg(AggFn::kCount, nullptr));
+  auto rows = DrainAll(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 0);
+}
+
+TEST(HashAggregateTest, SumMinMaxAvg) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(0)});
+  aggs.push_back({AggFn::kMin, Col(0)});
+  aggs.push_back({AggFn::kMax, Col(0)});
+  aggs.push_back({AggFn::kAvg, Col(0)});
+  HashAggregate agg(Scan({IntRow({4}), IntRow({1}), IntRow({7})}), {},
+                    std::move(aggs));
+  auto rows = DrainAll(&agg);
+  ASSERT_TRUE(rows.ok());
+  const Row& row = (*rows)[0];
+  EXPECT_EQ(row[0].AsInt(), 12);
+  EXPECT_EQ(row[1].AsInt(), 1);
+  EXPECT_EQ(row[2].AsInt(), 7);
+  EXPECT_DOUBLE_EQ(row[3].AsDouble(), 4.0);
+}
+
+TEST(HashAggregateTest, GroupByPartitions) {
+  // (group, value): sums per group.
+  HashAggregate agg(Scan({IntRow({1, 10}), IntRow({2, 20}), IntRow({1, 5}),
+                          IntRow({2, 1}), IntRow({3, 7})}),
+                    [] {
+                      std::vector<ExprPtr> keys;
+                      keys.push_back(Col(0));
+                      return keys;
+                    }(),
+                    OneAgg(AggFn::kSum, Col(1)));
+  auto rows = DrainAll(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  // Groups appear in first-seen order.
+  EXPECT_EQ((*rows)[0][0].AsInt(), 1);
+  EXPECT_EQ((*rows)[0][1].AsInt(), 15);
+  EXPECT_EQ((*rows)[1][0].AsInt(), 2);
+  EXPECT_EQ((*rows)[1][1].AsInt(), 21);
+  EXPECT_EQ((*rows)[2][0].AsInt(), 3);
+  EXPECT_EQ((*rows)[2][1].AsInt(), 7);
+}
+
+TEST(HashAggregateTest, NullsIgnoredByAggregates) {
+  std::vector<Row> rows = {{Value::Int(1), Value::Int(10)},
+                           {Value::Int(1), Value::Null()},
+                           {Value::Int(1), Value::Int(20)}};
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kCount, Col(1)});
+  aggs.push_back({AggFn::kSum, Col(1)});
+  HashAggregate agg(Scan(std::move(rows)),
+                    [] {
+                      std::vector<ExprPtr> keys;
+                      keys.push_back(Col(0));
+                      return keys;
+                    }(),
+                    std::move(aggs));
+  auto out = DrainAll(&agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0][1].AsInt(), 2);  // count skips null
+  EXPECT_EQ((*out)[0][2].AsInt(), 30);
+}
+
+TEST(HashAggregateTest, SumOfNoValuesIsNull) {
+  std::vector<Row> rows = {{Value::Int(1), Value::Null()}};
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(1)});
+  aggs.push_back({AggFn::kMin, Col(1)});
+  aggs.push_back({AggFn::kAvg, Col(1)});
+  HashAggregate agg(Scan(std::move(rows)),
+                    [] {
+                      std::vector<ExprPtr> keys;
+                      keys.push_back(Col(0));
+                      return keys;
+                    }(),
+                    std::move(aggs));
+  auto out = DrainAll(&agg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE((*out)[0][1].is_null());
+  EXPECT_TRUE((*out)[0][2].is_null());
+  EXPECT_TRUE((*out)[0][3].is_null());
+}
+
+TEST(HashAggregateTest, NullGroupKeysMerge) {
+  std::vector<Row> rows = {{Value::Null(), Value::Int(1)},
+                           {Value::Null(), Value::Int(2)}};
+  HashAggregate agg(Scan(std::move(rows)),
+                    [] {
+                      std::vector<ExprPtr> keys;
+                      keys.push_back(Col(0));
+                      return keys;
+                    }(),
+                    OneAgg(AggFn::kSum, Col(1)));
+  auto out = DrainAll(&agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_TRUE((*out)[0][0].is_null());
+  EXPECT_EQ((*out)[0][1].AsInt(), 3);
+}
+
+TEST(HashAggregateTest, MixedIntDoubleSumPromotes) {
+  std::vector<Row> rows = {{Value::Int(1)}, {Value::Double(0.5)}};
+  HashAggregate agg(Scan(std::move(rows)), {}, OneAgg(AggFn::kSum, Col(0)));
+  auto out = DrainAll(&agg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0][0].AsDouble(), 1.5);
+}
+
+TEST(HashAggregateTest, NonCountWithoutInputIsError) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, nullptr});
+  HashAggregate agg(Scan({IntRow({1})}), {}, std::move(aggs));
+  EXPECT_FALSE(agg.Open().ok());
+}
+
+TEST(HashAggregateTest, ManyGroups) {
+  std::vector<Row> rows;
+  for (int i = 0; i < 10000; ++i) {
+    rows.push_back(IntRow({i % 97, 1}));
+  }
+  HashAggregate agg(Scan(std::move(rows)),
+                    [] {
+                      std::vector<ExprPtr> keys;
+                      keys.push_back(Col(0));
+                      return keys;
+                    }(),
+                    OneAgg(AggFn::kCount, Col(1)));
+  auto out = DrainAll(&agg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 97u);
+  int64_t total = 0;
+  for (const Row& row : *out) {
+    total += row[1].AsInt();
+  }
+  EXPECT_EQ(total, 10000);
+}
+
+}  // namespace
+}  // namespace cobra::exec

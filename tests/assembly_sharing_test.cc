@@ -1,0 +1,462 @@
+// Shared sub-objects (§6.4) and stacked assembly (§7, Fig. 17).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assembly/assembly_operator.h"
+#include "assembly/naive.h"
+#include "assembly/template.h"
+#include "buffer/buffer_manager.h"
+#include "exec/scan.h"
+#include "file/heap_file.h"
+#include "object/directory.h"
+#include "object/object_store.h"
+#include "storage/disk.h"
+#include "workload/genealogy.h"
+
+namespace cobra {
+namespace {
+
+using exec::Row;
+using exec::Value;
+using exec::VectorScan;
+
+class SharingTest : public ::testing::Test {
+ protected:
+  SharingTest()
+      : buffer_(&disk_, BufferOptions{.num_frames = 512}),
+        store_(&buffer_, &directory_),
+        file_(&buffer_, 0, 256) {}
+
+  Oid Put(TypeId type, std::vector<int32_t> fields, std::vector<Oid> refs,
+          size_t page) {
+    ObjectData obj;
+    obj.oid = store_.AllocateOid();
+    obj.type_id = type;
+    obj.fields = std::move(fields);
+    obj.refs = std::move(refs);
+    obj.refs.resize(8, kInvalidOid);
+    auto stored = store_.InsertAtPage(obj, &file_, page);
+    EXPECT_TRUE(stored.ok()) << stored.status().ToString();
+    return obj.oid;
+  }
+
+  std::unique_ptr<VectorScan> RootScan(const std::vector<Oid>& roots) {
+    std::vector<Row> rows;
+    for (Oid oid : roots) rows.push_back(Row{Value::Ref(oid)});
+    return std::make_unique<VectorScan>(std::move(rows));
+  }
+
+  Result<std::vector<Row>> Run(const AssemblyTemplate* tmpl,
+                               const std::vector<Oid>& roots,
+                               AssemblyOptions options,
+                               AssemblyStats* stats_out = nullptr) {
+    auto op = std::make_unique<AssemblyOperator>(RootScan(roots), tmpl,
+                                                 &store_, options);
+    COBRA_RETURN_IF_ERROR(op->Open());
+    std::vector<Row> rows;
+    Row row;
+    for (;;) {
+      COBRA_ASSIGN_OR_RETURN(bool has, op->Next(&row));
+      if (!has) break;
+      rows.push_back(row);
+    }
+    COBRA_RETURN_IF_ERROR(op->Close());
+    if (stats_out != nullptr) *stats_out = op->stats();
+    keep_alive_.push_back(std::move(op));
+    return rows;
+  }
+
+  SimulatedDisk disk_;
+  BufferManager buffer_;
+  HashDirectory directory_;
+  ObjectStore store_;
+  HeapFile file_;
+  std::vector<std::unique_ptr<AssemblyOperator>> keep_alive_;
+};
+
+// Template: root(1) -> shared_leaf(2), with the leaf marked shared.
+struct SharedLeafTemplate {
+  AssemblyTemplate tmpl;
+  TemplateNode* root;
+  TemplateNode* leaf;
+  SharedLeafTemplate() {
+    root = tmpl.AddNode("root");
+    leaf = tmpl.AddNode("shared_leaf");
+    root->expected_type = 1;
+    leaf->expected_type = 2;
+    leaf->shared = true;
+    leaf->sharing_degree = 0.5;
+    root->children.push_back({0, leaf});
+    tmpl.SetRoot(root);
+  }
+};
+
+TEST_F(SharingTest, SharedLeafLoadedOnce) {
+  SharedLeafTemplate st;
+  Oid shared = Put(2, {77}, {}, 5);
+  Oid r1 = Put(1, {1}, {shared}, 0);
+  Oid r2 = Put(1, {2}, {shared}, 1);
+  Oid r3 = Put(1, {3}, {shared}, 2);
+  AssemblyStats stats;
+  auto rows = Run(&st.tmpl, {r1, r2, r3},
+                  AssemblyOptions{.window_size = 3}, &stats);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  // One fetch of the shared leaf, two map hits.
+  EXPECT_EQ(stats.objects_fetched, 4u);
+  EXPECT_EQ(stats.shared_hits, 2u);
+  // All three parents point at the *same* in-memory object (§5: not loaded
+  // "into two different memory locations").
+  const AssembledObject* leaf0 = (*rows)[0][0].AsObject()->children[0];
+  const AssembledObject* leaf1 = (*rows)[1][0].AsObject()->children[0];
+  const AssembledObject* leaf2 = (*rows)[2][0].AsObject()->children[0];
+  EXPECT_EQ(leaf0, leaf1);
+  EXPECT_EQ(leaf1, leaf2);
+  EXPECT_EQ(leaf0->fields[0], 77);
+  EXPECT_EQ(leaf0->ref_count, 3);
+}
+
+TEST_F(SharingTest, SharingStatisticsOffLoadsCopies) {
+  SharedLeafTemplate st;
+  Oid shared = Put(2, {77}, {}, 5);
+  Oid r1 = Put(1, {1}, {shared}, 0);
+  Oid r2 = Put(1, {2}, {shared}, 1);
+  AssemblyStats stats;
+  AssemblyOptions options;
+  options.window_size = 2;
+  options.use_sharing_statistics = false;  // the §6.4 ablation
+  auto rows = Run(&st.tmpl, {r1, r2}, options, &stats);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(stats.objects_fetched, 4u);  // leaf fetched twice
+  EXPECT_EQ(stats.shared_hits, 0u);
+  EXPECT_NE((*rows)[0][0].AsObject()->children[0],
+            (*rows)[1][0].AsObject()->children[0]);
+}
+
+TEST_F(SharingTest, SharedHitAcrossWindowGenerations) {
+  // Window 1: the resident map still dedups across successive complex
+  // objects (shared components are kept "as long as possible").
+  SharedLeafTemplate st;
+  Oid shared = Put(2, {9}, {}, 5);
+  Oid r1 = Put(1, {1}, {shared}, 0);
+  Oid r2 = Put(1, {2}, {shared}, 1);
+  AssemblyStats stats;
+  auto rows = Run(&st.tmpl, {r1, r2}, AssemblyOptions{.window_size = 1},
+                  &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(stats.shared_hits, 1u);
+}
+
+TEST_F(SharingTest, SharedSubtreeWithChildren) {
+  // Shared mid-node with its own leaf: both complex objects must wait for
+  // the shared *subtree* to finish, and both see the same complete subtree.
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* mid = tmpl.AddNode("mid");
+  TemplateNode* leaf = tmpl.AddNode("leaf");
+  root->expected_type = 1;
+  mid->expected_type = 2;
+  mid->shared = true;
+  leaf->expected_type = 3;
+  root->children.push_back({0, mid});
+  mid->children.push_back({0, leaf});
+  tmpl.SetRoot(root);
+
+  Oid leaf_oid = Put(3, {123}, {}, 9);
+  Oid mid_oid = Put(2, {5}, {leaf_oid}, 5);
+  Oid r1 = Put(1, {1}, {mid_oid}, 0);
+  Oid r2 = Put(1, {2}, {mid_oid}, 1);
+
+  AssemblyStats stats;
+  auto rows = Run(&tmpl, {r1, r2},
+                  AssemblyOptions{.window_size = 2,
+                                  .scheduler = SchedulerKind::kBreadthFirst},
+                  &stats);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  const AssembledObject* m0 = (*rows)[0][0].AsObject()->children[0];
+  const AssembledObject* m1 = (*rows)[1][0].AsObject()->children[0];
+  EXPECT_EQ(m0, m1);
+  ASSERT_NE(m0->children[0], nullptr);
+  EXPECT_EQ(m0->children[0]->fields[0], 123);
+  // 2 roots + 1 mid + 1 leaf.
+  EXPECT_EQ(stats.objects_fetched, 4u);
+  EXPECT_EQ(stats.shared_hits, 1u);
+}
+
+TEST_F(SharingTest, NestedSharedComponents) {
+  // shared mid -> shared leaf: completion must cascade through the nested
+  // entry before any waiter is released.
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* mid = tmpl.AddNode("mid");
+  TemplateNode* leaf = tmpl.AddNode("leaf");
+  root->expected_type = 1;
+  mid->expected_type = 2;
+  mid->shared = true;
+  leaf->expected_type = 3;
+  leaf->shared = true;
+  root->children.push_back({0, mid});
+  mid->children.push_back({0, leaf});
+  tmpl.SetRoot(root);
+
+  Oid leaf_oid = Put(3, {7}, {}, 9);
+  Oid mid_a = Put(2, {1}, {leaf_oid}, 5);
+  Oid mid_b = Put(2, {2}, {leaf_oid}, 6);  // different mid, same leaf
+  Oid r1 = Put(1, {1}, {mid_a}, 0);
+  Oid r2 = Put(1, {2}, {mid_b}, 1);
+  Oid r3 = Put(1, {3}, {mid_a}, 2);
+
+  AssemblyStats stats;
+  auto rows = Run(&tmpl, {r1, r2, r3},
+                  AssemblyOptions{.window_size = 3}, &stats);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  // Fetches: 3 roots + mid_a + mid_b + leaf = 6.
+  EXPECT_EQ(stats.objects_fetched, 6u);
+  // Hits: r3's mid_a + mid_b's leaf = 2.
+  EXPECT_EQ(stats.shared_hits, 2u);
+  const AssembledObject* l0 = (*rows)[0][0].AsObject()->children[0]->children[0];
+  const AssembledObject* l1 = (*rows)[1][0].AsObject()->children[0]->children[0];
+  EXPECT_EQ(l0, l1);
+}
+
+TEST_F(SharingTest, SharedPredicateFailureAbortsAllReferencingObjects) {
+  SharedLeafTemplate st;
+  st.leaf->predicate = [](const ObjectData& obj) {
+    return obj.fields[0] > 0;
+  };
+  st.leaf->selectivity = 0.5;
+  Oid bad_shared = Put(2, {-1}, {}, 5);
+  Oid good_shared = Put(2, {1}, {}, 6);
+  Oid r1 = Put(1, {1}, {bad_shared}, 0);
+  Oid r2 = Put(1, {2}, {bad_shared}, 1);
+  Oid r3 = Put(1, {3}, {good_shared}, 2);
+  AssemblyStats stats;
+  auto rows = Run(&st.tmpl, {r1, r2, r3},
+                  AssemblyOptions{.window_size = 3}, &stats);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsObject()->oid, r3);
+  EXPECT_EQ(stats.complex_aborted, 2u);
+  // 3 roots + the failing shared leaf + the good shared leaf; the second
+  // reference to the failing leaf learns the failure from the resident map.
+  EXPECT_EQ(stats.objects_fetched, 5u);
+}
+
+TEST_F(SharingTest, FailedSharedEntryAbortsLaterArrivals) {
+  // A complex object admitted *after* the shared component failed must
+  // still abort on the resident failure record without re-fetching.
+  SharedLeafTemplate st;
+  st.leaf->predicate = [](const ObjectData&) { return false; };
+  Oid shared = Put(2, {0}, {}, 5);
+  std::vector<Oid> roots;
+  for (size_t i = 0; i < 5; ++i) {
+    roots.push_back(Put(1, {static_cast<int32_t>(i)}, {shared}, i));
+  }
+  AssemblyStats stats;
+  auto rows = Run(&st.tmpl, roots, AssemblyOptions{.window_size = 2},
+                  &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  EXPECT_EQ(stats.complex_aborted, 5u);
+  // Shared leaf fetched exactly once in total.
+  EXPECT_EQ(stats.objects_fetched, 6u);
+}
+
+TEST_F(SharingTest, DiamondWithinOneComplexObject) {
+  // One complex object referencing the same shared leaf through two paths:
+  // both pointers must alias and the object must still complete.
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* left = tmpl.AddNode("left");
+  TemplateNode* right = tmpl.AddNode("right");
+  TemplateNode* shared = tmpl.AddNode("shared");
+  root->expected_type = 1;
+  left->expected_type = 2;
+  right->expected_type = 2;
+  shared->expected_type = 3;
+  shared->shared = true;
+  left->children.push_back({0, shared});
+  right->children.push_back({0, shared});
+  root->children.push_back({0, left});
+  root->children.push_back({1, right});
+  tmpl.SetRoot(root);
+
+  Oid leaf = Put(3, {42}, {}, 9);
+  Oid l = Put(2, {1}, {leaf}, 1);
+  Oid r = Put(2, {2}, {leaf}, 2);
+  Oid rt = Put(1, {0}, {l, r}, 0);
+  AssemblyStats stats;
+  auto rows = Run(&tmpl, {rt}, AssemblyOptions{}, &stats);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const AssembledObject* obj = (*rows)[0][0].AsObject();
+  EXPECT_EQ(obj->children[0]->children[0], obj->children[1]->children[0]);
+  EXPECT_EQ(stats.objects_fetched, 4u);
+  EXPECT_EQ(stats.shared_hits, 1u);
+  EXPECT_EQ(CountAssembled(obj), 4u);
+}
+
+// ------------------------------------------------------- stacked assembly
+
+TEST_F(SharingTest, StackedAssemblyLinksPrebuiltComponents) {
+  // Fig. 17: Assembly1 builds the B/D sub-objects bottom-up; Assembly2
+  // fetches A and C and links the prebuilt components without re-fetching.
+  //
+  // Complex object: A -> {B -> D, C}.
+  AssemblyTemplate full;
+  TemplateNode* a = full.AddNode("A");
+  TemplateNode* b = full.AddNode("B");
+  TemplateNode* c = full.AddNode("C");
+  TemplateNode* d = full.AddNode("D");
+  a->expected_type = 1;
+  b->expected_type = 2;
+  c->expected_type = 3;
+  d->expected_type = 4;
+  a->children.push_back({0, b});
+  a->children.push_back({1, c});
+  b->children.push_back({0, d});
+  full.SetRoot(a);
+
+  // Sub-template for Assembly1: B -> D.
+  AssemblyTemplate sub;
+  TemplateNode* sb = sub.AddNode("B");
+  TemplateNode* sd = sub.AddNode("D");
+  sb->expected_type = 2;
+  sd->expected_type = 4;
+  sb->children.push_back({0, sd});
+  sub.SetRoot(sb);
+
+  std::vector<Oid> a_oids;
+  std::vector<Oid> b_oids;
+  for (size_t i = 0; i < 4; ++i) {
+    Oid d_oid = Put(4, {static_cast<int32_t>(i)}, {}, 30 + i);
+    Oid b_oid = Put(2, {static_cast<int32_t>(i)}, {d_oid}, 20 + i);
+    Oid c_oid = Put(3, {static_cast<int32_t>(i)}, {}, 10 + i);
+    a_oids.push_back(Put(1, {static_cast<int32_t>(i)}, {b_oid, c_oid}, i));
+    b_oids.push_back(b_oid);
+  }
+
+  // --- Assembly1: assemble all B sub-objects (input carries the A oid). ---
+  std::vector<Row> sub_inputs;
+  for (size_t i = 0; i < 4; ++i) {
+    sub_inputs.push_back(Row{Value::Ref(b_oids[i]), Value::Ref(a_oids[i])});
+  }
+  auto assembly1 = std::make_unique<AssemblyOperator>(
+      std::make_unique<VectorScan>(sub_inputs), &sub, &store_,
+      AssemblyOptions{.window_size = 4}, /*root_column=*/0);
+  ASSERT_TRUE(assembly1->Open().ok());
+  auto prebuilt = std::make_shared<PrebuiltComponents>();
+  prebuilt->arena = assembly1->arena();
+  std::vector<Row> stage2_inputs;
+  Row row;
+  for (;;) {
+    auto has = assembly1->Next(&row);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+    AssembledObject* b_obj = row[0].AsObject();
+    prebuilt->by_oid[b_obj->oid] = b_obj;
+    stage2_inputs.push_back(Row{row[1], Value::Prebuilt(prebuilt)});
+  }
+  ASSERT_TRUE(assembly1->Close().ok());
+  ASSERT_EQ(stage2_inputs.size(), 4u);
+
+  // --- Assembly2: complete top-down, reusing the prebuilt components. ---
+  auto assembly2 = std::make_unique<AssemblyOperator>(
+      std::make_unique<VectorScan>(stage2_inputs), &full, &store_,
+      AssemblyOptions{.window_size = 4}, /*root_column=*/0,
+      /*prebuilt_column=*/1);
+  ASSERT_TRUE(assembly2->Open().ok());
+  size_t emitted = 0;
+  AssemblyStats stats2;
+  for (;;) {
+    auto has = assembly2->Next(&row);
+    ASSERT_TRUE(has.ok()) << has.status().ToString();
+    if (!*has) break;
+    const AssembledObject* a_obj = row[0].AsObject();
+    EXPECT_EQ(a_obj->type_id, 1u);
+    ASSERT_NE(a_obj->children[0], nullptr);  // prebuilt B
+    EXPECT_EQ(a_obj->children[0]->type_id, 2u);
+    ASSERT_NE(a_obj->children[0]->children[0], nullptr);  // prebuilt D
+    ASSERT_NE(a_obj->children[1], nullptr);  // freshly fetched C
+    ++emitted;
+  }
+  stats2 = assembly2->stats();
+  ASSERT_TRUE(assembly2->Close().ok());
+  EXPECT_EQ(emitted, 4u);
+  // Assembly2 fetched only A and C objects: 8 fetches, 4 prebuilt links.
+  EXPECT_EQ(stats2.objects_fetched, 8u);
+  EXPECT_EQ(stats2.prebuilt_hits, 4u);
+  keep_alive_.push_back(std::move(assembly1));
+  keep_alive_.push_back(std::move(assembly2));
+}
+
+// ------------------------------------------------- genealogy integration
+
+TEST(GenealogySharingTest, AssembledQueryMatchesNaive) {
+  GenealogyOptions options;
+  options.num_people = 400;
+  options.seed = 21;
+  auto db = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  auto naive = LivesCloseToFatherNaive(db->get());
+  ASSERT_TRUE(naive.ok());
+
+  for (auto kind : {SchedulerKind::kDepthFirst, SchedulerKind::kElevator}) {
+    for (size_t window : {size_t{1}, size_t{25}}) {
+      ASSERT_TRUE((*db)->ColdRestart().ok());
+      AssemblyOptions aopts;
+      aopts.scheduler = kind;
+      aopts.window_size = window;
+      AssemblyOperator* assembly = nullptr;
+      auto plan = MakeLivesCloseToFatherPlan(db->get(), aopts, &assembly);
+      ASSERT_TRUE(plan->Open().ok());
+      std::vector<Oid> matches;
+      exec::Row row;
+      for (;;) {
+        auto has = plan->Next(&row);
+        ASSERT_TRUE(has.ok()) << has.status().ToString();
+        if (!*has) break;
+        matches.push_back(row[0].AsObject()->oid);
+      }
+      ASSERT_TRUE(plan->Close().ok());
+      std::sort(matches.begin(), matches.end());
+      std::vector<Oid> expected = *naive;
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(matches, expected)
+          << "scheduler=" << SchedulerKindName(kind) << " window=" << window;
+    }
+  }
+}
+
+TEST(GenealogySharingTest, SharedResidencesDedupedInWindow) {
+  GenealogyOptions options;
+  options.num_people = 300;
+  options.people_per_residence = 5;  // strong sharing
+  options.seed = 3;
+  auto db = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(db.ok());
+
+  AssemblyOptions aopts;
+  aopts.window_size = 300;  // whole set in one window
+  AssemblyOperator* assembly = nullptr;
+  auto plan = MakeLivesCloseToFatherPlan(db->get(), aopts, &assembly);
+  ASSERT_TRUE(plan->Open().ok());
+  exec::Row row;
+  for (;;) {
+    auto has = plan->Next(&row);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+  }
+  EXPECT_GT(assembly->stats().shared_hits, 0u);
+  ASSERT_TRUE(plan->Close().ok());
+}
+
+}  // namespace
+}  // namespace cobra

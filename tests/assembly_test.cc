@@ -1,0 +1,548 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assembly/assembly_operator.h"
+#include "assembly/naive.h"
+#include "assembly/template.h"
+#include "buffer/buffer_manager.h"
+#include "exec/scan.h"
+#include "file/heap_file.h"
+#include "object/directory.h"
+#include "object/object_store.h"
+#include "storage/disk.h"
+
+namespace cobra {
+namespace {
+
+using exec::Row;
+using exec::Value;
+using exec::ValueKind;
+using exec::VectorScan;
+
+// Hand-built micro-databases with explicit physical placement.
+class AssemblyTest : public ::testing::Test {
+ protected:
+  AssemblyTest()
+      : buffer_(&disk_, BufferOptions{.num_frames = 512}),
+        store_(&buffer_, &directory_),
+        file_(&buffer_, 0, 256) {}
+
+  // Stores an object on an explicit page.
+  Oid Put(TypeId type, std::vector<int32_t> fields, std::vector<Oid> refs,
+          size_t page) {
+    ObjectData obj;
+    obj.oid = store_.AllocateOid();
+    obj.type_id = type;
+    obj.fields = std::move(fields);
+    obj.refs = std::move(refs);
+    obj.refs.resize(8, kInvalidOid);
+    auto stored = store_.InsertAtPage(obj, &file_, page);
+    EXPECT_TRUE(stored.ok()) << stored.status().ToString();
+    return obj.oid;
+  }
+
+  std::unique_ptr<VectorScan> RootScan(const std::vector<Oid>& roots) {
+    std::vector<Row> rows;
+    for (Oid oid : roots) {
+      rows.push_back(Row{Value::Ref(oid)});
+    }
+    return std::make_unique<VectorScan>(std::move(rows));
+  }
+
+  // Runs assembly over `roots` and returns the emitted rows.  The operator
+  // is kept alive in keep_alive_ so emitted objects stay valid.
+  Result<std::vector<Row>> Run(const AssemblyTemplate* tmpl,
+                               const std::vector<Oid>& roots,
+                               AssemblyOptions options,
+                               AssemblyStats* stats_out = nullptr) {
+    auto op = std::make_unique<AssemblyOperator>(RootScan(roots), tmpl,
+                                                 &store_, options);
+    COBRA_RETURN_IF_ERROR(op->Open());
+    std::vector<Row> rows;
+    Row row;
+    for (;;) {
+      COBRA_ASSIGN_OR_RETURN(bool has, op->Next(&row));
+      if (!has) break;
+      rows.push_back(row);
+    }
+    COBRA_RETURN_IF_ERROR(op->Close());
+    if (stats_out != nullptr) {
+      *stats_out = op->stats();
+    }
+    keep_alive_.push_back(std::move(op));
+    return rows;
+  }
+
+  SimulatedDisk disk_;
+  BufferManager buffer_;
+  HashDirectory directory_;
+  ObjectStore store_;
+  HeapFile file_;
+  std::vector<std::unique_ptr<AssemblyOperator>> keep_alive_;
+};
+
+// A 3-node chain: root(type 1) -> mid(type 2) -> leaf(type 3).
+struct ChainTemplate {
+  AssemblyTemplate tmpl;
+  TemplateNode* root;
+  TemplateNode* mid;
+  TemplateNode* leaf;
+
+  ChainTemplate() {
+    root = tmpl.AddNode("root");
+    mid = tmpl.AddNode("mid");
+    leaf = tmpl.AddNode("leaf");
+    root->expected_type = 1;
+    mid->expected_type = 2;
+    leaf->expected_type = 3;
+    root->children.push_back({0, mid});
+    mid->children.push_back({0, leaf});
+    tmpl.SetRoot(root);
+  }
+};
+
+TEST_F(AssemblyTest, AssemblesSingleChain) {
+  ChainTemplate ct;
+  Oid leaf = Put(3, {30}, {}, 2);
+  Oid mid = Put(2, {20}, {leaf}, 1);
+  Oid root = Put(1, {10}, {mid}, 0);
+
+  AssemblyStats stats;
+  auto rows = Run(&ct.tmpl, {root}, AssemblyOptions{}, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  const Row& row = (*rows)[0];
+  ASSERT_EQ(row.size(), 1u);
+  ASSERT_EQ(row[0].kind(), ValueKind::kObject);
+  const AssembledObject* obj = row[0].AsObject();
+  EXPECT_EQ(obj->oid, root);
+  EXPECT_EQ(obj->fields[0], 10);
+  ASSERT_EQ(obj->children.size(), 1u);
+  ASSERT_NE(obj->children[0], nullptr);
+  EXPECT_EQ(obj->children[0]->oid, mid);
+  ASSERT_NE(obj->children[0]->children[0], nullptr);
+  EXPECT_EQ(obj->children[0]->children[0]->fields[0], 30);
+  EXPECT_EQ(stats.objects_fetched, 3u);
+  EXPECT_EQ(stats.complex_emitted, 1u);
+  EXPECT_EQ(stats.complex_aborted, 0u);
+}
+
+TEST_F(AssemblyTest, PassthroughColumnsPreserved) {
+  ChainTemplate ct;
+  Oid leaf = Put(3, {1}, {}, 0);
+  Oid mid = Put(2, {2}, {leaf}, 0);
+  Oid root = Put(1, {3}, {mid}, 0);
+  std::vector<Row> inputs = {{Value::Int(42), Value::Ref(root),
+                              Value::Str("tag")}};
+  auto op = std::make_unique<AssemblyOperator>(
+      std::make_unique<VectorScan>(inputs), &ct.tmpl, &store_,
+      AssemblyOptions{}, /*root_column=*/1);
+  ASSERT_TRUE(op->Open().ok());
+  Row row;
+  auto has = op->Next(&row);
+  ASSERT_TRUE(has.ok() && *has);
+  EXPECT_EQ(row[0].AsInt(), 42);
+  EXPECT_EQ(row[1].kind(), ValueKind::kObject);
+  EXPECT_EQ(row[2].AsStr(), "tag");
+  keep_alive_.push_back(std::move(op));
+}
+
+TEST_F(AssemblyTest, MissingReferenceLeavesNullChild) {
+  ChainTemplate ct;
+  Oid mid = Put(2, {20}, {/*no leaf*/}, 0);
+  Oid root = Put(1, {10}, {mid}, 0);
+  auto rows = Run(&ct.tmpl, {root}, AssemblyOptions{});
+  ASSERT_TRUE(rows.ok());
+  const AssembledObject* obj = (*rows)[0][0].AsObject();
+  ASSERT_NE(obj->children[0], nullptr);
+  EXPECT_EQ(obj->children[0]->children[0], nullptr);
+}
+
+TEST_F(AssemblyTest, EmptyInputYieldsNoRows) {
+  ChainTemplate ct;
+  auto rows = Run(&ct.tmpl, {}, AssemblyOptions{});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(AssemblyTest, DanglingRootIsNotFound) {
+  ChainTemplate ct;
+  auto rows = Run(&ct.tmpl, {9999}, AssemblyOptions{});
+  EXPECT_TRUE(rows.status().IsNotFound());
+}
+
+TEST_F(AssemblyTest, DanglingChildIsNotFound) {
+  ChainTemplate ct;
+  Oid root = Put(1, {1}, {12345}, 0);  // reference to nowhere
+  auto rows = Run(&ct.tmpl, {root}, AssemblyOptions{});
+  EXPECT_TRUE(rows.status().IsNotFound());
+}
+
+TEST_F(AssemblyTest, TypeMismatchIsCorruption) {
+  ChainTemplate ct;
+  Oid wrong = Put(7, {1}, {}, 0);  // type 7 where template wants 2
+  Oid root = Put(1, {1}, {wrong}, 0);
+  auto rows = Run(&ct.tmpl, {root}, AssemblyOptions{});
+  EXPECT_TRUE(rows.status().IsCorruption());
+}
+
+TEST_F(AssemblyTest, NonOidRootColumnRejected) {
+  ChainTemplate ct;
+  std::vector<Row> inputs = {{Value::Int(5)}};
+  AssemblyOperator op(std::make_unique<VectorScan>(inputs), &ct.tmpl, &store_,
+                      AssemblyOptions{});
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  EXPECT_TRUE(op.Next(&row).status().IsInvalidArgument());
+}
+
+TEST_F(AssemblyTest, ZeroWindowRejected) {
+  ChainTemplate ct;
+  AssemblyOperator op(RootScan({}), &ct.tmpl, &store_,
+                      AssemblyOptions{.window_size = 0});
+  EXPECT_TRUE(op.Open().IsInvalidArgument());
+}
+
+TEST_F(AssemblyTest, InvalidTemplateRejectedAtOpen) {
+  AssemblyTemplate bad;  // no root
+  AssemblyOperator op(RootScan({}), &bad, &store_, AssemblyOptions{});
+  EXPECT_TRUE(op.Open().IsInvalidArgument());
+}
+
+TEST_F(AssemblyTest, DepthFirstFetchesOneComplexObjectAtATime) {
+  // §6.2: "depth-first scheduling is equivalent to object-at-a-time
+  // assembly, regardless of window size."  Each complex object sits on its
+  // own page, so the read trace shows which complex is being fetched.
+  ChainTemplate ct;
+  std::vector<Oid> roots;
+  for (int i = 0; i < 4; ++i) {
+    size_t base = static_cast<size_t>(i) * 3;
+    Oid leaf = Put(3, {i}, {}, base + 2);
+    Oid mid = Put(2, {i}, {leaf}, base + 1);
+    roots.push_back(Put(1, {i}, {mid}, base));
+  }
+  ASSERT_TRUE(buffer_.DropAll().ok());
+  disk_.EnableReadTrace(true);
+  AssemblyOptions options;
+  options.window_size = 4;
+  options.scheduler = SchedulerKind::kDepthFirst;
+  auto rows = Run(&ct.tmpl, roots, options);
+  ASSERT_TRUE(rows.ok());
+  const auto& trace = disk_.read_trace();
+  ASSERT_EQ(trace.size(), 12u);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    // Complex i occupies pages 3i..3i+2 and is read contiguously.
+    EXPECT_EQ(trace[i] / 3, i / 3) << "read " << i << " hit page " << trace[i];
+  }
+}
+
+TEST_F(AssemblyTest, ElevatorFetchesInPageOrderWithinWindow) {
+  // Three chains placed so that an ascending page sweep interleaves them.
+  ChainTemplate ct;
+  // complex 0: pages 0, 10, 20; complex 1: 1, 11, 21; complex 2: 2, 12, 22.
+  std::vector<Oid> roots;
+  for (int i = 0; i < 3; ++i) {
+    Oid leaf = Put(3, {i}, {}, 20 + static_cast<size_t>(i));
+    Oid mid = Put(2, {i}, {leaf}, 10 + static_cast<size_t>(i));
+    roots.push_back(Put(1, {i}, {mid}, static_cast<size_t>(i)));
+  }
+  ASSERT_TRUE(buffer_.DropAll().ok());
+  disk_.EnableReadTrace(true);
+  disk_.ParkHead(0);
+  AssemblyOptions options;
+  options.window_size = 3;
+  options.scheduler = SchedulerKind::kElevator;
+  auto rows = Run(&ct.tmpl, roots, options);
+  ASSERT_TRUE(rows.ok());
+  // The sweep reads pages in ascending order: 0,1,2,10,11,12,20,21,22.
+  std::vector<PageId> expected = {0, 1, 2, 10, 11, 12, 20, 21, 22};
+  EXPECT_EQ(disk_.read_trace(), expected);
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(AssemblyTest, ElevatorBeatsDepthFirstOnScatteredLayout) {
+  ChainTemplate ct;
+  // Scatter: roots low, mids high, leaves low again — DF ping-pongs,
+  // elevator sweeps.
+  std::vector<Oid> roots;
+  for (size_t i = 0; i < 8; ++i) {
+    Oid leaf = Put(3, {static_cast<int32_t>(i)}, {}, 40 + i);
+    Oid mid = Put(2, {static_cast<int32_t>(i)}, {leaf}, 120 + i);
+    roots.push_back(Put(1, {static_cast<int32_t>(i)}, {mid}, i));
+  }
+  ASSERT_TRUE(buffer_.FlushAll().ok());
+
+  // Each run uses a fresh cold buffer so the comparison is fair.
+  auto run_with = [&](SchedulerKind kind) -> double {
+    BufferManager cold(&disk_, BufferOptions{.num_frames = 512});
+    ObjectStore cold_store(&cold, &directory_);
+    disk_.ResetStats();
+    disk_.ParkHead(0);
+    AssemblyOptions options;
+    options.window_size = 8;
+    options.scheduler = kind;
+    auto op = std::make_unique<AssemblyOperator>(RootScan(roots), &ct.tmpl,
+                                                 &cold_store, options);
+    EXPECT_TRUE(op->Open().ok());
+    Row row;
+    for (;;) {
+      auto has = op->Next(&row);
+      EXPECT_TRUE(has.ok());
+      if (!has.ok() || !*has) break;
+    }
+    EXPECT_TRUE(op->Close().ok());
+    return disk_.stats().AvgSeekPerRead();
+  };
+  ASSERT_TRUE(buffer_.FlushAll().ok());
+  double df = run_with(SchedulerKind::kDepthFirst);
+  double elevator = run_with(SchedulerKind::kElevator);
+  EXPECT_LT(elevator, df);
+}
+
+TEST_F(AssemblyTest, PredicateAbortsFailingComplexObjects) {
+  ChainTemplate ct;
+  ct.mid->predicate = [](const ObjectData& obj) {
+    return obj.fields[0] % 2 == 0;  // keep even mids
+  };
+  ct.mid->selectivity = 0.5;
+  std::vector<Oid> roots;
+  for (int i = 0; i < 6; ++i) {
+    Oid leaf = Put(3, {100 + i}, {}, 2);
+    Oid mid = Put(2, {i}, {leaf}, 1);
+    roots.push_back(Put(1, {i}, {mid}, 0));
+  }
+  AssemblyStats stats;
+  auto rows = Run(&ct.tmpl, roots, AssemblyOptions{.window_size = 3}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  EXPECT_EQ(stats.complex_aborted, 3u);
+  for (const Row& row : *rows) {
+    const AssembledObject* obj = row[0].AsObject();
+    EXPECT_EQ(obj->children[0]->fields[0] % 2, 0);
+  }
+}
+
+TEST_F(AssemblyTest, PredicateAbortSkipsRemainingFetches) {
+  // Root predicate false: only the root object is ever fetched.
+  ChainTemplate ct;
+  ct.root->predicate = [](const ObjectData&) { return false; };
+  Oid leaf = Put(3, {1}, {}, 2);
+  Oid mid = Put(2, {1}, {leaf}, 1);
+  Oid root = Put(1, {1}, {mid}, 0);
+  AssemblyStats stats;
+  auto rows = Run(&ct.tmpl, {root}, AssemblyOptions{}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  EXPECT_EQ(stats.objects_fetched, 1u);
+  EXPECT_EQ(stats.complex_aborted, 1u);
+}
+
+TEST_F(AssemblyTest, PredicatePrioritizationFetchesRejectorFirst) {
+  // Root has two children: an expensive subtree (no predicate) and a cheap
+  // leaf with a highly rejecting predicate.  With prioritization the leaf
+  // is fetched first and the subtree is never touched on failing objects.
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* expensive = tmpl.AddNode("expensive");
+  TemplateNode* expensive_leaf = tmpl.AddNode("expensive_leaf");
+  TemplateNode* checked = tmpl.AddNode("checked");
+  root->expected_type = 1;
+  expensive->expected_type = 2;
+  expensive_leaf->expected_type = 3;
+  checked->expected_type = 4;
+  expensive->children.push_back({0, expensive_leaf});
+  root->children.push_back({0, expensive});
+  root->children.push_back({1, checked});
+  checked->predicate = [](const ObjectData&) { return false; };  // rejects all
+  checked->selectivity = 0.0;
+  tmpl.SetRoot(root);
+
+  Oid el = Put(3, {1}, {}, 3);
+  Oid ex = Put(2, {1}, {el}, 2);
+  Oid ch = Put(4, {1}, {}, 1);
+  Oid rt = Put(1, {1}, {ex, ch}, 0);
+
+  AssemblyStats with_priority;
+  AssemblyOptions options;
+  options.prioritize_predicates = true;
+  auto rows = Run(&tmpl, {rt}, options, &with_priority);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  // Only root + checked fetched; the expensive subtree skipped entirely.
+  EXPECT_EQ(with_priority.objects_fetched, 2u);
+
+  AssemblyStats without_priority;
+  options.prioritize_predicates = false;
+  options.scheduler = SchedulerKind::kDepthFirst;
+  rows = Run(&tmpl, {rt}, options, &without_priority);
+  ASSERT_TRUE(rows.ok());
+  // Template order fetches the expensive subtree before the rejecting leaf.
+  EXPECT_GT(without_priority.objects_fetched, 2u);
+}
+
+TEST_F(AssemblyTest, RecursiveTemplateTruncatesAtMaxDepth) {
+  AssemblyTemplate tmpl;
+  TemplateNode* node = tmpl.AddNode("linked");
+  node->expected_type = 5;
+  node->children.push_back({0, node});
+  tmpl.SetRoot(node);
+  tmpl.set_max_depth(3);
+
+  // A linked list of 6 objects.
+  std::vector<Oid> chain(6);
+  Oid next = kInvalidOid;
+  for (int i = 5; i >= 0; --i) {
+    chain[i] = Put(5, {i}, {next}, static_cast<size_t>(i));
+    next = chain[i];
+  }
+  AssemblyStats stats;
+  auto rows = Run(&tmpl, {chain[0]}, AssemblyOptions{}, &stats);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  // Depth 0,1,2 assembled; expansion stops below max_depth = 3.
+  EXPECT_EQ(CountAssembled((*rows)[0][0].AsObject()), 3u);
+  EXPECT_EQ(stats.objects_fetched, 3u);
+}
+
+TEST_F(AssemblyTest, WindowPagesHighWaterTracked) {
+  ChainTemplate ct;
+  std::vector<Oid> roots;
+  for (size_t i = 0; i < 4; ++i) {
+    Oid leaf = Put(3, {1}, {}, i * 3 + 2);
+    Oid mid = Put(2, {1}, {leaf}, i * 3 + 1);
+    roots.push_back(Put(1, {1}, {mid}, i * 3));
+  }
+  AssemblyStats stats;
+  auto rows =
+      Run(&ct.tmpl, roots, AssemblyOptions{.window_size = 4}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GE(stats.max_window_pages, 3u);
+  EXPECT_LE(stats.max_window_pages, 12u);
+  EXPECT_GE(stats.max_pool_size, 1u);
+}
+
+TEST_F(AssemblyTest, EmissionInCompletionOrderNotInputOrder) {
+  // With breadth-first and asymmetric objects (one chain deep, one
+  // shallow), the shallow complex admitted second completes first.
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* mid = tmpl.AddNode("mid");
+  TemplateNode* leaf = tmpl.AddNode("leaf");
+  root->children.push_back({0, mid});
+  mid->children.push_back({0, leaf});
+  tmpl.SetRoot(root);
+
+  Oid deep_leaf = Put(0, {1}, {}, 4);
+  Oid deep_mid = Put(0, {1}, {deep_leaf}, 3);
+  Oid deep_root = Put(0, {1}, {deep_mid}, 2);
+  Oid shallow_root = Put(0, {2}, {}, 1);  // no children at all
+
+  AssemblyOptions options;
+  options.window_size = 2;
+  options.scheduler = SchedulerKind::kBreadthFirst;
+  auto rows = Run(&tmpl, {deep_root, shallow_root}, options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsObject()->oid, shallow_root);
+  EXPECT_EQ((*rows)[1][0].AsObject()->oid, deep_root);
+}
+
+TEST_F(AssemblyTest, MatchesNaiveAssemblerOnRandomDag) {
+  // Random DAG-ish database: each object references earlier objects.
+  std::vector<TemplateNode*> nodes;
+  AssemblyTemplate tmpl = MakeBinaryTreeTemplate(3, &nodes);
+  // Build 20 proper binary-tree complex objects.
+  std::vector<Oid> roots;
+  size_t page = 0;
+  for (int c = 0; c < 20; ++c) {
+    std::vector<Oid> level3;
+    for (int i = 0; i < 4; ++i) {
+      level3.push_back(Put(4 + static_cast<TypeId>(i), {c, i}, {}, page++ % 200));
+    }
+    Oid b = Put(2, {c}, {level3[0], level3[1]}, page++ % 200);
+    Oid cc = Put(3, {c}, {level3[2], level3[3]}, page++ % 200);
+    roots.push_back(Put(1, {c}, {b, cc}, page++ % 200));
+  }
+  NaiveAssembler naive(&store_, &tmpl);
+  ObjectArena naive_arena;
+  auto expected = naive.AssembleAll(roots, &naive_arena);
+  ASSERT_TRUE(expected.ok());
+
+  for (auto kind : {SchedulerKind::kDepthFirst, SchedulerKind::kBreadthFirst,
+                    SchedulerKind::kElevator}) {
+    for (size_t window : {size_t{1}, size_t{5}, size_t{50}}) {
+      AssemblyOptions options;
+      options.scheduler = kind;
+      options.window_size = window;
+      auto rows = Run(&tmpl, roots, options);
+      ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+      ASSERT_EQ(rows->size(), expected->size());
+      // Compare per-root OID sets (emission order may differ).
+      std::map<Oid, std::set<Oid>> got;
+      for (const Row& row : *rows) {
+        const AssembledObject* obj = row[0].AsObject();
+        auto oids = CollectOids(obj);
+        got[obj->oid] = std::set<Oid>(oids.begin(), oids.end());
+      }
+      for (AssembledObject* exp : *expected) {
+        auto oids = CollectOids(exp);
+        ASSERT_TRUE(got.contains(exp->oid));
+        EXPECT_EQ(got[exp->oid],
+                  (std::set<Oid>(oids.begin(), oids.end())))
+            << "scheduler=" << SchedulerKindName(kind) << " window=" << window;
+      }
+    }
+  }
+}
+
+TEST_F(AssemblyTest, NaiveAssemblerRespectsPredicates) {
+  ChainTemplate ct;
+  ct.leaf->predicate = [](const ObjectData& obj) {
+    return obj.fields[0] > 0;
+  };
+  Oid good_leaf = Put(3, {5}, {}, 0);
+  Oid bad_leaf = Put(3, {-5}, {}, 0);
+  Oid good_mid = Put(2, {1}, {good_leaf}, 0);
+  Oid bad_mid = Put(2, {1}, {bad_leaf}, 0);
+  Oid good_root = Put(1, {1}, {good_mid}, 0);
+  Oid bad_root = Put(1, {1}, {bad_mid}, 0);
+
+  NaiveAssembler naive(&store_, &ct.tmpl);
+  ObjectArena arena;
+  auto good = naive.AssembleOne(good_root, &arena);
+  ASSERT_TRUE(good.ok());
+  EXPECT_NE(*good, nullptr);
+  auto bad = naive.AssembleOne(bad_root, &arena);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(*bad, nullptr);
+  auto all = naive.AssembleAll({good_root, bad_root}, &arena);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);
+}
+
+TEST_F(AssemblyTest, OperatorReusableAfterClose) {
+  ChainTemplate ct;
+  Oid leaf = Put(3, {1}, {}, 2);
+  Oid mid = Put(2, {1}, {leaf}, 1);
+  Oid root = Put(1, {1}, {mid}, 0);
+  AssemblyOperator op(RootScan({root}), &ct.tmpl, &store_, AssemblyOptions{});
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(op.Open().ok());
+    Row row;
+    auto has = op.Next(&row);
+    ASSERT_TRUE(has.ok() && *has);
+    EXPECT_EQ(row[0].AsObject()->oid, root);
+    has = op.Next(&row);
+    ASSERT_TRUE(has.ok());
+    EXPECT_FALSE(*has);
+    ASSERT_TRUE(op.Close().ok());
+  }
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,318 @@
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "buffer/buffer_manager.h"
+#include "common/rng.h"
+#include "file/heap_file.h"
+#include "index/btree.h"
+#include "storage/disk.h"
+
+namespace cobra {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest()
+      : buffer_(&disk_, BufferOptions{.num_frames = 1024}), allocator_(0) {}
+
+  BTree Create() {
+    auto tree = BTree::Create(&buffer_, &allocator_);
+    EXPECT_TRUE(tree.ok());
+    return std::move(tree).value();
+  }
+
+  // Drains the tree through an iterator.
+  std::vector<std::pair<uint64_t, uint64_t>> Drain(const BTree& tree,
+                                                   uint64_t from = 0) {
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    auto it = tree.Seek(from);
+    EXPECT_TRUE(it.ok());
+    uint64_t k = 0;
+    uint64_t v = 0;
+    for (;;) {
+      auto has = it->Next(&k, &v);
+      EXPECT_TRUE(has.ok());
+      if (!*has) break;
+      out.push_back({k, v});
+    }
+    return out;
+  }
+
+  SimulatedDisk disk_;
+  BufferManager buffer_;
+  PageAllocator allocator_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  BTree tree = Create();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Get(1).status().IsNotFound());
+  EXPECT_FALSE(tree.Contains(1));
+  EXPECT_TRUE(Drain(tree).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, SingleKey) {
+  BTree tree = Create();
+  ASSERT_TRUE(tree.Put(5, 50).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Get(5), 50u);
+  EXPECT_EQ(*tree.Height(), 1);
+}
+
+TEST_F(BTreeTest, PutOverwrites) {
+  BTree tree = Create();
+  ASSERT_TRUE(tree.Put(5, 50).ok());
+  ASSERT_TRUE(tree.Put(5, 51).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Get(5), 51u);
+}
+
+TEST_F(BTreeTest, InsertRejectsDuplicate) {
+  BTree tree = Create();
+  ASSERT_TRUE(tree.Insert(5, 50).ok());
+  EXPECT_TRUE(tree.Insert(5, 51).IsAlreadyExists());
+  EXPECT_EQ(*tree.Get(5), 50u);
+}
+
+TEST_F(BTreeTest, SequentialInsertSplitsLeaves) {
+  BTree tree = Create();
+  const uint64_t n = 1000;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Put(k, k * 10).ok()) << k;
+  }
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_GE(*tree.Height(), 2);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_EQ(*tree.Get(k), k * 10) << k;
+  }
+  auto all = Drain(tree);
+  ASSERT_EQ(all.size(), n);
+  for (uint64_t k = 0; k < n; ++k) {
+    EXPECT_EQ(all[k].first, k);
+  }
+}
+
+TEST_F(BTreeTest, ReverseInsert) {
+  BTree tree = Create();
+  for (uint64_t k = 500; k > 0; --k) {
+    ASSERT_TRUE(tree.Put(k, k).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  auto all = Drain(tree);
+  ASSERT_EQ(all.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST_F(BTreeTest, RandomInsertMatchesStdMap) {
+  BTree tree = Create();
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(1234);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t k = rng.NextBounded(5000);
+    uint64_t v = rng.NextU64();
+    ASSERT_TRUE(tree.Put(k, v).ok());
+    model[k] = v;
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(*tree.Get(k), v);
+  }
+  auto all = Drain(tree);
+  ASSERT_EQ(all.size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(all[i].first, k);
+    EXPECT_EQ(all[i].second, v);
+    ++i;
+  }
+}
+
+TEST_F(BTreeTest, DeleteFromLeafNoUnderflow) {
+  BTree tree = Create();
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(tree.Put(k, k).ok());
+  }
+  ASSERT_TRUE(tree.Delete(4).ok());
+  EXPECT_EQ(tree.size(), 9u);
+  EXPECT_TRUE(tree.Get(4).status().IsNotFound());
+  EXPECT_TRUE(tree.Contains(5));
+}
+
+TEST_F(BTreeTest, DeleteMissingKeyIsNotFound) {
+  BTree tree = Create();
+  ASSERT_TRUE(tree.Put(1, 1).ok());
+  EXPECT_TRUE(tree.Delete(2).IsNotFound());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(BTreeTest, DeleteEverythingSequentially) {
+  BTree tree = Create();
+  const uint64_t n = 800;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Put(k, k).ok());
+  }
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Delete(k).ok()) << k;
+    if (k % 97 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after deleting " << k;
+    }
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(Drain(tree).empty());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, DeleteEverythingReverse) {
+  BTree tree = Create();
+  const uint64_t n = 800;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Put(k, k).ok());
+  }
+  for (uint64_t k = n; k > 0; --k) {
+    ASSERT_TRUE(tree.Delete(k - 1).ok()) << k - 1;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, RandomInsertDeleteMatchesStdMap) {
+  BTree tree = Create();
+  std::map<uint64_t, uint64_t> model;
+  Rng rng(999);
+  for (int i = 0; i < 6000; ++i) {
+    uint64_t k = rng.NextBounded(700);
+    if (rng.NextBool(0.45) && !model.empty()) {
+      // Delete a key that exists about half the time.
+      uint64_t target = rng.NextBool(0.5) ? k : model.begin()->first;
+      Status s = tree.Delete(target);
+      if (model.erase(target) > 0) {
+        ASSERT_TRUE(s.ok()) << "delete " << target << ": " << s.ToString();
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else {
+      uint64_t v = rng.NextBounded(1 << 20);
+      ASSERT_TRUE(tree.Put(k, v).ok());
+      model[k] = v;
+    }
+    if (i % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << i;
+      ASSERT_EQ(tree.size(), model.size());
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  auto all = Drain(tree);
+  ASSERT_EQ(all.size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(all[i].first, k);
+    ASSERT_EQ(all[i].second, v);
+    ++i;
+  }
+}
+
+TEST_F(BTreeTest, SeekFindsLowerBound) {
+  BTree tree = Create();
+  for (uint64_t k = 0; k < 100; k += 10) {
+    ASSERT_TRUE(tree.Put(k, k).ok());
+  }
+  auto from_35 = Drain(tree, 35);
+  ASSERT_FALSE(from_35.empty());
+  EXPECT_EQ(from_35.front().first, 40u);
+  EXPECT_EQ(from_35.size(), 6u);
+  auto from_40 = Drain(tree, 40);
+  EXPECT_EQ(from_40.front().first, 40u);
+  auto past_end = Drain(tree, 1000);
+  EXPECT_TRUE(past_end.empty());
+}
+
+TEST_F(BTreeTest, SeekAcrossLeafBoundaries) {
+  BTree tree = Create();
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(tree.Put(k * 2, k).ok());
+  }
+  // Only even keys exist: seek must land on the smallest even key >= probe,
+  // even when it is a leaf's first entry.
+  for (uint64_t probe = 1; probe < 999; probe += 111) {
+    auto it = tree.Seek(probe);
+    ASSERT_TRUE(it.ok());
+    uint64_t k = 0;
+    uint64_t v = 0;
+    auto has = it->Next(&k, &v);
+    ASSERT_TRUE(has.ok() && *has);
+    EXPECT_EQ(k, probe % 2 == 0 ? probe : probe + 1);
+  }
+}
+
+TEST_F(BTreeTest, OpenReattachesAfterFlush) {
+  PageId meta;
+  {
+    BTree tree = Create();
+    meta = tree.meta_page();
+    for (uint64_t k = 0; k < 300; ++k) {
+      ASSERT_TRUE(tree.Put(k, k + 1).ok());
+    }
+    ASSERT_TRUE(buffer_.FlushAll().ok());
+  }
+  auto reopened = BTree::Open(&buffer_, &allocator_, meta);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->size(), 300u);
+  EXPECT_EQ(*reopened->Get(42), 43u);
+  ASSERT_TRUE(reopened->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, OpenRejectsGarbageMetaPage) {
+  // A heap page is not a btree meta page.
+  auto guard = buffer_.CreatePage(allocator_.Allocate());
+  ASSERT_TRUE(guard.ok());
+  guard->data()[0] = std::byte{0x12};
+  guard->MarkDirty();
+  PageId bogus = guard->page_id();
+  guard->Release();
+  EXPECT_TRUE(
+      BTree::Open(&buffer_, &allocator_, bogus).status().IsCorruption());
+}
+
+TEST_F(BTreeTest, ExtremeKeysWork) {
+  BTree tree = Create();
+  ASSERT_TRUE(tree.Put(0, 1).ok());
+  ASSERT_TRUE(tree.Put(~uint64_t{0}, 2).ok());
+  ASSERT_TRUE(tree.Put(~uint64_t{0} - 1, 3).ok());
+  EXPECT_EQ(*tree.Get(0), 1u);
+  EXPECT_EQ(*tree.Get(~uint64_t{0}), 2u);
+  auto all = Drain(tree);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.back().first, ~uint64_t{0});
+}
+
+TEST_F(BTreeTest, HeightGrowsLogarithmically) {
+  BTree tree = Create();
+  for (uint64_t k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(tree.Put(k, k).ok());
+  }
+  // 63 entries per leaf, 62 per internal: 20000 keys fit in height 3.
+  EXPECT_LE(*tree.Height(), 4);
+  EXPECT_GE(*tree.Height(), 3);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, MixedWorkloadKeepsIteratorOrder) {
+  BTree tree = Create();
+  Rng rng(31337);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Put(rng.NextBounded(100000), i).ok());
+  }
+  auto all = Drain(tree);
+  EXPECT_TRUE(std::is_sorted(
+      all.begin(), all.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,207 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace cobra {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing page 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing page 7");
+  EXPECT_EQ(s.ToString(), "NotFound: missing page 7");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  std::set<std::string_view> names;
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kInvalidArgument,
+        StatusCode::kOutOfRange, StatusCode::kCorruption,
+        StatusCode::kResourceExhausted, StatusCode::kAlreadyExists,
+        StatusCode::kNotSupported, StatusCode::kInternal}) {
+    names.insert(StatusCodeName(code));
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(StatusTest, CopyPreservesMessage) {
+  Status a = Status::Corruption("bad checksum");
+  Status b = a;          // copy construct
+  Status c;
+  c = b;                 // copy assign
+  EXPECT_TRUE(c.IsCorruption());
+  EXPECT_EQ(c.message(), "bad checksum");
+  EXPECT_EQ(a.message(), "bad checksum");
+}
+
+TEST(StatusTest, MoveLeavesSourceUsable) {
+  Status a = Status::Internal("boom");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsInternal());
+  EXPECT_EQ(b.message(), "boom");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto helper = [](bool fail) -> Status {
+    COBRA_RETURN_IF_ERROR(fail ? Status::OutOfRange("x") : Status::OK());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_TRUE(helper(true).IsOutOfRange());
+  EXPECT_TRUE(helper(false).IsAlreadyExists());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("no such key");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  // Constructing a Result from an OK status is a bug; it must not silently
+  // look like success.
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Corruption("inner");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    COBRA_ASSIGN_OR_RETURN(int x, inner(fail));
+    return x * 2;
+  };
+  EXPECT_EQ(*outer(false), 14);
+  EXPECT_TRUE(outer(true).status().IsCorruption());
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, InRangeInclusive) {
+  Rng rng(77);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(31);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.03);
+}
+
+TEST(RngTest, BoolProbability) {
+  Rng rng(55);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(88);
+  std::vector<size_t> p = rng.Permutation(100);
+  std::set<size_t> unique(p.begin(), p.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(14);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(4);
+  Rng forked = a.Fork();
+  // The fork and parent produce different streams.
+  EXPECT_NE(a.NextU64(), forked.NextU64());
+}
+
+}  // namespace
+}  // namespace cobra

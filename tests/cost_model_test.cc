@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "assembly/assembly_operator.h"
+#include "assembly/cost_model.h"
+#include "exec/scan.h"
+#include "workload/acob.h"
+
+namespace cobra {
+namespace {
+
+DatabaseProfile AcobProfile(const AcobDatabase& db,
+                            PlacementClass placement) {
+  DatabaseProfile profile;
+  profile.num_complex_objects = db.options.num_complex_objects;
+  profile.components_per_complex =
+      AcobComponentsPerComplex(db.options.levels);
+  profile.objects_per_page = db.options.objects_per_page;
+  profile.data_pages = db.data_pages;
+  profile.page_span = db.disk->page_span();
+  profile.placement = placement;
+  return profile;
+}
+
+TEST(WindowBufferBoundTest, MatchesPaperNumbers) {
+  // §6.3.3: 7 pages at W=1; 6*49 + 7 = 301 at W=50 (c = 7 components).
+  EXPECT_EQ(WindowBufferBound(7, 1), 7u);
+  EXPECT_EQ(WindowBufferBound(7, 50), 301u);
+  EXPECT_EQ(WindowBufferBound(7, 200), 1201u);
+  EXPECT_EQ(WindowBufferBound(4, 2), 7u);
+  EXPECT_EQ(WindowBufferBound(1, 10), 1u);
+}
+
+TEST(AdviseWindowSizeTest, InvertsTheBound) {
+  DatabaseProfile profile;
+  profile.components_per_complex = 7;
+  profile.num_complex_objects = 100000;
+  // 301 frames admit exactly W = 50.
+  EXPECT_EQ(AdviseWindowSize(profile, 301), 50u);
+  EXPECT_EQ(AdviseWindowSize(profile, 300), 49u);
+  EXPECT_EQ(AdviseWindowSize(profile, 7), 1u);
+  EXPECT_EQ(AdviseWindowSize(profile, 3), 1u);
+  // Advice never exceeds the number of complex objects.
+  profile.num_complex_objects = 10;
+  EXPECT_EQ(AdviseWindowSize(profile, 100000), 10u);
+}
+
+TEST(AdviseWindowSizeTest, AdvisedWindowRespectsBound) {
+  DatabaseProfile profile;
+  profile.components_per_complex = 7;
+  profile.num_complex_objects = 100000;
+  for (size_t frames : {size_t{10}, size_t{100}, size_t{301}, size_t{5000}}) {
+    size_t window = AdviseWindowSize(profile, frames);
+    EXPECT_GE(window, 1u);
+    if (window > 1) {
+      EXPECT_LE(WindowBufferBound(7, window), frames);
+    }
+    // The next window up would not fit (or is capped).
+    EXPECT_GT(WindowBufferBound(7, window + 1), frames);
+  }
+}
+
+TEST(CostModelTest, ElevatorEstimatedBelowObjectAtATime) {
+  DatabaseProfile profile;
+  profile.num_complex_objects = 1000;
+  profile.components_per_complex = 7;
+  profile.data_pages = 778;
+  profile.page_span = 780;
+  profile.placement = PlacementClass::kRandom;
+  auto df = EstimateAssemblyCost(profile, SchedulerKind::kDepthFirst, 50);
+  auto el = EstimateAssemblyCost(profile, SchedulerKind::kElevator, 50);
+  EXPECT_LT(el.expected_avg_seek, df.expected_avg_seek);
+  EXPECT_DOUBLE_EQ(df.expected_object_fetches, 7000.0);
+  EXPECT_EQ(df.window_buffer_pages, 301u);
+}
+
+TEST(CostModelTest, WiderWindowNeverRaisesElevatorEstimate) {
+  DatabaseProfile profile;
+  profile.num_complex_objects = 1000;
+  profile.components_per_complex = 7;
+  profile.data_pages = 778;
+  profile.page_span = 780;
+  profile.placement = PlacementClass::kRandom;
+  double previous = 1e18;
+  for (size_t window : {size_t{1}, size_t{10}, size_t{50}, size_t{200}}) {
+    auto estimate =
+        EstimateAssemblyCost(profile, SchedulerKind::kElevator, window);
+    EXPECT_LE(estimate.expected_avg_seek, previous);
+    previous = estimate.expected_avg_seek;
+  }
+}
+
+TEST(CostModelTest, SelectivityShrinksFetches) {
+  DatabaseProfile profile;
+  profile.num_complex_objects = 1000;
+  profile.components_per_complex = 7;
+  profile.data_pages = 778;
+  profile.page_span = 780;
+  profile.predicate_selectivity = 0.2;
+  auto estimate = EstimateAssemblyCost(profile, SchedulerKind::kElevator, 50);
+  // 0.2 * 7 + 0.8 * 2 = 3.0 components per complex object.
+  EXPECT_DOUBLE_EQ(estimate.expected_object_fetches, 3000.0);
+}
+
+TEST(CostModelTest, ContiguousPlacementIsSequential) {
+  DatabaseProfile profile;
+  profile.num_complex_objects = 1000;
+  profile.components_per_complex = 7;
+  profile.data_pages = 778;
+  profile.page_span = 780;
+  profile.placement = PlacementClass::kContiguous;
+  for (auto kind : {SchedulerKind::kDepthFirst, SchedulerKind::kElevator}) {
+    auto estimate = EstimateAssemblyCost(profile, kind, 1);
+    EXPECT_DOUBLE_EQ(estimate.expected_avg_seek, 1.0);
+  }
+}
+
+TEST(ChooseAssemblyOptionsTest, PicksElevatorAtAdvisedWindow) {
+  DatabaseProfile profile;
+  profile.num_complex_objects = 1000;
+  profile.components_per_complex = 7;
+  profile.data_pages = 778;
+  profile.page_span = 780;
+  profile.placement = PlacementClass::kRandom;
+  AssemblyChoice choice = ChooseAssemblyOptions(profile, /*frames=*/301);
+  EXPECT_EQ(choice.scheduler, SchedulerKind::kElevator);
+  EXPECT_EQ(choice.window_size, 50u);
+  EXPECT_LE(choice.estimate.window_buffer_pages, 301u);
+  // The choice must not be worse than any scheduler at the same window.
+  for (auto kind : {SchedulerKind::kDepthFirst, SchedulerKind::kBreadthFirst,
+                    SchedulerKind::kElevator}) {
+    auto other = EstimateAssemblyCost(profile, kind, choice.window_size);
+    EXPECT_LE(choice.estimate.expected_total_seek,
+              other.expected_total_seek);
+  }
+}
+
+TEST(ChooseAssemblyOptionsTest, TinyBufferForcesWindowOne) {
+  DatabaseProfile profile;
+  profile.num_complex_objects = 1000;
+  profile.components_per_complex = 7;
+  profile.data_pages = 778;
+  profile.page_span = 780;
+  AssemblyChoice choice = ChooseAssemblyOptions(profile, /*frames=*/4);
+  EXPECT_EQ(choice.window_size, 1u);
+}
+
+// Validation against measurement: the estimate must land within a small
+// factor of the measured value and order the alternatives correctly.
+TEST(CostModelTest, EstimateTracksMeasurementOnUnclusteredData) {
+  AcobOptions options;
+  options.num_complex_objects = 400;
+  options.clustering = Clustering::kUnclustered;
+  options.seed = 3;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  DatabaseProfile profile = AcobProfile(**db, PlacementClass::kRandom);
+
+  auto run = [&](SchedulerKind kind, size_t window) -> double {
+    EXPECT_TRUE((*db)->ColdRestart().ok());
+    std::vector<exec::Row> roots;
+    for (Oid oid : (*db)->roots) {
+      roots.push_back(exec::Row{exec::Value::Ref(oid)});
+    }
+    AssemblyOperator op(
+        std::make_unique<exec::VectorScan>(std::move(roots)), &(*db)->tmpl,
+        (*db)->store.get(), AssemblyOptions{.window_size = window,
+                                            .scheduler = kind});
+    EXPECT_TRUE(op.Open().ok());
+    exec::Row row;
+    for (;;) {
+      auto has = op.Next(&row);
+      EXPECT_TRUE(has.ok());
+      if (!has.ok() || !*has) break;
+    }
+    EXPECT_TRUE(op.Close().ok());
+    return (*db)->disk->stats().AvgSeekPerRead();
+  };
+
+  struct Case {
+    SchedulerKind kind;
+    size_t window;
+  };
+  for (const Case& c : {Case{SchedulerKind::kDepthFirst, 1},
+                        Case{SchedulerKind::kElevator, 1},
+                        Case{SchedulerKind::kElevator, 50}}) {
+    double measured = run(c.kind, c.window);
+    double estimated =
+        EstimateAssemblyCost(profile, c.kind, c.window).expected_avg_seek;
+    EXPECT_GT(estimated, measured / 4.0)
+        << SchedulerKindName(c.kind) << " W=" << c.window;
+    EXPECT_LT(estimated, measured * 4.0)
+        << SchedulerKindName(c.kind) << " W=" << c.window;
+  }
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,130 @@
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/disk.h"
+
+namespace cobra {
+namespace {
+
+std::vector<std::byte> MakePage(size_t size, uint8_t fill) {
+  return std::vector<std::byte>(size, std::byte{fill});
+}
+
+TEST(DiskTest, ReadBackWrittenPage) {
+  SimulatedDisk disk;
+  auto page = MakePage(disk.page_size(), 0xAB);
+  ASSERT_TRUE(disk.WritePage(3, page.data()).ok());
+  std::vector<std::byte> out(disk.page_size());
+  ASSERT_TRUE(disk.ReadPage(3, out.data()).ok());
+  EXPECT_EQ(out, page);
+}
+
+TEST(DiskTest, ReadUnwrittenPageIsNotFound) {
+  SimulatedDisk disk;
+  std::vector<std::byte> out(disk.page_size());
+  EXPECT_TRUE(disk.ReadPage(5, out.data()).IsNotFound());
+}
+
+TEST(DiskTest, SeekDistanceIsHeadDelta) {
+  SimulatedDisk disk;
+  auto page = MakePage(disk.page_size(), 1);
+  // Populate pages 0, 10, 4 without charging read seeks.
+  ASSERT_TRUE(disk.WritePage(0, page.data()).ok());
+  ASSERT_TRUE(disk.WritePage(10, page.data()).ok());
+  ASSERT_TRUE(disk.WritePage(4, page.data()).ok());
+  disk.ResetStats();
+  disk.ParkHead(0);
+  std::vector<std::byte> out(disk.page_size());
+  ASSERT_TRUE(disk.ReadPage(10, out.data()).ok());  // |10 - 0|  = 10
+  ASSERT_TRUE(disk.ReadPage(4, out.data()).ok());   // |4  - 10| = 6
+  ASSERT_TRUE(disk.ReadPage(4, out.data()).ok());   // |4  - 4|  = 0
+  EXPECT_EQ(disk.stats().reads, 3u);
+  EXPECT_EQ(disk.stats().read_seek_pages, 16u);
+  EXPECT_DOUBLE_EQ(disk.stats().AvgSeekPerRead(), 16.0 / 3.0);
+}
+
+TEST(DiskTest, WriteSeeksTrackedSeparately) {
+  SimulatedDisk disk;
+  auto page = MakePage(disk.page_size(), 2);
+  ASSERT_TRUE(disk.WritePage(100, page.data()).ok());
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().write_seek_pages, 100u);
+  EXPECT_EQ(disk.stats().reads, 0u);
+  EXPECT_EQ(disk.stats().read_seek_pages, 0u);
+}
+
+TEST(DiskTest, ParkHeadDoesNotCharge) {
+  SimulatedDisk disk;
+  auto page = MakePage(disk.page_size(), 3);
+  ASSERT_TRUE(disk.WritePage(50, page.data()).ok());
+  disk.ResetStats();
+  disk.ParkHead(0);
+  EXPECT_EQ(disk.head(), 0u);
+  std::vector<std::byte> out(disk.page_size());
+  ASSERT_TRUE(disk.ReadPage(50, out.data()).ok());
+  EXPECT_EQ(disk.stats().read_seek_pages, 50u);
+}
+
+TEST(DiskTest, AvgSeekZeroWithNoReads) {
+  SimulatedDisk disk;
+  EXPECT_DOUBLE_EQ(disk.stats().AvgSeekPerRead(), 0.0);
+}
+
+TEST(DiskTest, SparseAllocationTracksSpanAndCount) {
+  SimulatedDisk disk;
+  auto page = MakePage(disk.page_size(), 4);
+  ASSERT_TRUE(disk.WritePage(1000000, page.data()).ok());
+  ASSERT_TRUE(disk.WritePage(2, page.data()).ok());
+  EXPECT_EQ(disk.allocated_pages(), 2u);
+  EXPECT_EQ(disk.page_span(), 1000001u);
+}
+
+TEST(DiskTest, OverwriteKeepsSingleAllocation) {
+  SimulatedDisk disk;
+  auto a = MakePage(disk.page_size(), 5);
+  auto b = MakePage(disk.page_size(), 6);
+  ASSERT_TRUE(disk.WritePage(7, a.data()).ok());
+  ASSERT_TRUE(disk.WritePage(7, b.data()).ok());
+  EXPECT_EQ(disk.allocated_pages(), 1u);
+  std::vector<std::byte> out(disk.page_size());
+  ASSERT_TRUE(disk.ReadPage(7, out.data()).ok());
+  EXPECT_EQ(out, b);
+}
+
+TEST(DiskTest, InvalidPageIdRejected) {
+  SimulatedDisk disk;
+  auto page = MakePage(disk.page_size(), 7);
+  EXPECT_TRUE(
+      disk.WritePage(kInvalidPageId, page.data()).IsInvalidArgument());
+}
+
+TEST(DiskTest, CustomPageSize) {
+  SimulatedDisk disk(DiskOptions{.page_size = 4096});
+  EXPECT_EQ(disk.page_size(), 4096u);
+  auto page = MakePage(4096, 8);
+  ASSERT_TRUE(disk.WritePage(0, page.data()).ok());
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(disk.ReadPage(0, out.data()).ok());
+  EXPECT_EQ(out, page);
+}
+
+TEST(DiskTest, ElevatorFriendlySequentialReadsAreCheap) {
+  SimulatedDisk disk;
+  auto page = MakePage(disk.page_size(), 9);
+  for (PageId p = 0; p < 100; ++p) {
+    ASSERT_TRUE(disk.WritePage(p, page.data()).ok());
+  }
+  disk.ResetStats();
+  disk.ParkHead(0);
+  std::vector<std::byte> out(disk.page_size());
+  for (PageId p = 0; p < 100; ++p) {
+    ASSERT_TRUE(disk.ReadPage(p, out.data()).ok());
+  }
+  // Sequential sweep: total seek = 99 pages over 100 reads.
+  EXPECT_DOUBLE_EQ(disk.stats().AvgSeekPerRead(), 0.99);
+}
+
+}  // namespace
+}  // namespace cobra

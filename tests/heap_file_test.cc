@@ -1,0 +1,196 @@
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "buffer/buffer_manager.h"
+#include "file/heap_file.h"
+#include "storage/disk.h"
+
+namespace cobra {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string ToString(const std::vector<std::byte>& bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : buffer_(&disk_, BufferOptions{.num_frames = 64}),
+        file_(&buffer_, /*first_page=*/10, /*max_pages=*/20) {}
+  SimulatedDisk disk_;
+  BufferManager buffer_;
+  HeapFile file_;
+};
+
+TEST_F(HeapFileTest, AppendAndGet) {
+  auto id = file_.Append(Bytes("record one"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->page, 10u);
+  auto got = file_.Get(*id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), "record one");
+}
+
+TEST_F(HeapFileTest, AppendSpillsToNextPage) {
+  std::vector<std::byte> rec(400, std::byte{1});
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto id = file_.Append(rec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_GT(ids.back().page, ids.front().page);
+  EXPECT_GE(file_.pages_used(), 2u);
+  EXPECT_EQ(file_.record_count(), 5u);
+}
+
+TEST_F(HeapFileTest, ExtentExhaustion) {
+  std::vector<std::byte> rec(900, std::byte{2});  // one record per page
+  for (size_t i = 0; i < file_.max_pages(); ++i) {
+    ASSERT_TRUE(file_.Append(rec).ok());
+  }
+  EXPECT_TRUE(file_.Append(rec).status().IsResourceExhausted());
+}
+
+TEST_F(HeapFileTest, InsertAtPageControlsPlacement) {
+  auto id = file_.InsertAtPage(7, Bytes("placed"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->page, 17u);
+  EXPECT_EQ(ToString(*file_.Get(*id)), "placed");
+}
+
+TEST_F(HeapFileTest, InsertBeyondExtentRejected) {
+  EXPECT_TRUE(file_.InsertAtPage(20, Bytes("x")).status().IsOutOfRange());
+}
+
+TEST_F(HeapFileTest, InsertAtFullPageIsResourceExhausted) {
+  std::vector<std::byte> big(900, std::byte{3});
+  ASSERT_TRUE(file_.InsertAtPage(0, big).ok());
+  EXPECT_TRUE(
+      file_.InsertAtPage(0, big).status().IsResourceExhausted());
+}
+
+TEST_F(HeapFileTest, GetOutsideExtentRejected) {
+  EXPECT_TRUE(
+      file_.Get(RecordId{5, 0}).status().IsOutOfRange());
+}
+
+TEST_F(HeapFileTest, DeleteRemovesRecord) {
+  auto id = file_.Append(Bytes("doomed"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(file_.Delete(*id).ok());
+  EXPECT_TRUE(file_.Get(*id).status().IsNotFound());
+  EXPECT_EQ(file_.record_count(), 0u);
+}
+
+TEST_F(HeapFileTest, UpdateSameLength) {
+  auto id = file_.Append(Bytes("abcdef"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(file_.Update(*id, Bytes("uvwxyz")).ok());
+  EXPECT_EQ(ToString(*file_.Get(*id)), "uvwxyz");
+}
+
+TEST_F(HeapFileTest, ScanVisitsAllLiveRecordsInOrder) {
+  std::vector<std::string> payloads = {"a", "bb", "ccc", "dddd", "eeeee"};
+  std::vector<RecordId> ids;
+  for (const auto& p : payloads) {
+    auto id = file_.Append(Bytes(p));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(file_.Delete(ids[1]).ok());
+
+  auto cursor = file_.Scan();
+  std::vector<std::string> seen;
+  RecordId id;
+  std::vector<std::byte> rec;
+  for (;;) {
+    auto has = cursor.Next(&id, &rec);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+    seen.push_back(ToString(rec));
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "ccc", "dddd", "eeeee"}));
+}
+
+TEST_F(HeapFileTest, ScanSkipsHolesInSparseExtent) {
+  ASSERT_TRUE(file_.InsertAtPage(0, Bytes("front")).ok());
+  ASSERT_TRUE(file_.InsertAtPage(9, Bytes("back")).ok());
+  auto cursor = file_.Scan();
+  std::vector<std::string> seen;
+  RecordId id;
+  std::vector<std::byte> rec;
+  for (;;) {
+    auto has = cursor.Next(&id, &rec);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+    seen.push_back(ToString(rec));
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"front", "back"}));
+}
+
+TEST_F(HeapFileTest, OpenReattachesToExistingData) {
+  ASSERT_TRUE(file_.Append(Bytes("persisted1")).ok());
+  ASSERT_TRUE(file_.Append(Bytes("persisted2")).ok());
+  ASSERT_TRUE(buffer_.FlushAll().ok());
+
+  auto reopened = HeapFile::Open(&buffer_, 10, 20);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->record_count(), 2u);
+  EXPECT_EQ(reopened->pages_used(), 1u);
+}
+
+TEST_F(HeapFileTest, OpenEmptyExtent) {
+  auto reopened = HeapFile::Open(&buffer_, 500, 4);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->record_count(), 0u);
+  EXPECT_EQ(reopened->pages_used(), 0u);
+}
+
+TEST_F(HeapFileTest, PageAllocatorExtents) {
+  PageAllocator alloc(100);
+  EXPECT_EQ(alloc.Allocate(), 100u);
+  EXPECT_EQ(alloc.AllocateExtent(10), 101u);
+  EXPECT_EQ(alloc.Allocate(), 111u);
+  EXPECT_EQ(alloc.next(), 112u);
+}
+
+TEST_F(HeapFileTest, RecordIdOrdering) {
+  RecordId a{1, 2};
+  RecordId b{1, 3};
+  RecordId c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (RecordId{1, 2}));
+  EXPECT_FALSE(RecordId{}.valid());
+  EXPECT_TRUE(a.valid());
+}
+
+TEST_F(HeapFileTest, ManySmallRecordsRoundTrip) {
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 150; ++i) {
+    std::string payload = "rec-" + std::to_string(i);
+    auto id = file_.Append(Bytes(payload));
+    ASSERT_TRUE(id.ok()) << i;
+    ids.push_back(*id);
+  }
+  for (int i = 0; i < 150; ++i) {
+    auto got = file_.Get(ids[i]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToString(*got), "rec-" + std::to_string(i));
+  }
+  EXPECT_EQ(file_.record_count(), 150u);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,76 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+
+namespace cobra {
+namespace {
+
+TEST(SeekHistogramTest, EmptyHistogram) {
+  SeekHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
+  EXPECT_EQ(histogram.Percentile(0.5), 0u);
+}
+
+TEST(SeekHistogramTest, BasicStats) {
+  SeekHistogram histogram;
+  histogram.Add(0);
+  histogram.Add(1);
+  histogram.Add(10);
+  histogram.Add(100);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.total(), 111u);
+  EXPECT_EQ(histogram.max(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 111.0 / 4.0);
+}
+
+TEST(SeekHistogramTest, PercentilesAreBucketBounds) {
+  SeekHistogram histogram;
+  for (int i = 0; i < 90; ++i) histogram.Add(0);
+  for (int i = 0; i < 10; ++i) histogram.Add(1000);
+  EXPECT_EQ(histogram.Percentile(0.5), 0u);
+  EXPECT_EQ(histogram.Percentile(0.9), 0u);
+  // The tail lands in the bucket containing 1000: [512, 1023].
+  EXPECT_EQ(histogram.Percentile(0.99), 1023u);
+  EXPECT_EQ(histogram.Percentile(1.0), 1023u);
+}
+
+TEST(SeekHistogramTest, FromReadTraceComputesDeltas) {
+  // Head starts at 0: trace 5, 5, 15 -> distances 5, 0, 10.
+  SeekHistogram histogram =
+      SeekHistogram::FromReadTrace({5, 5, 15}, /*start=*/0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.total(), 15u);
+  EXPECT_EQ(histogram.max(), 10u);
+}
+
+TEST(SeekHistogramTest, BackwardSeeksCounted) {
+  SeekHistogram histogram =
+      SeekHistogram::FromReadTrace({100, 0}, /*start=*/0);
+  EXPECT_EQ(histogram.total(), 200u);
+}
+
+TEST(SeekHistogramTest, PrintShowsNonEmptyBucketsAndCumulative) {
+  SeekHistogram histogram;
+  histogram.Add(0);
+  histogram.Add(3);
+  histogram.Add(3);
+  std::ostringstream os;
+  histogram.Print(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("seek distance"), std::string::npos);
+  EXPECT_NE(text.find("100.0"), std::string::npos);  // cumulative reaches 100
+}
+
+TEST(SeekHistogramTest, LargeDistances) {
+  SeekHistogram histogram;
+  histogram.Add(uint64_t{1} << 40);
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_EQ(histogram.max(), uint64_t{1} << 40);
+  EXPECT_GE(histogram.Percentile(1.0), uint64_t{1} << 40);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,182 @@
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "assembly/assembly_operator.h"
+#include "assembly/naive.h"
+#include "exec/scan.h"
+#include "workload/hypermodel.h"
+
+namespace cobra {
+namespace {
+
+TEST(HyperModelTest, NodeCountFormula) {
+  EXPECT_EQ(HyperModelNodeCount(1, 5), 1u);
+  EXPECT_EQ(HyperModelNodeCount(2, 5), 6u);
+  EXPECT_EQ(HyperModelNodeCount(5, 5), 781u);
+  EXPECT_EQ(HyperModelNodeCount(3, 2), 7u);
+}
+
+TEST(HyperModelTest, BuildProperties) {
+  HyperModelOptions options;
+  options.levels = 4;
+  auto db = BuildHyperModelDatabase(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->total_nodes, HyperModelNodeCount(4, 5));
+  EXPECT_EQ((*db)->nodes.size(), (*db)->total_nodes);
+  EXPECT_TRUE((*db)->closure_tmpl.Validate().ok());
+  EXPECT_TRUE((*db)->closure_tmpl.IsRecursive());
+}
+
+TEST(HyperModelTest, StructureIsAcyclicAndLeafTargeted) {
+  HyperModelOptions options;
+  options.levels = 4;
+  options.refers_to_fraction = 0.8;
+  auto db = BuildHyperModelDatabase(options);
+  ASSERT_TRUE(db.ok());
+  const size_t n = (*db)->total_nodes;
+  // Nodes before the leaf level (levels - 1 = 3 full levels).
+  const size_t first_leaf = HyperModelNodeCount(3, 5);
+  std::unordered_set<Oid> leaves((*db)->nodes.begin() +
+                                     static_cast<long>(first_leaf),
+                                 (*db)->nodes.end());
+  size_t refers = 0;
+  for (size_t i = 0; i < n; ++i) {
+    auto node = (*db)->store->Get((*db)->nodes[i]);
+    ASSERT_TRUE(node.ok());
+    EXPECT_EQ(node->fields[kHyperSeqField], static_cast<int32_t>(i));
+    Oid target = node->refs[options.fanout];
+    if (target != kInvalidOid) {
+      ++refers;
+      EXPECT_TRUE(leaves.contains(target));
+      EXPECT_FALSE(leaves.contains((*db)->nodes[i]))
+          << "leaves must not carry refersTo";
+    }
+  }
+  EXPECT_GT(refers, 0u);
+}
+
+TEST(HyperModelTest, RootClosureCoversWholeHierarchy) {
+  HyperModelOptions options;
+  options.levels = 4;
+  options.refers_to_fraction = 0.5;
+  auto db = BuildHyperModelDatabase(options);
+  ASSERT_TRUE(db.ok());
+  NaiveAssembler naive((*db)->store.get(), &(*db)->closure_tmpl);
+  ObjectArena arena;
+  auto closure = naive.AssembleOne((*db)->root, &arena);
+  ASSERT_TRUE(closure.ok());
+  ASSERT_NE(*closure, nullptr);
+  // refersTo only adds edges to nodes already in the hierarchy, so the
+  // closure of the root is exactly the whole hierarchy.
+  EXPECT_EQ(CountAssembled(*closure), (*db)->total_nodes);
+}
+
+TEST(HyperModelTest, OperatorClosureMatchesNaivePerNode) {
+  HyperModelOptions options;
+  options.levels = 4;
+  options.refers_to_fraction = 0.5;
+  options.seed = 5;
+  auto db = BuildHyperModelDatabase(options);
+  ASSERT_TRUE(db.ok());
+
+  // Closures of all level-1 nodes (the root's children): realistic
+  // multi-complex-object workload with shared leaves across closures.
+  std::vector<Oid> roots((*db)->nodes.begin() + 1, (*db)->nodes.begin() + 6);
+
+  NaiveAssembler naive((*db)->store.get(), &(*db)->closure_tmpl);
+  ObjectArena arena;
+  std::map<Oid, std::set<Oid>> expected;
+  for (Oid root : roots) {
+    auto obj = naive.AssembleOne(root, &arena);
+    ASSERT_TRUE(obj.ok());
+    auto oids = CollectOids(*obj);
+    expected[root] = std::set<Oid>(oids.begin(), oids.end());
+  }
+
+  for (auto kind : {SchedulerKind::kDepthFirst, SchedulerKind::kElevator}) {
+    ASSERT_TRUE((*db)->ColdRestart().ok());
+    std::vector<exec::Row> rows;
+    for (Oid oid : roots) rows.push_back(exec::Row{exec::Value::Ref(oid)});
+    AssemblyOperator op(std::make_unique<exec::VectorScan>(std::move(rows)),
+                        &(*db)->closure_tmpl, (*db)->store.get(),
+                        AssemblyOptions{.window_size = 5, .scheduler = kind});
+    ASSERT_TRUE(op.Open().ok());
+    exec::Row row;
+    size_t emitted = 0;
+    for (;;) {
+      auto has = op.Next(&row);
+      ASSERT_TRUE(has.ok()) << has.status().ToString();
+      if (!*has) break;
+      const AssembledObject* obj = row[0].AsObject();
+      auto oids = CollectOids(obj);
+      EXPECT_EQ((std::set<Oid>(oids.begin(), oids.end())),
+                expected[obj->oid])
+          << "root " << obj->oid << " scheduler "
+          << SchedulerKindName(kind);
+      ++emitted;
+    }
+    EXPECT_EQ(emitted, roots.size());
+    // Cross-referenced leaves shared across the window are deduped.
+    EXPECT_GT(op.stats().shared_hits, 0u);
+    ASSERT_TRUE(op.Close().ok());
+  }
+}
+
+TEST(HyperModelTest, AttributeSumStableAcrossSchedulers) {
+  HyperModelOptions options;
+  options.levels = 4;
+  options.seed = 9;
+  auto db = BuildHyperModelDatabase(options);
+  ASSERT_TRUE(db.ok());
+
+  auto sum_with = [&](SchedulerKind kind) -> int64_t {
+    EXPECT_TRUE((*db)->ColdRestart().ok());
+    std::vector<exec::Row> rows = {exec::Row{exec::Value::Ref((*db)->root)}};
+    AssemblyOperator op(std::make_unique<exec::VectorScan>(std::move(rows)),
+                        &(*db)->closure_tmpl, (*db)->store.get(),
+                        AssemblyOptions{.window_size = 1, .scheduler = kind});
+    EXPECT_TRUE(op.Open().ok());
+    exec::Row row;
+    auto has = op.Next(&row);
+    EXPECT_TRUE(has.ok() && *has);
+    int64_t sum = SumField(row[0].AsObject(), kHyperHundredField);
+    EXPECT_TRUE(op.Close().ok());
+    return sum;
+  };
+  int64_t df = sum_with(SchedulerKind::kDepthFirst);
+  int64_t bf = sum_with(SchedulerKind::kBreadthFirst);
+  int64_t el = sum_with(SchedulerKind::kElevator);
+  EXPECT_EQ(df, bf);
+  EXPECT_EQ(bf, el);
+  EXPECT_GT(df, 0);
+}
+
+TEST(HyperModelTest, RejectsBadOptions) {
+  HyperModelOptions options;
+  options.levels = 0;
+  EXPECT_TRUE(BuildHyperModelDatabase(options).status().IsInvalidArgument());
+  options.levels = 3;
+  options.fanout = 8;  // slot fanout must stay within the 8 ref slots
+  EXPECT_TRUE(BuildHyperModelDatabase(options).status().IsInvalidArgument());
+}
+
+TEST(HyperModelTest, DeterministicInSeed) {
+  HyperModelOptions options;
+  options.levels = 3;
+  options.seed = 123;
+  auto a = BuildHyperModelDatabase(options);
+  auto b = BuildHyperModelDatabase(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < (*a)->nodes.size(); ++i) {
+    auto oa = (*a)->store->Get((*a)->nodes[i]);
+    auto ob = (*b)->store->Get((*b)->nodes[i]);
+    ASSERT_TRUE(oa.ok() && ob.ok());
+    EXPECT_EQ(*oa, *ob);
+  }
+}
+
+}  // namespace
+}  // namespace cobra

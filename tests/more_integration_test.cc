@@ -1,0 +1,286 @@
+// Cross-module integration beyond the main sweeps: assembly over a
+// disk-resident (B-tree) OID directory, schema-derived templates driving
+// the operator, randomized scheduler properties, and OID-range options.
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assembly/assembly_operator.h"
+#include "assembly/naive.h"
+#include "assembly/scheduler.h"
+#include "buffer/buffer_manager.h"
+#include "common/rng.h"
+#include "exec/plan.h"
+#include "exec/scan.h"
+#include "file/heap_file.h"
+#include "index/btree.h"
+#include "object/directory.h"
+#include "object/object_store.h"
+#include "object/schema.h"
+#include "storage/disk.h"
+#include "workload/acob.h"
+
+namespace cobra {
+namespace {
+
+using exec::Row;
+using exec::Value;
+using exec::VectorScan;
+
+TEST(BTreeDirectoryAssemblyTest, AssemblyWorksWithDiskResidentDirectory) {
+  // The directory itself lives on the same disk as the data: Locate() costs
+  // buffer traffic (and possibly I/O), exactly like a real OID index.  The
+  // operator must still produce correct results.
+  SimulatedDisk disk;
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 512});
+  PageAllocator allocator;
+  // Data extent first, then the B-tree grows behind it.
+  PageId data_first = allocator.AllocateExtent(64);
+  HeapFile file(&buffer, data_first, 64);
+  auto tree = BTree::Create(&buffer, &allocator);
+  ASSERT_TRUE(tree.ok());
+  BTreeDirectory directory(&tree.value());
+  ObjectStore store(&buffer, &directory);
+
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* leaf = tmpl.AddNode("leaf");
+  root->expected_type = 1;
+  leaf->expected_type = 2;
+  root->children.push_back({0, leaf});
+  tmpl.SetRoot(root);
+
+  std::vector<Oid> roots;
+  for (int i = 0; i < 40; ++i) {
+    ObjectData leaf_obj;
+    leaf_obj.type_id = 2;
+    leaf_obj.fields = {i * 10};
+    leaf_obj.refs.assign(8, kInvalidOid);
+    auto leaf_oid = store.Insert(leaf_obj, &file);
+    ASSERT_TRUE(leaf_oid.ok());
+    ObjectData root_obj;
+    root_obj.type_id = 1;
+    root_obj.fields = {i};
+    root_obj.refs.assign(8, kInvalidOid);
+    root_obj.refs[0] = *leaf_oid;
+    auto root_oid = store.Insert(root_obj, &file);
+    ASSERT_TRUE(root_oid.ok());
+    roots.push_back(*root_oid);
+  }
+
+  std::vector<Row> rows;
+  for (Oid oid : roots) rows.push_back(Row{Value::Ref(oid)});
+  AssemblyOperator op(std::make_unique<VectorScan>(std::move(rows)), &tmpl,
+                      &store, AssemblyOptions{.window_size = 10});
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  size_t emitted = 0;
+  for (;;) {
+    auto has = op.Next(&row);
+    ASSERT_TRUE(has.ok()) << has.status().ToString();
+    if (!*has) break;
+    const AssembledObject* obj = row[0].AsObject();
+    ASSERT_NE(obj->children[0], nullptr);
+    EXPECT_EQ(obj->children[0]->fields[0], obj->fields[0] * 10);
+    ++emitted;
+  }
+  EXPECT_EQ(emitted, 40u);
+  ASSERT_TRUE(op.Close().ok());
+}
+
+TEST(SchemaDrivenAssemblyTest, CatalogTemplateDrivesOperator) {
+  TypeCatalog catalog;
+  ASSERT_TRUE(catalog.DefineType("Leaf", {"v"}, {}).ok());
+  ASSERT_TRUE(catalog
+                  .DefineType("Node", {"v"},
+                              {{"left", "Leaf", false},
+                               {"right", "Leaf", true}})
+                  .ok());
+  auto tmpl = catalog.BuildTemplate("Node", {"left", "right"});
+  ASSERT_TRUE(tmpl.ok());
+
+  SimulatedDisk disk;
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 128});
+  HashDirectory directory;
+  ObjectStore store(&buffer, &directory);
+  HeapFile file(&buffer, 0, 32);
+
+  auto put = [&](Result<ObjectData> obj) {
+    EXPECT_TRUE(obj.ok()) << obj.status().ToString();
+    auto oid = store.Insert(*obj, &file);
+    EXPECT_TRUE(oid.ok());
+    return *oid;
+  };
+  Oid shared_right =
+      put(ObjectBuilder(&catalog, "Leaf").Set("v", 99).Build());
+  std::vector<Oid> roots;
+  for (int i = 0; i < 3; ++i) {
+    Oid left = put(ObjectBuilder(&catalog, "Leaf").Set("v", i).Build());
+    roots.push_back(put(ObjectBuilder(&catalog, "Node")
+                            .Set("v", i)
+                            .SetRef("left", left)
+                            .SetRef("right", shared_right)
+                            .Build()));
+  }
+
+  exec::PlanBuilder builder =
+      exec::PlanBuilder::FromOids(roots).Assemble(&*tmpl, &store,
+                                                  AssemblyOptions{
+                                                      .window_size = 3});
+  AssemblyOperator* assembly = builder.last_assembly();
+  auto plan = std::move(builder).Build();
+  auto out = exec::DrainAll(plan.get());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 3u);
+  // The catalog marked `right` shared: all roots alias one object.
+  const AssembledObject* first = (*out)[0][0].AsObject()->children[1];
+  const AssembledObject* second = (*out)[1][0].AsObject()->children[1];
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->fields[0], 99);
+  EXPECT_EQ(assembly->stats().shared_hits, 2u);
+}
+
+TEST(IndexDrivenAssemblyTest, BTreeRangeScanFeedsAssembly) {
+  // §2: the operator "retains the advantages of using an index".  A
+  // secondary index (field value -> root OID) selects the roots; the scan's
+  // integer output is converted to references and assembled.
+  AcobOptions options;
+  options.num_complex_objects = 50;
+  options.seed = 44;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+
+  // Secondary index: key = complex index (fields[1] of the root), value =
+  // root OID.  Built on a private disk; only the assembly below touches
+  // the database disk.
+  SimulatedDisk index_disk;
+  BufferManager index_buffer(&index_disk, BufferOptions{.num_frames = 256});
+  PageAllocator index_allocator;
+  auto index = BTree::Create(&index_buffer, &index_allocator);
+  ASSERT_TRUE(index.ok());
+  for (size_t i = 0; i < (*db)->roots.size(); ++i) {
+    ASSERT_TRUE(index->Put(i, (*db)->roots[i]).ok());
+  }
+
+  // Plan: index range scan [10, 20) -> AsRef(value) -> assemble.
+  auto plan = exec::PlanBuilder::ScanBTree(&index.value(), 10, 20)
+                  .Project([] {
+                    std::vector<exec::ExprPtr> exprs;
+                    exprs.push_back(exec::AsRef(exec::Col(1)));
+                    return exprs;
+                  }())
+                  .Assemble(&(*db)->tmpl, (*db)->store.get(),
+                            AssemblyOptions{.window_size = 10})
+                  .Build();
+  auto out = exec::DrainAll(plan.get());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 10u);
+  for (const Row& row : *out) {
+    const AssembledObject* obj = row[0].AsObject();
+    EXPECT_EQ(CountAssembled(obj), 7u);
+    EXPECT_GE(obj->fields[1], 10);
+    EXPECT_LT(obj->fields[1], 20);
+  }
+}
+
+TEST(AsRefExprTest, Conversions) {
+  using exec::AsRef;
+  using exec::Col;
+  Row row = {Value::Int(42), Value::Null(), Value::Ref(7),
+             Value::Int(-1)};
+  EXPECT_EQ(AsRef(Col(0))->Eval(row)->AsOid(), 42u);
+  EXPECT_TRUE(AsRef(Col(1))->Eval(row)->is_null());
+  EXPECT_EQ(AsRef(Col(2))->Eval(row)->AsOid(), 7u);
+  EXPECT_TRUE(AsRef(Col(3))->Eval(row).status().IsInvalidArgument());
+}
+
+TEST(PlanDistinctTest, DistinctThroughBuilder) {
+  std::vector<Row> rows = {{Value::Int(1)}, {Value::Int(1)},
+                           {Value::Int(2)}};
+  auto plan = exec::PlanBuilder::FromRows(std::move(rows)).Distinct().Build();
+  auto out = exec::DrainAll(plan.get());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+// Randomized property: over uniformly random request pools, a full
+// elevator drain never travels more than the FIFO or LIFO drains, and at
+// most one sweep-reversal's overhead beyond the span itself.
+class SchedulerDrainPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SchedulerDrainPropertyTest, ElevatorDrainIsShortest) {
+  Rng rng(GetParam());
+  size_t count = 20 + rng.NextBounded(200);
+  PageId span = 100 + rng.NextBounded(5000);
+  std::vector<PendingRef> batch;
+  for (size_t i = 0; i < count; ++i) {
+    PendingRef ref;
+    ref.complex_id = 1;
+    ref.oid = i + 1;
+    ref.page = rng.NextBounded(span);
+    batch.push_back(ref);
+  }
+  auto total_drain = [&](Scheduler* scheduler) {
+    scheduler->AddBatch(batch, false);
+    PageId head = 0;
+    uint64_t total = 0;
+    while (!scheduler->Empty()) {
+      PendingRef ref = scheduler->Pop(head);
+      total += ref.page > head ? ref.page - head : head - ref.page;
+      head = ref.page;
+    }
+    return total;
+  };
+  ElevatorScheduler elevator;
+  BreadthFirstScheduler fifo;
+  DepthFirstScheduler lifo;
+  uint64_t elevator_total = total_drain(&elevator);
+  uint64_t fifo_total = total_drain(&fifo);
+  uint64_t lifo_total = total_drain(&lifo);
+  EXPECT_LE(elevator_total, fifo_total);
+  EXPECT_LE(elevator_total, lifo_total);
+  // A single monotone sweep from page 0 covers everything: elevator drain
+  // of a static pool equals the largest requested page.
+  PageId max_page = 0;
+  for (const PendingRef& ref : batch) {
+    max_page = std::max(max_page, ref.page);
+  }
+  EXPECT_EQ(elevator_total, max_page);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerDrainPropertyTest,
+                         ::testing::Range(uint64_t{100}, uint64_t{120}));
+
+TEST(AcobFirstOidTest, RangesAreHonored) {
+  AcobOptions options;
+  options.num_complex_objects = 10;
+  options.first_oid = 1000000;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  for (Oid root : (*db)->roots) {
+    EXPECT_GE(root, 1000000u);
+  }
+  auto obj = (*db)->store->Get((*db)->roots[0]);
+  ASSERT_TRUE(obj.ok());
+  for (Oid ref : obj->refs) {
+    if (ref != kInvalidOid) {
+      EXPECT_GE(ref, 1000000u);
+    }
+  }
+  options.first_oid = kInvalidOid;
+  EXPECT_TRUE(BuildAcobDatabase(options).status().IsInvalidArgument());
+}
+
+TEST(DiskSaveErrorTest, UnwritablePathReported) {
+  SimulatedDisk disk;
+  std::vector<std::byte> page(disk.page_size());
+  ASSERT_TRUE(disk.WritePage(0, page.data()).ok());
+  EXPECT_FALSE(disk.SaveTo("/nonexistent-dir/sub/disk.img").ok());
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,297 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "buffer/buffer_manager.h"
+#include "file/heap_file.h"
+#include "index/btree.h"
+#include "object/assembled_object.h"
+#include "object/directory.h"
+#include "object/object.h"
+#include "object/object_store.h"
+#include "storage/disk.h"
+
+namespace cobra {
+namespace {
+
+ObjectData PaperObject(Oid oid) {
+  // The paper's shape: 4 integer fields + 8 reference fields.
+  ObjectData obj;
+  obj.oid = oid;
+  obj.type_id = 3;
+  obj.fields = {10, 20, 30, 40};
+  obj.refs.assign(8, kInvalidOid);
+  obj.refs[0] = 99;
+  return obj;
+}
+
+TEST(ObjectCodecTest, PaperObjectIs96Bytes) {
+  // "4 integer and 8 object reference fields equaling 96 bytes" (§6).
+  EXPECT_EQ(PaperObject(1).SerializedSize(), 96u);
+}
+
+TEST(ObjectCodecTest, RoundTrip) {
+  ObjectData obj = PaperObject(7);
+  auto bytes = obj.Serialize();
+  auto back = ObjectData::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, obj);
+}
+
+TEST(ObjectCodecTest, RoundTripVariableShape) {
+  ObjectData obj;
+  obj.oid = 12345;
+  obj.type_id = 77;
+  obj.fields = {1, -2, 3, -4, 5, -6, 7};
+  obj.refs = {kInvalidOid, 2, 3};
+  auto back = ObjectData::Deserialize(obj.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, obj);
+}
+
+TEST(ObjectCodecTest, EmptyFieldsAndRefs) {
+  ObjectData obj;
+  obj.oid = 1;
+  obj.type_id = 2;
+  auto back = ObjectData::Deserialize(obj.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, obj);
+  EXPECT_EQ(obj.SerializedSize(), 16u);
+}
+
+TEST(ObjectCodecTest, TruncatedBufferIsCorruption) {
+  auto bytes = PaperObject(1).Serialize();
+  bytes.resize(20);
+  EXPECT_TRUE(ObjectData::Deserialize(bytes).status().IsCorruption());
+  bytes.resize(5);
+  EXPECT_TRUE(ObjectData::Deserialize(bytes).status().IsCorruption());
+}
+
+TEST(ObjectCodecTest, TrailingGarbageIsCorruption) {
+  auto bytes = PaperObject(1).Serialize();
+  bytes.push_back(std::byte{0});
+  EXPECT_TRUE(ObjectData::Deserialize(bytes).status().IsCorruption());
+}
+
+TEST(HashDirectoryTest, PutLookupRemove) {
+  HashDirectory dir;
+  ASSERT_TRUE(dir.Put(5, RecordId{10, 3}).ok());
+  auto loc = dir.Lookup(5);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->page, 10u);
+  EXPECT_EQ(loc->slot, 3u);
+  EXPECT_EQ(dir.size(), 1u);
+  ASSERT_TRUE(dir.Remove(5).ok());
+  EXPECT_TRUE(dir.Lookup(5).status().IsNotFound());
+  EXPECT_TRUE(dir.Remove(5).IsNotFound());
+}
+
+TEST(HashDirectoryTest, InvalidOidRejected) {
+  HashDirectory dir;
+  EXPECT_TRUE(dir.Put(kInvalidOid, RecordId{1, 1}).IsInvalidArgument());
+}
+
+TEST(HashDirectoryTest, PutMovesObject) {
+  HashDirectory dir;
+  ASSERT_TRUE(dir.Put(5, RecordId{10, 3}).ok());
+  ASSERT_TRUE(dir.Put(5, RecordId{20, 1}).ok());
+  EXPECT_EQ(dir.Lookup(5)->page, 20u);
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(RecordIdPackingTest, RoundTrip) {
+  RecordId id{123456789, 4321};
+  EXPECT_EQ(UnpackRecordId(PackRecordId(id)), id);
+  RecordId zero{0, 0};
+  EXPECT_EQ(UnpackRecordId(PackRecordId(zero)), zero);
+}
+
+class BTreeDirectoryTest : public ::testing::Test {
+ protected:
+  BTreeDirectoryTest()
+      : buffer_(&disk_, BufferOptions{.num_frames = 256}), allocator_(0) {}
+  SimulatedDisk disk_;
+  BufferManager buffer_;
+  PageAllocator allocator_;
+};
+
+TEST_F(BTreeDirectoryTest, PersistentMapping) {
+  auto tree = BTree::Create(&buffer_, &allocator_);
+  ASSERT_TRUE(tree.ok());
+  BTreeDirectory dir(&tree.value());
+  for (Oid oid = 1; oid <= 500; ++oid) {
+    ASSERT_TRUE(dir.Put(oid, RecordId{oid * 7, static_cast<uint16_t>(
+                                                   oid % 9)}).ok());
+  }
+  EXPECT_EQ(dir.size(), 500u);
+  for (Oid oid = 1; oid <= 500; ++oid) {
+    auto loc = dir.Lookup(oid);
+    ASSERT_TRUE(loc.ok());
+    EXPECT_EQ(loc->page, oid * 7);
+    EXPECT_EQ(loc->slot, oid % 9);
+  }
+  ASSERT_TRUE(dir.Remove(250).ok());
+  EXPECT_TRUE(dir.Lookup(250).status().IsNotFound());
+}
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest()
+      : buffer_(&disk_, BufferOptions{.num_frames = 256}),
+        store_(&buffer_, &directory_),
+        file_(&buffer_, 0, 64) {}
+  SimulatedDisk disk_;
+  BufferManager buffer_;
+  HashDirectory directory_;
+  ObjectStore store_;
+  HeapFile file_;
+};
+
+TEST_F(ObjectStoreTest, InsertAssignsFreshOid) {
+  ObjectData obj = PaperObject(kInvalidOid);
+  auto oid = store_.Insert(obj, &file_);
+  ASSERT_TRUE(oid.ok());
+  EXPECT_NE(*oid, kInvalidOid);
+  auto got = store_.Get(*oid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->fields, obj.fields);
+  EXPECT_EQ(got->oid, *oid);
+}
+
+TEST_F(ObjectStoreTest, InsertHonorsExplicitOid) {
+  auto oid = store_.Insert(PaperObject(777), &file_);
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(*oid, 777u);
+  // The allocator skips past explicit OIDs.
+  EXPECT_GT(store_.AllocateOid(), 777u);
+}
+
+TEST_F(ObjectStoreTest, DuplicateOidRejected) {
+  ASSERT_TRUE(store_.Insert(PaperObject(5), &file_).ok());
+  EXPECT_TRUE(store_.Insert(PaperObject(5), &file_)
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(ObjectStoreTest, GetUnknownOidIsNotFound) {
+  EXPECT_TRUE(store_.Get(404).status().IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, LocateReturnsPhysicalAddressWithoutIo) {
+  auto oid = store_.InsertAtPage(PaperObject(kInvalidOid), &file_, 5);
+  ASSERT_TRUE(oid.ok());
+  disk_.ResetStats();
+  auto loc = store_.Locate(*oid);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->page, 5u);
+  EXPECT_EQ(disk_.stats().reads, 0u);
+}
+
+TEST_F(ObjectStoreTest, UpdateInPlace) {
+  auto oid = store_.Insert(PaperObject(kInvalidOid), &file_);
+  ASSERT_TRUE(oid.ok());
+  auto obj = store_.Get(*oid);
+  ASSERT_TRUE(obj.ok());
+  obj->fields[0] = 999;
+  ASSERT_TRUE(store_.Update(*obj).ok());
+  EXPECT_EQ(store_.Get(*oid)->fields[0], 999);
+}
+
+TEST_F(ObjectStoreTest, RemoveDeletesRecordAndMapping) {
+  auto oid = store_.Insert(PaperObject(kInvalidOid), &file_);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store_.Remove(*oid).ok());
+  EXPECT_TRUE(store_.Get(*oid).status().IsNotFound());
+  EXPECT_TRUE(store_.Locate(*oid).status().IsNotFound());
+}
+
+TEST_F(ObjectStoreTest, StatsCountReadsAndWrites) {
+  auto oid = store_.Insert(PaperObject(kInvalidOid), &file_);
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store_.Get(*oid).ok());
+  ASSERT_TRUE(store_.Get(*oid).ok());
+  EXPECT_EQ(store_.stats().objects_written, 1u);
+  EXPECT_EQ(store_.stats().objects_read, 2u);
+}
+
+TEST_F(ObjectStoreTest, NinePaperObjectsPerPage) {
+  // With explicit placement the generator packs the paper's 9 objects into
+  // each 1 KB page.
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(store_.InsertAtPage(PaperObject(kInvalidOid), &file_, 0).ok());
+  }
+  EXPECT_EQ(file_.record_count(), 9u);
+  EXPECT_EQ(file_.pages_used(), 1u);
+}
+
+TEST(ObjectArenaTest, NewFromCopiesScalarsAndSizesChildren) {
+  ObjectArena arena;
+  ObjectData data = PaperObject(11);
+  AssembledObject* obj = arena.NewFrom(data, 3);
+  EXPECT_EQ(obj->oid, 11u);
+  EXPECT_EQ(obj->type_id, 3u);
+  EXPECT_EQ(obj->fields, data.fields);
+  EXPECT_EQ(obj->children.size(), 3u);
+  EXPECT_EQ(obj->children[0], nullptr);
+  EXPECT_EQ(arena.size(), 1u);
+}
+
+TEST(ObjectArenaTest, AddressesStableAcrossGrowth) {
+  ObjectArena arena;
+  AssembledObject* first = arena.New();
+  first->oid = 1;
+  for (int i = 0; i < 10000; ++i) {
+    arena.New();
+  }
+  EXPECT_EQ(first->oid, 1u);  // no relocation
+  EXPECT_EQ(arena.size(), 10001u);
+}
+
+TEST(AssembledTraversalTest, VisitCountAndSharing) {
+  ObjectArena arena;
+  // Diamond: root -> {a, b}, both -> shared leaf.
+  AssembledObject* root = arena.New();
+  AssembledObject* a = arena.New();
+  AssembledObject* b = arena.New();
+  AssembledObject* leaf = arena.New();
+  root->oid = 1;
+  a->oid = 2;
+  b->oid = 3;
+  leaf->oid = 4;
+  leaf->fields = {100};
+  a->fields = {10};
+  b->fields = {20};
+  root->fields = {1};
+  root->children = {a, b};
+  a->children = {leaf};
+  b->children = {leaf};
+  EXPECT_EQ(CountAssembled(root), 4u);  // leaf counted once
+  auto oids = CollectOids(root);
+  EXPECT_EQ(oids.size(), 4u);
+  EXPECT_TRUE(oids.contains(4));
+  // SumField counts the shared leaf once.
+  EXPECT_EQ(SumField(root, 0), 1 + 10 + 20 + 100);
+}
+
+TEST(AssembledTraversalTest, FindByType) {
+  ObjectArena arena;
+  AssembledObject* root = arena.New();
+  AssembledObject* child = arena.New();
+  root->type_id = 1;
+  child->type_id = 2;
+  child->oid = 9;
+  root->children = {child};
+  EXPECT_EQ(FindByType(root, 2), child);
+  EXPECT_EQ(FindByType(root, 99), nullptr);
+}
+
+TEST(AssembledTraversalTest, NullSafe) {
+  EXPECT_EQ(CountAssembled(nullptr), 0u);
+  ObjectArena arena;
+  AssembledObject* root = arena.New();
+  root->children = {nullptr, nullptr};
+  EXPECT_EQ(CountAssembled(root), 1u);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,239 @@
+// Assembly event-stream invariants via the observer hook.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assembly/assembly_operator.h"
+#include "buffer/buffer_manager.h"
+#include "exec/scan.h"
+#include "file/heap_file.h"
+#include "object/directory.h"
+#include "object/object_store.h"
+#include "storage/disk.h"
+
+namespace cobra {
+namespace {
+
+using exec::Row;
+using exec::Value;
+using exec::VectorScan;
+
+class RecordingObserver : public AssemblyObserver {
+ public:
+  void OnEvent(const AssemblyEvent& event) override {
+    events.push_back(event);
+  }
+  std::vector<AssemblyEvent> events;
+
+  size_t CountKind(AssemblyEvent::Kind kind) const {
+    size_t n = 0;
+    for (const auto& e : events) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+};
+
+class ObserverTest : public ::testing::Test {
+ protected:
+  ObserverTest()
+      : buffer_(&disk_, BufferOptions{.num_frames = 256}),
+        store_(&buffer_, &directory_),
+        file_(&buffer_, 0, 64) {}
+
+  Oid Put(TypeId type, std::vector<int32_t> fields, std::vector<Oid> refs,
+          size_t page) {
+    ObjectData obj;
+    obj.oid = store_.AllocateOid();
+    obj.type_id = type;
+    obj.fields = std::move(fields);
+    obj.refs = std::move(refs);
+    obj.refs.resize(8, kInvalidOid);
+    EXPECT_TRUE(store_.InsertAtPage(obj, &file_, page).ok());
+    return obj.oid;
+  }
+
+  SimulatedDisk disk_;
+  BufferManager buffer_;
+  HashDirectory directory_;
+  ObjectStore store_;
+  HeapFile file_;
+};
+
+TEST_F(ObserverTest, LifecycleEventsPerComplexObject) {
+  // Two chains: root -> leaf.
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* leaf = tmpl.AddNode("leaf");
+  root->children.push_back({0, leaf});
+  tmpl.SetRoot(root);
+  Oid l1 = Put(0, {1}, {}, 1);
+  Oid r1 = Put(0, {1}, {l1}, 0);
+  Oid l2 = Put(0, {2}, {}, 3);
+  Oid r2 = Put(0, {2}, {l2}, 2);
+
+  RecordingObserver observer;
+  std::vector<Row> rows = {{Value::Ref(r1)}, {Value::Ref(r2)}};
+  AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
+                      AssemblyOptions{.window_size = 2});
+  op.set_observer(&observer);
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  for (;;) {
+    auto has = op.Next(&row);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+  }
+  ASSERT_TRUE(op.Close().ok());
+
+  EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kAdmit), 2u);
+  EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kFetch), 4u);
+  EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kEmit), 2u);
+  EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kAbort), 0u);
+
+  // Per complex object: admit precedes every fetch, which precede emit.
+  std::map<uint64_t, std::vector<AssemblyEvent::Kind>> per_complex;
+  for (const auto& event : observer.events) {
+    if (event.complex_id != 0) {
+      per_complex[event.complex_id].push_back(event.kind);
+    }
+  }
+  ASSERT_EQ(per_complex.size(), 2u);
+  for (const auto& [id, kinds] : per_complex) {
+    ASSERT_GE(kinds.size(), 3u);
+    EXPECT_EQ(kinds.front(), AssemblyEvent::Kind::kAdmit);
+    EXPECT_EQ(kinds.back(), AssemblyEvent::Kind::kEmit);
+  }
+}
+
+TEST_F(ObserverTest, AbortEventOnPredicateFailure) {
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  root->predicate = [](const ObjectData& obj) { return obj.fields[0] > 0; };
+  tmpl.SetRoot(root);
+  Oid pass = Put(0, {1}, {}, 0);
+  Oid fail = Put(0, {-1}, {}, 1);
+
+  RecordingObserver observer;
+  std::vector<Row> rows = {{Value::Ref(pass)}, {Value::Ref(fail)}};
+  AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
+                      AssemblyOptions{});
+  op.set_observer(&observer);
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  size_t emitted = 0;
+  for (;;) {
+    auto has = op.Next(&row);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+    ++emitted;
+  }
+  ASSERT_TRUE(op.Close().ok());
+  EXPECT_EQ(emitted, 1u);
+  EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kAbort), 1u);
+  EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kEmit), 1u);
+}
+
+TEST_F(ObserverTest, SharedHitEventsCarryOid) {
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* leaf = tmpl.AddNode("leaf");
+  leaf->shared = true;
+  root->children.push_back({0, leaf});
+  tmpl.SetRoot(root);
+  Oid shared = Put(0, {9}, {}, 5);
+  Oid r1 = Put(0, {1}, {shared}, 0);
+  Oid r2 = Put(0, {2}, {shared}, 1);
+
+  RecordingObserver observer;
+  std::vector<Row> rows = {{Value::Ref(r1)}, {Value::Ref(r2)}};
+  AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
+                      AssemblyOptions{.window_size = 2});
+  op.set_observer(&observer);
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  for (;;) {
+    auto has = op.Next(&row);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+  }
+  ASSERT_TRUE(op.Close().ok());
+  ASSERT_EQ(observer.CountKind(AssemblyEvent::Kind::kSharedHit), 1u);
+  for (const auto& event : observer.events) {
+    if (event.kind == AssemblyEvent::Kind::kSharedHit) {
+      EXPECT_EQ(event.oid, shared);
+      EXPECT_EQ(event.node, leaf);
+    }
+  }
+}
+
+TEST_F(ObserverTest, SlidingWindowAdmitsReplacementAfterEmit) {
+  // §4: "As soon as any one of these complex objects becomes assembled and
+  // passed up the query tree, the operator retrieves another one to work
+  // on."  With W=2 and 6 inputs, an admit for object k+2 must appear after
+  // the emit of some earlier object — admissions interleave with emits
+  // rather than all happening up front.
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* leaf = tmpl.AddNode("leaf");
+  root->children.push_back({0, leaf});
+  tmpl.SetRoot(root);
+  std::vector<Row> rows;
+  for (size_t i = 0; i < 6; ++i) {
+    Oid l = Put(0, {static_cast<int32_t>(i)}, {}, 2 * i + 1);
+    rows.push_back(Row{Value::Ref(Put(0, {static_cast<int32_t>(i)}, {l},
+                                      2 * i))});
+  }
+  RecordingObserver observer;
+  AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
+                      AssemblyOptions{.window_size = 2,
+                                      .scheduler =
+                                          SchedulerKind::kDepthFirst});
+  op.set_observer(&observer);
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  for (;;) {
+    auto has = op.Next(&row);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+  }
+  ASSERT_TRUE(op.Close().ok());
+
+  // Check interleaving: the 3rd admit happens after the 1st emit.
+  int admits = 0;
+  int emits = 0;
+  bool third_admit_after_first_emit = false;
+  for (const auto& event : observer.events) {
+    if (event.kind == AssemblyEvent::Kind::kAdmit) {
+      ++admits;
+      if (admits == 3 && emits >= 1) {
+        third_admit_after_first_emit = true;
+      }
+    } else if (event.kind == AssemblyEvent::Kind::kEmit) {
+      ++emits;
+    }
+  }
+  EXPECT_EQ(admits, 6);
+  EXPECT_EQ(emits, 6);
+  EXPECT_TRUE(third_admit_after_first_emit);
+}
+
+TEST_F(ObserverTest, NoObserverIsFine) {
+  AssemblyTemplate tmpl;
+  tmpl.SetRoot(tmpl.AddNode("root"));
+  Oid r = Put(0, {1}, {}, 0);
+  std::vector<Row> rows = {{Value::Ref(r)}};
+  AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
+                      AssemblyOptions{});
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  auto has = op.Next(&row);
+  ASSERT_TRUE(has.ok() && *has);
+  ASSERT_TRUE(op.Close().ok());
+}
+
+}  // namespace
+}  // namespace cobra

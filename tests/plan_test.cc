@@ -1,0 +1,149 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/plan.h"
+#include "workload/acob.h"
+
+namespace cobra::exec {
+namespace {
+
+Row IntRow(std::initializer_list<int64_t> values) {
+  Row row;
+  for (int64_t v : values) row.push_back(Value::Int(v));
+  return row;
+}
+
+TEST(PlanBuilderTest, FilterProjectLimitPipeline) {
+  auto plan = PlanBuilder::FromRows(
+                  {IntRow({1}), IntRow({5}), IntRow({9}), IntRow({3})})
+                  .Filter(Cmp(CmpOp::kGt, Col(0), LitInt(2)))
+                  .Project([] {
+                    std::vector<ExprPtr> exprs;
+                    exprs.push_back(Arith(ArithOp::kMul, Col(0), LitInt(2)));
+                    return exprs;
+                  }())
+                  .Limit(2)
+                  .Build();
+  auto rows = DrainAll(plan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsInt(), 10);
+  EXPECT_EQ((*rows)[1][0].AsInt(), 18);
+}
+
+TEST(PlanBuilderTest, ExplainRendersTree) {
+  PlanBuilder builder =
+      PlanBuilder::FromRows({IntRow({1})})
+          .Filter(Cmp(CmpOp::kGt, Col(0), LitInt(0)))
+          .Limit(5);
+  std::string explain = builder.Explain();
+  EXPECT_NE(explain.find("Limit [5]"), std::string::npos);
+  EXPECT_NE(explain.find("└─ Filter"), std::string::npos);
+  EXPECT_NE(explain.find("VectorScan [1 rows]"), std::string::npos);
+  // Limit is the root: first line.
+  EXPECT_EQ(explain.rfind("Limit", 0), 0u);
+}
+
+TEST(PlanBuilderTest, HashJoinExplainShowsBothChildren) {
+  PlanBuilder builder = PlanBuilder::FromRows({IntRow({1, 10})})
+                            .HashJoin(PlanBuilder::FromRows({IntRow({1, 7})}),
+                                      [] {
+                                        std::vector<ExprPtr> k;
+                                        k.push_back(Col(0));
+                                        return k;
+                                      }(),
+                                      [] {
+                                        std::vector<ExprPtr> k;
+                                        k.push_back(Col(0));
+                                        return k;
+                                      }());
+  std::string explain = builder.Explain();
+  EXPECT_NE(explain.find("HashJoin"), std::string::npos);
+  EXPECT_NE(explain.find("├─ VectorScan"), std::string::npos);
+  EXPECT_NE(explain.find("└─ VectorScan"), std::string::npos);
+
+  auto plan = std::move(builder).Build();
+  auto rows = DrainAll(plan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].size(), 4u);
+}
+
+TEST(PlanBuilderTest, AggregatePipeline) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(1)});
+  auto plan = PlanBuilder::FromRows({IntRow({1, 10}), IntRow({1, 5}),
+                                     IntRow({2, 3})})
+                  .Aggregate(
+                      [] {
+                        std::vector<ExprPtr> keys;
+                        keys.push_back(Col(0));
+                        return keys;
+                      }(),
+                      std::move(aggs))
+                  .Sort([] {
+                    std::vector<SortKey> keys;
+                    keys.push_back({Col(0), true});
+                    return keys;
+                  }())
+                  .Build();
+  auto rows = DrainAll(plan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1].AsInt(), 15);
+  EXPECT_EQ((*rows)[1][1].AsInt(), 3);
+}
+
+TEST(PlanBuilderTest, AssemblePlanEndToEnd) {
+  AcobOptions options;
+  options.num_complex_objects = 30;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+
+  PlanBuilder builder =
+      PlanBuilder::FromOids((*db)->roots)
+          .Assemble(&(*db)->tmpl, (*db)->store.get(),
+                    AssemblyOptions{.window_size = 10})
+          .Filter(Cmp(CmpOp::kGe, ObjField(Col(0), 0), LitInt(0)));
+  AssemblyOperator* assembly = builder.last_assembly();
+  ASSERT_NE(assembly, nullptr);
+  std::string explain = builder.Explain();
+  EXPECT_NE(explain.find("Assembly [elevator, W=10]"), std::string::npos);
+  EXPECT_NE(explain.find("OidList [30 roots]"), std::string::npos);
+
+  auto plan = std::move(builder).Build();
+  auto rows = DrainAll(plan.get());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 30u);  // field 0 is always >= 0
+  EXPECT_EQ(assembly->stats().complex_emitted, 30u);
+}
+
+TEST(PlanBuilderTest, PointerJoinStep) {
+  AcobOptions options;
+  options.num_complex_objects = 5;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  auto plan = PlanBuilder::FromOids((*db)->roots)
+                  .PointerJoin(0, 4, (*db)->store.get())
+                  .Build();
+  auto rows = DrainAll(plan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[0].size(), 6u);  // oid + (oid, 4 fields)
+}
+
+TEST(PlanBuilderTest, NestedLoopJoinStep) {
+  auto plan =
+      PlanBuilder::FromRows({IntRow({1}), IntRow({4})})
+          .NestedLoopJoin(PlanBuilder::FromRows({IntRow({2}), IntRow({3})}),
+                          Cmp(CmpOp::kLt, Col(0), Col(1)))
+          .Build();
+  auto rows = DrainAll(plan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // (1,2) (1,3)
+}
+
+}  // namespace
+}  // namespace cobra::exec

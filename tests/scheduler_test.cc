@@ -1,0 +1,193 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assembly/scheduler.h"
+
+namespace cobra {
+namespace {
+
+PendingRef Ref(uint64_t complex_id, Oid oid, PageId page,
+               bool shared_owned = false) {
+  PendingRef ref;
+  ref.complex_id = complex_id;
+  ref.oid = oid;
+  ref.page = page;
+  ref.shared_owned = shared_owned;
+  return ref;
+}
+
+std::vector<Oid> DrainOids(Scheduler* scheduler, PageId head = 0) {
+  std::vector<Oid> out;
+  while (!scheduler->Empty()) {
+    out.push_back(scheduler->Pop(head).oid);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ depth-first
+
+TEST(DepthFirstSchedulerTest, PaperFigure4Order) {
+  // Figure 4 objects, window of 2: depth-first resolves "A1, B1, D1, C1,
+  // A2, ..." — one complex object at a time.
+  DepthFirstScheduler s;
+  s.AddBatch({Ref(1, /*A1*/ 101, 0)}, /*is_root=*/true);
+  s.AddBatch({Ref(2, /*A2*/ 201, 0)}, /*is_root=*/true);
+  EXPECT_EQ(s.Pop(0).oid, 101u);  // A1
+  // Resolving A1 exposes B1 and C1 (template order).
+  s.AddBatch({Ref(1, /*B1*/ 102, 0), Ref(1, /*C1*/ 103, 0)}, false);
+  EXPECT_EQ(s.Pop(0).oid, 102u);  // B1
+  s.AddBatch({Ref(1, /*D1*/ 104, 0)}, false);
+  EXPECT_EQ(s.Pop(0).oid, 104u);  // D1
+  EXPECT_EQ(s.Pop(0).oid, 103u);  // C1 — complex 1 done
+  EXPECT_EQ(s.Pop(0).oid, 201u);  // A2 — only now the next object
+}
+
+TEST(DepthFirstSchedulerTest, NewRootsQueueBehindWork) {
+  DepthFirstScheduler s;
+  s.AddBatch({Ref(1, 1, 0)}, true);
+  EXPECT_EQ(s.Pop(0).oid, 1u);
+  s.AddBatch({Ref(1, 2, 0)}, false);
+  s.AddBatch({Ref(2, 9, 0)}, true);  // replacement admission
+  EXPECT_EQ(s.Pop(0).oid, 2u);       // finish complex 1 first
+  EXPECT_EQ(s.Pop(0).oid, 9u);
+}
+
+TEST(DepthFirstSchedulerTest, RemoveComplexDropsOnlyItsRefs) {
+  DepthFirstScheduler s;
+  s.AddBatch({Ref(1, 1, 0), Ref(2, 2, 0), Ref(1, 3, 0)}, false);
+  s.RemoveComplex(1);
+  EXPECT_EQ(s.Size(), 1u);
+  EXPECT_EQ(s.Pop(0).oid, 2u);
+}
+
+TEST(DepthFirstSchedulerTest, RemoveComplexKeepsSharedOwnedRefs) {
+  DepthFirstScheduler s;
+  s.AddBatch({Ref(1, 1, 0), Ref(1, 2, 0, /*shared_owned=*/true)}, false);
+  s.RemoveComplex(1);
+  ASSERT_EQ(s.Size(), 1u);
+  EXPECT_EQ(s.Pop(0).oid, 2u);
+}
+
+// ---------------------------------------------------------- breadth-first
+
+TEST(BreadthFirstSchedulerTest, PaperFigure4Order) {
+  // Paper: "Al, A2, B1, C1, B2, C2, D1, D2, A3, ..." — breadth of the
+  // window.
+  BreadthFirstScheduler s;
+  s.AddBatch({Ref(1, 101, 0)}, true);   // A1
+  s.AddBatch({Ref(2, 201, 0)}, true);   // A2
+  EXPECT_EQ(s.Pop(0).oid, 101u);        // A1
+  s.AddBatch({Ref(1, 102, 0), Ref(1, 103, 0)}, false);  // B1 C1
+  EXPECT_EQ(s.Pop(0).oid, 201u);        // A2
+  s.AddBatch({Ref(2, 202, 0), Ref(2, 203, 0)}, false);  // B2 C2
+  EXPECT_EQ(s.Pop(0).oid, 102u);        // B1
+  s.AddBatch({Ref(1, 104, 0)}, false);  // D1
+  EXPECT_EQ(s.Pop(0).oid, 103u);        // C1
+  EXPECT_EQ(s.Pop(0).oid, 202u);        // B2
+  s.AddBatch({Ref(2, 204, 0)}, false);  // D2
+  EXPECT_EQ(s.Pop(0).oid, 203u);        // C2
+  EXPECT_EQ(s.Pop(0).oid, 104u);        // D1
+  EXPECT_EQ(s.Pop(0).oid, 204u);        // D2
+}
+
+TEST(BreadthFirstSchedulerTest, RemoveComplex) {
+  BreadthFirstScheduler s;
+  s.AddBatch({Ref(1, 1, 0), Ref(2, 2, 0)}, false);
+  s.RemoveComplex(2);
+  EXPECT_EQ(DrainOids(&s), std::vector<Oid>{1});
+}
+
+// --------------------------------------------------------------- elevator
+
+TEST(ElevatorSchedulerTest, SweepsUpwardFromHead) {
+  ElevatorScheduler s;
+  s.AddBatch({Ref(1, 1, 50), Ref(1, 2, 10), Ref(1, 3, 30)}, false);
+  EXPECT_EQ(s.Pop(20).oid, 3u);  // page 30 is the nearest >= 20
+  EXPECT_EQ(s.Pop(30).oid, 1u);  // continue upward to 50
+  EXPECT_EQ(s.Pop(50).oid, 2u);  // exhausted above: reverse to 10
+}
+
+TEST(ElevatorSchedulerTest, ReversesAtTop) {
+  ElevatorScheduler s;
+  s.AddBatch({Ref(1, 1, 5), Ref(1, 2, 15)}, false);
+  EXPECT_EQ(s.Pop(10).oid, 2u);   // up to 15
+  s.AddBatch({Ref(1, 3, 12)}, false);
+  EXPECT_EQ(s.Pop(15).oid, 3u);   // nothing above 15: sweep down to 12
+  EXPECT_EQ(s.Pop(12).oid, 1u);   // continue down to 5
+}
+
+TEST(ElevatorSchedulerTest, SamePageDrainsTogether) {
+  ElevatorScheduler s;
+  s.AddBatch({Ref(1, 1, 7), Ref(2, 2, 7), Ref(3, 3, 7)}, false);
+  // All on page 7: insertion order preserved (priority order of the batch).
+  EXPECT_EQ(s.Pop(0).oid, 1u);
+  EXPECT_EQ(s.Pop(7).oid, 2u);
+  EXPECT_EQ(s.Pop(7).oid, 3u);
+}
+
+TEST(ElevatorSchedulerTest, ExactHeadPositionIncluded) {
+  ElevatorScheduler s;
+  s.AddBatch({Ref(1, 1, 10)}, false);
+  EXPECT_EQ(s.Pop(10).oid, 1u);  // zero-distance request served first
+}
+
+TEST(ElevatorSchedulerTest, MinimizesTotalSeekVersusFifo) {
+  // A scattered request pool: SCAN's total seek must beat FIFO order.
+  std::vector<PageId> pages = {90, 10, 80, 20, 70, 30, 60, 40, 50};
+  ElevatorScheduler elevator;
+  BreadthFirstScheduler fifo;
+  std::vector<PendingRef> batch;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    batch.push_back(Ref(1, i + 1, pages[i]));
+  }
+  elevator.AddBatch(batch, false);
+  fifo.AddBatch(batch, false);
+  auto total_seek = [](Scheduler* s) {
+    PageId head = 0;
+    uint64_t total = 0;
+    while (!s->Empty()) {
+      PendingRef ref = s->Pop(head);
+      total += ref.page > head ? ref.page - head : head - ref.page;
+      head = ref.page;
+    }
+    return total;
+  };
+  uint64_t elevator_seek = total_seek(&elevator);
+  uint64_t fifo_seek = total_seek(&fifo);
+  EXPECT_EQ(elevator_seek, 90u);  // one clean sweep 0 -> 90
+  EXPECT_GT(fifo_seek, elevator_seek);
+}
+
+TEST(ElevatorSchedulerTest, RemoveComplexKeepsSharedOwned) {
+  ElevatorScheduler s;
+  s.AddBatch({Ref(1, 1, 10), Ref(1, 2, 20, /*shared_owned=*/true),
+              Ref(2, 3, 30)},
+             false);
+  s.RemoveComplex(1);
+  EXPECT_EQ(s.Size(), 2u);
+  auto oids = DrainOids(&s);
+  EXPECT_EQ(oids, (std::vector<Oid>{2, 3}));
+}
+
+TEST(SchedulerFactoryTest, MakesAllKinds) {
+  for (auto kind : {SchedulerKind::kDepthFirst, SchedulerKind::kBreadthFirst,
+                    SchedulerKind::kElevator}) {
+    auto s = MakeScheduler(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->Empty());
+    s->AddBatch({Ref(1, 1, 0)}, true);
+    EXPECT_EQ(s->Size(), 1u);
+    EXPECT_EQ(s->Pop(0).oid, 1u);
+  }
+}
+
+TEST(SchedulerFactoryTest, KindNames) {
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kDepthFirst), "depth-first");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kBreadthFirst),
+               "breadth-first");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kElevator), "elevator");
+}
+
+}  // namespace
+}  // namespace cobra

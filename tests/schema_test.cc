@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "object/schema.h"
+
+namespace cobra {
+namespace {
+
+TypeCatalog MakeGenealogyCatalog() {
+  TypeCatalog catalog;
+  EXPECT_TRUE(catalog.DefineType("Residence", {"city", "zip"}, {}).ok());
+  EXPECT_TRUE(catalog
+                  .DefineType("Person", {"id", "birth_year"},
+                              {{"father", "Person", false},
+                               {"residence", "Residence", true}})
+                  .ok());
+  return catalog;
+}
+
+TEST(TypeCatalogTest, DefineAndFind) {
+  TypeCatalog catalog = MakeGenealogyCatalog();
+  auto residence = catalog.Find("Residence");
+  ASSERT_TRUE(residence.ok());
+  EXPECT_EQ((*residence)->id, 1u);
+  auto person = catalog.Find("Person");
+  ASSERT_TRUE(person.ok());
+  EXPECT_EQ((*person)->id, 2u);
+  EXPECT_EQ(catalog.Find(2u).value()->name, "Person");
+  EXPECT_TRUE(catalog.Find("Nope").status().IsNotFound());
+  EXPECT_TRUE(catalog.Find(TypeId{99}).status().IsNotFound());
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+TEST(TypeCatalogTest, MemberIndexLookups) {
+  TypeCatalog catalog = MakeGenealogyCatalog();
+  const auto* person = catalog.Find("Person").value();
+  EXPECT_EQ(person->FieldIndex("id"), 0);
+  EXPECT_EQ(person->FieldIndex("birth_year"), 1);
+  EXPECT_EQ(person->FieldIndex("nope"), -1);
+  EXPECT_EQ(person->RefIndex("father"), 0);
+  EXPECT_EQ(person->RefIndex("residence"), 1);
+  EXPECT_EQ(person->RefIndex("nope"), -1);
+}
+
+TEST(TypeCatalogTest, DuplicateTypeRejected) {
+  TypeCatalog catalog;
+  ASSERT_TRUE(catalog.DefineType("T", {}, {}).ok());
+  EXPECT_TRUE(catalog.DefineType("T", {}, {}).status().IsAlreadyExists());
+}
+
+TEST(TypeCatalogTest, DuplicateMembersRejected) {
+  TypeCatalog catalog;
+  EXPECT_TRUE(catalog.DefineType("A", {"x", "x"}, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(catalog
+                  .DefineType("B", {},
+                              {{"r", "B", false}, {"r", "B", false}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TypeCatalogTest, ValidateCatchesDanglingTargets) {
+  TypeCatalog catalog;
+  ASSERT_TRUE(
+      catalog.DefineType("A", {}, {{"to_b", "B", false}}).ok());
+  EXPECT_TRUE(catalog.Validate().IsInvalidArgument());
+  ASSERT_TRUE(catalog.DefineType("B", {}, {}).ok());
+  EXPECT_TRUE(catalog.Validate().ok());
+}
+
+TEST(TypeCatalogTest, MutualRecursionAllowed) {
+  TypeCatalog catalog;
+  ASSERT_TRUE(catalog.DefineType("Part", {"cost"},
+                                 {{"sub", "Part", false}})
+                  .ok());
+  EXPECT_TRUE(catalog.Validate().ok());
+}
+
+TEST(BuildTemplateTest, Figure2Shape) {
+  TypeCatalog catalog = MakeGenealogyCatalog();
+  auto tmpl = catalog.BuildTemplate("Person",
+                                    {"father.residence", "residence"});
+  ASSERT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+  EXPECT_TRUE(tmpl->Validate().ok());
+  // Person + father + father.residence + residence = 4 nodes (Fig. 2).
+  EXPECT_EQ(tmpl->ReachableNodeCount(), 4u);
+  const TemplateNode* root = tmpl->root();
+  EXPECT_EQ(root->expected_type, 2u);  // Person
+  ASSERT_EQ(root->children.size(), 2u);
+  // "father.residence" came first: child 0 is the father edge (slot 0).
+  EXPECT_EQ(root->children[0].ref_slot, 0);
+  EXPECT_EQ(root->children[0].child->expected_type, 2u);  // Person
+  EXPECT_FALSE(root->children[0].child->shared);
+  ASSERT_EQ(root->children[0].child->children.size(), 1u);
+  EXPECT_EQ(root->children[0].child->children[0].child->expected_type, 1u);
+  EXPECT_TRUE(root->children[0].child->children[0].child->shared);
+  EXPECT_EQ(root->children[1].ref_slot, 1);
+  EXPECT_TRUE(root->children[1].child->shared);  // schema sharing flag
+}
+
+TEST(BuildTemplateTest, SharedPrefixesMerge) {
+  TypeCatalog catalog = MakeGenealogyCatalog();
+  auto tmpl = catalog.BuildTemplate(
+      "Person", {"father", "father.residence", "father.father"});
+  ASSERT_TRUE(tmpl.ok());
+  const TemplateNode* root = tmpl->root();
+  // One father edge, with two children below it.
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_EQ(root->children[0].child->children.size(), 2u);
+  EXPECT_EQ(tmpl->ReachableNodeCount(), 4u);
+}
+
+TEST(BuildTemplateTest, RootOnly) {
+  TypeCatalog catalog = MakeGenealogyCatalog();
+  auto tmpl = catalog.BuildTemplate("Person", {});
+  ASSERT_TRUE(tmpl.ok());
+  EXPECT_EQ(tmpl->ReachableNodeCount(), 1u);
+  EXPECT_TRUE(tmpl->root()->children.empty());
+}
+
+TEST(BuildTemplateTest, BadPathsRejected) {
+  TypeCatalog catalog = MakeGenealogyCatalog();
+  EXPECT_TRUE(catalog.BuildTemplate("Person", {"spouse"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(catalog.BuildTemplate("Person", {"father..residence"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(catalog.BuildTemplate("Person", {""})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      catalog.BuildTemplate("Nope", {"father"}).status().IsNotFound());
+  // Scalars are not references.
+  EXPECT_TRUE(catalog.BuildTemplate("Person", {"id"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BuildTemplateTest, RecursivePathsUnrollPerSegment) {
+  TypeCatalog catalog;
+  ASSERT_TRUE(catalog.DefineType("Part", {"cost"},
+                                 {{"sub", "Part", false}})
+                  .ok());
+  auto tmpl = catalog.BuildTemplate("Part", {"sub.sub.sub"});
+  ASSERT_TRUE(tmpl.ok());
+  // Paths build distinct nodes per segment: no template cycle.
+  EXPECT_FALSE(tmpl->IsRecursive());
+  EXPECT_EQ(tmpl->ReachableNodeCount(), 4u);
+}
+
+TEST(ObjectBuilderTest, BuildsByName) {
+  TypeCatalog catalog = MakeGenealogyCatalog();
+  auto obj = ObjectBuilder(&catalog, "Person")
+                 .Oid(77)
+                 .Set("id", 1)
+                 .Set("birth_year", 1970)
+                 .SetRef("residence", 55)
+                 .Build();
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  EXPECT_EQ(obj->oid, 77u);
+  EXPECT_EQ(obj->type_id, 2u);
+  EXPECT_EQ(obj->fields[0], 1);
+  EXPECT_EQ(obj->fields[1], 1970);
+  EXPECT_EQ(obj->refs[0], kInvalidOid);  // father unset
+  EXPECT_EQ(obj->refs[1], 55u);
+  EXPECT_EQ(obj->refs.size(), 8u);  // padded to the storage layout
+}
+
+TEST(ObjectBuilderTest, UnknownMembersReported) {
+  TypeCatalog catalog = MakeGenealogyCatalog();
+  EXPECT_TRUE(ObjectBuilder(&catalog, "Person")
+                  .Set("nope", 1)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ObjectBuilder(&catalog, "Person")
+                  .SetRef("nope", 1)
+                  .Build()
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ObjectBuilder(&catalog, "Ghost").Build().status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace cobra

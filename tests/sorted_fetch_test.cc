@@ -1,0 +1,154 @@
+// The §2 sorted-pointer baseline: correctness against naive assembly and
+// the expected space/seek trade against the window operator.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "assembly/naive.h"
+#include "assembly/sorted_fetch.h"
+#include "workload/acob.h"
+#include "workload/hypermodel.h"
+
+namespace cobra {
+namespace {
+
+TEST(SortedFetchTest, MatchesNaiveOnAcob) {
+  AcobOptions options;
+  options.num_complex_objects = 50;
+  options.clustering = Clustering::kUnclustered;
+  options.seed = 6;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+
+  NaiveAssembler naive((*db)->store.get(), &(*db)->tmpl);
+  ObjectArena arena;
+  std::map<Oid, std::set<Oid>> expected;
+  for (Oid root : (*db)->roots) {
+    auto obj = naive.AssembleOne(root, &arena);
+    ASSERT_TRUE(obj.ok());
+    auto oids = CollectOids(*obj);
+    expected[root] = std::set<Oid>(oids.begin(), oids.end());
+  }
+
+  ASSERT_TRUE((*db)->ColdRestart().ok());
+  auto result = AssembleBySortedFetch((*db)->store.get(), &(*db)->tmpl,
+                                      (*db)->roots);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->assembled.size(), 50u);
+  for (AssembledObject* obj : result->assembled) {
+    auto oids = CollectOids(obj);
+    EXPECT_EQ((std::set<Oid>(oids.begin(), oids.end())), expected[obj->oid]);
+  }
+  // Binary tree of 3 levels => 3 fetch waves.
+  EXPECT_EQ(result->stats.levels, 3u);
+  EXPECT_EQ(result->stats.objects_fetched, 350u);
+  // The middle level materializes 2 refs per complex, the last 4.
+  EXPECT_EQ(result->stats.max_sorted_refs, 200u);
+}
+
+TEST(SortedFetchTest, PreservesInputOrder) {
+  AcobOptions options;
+  options.num_complex_objects = 10;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  auto result = AssembleBySortedFetch((*db)->store.get(), &(*db)->tmpl,
+                                      (*db)->roots);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assembled.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result->assembled[i]->oid, (*db)->roots[i]);
+  }
+}
+
+TEST(SortedFetchTest, FetchesInPhysicalOrderWithinLevel) {
+  AcobOptions options;
+  options.num_complex_objects = 200;
+  options.clustering = Clustering::kUnclustered;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  (*db)->disk->EnableReadTrace(true);
+  auto result = AssembleBySortedFetch((*db)->store.get(), &(*db)->tmpl,
+                                      (*db)->roots);
+  ASSERT_TRUE(result.ok());
+  // Within the trace, page numbers form at most `levels` ascending runs.
+  const auto& trace = (*db)->disk->read_trace();
+  ASSERT_FALSE(trace.empty());
+  size_t descents = 0;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i] < trace[i - 1]) ++descents;
+  }
+  EXPECT_LE(descents, result->stats.levels - 1);
+}
+
+TEST(SortedFetchTest, PredicatesAbort) {
+  AcobOptions options;
+  options.num_complex_objects = 100;
+  options.seed = 11;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  TemplateNode* b = (*db)->nodes[1];
+  b->predicate = [](const ObjectData& obj) { return obj.fields[0] < 5000; };
+  b->selectivity = 0.5;
+
+  NaiveAssembler naive((*db)->store.get(), &(*db)->tmpl);
+  ObjectArena arena;
+  auto expected = naive.AssembleAll((*db)->roots, &arena);
+  ASSERT_TRUE(expected.ok());
+
+  auto result = AssembleBySortedFetch((*db)->store.get(), &(*db)->tmpl,
+                                      (*db)->roots);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assembled.size(), expected->size());
+  EXPECT_EQ(result->stats.complex_aborted, 100u - expected->size());
+  b->predicate = nullptr;
+  b->selectivity = 1.0;
+}
+
+TEST(SortedFetchTest, SharedComponentsDeduped) {
+  AcobOptions options;
+  options.num_complex_objects = 100;
+  options.sharing = 0.1;
+  options.seed = 2;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  auto result = AssembleBySortedFetch((*db)->store.get(), &(*db)->tmpl,
+                                      (*db)->roots);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assembled.size(), 100u);
+  // 100 complex objects x 6 private + 10 pool objects.
+  EXPECT_EQ(result->stats.objects_fetched, 610u);
+  EXPECT_EQ(result->stats.shared_hits, 90u);
+}
+
+TEST(SortedFetchTest, HandlesRecursiveTemplates) {
+  HyperModelOptions options;
+  options.levels = 4;
+  options.refers_to_fraction = 0.5;
+  auto db = BuildHyperModelDatabase(options);
+  ASSERT_TRUE(db.ok());
+  auto result = AssembleBySortedFetch(
+      (*db)->store.get(), &(*db)->closure_tmpl, {(*db)->root});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->assembled.size(), 1u);
+  EXPECT_EQ(CountAssembled(result->assembled[0]), (*db)->total_nodes);
+}
+
+TEST(SortedFetchTest, PoolScalesWithSetSizeUnlikeWindow) {
+  // The paper's §2 point: the sorted approach needs space proportional to
+  // the whole set.
+  for (size_t n : {size_t{50}, size_t{200}}) {
+    AcobOptions options;
+    options.num_complex_objects = n;
+    auto db = BuildAcobDatabase(options);
+    ASSERT_TRUE(db.ok());
+    auto result = AssembleBySortedFetch((*db)->store.get(), &(*db)->tmpl,
+                                        (*db)->roots);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->stats.max_sorted_refs, 4 * n);  // the leaf level
+  }
+}
+
+}  // namespace
+}  // namespace cobra

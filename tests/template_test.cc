@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "assembly/component_iterator.h"
+#include "assembly/template.h"
+
+namespace cobra {
+namespace {
+
+TEST(TemplateTest, ValidateRequiresRoot) {
+  AssemblyTemplate tmpl;
+  EXPECT_TRUE(tmpl.Validate().IsInvalidArgument());
+}
+
+TEST(TemplateTest, SimpleTreeValidates) {
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* child = tmpl.AddNode("child");
+  root->children.push_back({0, child});
+  tmpl.SetRoot(root);
+  EXPECT_TRUE(tmpl.Validate().ok());
+  EXPECT_FALSE(tmpl.IsRecursive());
+  EXPECT_EQ(tmpl.ReachableNodeCount(), 2u);
+  EXPECT_EQ(*tmpl.ComponentsPerComplexObject(), 2u);
+}
+
+TEST(TemplateTest, NullChildRejected) {
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  root->children.push_back({0, nullptr});
+  tmpl.SetRoot(root);
+  EXPECT_TRUE(tmpl.Validate().IsInvalidArgument());
+}
+
+TEST(TemplateTest, NegativeSlotRejected) {
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* child = tmpl.AddNode("child");
+  root->children.push_back({-1, child});
+  tmpl.SetRoot(root);
+  EXPECT_TRUE(tmpl.Validate().IsInvalidArgument());
+}
+
+TEST(TemplateTest, BadSelectivityRejected) {
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  root->selectivity = 1.5;
+  tmpl.SetRoot(root);
+  EXPECT_TRUE(tmpl.Validate().IsInvalidArgument());
+}
+
+TEST(TemplateTest, ForeignNodeRejected) {
+  AssemblyTemplate other;
+  TemplateNode* foreign = other.AddNode("foreign");
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  root->children.push_back({0, foreign});
+  tmpl.SetRoot(root);
+  EXPECT_TRUE(tmpl.Validate().IsInvalidArgument());
+}
+
+TEST(TemplateTest, RecursiveTemplateDetected) {
+  AssemblyTemplate tmpl;
+  TemplateNode* part = tmpl.AddNode("part");
+  part->children.push_back({0, part});
+  tmpl.SetRoot(part);
+  EXPECT_TRUE(tmpl.Validate().ok());
+  EXPECT_TRUE(tmpl.IsRecursive());
+  EXPECT_TRUE(
+      tmpl.ComponentsPerComplexObject().status().IsInvalidArgument());
+}
+
+TEST(TemplateTest, DagIsNotRecursive) {
+  // Diamond: root -> {a, b} -> shared leaf.  A DAG has no cycle.
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  TemplateNode* a = tmpl.AddNode("a");
+  TemplateNode* b = tmpl.AddNode("b");
+  TemplateNode* leaf = tmpl.AddNode("leaf");
+  root->children.push_back({0, a});
+  root->children.push_back({1, b});
+  a->children.push_back({0, leaf});
+  b->children.push_back({0, leaf});
+  tmpl.SetRoot(root);
+  EXPECT_TRUE(tmpl.Validate().ok());
+  EXPECT_FALSE(tmpl.IsRecursive());
+  EXPECT_EQ(tmpl.ReachableNodeCount(), 4u);
+  // Components count paths: leaf reached twice.
+  EXPECT_EQ(*tmpl.ComponentsPerComplexObject(), 5u);
+}
+
+TEST(TemplateTest, BinaryTreeFactory) {
+  std::vector<TemplateNode*> nodes;
+  AssemblyTemplate tmpl = MakeBinaryTreeTemplate(3, &nodes);
+  EXPECT_TRUE(tmpl.Validate().ok());
+  EXPECT_EQ(tmpl.ReachableNodeCount(), 7u);
+  EXPECT_EQ(*tmpl.ComponentsPerComplexObject(), 7u);
+  ASSERT_EQ(nodes.size(), 7u);
+  EXPECT_EQ(nodes[0], tmpl.root());
+  EXPECT_EQ(nodes[0]->expected_type, 1u);
+  EXPECT_EQ(nodes[6]->expected_type, 7u);
+  // Root's children on reference slots 0 and 1.
+  ASSERT_EQ(nodes[0]->children.size(), 2u);
+  EXPECT_EQ(nodes[0]->children[0].ref_slot, 0);
+  EXPECT_EQ(nodes[0]->children[0].child, nodes[1]);
+  EXPECT_EQ(nodes[0]->children[1].child, nodes[2]);
+  // Leaves have no children.
+  EXPECT_TRUE(nodes[3]->children.empty());
+}
+
+TEST(TemplateTest, RejectionProbability) {
+  TemplateNode node;
+  node.selectivity = 0.25;
+  EXPECT_DOUBLE_EQ(node.rejection_probability(), 0.75);
+}
+
+TEST(TemplateTest, MaxDepthValidated) {
+  AssemblyTemplate tmpl;
+  TemplateNode* root = tmpl.AddNode("root");
+  tmpl.SetRoot(root);
+  tmpl.set_max_depth(0);
+  EXPECT_TRUE(tmpl.Validate().IsInvalidArgument());
+  tmpl.set_max_depth(5);
+  EXPECT_TRUE(tmpl.Validate().ok());
+}
+
+// ------------------------------------------------------ ComponentIterator
+
+class ComponentIteratorTest : public ::testing::Test {
+ protected:
+  ComponentIteratorTest() {
+    root_ = tmpl_.AddNode("root");
+    fast_reject_ = tmpl_.AddNode("fast_reject");
+    slow_reject_ = tmpl_.AddNode("slow_reject");
+    no_pred_ = tmpl_.AddNode("no_pred");
+    root_->expected_type = 1;
+    fast_reject_->selectivity = 0.1;   // rejection 0.9
+    slow_reject_->selectivity = 0.8;   // rejection 0.2
+    no_pred_->selectivity = 1.0;       // rejection 0
+    root_->children.push_back({0, no_pred_});
+    root_->children.push_back({1, slow_reject_});
+    root_->children.push_back({2, fast_reject_});
+    tmpl_.SetRoot(root_);
+  }
+
+  ObjectData Obj() {
+    ObjectData obj;
+    obj.oid = 1;
+    obj.type_id = 1;
+    obj.refs = {11, 12, 13, kInvalidOid};
+    return obj;
+  }
+
+  AssemblyTemplate tmpl_;
+  TemplateNode* root_;
+  TemplateNode* fast_reject_;
+  TemplateNode* slow_reject_;
+  TemplateNode* no_pred_;
+};
+
+TEST_F(ComponentIteratorTest, TypeCheckPasses) {
+  ComponentIterator it(&tmpl_);
+  EXPECT_TRUE(it.CheckObject(Obj(), root_).ok());
+}
+
+TEST_F(ComponentIteratorTest, TypeMismatchIsCorruption) {
+  ComponentIterator it(&tmpl_);
+  ObjectData obj = Obj();
+  obj.type_id = 99;
+  EXPECT_TRUE(it.CheckObject(obj, root_).IsCorruption());
+}
+
+TEST_F(ComponentIteratorTest, AnyTypeSkipsCheck) {
+  ComponentIterator it(&tmpl_);
+  ObjectData obj = Obj();
+  obj.type_id = 99;
+  EXPECT_TRUE(it.CheckObject(obj, no_pred_).ok());
+}
+
+TEST_F(ComponentIteratorTest, MissingRefSlotIsCorruption) {
+  ComponentIterator it(&tmpl_);
+  ObjectData obj = Obj();
+  obj.refs.resize(1);  // root template needs slots 0..2
+  EXPECT_TRUE(it.CheckObject(obj, root_).IsCorruption());
+}
+
+TEST_F(ComponentIteratorTest, ExpandTemplateOrder) {
+  ComponentIterator it(&tmpl_);
+  auto refs = it.Expand(Obj(), root_, /*prioritize_predicates=*/false);
+  ASSERT_TRUE(refs.ok());
+  ASSERT_EQ(refs->size(), 3u);
+  EXPECT_EQ((*refs)[0].node, no_pred_);
+  EXPECT_EQ((*refs)[0].oid, 11u);
+  EXPECT_EQ((*refs)[0].child_index, 0);
+  EXPECT_EQ((*refs)[2].node, fast_reject_);
+}
+
+TEST_F(ComponentIteratorTest, ExpandPrioritizesRejection) {
+  // §5: "the component with the higher rejection probability should be
+  // retrieved first".
+  ComponentIterator it(&tmpl_);
+  auto refs = it.Expand(Obj(), root_, /*prioritize_predicates=*/true);
+  ASSERT_TRUE(refs.ok());
+  ASSERT_EQ(refs->size(), 3u);
+  EXPECT_EQ((*refs)[0].node, fast_reject_);
+  EXPECT_EQ((*refs)[1].node, slow_reject_);
+  EXPECT_EQ((*refs)[2].node, no_pred_);
+  // child_index still refers to template positions.
+  EXPECT_EQ((*refs)[0].child_index, 2);
+}
+
+TEST_F(ComponentIteratorTest, InvalidOidSkipped) {
+  ComponentIterator it(&tmpl_);
+  ObjectData obj = Obj();
+  obj.refs[1] = kInvalidOid;  // drop slow_reject child
+  auto refs = it.Expand(obj, root_, false);
+  ASSERT_TRUE(refs.ok());
+  EXPECT_EQ(refs->size(), 2u);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,320 @@
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "assembly/naive.h"
+#include "workload/acob.h"
+#include "workload/cad.h"
+#include "workload/genealogy.h"
+
+namespace cobra {
+namespace {
+
+TEST(AcobTest, ComponentsPerComplex) {
+  EXPECT_EQ(AcobComponentsPerComplex(1), 1u);
+  EXPECT_EQ(AcobComponentsPerComplex(2), 3u);
+  EXPECT_EQ(AcobComponentsPerComplex(3), 7u);  // the paper's shape
+  EXPECT_EQ(AcobComponentsPerComplex(4), 15u);
+}
+
+TEST(AcobTest, BuildBasicProperties) {
+  AcobOptions options;
+  options.num_complex_objects = 50;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->roots.size(), 50u);
+  EXPECT_EQ((*db)->total_objects, 50u * 7u);
+  EXPECT_TRUE((*db)->tmpl.Validate().ok());
+  EXPECT_EQ((*db)->nodes.size(), 7u);
+  EXPECT_TRUE((*db)->shared_pool.empty());
+  // 350 objects at 9 per page.
+  EXPECT_EQ((*db)->data_pages, (350 + 8) / 9);
+}
+
+TEST(AcobTest, DeterministicInSeed) {
+  AcobOptions options;
+  options.num_complex_objects = 20;
+  options.seed = 99;
+  auto a = BuildAcobDatabase(options);
+  auto b = BuildAcobDatabase(options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->roots, (*b)->roots);
+  // Same physical placement too.
+  for (Oid oid : (*a)->roots) {
+    EXPECT_EQ((*a)->store->Locate(oid)->page, (*b)->store->Locate(oid)->page);
+  }
+}
+
+TEST(AcobTest, LogicalContentIndependentOfClustering) {
+  // Clustering changes placement, never structure: same seed must wire the
+  // same OIDs regardless of clustering policy.
+  AcobOptions options;
+  options.num_complex_objects = 15;
+  options.seed = 5;
+  options.clustering = Clustering::kUnclustered;
+  auto a = BuildAcobDatabase(options);
+  options.clustering = Clustering::kInterObject;
+  auto b = BuildAcobDatabase(options);
+  options.clustering = Clustering::kIntraObject;
+  auto c = BuildAcobDatabase(options);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ((*a)->roots, (*b)->roots);
+  EXPECT_EQ((*a)->roots, (*c)->roots);
+  for (Oid root : (*a)->roots) {
+    auto oa = (*a)->store->Get(root);
+    auto ob = (*b)->store->Get(root);
+    auto oc = (*c)->store->Get(root);
+    ASSERT_TRUE(oa.ok() && ob.ok() && oc.ok());
+    EXPECT_EQ(oa->refs, ob->refs);
+    EXPECT_EQ(oa->refs, oc->refs);
+    EXPECT_EQ(oa->fields, ob->fields);
+  }
+}
+
+TEST(AcobTest, InterObjectClustersInDistinctExtents) {
+  AcobOptions options;
+  options.num_complex_objects = 40;
+  options.clustering = Clustering::kInterObject;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  // Each component type lives entirely inside one extent of
+  // cluster_extent_pages pages, and distinct types use distinct extents.
+  std::set<PageId> extents_seen;
+  for (Oid root : (*db)->roots) {
+    auto obj = (*db)->store->Get(root);
+    ASSERT_TRUE(obj.ok());
+    auto loc = (*db)->store->Locate(root);
+    ASSERT_TRUE(loc.ok());
+    extents_seen.insert(loc->page / options.cluster_extent_pages);
+  }
+  // All roots (type A) in one extent.
+  EXPECT_EQ(extents_seen.size(), 1u);
+  // Check a leaf type lands in a different extent.
+  auto root_obj = (*db)->store->Get((*db)->roots[0]);
+  ASSERT_TRUE(root_obj.ok());
+  auto left = (*db)->store->Locate(root_obj->refs[0]);
+  ASSERT_TRUE(left.ok());
+  EXPECT_NE(left->page / options.cluster_extent_pages, *extents_seen.begin());
+}
+
+TEST(AcobTest, IntraObjectKeepsComplexObjectsContiguous) {
+  AcobOptions options;
+  options.num_complex_objects = 30;
+  options.clustering = Clustering::kIntraObject;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  // A complex object's 7 components span at most 2 adjacent pages
+  // (7 consecutive records at 9 records per page).
+  NaiveAssembler naive((*db)->store.get(), &(*db)->tmpl);
+  for (size_t i = 0; i < 5; ++i) {
+    ObjectArena arena;
+    auto obj = naive.AssembleOne((*db)->roots[i * 5], &arena);
+    ASSERT_TRUE(obj.ok());
+    PageId min_page = ~PageId{0};
+    PageId max_page = 0;
+    VisitAssembled(*obj, [&](const AssembledObject& node) {
+      auto loc = (*db)->store->Locate(node.oid);
+      ASSERT_TRUE(loc.ok());
+      min_page = std::min(min_page, loc->page);
+      max_page = std::max(max_page, loc->page);
+    });
+    EXPECT_LE(max_page - min_page, 1u);
+  }
+}
+
+TEST(AcobTest, SharingPoolWiredIntoTemplatesAndRefs) {
+  AcobOptions options;
+  options.num_complex_objects = 100;
+  options.sharing = 0.25;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->shared_pool.size(), 25u);
+  EXPECT_TRUE((*db)->nodes[6]->shared);
+  EXPECT_DOUBLE_EQ((*db)->nodes[6]->sharing_degree, 0.25);
+  // Every complex object's last leaf reference lands in the pool.
+  std::unordered_set<Oid> pool((*db)->shared_pool.begin(),
+                               (*db)->shared_pool.end());
+  NaiveAssembler naive((*db)->store.get(), &(*db)->tmpl);
+  ObjectArena arena;
+  auto obj = naive.AssembleOne((*db)->roots[0], &arena);
+  ASSERT_TRUE(obj.ok());
+  const AssembledObject* g = FindByType(*obj, 7);
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(pool.contains(g->oid));
+  // Total objects: 100 complex x 6 private + 25 pool.
+  EXPECT_EQ((*db)->total_objects, 100u * 6u + 25u);
+}
+
+TEST(AcobTest, ColdRestartResetsMeasurement) {
+  AcobOptions options;
+  options.num_complex_objects = 10;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  // First access faults pages in.
+  ASSERT_TRUE((*db)->store->Get((*db)->roots[0]).ok());
+  EXPECT_GT((*db)->disk->stats().reads, 0u);
+  ASSERT_TRUE((*db)->ColdRestart().ok());
+  EXPECT_EQ((*db)->disk->stats().reads, 0u);
+  EXPECT_EQ((*db)->buffer->stats().requests(), 0u);
+  // Data still intact after restart.
+  auto obj = (*db)->store->Get((*db)->roots[0]);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->type_id, 1u);
+}
+
+TEST(AcobTest, RejectsBadOptions) {
+  AcobOptions options;
+  options.num_complex_objects = 0;
+  EXPECT_TRUE(BuildAcobDatabase(options).status().IsInvalidArgument());
+  options.num_complex_objects = 10;
+  options.sharing = 1.5;
+  EXPECT_TRUE(BuildAcobDatabase(options).status().IsInvalidArgument());
+  options.sharing = 0;
+  options.levels = 0;
+  EXPECT_TRUE(BuildAcobDatabase(options).status().IsInvalidArgument());
+}
+
+TEST(AcobTest, ExtentTooSmallDetected) {
+  AcobOptions options;
+  options.num_complex_objects = 10000;
+  options.clustering = Clustering::kInterObject;
+  options.cluster_extent_pages = 10;
+  EXPECT_TRUE(BuildAcobDatabase(options).status().IsInvalidArgument());
+}
+
+TEST(AcobTest, PaperObjectShape) {
+  AcobOptions options;
+  options.num_complex_objects = 3;
+  auto db = BuildAcobDatabase(options);
+  ASSERT_TRUE(db.ok());
+  auto obj = (*db)->store->Get((*db)->roots[0]);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->fields.size(), 4u);
+  EXPECT_EQ(obj->refs.size(), 8u);
+  EXPECT_EQ(obj->SerializedSize(), 96u);  // the paper's record size
+}
+
+// ----------------------------------------------------------- genealogy
+
+TEST(GenealogyTest, BuildProperties) {
+  GenealogyOptions options;
+  options.num_people = 200;
+  auto db = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->persons.size(), 200u);
+  EXPECT_TRUE((*db)->tmpl.Validate().ok());
+  EXPECT_FALSE((*db)->tmpl.IsRecursive());
+  EXPECT_EQ((*db)->tmpl.ReachableNodeCount(), 4u);  // Figure 2's shape
+}
+
+TEST(GenealogyTest, FathersPrecedeChildren) {
+  GenealogyOptions options;
+  options.num_people = 100;
+  auto db = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(db.ok());
+  std::unordered_set<Oid> seen;
+  for (Oid oid : (*db)->persons) {
+    auto person = (*db)->store->Get(oid);
+    ASSERT_TRUE(person.ok());
+    Oid father = person->refs[kPersonFatherSlot];
+    if (father != kInvalidOid) {
+      EXPECT_TRUE(seen.contains(father)) << "father of " << oid;
+    }
+    // Everyone has a residence.
+    EXPECT_NE(person->refs[kPersonResidenceSlot], kInvalidOid);
+    seen.insert(oid);
+  }
+}
+
+TEST(GenealogyTest, NaiveQueryFindsSameCityPairs) {
+  GenealogyOptions options;
+  options.num_people = 300;
+  options.same_city_fraction = 0.5;
+  auto db = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(db.ok());
+  auto matches = LivesCloseToFatherNaive(db->get());
+  ASSERT_TRUE(matches.ok());
+  EXPECT_GT(matches->size(), 0u);
+  EXPECT_LT(matches->size(), 300u);
+  // Verify each reported match truly lives in the father's city.
+  for (Oid oid : *matches) {
+    auto person = (*db)->store->Get(oid);
+    ASSERT_TRUE(person.ok());
+    auto father = (*db)->store->Get(person->refs[kPersonFatherSlot]);
+    ASSERT_TRUE(father.ok());
+    auto res = (*db)->store->Get(person->refs[kPersonResidenceSlot]);
+    auto fres = (*db)->store->Get(father->refs[kPersonResidenceSlot]);
+    ASSERT_TRUE(res.ok() && fres.ok());
+    EXPECT_EQ(res->fields[kResidenceCityField],
+              fres->fields[kResidenceCityField]);
+  }
+}
+
+// ----------------------------------------------------------------- CAD
+
+TEST(CadTest, BuildProperties) {
+  CadOptions options;
+  options.num_assemblies = 20;
+  auto db = BuildCadDatabase(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->roots.size(), 20u);
+  EXPECT_EQ((*db)->standard_parts.size(), 40u);
+  EXPECT_TRUE((*db)->tmpl.Validate().ok());
+  EXPECT_TRUE((*db)->tmpl.IsRecursive());
+}
+
+TEST(CadTest, NaiveAssemblyBoundedByDepth) {
+  CadOptions options;
+  options.num_assemblies = 5;
+  options.depth = 3;
+  options.fanout = 2;
+  auto db = BuildCadDatabase(options);
+  ASSERT_TRUE(db.ok());
+  NaiveAssembler naive((*db)->store.get(), &(*db)->tmpl);
+  ObjectArena arena;
+  auto obj = naive.AssembleOne((*db)->roots[0], &arena);
+  ASSERT_TRUE(obj.ok());
+  ASSERT_NE(*obj, nullptr);
+  size_t count = CountAssembled(*obj);
+  // Full binary BOM of depth 3: at most 2^0+2^1+2^2+2^3 = 15 distinct
+  // parts (fewer when standard parts are shared).
+  EXPECT_GT(count, 1u);
+  EXPECT_LE(count, 15u);
+}
+
+TEST(CadTest, StandardPartsShared) {
+  CadOptions options;
+  options.num_assemblies = 30;
+  options.standard_fraction = 1.0;  // all leaves standard
+  options.depth = 2;
+  options.fanout = 2;
+  auto db = BuildCadDatabase(options);
+  ASSERT_TRUE(db.ok());
+  std::unordered_set<Oid> pool((*db)->standard_parts.begin(),
+                               (*db)->standard_parts.end());
+  NaiveAssembler naive((*db)->store.get(), &(*db)->tmpl);
+  ObjectArena arena;
+  for (Oid root : (*db)->roots) {
+    auto obj = naive.AssembleOne(root, &arena);
+    ASSERT_TRUE(obj.ok());
+    VisitAssembled(*obj, [&](const AssembledObject& node) {
+      if (node.fields[kPartLevelField] == options.depth) {
+        EXPECT_TRUE(pool.contains(node.oid));
+      }
+    });
+  }
+}
+
+TEST(CadTest, RejectsBadOptions) {
+  CadOptions options;
+  options.fanout = 9;
+  EXPECT_TRUE(BuildCadDatabase(options).status().IsInvalidArgument());
+  options.fanout = 2;
+  options.depth = 0;
+  EXPECT_TRUE(BuildCadDatabase(options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cobra
