@@ -16,9 +16,11 @@
 #include "bench_util.h"
 #include "stats/histogram.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;         // NOLINT: benchmark brevity
   using namespace cobra::bench;  // NOLINT
+
+  JsonReporter reporter("ablations", argc, argv);
 
   // ---------------- A. predicate prioritization ------------------------
   {
@@ -62,6 +64,16 @@ int main() {
                       FmtInt(result.assembly.objects_fetched),
                       FmtInt(result.disk.reads), Fmt(result.avg_seek()),
                       FmtInt(result.assembly.complex_emitted)});
+        obs::JsonValue extra = obs::JsonValue::MakeObject();
+        extra.Set("ablation", "predicate_prioritization");
+        extra.Set("scheduler", SchedulerKindName(config.scheduler));
+        extra.Set("window_size", config.window);
+        extra.Set("prioritize_predicates", priority);
+        reporter.AddRun(std::string("A: ") +
+                            SchedulerKindName(config.scheduler) + " W=" +
+                            std::to_string(config.window) +
+                            (priority ? ", rejection-first" : ", template"),
+                        result, std::move(extra));
       }
     }
     table.Print(std::cout);
@@ -89,11 +101,15 @@ int main() {
       AssemblyOptions aopts;
       aopts.window_size = 50;
       RunResult result = RunAssembly(db.get(), aopts);
-      table.AddRow({policy == ReplacementKind::kLru ? "LRU" : "Clock",
-                    FmtInt(result.disk.reads),
+      const char* name = policy == ReplacementKind::kLru ? "LRU" : "Clock";
+      table.AddRow({name, FmtInt(result.disk.reads),
                     FmtInt(result.refetched_pages),
                     Fmt(result.buffer.HitRate() * 100, 1) + "%",
                     Fmt(result.avg_seek())});
+      obs::JsonValue extra = obs::JsonValue::MakeObject();
+      extra.Set("ablation", "replacement_policy");
+      extra.Set("policy", name);
+      reporter.AddRun(std::string("B: ") + name, result, std::move(extra));
     }
     table.Print(std::cout);
     std::printf(
@@ -125,7 +141,16 @@ int main() {
       auto run_at = [&](size_t window) {
         AssemblyOptions aopts;
         aopts.window_size = window;
-        return RunAssembly(db.get(), aopts).avg_seek();
+        RunResult result = RunAssembly(db.get(), aopts);
+        obs::JsonValue extra = obs::JsonValue::MakeObject();
+        extra.Set("ablation", "window_advisor");
+        extra.Set("budget_frames", budget);
+        extra.Set("advised_window", advised);
+        extra.Set("window_size", window);
+        reporter.AddRun("C: budget=" + std::to_string(budget) +
+                            ", W=" + std::to_string(window),
+                        result, std::move(extra));
+        return result.avg_seek();
       };
       table.AddRow({FmtInt(budget),
                     FmtInt(advised), Fmt(run_at(advised)), Fmt(run_at(1)),
@@ -183,5 +208,5 @@ int main() {
         "the elevator converts the fat middle of the DF distribution into\n"
         "near-zero seeks; only sweep turnarounds remain long.\n");
   }
-  return 0;
+  return reporter.Finish();
 }

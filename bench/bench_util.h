@@ -6,10 +6,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "assembly/assembly_operator.h"
 #include "exec/scan.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
+#include "stats/histogram.h"
 #include "stats/metrics.h"
 #include "workload/acob.h"
 
@@ -30,20 +37,45 @@ struct RunResult {
   BufferStats buffer;
   AssemblyStats assembly;
   size_t refetched_pages = 0;  // faults on pages already faulted before
+  SeekHistogram read_seeks;    // seek-distance distribution (read trace)
+  obs::JsonValue registry;     // telemetry registry snapshot
 
   double avg_seek() const { return disk.AvgSeekPerRead(); }
+  double avg_write_seek() const { return disk.AvgSeekPerWrite(); }
+
+  // Full JSON export: stats, derived metrics, seek-distance quantiles and
+  // the registry snapshot.
+  obs::JsonValue ToJson(const std::string& label) const {
+    RunMetrics metrics;
+    metrics.label = label;
+    metrics.disk = disk;
+    metrics.buffer = buffer;
+    metrics.assembly = assembly;
+    metrics.read_seeks = read_seeks;
+    obs::JsonValue out = obs::ToJson(metrics);
+    out.Set("refetched_pages", refetched_pages);
+    if (!registry.is_null()) out.Set("registry", registry);
+    return out;
+  }
 };
 
 // Cold-restarts `db`, assembles every root with `options`, and returns the
 // measurement.  Aborts the benchmark on error (benchmarks are not supposed
-// to fail silently).
+// to fail silently).  Every run records the disk read trace (for the
+// seek-distance histogram) and publishes into a fresh telemetry registry.
 inline RunResult RunAssembly(AcobDatabase* db, AssemblyOptions options) {
   if (auto s = db->ColdRestart(); !s.ok()) {
     std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
     std::exit(1);
   }
+  obs::Registry registry;
+  obs::RegistryPublisher publisher(&registry);
+  db->disk->EnableReadTrace(true);
+  db->disk->set_listener(&publisher);
+  db->buffer->set_listener(&publisher);
   AssemblyOperator op(RootScan(db->roots), &db->tmpl, db->store.get(),
                       options);
+  op.set_observer(&publisher);
   if (auto s = op.Open(); !s.ok()) {
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     std::exit(1);
@@ -64,9 +96,86 @@ inline RunResult RunAssembly(AcobDatabase* db, AssemblyOptions options) {
   result.assembly = op.stats();
   result.refetched_pages = static_cast<size_t>(
       result.buffer.faults - db->buffer->unique_pages_faulted());
+  result.read_seeks = SeekHistogram::FromReadTrace(db->disk->read_trace());
+  result.registry = registry.ToJson();
   (void)op.Close();
+  // The publisher is stack-local; detach before it goes out of scope (the
+  // database outlives this run).
+  db->disk->set_listener(nullptr);
+  db->buffer->set_listener(nullptr);
+  db->disk->EnableReadTrace(false);
   return result;
 }
+
+// Machine-readable bench output.  Construct with argv; when the user passed
+// `--json <path>` (or `--json=<path>`), every AddRun() accumulates into a
+// document written by Finish():
+//
+//   {"bench": "...", "runs": [{"label": ..., "avg_seek": ...,
+//                              "seek_histogram": {"p50": ...}, ...}]}
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_name, int argc, char** argv)
+      : doc_(obs::JsonValue::MakeObject()) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      } else if (arg == "--json") {
+        std::fprintf(stderr, "--json requires a path argument\n");
+      }
+    }
+    doc_.Set("bench", std::move(bench_name));
+    doc_.Set("runs", obs::JsonValue::MakeArray());
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Top-level metadata (database size, scheduler, ...).
+  void Set(const std::string& key, obs::JsonValue value) {
+    doc_.Set(key, std::move(value));
+  }
+
+  // Records one measured configuration.  `extra` members (e.g. the swept
+  // parameter) are spliced into the run object after the standard fields.
+  void AddRun(const std::string& label, const RunResult& result,
+              obs::JsonValue extra = obs::JsonValue()) {
+    if (!enabled()) return;
+    obs::JsonValue run = result.ToJson(label);
+    if (extra.is_object()) {
+      for (auto& member : extra.AsObject()) {
+        run.Set(member.first, std::move(member.second));
+      }
+    }
+    doc_["runs"].Append(std::move(run));
+  }
+
+  // Records a run object the bench built itself (for benches whose result
+  // shape differs from RunResult, e.g. stacked pipelines).
+  void AddRaw(obs::JsonValue run) {
+    if (!enabled()) return;
+    doc_["runs"].Append(std::move(run));
+  }
+
+  // Writes the document if --json was requested.  Returns a process exit
+  // code so `return reporter.Finish();` works from main().
+  int Finish() {
+    if (!enabled()) return 0;
+    if (auto s = obs::WriteJsonFile(path_, doc_); !s.ok()) {
+      std::fprintf(stderr, "writing %s failed: %s\n", path_.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", path_.c_str());
+    return 0;
+  }
+
+ private:
+  std::string path_;
+  obs::JsonValue doc_;
+};
 
 // Builds a benchmark database, exiting on failure.
 inline std::unique_ptr<AcobDatabase> MustBuild(const AcobOptions& options) {

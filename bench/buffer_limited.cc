@@ -13,9 +13,12 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;         // NOLINT: benchmark brevity
   using namespace cobra::bench;  // NOLINT
+
+  JsonReporter reporter("buffer_limited", argc, argv);
+  reporter.Set("num_complex_objects", 1000);
 
   std::printf(
       "Buffer-limited assembly (unclustered, 1000 complex objects, "
@@ -39,6 +42,12 @@ int main() {
       table.AddRow({FmtInt(window), FmtInt(result.disk.reads),
                     FmtInt(result.refetched_pages), Fmt(result.avg_seek()),
                     Fmt(result.buffer.HitRate() * 100, 1) + "%"});
+      obs::JsonValue extra = obs::JsonValue::MakeObject();
+      extra.Set("buffer_frames", frames);
+      extra.Set("window_size", window);
+      reporter.AddRun("frames=" + std::to_string(frames) +
+                          ", W=" + std::to_string(window),
+                      result, std::move(extra));
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -47,5 +56,5 @@ int main() {
       "shape check: with a tight pool, growing the window first helps\n"
       "(better sweeps) then hurts (re-reads) — the window/buffer tuning\n"
       "the paper anticipates in §7.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -15,9 +15,12 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;         // NOLINT: benchmark brevity
   using namespace cobra::bench;  // NOLINT
+
+  JsonReporter reporter("buffer_usage", argc, argv);
+  reporter.Set("num_complex_objects", 1000);
 
   std::printf(
       "Buffer usage vs. window size (unclustered, 1000 complex objects)\n");
@@ -36,10 +39,14 @@ int main() {
     table.AddRow({FmtInt(window), FmtInt(result.assembly.max_window_pages),
                   FmtInt(6 * (window - 1) + 7),
                   FmtInt(result.assembly.max_pool_size)});
+    obs::JsonValue extra = obs::JsonValue::MakeObject();
+    extra.Set("window_size", window);
+    extra.Set("paper_bound_pages", 6 * (window - 1) + 7);
+    reporter.AddRun("W=" + std::to_string(window), result, std::move(extra));
   }
   table.Print(std::cout);
   std::printf(
       "\nmeasured usage stays at or below the paper's worst-case bound\n"
       "(components co-resident on pages make the real footprint smaller).\n");
-  return 0;
+  return reporter.Finish();
 }

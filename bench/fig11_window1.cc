@@ -16,7 +16,7 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;         // NOLINT: benchmark brevity
   using namespace cobra::bench;  // NOLINT
 
@@ -24,6 +24,9 @@ int main() {
   const SchedulerKind kSchedulers[] = {SchedulerKind::kBreadthFirst,
                                        SchedulerKind::kDepthFirst,
                                        SchedulerKind::kElevator};
+
+  JsonReporter reporter("fig11_window1", argc, argv);
+  reporter.Set("window_size", 1);
 
   for (Clustering clustering :
        {Clustering::kInterObject, Clustering::kIntraObject,
@@ -45,11 +48,19 @@ int main() {
         aopts.scheduler = scheduler;
         RunResult result = RunAssembly(db.get(), aopts);
         row.push_back(Fmt(result.avg_seek()));
+        obs::JsonValue extra = obs::JsonValue::MakeObject();
+        extra.Set("clustering", ClusteringName(clustering));
+        extra.Set("scheduler", SchedulerKindName(scheduler));
+        extra.Set("num_complex_objects", size);
+        reporter.AddRun(std::string(ClusteringName(clustering)) + ", " +
+                            SchedulerKindName(scheduler) + ", N=" +
+                            std::to_string(size),
+                        result, std::move(extra));
       }
       table.AddRow(row);
     }
     table.Print(std::cout);
     std::printf("\n");
   }
-  return 0;
+  return reporter.Finish();
 }

@@ -11,11 +11,15 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;         // NOLINT: benchmark brevity
   using namespace cobra::bench;  // NOLINT
 
   const size_t kWindows[] = {1, 50, 100, 150, 200};
+
+  JsonReporter reporter("fig14_window_sweep", argc, argv);
+  reporter.Set("num_complex_objects", 4000);
+  reporter.Set("scheduler", "elevator");
 
   std::printf(
       "Figure 14 — database = 4000 complex objects, elevator scheduling\n");
@@ -37,6 +41,12 @@ int main() {
       aopts.scheduler = SchedulerKind::kElevator;
       RunResult result = RunAssembly(db.get(), aopts);
       row.push_back(Fmt(result.avg_seek()));
+      obs::JsonValue extra = obs::JsonValue::MakeObject();
+      extra.Set("clustering", ClusteringName(clustering));
+      extra.Set("window_size", window);
+      reporter.AddRun(std::string(ClusteringName(clustering)) +
+                          ", W=" + std::to_string(window),
+                      result, std::move(extra));
     }
     table.AddRow(row);
   }
@@ -44,5 +54,5 @@ int main() {
   std::printf(
       "\nshape check: the large drop happens before W=50; further window\n"
       "growth buys little (diminishing returns, §6.3.3).\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -21,11 +21,15 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;         // NOLINT: benchmark brevity
   using namespace cobra::bench;  // NOLINT
 
   const size_t kSizes[] = {1000, 2000, 3000, 4000};
+
+  JsonReporter reporter("fig15_sharing", argc, argv);
+  reporter.Set("sharing", 0.25);
+  reporter.Set("buffer_frames", 256);
 
   struct Config {
     const char* label;
@@ -64,6 +68,16 @@ int main() {
         aopts.use_sharing_statistics = config.sharing_stats;
         RunResult result = RunAssembly(db.get(), aopts);
         if (metric[0] == 'a') {
+          // Each (config, size) cell is re-measured per metric view; export
+          // it once, on the first pass.
+          obs::JsonValue extra = obs::JsonValue::MakeObject();
+          extra.Set("scheduler", SchedulerKindName(config.scheduler));
+          extra.Set("window_size", config.window);
+          extra.Set("sharing_statistics", config.sharing_stats);
+          extra.Set("num_complex_objects", size);
+          reporter.AddRun(std::string(config.label) + ", N=" +
+                              std::to_string(size),
+                          result, std::move(extra));
           row.push_back(Fmt(result.avg_seek()));
         } else if (metric[6] == 'r') {
           row.push_back(FmtInt(result.disk.reads));
@@ -77,5 +91,5 @@ int main() {
     table.Print(std::cout);
     std::printf("\n");
   }
-  return 0;
+  return reporter.Finish();
 }

@@ -16,11 +16,14 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;         // NOLINT: benchmark brevity
   using namespace cobra::bench;  // NOLINT
 
   const double kSelectivities[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+
+  JsonReporter reporter("fig16_selectivity", argc, argv);
+  reporter.Set("num_complex_objects", 2000);
 
   std::printf(
       "Figure 16 — predicates and selectivity (inter-object, 2000 complex "
@@ -61,6 +64,13 @@ int main() {
       aopts.prioritize_predicates = true;
       RunResult result = RunAssembly(db.get(), aopts);
       row.push_back(Fmt(result.avg_seek()));
+      obs::JsonValue extra = obs::JsonValue::MakeObject();
+      extra.Set("scheduler", SchedulerKindName(config.scheduler));
+      extra.Set("window_size", config.window);
+      extra.Set("selectivity", selectivity);
+      reporter.AddRun(std::string(config.label) + ", sel=" +
+                          Fmt(selectivity * 100, 0) + "%",
+                      result, std::move(extra));
     }
     table.AddRow(row);
   }
@@ -89,5 +99,5 @@ int main() {
                   FmtInt(result.assembly.objects_fetched)});
   }
   reads.Print(std::cout);
-  return 0;
+  return reporter.Finish();
 }

@@ -14,6 +14,9 @@
 #include "index/btree.h"
 #include "object/directory.h"
 #include "object/object_store.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
 #include "storage/disk.h"
 #include "workload/acob.h"
 
@@ -130,6 +133,84 @@ void BM_IteratorPipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IteratorPipeline);
+
+// Telemetry overhead when *disabled*: the same 3-operator pipeline with and
+// without ProfiledIterator wrappers.  The unwrapped run is the null-check
+// baseline the profiled variant is compared against.
+void BM_IteratorPipelineProfiled(benchmark::State& state) {
+  std::vector<exec::Row> rows;
+  for (int i = 0; i < 1000; ++i) {
+    rows.push_back(exec::Row{exec::Value::Int(i)});
+  }
+  for (auto _ : state) {
+    auto scan = std::make_unique<exec::VectorScan>(rows);
+    auto filter = std::make_unique<exec::Filter>(
+        std::move(scan),
+        exec::Cmp(exec::CmpOp::kLt, exec::Col(0), exec::LitInt(500)));
+    auto limit =
+        std::make_unique<exec::Limit>(std::move(filter), 400);
+    obs::ProfiledIterator profiled(std::move(limit),
+                                   obs::SteadyClock::Default());
+    auto out = exec::DrainAll(&profiled);
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_IteratorPipelineProfiled);
+
+// Assembly with no observer attached vs. a registry publisher: the delta is
+// the cost of the per-event null check plus instrument updates.  With
+// observer == nullptr the Notify path is a single pointer test.
+void BM_AssemblyObserverOverhead(benchmark::State& state) {
+  const bool observed = state.range(0) != 0;
+  AcobOptions options;
+  options.num_complex_objects = 500;
+  options.clustering = Clustering::kIntraObject;  // minimal I/O noise
+  auto db = BuildAcobDatabase(options);
+  if (!db.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  obs::Registry registry;
+  obs::RegistryPublisher publisher(&registry);
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (auto s = (*db)->ColdRestart(); !s.ok()) {
+      state.SkipWithError("restart failed");
+      return;
+    }
+    std::vector<exec::Row> roots;
+    for (Oid oid : (*db)->roots) {
+      roots.push_back(exec::Row{exec::Value::Ref(oid)});
+    }
+    state.ResumeTiming();
+    AssemblyOperator op(
+        std::make_unique<exec::VectorScan>(std::move(roots)), &(*db)->tmpl,
+        (*db)->store.get(),
+        AssemblyOptions{.window_size = 50,
+                        .scheduler = SchedulerKind::kElevator});
+    if (observed) op.set_observer(&publisher);
+    if (!op.Open().ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    exec::Row row;
+    for (;;) {
+      auto has = op.Next(&row);
+      if (!has.ok()) {
+        state.SkipWithError("next failed");
+        return;
+      }
+      if (!*has) break;
+    }
+    (void)op.Close();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(options.num_complex_objects));
+}
+BENCHMARK(BM_AssemblyObserverOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AssemblyPerComplexObject(benchmark::State& state) {
   AcobOptions options;

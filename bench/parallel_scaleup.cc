@@ -12,10 +12,15 @@
 #include <iostream>
 
 #include "assembly/parallel.h"
+#include "bench_util.h"
 #include "stats/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;  // NOLINT: benchmark brevity
+
+  cobra::bench::JsonReporter reporter("parallel_scaleup", argc, argv);
+  reporter.Set("num_complex_objects", 4000);
+  reporter.Set("window_size", 50);
 
   for (Clustering clustering :
        {Clustering::kUnclustered, Clustering::kInterObject}) {
@@ -63,6 +68,17 @@ int main() {
                     FmtInt(stats.MakespanSeekPages()),
                     Fmt(stats.SpeedupOver(single_seek), 2) + "x",
                     Fmt(stats.Imbalance(), 2)});
+      cobra::obs::JsonValue run = cobra::obs::JsonValue::MakeObject();
+      run.Set("label", std::string(ClusteringName(clustering)) +
+                           ", devices=" + std::to_string(devices));
+      run.Set("clustering", ClusteringName(clustering));
+      run.Set("devices", devices);
+      run.Set("total_reads", stats.TotalReads());
+      run.Set("total_seek_pages", stats.TotalSeekPages());
+      run.Set("makespan_seek_pages", stats.MakespanSeekPages());
+      run.Set("speedup", stats.SpeedupOver(single_seek));
+      run.Set("imbalance", stats.Imbalance());
+      reporter.AddRaw(std::move(run));
     }
     table.Print(std::cout);
     std::printf("\n");
@@ -71,5 +87,5 @@ int main() {
       "speedups exceed the device count because each partition is also\n"
       "physically smaller (shorter spans shrink every seek) — the paper's\n"
       "partitioning argument compounding with the elevator's sweep.\n");
-  return 0;
+  return reporter.Finish();
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.h"
 #include "exec/expr.h"
 #include "exec/filter_project.h"
 #include "exec/pointer_join.h"
@@ -18,8 +19,19 @@
 #include "stats/metrics.h"
 #include "workload/genealogy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;  // NOLINT: benchmark brevity
+
+  cobra::bench::JsonReporter reporter("pointer_join_compare", argc, argv);
+  auto add_plan = [&reporter](const std::string& label, size_t matches,
+                              const DiskStats& disk) {
+    cobra::obs::JsonValue run = cobra::obs::JsonValue::MakeObject();
+    run.Set("label", label);
+    run.Set("matches", matches);
+    run.Set("avg_seek", disk.AvgSeekPerRead());
+    run.Set("disk", cobra::obs::ToJson(disk));
+    reporter.AddRaw(std::move(run));
+  };
 
   GenealogyOptions options;
   options.num_people = 4000;
@@ -46,6 +58,7 @@ int main() {
     table.AddRow({"naive methods (object-at-a-time)",
                   FmtInt(matches->size()), FmtInt((*db)->disk->stats().reads),
                   Fmt((*db)->disk->stats().AvgSeekPerRead())});
+    add_plan("naive methods", matches->size(), (*db)->disk->stats());
   }
 
   // --- pointer-join pipeline ------------------------------------------
@@ -116,6 +129,7 @@ int main() {
     table.AddRow({"pointer joins (input order)", FmtInt(matches),
                   FmtInt((*db)->disk->stats().reads),
                   Fmt((*db)->disk->stats().AvgSeekPerRead())});
+    add_plan("pointer joins", matches, (*db)->disk->stats());
   }
 
   // --- assembly plans ---------------------------------------------------
@@ -138,11 +152,13 @@ int main() {
     table.AddRow({"assembly, elevator W=" + std::to_string(window),
                   FmtInt(matches), FmtInt((*db)->disk->stats().reads),
                   Fmt((*db)->disk->stats().AvgSeekPerRead())});
+    add_plan("assembly, elevator W=" + std::to_string(window), matches,
+             (*db)->disk->stats());
   }
 
   table.Print(std::cout);
   std::printf(
       "\nall plans agree on the match count; the wide-window assembly\n"
       "sweeps the person/residence clusters instead of ping-ponging.\n");
-  return 0;
+  return reporter.Finish();
 }

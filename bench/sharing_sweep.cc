@@ -10,11 +10,15 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cobra;         // NOLINT: benchmark brevity
   using namespace cobra::bench;  // NOLINT
 
   const double kDegrees[] = {0.05, 0.10, 0.25, 0.50};
+
+  JsonReporter reporter("sharing_sweep", argc, argv);
+  reporter.Set("num_complex_objects", 2000);
+  reporter.Set("buffer_frames", 128);
 
   std::printf(
       "Sharing-degree sweep (inter-object clustering, 2000 complex objects, "
@@ -41,11 +45,17 @@ int main() {
                     FmtInt(result.disk.reads), Fmt(result.avg_seek()),
                     FmtInt(result.assembly.shared_hits),
                     FmtInt(result.assembly.objects_fetched)});
+      obs::JsonValue extra = obs::JsonValue::MakeObject();
+      extra.Set("sharing", degree);
+      extra.Set("sharing_statistics", stats_on);
+      reporter.AddRun("sharing=" + Fmt(degree * 100, 0) + "%, stats " +
+                          (stats_on ? "on" : "off"),
+                      result, std::move(extra));
     }
   }
   table.Print(std::cout);
   std::printf(
       "\nwith statistics on, every shared leaf is fetched once per run;\n"
       "off, it is fetched once per referencing complex object.\n");
-  return 0;
+  return reporter.Finish();
 }

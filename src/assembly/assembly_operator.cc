@@ -80,6 +80,8 @@ void AssemblyOperator::Notify(AssemblyEvent::Kind kind, uint64_t complex_id,
   event.oid = oid;
   event.page = page;
   event.node = node;
+  event.window_occupancy = in_flight_.size();
+  event.pool_size = scheduler_ != nullptr ? scheduler_->Size() : 0;
   observer_->OnEvent(event);
 }
 

@@ -93,13 +93,20 @@ Result<size_t> BufferManager::ObtainFrame() {
     return Status::ResourceExhausted("all buffer frames are pinned");
   }
   size_t frame_index = *victim;
+  bool was_dirty = frames_[frame_index].dirty;
   COBRA_RETURN_IF_ERROR(WriteBack(frame_index));
   Frame& frame = frames_[frame_index];
   page_table_.erase(frame.page_id);
   policy_->Remove(frame_index);
   frame.valid = false;
+  PageId evicted = frame.page_id;
   frame.page_id = kInvalidPageId;
   stats_.evictions++;
+  if (listener_ != nullptr) {
+    // `dirty` here reports whether the victim needed a write-back (WriteBack
+    // above already cleared the flag after flushing).
+    listener_->OnBufferEviction(evicted, was_dirty);
+  }
   return frame_index;
 }
 
@@ -107,6 +114,7 @@ Result<PageGuard> BufferManager::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     stats_.hits++;
+    if (listener_ != nullptr) listener_->OnBufferHit(id);
     size_t frame_index = it->second;
     policy_->RecordAccess(frame_index);
     NotePin(&frames_[frame_index]);
@@ -121,6 +129,7 @@ Result<PageGuard> BufferManager::FetchPage(PageId id) {
     return read;
   }
   stats_.faults++;
+  if (listener_ != nullptr) listener_->OnBufferFault(id);
   faulted_pages_.insert(id);
   frame.page_id = id;
   frame.valid = true;

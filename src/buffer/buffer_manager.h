@@ -48,6 +48,17 @@ struct BufferStats {
 
 class BufferManager;
 
+// Per-request event hook (telemetry).  Hit/fault fire on FetchPage,
+// eviction fires whenever a victim frame is recycled.  Implementations must
+// not touch the buffer manager re-entrantly.
+class BufferEventListener {
+ public:
+  virtual ~BufferEventListener() = default;
+  virtual void OnBufferHit(PageId page) = 0;
+  virtual void OnBufferFault(PageId page) = 0;
+  virtual void OnBufferEviction(PageId page, bool dirty) = 0;
+};
+
 // RAII pin on a buffer frame.  Movable, not copyable.
 class PageGuard {
  public:
@@ -113,6 +124,10 @@ class BufferManager {
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats(); }
 
+  // Optional telemetry listener (borrowed; must outlive the manager or be
+  // cleared).  Null disables the hook.
+  void set_listener(BufferEventListener* listener) { listener_ = listener; }
+
   // Distinct pages ever faulted in since the last ResetFetchTrace(); the
   // difference (faults - unique) counts *re-reads*, the §7 buffer-pressure
   // metric.
@@ -148,6 +163,7 @@ class BufferManager {
   std::unordered_set<PageId> faulted_pages_;
   size_t pinned_frames_ = 0;
   BufferStats stats_;
+  BufferEventListener* listener_ = nullptr;
 };
 
 }  // namespace cobra

@@ -2,6 +2,7 @@
 
 #include "exec/distinct.h"
 #include "exec/filter_project.h"
+#include "obs/profile.h"
 
 namespace cobra::exec {
 namespace {
@@ -71,18 +72,44 @@ PlanBuilder PlanBuilder::ScanBTree(const BTree* tree, uint64_t lo,
   return builder;
 }
 
+std::unique_ptr<Iterator> PlanBuilder::MaybeProfile(
+    std::unique_ptr<Iterator> op) {
+  if (!profiling_) return op;
+  auto profiled =
+      std::make_unique<obs::ProfiledIterator>(std::move(op), profile_clock_);
+  line_profilers_.insert(line_profilers_.begin(), profiled.get());
+  return profiled;
+}
+
+PlanBuilder PlanBuilder::Profile(const cobra::obs::Clock* clock) && {
+  profiling_ = true;
+  profile_clock_ = clock;
+  line_profilers_.assign(explain_lines_.size(), nullptr);
+  auto profiled =
+      std::make_unique<obs::ProfiledIterator>(std::move(root_), clock);
+  if (!line_profilers_.empty()) line_profilers_[0] = profiled.get();
+  root_ = std::move(profiled);
+  return std::move(*this);
+}
+
 void PlanBuilder::Wrap(std::unique_ptr<Iterator> op, std::string label) {
-  root_ = std::move(op);
+  // Pad the profiler column to the pre-wrap line count, then prepend the
+  // new operator's slot so it stays parallel to explain_lines_.
+  line_profilers_.resize(explain_lines_.size(), nullptr);
+  root_ = MaybeProfile(std::move(op));
   std::vector<std::string> lines = {std::move(label)};
   for (std::string& line : IndentChild(explain_lines_, /*last_child=*/true)) {
     lines.push_back(std::move(line));
   }
   explain_lines_ = std::move(lines);
+  if (!profiling_) line_profilers_.insert(line_profilers_.begin(), nullptr);
 }
 
 void PlanBuilder::WrapBinary(std::unique_ptr<Iterator> op, std::string label,
                              PlanBuilder right) {
-  root_ = std::move(op);
+  line_profilers_.resize(explain_lines_.size(), nullptr);
+  right.line_profilers_.resize(right.explain_lines_.size(), nullptr);
+  root_ = MaybeProfile(std::move(op));
   std::vector<std::string> lines = {std::move(label)};
   for (std::string& line :
        IndentChild(explain_lines_, /*last_child=*/false)) {
@@ -93,6 +120,10 @@ void PlanBuilder::WrapBinary(std::unique_ptr<Iterator> op, std::string label,
     lines.push_back(std::move(line));
   }
   explain_lines_ = std::move(lines);
+  if (!profiling_) line_profilers_.insert(line_profilers_.begin(), nullptr);
+  line_profilers_.insert(line_profilers_.end(),
+                         right.line_profilers_.begin(),
+                         right.line_profilers_.end());
   if (right.last_assembly_ != nullptr) {
     last_assembly_ = right.last_assembly_;
   }
@@ -192,5 +223,21 @@ std::string PlanBuilder::Explain() const {
   }
   return out;
 }
+
+std::string PlanBuilder::ExplainAnalyze() const {
+  std::string out;
+  for (size_t i = 0; i < explain_lines_.size(); ++i) {
+    out += explain_lines_[i];
+    if (i < line_profilers_.size() && line_profilers_[i] != nullptr) {
+      out += "  (";
+      out += line_profilers_[i]->Summary();
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Explain(const PlanBuilder& plan) { return plan.ExplainAnalyze(); }
 
 }  // namespace cobra::exec

@@ -33,6 +33,11 @@
 #include "index/btree.h"
 #include "object/object_store.h"
 
+namespace cobra::obs {
+class Clock;
+class ProfiledIterator;
+}  // namespace cobra::obs
+
 namespace cobra::exec {
 
 class PlanBuilder {
@@ -45,6 +50,14 @@ class PlanBuilder {
   static PlanBuilder ScanObjects(const HeapFile* file, size_t num_fields);
   static PlanBuilder ScanBTree(const BTree* tree, uint64_t lo,
                                std::optional<uint64_t> hi);
+
+  // --- profiling (EXPLAIN ANALYZE) ---
+  // Wraps the current root and every operator added afterwards in an
+  // obs::ProfiledIterator (rows, Next() calls, cumulative wall time).
+  // Call right after the leaf to profile the whole tree; `clock` nullptr
+  // means the real steady clock.  Un-profiled plans carry no decorators
+  // and pay nothing.
+  PlanBuilder Profile(const cobra::obs::Clock* clock = nullptr) &&;
 
   // --- unary operators (consume *this) ---
   PlanBuilder Filter(ExprPtr predicate) &&;
@@ -71,6 +84,14 @@ class PlanBuilder {
   // Renders the operator tree (valid before Build()).
   std::string Explain() const;
 
+  // EXPLAIN ANALYZE: the operator tree annotated per operator with
+  // `(next=N rows=M time=T)` from the Profile() decorators.  Identical to
+  // Explain() when the plan was built without Profile().  Valid after
+  // Build() + execution — Build() moves the operators out but the builder
+  // keeps its explain skeleton and borrowed profiler pointers, so the
+  // canonical sequence is: build, drain, then ExplainAnalyze().
+  std::string ExplainAnalyze() const;
+
   // The most recently added assembly operator (borrowed; owned by the
   // plan), for reading its statistics after execution.  Null if none.
   AssemblyOperator* last_assembly() const { return last_assembly_; }
@@ -83,10 +104,24 @@ class PlanBuilder {
   void WrapBinary(std::unique_ptr<Iterator> op, std::string label,
                   PlanBuilder right);
 
+  // Wraps `op` in a ProfiledIterator when profiling is on; records the
+  // profiler for explain line `line`.
+  std::unique_ptr<Iterator> MaybeProfile(std::unique_ptr<Iterator> op);
+
   std::unique_ptr<Iterator> root_;
   std::vector<std::string> explain_lines_;
+  // Parallel to explain_lines_: the profiler decorating the operator each
+  // line describes (nullptr for lines added while profiling was off).
+  // Borrowed from the plan; valid while the built plan is alive.
+  std::vector<cobra::obs::ProfiledIterator*> line_profilers_;
+  bool profiling_ = false;
+  const cobra::obs::Clock* profile_clock_ = nullptr;
   AssemblyOperator* last_assembly_ = nullptr;
 };
+
+// EXPLAIN [ANALYZE] entry point: renders `plan`'s operator tree, annotated
+// with per-operator row counts and timings when the plan was profiled.
+std::string Explain(const PlanBuilder& plan);
 
 }  // namespace cobra::exec
 

@@ -1,0 +1,55 @@
+#include "obs/export.h"
+
+namespace cobra::obs {
+
+JsonValue ToJson(const DiskStats& stats) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("reads", stats.reads);
+  out.Set("writes", stats.writes);
+  out.Set("read_seek_pages", stats.read_seek_pages);
+  out.Set("write_seek_pages", stats.write_seek_pages);
+  out.Set("avg_seek_per_read", stats.AvgSeekPerRead());
+  out.Set("avg_seek_per_write", stats.AvgSeekPerWrite());
+  return out;
+}
+
+JsonValue ToJson(const BufferStats& stats) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("hits", stats.hits);
+  out.Set("faults", stats.faults);
+  out.Set("evictions", stats.evictions);
+  out.Set("dirty_writebacks", stats.dirty_writebacks);
+  out.Set("max_pinned", stats.max_pinned);
+  out.Set("hit_rate", stats.HitRate());
+  return out;
+}
+
+JsonValue ToJson(const AssemblyStats& stats) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("objects_fetched", stats.objects_fetched);
+  out.Set("shared_hits", stats.shared_hits);
+  out.Set("prebuilt_hits", stats.prebuilt_hits);
+  out.Set("refs_resolved", stats.refs_resolved);
+  out.Set("complex_admitted", stats.complex_admitted);
+  out.Set("complex_emitted", stats.complex_emitted);
+  out.Set("complex_aborted", stats.complex_aborted);
+  out.Set("max_window_pages", stats.max_window_pages);
+  out.Set("max_pool_size", stats.max_pool_size);
+  return out;
+}
+
+JsonValue ToJson(const RunMetrics& metrics) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("label", metrics.label);
+  out.Set("avg_seek", metrics.avg_seek());
+  out.Set("avg_write_seek", metrics.avg_write_seek());
+  out.Set("disk", ToJson(metrics.disk));
+  out.Set("buffer", ToJson(metrics.buffer));
+  out.Set("assembly", ToJson(metrics.assembly));
+  if (metrics.read_seeks.count() > 0) {
+    out.Set("seek_histogram", HistogramToJson(metrics.read_seeks));
+  }
+  return out;
+}
+
+}  // namespace cobra::obs

@@ -1,0 +1,336 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace cobra::obs {
+namespace {
+
+void EscapeString(const std::string& in, std::string* out) {
+  out->push_back('"');
+  for (char ch : in) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Recursive-descent parser over [pos, text.size()).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    COBRA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char ch = text_[pos_];
+    if (ch == '{') return ParseObject(depth);
+    if (ch == '[') return ParseArray(depth);
+    if (ch == '"') {
+      COBRA_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::MakeObject();
+    SkipSpace();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      COBRA_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      COBRA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      obj.AsObject().emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::MakeArray();
+    SkipSpace();
+    if (Consume(']')) return arr;
+    for (;;) {
+      COBRA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      arr.AsArray().push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape digit");
+          }
+          // Minimal UTF-8 encoding of the BMP code point.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char ch = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(ch))) {
+        ++pos_;
+      } else if (ch == '.' || ch == 'e' || ch == 'E' || ch == '+' ||
+                 ch == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected a value");
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (integral) {
+      int64_t i = 0;
+      auto [ptr, ec] = std::from_chars(first, last, i);
+      if (ec == std::errc() && ptr == last) return JsonValue(i);
+    }
+    double d = 0;
+    auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || ptr != last) return Error("malformed number");
+    return JsonValue(d);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (is_null()) storage_ = Object{};
+  Object& obj = std::get<Object>(storage_);
+  for (Member& member : obj) {
+    if (member.first == key) return member.second;
+  }
+  obj.emplace_back(key, JsonValue());
+  return obj.back().second;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& member : AsObject()) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (is_null()) storage_ = Array{};
+  std::get<Array>(storage_).push_back(std::move(value));
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) return AsArray().size();
+  if (is_object()) return AsObject().size();
+  return 0;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  if (is_null()) {
+    *out += "null";
+  } else if (is_bool()) {
+    *out += AsBool() ? "true" : "false";
+  } else if (is_int()) {
+    *out += std::to_string(AsInt());
+  } else if (is_double()) {
+    double d = std::get<double>(storage_);
+    if (!std::isfinite(d)) {
+      *out += "null";  // JSON has no Inf/NaN
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      *out += buf;
+    }
+  } else if (is_string()) {
+    EscapeString(AsString(), out);
+  } else if (is_array()) {
+    const Array& arr = AsArray();
+    if (arr.empty()) {
+      *out += "[]";
+      return;
+    }
+    out->push_back('[');
+    for (size_t i = 0; i < arr.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      newline(depth + 1);
+      arr[i].DumpTo(out, indent, depth + 1);
+    }
+    newline(depth);
+    out->push_back(']');
+  } else {
+    const Object& obj = AsObject();
+    if (obj.empty()) {
+      *out += "{}";
+      return;
+    }
+    out->push_back('{');
+    for (size_t i = 0; i < obj.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      newline(depth + 1);
+      EscapeString(obj[i].first, out);
+      *out += indent > 0 ? ": " : ":";
+      obj[i].second.DumpTo(out, indent, depth + 1);
+    }
+    newline(depth);
+    out->push_back('}');
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& value) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  std::string text = value.Dump(2);
+  text.push_back('\n');
+  if (std::fwrite(text.data(), 1, text.size(), file.get()) != text.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::Internal("flush of '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace cobra::obs

@@ -1,0 +1,56 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace cobra::obs {
+
+ProfiledIterator::ProfiledIterator(std::unique_ptr<exec::Iterator> input,
+                                   const Clock* clock)
+    : input_(std::move(input)), clock_(OrDefault(clock)) {}
+
+Status ProfiledIterator::Open() {
+  next_calls_ = 0;
+  rows_ = 0;
+  total_nanos_ = 0;
+  uint64_t start = clock_->NowNanos();
+  Status status = input_->Open();
+  total_nanos_ += clock_->NowNanos() - start;
+  return status;
+}
+
+Result<bool> ProfiledIterator::Next(exec::Row* out) {
+  ++next_calls_;
+  uint64_t start = clock_->NowNanos();
+  Result<bool> has = input_->Next(out);
+  total_nanos_ += clock_->NowNanos() - start;
+  if (has.ok() && *has) ++rows_;
+  return has;
+}
+
+Status ProfiledIterator::Close() { return input_->Close(); }
+
+std::string FormatNanos(uint64_t nanos) {
+  char buf[32];
+  if (nanos < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(nanos));
+  } else if (nanos < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus",
+                  static_cast<double>(nanos) / 1e3);
+  } else if (nanos < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(nanos) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs",
+                  static_cast<double>(nanos) / 1e9);
+  }
+  return buf;
+}
+
+std::string ProfiledIterator::Summary() const {
+  return "next=" + std::to_string(next_calls_) +
+         " rows=" + std::to_string(rows_) +
+         " time=" + FormatNanos(total_nanos_);
+}
+
+}  // namespace cobra::obs

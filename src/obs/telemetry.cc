@@ -1,0 +1,81 @@
+#include "obs/telemetry.h"
+
+namespace cobra::obs {
+
+RegistryPublisher::RegistryPublisher(Registry* registry, const Clock* clock)
+    : clock_(OrDefault(clock)),
+      disk_reads_(registry->GetCounter("disk.reads")),
+      disk_writes_(registry->GetCounter("disk.writes")),
+      seek_distance_(registry->GetHistogram("disk.seek_distance")),
+      write_seek_distance_(registry->GetHistogram("disk.write_seek_distance")),
+      buffer_hits_(registry->GetCounter("buffer.hits")),
+      buffer_faults_(registry->GetCounter("buffer.faults")),
+      buffer_evictions_(registry->GetCounter("buffer.evictions")),
+      buffer_dirty_evictions_(registry->GetCounter("buffer.dirty_evictions")),
+      admitted_(registry->GetCounter("assembly.admitted")),
+      emitted_(registry->GetCounter("assembly.emitted")),
+      aborted_(registry->GetCounter("assembly.aborted")),
+      fetches_(registry->GetCounter("assembly.fetches")),
+      shared_hits_(registry->GetCounter("assembly.shared_hits")),
+      prebuilt_hits_(registry->GetCounter("assembly.prebuilt_hits")),
+      window_occupancy_(registry->GetGauge("assembly.window_occupancy")),
+      pool_size_(registry->GetGauge("assembly.pool_size")),
+      window_occupancy_dist_(
+          registry->GetHistogram("assembly.window_occupancy.dist")),
+      pool_size_dist_(registry->GetHistogram("assembly.pool_size.dist")),
+      fetch_latency_ns_(registry->GetHistogram("assembly.fetch_latency_ns")) {}
+
+void RegistryPublisher::OnEvent(const AssemblyEvent& event) {
+  switch (event.kind) {
+    case AssemblyEvent::Kind::kAdmit:
+      admitted_->Inc();
+      break;
+    case AssemblyEvent::Kind::kFetch: {
+      fetches_->Inc();
+      uint64_t now = clock_->NowNanos();
+      if (saw_assembly_event_ && now >= last_assembly_ns_) {
+        fetch_latency_ns_->Add(now - last_assembly_ns_);
+      }
+      break;
+    }
+    case AssemblyEvent::Kind::kSharedHit:
+      shared_hits_->Inc();
+      break;
+    case AssemblyEvent::Kind::kPrebuiltHit:
+      prebuilt_hits_->Inc();
+      break;
+    case AssemblyEvent::Kind::kAbort:
+      aborted_->Inc();
+      break;
+    case AssemblyEvent::Kind::kEmit:
+      emitted_->Inc();
+      break;
+  }
+  window_occupancy_->Set(static_cast<int64_t>(event.window_occupancy));
+  pool_size_->Set(static_cast<int64_t>(event.pool_size));
+  window_occupancy_dist_->Add(event.window_occupancy);
+  pool_size_dist_->Add(event.pool_size);
+  saw_assembly_event_ = true;
+  last_assembly_ns_ = clock_->NowNanos();
+}
+
+void RegistryPublisher::OnDiskRead(PageId, uint64_t seek_pages) {
+  disk_reads_->Inc();
+  seek_distance_->Add(seek_pages);
+}
+
+void RegistryPublisher::OnDiskWrite(PageId, uint64_t seek_pages) {
+  disk_writes_->Inc();
+  write_seek_distance_->Add(seek_pages);
+}
+
+void RegistryPublisher::OnBufferHit(PageId) { buffer_hits_->Inc(); }
+
+void RegistryPublisher::OnBufferFault(PageId) { buffer_faults_->Inc(); }
+
+void RegistryPublisher::OnBufferEviction(PageId, bool dirty) {
+  buffer_evictions_->Inc();
+  if (dirty) buffer_dirty_evictions_->Inc();
+}
+
+}  // namespace cobra::obs

@@ -1,0 +1,138 @@
+// Registry publisher and listener fan-out: how engine components publish
+// into an obs::Registry.
+//
+// The engine exposes three narrow hook interfaces (AssemblyObserver,
+// DiskEventListener, BufferEventListener) that cost one null-checked
+// pointer test per event when nothing is attached.  RegistryPublisher
+// implements all three and turns the event stream into named registry
+// instruments, so SimulatedDisk, BufferManager and AssemblyOperator publish
+// metrics without depending on the obs layer themselves:
+//
+//   counters    disk.reads, disk.writes, buffer.hits, buffer.faults,
+//               buffer.evictions, buffer.dirty_evictions,
+//               assembly.admitted, assembly.emitted, assembly.aborted,
+//               assembly.fetches, assembly.shared_hits,
+//               assembly.prebuilt_hits
+//   gauges      assembly.window_occupancy, assembly.pool_size (+ max)
+//   histograms  disk.seek_distance, disk.write_seek_distance,
+//               assembly.window_occupancy.dist, assembly.pool_size.dist,
+//               assembly.fetch_latency_ns
+//
+// TelemetryHub fans one hook slot out to any number of sinks, so a bench
+// can attach a RegistryPublisher *and* a TraceRecorder to the same disk.
+
+#ifndef COBRA_OBS_TELEMETRY_H_
+#define COBRA_OBS_TELEMETRY_H_
+
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "buffer/buffer_manager.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+#include "storage/disk.h"
+
+namespace cobra::obs {
+
+class RegistryPublisher : public AssemblyObserver,
+                          public DiskEventListener,
+                          public BufferEventListener {
+ public:
+  // Binds all instruments eagerly; `registry` must outlive the publisher.
+  // The clock feeds the per-fetch latency histogram.
+  explicit RegistryPublisher(Registry* registry,
+                             const Clock* clock = nullptr);
+
+  void OnEvent(const AssemblyEvent& event) override;
+  void OnDiskRead(PageId page, uint64_t seek_pages) override;
+  void OnDiskWrite(PageId page, uint64_t seek_pages) override;
+  void OnBufferHit(PageId page) override;
+  void OnBufferFault(PageId page) override;
+  void OnBufferEviction(PageId page, bool dirty) override;
+
+ private:
+  const Clock* clock_;
+
+  Counter* disk_reads_;
+  Counter* disk_writes_;
+  Histogram* seek_distance_;
+  Histogram* write_seek_distance_;
+
+  Counter* buffer_hits_;
+  Counter* buffer_faults_;
+  Counter* buffer_evictions_;
+  Counter* buffer_dirty_evictions_;
+
+  Counter* admitted_;
+  Counter* emitted_;
+  Counter* aborted_;
+  Counter* fetches_;
+  Counter* shared_hits_;
+  Counter* prebuilt_hits_;
+  Gauge* window_occupancy_;
+  Gauge* pool_size_;
+  Histogram* window_occupancy_dist_;
+  Histogram* pool_size_dist_;
+  Histogram* fetch_latency_ns_;
+
+  uint64_t last_assembly_ns_ = 0;
+  bool saw_assembly_event_ = false;
+};
+
+// Forwards each event to every registered sink, in registration order.
+class TelemetryHub : public AssemblyObserver,
+                     public DiskEventListener,
+                     public BufferEventListener {
+ public:
+  void AddAssemblyObserver(AssemblyObserver* observer) {
+    assembly_.push_back(observer);
+  }
+  void AddDiskListener(DiskEventListener* listener) {
+    disk_.push_back(listener);
+  }
+  void AddBufferListener(BufferEventListener* listener) {
+    buffer_.push_back(listener);
+  }
+  // Registers a sink with every interface it implements.
+  void Add(RegistryPublisher* publisher) {
+    AddAssemblyObserver(publisher);
+    AddDiskListener(publisher);
+    AddBufferListener(publisher);
+  }
+
+  void OnEvent(const AssemblyEvent& event) override {
+    for (AssemblyObserver* observer : assembly_) observer->OnEvent(event);
+  }
+  void OnDiskRead(PageId page, uint64_t seek_pages) override {
+    for (DiskEventListener* listener : disk_) {
+      listener->OnDiskRead(page, seek_pages);
+    }
+  }
+  void OnDiskWrite(PageId page, uint64_t seek_pages) override {
+    for (DiskEventListener* listener : disk_) {
+      listener->OnDiskWrite(page, seek_pages);
+    }
+  }
+  void OnBufferHit(PageId page) override {
+    for (BufferEventListener* listener : buffer_) listener->OnBufferHit(page);
+  }
+  void OnBufferFault(PageId page) override {
+    for (BufferEventListener* listener : buffer_) {
+      listener->OnBufferFault(page);
+    }
+  }
+  void OnBufferEviction(PageId page, bool dirty) override {
+    for (BufferEventListener* listener : buffer_) {
+      listener->OnBufferEviction(page, dirty);
+    }
+  }
+
+ private:
+  std::vector<AssemblyObserver*> assembly_;
+  std::vector<DiskEventListener*> disk_;
+  std::vector<BufferEventListener*> buffer_;
+};
+
+}  // namespace cobra::obs
+
+#endif  // COBRA_OBS_TELEMETRY_H_

@@ -1,19 +1,60 @@
 #include "stats/histogram.h"
 
+#include <algorithm>
 #include <bit>
 #include <ostream>
 
 namespace cobra {
 
-SeekHistogram::SeekHistogram() : buckets_(65, 0) {}
+LogHistogram::LogHistogram() : buckets_(65, 0) {}
 
-void SeekHistogram::Add(uint64_t distance) {
+void LogHistogram::Add(uint64_t value) {
   size_t bucket =
-      distance == 0 ? 0 : static_cast<size_t>(std::bit_width(distance));
+      value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
   buckets_[bucket]++;
   count_++;
-  total_ += distance;
-  if (distance > max_) max_ = distance;
+  total_ += value;
+  if (value > max_) max_ = value;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  total_ += other.total_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LogHistogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(total_) /
+                           static_cast<double>(count_);
+}
+
+uint64_t LogHistogram::BucketLo(size_t i) {
+  return i == 0 ? 0 : uint64_t{1} << (i - 1);
+}
+
+uint64_t LogHistogram::BucketHi(size_t i) {
+  return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+}
+
+uint64_t LogHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t threshold = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (threshold == 0) threshold = 1;
+  uint64_t seen = 0;
+  for (size_t bucket = 0; bucket < buckets_.size(); ++bucket) {
+    seen += buckets_[bucket];
+    if (seen >= threshold) {
+      // Upper bound of the bucket: 0 for bucket 0, else 2^bucket - 1.
+      return BucketHi(bucket);
+    }
+  }
+  return max_;
 }
 
 SeekHistogram SeekHistogram::FromReadTrace(const std::vector<PageId>& trace,
@@ -27,43 +68,18 @@ SeekHistogram SeekHistogram::FromReadTrace(const std::vector<PageId>& trace,
   return histogram;
 }
 
-double SeekHistogram::Mean() const {
-  return count_ == 0 ? 0.0
-                     : static_cast<double>(total_) /
-                           static_cast<double>(count_);
-}
-
-uint64_t SeekHistogram::Percentile(double q) const {
-  if (count_ == 0) return 0;
-  if (q < 0) q = 0;
-  if (q > 1) q = 1;
-  uint64_t threshold = static_cast<uint64_t>(q * static_cast<double>(count_));
-  if (threshold == 0) threshold = 1;
-  uint64_t seen = 0;
-  for (size_t bucket = 0; bucket < buckets_.size(); ++bucket) {
-    seen += buckets_[bucket];
-    if (seen >= threshold) {
-      // Upper bound of the bucket: 0 for bucket 0, else 2^bucket - 1.
-      return bucket == 0 ? 0 : (uint64_t{1} << bucket) - 1;
-    }
-  }
-  return max_;
-}
-
 void SeekHistogram::Print(std::ostream& os) const {
   os << "seek distance      count  cum%\n";
   uint64_t seen = 0;
   for (size_t bucket = 0; bucket < buckets_.size(); ++bucket) {
     if (buckets_[bucket] == 0) continue;
     seen += buckets_[bucket];
-    uint64_t lo = bucket == 0 ? 0 : (uint64_t{1} << (bucket - 1));
-    uint64_t hi = bucket == 0 ? 0 : (uint64_t{1} << bucket) - 1;
     double cumulative =
         100.0 * static_cast<double>(seen) / static_cast<double>(count_);
     char line[96];
     std::snprintf(line, sizeof(line), "%8llu-%-8llu %7llu  %5.1f\n",
-                  static_cast<unsigned long long>(lo),
-                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(BucketLo(bucket)),
+                  static_cast<unsigned long long>(BucketHi(bucket)),
                   static_cast<unsigned long long>(buckets_[bucket]),
                   cumulative);
     os << line;

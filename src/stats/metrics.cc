@@ -41,11 +41,24 @@ void TablePrinter::Print(std::ostream& os) const {
   }
 }
 
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';  // RFC 4180: double embedded quotes
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 void TablePrinter::PrintCsv(std::ostream& os) const {
   auto emit = [&](const std::vector<std::string>& cells) {
     for (size_t c = 0; c < cells.size(); ++c) {
       if (c > 0) os << ",";
-      os << cells[c];
+      os << CsvEscape(cells[c]);
     }
     os << "\n";
   };

@@ -10,6 +10,7 @@
 
 #include "assembly/assembly_operator.h"
 #include "buffer/buffer_manager.h"
+#include "stats/histogram.h"
 #include "storage/disk.h"
 
 namespace cobra {
@@ -20,9 +21,15 @@ struct RunMetrics {
   DiskStats disk;
   BufferStats buffer;
   AssemblyStats assembly;
+  // Per-read seek-distance distribution (empty when the run did not record
+  // a read trace).
+  SeekHistogram read_seeks;
 
   // The paper's headline metric.
   double avg_seek() const { return disk.AvgSeekPerRead(); }
+  // Database-build / write-back seek cost (writes are tracked by the disk
+  // but were historically never reported).
+  double avg_write_seek() const { return disk.AvgSeekPerWrite(); }
 };
 
 // Fixed-width text table (the benches print paper-figure series with it).
@@ -40,6 +47,10 @@ class TablePrinter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// RFC 4180 CSV escaping: cells containing commas, quotes or newlines are
+// quoted, with embedded quotes doubled.
+std::string CsvEscape(const std::string& cell);
 
 // Formats a double with `precision` digits after the point.
 std::string Fmt(double value, int precision = 1);

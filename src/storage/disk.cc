@@ -38,6 +38,13 @@ void SimulatedDisk::ChargeSeek(PageId id, bool is_read) {
     stats_.write_seek_pages += distance;
   }
   head_ = id;
+  if (listener_ != nullptr) {
+    if (is_read) {
+      listener_->OnDiskRead(id, distance);
+    } else {
+      listener_->OnDiskWrite(id, distance);
+    }
+  }
 }
 
 Status SimulatedDisk::ReadPage(PageId id, std::byte* out) {

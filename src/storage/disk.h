@@ -44,6 +44,23 @@ struct DiskStats {
                       : static_cast<double>(read_seek_pages) /
                             static_cast<double>(reads);
   }
+
+  // Same metric for writes (database builds, dirty write-backs).
+  double AvgSeekPerWrite() const {
+    return writes == 0 ? 0.0
+                       : static_cast<double>(write_seek_pages) /
+                             static_cast<double>(writes);
+  }
+};
+
+// Per-operation event hook (telemetry).  The listener fires on every page
+// read/write *after* the seek is charged; `seek_pages` is the head travel
+// the operation cost.  Implementations must not touch the disk re-entrantly.
+class DiskEventListener {
+ public:
+  virtual ~DiskEventListener() = default;
+  virtual void OnDiskRead(PageId page, uint64_t seek_pages) = 0;
+  virtual void OnDiskWrite(PageId page, uint64_t seek_pages) = 0;
 };
 
 class SimulatedDisk {
@@ -96,6 +113,11 @@ class SimulatedDisk {
   }
   const std::vector<PageId>& read_trace() const { return read_trace_; }
 
+  // Optional telemetry listener (borrowed; must outlive the disk or be
+  // cleared).  Null disables the hook — the only cost on the I/O path is
+  // one pointer test.
+  void set_listener(DiskEventListener* listener) { listener_ = listener; }
+
  private:
   void ChargeSeek(PageId id, bool is_read);
 
@@ -106,6 +128,7 @@ class SimulatedDisk {
   DiskStats stats_;
   bool trace_enabled_ = false;
   std::vector<PageId> read_trace_;
+  DiskEventListener* listener_ = nullptr;
 };
 
 }  // namespace cobra

@@ -72,5 +72,71 @@ TEST(SeekHistogramTest, LargeDistances) {
   EXPECT_GE(histogram.Percentile(1.0), uint64_t{1} << 40);
 }
 
+TEST(LogHistogramTest, QuantileShortcuts) {
+  LogHistogram histogram;
+  for (int i = 0; i < 95; ++i) histogram.Add(1);
+  for (int i = 0; i < 5; ++i) histogram.Add(100);
+  EXPECT_EQ(histogram.P50(), 1u);
+  EXPECT_EQ(histogram.P95(), 1u);
+  // The top 5% land in the bucket containing 100: [64, 127].
+  EXPECT_EQ(histogram.P99(), 127u);
+}
+
+TEST(LogHistogramTest, QuantilesMonotone) {
+  LogHistogram histogram;
+  for (uint64_t v = 0; v < 1000; ++v) histogram.Add(v);
+  EXPECT_LE(histogram.P50(), histogram.P95());
+  EXPECT_LE(histogram.P95(), histogram.P99());
+  EXPECT_LE(histogram.P99(), histogram.Percentile(1.0));
+}
+
+TEST(LogHistogramTest, MergeAccumulates) {
+  LogHistogram a;
+  LogHistogram b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.total(), 1003u);
+  EXPECT_EQ(a.max(), 1000u);
+  // Merging must be bucket-exact: a merged histogram equals one built from
+  // the union of samples.
+  LogHistogram direct;
+  direct.Add(1);
+  direct.Add(2);
+  direct.Add(1000);
+  for (size_t i = 0; i < direct.num_buckets(); ++i) {
+    EXPECT_EQ(a.bucket_count(i), direct.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.Percentile(0.99), direct.Percentile(0.99));
+}
+
+TEST(LogHistogramTest, MergeEmptyIsNoop) {
+  LogHistogram a;
+  a.Add(7);
+  LogHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.max(), 7u);
+}
+
+TEST(LogHistogramTest, BucketBoundsBracketSamples) {
+  LogHistogram histogram;
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 8ull, 1023ull, 1024ull}) {
+    histogram.Add(v);
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < histogram.num_buckets(); ++i) {
+    seen += histogram.bucket_count(i);
+    if (histogram.bucket_count(i) > 0) {
+      EXPECT_LE(LogHistogram::BucketLo(i), LogHistogram::BucketHi(i));
+    }
+  }
+  EXPECT_EQ(seen, histogram.count());
+}
+
 }  // namespace
 }  // namespace cobra
