@@ -32,10 +32,60 @@ inline std::unique_ptr<exec::VectorScan> RootScan(
   return std::make_unique<exec::VectorScan>(std::move(rows));
 }
 
+// Fault-injection flags shared by the figure benches:
+//   --faults <seed>            back the database with FaultProfile::Mixed(seed)
+//   --error-policy fail|skip   what an unrecoverable component read does
+//                              (default: skip — drop the object, finish the
+//                              query over the survivors)
+struct FaultFlags {
+  bool enabled = false;
+  uint64_t seed = 0;
+  ErrorPolicy policy = ErrorPolicy::kSkipObject;
+
+  static FaultFlags Parse(int argc, char** argv) {
+    FaultFlags flags;
+    auto parse_policy = [&flags](const std::string& value) {
+      if (value == "fail") {
+        flags.policy = ErrorPolicy::kFailQuery;
+      } else if (value == "skip") {
+        flags.policy = ErrorPolicy::kSkipObject;
+      } else {
+        std::fprintf(stderr, "unknown --error-policy '%s' (want fail|skip)\n",
+                     value.c_str());
+        std::exit(2);
+      }
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--faults" && i + 1 < argc) {
+        flags.enabled = true;
+        flags.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg.rfind("--faults=", 0) == 0) {
+        flags.enabled = true;
+        flags.seed = std::strtoull(arg.c_str() + 9, nullptr, 10);
+      } else if (arg == "--error-policy" && i + 1 < argc) {
+        parse_policy(argv[++i]);
+      } else if (arg.rfind("--error-policy=", 0) == 0) {
+        parse_policy(arg.substr(15));
+      }
+    }
+    return flags;
+  }
+
+  void Apply(AcobOptions* options) const {
+    if (enabled) options->faults = FaultProfile::Mixed(seed);
+  }
+  void Apply(AssemblyOptions* options) const {
+    options->error_policy = policy;
+  }
+};
+
 struct RunResult {
   DiskStats disk;
   BufferStats buffer;
   AssemblyStats assembly;
+  FaultStats faults;           // all-zero unless the run injected faults
+  bool fault_injection = false;
   size_t refetched_pages = 0;  // faults on pages already faulted before
   SeekHistogram read_seeks;    // seek-distance distribution (read trace)
   obs::JsonValue registry;     // telemetry registry snapshot
@@ -54,6 +104,7 @@ struct RunResult {
     metrics.read_seeks = read_seeks;
     obs::JsonValue out = obs::ToJson(metrics);
     out.Set("refetched_pages", refetched_pages);
+    if (fault_injection) out.Set("faults", obs::ToJson(faults));
     if (!registry.is_null()) out.Set("registry", registry);
     return out;
   }
@@ -94,6 +145,10 @@ inline RunResult RunAssembly(AcobDatabase* db, AssemblyOptions options) {
   result.disk = db->disk->stats();
   result.buffer = db->buffer->stats();
   result.assembly = op.stats();
+  if (db->faulty != nullptr) {
+    result.fault_injection = true;
+    result.faults = db->faulty->fault_stats();
+  }
   result.refetched_pages = static_cast<size_t>(
       result.buffer.faults - db->buffer->unique_pages_faulted());
   result.read_seeks = SeekHistogram::FromReadTrace(db->disk->read_trace());

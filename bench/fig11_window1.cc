@@ -27,6 +27,11 @@ int main(int argc, char** argv) {
 
   JsonReporter reporter("fig11_window1", argc, argv);
   reporter.Set("window_size", 1);
+  FaultFlags faults = FaultFlags::Parse(argc, argv);
+  if (faults.enabled) {
+    reporter.Set("fault_seed", faults.seed);
+    reporter.Set("error_policy", ErrorPolicyName(faults.policy));
+  }
 
   for (Clustering clustering :
        {Clustering::kInterObject, Clustering::kIntraObject,
@@ -42,10 +47,12 @@ int main(int argc, char** argv) {
         options.num_complex_objects = size;
         options.clustering = clustering;
         options.seed = 42;
+        faults.Apply(&options);
         auto db = MustBuild(options);
         AssemblyOptions aopts;
         aopts.window_size = 1;
         aopts.scheduler = scheduler;
+        faults.Apply(&aopts);
         RunResult result = RunAssembly(db.get(), aopts);
         row.push_back(Fmt(result.avg_seek()));
         obs::JsonValue extra = obs::JsonValue::MakeObject();

@@ -20,6 +20,11 @@ int main(int argc, char** argv) {
   JsonReporter reporter("fig14_window_sweep", argc, argv);
   reporter.Set("num_complex_objects", 4000);
   reporter.Set("scheduler", "elevator");
+  FaultFlags faults = FaultFlags::Parse(argc, argv);
+  if (faults.enabled) {
+    reporter.Set("fault_seed", faults.seed);
+    reporter.Set("error_policy", ErrorPolicyName(faults.policy));
+  }
 
   std::printf(
       "Figure 14 — database = 4000 complex objects, elevator scheduling\n");
@@ -33,12 +38,14 @@ int main(int argc, char** argv) {
     options.num_complex_objects = 4000;
     options.clustering = clustering;
     options.seed = 42;
+    faults.Apply(&options);
     auto db = MustBuild(options);
     std::vector<std::string> row = {ClusteringName(clustering)};
     for (size_t window : kWindows) {
       AssemblyOptions aopts;
       aopts.window_size = window;
       aopts.scheduler = SchedulerKind::kElevator;
+      faults.Apply(&aopts);
       RunResult result = RunAssembly(db.get(), aopts);
       row.push_back(Fmt(result.avg_seek()));
       obs::JsonValue extra = obs::JsonValue::MakeObject();

@@ -30,6 +30,11 @@ int main(int argc, char** argv) {
   JsonReporter reporter("fig15_sharing", argc, argv);
   reporter.Set("sharing", 0.25);
   reporter.Set("buffer_frames", 256);
+  FaultFlags faults = FaultFlags::Parse(argc, argv);
+  if (faults.enabled) {
+    reporter.Set("fault_seed", faults.seed);
+    reporter.Set("error_policy", ErrorPolicyName(faults.policy));
+  }
 
   struct Config {
     const char* label;
@@ -61,11 +66,13 @@ int main(int argc, char** argv) {
         options.sharing = 0.25;
         options.buffer_frames = 256;
         options.seed = 42;
+        faults.Apply(&options);
         auto db = MustBuild(options);
         AssemblyOptions aopts;
         aopts.scheduler = config.scheduler;
         aopts.window_size = config.window;
         aopts.use_sharing_statistics = config.sharing_stats;
+        faults.Apply(&aopts);
         RunResult result = RunAssembly(db.get(), aopts);
         if (metric[0] == 'a') {
           // Each (config, size) cell is re-measured per metric view; export

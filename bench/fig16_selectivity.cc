@@ -24,6 +24,11 @@ int main(int argc, char** argv) {
 
   JsonReporter reporter("fig16_selectivity", argc, argv);
   reporter.Set("num_complex_objects", 2000);
+  FaultFlags faults = FaultFlags::Parse(argc, argv);
+  if (faults.enabled) {
+    reporter.Set("fault_seed", faults.seed);
+    reporter.Set("error_policy", ErrorPolicyName(faults.policy));
+  }
 
   std::printf(
       "Figure 16 — predicates and selectivity (inter-object, 2000 complex "
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
   options.num_complex_objects = 2000;
   options.clustering = Clustering::kInterObject;
   options.seed = 42;
+  faults.Apply(&options);
   auto db = MustBuild(options);
 
   for (const Config& config : kConfigs) {
@@ -62,6 +68,7 @@ int main(int argc, char** argv) {
       aopts.scheduler = config.scheduler;
       aopts.window_size = config.window;
       aopts.prioritize_predicates = true;
+      faults.Apply(&aopts);
       RunResult result = RunAssembly(db.get(), aopts);
       row.push_back(Fmt(result.avg_seek()));
       obs::JsonValue extra = obs::JsonValue::MakeObject();
@@ -92,6 +99,7 @@ int main(int argc, char** argv) {
     AssemblyOptions aopts;
     aopts.scheduler = SchedulerKind::kElevator;
     aopts.window_size = 50;
+    faults.Apply(&aopts);
     RunResult result = RunAssembly(db.get(), aopts);
     reads.AddRow({Fmt(selectivity * 100, 0) + "%", FmtInt(result.disk.reads),
                   FmtInt(result.assembly.complex_emitted),

@@ -5,6 +5,30 @@
 #include <utility>
 
 namespace cobra {
+namespace {
+
+// Errors confined to one unreadable/undecodable component, eligible for
+// ErrorPolicy::kSkipObject: a bad page (Corruption, including checksum
+// mismatches), a dangling OID (NotFound), or a transient failure the buffer
+// manager could not retry away (Unavailable).  Anything else —
+// InvalidArgument, Internal, ResourceExhausted — indicts the query or the
+// engine, not the object, and always fails the query.
+bool IsSkippableDataError(const Status& status) {
+  return status.IsCorruption() || status.IsNotFound() ||
+         status.IsUnavailable();
+}
+
+}  // namespace
+
+const char* ErrorPolicyName(ErrorPolicy policy) {
+  switch (policy) {
+    case ErrorPolicy::kFailQuery:
+      return "fail";
+    case ErrorPolicy::kSkipObject:
+      return "skip";
+  }
+  return "unknown";
+}
 
 AssemblyOperator::AssemblyOperator(std::unique_ptr<exec::Iterator> input,
                                    const AssemblyTemplate* tmpl,
@@ -133,7 +157,21 @@ Status AssemblyOperator::AdmitOne() {
   fl.input_row = std::move(row);
   fl.unresolved = 1;  // the root reference
 
-  COBRA_ASSIGN_OR_RETURN(RecordId location, store_->Locate(root_oid));
+  Result<RecordId> located = store_->Locate(root_oid);
+  if (!located.ok()) {
+    if (options_.error_policy == ErrorPolicy::kSkipObject &&
+        IsSkippableDataError(located.status())) {
+      // Admit-then-drop so the admitted == emitted + aborted + dropped
+      // invariant holds even for roots the directory cannot resolve.
+      in_flight_.emplace(id, std::move(fl));
+      stats_.complex_admitted++;
+      Notify(AssemblyEvent::Kind::kAdmit, id, root_oid);
+      DropComplex(id);
+      return Status::OK();
+    }
+    return located.status();
+  }
+  RecordId location = located.value();
   PendingRef root_ref;
   root_ref.complex_id = id;
   root_ref.node = template_->root();
@@ -175,6 +213,24 @@ void AssemblyOperator::AbortComplex(uint64_t id) {
   Notify(AssemblyEvent::Kind::kAbort, id, root_oid);
 }
 
+void AssemblyOperator::DropComplex(uint64_t id) {
+  auto it = in_flight_.find(id);
+  if (it == in_flight_.end()) return;  // already emitted or aborted
+  scheduler_->RemoveComplex(id);
+  ReleasePages(it->second.pages);
+  // The root may not have been fetched yet; the input row still carries the
+  // root OID, so drop events always identify the dropped object.
+  Oid root_oid = kInvalidOid;
+  const exec::Row& row = it->second.input_row;
+  if (root_column_ < row.size() &&
+      row[root_column_].kind() == exec::ValueKind::kOid) {
+    root_oid = row[root_column_].AsOid();
+  }
+  in_flight_.erase(it);
+  stats_.objects_dropped++;
+  Notify(AssemblyEvent::Kind::kDrop, id, root_oid);
+}
+
 void AssemblyOperator::MaybeFinishComplex(uint64_t id) {
   auto it = in_flight_.find(id);
   if (it == in_flight_.end()) return;
@@ -213,19 +269,24 @@ void AssemblyOperator::CompleteSharedEntry(Oid entry_oid) {
   }
 }
 
-void AssemblyOperator::FailSharedEntry(Oid entry_oid) {
+void AssemblyOperator::FailSharedEntry(Oid entry_oid, bool dropped) {
   auto it = shared_map_.find(entry_oid);
   if (it == shared_map_.end() || it->second.failed) return;
   it->second.failed = true;
+  it->second.error_failed = dropped;
   std::vector<uint64_t> waiters = std::move(it->second.waiters);
   std::vector<Oid> parents = std::move(it->second.parent_entries);
   it->second.waiters.clear();
   it->second.parent_entries.clear();
   for (uint64_t waiter : waiters) {
-    AbortComplex(waiter);
+    if (dropped) {
+      DropComplex(waiter);
+    } else {
+      AbortComplex(waiter);
+    }
   }
   for (Oid parent : parents) {
-    FailSharedEntry(parent);
+    FailSharedEntry(parent, dropped);
   }
 }
 
@@ -395,8 +456,11 @@ Status AssemblyOperator::ResolveOne() {
              ref.shared_owned ? 0 : ref.complex_id, ref.oid, ref.page,
              ref.node);
       if (it->second.failed) {
+        bool dropped = it->second.error_failed;
         if (ref.shared_owned) {
-          FailSharedEntry(ref.shared_owner);
+          FailSharedEntry(ref.shared_owner, dropped);
+        } else if (dropped) {
+          DropComplex(ref.complex_id);
         } else {
           AbortComplex(ref.complex_id);
         }
@@ -424,7 +488,31 @@ Status AssemblyOperator::ResolveOne() {
     }
   }
 
-  COBRA_ASSIGN_OR_RETURN(AssembledObject* obj, FetchAndExpand(ref));
+  Result<AssembledObject*> fetched = FetchAndExpand(ref);
+  if (!fetched.ok()) {
+    if (options_.error_policy != ErrorPolicy::kSkipObject ||
+        !IsSkippableDataError(fetched.status())) {
+      return fetched.status();
+    }
+    // Degraded mode: the error stays confined to the owning complex object
+    // (or, for a shared component, to every object waiting on it).
+    if (options_.use_sharing_statistics && ref.node->shared) {
+      // Remember the bad component so later references drop their owners
+      // without refetching.  `failed` is checked before any link, so the
+      // null obj is never dereferenced.
+      SharedEntry bad;
+      bad.failed = true;
+      bad.error_failed = true;
+      shared_map_[ref.oid] = std::move(bad);
+    }
+    if (ref.shared_owned) {
+      FailSharedEntry(ref.shared_owner, /*dropped=*/true);
+    } else {
+      DropComplex(ref.complex_id);
+    }
+    return Status::OK();
+  }
+  AssembledObject* obj = fetched.value();
   if (obj == nullptr) {
     return Status::OK();  // predicate failure, owner already aborted
   }

@@ -40,6 +40,16 @@
 
 namespace cobra {
 
+// What an unrecoverable component read does to the query:
+//   kFailQuery  — the first error aborts the whole query (Next returns it);
+//   kSkipObject — the error aborts only the complex object that needed the
+//     unreadable component (reusing the selective-assembly early-abort
+//     machinery): its window slot is released, `objects_dropped` is
+//     incremented, and the query completes over the surviving objects.
+enum class ErrorPolicy { kFailQuery, kSkipObject };
+
+const char* ErrorPolicyName(ErrorPolicy policy);
+
 struct AssemblyOptions {
   // W: complex objects assembled concurrently.  1 degenerates to
   // object-at-a-time (with any scheduler; see §6.3.1 for why their seek
@@ -51,6 +61,9 @@ struct AssemblyOptions {
   bool use_sharing_statistics = true;
   // Order same-cost sibling fetches by descending rejection probability.
   bool prioritize_predicates = true;
+  // Degraded-mode behavior under storage errors (fault injection, bad
+  // pages, dangling OIDs).
+  ErrorPolicy error_policy = ErrorPolicy::kFailQuery;
 };
 
 // One step of assembly execution, for observers (tracing, debugging,
@@ -63,6 +76,8 @@ struct AssemblyEvent {
     kPrebuiltHit,  // reference satisfied by stacked-assembly input
     kAbort,        // complex object rejected by a predicate
     kEmit,         // complex object completed and queued for the consumer
+    kDrop,         // complex object dropped by an unrecoverable read error
+                   // under ErrorPolicy::kSkipObject
   };
   Kind kind;
   uint64_t complex_id = 0;   // owner (0 for shared-owned fetches)
@@ -90,6 +105,9 @@ struct AssemblyStats {
   uint64_t complex_admitted = 0;
   uint64_t complex_emitted = 0;
   uint64_t complex_aborted = 0;   // predicate failures
+  // Complex objects dropped by unrecoverable read errors under
+  // ErrorPolicy::kSkipObject (degraded mode).
+  uint64_t objects_dropped = 0;
   // High-water marks: the §6.3.3 buffer-requirement discussion.
   size_t max_window_pages = 0;  // distinct pages backing window + ready rows
   size_t max_pool_size = 0;     // unresolved-reference pool
@@ -146,6 +164,9 @@ class AssemblyOperator : public exec::Iterator {
     // A predicate failed inside this subtree; linking it disqualifies the
     // linking complex object.
     bool failed = false;
+    // The failure was an unrecoverable read error, not a predicate: under
+    // ErrorPolicy::kSkipObject, waiters are *dropped* instead of aborted.
+    bool error_failed = false;
     // Complex objects to notify on completion (ids may repeat if one object
     // references the component through several paths).
     std::vector<uint64_t> waiters;
@@ -173,11 +194,15 @@ class AssemblyOperator : public exec::Iterator {
   Status FinishOwnRef(const PendingRef& ref);
   // Bookkeeping after a shared-owned reference resolved.
   void FinishSharedRef(const PendingRef& ref);
-  // Marks a shared entry (and enclosing entries) failed; aborts waiters.
-  void FailSharedEntry(Oid entry_oid);
+  // Marks a shared entry (and enclosing entries) failed; aborts waiters,
+  // or drops them when the failure was a read error (`dropped`).
+  void FailSharedEntry(Oid entry_oid, bool dropped = false);
   // Completion cascade for a shared entry whose pending hit zero.
   void CompleteSharedEntry(Oid entry_oid);
   void AbortComplex(uint64_t id);
+  // Degraded mode: releases a complex object whose assembly hit an
+  // unrecoverable read error, counting it in objects_dropped.
+  void DropComplex(uint64_t id);
   void MaybeFinishComplex(uint64_t id);
   // Page accounting.
   void ChargePage(InFlight* fl, PageId page);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "storage/checksum.h"
+
 namespace cobra {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -74,6 +76,9 @@ void BufferManager::Unpin(size_t frame_index) {
 Status BufferManager::WriteBack(size_t frame_index) {
   Frame& frame = frames_[frame_index];
   if (frame.dirty) {
+    // Stamp the page checksum over the final frame contents; FetchPage
+    // verifies it when the page is next faulted in.
+    StampPageChecksum(frame.data.data(), frame.data.size());
     COBRA_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.data()));
     frame.dirty = false;
     stats_.dirty_writebacks++;
@@ -123,7 +128,32 @@ Result<PageGuard> BufferManager::FetchPage(PageId id) {
   COBRA_ASSIGN_OR_RETURN(size_t frame_index, ObtainFrame());
   Frame& frame = frames_[frame_index];
   frame.data.resize(disk_->page_size());
-  Status read = disk_->ReadPage(id, frame.data.data());
+  // Bounded retry for transient failures; everything else (NotFound,
+  // Corruption, a failed checksum) is permanent and fails immediately.
+  int max_attempts = options_.retry.max_read_attempts < 1
+                         ? 1
+                         : options_.retry.max_read_attempts;
+  Status read;
+  for (int attempt = 1;; ++attempt) {
+    read = disk_->ReadPage(id, frame.data.data());
+    if (read.ok()) {
+      read = VerifyPageChecksum(frame.data.data(), frame.data.size(), id);
+      if (read.ok()) break;
+      stats_.checksum_failures++;
+      if (listener_ != nullptr) listener_->OnBufferChecksumFailure(id);
+      break;
+    }
+    if (!read.IsUnavailable() || attempt >= max_attempts) {
+      if (read.IsUnavailable()) stats_.retries_exhausted++;
+      break;
+    }
+    stats_.retries++;
+    if (listener_ != nullptr) listener_->OnBufferRetry(id, attempt);
+    // Deterministic linear backoff, accounted in the disk's cost unit.
+    disk_->AddSeekPenalty(
+        static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
+        /*is_read=*/true);
+  }
   if (!read.ok()) {
     free_list_.push_back(frame_index);
     return read;

@@ -26,9 +26,20 @@
 
 namespace cobra {
 
+// How FetchPage handles transient (Status::Unavailable) read failures:
+// retry up to max_read_attempts total attempts, charging a deterministic
+// linear backoff (attempt * backoff_seek_pages) to the disk's read seek cost
+// before each retry.  Permanent failures (Corruption, NotFound) and checksum
+// mismatches are never retried.
+struct RetryPolicy {
+  int max_read_attempts = 3;
+  uint64_t backoff_seek_pages = 16;
+};
+
 struct BufferOptions {
   size_t num_frames = 1024;
   ReplacementKind replacement = ReplacementKind::kLru;
+  RetryPolicy retry = {};
 };
 
 struct BufferStats {
@@ -36,6 +47,11 @@ struct BufferStats {
   uint64_t faults = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  // Transient-read retries issued / fetches that failed all attempts.
+  uint64_t retries = 0;
+  uint64_t retries_exhausted = 0;
+  // Reads rejected because the page checksum did not verify.
+  uint64_t checksum_failures = 0;
   // High-water mark of simultaneously pinned frames.
   size_t max_pinned = 0;
 
@@ -57,6 +73,14 @@ class BufferEventListener {
   virtual void OnBufferHit(PageId page) = 0;
   virtual void OnBufferFault(PageId page) = 0;
   virtual void OnBufferEviction(PageId page, bool dirty) = 0;
+  // Fired before each transient-read retry (`attempt` is the attempt that
+  // just failed, 1-based) and on checksum rejection.  Default no-ops so
+  // existing listeners need no change.
+  virtual void OnBufferRetry(PageId page, int attempt) {
+    (void)page;
+    (void)attempt;
+  }
+  virtual void OnBufferChecksumFailure(PageId page) { (void)page; }
 };
 
 // RAII pin on a buffer frame.  Movable, not copyable.
@@ -100,7 +124,10 @@ class BufferManager {
   ~BufferManager();
 
   // Returns a pinned guard on `id`, reading it from disk on a fault.
-  // Fails with ResourceExhausted when every frame is pinned.
+  // Transient read failures are retried per the RetryPolicy; pages whose
+  // checksum does not verify fail with Corruption.  Fails with
+  // ResourceExhausted when every frame is pinned.  No failure mode leaks a
+  // frame: the obtained frame returns to the free list on every error path.
   Result<PageGuard> FetchPage(PageId id);
 
   // Allocates `id` as a fresh zero-filled dirty page without a disk read.

@@ -26,12 +26,15 @@ enum class StatusCode : uint8_t {
   kAlreadyExists = 6,
   kNotSupported = 7,
   kInternal = 8,
+  // A transient failure (e.g. an injected flaky read) that may succeed if
+  // retried.  The only retryable code: everything else is permanent.
+  kUnavailable = 9,
 };
 
 // Human-readable name of a status code ("OK", "NotFound", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-class Status {
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.  The OK state stores no heap data, so
   // returning Status::OK() is as cheap as returning an int.
@@ -85,6 +88,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -100,6 +106,7 @@ class Status {
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   std::string_view message() const {
     return message_ ? std::string_view(*message_) : std::string_view();

@@ -7,8 +7,9 @@ namespace cobra {
 namespace {
 
 // Node layout (offsets in bytes):
-//   0..2    u16 flags (bit 0: leaf)
-//   2..4    u16 num_keys
+//   0..4    u32 page checksum (stamped by the buffer manager on write-back)
+//   4..6    u16 flags (bit 0: leaf)
+//   6..8    u16 num_keys
 //   8..16   u64 next-leaf page id (leaves only; kInvalidPageId when none)
 //   16..    payload
 // Leaf payload:      num_keys x (u64 key, u64 value), key-sorted.
@@ -38,10 +39,10 @@ struct Node {
   std::byte* p;
   size_t page_size;
 
-  bool leaf() const { return (LoadU16(p) & 1) != 0; }
-  void set_leaf(bool is_leaf) { StoreU16(p, is_leaf ? 1 : 0); }
-  int n() const { return LoadU16(p + 2); }
-  void set_n(int count) { StoreU16(p + 2, static_cast<uint16_t>(count)); }
+  bool leaf() const { return (LoadU16(p + 4) & 1) != 0; }
+  void set_leaf(bool is_leaf) { StoreU16(p + 4, is_leaf ? 1 : 0); }
+  int n() const { return LoadU16(p + 6); }
+  void set_n(int count) { StoreU16(p + 6, static_cast<uint16_t>(count)); }
   uint64_t next() const { return LoadU64(p + 8); }
   void set_next(uint64_t id) { StoreU64(p + 8, id); }
 
@@ -138,15 +139,17 @@ struct Node {
   }
 };
 
+// Meta page layout: bytes [0, 8) are reserved (page checksum + padding),
+// then magic, root page id, entry count.
 struct MetaView {
   std::byte* p;
-  uint64_t magic() const { return LoadU64(p); }
-  uint64_t root() const { return LoadU64(p + 8); }
-  uint64_t count() const { return LoadU64(p + 16); }
+  uint64_t magic() const { return LoadU64(p + 8); }
+  uint64_t root() const { return LoadU64(p + 16); }
+  uint64_t count() const { return LoadU64(p + 24); }
   void set(uint64_t root, uint64_t count) {
-    StoreU64(p, kMetaMagic);
-    StoreU64(p + 8, root);
-    StoreU64(p + 16, count);
+    StoreU64(p + 8, kMetaMagic);
+    StoreU64(p + 16, root);
+    StoreU64(p + 24, count);
   }
 };
 

@@ -19,6 +19,9 @@ JsonValue ToJson(const BufferStats& stats) {
   out.Set("faults", stats.faults);
   out.Set("evictions", stats.evictions);
   out.Set("dirty_writebacks", stats.dirty_writebacks);
+  out.Set("retries", stats.retries);
+  out.Set("retries_exhausted", stats.retries_exhausted);
+  out.Set("checksum_failures", stats.checksum_failures);
   out.Set("max_pinned", stats.max_pinned);
   out.Set("hit_rate", stats.HitRate());
   return out;
@@ -33,8 +36,20 @@ JsonValue ToJson(const AssemblyStats& stats) {
   out.Set("complex_admitted", stats.complex_admitted);
   out.Set("complex_emitted", stats.complex_emitted);
   out.Set("complex_aborted", stats.complex_aborted);
+  out.Set("objects_dropped", stats.objects_dropped);
   out.Set("max_window_pages", stats.max_window_pages);
   out.Set("max_pool_size", stats.max_pool_size);
+  return out;
+}
+
+JsonValue ToJson(const FaultStats& stats) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("transient_failures", stats.transient_failures);
+  out.Set("permanent_failures", stats.permanent_failures);
+  out.Set("bit_flips", stats.bit_flips);
+  out.Set("torn_pages", stats.torn_pages);
+  out.Set("latency_injections", stats.latency_injections);
+  out.Set("total", stats.total());
   return out;
 }
 

@@ -12,12 +12,14 @@
 #include "obs/registry.h"
 #include "stats/metrics.h"
 #include "storage/disk.h"
+#include "storage/faulty_disk.h"
 
 namespace cobra::obs {
 
 JsonValue ToJson(const DiskStats& stats);
 JsonValue ToJson(const BufferStats& stats);
 JsonValue ToJson(const AssemblyStats& stats);
+JsonValue ToJson(const FaultStats& stats);
 
 // Full run export: label, the three stat structs, derived headline metrics
 // (avg_seek, avg_write_seek) and — when the run recorded a read trace —

@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include <string>
+
 namespace cobra::obs {
 
 RegistryPublisher::RegistryPublisher(Registry* registry, const Clock* clock)
@@ -12,9 +14,13 @@ RegistryPublisher::RegistryPublisher(Registry* registry, const Clock* clock)
       buffer_faults_(registry->GetCounter("buffer.faults")),
       buffer_evictions_(registry->GetCounter("buffer.evictions")),
       buffer_dirty_evictions_(registry->GetCounter("buffer.dirty_evictions")),
+      buffer_retries_(registry->GetCounter("buffer.retries")),
+      buffer_checksum_failures_(
+          registry->GetCounter("buffer.checksum_failures")),
       admitted_(registry->GetCounter("assembly.admitted")),
       emitted_(registry->GetCounter("assembly.emitted")),
       aborted_(registry->GetCounter("assembly.aborted")),
+      dropped_(registry->GetCounter("assembly.objects_dropped")),
       fetches_(registry->GetCounter("assembly.fetches")),
       shared_hits_(registry->GetCounter("assembly.shared_hits")),
       prebuilt_hits_(registry->GetCounter("assembly.prebuilt_hits")),
@@ -23,7 +29,13 @@ RegistryPublisher::RegistryPublisher(Registry* registry, const Clock* clock)
       window_occupancy_dist_(
           registry->GetHistogram("assembly.window_occupancy.dist")),
       pool_size_dist_(registry->GetHistogram("assembly.pool_size.dist")),
-      fetch_latency_ns_(registry->GetHistogram("assembly.fetch_latency_ns")) {}
+      fetch_latency_ns_(registry->GetHistogram("assembly.fetch_latency_ns")) {
+  for (int i = 0; i < 5; ++i) {
+    disk_faults_[i] = registry->GetCounter(
+        std::string("disk.faults.") +
+        FaultKindName(static_cast<FaultKind>(i)));
+  }
+}
 
 void RegistryPublisher::OnEvent(const AssemblyEvent& event) {
   switch (event.kind) {
@@ -50,6 +62,9 @@ void RegistryPublisher::OnEvent(const AssemblyEvent& event) {
     case AssemblyEvent::Kind::kEmit:
       emitted_->Inc();
       break;
+    case AssemblyEvent::Kind::kDrop:
+      dropped_->Inc();
+      break;
   }
   window_occupancy_->Set(static_cast<int64_t>(event.window_occupancy));
   pool_size_->Set(static_cast<int64_t>(event.pool_size));
@@ -69,6 +84,10 @@ void RegistryPublisher::OnDiskWrite(PageId, uint64_t seek_pages) {
   write_seek_distance_->Add(seek_pages);
 }
 
+void RegistryPublisher::OnDiskFault(PageId, FaultKind kind) {
+  disk_faults_[static_cast<int>(kind)]->Inc();
+}
+
 void RegistryPublisher::OnBufferHit(PageId) { buffer_hits_->Inc(); }
 
 void RegistryPublisher::OnBufferFault(PageId) { buffer_faults_->Inc(); }
@@ -76,6 +95,12 @@ void RegistryPublisher::OnBufferFault(PageId) { buffer_faults_->Inc(); }
 void RegistryPublisher::OnBufferEviction(PageId, bool dirty) {
   buffer_evictions_->Inc();
   if (dirty) buffer_dirty_evictions_->Inc();
+}
+
+void RegistryPublisher::OnBufferRetry(PageId, int) { buffer_retries_->Inc(); }
+
+void RegistryPublisher::OnBufferChecksumFailure(PageId) {
+  buffer_checksum_failures_->Inc();
 }
 
 }  // namespace cobra::obs

@@ -8,11 +8,13 @@
 // instruments, so SimulatedDisk, BufferManager and AssemblyOperator publish
 // metrics without depending on the obs layer themselves:
 //
-//   counters    disk.reads, disk.writes, buffer.hits, buffer.faults,
-//               buffer.evictions, buffer.dirty_evictions,
+//   counters    disk.reads, disk.writes, disk.faults.<kind>,
+//               buffer.hits, buffer.faults, buffer.evictions,
+//               buffer.dirty_evictions, buffer.retries,
+//               buffer.checksum_failures,
 //               assembly.admitted, assembly.emitted, assembly.aborted,
-//               assembly.fetches, assembly.shared_hits,
-//               assembly.prebuilt_hits
+//               assembly.objects_dropped, assembly.fetches,
+//               assembly.shared_hits, assembly.prebuilt_hits
 //   gauges      assembly.window_occupancy, assembly.pool_size (+ max)
 //   histograms  disk.seek_distance, disk.write_seek_distance,
 //               assembly.window_occupancy.dist, assembly.pool_size.dist,
@@ -46,9 +48,12 @@ class RegistryPublisher : public AssemblyObserver,
   void OnEvent(const AssemblyEvent& event) override;
   void OnDiskRead(PageId page, uint64_t seek_pages) override;
   void OnDiskWrite(PageId page, uint64_t seek_pages) override;
+  void OnDiskFault(PageId page, FaultKind kind) override;
   void OnBufferHit(PageId page) override;
   void OnBufferFault(PageId page) override;
   void OnBufferEviction(PageId page, bool dirty) override;
+  void OnBufferRetry(PageId page, int attempt) override;
+  void OnBufferChecksumFailure(PageId page) override;
 
  private:
   const Clock* clock_;
@@ -57,15 +62,20 @@ class RegistryPublisher : public AssemblyObserver,
   Counter* disk_writes_;
   Histogram* seek_distance_;
   Histogram* write_seek_distance_;
+  // One counter per FaultKind, indexed by the enum value.
+  Counter* disk_faults_[5];
 
   Counter* buffer_hits_;
   Counter* buffer_faults_;
   Counter* buffer_evictions_;
   Counter* buffer_dirty_evictions_;
+  Counter* buffer_retries_;
+  Counter* buffer_checksum_failures_;
 
   Counter* admitted_;
   Counter* emitted_;
   Counter* aborted_;
+  Counter* dropped_;
   Counter* fetches_;
   Counter* shared_hits_;
   Counter* prebuilt_hits_;
@@ -113,6 +123,11 @@ class TelemetryHub : public AssemblyObserver,
       listener->OnDiskWrite(page, seek_pages);
     }
   }
+  void OnDiskFault(PageId page, FaultKind kind) override {
+    for (DiskEventListener* listener : disk_) {
+      listener->OnDiskFault(page, kind);
+    }
+  }
   void OnBufferHit(PageId page) override {
     for (BufferEventListener* listener : buffer_) listener->OnBufferHit(page);
   }
@@ -124,6 +139,16 @@ class TelemetryHub : public AssemblyObserver,
   void OnBufferEviction(PageId page, bool dirty) override {
     for (BufferEventListener* listener : buffer_) {
       listener->OnBufferEviction(page, dirty);
+    }
+  }
+  void OnBufferRetry(PageId page, int attempt) override {
+    for (BufferEventListener* listener : buffer_) {
+      listener->OnBufferRetry(page, attempt);
+    }
+  }
+  void OnBufferChecksumFailure(PageId page) override {
+    for (BufferEventListener* listener : buffer_) {
+      listener->OnBufferChecksumFailure(page);
     }
   }
 

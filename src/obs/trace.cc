@@ -20,6 +20,7 @@ const char* TraceEventKindName(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kPrebuiltHit: return "prebuilt-hit";
     case TraceEvent::Kind::kAbort: return "abort";
     case TraceEvent::Kind::kEmit: return "emit";
+    case TraceEvent::Kind::kDrop: return "drop";
     case TraceEvent::Kind::kDiskRead: return "disk-read";
     case TraceEvent::Kind::kDiskWrite: return "disk-write";
     case TraceEvent::Kind::kBufferHit: return "buffer-hit";
@@ -101,10 +102,13 @@ void TraceRecorder::OnEvent(const AssemblyEvent& event) {
       break;
     }
     case AssemblyEvent::Kind::kAbort:
-    case AssemblyEvent::Kind::kEmit: {
+    case AssemblyEvent::Kind::kEmit:
+    case AssemblyEvent::Kind::kDrop: {
       out.kind = event.kind == AssemblyEvent::Kind::kAbort
                      ? TraceEvent::Kind::kAbort
-                     : TraceEvent::Kind::kEmit;
+                     : event.kind == AssemblyEvent::Kind::kEmit
+                           ? TraceEvent::Kind::kEmit
+                           : TraceEvent::Kind::kDrop;
       auto it = live_.find(event.complex_id);
       if (it != live_.end()) {
         out.lane = it->second.lane;
@@ -233,10 +237,13 @@ JsonValue TraceRecorder::ToChromeTrace() const {
         break;
       case TraceEvent::Kind::kAbort:
       case TraceEvent::Kind::kEmit:
+      case TraceEvent::Kind::kDrop:
         // The whole slot occupancy as one span, admit -> completion.
         e.Set("name", event.kind == TraceEvent::Kind::kEmit
                           ? "assemble"
-                          : "assemble (aborted)");
+                          : event.kind == TraceEvent::Kind::kAbort
+                                ? "assemble (aborted)"
+                                : "assemble (dropped: read error)");
         e.Set("ph", "X");
         e.Set("tid", kFirstSlotTid + std::max(event.lane, 0));
         e.Set("ts", micros(event.ts_ns - event.dur_ns));

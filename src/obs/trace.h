@@ -44,6 +44,7 @@ struct TraceEvent {
     kPrebuiltHit,
     kAbort,
     kEmit,
+    kDrop,
     kDiskRead,
     kDiskWrite,
     kBufferHit,

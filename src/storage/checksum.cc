@@ -1,0 +1,66 @@
+#include "storage/checksum.h"
+
+#include <array>
+#include <cstring>
+#include <string>
+
+namespace cobra {
+namespace {
+
+// Byte-at-a-time table for the Castagnoli polynomial (reflected 0x82F63B78).
+std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = MakeCrc32cTable();
+  return table;
+}
+
+uint32_t LoadChecksum(const std::byte* page) {
+  uint32_t v = 0;
+  std::memcpy(&v, page, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const std::byte* data, size_t n) {
+  const auto& table = Crc32cTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(data[i])) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void StampPageChecksum(std::byte* page, size_t page_size) {
+  uint32_t crc =
+      Crc32c(page + kPageChecksumSize, page_size - kPageChecksumSize);
+  if (crc == 0) crc = 1;  // zero is the "unstamped" sentinel
+  std::memcpy(page, &crc, sizeof(crc));
+}
+
+Status VerifyPageChecksum(const std::byte* page, size_t page_size,
+                          uint64_t page_id) {
+  uint32_t stored = LoadChecksum(page);
+  if (stored == 0) return Status::OK();  // unstamped page
+  uint32_t crc =
+      Crc32c(page + kPageChecksumSize, page_size - kPageChecksumSize);
+  if (crc == 0) crc = 1;
+  if (crc != stored) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(page_id));
+  }
+  return Status::OK();
+}
+
+}  // namespace cobra

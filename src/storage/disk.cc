@@ -26,6 +26,17 @@ bool ReadU64(std::FILE* file, uint64_t* value) {
 
 }  // namespace
 
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientRead: return "transient-read";
+    case FaultKind::kPermanentBadPage: return "permanent-bad-page";
+    case FaultKind::kBitFlip: return "bit-flip";
+    case FaultKind::kTornPage: return "torn-page";
+    case FaultKind::kExtraLatency: return "extra-latency";
+  }
+  return "unknown";
+}
+
 SimulatedDisk::SimulatedDisk(DiskOptions options) : options_(options) {}
 
 void SimulatedDisk::ChargeSeek(PageId id, bool is_read) {

@@ -53,6 +53,17 @@ struct DiskStats {
   }
 };
 
+// Injected fault categories (storage/faulty_disk.h produces them).
+enum class FaultKind {
+  kTransientRead,   // read failed, retry may succeed (Status::Unavailable)
+  kPermanentBadPage,  // every read of the page fails (Status::Corruption)
+  kBitFlip,         // read succeeded but one payload bit was flipped
+  kTornPage,        // read succeeded but the page tail was zeroed
+  kExtraLatency,    // read succeeded with extra seek-pages cost charged
+};
+
+const char* FaultKindName(FaultKind kind);
+
 // Per-operation event hook (telemetry).  The listener fires on every page
 // read/write *after* the seek is charged; `seek_pages` is the head travel
 // the operation cost.  Implementations must not touch the disk re-entrantly.
@@ -61,11 +72,18 @@ class DiskEventListener {
   virtual ~DiskEventListener() = default;
   virtual void OnDiskRead(PageId page, uint64_t seek_pages) = 0;
   virtual void OnDiskWrite(PageId page, uint64_t seek_pages) = 0;
+  // Fired by a fault-injecting disk when a read is sabotaged.  Default
+  // no-op so existing listeners need no change.
+  virtual void OnDiskFault(PageId page, FaultKind kind) {
+    (void)page;
+    (void)kind;
+  }
 };
 
 class SimulatedDisk {
  public:
   explicit SimulatedDisk(DiskOptions options = {});
+  virtual ~SimulatedDisk() = default;
 
   SimulatedDisk(const SimulatedDisk&) = delete;
   SimulatedDisk& operator=(const SimulatedDisk&) = delete;
@@ -73,11 +91,23 @@ class SimulatedDisk {
   size_t page_size() const { return options_.page_size; }
 
   // Reads page `id` into `out` (which must hold page_size() bytes).
-  // Returns NotFound for a page that was never written.
-  Status ReadPage(PageId id, std::byte* out);
+  // Returns NotFound for a page that was never written.  Virtual so a
+  // fault-injecting decorator (storage/faulty_disk.h) can sabotage reads.
+  virtual Status ReadPage(PageId id, std::byte* out);
 
   // Writes page `id` from `data` (page_size() bytes), allocating it if new.
   Status WritePage(PageId id, const std::byte* data);
+
+  // Charges extra seek-page cost to the read (or write) counters without
+  // moving the head: models time the device spends not seeking — retry
+  // backoff, injected rotational latency — in the paper's cost unit.
+  void AddSeekPenalty(uint64_t pages, bool is_read) {
+    if (is_read) {
+      stats_.read_seek_pages += pages;
+    } else {
+      stats_.write_seek_pages += pages;
+    }
+  }
 
   bool Exists(PageId id) const { return pages_.contains(id); }
 
@@ -117,6 +147,13 @@ class SimulatedDisk {
   // cleared).  Null disables the hook — the only cost on the I/O path is
   // one pointer test.
   void set_listener(DiskEventListener* listener) { listener_ = listener; }
+
+ protected:
+  // Fires the fault hook on the attached listener (if any).  For
+  // fault-injecting subclasses.
+  void NotifyFault(PageId page, FaultKind kind) {
+    if (listener_ != nullptr) listener_->OnDiskFault(page, kind);
+  }
 
  private:
   void ChargeSeek(PageId id, bool is_read);

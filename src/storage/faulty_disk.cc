@@ -1,0 +1,89 @@
+#include "storage/faulty_disk.h"
+
+#include <string>
+
+#include "storage/checksum.h"
+
+namespace cobra {
+namespace {
+
+// splitmix64 finalizer: a full-avalanche mix of the inputs.
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t FaultInjectingDisk::Mix(PageId id, uint64_t attempt,
+                                 uint64_t salt) const {
+  uint64_t h = SplitMix(profile_.seed ^ SplitMix(id));
+  h = SplitMix(h ^ SplitMix(attempt ^ (salt << 56)));
+  return h;
+}
+
+double FaultInjectingDisk::Draw(PageId id, uint64_t attempt,
+                                uint64_t salt) const {
+  // 53 mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Mix(id, attempt, salt) >> 11) * 0x1.0p-53;
+}
+
+Status FaultInjectingDisk::ReadPage(PageId id, std::byte* out) {
+  Status base = SimulatedDisk::ReadPage(id, out);
+  if (!enabled_ || !base.ok()) {
+    return base;
+  }
+  uint64_t attempt = ++attempts_[id];
+
+  // Permanent bad page: decided once per page (attempt-independent), fails
+  // every read, so retries cannot recover it.
+  if (profile_.permanent_page_fail > 0.0 &&
+      Draw(id, 0, 0) < profile_.permanent_page_fail) {
+    fault_stats_.permanent_failures++;
+    NotifyFault(id, FaultKind::kPermanentBadPage);
+    return Status::Corruption("injected permanent failure on page " +
+                              std::to_string(id));
+  }
+
+  // Transient failure: per-attempt, so a retry re-draws and may succeed.
+  if (profile_.transient_read_fail > 0.0 &&
+      Draw(id, attempt, 1) < profile_.transient_read_fail) {
+    fault_stats_.transient_failures++;
+    NotifyFault(id, FaultKind::kTransientRead);
+    return Status::Unavailable("injected transient read failure on page " +
+                               std::to_string(id));
+  }
+
+  // Extra latency: the read succeeds but costs more (charged in the paper's
+  // seek-pages unit).  Can co-occur with corruption below.
+  if (profile_.extra_latency > 0.0 &&
+      Draw(id, attempt, 2) < profile_.extra_latency) {
+    fault_stats_.latency_injections++;
+    AddSeekPenalty(profile_.latency_seek_pages, /*is_read=*/true);
+    NotifyFault(id, FaultKind::kExtraLatency);
+  }
+
+  // Corruption of the returned copy.  Offsets stay clear of the page's
+  // checksum field so every injected corruption is detectable.
+  size_t ps = page_size();
+  if (profile_.bit_flip > 0.0 && Draw(id, attempt, 3) < profile_.bit_flip) {
+    uint64_t h = Mix(id, attempt, 4);
+    size_t offset = kPageChecksumSize + (h % (ps - kPageChecksumSize));
+    out[offset] ^= static_cast<std::byte>(1u << ((h >> 32) % 8));
+    fault_stats_.bit_flips++;
+    NotifyFault(id, FaultKind::kBitFlip);
+  } else if (profile_.torn_page > 0.0 &&
+             Draw(id, attempt, 5) < profile_.torn_page) {
+    // Torn page: the tail half never made it; reads back as zeros.
+    for (size_t i = ps / 2; i < ps; ++i) {
+      out[i] = std::byte{0};
+    }
+    fault_stats_.torn_pages++;
+    NotifyFault(id, FaultKind::kTornPage);
+  }
+  return Status::OK();
+}
+
+}  // namespace cobra

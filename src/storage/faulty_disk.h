@@ -1,0 +1,119 @@
+// FaultInjectingDisk: a SimulatedDisk whose reads misbehave on a seeded,
+// deterministic schedule.
+//
+// The assembly operator reorders reads aggressively across a window of
+// partially assembled objects — exactly the setting where one bad page or
+// dangling OID must not crash the engine or silently corrupt a result set.
+// This decorator exercises every error path above it:
+//
+//   * transient read failures  — Status::Unavailable; the buffer manager's
+//     RetryPolicy may recover them;
+//   * permanent bad pages      — a deterministically chosen subset of pages
+//     fails every read with Status::Corruption;
+//   * bit flips / torn pages   — the read "succeeds" but the returned bytes
+//     are corrupted; page checksums (storage/checksum.h) catch them;
+//   * extra latency            — the read succeeds but charges extra
+//     seek-page cost (AddSeekPenalty).
+//
+// Corruption is applied to the returned copy only; the stored page stays
+// pristine, so a retried read re-draws its fault independently.  Every
+// decision is a pure function of (seed, page, per-page attempt number):
+// identical seeds produce identical fault schedules, which is what makes
+// the stress tests reproducible.
+//
+// Injection starts disarmed so database builds run clean; call
+// set_enabled(true) before the measured run.
+
+#ifndef COBRA_STORAGE_FAULTY_DISK_H_
+#define COBRA_STORAGE_FAULTY_DISK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+// Per-category injection rates.  All probabilities are in [0, 1] and are
+// evaluated per read attempt, except permanent_page_fail which is evaluated
+// once per page (a page is either always bad or never bad).
+struct FaultProfile {
+  uint64_t seed = 0;
+  double transient_read_fail = 0.0;
+  double permanent_page_fail = 0.0;
+  double bit_flip = 0.0;
+  double torn_page = 0.0;
+  double extra_latency = 0.0;
+  // Seek-pages charged when an extra-latency fault fires.
+  uint64_t latency_seek_pages = 32;
+
+  bool any() const {
+    return transient_read_fail > 0.0 || permanent_page_fail > 0.0 ||
+           bit_flip > 0.0 || torn_page > 0.0 || extra_latency > 0.0;
+  }
+
+  // The canonical mixed profile the benches' `--faults <seed>` flag enables:
+  // a little of everything, heavy enough to exercise retries and drops but
+  // light enough that most of the workload survives.
+  static FaultProfile Mixed(uint64_t seed) {
+    FaultProfile p;
+    p.seed = seed;
+    p.transient_read_fail = 0.02;
+    p.permanent_page_fail = 0.001;
+    p.bit_flip = 0.002;
+    p.torn_page = 0.001;
+    p.extra_latency = 0.01;
+    return p;
+  }
+};
+
+struct FaultStats {
+  uint64_t transient_failures = 0;
+  uint64_t permanent_failures = 0;
+  uint64_t bit_flips = 0;
+  uint64_t torn_pages = 0;
+  uint64_t latency_injections = 0;
+
+  uint64_t total() const {
+    return transient_failures + permanent_failures + bit_flips + torn_pages +
+           latency_injections;
+  }
+};
+
+class FaultInjectingDisk : public SimulatedDisk {
+ public:
+  explicit FaultInjectingDisk(FaultProfile profile, DiskOptions options = {})
+      : SimulatedDisk(options), profile_(profile) {}
+
+  Status ReadPage(PageId id, std::byte* out) override;
+
+  // Arms / disarms injection.  Disarmed, the disk behaves exactly like the
+  // base SimulatedDisk (the only cost is one branch per read).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const FaultProfile& profile() const { return profile_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // Clears fault counters AND per-page attempt numbers, so the next run
+  // replays the identical fault schedule.  Cold restarts call this.
+  void ResetFaultState() {
+    fault_stats_ = FaultStats();
+    attempts_.clear();
+  }
+
+ private:
+  // Deterministic uniform double in [0, 1) from (seed, page, attempt, salt).
+  double Draw(PageId id, uint64_t attempt, uint64_t salt) const;
+  uint64_t Mix(PageId id, uint64_t attempt, uint64_t salt) const;
+
+  FaultProfile profile_;
+  bool enabled_ = false;
+  std::unordered_map<PageId, uint64_t> attempts_;
+  FaultStats fault_stats_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_STORAGE_FAULTY_DISK_H_

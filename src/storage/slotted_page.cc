@@ -8,8 +8,8 @@ namespace cobra {
 void SlottedPage::Init(std::byte* data, size_t page_size) {
   std::memset(data, 0, page_size);
   SlottedPage page(data, page_size);
-  page.WriteU16(0, 0);  // slot_count
-  page.WriteU16(2, static_cast<uint16_t>(page_size));  // free_end
+  page.WriteU16(kSlotCountOffset, 0);
+  page.WriteU16(kFreeEndOffset, static_cast<uint16_t>(page_size));
 }
 
 uint16_t SlottedPage::ReadU16(size_t offset) const {
@@ -24,7 +24,7 @@ void SlottedPage::WriteU16(size_t offset, uint16_t value) {
   data_[offset + 1] = static_cast<std::byte>(value >> 8);
 }
 
-uint16_t SlottedPage::slot_count() const { return ReadU16(0); }
+uint16_t SlottedPage::slot_count() const { return ReadU16(kSlotCountOffset); }
 
 uint16_t SlottedPage::SlotOffset(uint16_t slot) const {
   return ReadU16(kHeaderSize + slot * kSlotSize);
@@ -126,7 +126,7 @@ Result<uint16_t> SlottedPage::Insert(std::span<const std::byte> record) {
   uint16_t offset = static_cast<uint16_t>(free_end() - record.size());
   std::memcpy(data_ + offset, record.data(), record.size());
   if (new_slot) {
-    WriteU16(0, static_cast<uint16_t>(slot_count() + 1));
+    WriteU16(kSlotCountOffset, static_cast<uint16_t>(slot_count() + 1));
   }
   SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
   set_free_end(offset);

@@ -8,10 +8,12 @@
 // SlottedPage is a *view* over a caller-owned buffer (typically a buffer-pool
 // frame); it owns no memory itself.
 //
-// Layout (all little-endian uint16):
-//   [0..2)   slot_count      number of slot directory entries (live or dead)
-//   [2..4)   free_end        lowest byte offset used by any record body
-//   [4..)    slot directory  slot_count entries of {offset, length};
+// Layout (all little-endian uint16 past the checksum):
+//   [0..4)   checksum        CRC32C of bytes [4, page_size); stamped by the
+//                            buffer manager on write-back (storage/checksum.h)
+//   [4..6)   slot_count      number of slot directory entries (live or dead)
+//   [6..8)   free_end        lowest byte offset used by any record body
+//   [8..)    slot directory  slot_count entries of {offset, length};
 //                            offset == kDeadSlot marks a deleted slot
 //   [free_end..page_size)    record bodies
 
@@ -66,16 +68,19 @@ class SlottedPage {
   bool CanFit(size_t record_size) const;
 
  private:
-  static constexpr size_t kHeaderSize = 4;
+  // Checksum (4) + slot_count (2) + free_end (2).
+  static constexpr size_t kHeaderSize = 8;
   static constexpr size_t kSlotSize = 4;
+  static constexpr size_t kSlotCountOffset = 4;
+  static constexpr size_t kFreeEndOffset = 6;
 
   uint16_t ReadU16(size_t offset) const;
   void WriteU16(size_t offset, uint16_t value);
   uint16_t SlotOffset(uint16_t slot) const;
   uint16_t SlotLength(uint16_t slot) const;
   void SetSlot(uint16_t slot, uint16_t offset, uint16_t length);
-  uint16_t free_end() const { return ReadU16(2); }
-  void set_free_end(uint16_t v) { WriteU16(2, v); }
+  uint16_t free_end() const { return ReadU16(kFreeEndOffset); }
+  void set_free_end(uint16_t v) { WriteU16(kFreeEndOffset, v); }
   // Rewrites live records contiguously at the end of the page.
   void Compact();
   // Total record bytes that are live (used by CanFit/Compact).

@@ -56,11 +56,16 @@ Status AcobDatabase::ColdRestart() {
   store.reset();
   buffer.reset();
   buffer = std::make_unique<BufferManager>(
-      disk.get(), BufferOptions{options.buffer_frames, options.replacement});
+      disk.get(), BufferOptions{options.buffer_frames, options.replacement,
+                                options.retry});
   store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
   store->set_next_oid(next_oid);
   disk->ResetStats();
   disk->ParkHead(0);
+  if (faulty != nullptr) {
+    faulty->ResetFaultState();
+    faulty->set_enabled(true);
+  }
   return Status::OK();
 }
 
@@ -81,10 +86,16 @@ Result<std::unique_ptr<AcobDatabase>> BuildAcobDatabase(
 
   auto db = std::make_unique<AcobDatabase>();
   db->options = options;
-  db->disk = std::make_unique<SimulatedDisk>();
+  if (options.faults.any()) {
+    auto faulty = std::make_unique<FaultInjectingDisk>(options.faults);
+    db->faulty = faulty.get();
+    db->disk = std::move(faulty);
+  } else {
+    db->disk = std::make_unique<SimulatedDisk>();
+  }
   db->buffer = std::make_unique<BufferManager>(
-      db->disk.get(),
-      BufferOptions{options.buffer_frames, options.replacement});
+      db->disk.get(), BufferOptions{options.buffer_frames, options.replacement,
+                                    options.retry});
   db->directory = std::make_unique<HashDirectory>();
   db->store =
       std::make_unique<ObjectStore>(db->buffer.get(), db->directory.get());

@@ -46,6 +46,7 @@
 #include "object/directory.h"
 #include "object/object_store.h"
 #include "storage/disk.h"
+#include "storage/faulty_disk.h"
 
 namespace cobra {
 
@@ -76,12 +77,20 @@ struct AcobOptions {
   // First OID this database assigns.  Partitioned builds give each device a
   // disjoint OID range so objects are globally identifiable.
   Oid first_oid = 1;
+  // Fault injection (robustness experiments).  When any rate is non-zero
+  // the database is backed by a FaultInjectingDisk; injection stays
+  // disarmed during the build and is armed by every ColdRestart.
+  FaultProfile faults = {};
+  // Transient-read retry policy of the measurement buffer pool.
+  RetryPolicy retry = {};
 };
 
 // A fully built benchmark database plus everything an experiment needs.
 struct AcobDatabase {
   AcobOptions options;
   std::unique_ptr<SimulatedDisk> disk;
+  // Borrowed view of `disk` when options.faults is active; null otherwise.
+  FaultInjectingDisk* faulty = nullptr;
   std::unique_ptr<BufferManager> buffer;
   std::unique_ptr<HashDirectory> directory;
   std::unique_ptr<ObjectStore> store;
@@ -101,7 +110,9 @@ struct AcobDatabase {
   size_t data_pages = 0;
 
   // Drops the buffer pool (flushing first) and reopens a cold one, resets
-  // disk statistics and parks the head at page 0.  Call before each
+  // disk statistics and parks the head at page 0.  With fault injection
+  // configured, arms the injector and resets its per-page attempt state so
+  // every run replays the identical fault schedule.  Call before each
   // measured run.
   Status ColdRestart();
 };

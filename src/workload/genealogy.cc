@@ -17,11 +17,16 @@ Status GenealogyDatabase::ColdRestart() {
   store.reset();
   buffer.reset();
   buffer = std::make_unique<BufferManager>(
-      disk.get(), BufferOptions{options.buffer_frames, ReplacementKind::kLru});
+      disk.get(), BufferOptions{options.buffer_frames, ReplacementKind::kLru,
+                                options.retry});
   store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
   store->set_next_oid(next_oid);
   disk->ResetStats();
   disk->ParkHead(0);
+  if (faulty != nullptr) {
+    faulty->ResetFaultState();
+    faulty->set_enabled(true);
+  }
   return Status::OK();
 }
 
@@ -33,10 +38,16 @@ Result<std::unique_ptr<GenealogyDatabase>> BuildGenealogyDatabase(
   }
   auto db = std::make_unique<GenealogyDatabase>();
   db->options = options;
-  db->disk = std::make_unique<SimulatedDisk>();
+  if (options.faults.any()) {
+    auto faulty = std::make_unique<FaultInjectingDisk>(options.faults);
+    db->faulty = faulty.get();
+    db->disk = std::move(faulty);
+  } else {
+    db->disk = std::make_unique<SimulatedDisk>();
+  }
   db->buffer = std::make_unique<BufferManager>(
-      db->disk.get(),
-      BufferOptions{options.buffer_frames, ReplacementKind::kLru});
+      db->disk.get(), BufferOptions{options.buffer_frames,
+                                    ReplacementKind::kLru, options.retry});
   db->directory = std::make_unique<HashDirectory>();
   db->store =
       std::make_unique<ObjectStore>(db->buffer.get(), db->directory.get());

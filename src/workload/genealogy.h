@@ -58,11 +58,17 @@ struct GenealogyOptions {
   Clustering clustering = Clustering::kUnclustered;
   uint64_t seed = 7;
   size_t buffer_frames = 8192;
+  // Fault injection: same semantics as AcobOptions::faults (disarmed during
+  // the build, armed by ColdRestart).
+  FaultProfile faults = {};
+  RetryPolicy retry = {};
 };
 
 struct GenealogyDatabase {
   GenealogyOptions options;
   std::unique_ptr<SimulatedDisk> disk;
+  // Borrowed view of `disk` when options.faults is active; null otherwise.
+  FaultInjectingDisk* faulty = nullptr;
   std::unique_ptr<BufferManager> buffer;
   std::unique_ptr<HashDirectory> directory;
   std::unique_ptr<ObjectStore> store;

@@ -5,15 +5,21 @@
 
 #include "buffer/buffer_manager.h"
 #include "buffer/replacement.h"
+#include "storage/checksum.h"
 #include "storage/disk.h"
 
 namespace cobra {
 namespace {
 
+// Raw pages bypass the buffer manager, so bytes [0, kPageChecksumSize) must
+// stay zero ("unstamped"); the marker byte lives just past the checksum
+// field.
+constexpr size_t kMarker = kPageChecksumSize;
+
 void FillDisk(SimulatedDisk* disk, PageId count) {
   std::vector<std::byte> page(disk->page_size());
   for (PageId p = 0; p < count; ++p) {
-    page[0] = static_cast<std::byte>(p & 0xFF);
+    page[kMarker] = static_cast<std::byte>(p & 0xFF);
     ASSERT_TRUE(disk->WritePage(p, page.data()).ok());
   }
   disk->ResetStats();
@@ -25,7 +31,7 @@ TEST(BufferTest, FetchReadsThroughOnFault) {
   BufferManager buffer(&disk, BufferOptions{.num_frames = 8});
   auto guard = buffer.FetchPage(2);
   ASSERT_TRUE(guard.ok());
-  EXPECT_EQ(guard->data()[0], std::byte{2});
+  EXPECT_EQ(guard->data()[kMarker], std::byte{2});
   EXPECT_EQ(buffer.stats().faults, 1u);
   EXPECT_EQ(buffer.stats().hits, 0u);
 }
@@ -59,12 +65,12 @@ TEST(BufferTest, CreatePageZeroFilledAndDirty) {
   for (std::byte b : guard->data()) {
     ASSERT_EQ(b, std::byte{0});
   }
-  guard->data()[0] = std::byte{0xEE};
+  guard->data()[kMarker] = std::byte{0xEE};
   guard->Release();
   ASSERT_TRUE(buffer.FlushAll().ok());
   std::vector<std::byte> out(disk.page_size());
   ASSERT_TRUE(disk.ReadPage(7, out.data()).ok());
-  EXPECT_EQ(out[0], std::byte{0xEE});
+  EXPECT_EQ(out[kMarker], std::byte{0xEE});
 }
 
 TEST(BufferTest, CreateExistingPageFails) {
@@ -81,7 +87,7 @@ TEST(BufferTest, EvictionWritesBackDirtyVictim) {
   {
     auto g = buffer.FetchPage(0);
     ASSERT_TRUE(g.ok());
-    g->data()[0] = std::byte{0x77};
+    g->data()[kMarker] = std::byte{0x77};
     g->MarkDirty();
   }
   // Fill both frames with other pages, evicting page 0.
@@ -91,7 +97,7 @@ TEST(BufferTest, EvictionWritesBackDirtyVictim) {
   EXPECT_GE(buffer.stats().dirty_writebacks, 1u);
   std::vector<std::byte> out(disk.page_size());
   ASSERT_TRUE(disk.ReadPage(0, out.data()).ok());
-  EXPECT_EQ(out[0], std::byte{0x77});
+  EXPECT_EQ(out[kMarker], std::byte{0x77});
 }
 
 TEST(BufferTest, PinnedPagesAreNotEvicted) {
@@ -104,7 +110,7 @@ TEST(BufferTest, PinnedPagesAreNotEvicted) {
   { auto g = buffer.FetchPage(2); ASSERT_TRUE(g.ok()); }
   // Page 0 stayed resident throughout.
   EXPECT_TRUE(buffer.IsResident(0));
-  EXPECT_EQ(pinned->data()[0], std::byte{0});
+  EXPECT_EQ(pinned->data()[kMarker], std::byte{0});
 }
 
 TEST(BufferTest, AllFramesPinnedIsResourceExhausted) {
@@ -143,7 +149,7 @@ TEST(BufferTest, ClockPolicyEvictsAndStaysCorrect) {
   for (PageId p = 0; p < 16; ++p) {
     auto g = buffer.FetchPage(p);
     ASSERT_TRUE(g.ok());
-    EXPECT_EQ(g->data()[0], std::byte{static_cast<uint8_t>(p)});
+    EXPECT_EQ(g->data()[kMarker], std::byte{static_cast<uint8_t>(p)});
   }
   EXPECT_EQ(buffer.stats().faults, 16u);
   EXPECT_EQ(buffer.stats().evictions, 12u);

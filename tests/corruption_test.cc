@@ -1,0 +1,438 @@
+// Fault-model coverage: page checksums, the buffer manager's retry policy,
+// frame-leak-free error paths, the object/store corruption branches, and
+// deterministic degraded-mode assembly (ErrorPolicy) without randomness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "buffer/buffer_manager.h"
+#include "file/heap_file.h"
+#include "object/directory.h"
+#include "object/object.h"
+#include "object/object_store.h"
+#include "storage/checksum.h"
+#include "storage/disk.h"
+#include "storage/faulty_disk.h"
+#include "workload/genealogy.h"
+
+namespace cobra {
+namespace {
+
+// ---------------------------------------------------------------- checksum
+
+std::vector<std::byte> PatternPage(size_t size) {
+  std::vector<std::byte> page(size);
+  for (size_t i = 0; i < size; ++i) {
+    page[i] = static_cast<std::byte>((i * 31 + 7) & 0xFF);
+  }
+  return page;
+}
+
+TEST(ChecksumTest, StampAndVerifyRoundTrip) {
+  std::vector<std::byte> page = PatternPage(1024);
+  StampPageChecksum(page.data(), page.size());
+  EXPECT_TRUE(VerifyPageChecksum(page.data(), page.size(), 7).ok());
+}
+
+TEST(ChecksumTest, UnstampedPageSkipsVerification) {
+  // Stored checksum 0 means "never written back through the buffer"; such
+  // pages (fresh test fixtures, raw writes) must stay readable.
+  std::vector<std::byte> page = PatternPage(1024);
+  page[0] = page[1] = page[2] = page[3] = std::byte{0};
+  EXPECT_TRUE(VerifyPageChecksum(page.data(), page.size(), 7).ok());
+}
+
+TEST(ChecksumTest, DetectsBitFlip) {
+  std::vector<std::byte> page = PatternPage(1024);
+  StampPageChecksum(page.data(), page.size());
+  for (size_t offset : {size_t{4}, size_t{100}, size_t{1023}}) {
+    std::vector<std::byte> copy = page;
+    copy[offset] ^= std::byte{0x10};
+    Status status = VerifyPageChecksum(copy.data(), copy.size(), 42);
+    EXPECT_TRUE(status.IsCorruption()) << "offset " << offset;
+  }
+}
+
+TEST(ChecksumTest, DetectsTornPage) {
+  std::vector<std::byte> page = PatternPage(1024);
+  StampPageChecksum(page.data(), page.size());
+  std::fill(page.begin() + 512, page.end(), std::byte{0});
+  EXPECT_TRUE(VerifyPageChecksum(page.data(), page.size(), 1).IsCorruption());
+}
+
+// ------------------------------------------------------ fault-injecting disk
+
+TEST(FaultInjectingDiskTest, DisarmedBehavesLikeBase) {
+  FaultInjectingDisk disk(FaultProfile::Mixed(1));
+  std::vector<std::byte> in(disk.page_size(), std::byte{0x5A});
+  ASSERT_TRUE(disk.WritePage(3, in.data()).ok());
+  std::vector<std::byte> out(disk.page_size());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(disk.ReadPage(3, out.data()).ok());
+    ASSERT_EQ(out, in);
+  }
+  EXPECT_EQ(disk.fault_stats().total(), 0u);
+}
+
+TEST(FaultInjectingDiskTest, TransientRateOneFailsEveryAttempt) {
+  FaultProfile profile;
+  profile.seed = 9;
+  profile.transient_read_fail = 1.0;
+  FaultInjectingDisk disk(profile);
+  std::vector<std::byte> buf(disk.page_size(), std::byte{0});
+  ASSERT_TRUE(disk.WritePage(0, buf.data()).ok());
+  disk.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(disk.ReadPage(0, buf.data()).IsUnavailable());
+  }
+  EXPECT_EQ(disk.fault_stats().transient_failures, 5u);
+}
+
+TEST(FaultInjectingDiskTest, PermanentRateOneNeverRecovers) {
+  FaultProfile profile;
+  profile.seed = 9;
+  profile.permanent_page_fail = 1.0;
+  FaultInjectingDisk disk(profile);
+  std::vector<std::byte> buf(disk.page_size(), std::byte{0});
+  ASSERT_TRUE(disk.WritePage(0, buf.data()).ok());
+  disk.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(disk.ReadPage(0, buf.data()).IsCorruption());
+  }
+  EXPECT_EQ(disk.fault_stats().permanent_failures, 5u);
+}
+
+TEST(FaultInjectingDiskTest, ScheduleIsDeterministicAndReplayable) {
+  auto run = [](FaultInjectingDisk* disk) {
+    std::vector<int> codes;
+    std::vector<std::byte> buf(disk->page_size());
+    for (PageId page = 0; page < 32; ++page) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        Status status = disk->ReadPage(page, buf.data());
+        codes.push_back(static_cast<int>(status.code()));
+        codes.push_back(
+            static_cast<int>(buf[disk->page_size() / 2 + 13]));
+      }
+    }
+    return codes;
+  };
+
+  FaultProfile profile = FaultProfile::Mixed(1234);
+  FaultInjectingDisk a(profile);
+  FaultInjectingDisk b(profile);
+  std::vector<std::byte> page = PatternPage(a.page_size());
+  StampPageChecksum(page.data(), page.size());
+  for (PageId id = 0; id < 32; ++id) {
+    ASSERT_TRUE(a.WritePage(id, page.data()).ok());
+    ASSERT_TRUE(b.WritePage(id, page.data()).ok());
+  }
+  a.set_enabled(true);
+  b.set_enabled(true);
+
+  std::vector<int> first = run(&a);
+  EXPECT_EQ(first, run(&b));  // same seed, same schedule
+  EXPECT_GT(a.fault_stats().total(), 0u) << "profile injected nothing";
+
+  // ResetFaultState clears per-page attempt numbers: the schedule replays.
+  a.ResetFaultState();
+  EXPECT_EQ(first, run(&a));
+}
+
+// ------------------------------------------------------- buffer retry path
+
+// Builds `n` checksummed pages 0..n-1 through a throwaway buffer pool so
+// fetches verify cleanly.
+void WriteStampedPages(SimulatedDisk* disk, size_t n) {
+  BufferManager loader(disk, BufferOptions{.num_frames = 8});
+  for (PageId id = 0; id < n; ++id) {
+    auto guard = loader.CreatePage(id);
+    ASSERT_TRUE(guard.ok());
+    guard->data()[100] = static_cast<std::byte>(id + 1);
+  }
+  ASSERT_TRUE(loader.FlushAll().ok());
+}
+
+TEST(BufferRetryTest, ExhaustedRetriesReturnUnavailable) {
+  FaultProfile profile;
+  profile.seed = 5;
+  profile.transient_read_fail = 1.0;
+  FaultInjectingDisk disk(profile);
+  WriteStampedPages(&disk, 1);
+  disk.set_enabled(true);
+
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 4});
+  auto guard = buffer.FetchPage(0);
+  ASSERT_FALSE(guard.ok());
+  EXPECT_TRUE(guard.status().IsUnavailable());
+  EXPECT_EQ(buffer.stats().retries, 2u);  // 3 attempts = 2 retries
+  EXPECT_EQ(buffer.stats().retries_exhausted, 1u);
+  EXPECT_EQ(buffer.pinned_frames(), 0u);
+}
+
+TEST(BufferRetryTest, BackoffChargedAsReadSeekCost) {
+  FaultProfile profile;
+  profile.seed = 5;
+  profile.transient_read_fail = 1.0;
+  FaultInjectingDisk disk(profile);
+  WriteStampedPages(&disk, 1);
+  disk.ParkHead(0);
+  disk.ResetStats();
+  disk.set_enabled(true);
+
+  BufferOptions options{.num_frames = 4};
+  options.retry.max_read_attempts = 3;
+  options.retry.backoff_seek_pages = 16;
+  BufferManager buffer(&disk, options);
+  ASSERT_FALSE(buffer.FetchPage(0).ok());
+  // Page 0 with the head parked at 0: the only read seek cost is the
+  // deterministic linear backoff, 1*16 + 2*16.
+  EXPECT_EQ(disk.stats().reads, 3u);
+  EXPECT_EQ(disk.stats().read_seek_pages, 48u);
+}
+
+TEST(BufferRetryTest, TransientFaultsRecoverWithinBudget) {
+  FaultProfile profile;
+  profile.seed = 77;
+  profile.transient_read_fail = 0.4;
+  FaultInjectingDisk disk(profile);
+  WriteStampedPages(&disk, 16);
+  disk.set_enabled(true);
+
+  BufferOptions options{.num_frames = 16};
+  options.retry.max_read_attempts = 10;
+  BufferManager buffer(&disk, options);
+  for (PageId id = 0; id < 16; ++id) {
+    auto guard = buffer.FetchPage(id);
+    ASSERT_TRUE(guard.ok()) << "page " << id << ": "
+                            << guard.status().ToString();
+    EXPECT_EQ(guard->data()[100], static_cast<std::byte>(id + 1));
+  }
+  EXPECT_GT(buffer.stats().retries, 0u);  // at least one first attempt failed
+  EXPECT_EQ(buffer.stats().retries_exhausted, 0u);
+}
+
+TEST(BufferChecksumTest, CorruptedPageFailsFetchPermanently) {
+  SimulatedDisk disk;
+  WriteStampedPages(&disk, 2);
+
+  // Flip one payload byte of page 0 behind the buffer manager's back.
+  std::vector<std::byte> raw(disk.page_size());
+  ASSERT_TRUE(disk.ReadPage(0, raw.data()).ok());
+  raw[100] ^= std::byte{0x01};
+  ASSERT_TRUE(disk.WritePage(0, raw.data()).ok());
+
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 1});
+  auto bad = buffer.FetchPage(0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsCorruption());
+  EXPECT_EQ(buffer.stats().checksum_failures, 1u);
+  EXPECT_EQ(buffer.pinned_frames(), 0u);
+
+  // The single frame was returned to the pool: page 1 still fetches.
+  auto good = buffer.FetchPage(1);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->data()[100], std::byte{2});
+}
+
+TEST(BufferChecksumTest, VerificationAddsNoReads) {
+  SimulatedDisk disk;
+  WriteStampedPages(&disk, 4);
+  disk.ResetStats();
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 4});
+  for (PageId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(buffer.FetchPage(id).ok());
+  }
+  EXPECT_EQ(disk.stats().reads, 4u);  // exactly one read per fault
+  EXPECT_EQ(buffer.stats().checksum_failures, 0u);
+}
+
+TEST(BufferFetchTest, NoFrameLeakOnNotFound) {
+  SimulatedDisk disk;
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 1});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(buffer.FetchPage(99).status().IsNotFound());
+  }
+  EXPECT_EQ(buffer.pinned_frames(), 0u);
+  EXPECT_TRUE(buffer.CreatePage(1).ok());  // the one frame is still usable
+}
+
+// ----------------------------------------------- object corruption branches
+
+TEST(ObjectCorruptionTest, TruncatedRecord) {
+  auto empty = ObjectData::Deserialize({});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_TRUE(empty.status().IsCorruption());
+
+  ObjectData obj;
+  obj.oid = 1;
+  obj.type_id = 2;
+  obj.fields = {10, 20, 30, 40};
+  obj.refs = {5, 6};
+  std::vector<std::byte> bytes = obj.Serialize();
+  // Cut inside the header: the OID field cannot even be read.
+  auto truncated =
+      ObjectData::Deserialize(std::span<const std::byte>(bytes.data(), 5));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_TRUE(truncated.status().IsCorruption());
+}
+
+TEST(ObjectCorruptionTest, SizeMismatch) {
+  ObjectData obj;
+  obj.oid = 1;
+  obj.type_id = 2;
+  obj.fields = {10, 20, 30, 40};
+  obj.refs = {5, 6};
+  std::vector<std::byte> bytes = obj.Serialize();
+  // Header intact but the body is short: declared counts disagree with the
+  // record length.
+  auto short_body = ObjectData::Deserialize(
+      std::span<const std::byte>(bytes.data(), bytes.size() - 4));
+  ASSERT_FALSE(short_body.ok());
+  EXPECT_TRUE(short_body.status().IsCorruption());
+
+  bytes.push_back(std::byte{0});  // trailing garbage
+  auto long_body = ObjectData::Deserialize(bytes);
+  ASSERT_FALSE(long_body.ok());
+  EXPECT_TRUE(long_body.status().IsCorruption());
+}
+
+TEST(ObjectStoreCorruptionTest, DirectoryPointsAtWrongOid) {
+  SimulatedDisk disk;
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 64});
+  HashDirectory directory;
+  ObjectStore store(&buffer, &directory);
+  HeapFile file(&buffer, 0, 8);
+
+  ObjectData obj;
+  obj.oid = store.AllocateOid();
+  obj.type_id = 1;
+  obj.fields = {1, 2, 3, 4};
+  obj.refs = {};
+  auto stored = store.Insert(obj, &file);
+  ASSERT_TRUE(stored.ok());
+
+  // Misdirect a fresh OID at the stored record.
+  auto location = directory.Lookup(*stored);
+  ASSERT_TRUE(location.ok());
+  Oid bogus = store.AllocateOid();
+  ASSERT_TRUE(directory.Put(bogus, *location).ok());
+
+  auto got = store.Get(bogus);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsCorruption());
+  EXPECT_TRUE(store.Get(*stored).ok());  // the real OID still resolves
+}
+
+// -------------------------------------------- degraded-mode assembly (det.)
+
+// Runs the lives-close-to-father plan, returning matched person OIDs
+// through `matches` and the operator stats through `stats`.
+Status RunPlan(GenealogyDatabase* db, const AssemblyOptions& options,
+               std::vector<Oid>* matches, AssemblyStats* stats) {
+  matches->clear();
+  COBRA_RETURN_IF_ERROR(db->ColdRestart());
+  AssemblyOperator* assembly = nullptr;
+  std::unique_ptr<exec::Iterator> plan =
+      MakeLivesCloseToFatherPlan(db, options, &assembly);
+  COBRA_RETURN_IF_ERROR(plan->Open());
+  exec::Row row;
+  for (;;) {
+    Result<bool> has = plan->Next(&row);
+    if (!has.ok()) {
+      (void)plan->Close();
+      return has.status();
+    }
+    if (!*has) break;
+    matches->push_back(row[0].AsObject()->oid);
+  }
+  *stats = assembly->stats();
+  return plan->Close();
+}
+
+class DegradedModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GenealogyOptions options;
+    options.num_people = 200;
+    options.seed = 11;
+    auto built = BuildGenealogyDatabase(options);
+    ASSERT_TRUE(built.ok());
+    db_ = std::move(built).value();
+  }
+
+  // Unregisters the residence of person `index`, creating a dangling OID.
+  Oid BreakResidenceOf(size_t index) {
+    auto person = db_->store->Get(db_->persons[index]);
+    EXPECT_TRUE(person.ok());
+    Oid residence = person->refs[kPersonResidenceSlot];
+    EXPECT_TRUE(db_->directory->Remove(residence).ok());
+    return residence;
+  }
+
+  std::unique_ptr<GenealogyDatabase> db_;
+};
+
+TEST_F(DegradedModeTest, FailQuerySurfacesFirstError) {
+  std::vector<Oid> baseline;
+  AssemblyStats stats;
+  AssemblyOptions options;
+  options.window_size = 8;
+  ASSERT_TRUE(RunPlan(db_.get(), options, &baseline, &stats).ok());
+  EXPECT_EQ(stats.objects_dropped, 0u);
+
+  BreakResidenceOf(0);
+  std::vector<Oid> matches;
+  Status status = RunPlan(db_.get(), options, &matches, &stats);
+  ASSERT_FALSE(status.ok());  // default policy: first error kills the query
+  EXPECT_TRUE(status.IsNotFound());
+}
+
+TEST_F(DegradedModeTest, SkipObjectDropsOnlyAffectedObjects) {
+  AssemblyOptions options;
+  options.window_size = 8;
+  std::vector<Oid> baseline;
+  AssemblyStats stats;
+  ASSERT_TRUE(RunPlan(db_.get(), options, &baseline, &stats).ok());
+
+  Oid broken = BreakResidenceOf(0);
+  options.error_policy = ErrorPolicy::kSkipObject;
+  std::vector<Oid> degraded;
+  ASSERT_TRUE(RunPlan(db_.get(), options, &degraded, &stats).ok());
+
+  // Residences are shared: everyone in the broken household drops, nobody
+  // else does.  The query completed over the survivors.
+  EXPECT_GT(stats.objects_dropped, 0u);
+  EXPECT_EQ(stats.complex_admitted, db_->persons.size());
+  EXPECT_EQ(stats.complex_admitted, stats.complex_emitted +
+                                        stats.complex_aborted +
+                                        stats.objects_dropped);
+  std::set<Oid> baseline_set(baseline.begin(), baseline.end());
+  for (Oid oid : degraded) {
+    EXPECT_TRUE(baseline_set.contains(oid)) << "non-baseline survivor " << oid;
+  }
+  EXPECT_LT(degraded.size(), baseline.size() + 1);  // nothing appeared
+  (void)broken;
+}
+
+TEST_F(DegradedModeTest, DropSetIsStableAcrossRuns) {
+  BreakResidenceOf(3);
+  AssemblyOptions options;
+  options.window_size = 8;
+  options.error_policy = ErrorPolicy::kSkipObject;
+  std::vector<Oid> first;
+  std::vector<Oid> second;
+  AssemblyStats stats_first;
+  AssemblyStats stats_second;
+  ASSERT_TRUE(RunPlan(db_.get(), options, &first, &stats_first).ok());
+  ASSERT_TRUE(RunPlan(db_.get(), options, &second, &stats_second).ok());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(stats_first.objects_dropped, stats_second.objects_dropped);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,214 @@
+// Randomized fault-schedule stress over the genealogy workload (seeded,
+// reproducible).  Built as a separate binary carrying the `stress` ctest
+// label so the CI sanitizer job can run it explicitly: the point is that no
+// fault schedule crashes the engine under ASan/UBSan, identical seeds give
+// identical surviving-object sets, and with injection off nothing drops.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "storage/faulty_disk.h"
+#include "workload/genealogy.h"
+
+namespace cobra {
+namespace {
+
+// Heavier than FaultProfile::Mixed so every category fires within a small
+// workload; rates are still low enough that most objects survive.
+FaultProfile StressProfile(uint64_t seed) {
+  FaultProfile profile;
+  profile.seed = seed;
+  profile.transient_read_fail = 0.05;
+  profile.permanent_page_fail = 0.005;
+  profile.bit_flip = 0.02;
+  profile.torn_page = 0.01;
+  profile.extra_latency = 0.02;
+  return profile;
+}
+
+GenealogyOptions StressOptions() {
+  GenealogyOptions options;
+  options.num_people = 400;
+  options.seed = 11;
+  // A small pool forces evictions and re-reads, so retried pages re-draw
+  // faults at later attempt numbers too.
+  options.buffer_frames = 64;
+  return options;
+}
+
+// Records the OIDs of dropped complex objects, in drop order.
+class DropRecorder : public AssemblyObserver {
+ public:
+  void OnEvent(const AssemblyEvent& event) override {
+    if (event.kind == AssemblyEvent::Kind::kDrop) {
+      drops_.push_back(event.oid);
+    }
+  }
+  const std::vector<Oid>& drops() const { return drops_; }
+
+ private:
+  std::vector<Oid> drops_;
+};
+
+struct RunOutcome {
+  Status status = Status::OK();
+  std::vector<Oid> matches;  // emission order
+  std::vector<Oid> drops;    // drop order
+  AssemblyStats stats;
+  FaultStats faults;
+};
+
+RunOutcome RunPlan(GenealogyDatabase* db, const AssemblyOptions& options) {
+  RunOutcome out;
+  out.status = db->ColdRestart();
+  if (!out.status.ok()) return out;
+
+  AssemblyOperator* assembly = nullptr;
+  std::unique_ptr<exec::Iterator> plan =
+      MakeLivesCloseToFatherPlan(db, options, &assembly);
+  DropRecorder recorder;
+  assembly->set_observer(&recorder);
+
+  out.status = plan->Open();
+  if (out.status.ok()) {
+    exec::Row row;
+    for (;;) {
+      Result<bool> has = plan->Next(&row);
+      if (!has.ok()) {
+        out.status = has.status();
+        break;
+      }
+      if (!*has) break;
+      out.matches.push_back(row[0].AsObject()->oid);
+    }
+  }
+  out.stats = assembly->stats();
+  out.drops = recorder.drops();
+  if (db->faulty != nullptr) out.faults = db->faulty->fault_stats();
+  Status closed = plan->Close();
+  if (out.status.ok()) out.status = closed;
+  return out;
+}
+
+std::set<Oid> AsSet(const std::vector<Oid>& v) { return {v.begin(), v.end()}; }
+
+TEST(FaultInjectionStressTest, NoInjectionMeansNoDrops) {
+  auto built = BuildGenealogyDatabase(StressOptions());
+  ASSERT_TRUE(built.ok());
+  auto db = std::move(built).value();
+  ASSERT_EQ(db->faulty, nullptr);  // profile all-zero: plain disk
+
+  AssemblyOptions options;
+  options.error_policy = ErrorPolicy::kSkipObject;
+  RunOutcome run = RunPlan(db.get(), options);
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_EQ(run.stats.objects_dropped, 0u);
+  EXPECT_TRUE(run.drops.empty());
+
+  auto naive = LivesCloseToFatherNaive(db.get());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(AsSet(run.matches), AsSet(*naive));
+}
+
+TEST(FaultInjectionStressTest, IdenticalSeedsProduceIdenticalOutcomes) {
+  GenealogyOptions options = StressOptions();
+  options.faults = StressProfile(0xC0B7A);
+  auto built = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(built.ok());
+  auto db = std::move(built).value();
+  ASSERT_NE(db->faulty, nullptr);
+
+  AssemblyOptions aopts;
+  aopts.error_policy = ErrorPolicy::kSkipObject;
+  // ColdRestart (inside RunPlan) resets fault state, so both runs replay
+  // the identical schedule.
+  RunOutcome first = RunPlan(db.get(), aopts);
+  RunOutcome second = RunPlan(db.get(), aopts);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+
+  EXPECT_GT(first.faults.total(), 0u) << "profile injected nothing";
+  EXPECT_EQ(first.matches, second.matches);  // order included
+  EXPECT_EQ(first.drops, second.drops);
+  EXPECT_EQ(first.stats.objects_dropped, second.stats.objects_dropped);
+  EXPECT_EQ(first.faults.total(), second.faults.total());
+}
+
+TEST(FaultInjectionStressTest, FailQueryPolicySurfacesFirstError) {
+  GenealogyOptions options = StressOptions();
+  options.faults.seed = 3;
+  options.faults.permanent_page_fail = 1.0;  // every page read fails
+  auto built = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(built.ok());
+  auto db = std::move(built).value();
+
+  AssemblyOptions aopts;  // default policy: kFailQuery
+  RunOutcome failed = RunPlan(db.get(), aopts);
+  ASSERT_FALSE(failed.status.ok());
+  EXPECT_TRUE(failed.status.IsCorruption()) << failed.status.ToString();
+  EXPECT_TRUE(failed.matches.empty());
+
+  // Same schedule under kSkipObject: the query completes with every complex
+  // object dropped instead of failing.
+  aopts.error_policy = ErrorPolicy::kSkipObject;
+  RunOutcome degraded = RunPlan(db.get(), aopts);
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_TRUE(degraded.matches.empty());
+  EXPECT_EQ(degraded.stats.objects_dropped, degraded.stats.complex_admitted);
+  EXPECT_GT(degraded.stats.objects_dropped, 0u);
+}
+
+TEST(FaultInjectionStressTest, ManySeedsPreserveInvariants) {
+  // Fault-free baseline: the survivor set of any degraded run must be a
+  // subset of these matches (drops remove objects, never add or alter them —
+  // checksums stop corrupted payloads from reaching the filter).
+  auto clean_built = BuildGenealogyDatabase(StressOptions());
+  ASSERT_TRUE(clean_built.ok());
+  auto clean_db = std::move(clean_built).value();
+  AssemblyOptions aopts;
+  aopts.error_policy = ErrorPolicy::kSkipObject;
+  RunOutcome baseline = RunPlan(clean_db.get(), aopts);
+  ASSERT_TRUE(baseline.status.ok());
+  std::set<Oid> clean_matches = AsSet(baseline.matches);
+
+  uint64_t total_drops = 0;
+  uint64_t total_faults = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    GenealogyOptions options = StressOptions();
+    options.faults = StressProfile(seed);
+    auto built = BuildGenealogyDatabase(options);
+    ASSERT_TRUE(built.ok());
+    auto db = std::move(built).value();
+
+    RunOutcome run = RunPlan(db.get(), aopts);
+    ASSERT_TRUE(run.status.ok())
+        << "seed " << seed << ": " << run.status.ToString();
+
+    EXPECT_EQ(run.stats.complex_admitted,
+              run.stats.complex_emitted + run.stats.complex_aborted +
+                  run.stats.objects_dropped)
+        << "seed " << seed;
+    EXPECT_EQ(run.stats.objects_dropped, run.drops.size()) << "seed " << seed;
+    for (Oid oid : run.matches) {
+      EXPECT_TRUE(clean_matches.contains(oid))
+          << "seed " << seed << " emitted non-baseline object " << oid;
+    }
+    std::set<Oid> dropped = AsSet(run.drops);
+    for (Oid oid : run.matches) {
+      EXPECT_FALSE(dropped.contains(oid))
+          << "seed " << seed << " both emitted and dropped " << oid;
+    }
+    total_drops += run.stats.objects_dropped;
+    total_faults += run.faults.total();
+  }
+  // Across six seeds the profile must actually have exercised degraded mode.
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(total_drops, 0u);
+}
+
+}  // namespace
+}  // namespace cobra

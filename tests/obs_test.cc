@@ -187,7 +187,9 @@ TEST_F(ObsTest, RingBufferOverflowKeepsTail) {
   for (size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(events[i].page, static_cast<PageId>(6 + i));
     EXPECT_EQ(events[i].kind, obs::TraceEvent::Kind::kBufferHit);
-    if (i > 0) EXPECT_GT(events[i].ts_ns, events[i - 1].ts_ns);
+    if (i > 0) {
+      EXPECT_GT(events[i].ts_ns, events[i - 1].ts_ns);
+    }
   }
 
   recorder.Clear();
