@@ -187,11 +187,11 @@ int main(int argc, char** argv) {
       AssemblyOperator op(RootScan(db->roots), &db->tmpl, db->store.get(),
                           aopts);
       if (auto s = op.Open(); !s.ok()) return 1;
-      exec::Row row;
+      exec::RowBatch batch;
       for (;;) {
-        auto has = op.Next(&row);
-        if (!has.ok()) return 1;
-        if (!*has) break;
+        auto n = op.NextBatch(&batch);
+        if (!n.ok()) return 1;
+        if (*n == 0) break;
       }
       (void)op.Close();
       SeekHistogram histogram =

@@ -80,6 +80,30 @@ struct FaultFlags {
   }
 };
 
+// Output batch size for the bench drain loops: --batch-size N (or
+// --batch-size=N).  Affects only how many rows each NextBatch() call may
+// deliver — full drains do the same I/O in the same order at any size.
+struct BatchFlags {
+  size_t batch_size = exec::RowBatch::kDefaultCapacity;
+
+  static BatchFlags Parse(int argc, char** argv) {
+    BatchFlags flags;
+    auto parse_size = [&flags](const char* value) {
+      unsigned long long n = std::strtoull(value, nullptr, 10);
+      flags.batch_size = n == 0 ? 1 : static_cast<size_t>(n);
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--batch-size" && i + 1 < argc) {
+        parse_size(argv[++i]);
+      } else if (arg.rfind("--batch-size=", 0) == 0) {
+        parse_size(arg.c_str() + 13);
+      }
+    }
+    return flags;
+  }
+};
+
 struct RunResult {
   DiskStats disk;
   BufferStats buffer;
@@ -114,7 +138,9 @@ struct RunResult {
 // measurement.  Aborts the benchmark on error (benchmarks are not supposed
 // to fail silently).  Every run records the disk read trace (for the
 // seek-distance histogram) and publishes into a fresh telemetry registry.
-inline RunResult RunAssembly(AcobDatabase* db, AssemblyOptions options) {
+inline RunResult RunAssembly(
+    AcobDatabase* db, AssemblyOptions options,
+    size_t batch_size = exec::RowBatch::kDefaultCapacity) {
   if (auto s = db->ColdRestart(); !s.ok()) {
     std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
     std::exit(1);
@@ -131,15 +157,15 @@ inline RunResult RunAssembly(AcobDatabase* db, AssemblyOptions options) {
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     std::exit(1);
   }
-  exec::Row row;
+  exec::RowBatch batch(batch_size);
   for (;;) {
-    auto has = op.Next(&row);
-    if (!has.ok()) {
+    auto n = op.NextBatch(&batch);
+    if (!n.ok()) {
       std::fprintf(stderr, "assembly failed: %s\n",
-                   has.status().ToString().c_str());
+                   n.status().ToString().c_str());
       std::exit(1);
     }
-    if (!*has) break;
+    if (*n == 0) break;
   }
   RunResult result;
   result.disk = db->disk->stats();

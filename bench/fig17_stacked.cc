@@ -143,12 +143,12 @@ StackedResult RunSingle(Fig4Database* db, size_t window) {
                       AssemblyOptions{.window_size = window});
   StackedResult result;
   if (auto s = op.Open(); !s.ok()) std::exit(1);
-  exec::Row row;
+  exec::RowBatch batch;
   for (;;) {
-    auto has = op.Next(&row);
-    if (!has.ok()) std::exit(1);
-    if (!*has) break;
-    result.emitted++;
+    auto n = op.NextBatch(&batch);
+    if (!n.ok()) std::exit(1);
+    if (*n == 0) break;
+    result.emitted += *n;
   }
   (void)op.Close();
   result.disk = db->disk->stats();
@@ -171,15 +171,18 @@ StackedResult RunStacked(Fig4Database* db, size_t window) {
   auto prebuilt = std::make_shared<PrebuiltComponents>();
   prebuilt->arena = assembly1->arena();
   std::vector<exec::Row> stage2_inputs;
-  exec::Row row;
+  exec::RowBatch batch;
   for (;;) {
-    auto has = assembly1->Next(&row);
-    if (!has.ok()) std::exit(1);
-    if (!*has) break;
-    AssembledObject* b_obj = row[0].AsObject();
-    prebuilt->by_oid[b_obj->oid] = b_obj;
-    stage2_inputs.push_back(
-        exec::Row{row[1], exec::Value::Prebuilt(prebuilt)});
+    auto n = assembly1->NextBatch(&batch);
+    if (!n.ok()) std::exit(1);
+    if (*n == 0) break;
+    for (size_t i = 0; i < *n; ++i) {
+      const exec::Row& row = batch[i];
+      AssembledObject* b_obj = row[0].AsObject();
+      prebuilt->by_oid[b_obj->oid] = b_obj;
+      stage2_inputs.push_back(
+          exec::Row{row[1], exec::Value::Prebuilt(prebuilt)});
+    }
   }
   (void)assembly1->Close();
 
@@ -191,14 +194,14 @@ StackedResult RunStacked(Fig4Database* db, size_t window) {
   StackedResult result;
   if (auto s = assembly2.Open(); !s.ok()) std::exit(1);
   for (;;) {
-    auto has = assembly2.Next(&row);
-    if (!has.ok()) {
+    auto n = assembly2.NextBatch(&batch);
+    if (!n.ok()) {
       std::fprintf(stderr, "stacked assembly failed: %s\n",
-                   has.status().ToString().c_str());
+                   n.status().ToString().c_str());
       std::exit(1);
     }
-    if (!*has) break;
-    result.emitted++;
+    if (*n == 0) break;
+    result.emitted += *n;
   }
   result.prebuilt_links = assembly2.stats().prebuilt_hits;
   (void)assembly2.Close();

@@ -49,15 +49,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
         return 1;
       }
-      exec::Row row;
+      exec::RowBatch batch;
       for (;;) {
-        auto has = parallel->Next(&row);
-        if (!has.ok()) {
+        auto n = parallel->NextBatch(&batch);
+        if (!n.ok()) {
           std::fprintf(stderr, "next failed: %s\n",
-                       has.status().ToString().c_str());
+                       n.status().ToString().c_str());
           return 1;
         }
-        if (!*has) break;
+        if (*n == 0) break;
       }
       (void)parallel->Close();
       ParallelIoStats stats = (*db)->IoStats();

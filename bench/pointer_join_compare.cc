@@ -76,13 +76,20 @@ int main(int argc, char** argv) {
     (void)(*db)->ColdRestart();  // don't charge the scan twice
     // Row: [person, father_ref, res_ref]
     auto scan = std::make_unique<exec::VectorScan>(std::move(inputs));
+    // The point of this plan is object-at-a-time reference traversal: each
+    // dereference stage fetches per input row, interleaved with the next
+    // stage's fetches on the same disk.  batch_size=1 throughout keeps that
+    // per-row interleave (larger batches would prefetch a whole batch per
+    // stage and change the measured seek pattern).
     // + father -> [.., father_oid, f0..f3] with refs unavailable: pointer
     // join appends scalar fields only, so re-join through OIDs we kept.
-    auto j1 = std::make_unique<exec::PointerJoin>(std::move(scan), 1, 4,
-                                                  (*db)->store.get());
+    auto j1 = std::make_unique<exec::PointerJoin>(
+        std::move(scan), 1, 4, (*db)->store.get(), /*keep_unmatched=*/false,
+        /*batch_size=*/1);
     // j1 row: [person, father_ref, res_ref, father_oid, f0..f3] width 8.
-    auto j2 = std::make_unique<exec::PointerJoin>(std::move(j1), 2, 4,
-                                                  (*db)->store.get());
+    auto j2 = std::make_unique<exec::PointerJoin>(
+        std::move(j1), 2, 4, (*db)->store.get(), /*keep_unmatched=*/false,
+        /*batch_size=*/1);
     // j2 row: + [res_oid, city, zip, lat, lon] width 13 (city at col 9).
     // Father's residence requires the father's refs; PointerJoin flattens
     // scalars only, so fetch father residence via an Fn expression is not
@@ -100,30 +107,32 @@ int main(int argc, char** argv) {
                                  store->Get(row[3].AsOid()));
           return exec::Value::Ref(father.refs[kPersonResidenceSlot]);
         }));
-    auto proj = std::make_unique<exec::Project>(std::move(j2),
-                                                std::move(projections));
+    auto proj = std::make_unique<exec::Project>(
+        std::move(j2), std::move(projections), /*batch_size=*/1);
     // + father residence scalars: [.., fres_oid, fcity, ...] width 19.
-    auto j3 = std::make_unique<exec::PointerJoin>(std::move(proj), 13, 4,
-                                                  (*db)->store.get());
+    auto j3 = std::make_unique<exec::PointerJoin>(
+        std::move(proj), 13, 4, (*db)->store.get(), /*keep_unmatched=*/false,
+        /*batch_size=*/1);
     auto filter = std::make_unique<exec::Filter>(
         std::move(j3),
-        exec::Cmp(exec::CmpOp::kEq, exec::Col(9), exec::Col(15)));
+        exec::Cmp(exec::CmpOp::kEq, exec::Col(9), exec::Col(15)),
+        /*batch_size=*/1);
     if (auto s = filter->Open(); !s.ok()) {
       std::fprintf(stderr, "pointer join open failed: %s\n",
                    s.ToString().c_str());
       return 1;
     }
     size_t matches = 0;
-    exec::Row row;
+    exec::RowBatch batch;
     for (;;) {
-      auto has = filter->Next(&row);
-      if (!has.ok()) {
+      auto n = filter->NextBatch(&batch);
+      if (!n.ok()) {
         std::fprintf(stderr, "pointer join failed: %s\n",
-                     has.status().ToString().c_str());
+                     n.status().ToString().c_str());
         return 1;
       }
-      if (!*has) break;
-      ++matches;
+      if (*n == 0) break;
+      matches += *n;
     }
     (void)filter->Close();
     table.AddRow({"pointer joins (input order)", FmtInt(matches),
@@ -141,12 +150,12 @@ int main(int argc, char** argv) {
     auto plan = MakeLivesCloseToFatherPlan(db->get(), aopts);
     if (auto s = plan->Open(); !s.ok()) return 1;
     size_t matches = 0;
-    exec::Row row;
+    exec::RowBatch batch;
     for (;;) {
-      auto has = plan->Next(&row);
-      if (!has.ok()) return 1;
-      if (!*has) break;
-      ++matches;
+      auto n = plan->NextBatch(&batch);
+      if (!n.ok()) return 1;
+      if (*n == 0) break;
+      matches += *n;
     }
     (void)plan->Close();
     table.AddRow({"assembly, elevator W=" + std::to_string(window),

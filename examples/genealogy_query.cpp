@@ -57,14 +57,15 @@ int main() {
     aopts.window_size = window;
     AssemblyOperator* assembly = nullptr;
     auto plan = MakeLivesCloseToFatherPlan(db->get(), aopts, &assembly);
-    if (auto s = plan->Open(); !s.ok()) {
+    exec::RowAtATimeAdapter rows(plan.get());
+    if (auto s = rows.Open(); !s.ok()) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
     size_t matches = 0;
     exec::Row row;
     for (;;) {
-      auto has = plan->Next(&row);
+      auto has = rows.Next(&row);
       if (!has.ok()) {
         std::fprintf(stderr, "next failed: %s\n",
                      has.status().ToString().c_str());
@@ -73,7 +74,7 @@ int main() {
       if (!*has) break;
       ++matches;
     }
-    (void)plan->Close();
+    (void)rows.Close();
     const DiskStats& d = (*db)->disk->stats();
     table.AddRow({label, FmtInt(matches), FmtInt(d.reads),
                   Fmt(d.AvgSeekPerRead()),

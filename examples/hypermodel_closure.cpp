@@ -61,14 +61,15 @@ int main() {
   std::printf("plan:\n%s\n", builder.Explain().c_str());
   auto plan = std::move(builder).Build();
 
-  if (auto s = plan->Open(); !s.ok()) {
+  exec::RowAtATimeAdapter rows(plan.get());
+  if (auto s = rows.Open(); !s.ok()) {
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     return 1;
   }
   TablePrinter table({"closure root", "distinct nodes", "sum(hundred)"});
   exec::Row row;
   for (;;) {
-    auto has = plan->Next(&row);
+    auto has = rows.Next(&row);
     if (!has.ok()) {
       std::fprintf(stderr, "next failed: %s\n",
                    has.status().ToString().c_str());

@@ -107,14 +107,17 @@ int main() {
       std::make_unique<exec::VectorScan>(std::move(roots)), &tmpl, &store,
       options);
 
-  if (auto s = assembly.Open(); !s.ok()) {
+  // The engine's native interface is batched (NextBatch); the adapter gives
+  // this example its row-at-a-time loop back.
+  exec::RowAtATimeAdapter rows(&assembly);
+  if (auto s = rows.Open(); !s.ok()) {
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("assembled complex objects:\n");
   exec::Row row;
   for (;;) {
-    auto has = assembly.Next(&row);
+    auto has = rows.Next(&row);
     if (!has.ok()) {
       std::fprintf(stderr, "next failed: %s\n",
                    has.status().ToString().c_str());

@@ -134,14 +134,15 @@ int main() {
   std::printf("plan:\n%s\n", builder.Explain().c_str());
 
   auto plan = std::move(builder).Build();
-  if (auto s = plan->Open(); !s.ok()) {
+  RowAtATimeAdapter rows(plan.get());
+  if (auto s = rows.Open(); !s.ok()) {
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     return 1;
   }
   TablePrinter table({"customer city", "orders (qty>=2)", "revenue"});
   Row row;
   for (;;) {
-    auto has = plan->Next(&row);
+    auto has = rows.Next(&row);
     if (!has.ok()) {
       std::fprintf(stderr, "next failed: %s\n",
                    has.status().ToString().c_str());
@@ -152,7 +153,7 @@ int main() {
                   FmtInt(static_cast<uint64_t>(row[1].AsInt())),
                   FmtInt(static_cast<uint64_t>(row[2].AsInt()))});
   }
-  (void)plan->Close();
+  (void)rows.Close();
   table.Print(std::cout);
   std::printf(
       "\n(price is read from the swizzled item object, the address from the\n"

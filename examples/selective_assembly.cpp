@@ -61,13 +61,14 @@ int main() {
     AssemblyOperator assembly(
         std::make_unique<exec::VectorScan>(std::move(roots)), &(*db)->tmpl,
         (*db)->store.get(), aopts);
-    if (auto s = assembly.Open(); !s.ok()) {
+    exec::RowAtATimeAdapter rows(&assembly);
+    if (auto s = rows.Open(); !s.ok()) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
     exec::Row row;
     for (;;) {
-      auto has = assembly.Next(&row);
+      auto has = rows.Next(&row);
       if (!has.ok()) {
         std::fprintf(stderr, "next failed: %s\n",
                      has.status().ToString().c_str());

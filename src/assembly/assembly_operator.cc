@@ -47,7 +47,9 @@ Status AssemblyOperator::Open() {
     return Status::InvalidArgument("window size must be at least 1");
   }
   COBRA_RETURN_IF_ERROR(template_->Validate());
-  COBRA_RETURN_IF_ERROR(input_->Open());
+  input_adapter_.emplace(input_.get(),
+                         options_.batch_size == 0 ? 1 : options_.batch_size);
+  COBRA_RETURN_IF_ERROR(input_adapter_->Open());
   template_recursive_ = template_->IsRecursive();
   scheduler_ = MakeScheduler(options_.scheduler);
   arena_ = std::make_shared<ObjectArena>();
@@ -129,17 +131,21 @@ void AssemblyOperator::ReleasePages(const std::vector<PageId>& pages) {
 
 Status AssemblyOperator::AdmitOne() {
   exec::Row row;
-  COBRA_ASSIGN_OR_RETURN(bool has, input_->Next(&row));
+  COBRA_ASSIGN_OR_RETURN(bool has, input_adapter_->Next(&row));
   if (!has) {
     input_exhausted_ = true;
     return Status::OK();
   }
   if (root_column_ >= row.size()) {
-    return Status::InvalidArgument("assembly root column out of range");
+    return exec::AnnotateError(
+        Status::InvalidArgument("assembly root column out of range"),
+        "Assembly");
   }
   if (row[root_column_].kind() != exec::ValueKind::kOid) {
-    return Status::InvalidArgument("assembly root column must carry an OID, got " +
-                                   row[root_column_].ToString());
+    return exec::AnnotateError(
+        Status::InvalidArgument("assembly root column must carry an OID, got " +
+                                row[root_column_].ToString()),
+        "Assembly");
   }
   Oid root_oid = row[root_column_].AsOid();
   uint64_t id = next_complex_id_++;
@@ -169,7 +175,7 @@ Status AssemblyOperator::AdmitOne() {
       DropComplex(id);
       return Status::OK();
     }
-    return located.status();
+    return exec::AnnotateError(located.status(), "Assembly");
   }
   RecordId location = located.value();
   PendingRef root_ref;
@@ -524,18 +530,22 @@ Status AssemblyOperator::ResolveOne() {
   return FinishOwnRef(ref);
 }
 
-Result<bool> AssemblyOperator::Next(exec::Row* out) {
+Result<size_t> AssemblyOperator::NextBatch(exec::RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(exec::PrepareBatch(out));
   if (!open_) {
-    return Status::Internal("Next() before Open()");
+    return exec::AnnotateError(Status::Internal("NextBatch() before Open()"),
+                               "Assembly");
   }
   for (;;) {
-    if (!ready_.empty()) {
+    // Hand over completed complex objects first; their pages stay charged
+    // to the window until the consumer takes them.
+    while (!ready_.empty() && !out->full()) {
       ReadyRow ready = std::move(ready_.front());
       ready_.pop_front();
       ReleasePages(ready.pages);
-      *out = std::move(ready.row);
-      return true;
+      out->PushRow(std::move(ready.row));
     }
+    if (out->full()) return out->size();
     // Sliding window: refill to W in-flight complex objects.
     while (!input_exhausted_ && in_flight_.size() < options_.window_size) {
       COBRA_RETURN_IF_ERROR(AdmitOne());
@@ -546,16 +556,20 @@ Result<bool> AssemblyOperator::Next(exec::Row* out) {
         // (cyclic object data under a shared template node): each entry
         // waits for another and none can complete.  Acyclic data never
         // stalls.
-        return Status::InvalidArgument(
-            "assembly stalled: shared components form a cycle (cyclic "
-            "object graph under a shared template node)");
+        return exec::AnnotateError(
+            Status::InvalidArgument(
+                "assembly stalled: shared components form a cycle (cyclic "
+                "object graph under a shared template node)"),
+            "Assembly");
       }
       if (input_exhausted_) {
-        return false;
+        return out->size();
       }
       continue;
     }
-    COBRA_RETURN_IF_ERROR(ResolveOne());
+    if (Status s = ResolveOne(); !s.ok()) {
+      return exec::AnnotateError(s, "Assembly");
+    }
   }
 }
 

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -64,6 +65,14 @@ struct AssemblyOptions {
   // Degraded-mode behavior under storage errors (fault injection, bad
   // pages, dangling OIDs).
   ErrorPolicy error_policy = ErrorPolicy::kFailQuery;
+  // Input admission granularity: how many rows one underlying input
+  // NextBatch() call may deliver.  Kept at 1 by default so admission I/O
+  // interleaves with assembly fetches exactly as in row-at-a-time execution
+  // — stacked assembly shares one simulated disk between the producing and
+  // consuming operator, and prefetching input rows would reorder its seek
+  // trace.  Raise only when the input does no I/O (e.g. an in-memory root
+  // list).  0 is treated as 1.
+  size_t batch_size = 1;
 };
 
 // One step of assembly execution, for observers (tracing, debugging,
@@ -124,9 +133,11 @@ class AssemblyOperator : public exec::Iterator {
                    int prebuilt_column = -1);
 
   Status Open() override;
-  // Output: the input row with column `root_column` replaced by
-  // Value::Obj(assembled root).  Rows are emitted in completion order.
-  Result<bool> Next(exec::Row* out) override;
+  // Output: the input rows with column `root_column` replaced by
+  // Value::Obj(assembled root).  Rows are emitted in completion order; a
+  // batch fills with as many completed complex objects as assembly yields
+  // before the input and window drain.
+  Result<size_t> NextBatch(exec::RowBatch* out) override;
   Status Close() override;
 
   const AssemblyStats& stats() const { return stats_; }
@@ -215,6 +226,9 @@ class AssemblyOperator : public exec::Iterator {
               const TemplateNode* node = nullptr);
 
   std::unique_ptr<exec::Iterator> input_;
+  // Row-at-a-time view over input_ (admission granularity; see
+  // AssemblyOptions::batch_size).  Engaged in Open().
+  std::optional<exec::RowAtATimeAdapter> input_adapter_;
   const AssemblyTemplate* template_;
   ObjectStore* store_;
   AssemblyOptions options_;

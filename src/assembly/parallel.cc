@@ -15,25 +15,28 @@ Status ParallelAssembly::Open() {
   return Status::OK();
 }
 
-Result<bool> ParallelAssembly::Next(exec::Row* out) {
+Result<size_t> ParallelAssembly::NextBatch(exec::RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(exec::PrepareBatch(out));
   size_t remaining = workers_.size();
   while (remaining > 0) {
     // Round-robin over live workers: each call advances a different
-    // partition, interleaving per-device I/O like concurrent servers.
+    // partition one batch, interleaving per-device I/O like concurrent
+    // servers.
     size_t index = cursor_;
     cursor_ = (cursor_ + 1) % workers_.size();
     if (exhausted_[index]) {
       --remaining;
       continue;
     }
-    COBRA_ASSIGN_OR_RETURN(bool has, workers_[index]->Next(out));
-    if (has) {
-      return true;
+    COBRA_ASSIGN_OR_RETURN(size_t n, workers_[index]->NextBatch(out));
+    if (n > 0) {
+      return n;
     }
     exhausted_[index] = true;
     --remaining;
   }
-  return false;
+  out->Clear();
+  return 0;
 }
 
 Status ParallelAssembly::Close() {

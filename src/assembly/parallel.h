@@ -40,8 +40,11 @@
 namespace cobra {
 
 // Round-robin driver over per-partition assembly operators.  Emits the
-// union of their outputs; order interleaves partitions (completion order
-// within each).
+// union of their outputs; order interleaves partitions batch-by-batch
+// (completion order within each).  Batch-granular round-robin is safe for
+// the seek accounting because every partition owns its own simulated
+// device: per-device request streams are unchanged, only the merge order
+// of already-completed rows varies.
 class ParallelAssembly : public exec::Iterator {
  public:
   explicit ParallelAssembly(
@@ -49,7 +52,7 @@ class ParallelAssembly : public exec::Iterator {
       : workers_(std::move(workers)) {}
 
   Status Open() override;
-  Result<bool> Next(exec::Row* out) override;
+  Result<size_t> NextBatch(exec::RowBatch* out) override;
   Status Close() override;
 
   size_t num_workers() const { return workers_.size(); }

@@ -83,46 +83,73 @@ Status HashAggregate::Open() {
   groups_.clear();
   position_ = 0;
 
+  // Vectorized special case: global COUNT(*)-style aggregation (no group
+  // keys, every aggregate a bare COUNT) needs only the batch sizes, not the
+  // rows — O(1) work per batch instead of per row.
+  bool count_only = group_by_.empty();
+  for (const AggSpec& spec : aggs_) {
+    count_only = count_only && spec.fn == AggFn::kCount && spec.input == nullptr;
+  }
+
   // Hash index over groups_ (indices, to keep GroupState stable).
   std::unordered_multimap<size_t, size_t> index;
-  Row row;
+  RowBatch batch(batch_size_);
+  uint64_t total_rows = 0;
   for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) break;
-    std::vector<Value> key;
-    key.reserve(group_by_.size());
-    size_t hash = 0x811c9dc5;
-    for (const ExprPtr& expr : group_by_) {
-      COBRA_ASSIGN_OR_RETURN(Value v, expr->Eval(row));
-      hash = hash * 16777619 + v.Hash();
-      key.push_back(std::move(v));
+    COBRA_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&batch));
+    if (n == 0) break;
+    if (count_only) {
+      total_rows += n;
+      continue;
     }
-    GroupState* group = nullptr;
-    auto [begin, end] = index.equal_range(hash);
-    for (auto it = begin; it != end; ++it) {
-      GroupState& candidate = groups_[it->second];
-      bool equal = candidate.key.size() == key.size();
-      for (size_t i = 0; equal && i < key.size(); ++i) {
-        // Group keys match by sort-equality so that null groups merge.
-        auto cmp = candidate.key[i].Compare(key[i]);
-        equal = cmp.ok() && *cmp == 0;
+    for (size_t r = 0; r < n; ++r) {
+      const Row& row = batch[r];
+      std::vector<Value> key;
+      key.reserve(group_by_.size());
+      size_t hash = 0x811c9dc5;
+      for (const ExprPtr& expr : group_by_) {
+        auto v = expr->Eval(row);
+        if (!v.ok()) return AnnotateError(v.status(), "HashAggregate");
+        hash = hash * 16777619 + v->Hash();
+        key.push_back(std::move(*v));
       }
-      if (equal) {
-        group = &candidate;
-        break;
+      GroupState* group = nullptr;
+      auto [begin, end] = index.equal_range(hash);
+      for (auto it = begin; it != end; ++it) {
+        GroupState& candidate = groups_[it->second];
+        bool equal = candidate.key.size() == key.size();
+        for (size_t i = 0; equal && i < key.size(); ++i) {
+          // Group keys match by sort-equality so that null groups merge.
+          auto cmp = candidate.key[i].Compare(key[i]);
+          equal = cmp.ok() && *cmp == 0;
+        }
+        if (equal) {
+          group = &candidate;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        GroupState fresh;
+        fresh.key = std::move(key);
+        fresh.accs.resize(aggs_.size());
+        groups_.push_back(std::move(fresh));
+        index.emplace(hash, groups_.size() - 1);
+        group = &groups_.back();
+      }
+      if (Status s = Accumulate(row, group); !s.ok()) {
+        return AnnotateError(s, "HashAggregate");
       }
     }
-    if (group == nullptr) {
-      GroupState fresh;
-      fresh.key = std::move(key);
-      fresh.accs.resize(aggs_.size());
-      groups_.push_back(std::move(fresh));
-      index.emplace(hash, groups_.size() - 1);
-      group = &groups_.back();
-    }
-    COBRA_RETURN_IF_ERROR(Accumulate(row, group));
   }
   COBRA_RETURN_IF_ERROR(child_->Close());
+
+  if (count_only) {
+    GroupState global;
+    global.accs.resize(aggs_.size());
+    for (auto& acc : global.accs) acc.count = total_rows;
+    groups_.push_back(std::move(global));
+    return Status::OK();
+  }
 
   // Global aggregation over empty input still yields one (empty-key) group.
   if (group_by_.empty() && groups_.empty()) {
@@ -133,12 +160,15 @@ Status HashAggregate::Open() {
   return Status::OK();
 }
 
-Result<bool> HashAggregate::Next(Row* out) {
-  if (position_ >= groups_.size()) return false;
-  COBRA_ASSIGN_OR_RETURN(Row row, Finalize(groups_[position_]));
-  ++position_;
-  *out = std::move(row);
-  return true;
+Result<size_t> HashAggregate::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
+  while (position_ < groups_.size() && !out->full()) {
+    auto row = Finalize(groups_[position_]);
+    if (!row.ok()) return AnnotateError(row.status(), "HashAggregate");
+    ++position_;
+    out->PushRow(std::move(*row));
+  }
+  return out->size();
 }
 
 Status HashAggregate::Close() {

@@ -29,13 +29,15 @@ class HashAggregate : public Iterator {
   // With empty `group_by` produces exactly one row (global aggregation),
   // even over an empty input.
   HashAggregate(std::unique_ptr<Iterator> child, std::vector<ExprPtr> group_by,
-                std::vector<AggSpec> aggs)
+                std::vector<AggSpec> aggs,
+                size_t batch_size = RowBatch::kDefaultCapacity)
       : child_(std::move(child)),
         group_by_(std::move(group_by)),
-        aggs_(std::move(aggs)) {}
+        aggs_(std::move(aggs)),
+        batch_size_(batch_size) {}
 
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override;
 
  private:
@@ -58,6 +60,7 @@ class HashAggregate : public Iterator {
   std::unique_ptr<Iterator> child_;
   std::vector<ExprPtr> group_by_;
   std::vector<AggSpec> aggs_;
+  size_t batch_size_;
   std::vector<GroupState> groups_;
   size_t position_ = 0;
 };

@@ -22,25 +22,33 @@ bool RowsEqual(const Row& a, const Row& b) {
 
 }  // namespace
 
-Result<bool> Distinct::Next(Row* out) {
-  Row row;
+Result<size_t> Distinct::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
   for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) return false;
-    size_t hash = HashRow(row);
-    bool duplicate = false;
-    auto [begin, end] = seen_.equal_range(hash);
-    for (auto it = begin; it != end; ++it) {
-      if (RowsEqual(kept_[it->second], row)) {
-        duplicate = true;
-        break;
+    while (scratch_position_ < scratch_.size()) {
+      Row& row = scratch_[scratch_position_++];
+      size_t hash = HashRow(row);
+      bool duplicate = false;
+      auto [begin, end] = seen_.equal_range(hash);
+      for (auto it = begin; it != end; ++it) {
+        if (RowsEqual(kept_[it->second], row)) {
+          duplicate = true;
+          break;
+        }
       }
+      if (duplicate) continue;
+      kept_.push_back(row);
+      seen_.emplace(hash, kept_.size() - 1);
+      out->TakeRow(&row);
+      if (out->full()) return out->size();
     }
-    if (duplicate) continue;
-    kept_.push_back(row);
-    seen_.emplace(hash, kept_.size() - 1);
-    *out = std::move(row);
-    return true;
+    if (child_exhausted_) return out->size();
+    COBRA_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&scratch_));
+    scratch_position_ = 0;
+    if (n == 0) {
+      child_exhausted_ = true;
+      return out->size();
+    }
   }
 }
 

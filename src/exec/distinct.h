@@ -16,16 +16,20 @@ namespace cobra::exec {
 
 class Distinct : public Iterator {
  public:
-  explicit Distinct(std::unique_ptr<Iterator> child)
-      : child_(std::move(child)) {}
+  explicit Distinct(std::unique_ptr<Iterator> child,
+                    size_t batch_size = RowBatch::kDefaultCapacity)
+      : child_(std::move(child)), scratch_(batch_size) {}
 
   Status Open() override {
     seen_.clear();
     kept_.clear();
+    scratch_.Clear();
+    scratch_position_ = 0;
+    child_exhausted_ = false;
     return child_->Open();
   }
 
-  Result<bool> Next(Row* out) override;
+  Result<size_t> NextBatch(RowBatch* out) override;
 
   Status Close() override {
     seen_.clear();
@@ -35,6 +39,9 @@ class Distinct : public Iterator {
 
  private:
   std::unique_ptr<Iterator> child_;
+  RowBatch scratch_;
+  size_t scratch_position_ = 0;
+  bool child_exhausted_ = false;
   // Hash -> indices into kept_ (collision chain).
   std::unordered_multimap<size_t, size_t> seen_;
   std::vector<Row> kept_;

@@ -16,6 +16,7 @@ class ColExpr : public Expr {
     }
     return row[index_];
   }
+  std::optional<size_t> AsColumnIndex() const override { return index_; }
 
  private:
   size_t index_;
@@ -25,6 +26,7 @@ class LitExpr : public Expr {
  public:
   explicit LitExpr(Value value) : value_(std::move(value)) {}
   Result<Value> Eval(const Row&) const override { return value_; }
+  const Value* AsLiteral() const override { return &value_; }
 
  private:
   Value value_;
@@ -63,6 +65,16 @@ class CmpExpr : public Expr {
         break;
     }
     return Value::Int(result ? 1 : 0);
+  }
+
+  std::optional<ColIntCmp> AsColIntCmp() const override {
+    std::optional<size_t> column = left_->AsColumnIndex();
+    const Value* literal = right_->AsLiteral();
+    if (!column.has_value() || literal == nullptr ||
+        literal->kind() != ValueKind::kInt) {
+      return std::nullopt;
+    }
+    return ColIntCmp{op_, *column, literal->AsInt()};
   }
 
  private:

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,16 +23,32 @@
 
 namespace cobra::exec {
 
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+
+// A predicate of the shape `Col(i) <op> <int literal>`, compiled out of the
+// expression tree so batched operators can run a tight non-virtual selection
+// loop (the "selection primitive" of vectorized engines).  Rows where the
+// column is absent or not kInt fall back to interpreted evaluation, which
+// preserves error and null semantics exactly.
+struct ColIntCmp {
+  CmpOp op;
+  size_t column = 0;
+  int64_t literal = 0;
+};
+
 class Expr {
  public:
   virtual ~Expr() = default;
   virtual Result<Value> Eval(const Row& row) const = 0;
+
+  // Fast-path recognizers (see ColIntCmp).  Default: no fast path.
+  virtual std::optional<ColIntCmp> AsColIntCmp() const { return std::nullopt; }
+  virtual std::optional<size_t> AsColumnIndex() const { return std::nullopt; }
+  virtual const Value* AsLiteral() const { return nullptr; }
 };
 
 using ExprPtr = std::unique_ptr<Expr>;
-
-enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
-enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
 
 // Column `index` of the row.
 ExprPtr Col(size_t index);

@@ -1,34 +1,84 @@
 #include "exec/filter_project.h"
 
 namespace cobra::exec {
+namespace {
 
-Result<bool> Filter::Next(Row* out) {
-  Row row;
+// Applies a compiled ColIntCmp to an int value.
+inline bool ApplyColIntCmp(const ColIntCmp& cmp, int64_t value) {
+  switch (cmp.op) {
+    case CmpOp::kEq:
+      return value == cmp.literal;
+    case CmpOp::kNe:
+      return value != cmp.literal;
+    case CmpOp::kLt:
+      return value < cmp.literal;
+    case CmpOp::kLe:
+      return value <= cmp.literal;
+    case CmpOp::kGt:
+      return value > cmp.literal;
+    case CmpOp::kGe:
+      return value >= cmp.literal;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<size_t> Filter::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
   for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) return false;
-    rows_in_++;
-    COBRA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, row));
-    if (pass) {
-      rows_out_++;
-      *out = std::move(row);
-      return true;
+    while (scratch_position_ < scratch_.size()) {
+      Row& row = scratch_[scratch_position_];
+      ++rows_in_;
+      bool pass;
+      if (fast_.has_value() && fast_->column < row.size() &&
+          row[fast_->column].kind() == ValueKind::kInt) {
+        pass = ApplyColIntCmp(*fast_, row[fast_->column].AsInt());
+      } else {
+        auto eval = EvalPredicate(*predicate_, row);
+        if (!eval.ok()) return AnnotateError(eval.status(), "Filter");
+        pass = *eval;
+      }
+      ++scratch_position_;
+      if (pass) {
+        ++rows_out_;
+        out->TakeRow(&row);
+        if (out->full()) return out->size();
+      }
+    }
+    if (child_exhausted_) return out->size();
+    COBRA_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&scratch_));
+    scratch_position_ = 0;
+    if (n == 0) {
+      child_exhausted_ = true;
+      return out->size();
     }
   }
 }
 
-Result<bool> Project::Next(Row* out) {
-  Row row;
-  COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-  if (!has) return false;
-  Row projected;
-  projected.reserve(exprs_.size());
-  for (const ExprPtr& expr : exprs_) {
-    COBRA_ASSIGN_OR_RETURN(Value v, expr->Eval(row));
-    projected.push_back(std::move(v));
+Result<size_t> Project::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
+  for (;;) {
+    while (scratch_position_ < scratch_.size()) {
+      const Row& row = scratch_[scratch_position_++];
+      Row* projected = out->AddRow();
+      projected->clear();
+      projected->reserve(exprs_.size());
+      for (const ExprPtr& expr : exprs_) {
+        auto v = expr->Eval(row);
+        if (!v.ok()) return AnnotateError(v.status(), "Project");
+        projected->push_back(std::move(*v));
+      }
+      if (out->full()) return out->size();
+    }
+    if (child_exhausted_) return out->size();
+    COBRA_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&scratch_));
+    scratch_position_ = 0;
+    if (n == 0) {
+      child_exhausted_ = true;
+      return out->size();
+    }
   }
-  *out = std::move(projected);
-  return true;
 }
 
 }  // namespace cobra::exec

@@ -1,9 +1,16 @@
-// Filter and Project: the row-at-a-time relational operators.
+// Filter and Project: the streaming relational operators.
+//
+// Both pull child batches into a reusable scratch batch and transform it
+// into the output batch.  Filter additionally compiles `Col <op> intlit`
+// predicates into a direct comparison (exec::ColIntCmp) so the per-row
+// selection loop skips the interpreted expression tree — the vectorized
+// "selection primitive".
 
 #ifndef COBRA_EXEC_FILTER_PROJECT_H_
 #define COBRA_EXEC_FILTER_PROJECT_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "exec/expr.h"
@@ -13,11 +20,22 @@ namespace cobra::exec {
 
 class Filter : public Iterator {
  public:
-  Filter(std::unique_ptr<Iterator> child, ExprPtr predicate)
-      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  Filter(std::unique_ptr<Iterator> child, ExprPtr predicate,
+         size_t batch_size = RowBatch::kDefaultCapacity)
+      : child_(std::move(child)),
+        predicate_(std::move(predicate)),
+        scratch_(batch_size) {}
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* out) override;
+  Status Open() override {
+    rows_in_ = 0;
+    rows_out_ = 0;
+    scratch_.Clear();
+    scratch_position_ = 0;
+    child_exhausted_ = false;
+    fast_ = predicate_->AsColIntCmp();
+    return child_->Open();
+  }
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override { return child_->Close(); }
 
   // Rows consumed / rows emitted (observed selectivity).
@@ -27,22 +45,37 @@ class Filter : public Iterator {
  private:
   std::unique_ptr<Iterator> child_;
   ExprPtr predicate_;
+  std::optional<ColIntCmp> fast_;
+  RowBatch scratch_;
+  size_t scratch_position_ = 0;
+  bool child_exhausted_ = false;
   uint64_t rows_in_ = 0;
   uint64_t rows_out_ = 0;
 };
 
 class Project : public Iterator {
  public:
-  Project(std::unique_ptr<Iterator> child, std::vector<ExprPtr> exprs)
-      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+  Project(std::unique_ptr<Iterator> child, std::vector<ExprPtr> exprs,
+          size_t batch_size = RowBatch::kDefaultCapacity)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        scratch_(batch_size) {}
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* out) override;
+  Status Open() override {
+    scratch_.Clear();
+    scratch_position_ = 0;
+    child_exhausted_ = false;
+    return child_->Open();
+  }
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override { return child_->Close(); }
 
  private:
   std::unique_ptr<Iterator> child_;
   std::vector<ExprPtr> exprs_;
+  RowBatch scratch_;
+  size_t scratch_position_ = 0;
+  bool child_exhausted_ = false;
 };
 
 }  // namespace cobra::exec

@@ -1,0 +1,28 @@
+#include "exec/iterator.h"
+
+namespace cobra::exec {
+
+Status AnnotateError(const Status& status, const char* operator_name) {
+  if (status.ok()) return status;
+  std::string message(operator_name);
+  message += ": ";
+  message += status.message();
+  return Status(status.code(), std::move(message));
+}
+
+Result<std::vector<Row>> DrainAll(Iterator* plan, size_t batch_size) {
+  COBRA_RETURN_IF_ERROR(plan->Open());
+  std::vector<Row> rows;
+  RowBatch batch(batch_size);
+  for (;;) {
+    COBRA_ASSIGN_OR_RETURN(size_t n, plan->NextBatch(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      rows.push_back(batch.MoveRow(i));
+    }
+  }
+  COBRA_RETURN_IF_ERROR(plan->Close());
+  return rows;
+}
+
+}  // namespace cobra::exec

@@ -1,10 +1,27 @@
-// The Volcano iterator protocol.
+// The vectorized Volcano iterator protocol.
 //
 // "Volcano queries are composed of operators that provide a uniform iterator
 // interface.  Each Volcano operator conforms to the iterator paradigm by
-// providing open, next and close calls." (§3).  Every COBRA operator —
-// including the assembly operator — implements this interface, so plans
-// compose as trees exactly as in the paper's Figure 1/17.
+// providing open, next and close calls." (§3).  COBRA keeps the open/next/
+// close shape but exchanges *batches* of rows instead of single rows: one
+// virtual NextBatch() call produces up to RowBatch::capacity() rows, so the
+// per-row cost of crossing the operator tree is amortized by the batch size
+// (the same argument made for loop-fused relational IRs — see PAPERS.md).
+//
+// Protocol contract:
+//   * NextBatch(out) clears *out and appends up to out->capacity() rows.
+//     It returns the number of rows produced; 0 means end of stream.
+//     Operators never return an empty batch mid-stream, and keep returning
+//     0 after end of stream.
+//   * A batch with capacity 0 is rejected with InvalidArgument.
+//   * Open() after Close() re-opens the operator from the start; Close() is
+//     idempotent (a second Close() is a no-op returning OK).
+//
+// Batching never reorders I/O: each operator consumes its input stream in
+// order and issues its own reads in the same order as the row-at-a-time
+// engine did — a batch boundary only changes *when* control returns to the
+// consumer, not which page is read next (see DESIGN.md, "Batched
+// execution").
 
 #ifndef COBRA_EXEC_ITERATOR_H_
 #define COBRA_EXEC_ITERATOR_H_
@@ -25,15 +42,84 @@ class Iterator {
   // Prepares the operator (and, transitively, its inputs) for production.
   virtual Status Open() = 0;
 
-  // Produces the next row into *out.  Returns false at end of stream.
-  virtual Result<bool> Next(Row* out) = 0;
+  // Clears *out and fills it with up to out->capacity() rows.  Returns the
+  // number of rows produced; 0 means end of stream.
+  virtual Result<size_t> NextBatch(RowBatch* out) = 0;
 
-  // Releases resources.  Must be callable after end-of-stream or error.
+  // Releases resources.  Must be callable after end-of-stream or error, and
+  // idempotent.
   virtual Status Close() = 0;
 };
 
+// Validates and clears the output batch; every NextBatch() implementation
+// calls this first.  Rejects the degenerate zero-capacity batch (which could
+// otherwise loop forever in operators that refill until full).
+inline Status PrepareBatch(RowBatch* out) {
+  if (out == nullptr || out->capacity() == 0) {
+    return Status::InvalidArgument(
+        "NextBatch needs an output batch with capacity >= 1");
+  }
+  out->Clear();
+  return Status::OK();
+}
+
+// Prefixes an error Status with the reporting operator's name, so failures
+// surfacing through a deep plan (e.g. a Corruption raised inside an assembly
+// subtree under a Filter) identify the operator that produced them.  Child
+// errors are passed through untouched by parent operators — the annotation
+// happens once, at the origin.
+Status AnnotateError(const Status& status, const char* operator_name);
+
+// Row-at-a-time view over a batch-protocol iterator: the shim that lets
+// row-oriented consumers (DrainAll, examples, tests, straggler operators
+// that admit one row at a time) drive a batched plan.  Borrows `iter`.
+//
+// `batch_size` is the pull granularity.  1 reproduces classic Volcano
+// demand-driven pacing exactly (one input row materialized per Next) — the
+// assembly operator uses that for admission so upstream I/O interleaves
+// with window resolution unchanged; larger sizes amortize the virtual call
+// at the cost of reading ahead on the input stream.
+class RowAtATimeAdapter {
+ public:
+  explicit RowAtATimeAdapter(Iterator* iter,
+                             size_t batch_size = RowBatch::kDefaultCapacity)
+      : iter_(iter), batch_(batch_size) {}
+
+  Status Open() {
+    batch_.Clear();
+    position_ = 0;
+    exhausted_ = false;
+    return iter_->Open();
+  }
+
+  // Produces the next row into *out.  Returns false at end of stream.
+  Result<bool> Next(Row* out) {
+    if (position_ >= batch_.size()) {
+      if (exhausted_) return false;
+      COBRA_ASSIGN_OR_RETURN(size_t n, iter_->NextBatch(&batch_));
+      position_ = 0;
+      if (n == 0) {
+        exhausted_ = true;
+        return false;
+      }
+    }
+    out->swap(batch_[position_++]);
+    return true;
+  }
+
+  Status Close() { return iter_->Close(); }
+
+ private:
+  Iterator* iter_;
+  RowBatch batch_;
+  size_t position_ = 0;
+  bool exhausted_ = false;
+};
+
 // Runs a plan to completion and collects all rows (testing / examples).
-Result<std::vector<Row>> DrainAll(Iterator* plan);
+// `batch_size` is the capacity of the root pull batch.
+Result<std::vector<Row>> DrainAll(Iterator* plan,
+                                  size_t batch_size = RowBatch::kDefaultCapacity);
 
 }  // namespace cobra::exec
 

@@ -22,36 +22,54 @@ Status HashJoin::Open() {
   }
   COBRA_RETURN_IF_ERROR(left_->Open());
   table_.clear();
-  Row row;
+  RowBatch batch(batch_size_);
   std::vector<Value> key;
   for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, left_->Next(&row));
-    if (!has) break;
-    COBRA_ASSIGN_OR_RETURN(size_t hash, HashKeys(left_keys_, row, &key));
-    table_.emplace(hash, BuildEntry{key, row});
+    COBRA_ASSIGN_OR_RETURN(size_t n, left_->NextBatch(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      Row row = batch.MoveRow(i);
+      auto hash = HashKeys(left_keys_, row, &key);
+      if (!hash.ok()) return AnnotateError(hash.status(), "HashJoin");
+      table_.emplace(*hash, BuildEntry{key, std::move(row)});
+    }
   }
   COBRA_RETURN_IF_ERROR(left_->Close());
   COBRA_RETURN_IF_ERROR(right_->Open());
+  right_scratch_.Clear();
+  right_position_ = 0;
+  right_exhausted_ = false;
   pending_matches_.clear();
   match_position_ = 0;
   return Status::OK();
 }
 
-Result<bool> HashJoin::Next(Row* out) {
+Result<size_t> HashJoin::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
+  std::vector<Value> key;
   for (;;) {
-    if (match_position_ < pending_matches_.size()) {
+    // Emit matches of the current right row until the batch fills.
+    while (match_position_ < pending_matches_.size()) {
+      if (out->full()) return out->size();
       const Row* left_row = pending_matches_[match_position_++];
-      *out = ConcatRows(*left_row, current_right_);
-      return true;
+      out->PushRow(ConcatRows(*left_row, current_right_));
     }
-    COBRA_ASSIGN_OR_RETURN(bool has, right_->Next(&current_right_));
-    if (!has) return false;
-    std::vector<Value> key;
-    COBRA_ASSIGN_OR_RETURN(size_t hash,
-                           HashKeys(right_keys_, current_right_, &key));
+    // Advance to the next right row, refilling the probe batch as needed.
+    if (right_position_ == right_scratch_.size()) {
+      if (right_exhausted_) return out->size();
+      COBRA_ASSIGN_OR_RETURN(size_t n, right_->NextBatch(&right_scratch_));
+      right_position_ = 0;
+      if (n == 0) {
+        right_exhausted_ = true;
+        return out->size();
+      }
+    }
+    current_right_ = right_scratch_.MoveRow(right_position_++);
+    auto hash = HashKeys(right_keys_, current_right_, &key);
+    if (!hash.ok()) return AnnotateError(hash.status(), "HashJoin");
     pending_matches_.clear();
     match_position_ = 0;
-    auto [begin, end] = table_.equal_range(hash);
+    auto [begin, end] = table_.equal_range(*hash);
     for (auto it = begin; it != end; ++it) {
       const BuildEntry& entry = it->second;
       bool equal = entry.key.size() == key.size();
@@ -74,34 +92,50 @@ Status HashJoin::Close() {
 Status NestedLoopJoin::Open() {
   COBRA_RETURN_IF_ERROR(right_->Open());
   right_rows_.clear();
-  Row row;
+  RowBatch batch(batch_size_);
   for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
-    if (!has) break;
-    right_rows_.push_back(std::move(row));
+    COBRA_ASSIGN_OR_RETURN(size_t n, right_->NextBatch(&batch));
+    if (n == 0) break;
+    right_rows_.reserve(right_rows_.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      right_rows_.push_back(batch.MoveRow(i));
+    }
   }
   COBRA_RETURN_IF_ERROR(right_->Close());
   COBRA_RETURN_IF_ERROR(left_->Open());
+  left_scratch_.Clear();
+  left_position_ = 0;
+  left_exhausted_ = false;
   have_left_ = false;
   right_position_ = 0;
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoin::Next(Row* out) {
+Result<size_t> NestedLoopJoin::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
   for (;;) {
     if (!have_left_) {
-      COBRA_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
-      if (!has) return false;
+      if (left_position_ == left_scratch_.size()) {
+        if (left_exhausted_) return out->size();
+        COBRA_ASSIGN_OR_RETURN(size_t n, left_->NextBatch(&left_scratch_));
+        left_position_ = 0;
+        if (n == 0) {
+          left_exhausted_ = true;
+          return out->size();
+        }
+      }
+      current_left_ = left_scratch_.MoveRow(left_position_++);
       have_left_ = true;
       right_position_ = 0;
     }
     while (right_position_ < right_rows_.size()) {
+      if (out->full()) return out->size();
       Row combined = ConcatRows(current_left_, right_rows_[right_position_]);
       ++right_position_;
-      COBRA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, combined));
-      if (pass) {
-        *out = std::move(combined);
-        return true;
+      auto pass = EvalPredicate(*predicate_, combined);
+      if (!pass.ok()) return AnnotateError(pass.status(), "NestedLoopJoin");
+      if (*pass) {
+        out->PushRow(std::move(combined));
       }
     }
     have_left_ = false;

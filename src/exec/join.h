@@ -21,14 +21,17 @@ class HashJoin : public Iterator {
   // Equi-join: left_keys[i] must equal right_keys[i].  Output rows are
   // left ++ right.
   HashJoin(std::unique_ptr<Iterator> left, std::unique_ptr<Iterator> right,
-           std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys)
+           std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+           size_t batch_size = RowBatch::kDefaultCapacity)
       : left_(std::move(left)),
         right_(std::move(right)),
         left_keys_(std::move(left_keys)),
-        right_keys_(std::move(right_keys)) {}
+        right_keys_(std::move(right_keys)),
+        batch_size_(batch_size),
+        right_scratch_(batch_size) {}
 
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override;
 
  private:
@@ -39,13 +42,19 @@ class HashJoin : public Iterator {
   std::unique_ptr<Iterator> right_;
   std::vector<ExprPtr> left_keys_;
   std::vector<ExprPtr> right_keys_;
+  size_t batch_size_;
 
   struct BuildEntry {
     std::vector<Value> key;
     Row row;
   };
   std::unordered_multimap<size_t, BuildEntry> table_;
-  // Probe state: matches of the current right row not yet emitted.
+  // Probe state: the current right batch, the right row whose matches are
+  // being emitted (owned, so it survives scratch refills), and the matches
+  // not yet emitted.
+  RowBatch right_scratch_;
+  size_t right_position_ = 0;
+  bool right_exhausted_ = false;
   Row current_right_;
   std::vector<const Row*> pending_matches_;
   size_t match_position_ = 0;
@@ -56,20 +65,27 @@ class NestedLoopJoin : public Iterator {
   // Emits left ++ right for every pair satisfying `predicate` (evaluated
   // over the concatenated row).
   NestedLoopJoin(std::unique_ptr<Iterator> left,
-                 std::unique_ptr<Iterator> right, ExprPtr predicate)
+                 std::unique_ptr<Iterator> right, ExprPtr predicate,
+                 size_t batch_size = RowBatch::kDefaultCapacity)
       : left_(std::move(left)),
         right_(std::move(right)),
-        predicate_(std::move(predicate)) {}
+        predicate_(std::move(predicate)),
+        batch_size_(batch_size),
+        left_scratch_(batch_size) {}
 
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override;
 
  private:
   std::unique_ptr<Iterator> left_;
   std::unique_ptr<Iterator> right_;
   ExprPtr predicate_;
+  size_t batch_size_;
   std::vector<Row> right_rows_;
+  RowBatch left_scratch_;
+  size_t left_position_ = 0;
+  bool left_exhausted_ = false;
   Row current_left_;
   bool have_left_ = false;
   size_t right_position_ = 0;

@@ -72,6 +72,11 @@ PlanBuilder PlanBuilder::ScanBTree(const BTree* tree, uint64_t lo,
   return builder;
 }
 
+PlanBuilder PlanBuilder::BatchSize(size_t batch_size) && {
+  batch_size_ = batch_size == 0 ? 1 : batch_size;
+  return std::move(*this);
+}
+
 std::unique_ptr<Iterator> PlanBuilder::MaybeProfile(
     std::unique_ptr<Iterator> op) {
   if (!profiling_) return op;
@@ -130,27 +135,30 @@ void PlanBuilder::WrapBinary(std::unique_ptr<Iterator> op, std::string label,
 }
 
 PlanBuilder PlanBuilder::Filter(ExprPtr predicate) && {
-  Wrap(std::make_unique<exec::Filter>(std::move(root_), std::move(predicate)),
+  Wrap(std::make_unique<exec::Filter>(std::move(root_), std::move(predicate),
+                                      batch_size_),
        "Filter");
   return std::move(*this);
 }
 
 PlanBuilder PlanBuilder::Project(std::vector<ExprPtr> exprs) && {
   size_t n = exprs.size();
-  Wrap(std::make_unique<exec::Project>(std::move(root_), std::move(exprs)),
+  Wrap(std::make_unique<exec::Project>(std::move(root_), std::move(exprs),
+                                       batch_size_),
        "Project [" + std::to_string(n) + " exprs]");
   return std::move(*this);
 }
 
 PlanBuilder PlanBuilder::Sort(std::vector<SortKey> keys) && {
   size_t n = keys.size();
-  Wrap(std::make_unique<exec::Sort>(std::move(root_), std::move(keys)),
+  Wrap(std::make_unique<exec::Sort>(std::move(root_), std::move(keys),
+                                    batch_size_),
        "Sort [" + std::to_string(n) + " keys]");
   return std::move(*this);
 }
 
 PlanBuilder PlanBuilder::Limit(size_t limit) && {
-  Wrap(std::make_unique<exec::Limit>(std::move(root_), limit),
+  Wrap(std::make_unique<exec::Limit>(std::move(root_), limit, batch_size_),
        "Limit [" + std::to_string(limit) + "]");
   return std::move(*this);
 }
@@ -160,13 +168,14 @@ PlanBuilder PlanBuilder::Aggregate(std::vector<ExprPtr> group_by,
   std::string label = "HashAggregate [" + std::to_string(group_by.size()) +
                       " keys, " + std::to_string(aggs.size()) + " aggs]";
   Wrap(std::make_unique<HashAggregate>(std::move(root_), std::move(group_by),
-                                       std::move(aggs)),
+                                       std::move(aggs), batch_size_),
        std::move(label));
   return std::move(*this);
 }
 
 PlanBuilder PlanBuilder::Distinct() && {
-  Wrap(std::make_unique<exec::Distinct>(std::move(root_)), "Distinct");
+  Wrap(std::make_unique<exec::Distinct>(std::move(root_), batch_size_),
+       "Distinct");
   return std::move(*this);
 }
 
@@ -174,7 +183,8 @@ PlanBuilder PlanBuilder::PointerJoin(size_t ref_column, size_t num_fields,
                                      ObjectStore* store,
                                      bool keep_unmatched) && {
   Wrap(std::make_unique<exec::PointerJoin>(std::move(root_), ref_column,
-                                           num_fields, store, keep_unmatched),
+                                           num_fields, store, keep_unmatched,
+                                           batch_size_),
        "PointerJoin [ref col " + std::to_string(ref_column) + "]");
   return std::move(*this);
 }
@@ -200,7 +210,7 @@ PlanBuilder PlanBuilder::HashJoin(PlanBuilder right,
                                   std::vector<ExprPtr> right_keys) && {
   auto op = std::make_unique<exec::HashJoin>(
       std::move(root_), std::move(right.root_), std::move(left_keys),
-      std::move(right_keys));
+      std::move(right_keys), batch_size_);
   WrapBinary(std::move(op), "HashJoin", std::move(right));
   return std::move(*this);
 }
@@ -208,7 +218,8 @@ PlanBuilder PlanBuilder::HashJoin(PlanBuilder right,
 PlanBuilder PlanBuilder::NestedLoopJoin(PlanBuilder right,
                                         ExprPtr predicate) && {
   auto op = std::make_unique<exec::NestedLoopJoin>(
-      std::move(root_), std::move(right.root_), std::move(predicate));
+      std::move(root_), std::move(right.root_), std::move(predicate),
+      batch_size_);
   WrapBinary(std::move(op), "NestedLoopJoin", std::move(right));
   return std::move(*this);
 }

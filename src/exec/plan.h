@@ -51,6 +51,16 @@ class PlanBuilder {
   static PlanBuilder ScanBTree(const BTree* tree, uint64_t lo,
                                std::optional<uint64_t> hi);
 
+  // --- execution batch size ---
+  // Sets the RowBatch capacity handed to every operator added afterwards
+  // (their internal scratch batches and drain loops).  Call right after the
+  // leaf to apply to the whole tree.  Values: >= 1; 0 is clamped to 1.
+  // Defaults to RowBatch::kDefaultCapacity (1024).  Note: the assembly
+  // operator's *input admission* granularity is governed separately by
+  // AssemblyOptions::batch_size (default 1) so batching never reorders the
+  // simulated disk's I/O.
+  PlanBuilder BatchSize(size_t batch_size) &&;
+
   // --- profiling (EXPLAIN ANALYZE) ---
   // Wraps the current root and every operator added afterwards in an
   // obs::ProfiledIterator (rows, Next() calls, cumulative wall time).
@@ -116,6 +126,7 @@ class PlanBuilder {
   std::vector<cobra::obs::ProfiledIterator*> line_profilers_;
   bool profiling_ = false;
   const cobra::obs::Clock* profile_clock_ = nullptr;
+  size_t batch_size_ = RowBatch::kDefaultCapacity;
   AssemblyOperator* last_assembly_ = nullptr;
 };
 

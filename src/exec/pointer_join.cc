@@ -2,42 +2,54 @@
 
 namespace cobra::exec {
 
-Result<bool> PointerJoin::Next(Row* out) {
-  Row row;
-  for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) return false;
-    if (ref_column_ >= row.size()) {
-      return Status::OutOfRange("pointer join ref column out of range");
-    }
-    const Value& ref = row[ref_column_];
-    if (ref.kind() != ValueKind::kOid || ref.AsOid() == kInvalidOid) {
-      if (!keep_unmatched_) continue;
-      Row padded = row;
-      padded.push_back(Value::Null());
-      for (size_t i = 0; i < num_fields_; ++i) padded.push_back(Value::Null());
-      *out = std::move(padded);
-      return true;
-    }
+// Resolves *row's reference in place (appending the target's oid and fields,
+// or null padding).  Returns false if the row should be dropped.
+Result<bool> PointerJoin::ResolveRow(Row* row) {
+  if (ref_column_ >= row->size()) {
+    return AnnotateError(
+        Status::OutOfRange("ref column out of range"), "PointerJoin");
+  }
+  const Value& ref = (*row)[ref_column_];
+  bool missing = ref.kind() != ValueKind::kOid || ref.AsOid() == kInvalidOid;
+  if (!missing) {
     auto target = store_->Get(ref.AsOid());
-    if (!target.ok()) {
-      if (target.status().IsNotFound() && !keep_unmatched_) continue;
-      if (!target.status().IsNotFound()) return target.status();
-      Row padded = row;
-      padded.push_back(Value::Null());
-      for (size_t i = 0; i < num_fields_; ++i) padded.push_back(Value::Null());
-      *out = std::move(padded);
-      return true;
-    }
-    Row joined = row;
-    joined.push_back(Value::Ref(target->oid));
-    for (size_t i = 0; i < num_fields_; ++i) {
-      joined.push_back(i < target->fields.size()
+    if (target.ok()) {
+      row->push_back(Value::Ref(target->oid));
+      for (size_t i = 0; i < num_fields_; ++i) {
+        row->push_back(i < target->fields.size()
                            ? Value::Int(target->fields[i])
                            : Value::Null());
+      }
+      return true;
     }
-    *out = std::move(joined);
-    return true;
+    if (!target.status().IsNotFound()) {
+      return AnnotateError(target.status(), "PointerJoin");
+    }
+    missing = true;
+  }
+  if (!keep_unmatched_) return false;
+  row->push_back(Value::Null());
+  for (size_t i = 0; i < num_fields_; ++i) row->push_back(Value::Null());
+  return true;
+}
+
+Result<size_t> PointerJoin::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
+  for (;;) {
+    while (scratch_position_ < scratch_.size()) {
+      Row& row = scratch_[scratch_position_++];
+      COBRA_ASSIGN_OR_RETURN(bool keep, ResolveRow(&row));
+      if (!keep) continue;
+      out->TakeRow(&row);
+      if (out->full()) return out->size();
+    }
+    if (child_exhausted_) return out->size();
+    COBRA_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&scratch_));
+    scratch_position_ = 0;
+    if (n == 0) {
+      child_exhausted_ = true;
+      return out->size();
+    }
   }
 }
 

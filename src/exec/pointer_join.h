@@ -26,23 +26,38 @@ class PointerJoin : public Iterator {
   // `keep_unmatched` is true, otherwise the row is dropped.
   PointerJoin(std::unique_ptr<Iterator> child, size_t ref_column,
               size_t num_fields, ObjectStore* store,
-              bool keep_unmatched = false)
+              bool keep_unmatched = false,
+              size_t batch_size = RowBatch::kDefaultCapacity)
       : child_(std::move(child)),
         ref_column_(ref_column),
         num_fields_(num_fields),
         store_(store),
-        keep_unmatched_(keep_unmatched) {}
+        keep_unmatched_(keep_unmatched),
+        scratch_(batch_size) {}
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* out) override;
+  Status Open() override {
+    scratch_.Clear();
+    scratch_position_ = 0;
+    child_exhausted_ = false;
+    return child_->Open();
+  }
+  // Resolves references strictly in input order, batch or not: each batch of
+  // input rows is fetched row-by-row in arrival order, so the simulated disk
+  // sees the exact same request sequence as the row-at-a-time engine did.
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override { return child_->Close(); }
 
  private:
+  Result<bool> ResolveRow(Row* row);
+
   std::unique_ptr<Iterator> child_;
   size_t ref_column_;
   size_t num_fields_;
   ObjectStore* store_;
   bool keep_unmatched_;
+  RowBatch scratch_;
+  size_t scratch_position_ = 0;
+  bool child_exhausted_ = false;
 };
 
 }  // namespace cobra::exec

@@ -2,32 +2,29 @@
 
 namespace cobra::exec {
 
-Result<std::vector<Row>> DrainAll(Iterator* plan) {
-  COBRA_RETURN_IF_ERROR(plan->Open());
-  std::vector<Row> rows;
-  Row row;
-  for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, plan->Next(&row));
-    if (!has) break;
-    rows.push_back(row);
-  }
-  COBRA_RETURN_IF_ERROR(plan->Close());
-  return rows;
-}
-
 Status OidScan::Open() {
   cursor_.emplace(file_->Scan());
   return Status::OK();
 }
 
-Result<bool> OidScan::Next(Row* out) {
+Result<size_t> OidScan::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
   RecordId id;
   std::vector<std::byte> record;
-  COBRA_ASSIGN_OR_RETURN(bool has, cursor_->Next(&id, &record));
-  if (!has) return false;
-  COBRA_ASSIGN_OR_RETURN(ObjectData obj, ObjectData::Deserialize(record));
-  *out = Row{Value::Ref(obj.oid)};
-  return true;
+  while (!out->full() && cursor_.has_value()) {
+    auto has = cursor_->Next(&id, &record);
+    if (!has.ok()) return AnnotateError(has.status(), "OidScan");
+    if (!*has) {
+      cursor_.reset();
+      break;
+    }
+    auto obj = ObjectData::Deserialize(record);
+    if (!obj.ok()) return AnnotateError(obj.status(), "OidScan");
+    Row* row = out->AddRow();
+    row->clear();
+    row->push_back(Value::Ref(obj->oid));
+  }
+  return out->size();
 }
 
 Status OidScan::Close() {
@@ -40,22 +37,30 @@ Status ObjectFieldScan::Open() {
   return Status::OK();
 }
 
-Result<bool> ObjectFieldScan::Next(Row* out) {
+Result<size_t> ObjectFieldScan::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
   RecordId id;
   std::vector<std::byte> record;
-  COBRA_ASSIGN_OR_RETURN(bool has, cursor_->Next(&id, &record));
-  if (!has) return false;
-  COBRA_ASSIGN_OR_RETURN(ObjectData obj, ObjectData::Deserialize(record));
-  Row row;
-  row.reserve(2 + num_fields_);
-  row.push_back(Value::Ref(obj.oid));
-  row.push_back(Value::Int(obj.type_id));
-  for (size_t i = 0; i < num_fields_; ++i) {
-    row.push_back(i < obj.fields.size() ? Value::Int(obj.fields[i])
-                                        : Value::Null());
+  while (!out->full() && cursor_.has_value()) {
+    auto has = cursor_->Next(&id, &record);
+    if (!has.ok()) return AnnotateError(has.status(), "ObjectFieldScan");
+    if (!*has) {
+      cursor_.reset();
+      break;
+    }
+    auto obj = ObjectData::Deserialize(record);
+    if (!obj.ok()) return AnnotateError(obj.status(), "ObjectFieldScan");
+    Row* row = out->AddRow();
+    row->clear();
+    row->reserve(2 + num_fields_);
+    row->push_back(Value::Ref(obj->oid));
+    row->push_back(Value::Int(obj->type_id));
+    for (size_t i = 0; i < num_fields_; ++i) {
+      row->push_back(i < obj->fields.size() ? Value::Int(obj->fields[i])
+                                            : Value::Null());
+    }
   }
-  *out = std::move(row);
-  return true;
+  return out->size();
 }
 
 Status ObjectFieldScan::Close() {
@@ -64,24 +69,29 @@ Status ObjectFieldScan::Close() {
 }
 
 Status BTreeScan::Open() {
-  COBRA_ASSIGN_OR_RETURN(BTree::Iterator it, tree_->Seek(lo_));
-  iter_.emplace(it);
+  auto it = tree_->Seek(lo_);
+  if (!it.ok()) return AnnotateError(it.status(), "BTreeScan");
+  iter_.emplace(*it);
   return Status::OK();
 }
 
-Result<bool> BTreeScan::Next(Row* out) {
-  if (!iter_.has_value()) return false;
+Result<size_t> BTreeScan::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
   uint64_t key = 0;
   uint64_t value = 0;
-  COBRA_ASSIGN_OR_RETURN(bool has, iter_->Next(&key, &value));
-  if (!has) return false;
-  if (hi_.has_value() && key >= *hi_) {
-    iter_.reset();
-    return false;
+  while (!out->full() && iter_.has_value()) {
+    auto has = iter_->Next(&key, &value);
+    if (!has.ok()) return AnnotateError(has.status(), "BTreeScan");
+    if (!*has || (hi_.has_value() && key >= *hi_)) {
+      iter_.reset();
+      break;
+    }
+    Row* row = out->AddRow();
+    row->clear();
+    row->push_back(Value::Int(static_cast<int64_t>(key)));
+    row->push_back(Value::Int(static_cast<int64_t>(value)));
   }
-  *out = Row{Value::Int(static_cast<int64_t>(key)),
-             Value::Int(static_cast<int64_t>(value))};
-  return true;
+  return out->size();
 }
 
 Status BTreeScan::Close() {

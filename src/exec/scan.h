@@ -7,6 +7,9 @@
 //                     [oid, type, field0..fieldN-1]; relational-style access
 //                     to the object store.
 //   BTreeScan       — ordered [key, value] pairs from a B-tree range.
+//
+// All scans fill the output batch until it is full or the underlying source
+// is exhausted; reads stay in source order, so batching changes no I/O.
 
 #ifndef COBRA_EXEC_SCAN_H_
 #define COBRA_EXEC_SCAN_H_
@@ -30,10 +33,14 @@ class VectorScan : public Iterator {
     position_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* out) override {
-    if (position_ >= rows_.size()) return false;
-    *out = rows_[position_++];
-    return true;
+  Result<size_t> NextBatch(RowBatch* out) override {
+    COBRA_RETURN_IF_ERROR(PrepareBatch(out));
+    while (position_ < rows_.size() && !out->full()) {
+      // Copy-assign into the reusable slot: no allocation once the slot's
+      // capacity has warmed up.
+      *out->AddRow() = rows_[position_++];
+    }
+    return out->size();
   }
   Status Close() override { return Status::OK(); }
 
@@ -47,7 +54,7 @@ class OidScan : public Iterator {
   explicit OidScan(const HeapFile* file) : file_(file) {}
 
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override;
 
  private:
@@ -63,7 +70,7 @@ class ObjectFieldScan : public Iterator {
       : file_(file), num_fields_(num_fields) {}
 
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override;
 
  private:
@@ -79,7 +86,7 @@ class BTreeScan : public Iterator {
       : tree_(tree), lo_(lo), hi_(hi) {}
 
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override;
 
  private:

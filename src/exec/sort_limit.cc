@@ -1,18 +1,19 @@
 #include "exec/sort_limit.h"
 
-#include <algorithm>
-
 namespace cobra::exec {
 
 Status Sort::Open() {
   COBRA_RETURN_IF_ERROR(child_->Open());
   sorted_.clear();
   position_ = 0;
-  Row row;
+  RowBatch batch(batch_size_);
   for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) break;
-    sorted_.push_back(std::move(row));
+    COBRA_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&batch));
+    if (n == 0) break;
+    sorted_.reserve(sorted_.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      sorted_.push_back(batch.MoveRow(i));
+    }
   }
   COBRA_RETURN_IF_ERROR(child_->Close());
 
@@ -22,8 +23,9 @@ Status Sort::Open() {
   for (size_t i = 0; i < sorted_.size(); ++i) {
     key_values[i].reserve(keys_.size());
     for (const SortKey& key : keys_) {
-      COBRA_ASSIGN_OR_RETURN(Value v, key.expr->Eval(sorted_[i]));
-      key_values[i].push_back(std::move(v));
+      auto v = key.expr->Eval(sorted_[i]);
+      if (!v.ok()) return AnnotateError(v.status(), "Sort");
+      key_values[i].push_back(std::move(*v));
     }
   }
   std::vector<size_t> order(sorted_.size());
@@ -44,7 +46,7 @@ Status Sort::Open() {
                      return false;
                    });
   if (comparison_error) {
-    return Status::InvalidArgument("incomparable sort keys");
+    return Status::InvalidArgument("Sort: incomparable sort keys");
   }
   std::vector<Row> reordered;
   reordered.reserve(sorted_.size());
@@ -55,10 +57,14 @@ Status Sort::Open() {
   return Status::OK();
 }
 
-Result<bool> Sort::Next(Row* out) {
-  if (position_ >= sorted_.size()) return false;
-  *out = sorted_[position_++];
-  return true;
+Result<size_t> Sort::NextBatch(RowBatch* out) {
+  COBRA_RETURN_IF_ERROR(PrepareBatch(out));
+  while (position_ < sorted_.size() && !out->full()) {
+    // Copy (not move): Sort is re-drainable until re-opened, matching the
+    // row-at-a-time behavior.
+    *out->AddRow() = sorted_[position_++];
+  }
+  return out->size();
 }
 
 Status Sort::Close() {

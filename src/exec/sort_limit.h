@@ -1,13 +1,18 @@
 // Sort and Limit.
 //
-// Sort is a materializing operator (open() drains its input), mirroring the
-// paper's observation that the assembly operator is "similar to a sort
-// operator in relational systems where the operator enforces a physical
-// property of the data that is not logically apparent" (§3).
+// Sort is a materializing operator (open() drains its input in batches),
+// mirroring the paper's observation that the assembly operator is "similar
+// to a sort operator in relational systems where the operator enforces a
+// physical property of the data that is not logically apparent" (§3).
+//
+// Limit caps every child pull at the rows still wanted, so the batched
+// engine preserves row-at-a-time Limit's early stop: the child never
+// produces past the limit.
 
 #ifndef COBRA_EXEC_SORT_LIMIT_H_
 #define COBRA_EXEC_SORT_LIMIT_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -23,41 +28,62 @@ struct SortKey {
 
 class Sort : public Iterator {
  public:
-  Sort(std::unique_ptr<Iterator> child, std::vector<SortKey> keys)
-      : child_(std::move(child)), keys_(std::move(keys)) {}
+  Sort(std::unique_ptr<Iterator> child, std::vector<SortKey> keys,
+       size_t batch_size = RowBatch::kDefaultCapacity)
+      : child_(std::move(child)),
+        keys_(std::move(keys)),
+        batch_size_(batch_size) {}
 
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  Result<size_t> NextBatch(RowBatch* out) override;
   Status Close() override;
 
  private:
   std::unique_ptr<Iterator> child_;
   std::vector<SortKey> keys_;
+  size_t batch_size_;
   std::vector<Row> sorted_;
   size_t position_ = 0;
 };
 
 class Limit : public Iterator {
  public:
-  Limit(std::unique_ptr<Iterator> child, size_t limit)
-      : child_(std::move(child)), limit_(limit) {}
+  Limit(std::unique_ptr<Iterator> child, size_t limit,
+        size_t batch_size = RowBatch::kDefaultCapacity)
+      : child_(std::move(child)),
+        limit_(limit),
+        batch_size_(batch_size),
+        scratch_(batch_size) {}
 
   Status Open() override {
     produced_ = 0;
+    scratch_.Clear();
     return child_->Open();
   }
-  Result<bool> Next(Row* out) override {
-    if (produced_ >= limit_) return false;
-    COBRA_ASSIGN_OR_RETURN(bool has, child_->Next(out));
-    if (!has) return false;
-    ++produced_;
-    return true;
+
+  Result<size_t> NextBatch(RowBatch* out) override {
+    COBRA_RETURN_IF_ERROR(PrepareBatch(out));
+    while (produced_ < limit_ && !out->full()) {
+      size_t want = std::min({limit_ - produced_,
+                              out->capacity() - out->size(), batch_size_});
+      scratch_.set_capacity(want);
+      COBRA_ASSIGN_OR_RETURN(size_t n, child_->NextBatch(&scratch_));
+      if (n == 0) break;
+      for (size_t i = 0; i < n; ++i) {
+        out->TakeRow(&scratch_[i]);
+      }
+      produced_ += n;
+    }
+    return out->size();
   }
+
   Status Close() override { return child_->Close(); }
 
  private:
   std::unique_ptr<Iterator> child_;
   size_t limit_;
+  size_t batch_size_;
+  RowBatch scratch_;
   size_t produced_ = 0;
 };
 

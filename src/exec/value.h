@@ -95,6 +95,74 @@ class Value {
 
 using Row = std::vector<Value>;
 
+// A batch of rows flowing between operators — the unit of the vectorized
+// Volcano protocol (exec/iterator.h).  Amortizing one virtual NextBatch()
+// call over up to `capacity` rows removes the per-row dispatch that makes
+// row-at-a-time Volcano CPU-bound.
+//
+// The batch is a column of reusable Row slots: Clear() resets the logical
+// size but keeps every slot's heap storage, so steady-state batch traffic
+// through a pipeline performs no per-row allocation.  Producers either fill
+// a slot in place (AddRow), move a row in (PushRow), or swap one in
+// (TakeRow — the retired slot storage flows back to the producer).
+class RowBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit RowBatch(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  // Adjusts the fill limit (slot storage is unaffected).  Lets consumers
+  // that must not over-pull — e.g. Limit — cap a reusable scratch batch.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  Row& operator[](size_t i) { return slots_[i]; }
+  const Row& operator[](size_t i) const { return slots_[i]; }
+
+  // Logical reset; slot storage is retained for reuse.
+  void Clear() { size_ = 0; }
+
+  // Returns the next slot for in-place filling.  The slot retains whatever
+  // the previous batch generation left in it — callers must overwrite (or
+  // Row::clear() first), not append blindly.
+  Row* AddRow() {
+    Row* slot = NextSlot();
+    ++size_;
+    return slot;
+  }
+
+  // Appends by move (steals `row`'s storage; the slot's old storage is
+  // freed).
+  void PushRow(Row row) {
+    *NextSlot() = std::move(row);
+    ++size_;
+  }
+
+  // Appends by swap: the slot receives *row and *row receives the slot's
+  // retired storage, so neither side allocates in steady state.
+  void TakeRow(Row* row) {
+    NextSlot()->swap(*row);
+    ++size_;
+  }
+
+  // Moves row i out (consumers that keep rows, e.g. DrainAll).
+  Row MoveRow(size_t i) { return std::move(slots_[i]); }
+
+ private:
+  Row* NextSlot() {
+    if (size_ == slots_.size()) slots_.emplace_back();
+    return &slots_[size_];
+  }
+
+  std::vector<Row> slots_;
+  size_t capacity_;
+  size_t size_ = 0;
+};
+
 // Concatenates two rows (join output).
 Row ConcatRows(const Row& left, const Row& right);
 

@@ -18,13 +18,13 @@ Status ProfiledIterator::Open() {
   return status;
 }
 
-Result<bool> ProfiledIterator::Next(exec::Row* out) {
+Result<size_t> ProfiledIterator::NextBatch(exec::RowBatch* out) {
   ++next_calls_;
   uint64_t start = clock_->NowNanos();
-  Result<bool> has = input_->Next(out);
+  Result<size_t> n = input_->NextBatch(out);
   total_nanos_ += clock_->NowNanos() - start;
-  if (has.ok() && *has) ++rows_;
-  return has;
+  if (n.ok()) rows_ += *n;
+  return n;
 }
 
 Status ProfiledIterator::Close() { return input_->Close(); }
@@ -48,9 +48,12 @@ std::string FormatNanos(uint64_t nanos) {
 }
 
 std::string ProfiledIterator::Summary() const {
+  char fill[32];
+  std::snprintf(fill, sizeof(fill), "%.1f", rows_per_batch());
   return "next=" + std::to_string(next_calls_) +
-         " rows=" + std::to_string(rows_) +
-         " time=" + FormatNanos(total_nanos_);
+         " rows=" + std::to_string(rows_) + " rows/batch=" + fill +
+         " time=" + FormatNanos(total_nanos_) +
+         " avg=" + FormatNanos(nanos_per_next());
 }
 
 }  // namespace cobra::obs

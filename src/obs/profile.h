@@ -1,14 +1,18 @@
 // ProfiledIterator: the EXPLAIN ANALYZE instrument.
 //
-// A transparent Volcano decorator that forwards Open/Next/Close to the
-// wrapped operator while counting Next() calls, rows produced, and
+// A transparent Volcano decorator that forwards Open/NextBatch/Close to the
+// wrapped operator while counting NextBatch() calls, rows produced, and
 // cumulative wall time spent inside the subtree (via an injectable clock).
+// With the batched protocol the interesting numbers are amortized: rows per
+// batch (how well the operator fills batches) and time per NextBatch call
+// (virtual-dispatch overhead amortization), both derived from the raw
+// counters and rendered by Summary().
 // PlanBuilder::Profile() inserts one around every operator it subsequently
 // adds; exec::Explain() then renders the plan tree annotated with each
 // decorator's numbers.
 //
 // Un-profiled plans contain no decorator at all — the profiling cost when
-// profiling is off is exactly zero instructions on the Next() path.
+// profiling is off is exactly zero instructions on the NextBatch() path.
 
 #ifndef COBRA_OBS_PROFILE_H_
 #define COBRA_OBS_PROFILE_H_
@@ -28,17 +32,29 @@ class ProfiledIterator : public exec::Iterator {
   ProfiledIterator(std::unique_ptr<exec::Iterator> input, const Clock* clock);
 
   Status Open() override;
-  Result<bool> Next(exec::Row* out) override;
+  Result<size_t> NextBatch(exec::RowBatch* out) override;
   Status Close() override;
 
+  // Number of NextBatch() calls (including the end-of-stream call).
   uint64_t next_calls() const { return next_calls_; }
   uint64_t rows() const { return rows_; }
-  // Wall time spent inside Open() + all Next() calls of the wrapped subtree
-  // (inclusive of children — the Volcano tree nests, so a parent's time
-  // contains its inputs' time, exactly like EXPLAIN ANALYZE).
+  // Wall time spent inside Open() + all NextBatch() calls of the wrapped
+  // subtree (inclusive of children — the Volcano tree nests, so a parent's
+  // time contains its inputs' time, exactly like EXPLAIN ANALYZE).
   uint64_t total_nanos() const { return total_nanos_; }
+  // Average rows delivered per NextBatch() call (batch fill).
+  double rows_per_batch() const {
+    return next_calls_ == 0 ? 0.0
+                            : static_cast<double>(rows_) /
+                                  static_cast<double>(next_calls_);
+  }
+  // Amortized wall time per NextBatch() call.
+  uint64_t nanos_per_next() const {
+    return next_calls_ == 0 ? 0 : total_nanos_ / next_calls_;
+  }
 
-  // "next=12 rows=10 time=3.4ms" — the annotation Explain appends.
+  // "next=12 rows=10 rows/batch=0.8 time=3.4ms avg=283us" — the annotation
+  // Explain appends.
   std::string Summary() const;
 
  private:

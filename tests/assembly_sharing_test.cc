@@ -55,15 +55,7 @@ class SharingTest : public ::testing::Test {
                                AssemblyStats* stats_out = nullptr) {
     auto op = std::make_unique<AssemblyOperator>(RootScan(roots), tmpl,
                                                  &store_, options);
-    COBRA_RETURN_IF_ERROR(op->Open());
-    std::vector<Row> rows;
-    Row row;
-    for (;;) {
-      COBRA_ASSIGN_OR_RETURN(bool has, op->Next(&row));
-      if (!has) break;
-      rows.push_back(row);
-    }
-    COBRA_RETURN_IF_ERROR(op->Close());
+    COBRA_ASSIGN_OR_RETURN(std::vector<Row> rows, exec::DrainAll(op.get()));
     if (stats_out != nullptr) *stats_out = op->stats();
     keep_alive_.push_back(std::move(op));
     return rows;
@@ -354,14 +346,16 @@ TEST_F(SharingTest, StackedAssemblyLinksPrebuiltComponents) {
   auto prebuilt = std::make_shared<PrebuiltComponents>();
   prebuilt->arena = assembly1->arena();
   std::vector<Row> stage2_inputs;
-  Row row;
+  exec::RowBatch batch;
   for (;;) {
-    auto has = assembly1->Next(&row);
-    ASSERT_TRUE(has.ok());
-    if (!*has) break;
-    AssembledObject* b_obj = row[0].AsObject();
-    prebuilt->by_oid[b_obj->oid] = b_obj;
-    stage2_inputs.push_back(Row{row[1], Value::Prebuilt(prebuilt)});
+    auto n = assembly1->NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    for (size_t i = 0; i < *n; ++i) {
+      AssembledObject* b_obj = batch[i][0].AsObject();
+      prebuilt->by_oid[b_obj->oid] = b_obj;
+      stage2_inputs.push_back(Row{batch[i][1], Value::Prebuilt(prebuilt)});
+    }
   }
   ASSERT_TRUE(assembly1->Close().ok());
   ASSERT_EQ(stage2_inputs.size(), 4u);
@@ -375,16 +369,18 @@ TEST_F(SharingTest, StackedAssemblyLinksPrebuiltComponents) {
   size_t emitted = 0;
   AssemblyStats stats2;
   for (;;) {
-    auto has = assembly2->Next(&row);
-    ASSERT_TRUE(has.ok()) << has.status().ToString();
-    if (!*has) break;
-    const AssembledObject* a_obj = row[0].AsObject();
-    EXPECT_EQ(a_obj->type_id, 1u);
-    ASSERT_NE(a_obj->children[0], nullptr);  // prebuilt B
-    EXPECT_EQ(a_obj->children[0]->type_id, 2u);
-    ASSERT_NE(a_obj->children[0]->children[0], nullptr);  // prebuilt D
-    ASSERT_NE(a_obj->children[1], nullptr);  // freshly fetched C
-    ++emitted;
+    auto n = assembly2->NextBatch(&batch);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;
+    for (size_t i = 0; i < *n; ++i) {
+      const AssembledObject* a_obj = batch[i][0].AsObject();
+      EXPECT_EQ(a_obj->type_id, 1u);
+      ASSERT_NE(a_obj->children[0], nullptr);  // prebuilt B
+      EXPECT_EQ(a_obj->children[0]->type_id, 2u);
+      ASSERT_NE(a_obj->children[0]->children[0], nullptr);  // prebuilt D
+      ASSERT_NE(a_obj->children[1], nullptr);  // freshly fetched C
+      ++emitted;
+    }
   }
   stats2 = assembly2->stats();
   ASSERT_TRUE(assembly2->Close().ok());
@@ -418,12 +414,14 @@ TEST(GenealogySharingTest, AssembledQueryMatchesNaive) {
       auto plan = MakeLivesCloseToFatherPlan(db->get(), aopts, &assembly);
       ASSERT_TRUE(plan->Open().ok());
       std::vector<Oid> matches;
-      exec::Row row;
+      exec::RowBatch batch;
       for (;;) {
-        auto has = plan->Next(&row);
-        ASSERT_TRUE(has.ok()) << has.status().ToString();
-        if (!*has) break;
-        matches.push_back(row[0].AsObject()->oid);
+        auto n = plan->NextBatch(&batch);
+        ASSERT_TRUE(n.ok()) << n.status().ToString();
+        if (*n == 0) break;
+        for (size_t i = 0; i < *n; ++i) {
+          matches.push_back(batch[i][0].AsObject()->oid);
+        }
       }
       ASSERT_TRUE(plan->Close().ok());
       std::sort(matches.begin(), matches.end());
@@ -448,11 +446,11 @@ TEST(GenealogySharingTest, SharedResidencesDedupedInWindow) {
   AssemblyOperator* assembly = nullptr;
   auto plan = MakeLivesCloseToFatherPlan(db->get(), aopts, &assembly);
   ASSERT_TRUE(plan->Open().ok());
-  exec::Row row;
+  exec::RowBatch batch;
   for (;;) {
-    auto has = plan->Next(&row);
-    ASSERT_TRUE(has.ok());
-    if (!*has) break;
+    auto n = plan->NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
   }
   EXPECT_GT(assembly->stats().shared_hits, 0u);
   ASSERT_TRUE(plan->Close().ok());

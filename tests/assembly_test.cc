@@ -20,6 +20,7 @@ namespace cobra {
 namespace {
 
 using exec::Row;
+using exec::RowBatch;
 using exec::Value;
 using exec::ValueKind;
 using exec::VectorScan;
@@ -62,15 +63,7 @@ class AssemblyTest : public ::testing::Test {
                                AssemblyStats* stats_out = nullptr) {
     auto op = std::make_unique<AssemblyOperator>(RootScan(roots), tmpl,
                                                  &store_, options);
-    COBRA_RETURN_IF_ERROR(op->Open());
-    std::vector<Row> rows;
-    Row row;
-    for (;;) {
-      COBRA_ASSIGN_OR_RETURN(bool has, op->Next(&row));
-      if (!has) break;
-      rows.push_back(row);
-    }
-    COBRA_RETURN_IF_ERROR(op->Close());
+    COBRA_ASSIGN_OR_RETURN(std::vector<Row> rows, exec::DrainAll(op.get()));
     if (stats_out != nullptr) {
       *stats_out = op->stats();
     }
@@ -143,9 +136,11 @@ TEST_F(AssemblyTest, PassthroughColumnsPreserved) {
       std::make_unique<VectorScan>(inputs), &ct.tmpl, &store_,
       AssemblyOptions{}, /*root_column=*/1);
   ASSERT_TRUE(op->Open().ok());
-  Row row;
-  auto has = op->Next(&row);
-  ASSERT_TRUE(has.ok() && *has);
+  RowBatch batch;
+  auto n = op->NextBatch(&batch);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 1u);
+  Row row = batch.MoveRow(0);
   EXPECT_EQ(row[0].AsInt(), 42);
   EXPECT_EQ(row[1].kind(), ValueKind::kObject);
   EXPECT_EQ(row[2].AsStr(), "tag");
@@ -197,8 +192,8 @@ TEST_F(AssemblyTest, NonOidRootColumnRejected) {
   AssemblyOperator op(std::make_unique<VectorScan>(inputs), &ct.tmpl, &store_,
                       AssemblyOptions{});
   ASSERT_TRUE(op.Open().ok());
-  Row row;
-  EXPECT_TRUE(op.Next(&row).status().IsInvalidArgument());
+  RowBatch batch;
+  EXPECT_TRUE(op.NextBatch(&batch).status().IsInvalidArgument());
 }
 
 TEST_F(AssemblyTest, ZeroWindowRejected) {
@@ -289,11 +284,11 @@ TEST_F(AssemblyTest, ElevatorBeatsDepthFirstOnScatteredLayout) {
     auto op = std::make_unique<AssemblyOperator>(RootScan(roots), &ct.tmpl,
                                                  &cold_store, options);
     EXPECT_TRUE(op->Open().ok());
-    Row row;
+    RowBatch batch;
     for (;;) {
-      auto has = op->Next(&row);
-      EXPECT_TRUE(has.ok());
-      if (!has.ok() || !*has) break;
+      auto n = op->NextBatch(&batch);
+      EXPECT_TRUE(n.ok());
+      if (!n.ok() || *n == 0) break;
     }
     EXPECT_TRUE(op->Close().ok());
     return disk_.stats().AvgSeekPerRead();
@@ -533,13 +528,14 @@ TEST_F(AssemblyTest, OperatorReusableAfterClose) {
   AssemblyOperator op(RootScan({root}), &ct.tmpl, &store_, AssemblyOptions{});
   for (int round = 0; round < 2; ++round) {
     ASSERT_TRUE(op.Open().ok());
-    Row row;
-    auto has = op.Next(&row);
-    ASSERT_TRUE(has.ok() && *has);
-    EXPECT_EQ(row[0].AsObject()->oid, root);
-    has = op.Next(&row);
-    ASSERT_TRUE(has.ok());
-    EXPECT_FALSE(*has);
+    RowBatch batch;
+    auto n = op.NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(*n, 1u);
+    EXPECT_EQ(batch[0][0].AsObject()->oid, root);
+    n = op.NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 0u);
     ASSERT_TRUE(op.Close().ok());
   }
 }

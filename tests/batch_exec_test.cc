@@ -1,0 +1,308 @@
+// Conformance tests for the batched iterator protocol (exec/iterator.h).
+//
+// Every operator must honor the same lifecycle contract: Close() is
+// idempotent, Close() is legal after a partial drain, and Open() after
+// Close() restarts the stream from the beginning.  The RowBatch edge cases
+// (zero-capacity rejection, final partial batch, empty-input global
+// aggregate) and mid-stream error propagation through a deep plan are
+// covered here too.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "exec/aggregate.h"
+#include "exec/distinct.h"
+#include "exec/expr.h"
+#include "exec/filter_project.h"
+#include "exec/iterator.h"
+#include "exec/join.h"
+#include "exec/plan.h"
+#include "exec/scan.h"
+#include "exec/sort_limit.h"
+#include "obs/clock.h"
+#include "workload/genealogy.h"
+
+namespace cobra::exec {
+namespace {
+
+std::vector<Row> IntRows(int64_t n) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::Int(i), Value::Int(i % 3)});
+  }
+  return rows;
+}
+
+std::unique_ptr<Iterator> Scan(int64_t n) {
+  return std::make_unique<VectorScan>(IntRows(n));
+}
+
+std::vector<AggSpec> CountStar() {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggFn::kCount, nullptr});
+  return aggs;
+}
+
+// Drains an already-open iterator, returning the row count.  Fails the test
+// on any error.
+size_t CountRows(Iterator* op, size_t batch_capacity = 7) {
+  RowBatch batch(batch_capacity);
+  size_t total = 0;
+  for (;;) {
+    auto n = op->NextBatch(&batch);
+    EXPECT_TRUE(n.ok()) << n.status().ToString();
+    if (!n.ok() || *n == 0) break;
+    total += *n;
+  }
+  return total;
+}
+
+struct OperatorCase {
+  std::string name;
+  std::function<std::unique_ptr<Iterator>()> make;
+  size_t expected_rows;
+};
+
+std::vector<OperatorCase> ConformanceCases() {
+  static obs::SteadyClock clock;
+  std::vector<OperatorCase> cases;
+  cases.push_back({"VectorScan", [] { return Scan(10); }, 10});
+  cases.push_back({"Filter",
+                   [] {
+                     return std::make_unique<Filter>(
+                         Scan(10), Cmp(CmpOp::kLt, Col(0), LitInt(6)));
+                   },
+                   6});
+  cases.push_back({"Project",
+                   [] {
+                     std::vector<ExprPtr> exprs;
+                     exprs.push_back(Col(1));
+                     return std::make_unique<Project>(Scan(10),
+                                                      std::move(exprs));
+                   },
+                   10});
+  cases.push_back({"Sort",
+                   [] {
+                     std::vector<SortKey> keys;
+                     keys.push_back(SortKey{Col(1), false});
+                     return std::make_unique<Sort>(Scan(10), std::move(keys));
+                   },
+                   10});
+  cases.push_back(
+      {"Limit", [] { return std::make_unique<Limit>(Scan(10), 4); }, 4});
+  cases.push_back({"HashAggregate",
+                   [] {
+                     std::vector<ExprPtr> group_by;
+                     group_by.push_back(Col(1));
+                     return std::make_unique<HashAggregate>(
+                         Scan(10), std::move(group_by), CountStar());
+                   },
+                   3});
+  cases.push_back({"Distinct",
+                   [] {
+                     std::vector<ExprPtr> exprs;
+                     exprs.push_back(Col(1));
+                     return std::make_unique<Distinct>(
+                         std::make_unique<Project>(Scan(10),
+                                                   std::move(exprs)));
+                   },
+                   3});
+  // 6 rows keyed on i%3: three key groups of 2 rows each -> 3 * 2 * 2 pairs.
+  cases.push_back({"HashJoin",
+                   [] {
+                     std::vector<ExprPtr> lk, rk;
+                     lk.push_back(Col(1));
+                     rk.push_back(Col(1));
+                     return std::make_unique<HashJoin>(Scan(6), Scan(6),
+                                                       std::move(lk),
+                                                       std::move(rk));
+                   },
+                   12});
+  // Pairs over 0..3 with i%3 == j%3: (0,0) (0,3) (1,1) (2,2) (3,0) (3,3).
+  cases.push_back({"NestedLoopJoin",
+                   [] {
+                     return std::make_unique<NestedLoopJoin>(
+                         Scan(4), Scan(4),
+                         Cmp(CmpOp::kEq, Col(1), Col(3)));
+                   },
+                   6});
+  cases.push_back({"ProfiledPipeline",
+                   [] {
+                     return PlanBuilder::FromRows(IntRows(10))
+                         .Profile(&clock)
+                         .Filter(Cmp(CmpOp::kLt, Col(0), LitInt(5)))
+                         .Build();
+                   },
+                   5});
+  return cases;
+}
+
+TEST(BatchLifecycleTest, OpenDrainCloseCloseIsClean) {
+  for (const OperatorCase& c : ConformanceCases()) {
+    SCOPED_TRACE(c.name);
+    auto op = c.make();
+    ASSERT_TRUE(op->Open().ok());
+    EXPECT_EQ(CountRows(op.get()), c.expected_rows);
+    // After end of stream the operator keeps reporting end of stream.
+    RowBatch batch(4);
+    auto again = op->NextBatch(&batch);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, 0u);
+    EXPECT_TRUE(op->Close().ok());
+    EXPECT_TRUE(op->Close().ok()) << "second Close() must be a no-op";
+  }
+}
+
+TEST(BatchLifecycleTest, PartialDrainThenCloseIsClean) {
+  for (const OperatorCase& c : ConformanceCases()) {
+    SCOPED_TRACE(c.name);
+    auto op = c.make();
+    ASSERT_TRUE(op->Open().ok());
+    RowBatch batch(1);  // pull a single row, abandon the rest
+    auto n = op->NextBatch(&batch);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    EXPECT_EQ(*n, 1u);
+    EXPECT_TRUE(op->Close().ok());
+    EXPECT_TRUE(op->Close().ok());
+  }
+}
+
+TEST(BatchLifecycleTest, OpenAfterCloseRestartsTheStream) {
+  for (const OperatorCase& c : ConformanceCases()) {
+    SCOPED_TRACE(c.name);
+    auto op = c.make();
+    // First pass: partial drain, close.
+    ASSERT_TRUE(op->Open().ok());
+    RowBatch batch(1);
+    ASSERT_TRUE(op->NextBatch(&batch).ok());
+    ASSERT_TRUE(op->Close().ok());
+    // Second pass must see the full stream again.
+    ASSERT_TRUE(op->Open().ok());
+    EXPECT_EQ(CountRows(op.get()), c.expected_rows);
+    EXPECT_TRUE(op->Close().ok());
+  }
+}
+
+TEST(BatchLifecycleTest, AssemblyPlanConforms) {
+  GenealogyOptions options;
+  options.num_people = 60;
+  options.seed = 7;
+  auto built = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(built.ok());
+  auto db = std::move(built).value();
+
+  AssemblyOptions aopts;
+  auto plan = MakeLivesCloseToFatherPlan(db.get(), aopts);
+
+  ASSERT_TRUE(plan->Open().ok());
+  size_t first = CountRows(plan.get());
+  ASSERT_TRUE(plan->Close().ok());
+  ASSERT_TRUE(plan->Close().ok());  // idempotent
+
+  // Partial drain then close.
+  ASSERT_TRUE(plan->Open().ok());
+  RowBatch batch(1);
+  ASSERT_TRUE(plan->NextBatch(&batch).ok());
+  ASSERT_TRUE(plan->Close().ok());
+
+  // Re-open sees the full stream again.
+  ASSERT_TRUE(plan->Open().ok());
+  EXPECT_EQ(CountRows(plan.get()), first);
+  ASSERT_TRUE(plan->Close().ok());
+}
+
+TEST(RowBatchEdgeTest, ZeroCapacityBatchIsRejected) {
+  auto op = Scan(3);
+  ASSERT_TRUE(op->Open().ok());
+  RowBatch degenerate(0);
+  auto n = op->NextBatch(&degenerate);
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsInvalidArgument()) << n.status().ToString();
+  auto null_out = op->NextBatch(nullptr);
+  ASSERT_FALSE(null_out.ok());
+  EXPECT_TRUE(null_out.status().IsInvalidArgument());
+  // The operator is still usable with a sane batch.
+  RowBatch batch(8);
+  auto ok = op->NextBatch(&batch);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3u);
+  ASSERT_TRUE(op->Close().ok());
+}
+
+TEST(RowBatchEdgeTest, FinalBatchMayBePartial) {
+  auto op = Scan(10);
+  ASSERT_TRUE(op->Open().ok());
+  RowBatch batch(4);
+  std::vector<size_t> sizes;
+  for (;;) {
+    auto n = op->NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    sizes.push_back(*n);
+  }
+  EXPECT_EQ(sizes, (std::vector<size_t>{4, 4, 2}));
+  ASSERT_TRUE(op->Close().ok());
+}
+
+TEST(RowBatchEdgeTest, EmptyInputGlobalAggregateEmitsOneRow) {
+  // Global aggregation over an empty input must still produce the single
+  // global row (COUNT(*) == 0) through the batch path.
+  auto agg = std::make_unique<HashAggregate>(Scan(0), std::vector<ExprPtr>{},
+                                             CountStar());
+  ASSERT_TRUE(agg->Open().ok());
+  RowBatch batch(8);
+  auto n = agg->NextBatch(&batch);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  ASSERT_EQ(*n, 1u);
+  ASSERT_EQ(batch[0].size(), 1u);
+  EXPECT_EQ(batch[0][0].AsInt(), 0);
+  auto eos = agg->NextBatch(&batch);
+  ASSERT_TRUE(eos.ok());
+  EXPECT_EQ(*eos, 0u);
+  ASSERT_TRUE(agg->Close().ok());
+}
+
+TEST(ErrorPropagationTest, CorruptionSurfacesThroughFilterAssemblyTree) {
+  // Every page read fails, so the assembly operator hits a mid-stream
+  // Corruption while resolving references.  Under the default kFailQuery
+  // policy the error must surface through the Filter above it — with the
+  // originating operator's name prefixed — rather than being swallowed or
+  // converted to a short row count.
+  GenealogyOptions options;
+  options.num_people = 80;
+  options.seed = 5;
+  options.faults.seed = 9;
+  options.faults.permanent_page_fail = 1.0;
+  auto built = BuildGenealogyDatabase(options);
+  ASSERT_TRUE(built.ok());
+  auto db = std::move(built).value();
+  ASSERT_TRUE(db->ColdRestart().ok());
+
+  AssemblyOptions aopts;  // default ErrorPolicy::kFailQuery
+  auto plan = MakeLivesCloseToFatherPlan(db.get(), aopts);
+  auto rows = DrainAll(plan.get());
+  ASSERT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsCorruption()) << rows.status().ToString();
+  EXPECT_NE(rows.status().message().find("Assembly: "), std::string::npos)
+      << "error lost its originating-operator context: "
+      << rows.status().ToString();
+}
+
+TEST(ErrorPropagationTest, AnnotateErrorKeepsCodeAndPrefixesOperator) {
+  Status corrupt = Status::Corruption("page 12 checksum mismatch");
+  Status annotated = AnnotateError(corrupt, "BTreeScan");
+  EXPECT_TRUE(annotated.IsCorruption());
+  EXPECT_EQ(annotated.message(), "BTreeScan: page 12 checksum mismatch");
+  // OK statuses pass through untouched.
+  EXPECT_TRUE(AnnotateError(Status::OK(), "Filter").ok());
+}
+
+}  // namespace
+}  // namespace cobra::exec

@@ -340,15 +340,17 @@ Status RunPlan(GenealogyDatabase* db, const AssemblyOptions& options,
   std::unique_ptr<exec::Iterator> plan =
       MakeLivesCloseToFatherPlan(db, options, &assembly);
   COBRA_RETURN_IF_ERROR(plan->Open());
-  exec::Row row;
+  exec::RowBatch batch;
   for (;;) {
-    Result<bool> has = plan->Next(&row);
-    if (!has.ok()) {
+    Result<size_t> n = plan->NextBatch(&batch);
+    if (!n.ok()) {
       (void)plan->Close();
-      return has.status();
+      return n.status();
     }
-    if (!*has) break;
-    matches->push_back(row[0].AsObject()->oid);
+    if (*n == 0) break;
+    for (size_t i = 0; i < *n; ++i) {
+      matches->push_back(batch[i][0].AsObject()->oid);
+    }
   }
   *stats = assembly->stats();
   return plan->Close();

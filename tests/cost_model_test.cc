@@ -166,11 +166,11 @@ TEST(CostModelTest, EstimateTracksMeasurementOnUnclusteredData) {
         (*db)->store.get(), AssemblyOptions{.window_size = window,
                                             .scheduler = kind});
     EXPECT_TRUE(op.Open().ok());
-    exec::Row row;
+    exec::RowBatch batch;
     for (;;) {
-      auto has = op.Next(&row);
-      EXPECT_TRUE(has.ok());
-      if (!has.ok() || !*has) break;
+      auto n = op.NextBatch(&batch);
+      EXPECT_TRUE(n.ok());
+      if (!n.ok() || *n == 0) break;
     }
     EXPECT_TRUE(op.Close().ok());
     return (*db)->disk->stats().AvgSeekPerRead();

@@ -75,15 +75,17 @@ RunOutcome RunPlan(GenealogyDatabase* db, const AssemblyOptions& options) {
 
   out.status = plan->Open();
   if (out.status.ok()) {
-    exec::Row row;
+    exec::RowBatch batch;
     for (;;) {
-      Result<bool> has = plan->Next(&row);
-      if (!has.ok()) {
-        out.status = has.status();
+      Result<size_t> n = plan->NextBatch(&batch);
+      if (!n.ok()) {
+        out.status = n.status();
         break;
       }
-      if (!*has) break;
-      out.matches.push_back(row[0].AsObject()->oid);
+      if (*n == 0) break;
+      for (size_t i = 0; i < *n; ++i) {
+        out.matches.push_back(batch[i][0].AsObject()->oid);
+      }
     }
   }
   out.stats = assembly->stats();

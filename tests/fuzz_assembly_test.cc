@@ -158,16 +158,18 @@ TEST_P(FuzzAssemblyTest, OperatorMatchesNaiveOracle) {
                             world.tmpl.get(), world.store.get(), options);
         ASSERT_TRUE(op.Open().ok());
         std::map<Oid, std::set<Oid>> got;
-        Row row;
+        exec::RowBatch batch;
         for (;;) {
-          auto has = op.Next(&row);
-          ASSERT_TRUE(has.ok())
-              << has.status().ToString() << " scheduler "
+          auto n = op.NextBatch(&batch);
+          ASSERT_TRUE(n.ok())
+              << n.status().ToString() << " scheduler "
               << SchedulerKindName(kind) << " window " << window;
-          if (!*has) break;
-          const AssembledObject* obj = row[0].AsObject();
-          auto oids = CollectOids(obj);
-          got[obj->oid] = std::set<Oid>(oids.begin(), oids.end());
+          if (*n == 0) break;
+          for (size_t i = 0; i < *n; ++i) {
+            const AssembledObject* obj = batch[i][0].AsObject();
+            auto oids = CollectOids(obj);
+            got[obj->oid] = std::set<Oid>(oids.begin(), oids.end());
+          }
         }
         ASSERT_TRUE(op.Close().ok());
         EXPECT_EQ(got, expected)

@@ -104,19 +104,21 @@ TEST(HyperModelTest, OperatorClosureMatchesNaivePerNode) {
                         &(*db)->closure_tmpl, (*db)->store.get(),
                         AssemblyOptions{.window_size = 5, .scheduler = kind});
     ASSERT_TRUE(op.Open().ok());
-    exec::Row row;
+    exec::RowBatch batch;
     size_t emitted = 0;
     for (;;) {
-      auto has = op.Next(&row);
-      ASSERT_TRUE(has.ok()) << has.status().ToString();
-      if (!*has) break;
-      const AssembledObject* obj = row[0].AsObject();
-      auto oids = CollectOids(obj);
-      EXPECT_EQ((std::set<Oid>(oids.begin(), oids.end())),
-                expected[obj->oid])
-          << "root " << obj->oid << " scheduler "
-          << SchedulerKindName(kind);
-      ++emitted;
+      auto n = op.NextBatch(&batch);
+      ASSERT_TRUE(n.ok()) << n.status().ToString();
+      if (*n == 0) break;
+      for (size_t i = 0; i < *n; ++i) {
+        const AssembledObject* obj = batch[i][0].AsObject();
+        auto oids = CollectOids(obj);
+        EXPECT_EQ((std::set<Oid>(oids.begin(), oids.end())),
+                  expected[obj->oid])
+            << "root " << obj->oid << " scheduler "
+            << SchedulerKindName(kind);
+        ++emitted;
+      }
     }
     EXPECT_EQ(emitted, roots.size());
     // Cross-referenced leaves shared across the window are deduped.
@@ -139,10 +141,10 @@ TEST(HyperModelTest, AttributeSumStableAcrossSchedulers) {
                         &(*db)->closure_tmpl, (*db)->store.get(),
                         AssemblyOptions{.window_size = 1, .scheduler = kind});
     EXPECT_TRUE(op.Open().ok());
-    exec::Row row;
-    auto has = op.Next(&row);
-    EXPECT_TRUE(has.ok() && *has);
-    int64_t sum = SumField(row[0].AsObject(), kHyperHundredField);
+    exec::RowBatch batch;
+    auto n = op.NextBatch(&batch);
+    EXPECT_TRUE(n.ok() && *n == 1u);
+    int64_t sum = SumField(batch[0][0].AsObject(), kHyperHundredField);
     EXPECT_TRUE(op.Close().ok());
     return sum;
   };

@@ -47,13 +47,15 @@ Result<AssemblyOutcome> RunAcobAssembly(AcobDatabase* db,
                       options);
   COBRA_RETURN_IF_ERROR(op.Open());
   AssemblyOutcome outcome;
-  Row row;
+  exec::RowBatch batch;
   for (;;) {
-    COBRA_ASSIGN_OR_RETURN(bool has, op.Next(&row));
-    if (!has) break;
-    const AssembledObject* obj = row[0].AsObject();
-    auto oids = CollectOids(obj);
-    outcome.per_root[obj->oid] = std::set<Oid>(oids.begin(), oids.end());
+    COBRA_ASSIGN_OR_RETURN(size_t n, op.NextBatch(&batch));
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      const AssembledObject* obj = batch[i][0].AsObject();
+      auto oids = CollectOids(obj);
+      outcome.per_root[obj->oid] = std::set<Oid>(oids.begin(), oids.end());
+    }
   }
   outcome.stats = op.stats();
   outcome.disk = db->disk->stats();
@@ -329,16 +331,18 @@ TEST(AssemblyPerformanceTest, CadRecursiveAssemblyMatchesNaive) {
                       (*db)->store.get(),
                       AssemblyOptions{.window_size = 20});
   ASSERT_TRUE(op.Open().ok());
-  Row row;
+  exec::RowBatch batch;
   size_t emitted = 0;
   for (;;) {
-    auto has = op.Next(&row);
-    ASSERT_TRUE(has.ok()) << has.status().ToString();
-    if (!*has) break;
-    const AssembledObject* obj = row[0].AsObject();
-    EXPECT_EQ(SumField(obj, kPartCostField), expected_cost[obj->oid]);
-    EXPECT_EQ(CountAssembled(obj), expected_count[obj->oid]);
-    ++emitted;
+    auto n = op.NextBatch(&batch);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;
+    for (size_t i = 0; i < *n; ++i) {
+      const AssembledObject* obj = batch[i][0].AsObject();
+      EXPECT_EQ(SumField(obj, kPartCostField), expected_cost[obj->oid]);
+      EXPECT_EQ(CountAssembled(obj), expected_count[obj->oid]);
+      ++emitted;
+    }
   }
   EXPECT_EQ(emitted, 40u);
   // Standard parts dedup through the resident map.

@@ -76,16 +76,18 @@ TEST(BTreeDirectoryAssemblyTest, AssemblyWorksWithDiskResidentDirectory) {
   AssemblyOperator op(std::make_unique<VectorScan>(std::move(rows)), &tmpl,
                       &store, AssemblyOptions{.window_size = 10});
   ASSERT_TRUE(op.Open().ok());
-  Row row;
+  exec::RowBatch batch;
   size_t emitted = 0;
   for (;;) {
-    auto has = op.Next(&row);
-    ASSERT_TRUE(has.ok()) << has.status().ToString();
-    if (!*has) break;
-    const AssembledObject* obj = row[0].AsObject();
-    ASSERT_NE(obj->children[0], nullptr);
-    EXPECT_EQ(obj->children[0]->fields[0], obj->fields[0] * 10);
-    ++emitted;
+    auto n = op.NextBatch(&batch);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;
+    for (size_t i = 0; i < *n; ++i) {
+      const AssembledObject* obj = batch[i][0].AsObject();
+      ASSERT_NE(obj->children[0], nullptr);
+      EXPECT_EQ(obj->children[0]->fields[0], obj->fields[0] * 10);
+      ++emitted;
+    }
   }
   EXPECT_EQ(emitted, 40u);
   ASSERT_TRUE(op.Close().ok());

@@ -81,14 +81,8 @@ class ObsTest : public ::testing::Test {
   }
 
   void Drain(AssemblyOperator* op) {
-    ASSERT_TRUE(op->Open().ok());
-    Row row;
-    for (;;) {
-      auto has = op->Next(&row);
-      ASSERT_TRUE(has.ok());
-      if (!*has) break;
-    }
-    ASSERT_TRUE(op->Close().ok());
+    auto rows = exec::DrainAll(op);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
   }
 
   SimulatedDisk disk_;
@@ -387,17 +381,18 @@ TEST_F(ObsTest, ProfiledIteratorCountsWithManualClock) {
   obs::ManualClock clock(0);
   obs::ProfiledIterator profiled(std::make_unique<VectorScan>(rows), &clock);
   ASSERT_TRUE(profiled.Open().ok());
-  Row row;
+  exec::RowBatch batch;
+  batch.set_capacity(1);  // row-at-a-time pulls: one NextBatch call per row
   for (;;) {
-    auto has = profiled.Next(&row);
-    ASSERT_TRUE(has.ok());
-    if (!*has) break;
+    auto n = profiled.NextBatch(&batch);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
     clock.Advance(500);  // pretend each row costs 500ns downstream
   }
   ASSERT_TRUE(profiled.Close().ok());
   EXPECT_EQ(profiled.rows(), 5u);
-  EXPECT_EQ(profiled.next_calls(), 6u);  // 5 rows + end-of-stream
-  // The clock only moved outside Next(), so no time is attributed.
+  EXPECT_EQ(profiled.next_calls(), 6u);  // 5 single-row batches + EOS
+  // The clock only moved outside NextBatch(), so no time is attributed.
   EXPECT_EQ(profiled.total_nanos(), 0u);
   EXPECT_NE(profiled.Summary().find("next=6"), std::string::npos);
   EXPECT_NE(profiled.Summary().find("rows=5"), std::string::npos);

@@ -80,14 +80,8 @@ TEST_F(ObserverTest, LifecycleEventsPerComplexObject) {
   AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
                       AssemblyOptions{.window_size = 2});
   op.set_observer(&observer);
-  ASSERT_TRUE(op.Open().ok());
-  Row row;
-  for (;;) {
-    auto has = op.Next(&row);
-    ASSERT_TRUE(has.ok());
-    if (!*has) break;
-  }
-  ASSERT_TRUE(op.Close().ok());
+  auto drained = exec::DrainAll(&op);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
 
   EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kAdmit), 2u);
   EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kFetch), 4u);
@@ -122,17 +116,9 @@ TEST_F(ObserverTest, AbortEventOnPredicateFailure) {
   AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
                       AssemblyOptions{});
   op.set_observer(&observer);
-  ASSERT_TRUE(op.Open().ok());
-  Row row;
-  size_t emitted = 0;
-  for (;;) {
-    auto has = op.Next(&row);
-    ASSERT_TRUE(has.ok());
-    if (!*has) break;
-    ++emitted;
-  }
-  ASSERT_TRUE(op.Close().ok());
-  EXPECT_EQ(emitted, 1u);
+  auto drained = exec::DrainAll(&op);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_EQ(drained->size(), 1u);
   EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kAbort), 1u);
   EXPECT_EQ(observer.CountKind(AssemblyEvent::Kind::kEmit), 1u);
 }
@@ -153,14 +139,8 @@ TEST_F(ObserverTest, SharedHitEventsCarryOid) {
   AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
                       AssemblyOptions{.window_size = 2});
   op.set_observer(&observer);
-  ASSERT_TRUE(op.Open().ok());
-  Row row;
-  for (;;) {
-    auto has = op.Next(&row);
-    ASSERT_TRUE(has.ok());
-    if (!*has) break;
-  }
-  ASSERT_TRUE(op.Close().ok());
+  auto drained = exec::DrainAll(&op);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
   ASSERT_EQ(observer.CountKind(AssemblyEvent::Kind::kSharedHit), 1u);
   for (const auto& event : observer.events) {
     if (event.kind == AssemblyEvent::Kind::kSharedHit) {
@@ -193,14 +173,8 @@ TEST_F(ObserverTest, SlidingWindowAdmitsReplacementAfterEmit) {
                                       .scheduler =
                                           SchedulerKind::kDepthFirst});
   op.set_observer(&observer);
-  ASSERT_TRUE(op.Open().ok());
-  Row row;
-  for (;;) {
-    auto has = op.Next(&row);
-    ASSERT_TRUE(has.ok());
-    if (!*has) break;
-  }
-  ASSERT_TRUE(op.Close().ok());
+  auto drained = exec::DrainAll(&op);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
 
   // Check interleaving: the 3rd admit happens after the 1st emit.
   int admits = 0;
@@ -229,9 +203,10 @@ TEST_F(ObserverTest, NoObserverIsFine) {
   AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
                       AssemblyOptions{});
   ASSERT_TRUE(op.Open().ok());
-  Row row;
-  auto has = op.Next(&row);
-  ASSERT_TRUE(has.ok() && *has);
+  exec::RowBatch batch;
+  auto n = op.NextBatch(&batch);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 1u);
   ASSERT_TRUE(op.Close().ok());
 }
 

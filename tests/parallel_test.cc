@@ -61,15 +61,17 @@ TEST(ParallelAssemblyTest, UnionOfOutputsMatchesPerPartitionNaive) {
   auto parallel = (*db)->MakeParallelAssembly(
       AssemblyOptions{.window_size = 10});
   ASSERT_TRUE(parallel->Open().ok());
-  exec::Row row;
+  exec::RowBatch batch;
   std::set<Oid> emitted;
   for (;;) {
-    auto has = parallel->Next(&row);
-    ASSERT_TRUE(has.ok()) << has.status().ToString();
-    if (!*has) break;
-    const AssembledObject* obj = row[0].AsObject();
-    EXPECT_EQ(CountAssembled(obj), 7u);
-    emitted.insert(obj->oid);
+    auto n = parallel->NextBatch(&batch);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;
+    for (size_t i = 0; i < *n; ++i) {
+      const AssembledObject* obj = batch[i][0].AsObject();
+      EXPECT_EQ(CountAssembled(obj), 7u);
+      emitted.insert(obj->oid);
+    }
   }
   ASSERT_TRUE(parallel->Close().ok());
   EXPECT_EQ(emitted.size(), 60u);
@@ -90,14 +92,16 @@ TEST(ParallelAssemblyTest, OutputInterleavesPartitions) {
   auto parallel =
       (*db)->MakeParallelAssembly(AssemblyOptions{.window_size = 4});
   ASSERT_TRUE(parallel->Open().ok());
-  exec::Row row;
-  // Among the first 4 outputs, both partitions appear (round-robin).
+  // Among the first 4 single-row batches, both partitions appear: the
+  // round-robin is batch-granular, so capacity-1 batches alternate devices.
+  exec::RowBatch batch;
+  batch.set_capacity(1);
   int from0 = 0;
   int from1 = 0;
   for (int i = 0; i < 4; ++i) {
-    auto has = parallel->Next(&row);
-    ASSERT_TRUE(has.ok() && *has);
-    if (partition0.contains(row[0].AsObject()->oid)) {
+    auto n = parallel->NextBatch(&batch);
+    ASSERT_TRUE(n.ok() && *n == 1u);
+    if (partition0.contains(batch[0][0].AsObject()->oid)) {
       ++from0;
     } else {
       ++from1;
@@ -121,11 +125,11 @@ TEST(ParallelAssemblyTest, DevicesScaleDownTheMakespan) {
     auto parallel = db->MakeParallelAssembly(
         AssemblyOptions{.window_size = 25});
     EXPECT_TRUE(parallel->Open().ok());
-    exec::Row row;
+    exec::RowBatch batch;
     for (;;) {
-      auto has = parallel->Next(&row);
-      EXPECT_TRUE(has.ok());
-      if (!has.ok() || !*has) break;
+      auto n = parallel->NextBatch(&batch);
+      EXPECT_TRUE(n.ok());
+      if (!n.ok() || *n == 0) break;
     }
     EXPECT_TRUE(parallel->Close().ok());
   };

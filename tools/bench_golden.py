@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Golden-file checker for the deterministic bench JSON outputs.
+
+The fig* benchmarks drive a simulated disk, so every I/O metric (reads,
+seek pages, buffer hits, ...) is bit-for-bit reproducible across runs and
+machines.  Wall-clock derived values are not: any histogram or field whose
+key ends in `_ns` is stripped before comparison.
+
+Usage:
+  bench_golden.py extract <run.json> <golden.json>
+      Normalize a bench --json capture and write it as a golden file.
+  bench_golden.py check <golden.json> <run.json>
+      Normalize both sides and compare; exit 1 with a diff on mismatch.
+"""
+
+import difflib
+import json
+import sys
+
+
+def strip_nondeterministic(node):
+    """Recursively drops object keys ending in `_ns` (timing data)."""
+    if isinstance(node, dict):
+        return {
+            key: strip_nondeterministic(value)
+            for key, value in node.items()
+            if not key.endswith("_ns")
+        }
+    if isinstance(node, list):
+        return [strip_nondeterministic(item) for item in node]
+    return node
+
+
+def normalize(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    return json.dumps(strip_nondeterministic(data), indent=2, sort_keys=True)
+
+
+def main(argv):
+    if len(argv) != 4 or argv[1] not in ("extract", "check"):
+        sys.stderr.write(__doc__)
+        return 2
+    mode, a, b = argv[1], argv[2], argv[3]
+    if mode == "extract":
+        with open(b, "w", encoding="utf-8") as f:
+            f.write(normalize(a) + "\n")
+        print(f"wrote {b}")
+        return 0
+    golden = normalize(a).splitlines(keepends=True)
+    actual = normalize(b).splitlines(keepends=True)
+    if golden == actual:
+        print(f"OK: {b} matches {a}")
+        return 0
+    sys.stderr.write(f"MISMATCH: {b} differs from golden {a}\n")
+    sys.stderr.writelines(
+        difflib.unified_diff(golden, actual, fromfile=a, tofile=b)
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
