@@ -1,0 +1,323 @@
+// Multi-client assembly service: aggregate seek cost vs. client count.
+//
+// The paper's elevator scheduler orders one query's fetches by disk
+// position (§6.3).  This bench measures what happens when K clients run
+// that query *concurrently* against one shared storage stack: a sharded
+// BufferManager over an AsyncDisk whose I/O thread merges all clients'
+// reads into one cross-client elevator sweep (storage/async_disk.h), driven
+// by a QueryService worker pool (service/query_service.h).
+//
+// For each clustering policy the database's roots are split into K
+// contiguous slices, one per client, and two configurations run:
+//
+//   merged       — all K clients concurrently through the shared service;
+//   independent  — the same K slices sequentially, each against a fresh
+//                  cold buffer pool over the raw disk (K separate
+//                  single-client databases sharing nothing but the data).
+//
+// The headline comparison is aggregate seeks per read: the merged sweep
+// should beat K independent sweeps because the arm services neighboring
+// requests from different clients in one pass.  With --clients 1 the merged
+// path degenerates to exactly the historical single-client run (AsyncDisk
+// at queue depth 1 is behavior-preserving, a 1-shard pool is the historical
+// pool), so its I/O metrics are bit-identical to the fig13 window-50
+// elevator numbers — tools/bench_golden.py crosschecks that in CI.
+//
+// Flags: --clients K   concurrent clients            (default 1)
+//        --workers W   service worker threads        (default = clients)
+//        --shards S    buffer pool lock stripes      (default 1 if K==1,
+//                                                     else 4*W)
+//        --prefetch D  scheduler read-ahead depth    (default 0)
+//        --size N      complex objects per database  (default 1000)
+//        --json PATH   machine-readable output
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/query_service.h"
+#include "storage/async_disk.h"
+
+namespace {
+
+using namespace cobra;         // NOLINT: benchmark brevity
+using namespace cobra::bench;  // NOLINT
+
+struct Flags {
+  size_t clients = 1;
+  size_t workers = 0;  // 0 = clients
+  size_t shards = 0;   // 0 = auto
+  size_t prefetch = 0;
+  size_t size = 1000;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  auto value_of = [&](const std::string& arg, const char* name,
+                      int* i) -> const char* {
+    std::string prefix = std::string(name) + "=";
+    if (arg == name && *i + 1 < argc) return argv[++*i];
+    if (arg.rfind(prefix, 0) == 0) return arg.c_str() + prefix.size();
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (const char* v = value_of(arg, "--clients", &i)) {
+      flags.clients = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--workers", &i)) {
+      flags.workers = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--shards", &i)) {
+      flags.shards = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--prefetch", &i)) {
+      flags.prefetch = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--size", &i)) {
+      flags.size = std::strtoull(v, nullptr, 10);
+    }
+  }
+  if (flags.clients == 0) flags.clients = 1;
+  if (flags.size == 0) flags.size = 1;
+  if (flags.workers == 0) flags.workers = flags.clients;
+  if (flags.shards == 0) {
+    flags.shards = flags.clients == 1 ? 1 : 4 * flags.workers;
+  }
+  return flags;
+}
+
+// Contiguous root slice of client `i` of `k`.
+std::vector<Oid> RootSlice(const std::vector<Oid>& roots, size_t i, size_t k) {
+  size_t n = roots.size();
+  size_t begin = n * i / k;
+  size_t end = n * (i + 1) / k;
+  return std::vector<Oid>(roots.begin() + begin, roots.begin() + end);
+}
+
+void Accumulate(AssemblyStats* total, const AssemblyStats& part) {
+  total->objects_fetched += part.objects_fetched;
+  total->shared_hits += part.shared_hits;
+  total->prebuilt_hits += part.prebuilt_hits;
+  total->refs_resolved += part.refs_resolved;
+  total->complex_admitted += part.complex_admitted;
+  total->complex_emitted += part.complex_emitted;
+  total->complex_aborted += part.complex_aborted;
+  total->objects_dropped += part.objects_dropped;
+  total->max_window_pages =
+      std::max(total->max_window_pages, part.max_window_pages);
+  total->max_pool_size = std::max(total->max_pool_size, part.max_pool_size);
+}
+
+struct MergedRun {
+  RunMetrics metrics;
+  size_t refetched_pages = 0;
+  uint64_t elapsed_ns = 0;
+  uint64_t rows = 0;
+  obs::JsonValue registry;
+  AsyncDiskStats async;
+};
+
+// All K clients concurrently through one QueryService over AsyncDisk +
+// sharded pool.
+MergedRun RunMerged(AcobDatabase* db, const Flags& flags) {
+  if (auto s = db->ColdRestart(); !s.ok()) {
+    std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  AssemblyOptions aopts;
+  aopts.window_size = 50;
+  aopts.scheduler = SchedulerKind::kElevator;
+  aopts.prefetch_depth = flags.prefetch;
+
+  MergedRun run;
+  // Declaration order fixes teardown order: the pool flushes through the
+  // async front-end, so it must die before the I/O thread does.
+  AsyncDisk async(db->disk.get());
+  BufferManager pool(&async,
+                     BufferOptions{db->options.buffer_frames,
+                                   db->options.replacement, db->options.retry,
+                                   flags.shards});
+  db->disk->EnableReadTrace(true);
+  auto start = std::chrono::steady_clock::now();
+  {
+    service::ServiceOptions sopts;
+    sopts.num_workers = flags.workers;
+    sopts.async_disk = &async;
+    service::QueryService service(&pool, db->directory.get(), sopts);
+    std::vector<std::future<service::QueryResult>> futures;
+    futures.reserve(flags.clients);
+    for (size_t c = 0; c < flags.clients; ++c) {
+      service::QueryJob job;
+      job.client = "c" + std::to_string(c);
+      job.tmpl = &db->tmpl;
+      job.roots = RootSlice(db->roots, c, flags.clients);
+      job.assembly = aopts;
+      futures.push_back(service.Submit(std::move(job)));
+    }
+    for (auto& future : futures) {
+      service::QueryResult result = future.get();
+      if (!result.status.ok()) {
+        std::fprintf(stderr, "client %s failed: %s\n", result.client.c_str(),
+                     result.status.ToString().c_str());
+        std::exit(1);
+      }
+      run.rows += result.rows;
+      Accumulate(&run.metrics.assembly, result.assembly);
+    }
+    service.Drain();
+    run.registry = service.registry().ToJson();
+  }
+  async.Drain();
+  run.elapsed_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  run.async = async.async_stats();
+  run.metrics.disk = db->disk->stats();
+  run.metrics.buffer = pool.stats();
+  run.refetched_pages = static_cast<size_t>(run.metrics.buffer.faults -
+                                            pool.unique_pages_faulted());
+  run.metrics.read_seeks = SeekHistogram::FromReadTrace(db->disk->read_trace());
+  db->disk->EnableReadTrace(false);
+  return run;
+}
+
+// The same K slices sequentially, each from a cold pool over the raw disk:
+// the no-sharing baseline the merged sweep is judged against.
+RunMetrics RunIndependent(AcobDatabase* db, const Flags& flags,
+                          size_t* refetched_pages) {
+  RunMetrics total;
+  *refetched_pages = 0;
+  for (size_t c = 0; c < flags.clients; ++c) {
+    if (auto s = db->ColdRestart(); !s.ok()) {
+      std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    AssemblyOptions aopts;
+    aopts.window_size = 50;
+    aopts.scheduler = SchedulerKind::kElevator;
+    AssemblyOperator op(RootScan(RootSlice(db->roots, c, flags.clients)),
+                        &db->tmpl, db->store.get(), aopts);
+    if (auto s = op.Open(); !s.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    exec::RowBatch batch(exec::RowBatch::kDefaultCapacity);
+    for (;;) {
+      auto n = op.NextBatch(&batch);
+      if (!n.ok()) {
+        std::fprintf(stderr, "assembly failed: %s\n",
+                     n.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (*n == 0) break;
+    }
+    DiskStats disk = db->disk->stats();
+    total.disk.reads += disk.reads;
+    total.disk.writes += disk.writes;
+    total.disk.read_seek_pages += disk.read_seek_pages;
+    total.disk.write_seek_pages += disk.write_seek_pages;
+    BufferStats buffer = db->buffer->stats();
+    total.buffer.hits += buffer.hits;
+    total.buffer.faults += buffer.faults;
+    total.buffer.evictions += buffer.evictions;
+    total.buffer.dirty_writebacks += buffer.dirty_writebacks;
+    total.buffer.max_pinned =
+        std::max(total.buffer.max_pinned, buffer.max_pinned);
+    *refetched_pages += static_cast<size_t>(buffer.faults -
+                                            db->buffer->unique_pages_faulted());
+    Accumulate(&total.assembly, op.stats());
+    (void)op.Close();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  JsonReporter reporter("multi_client", argc, argv);
+  reporter.Set("window_size", 50);
+  reporter.Set("clients", flags.clients);
+  reporter.Set("workers", flags.workers);
+  reporter.Set("shards", flags.shards);
+  reporter.Set("prefetch", flags.prefetch);
+
+  std::printf("Multi-client assembly — %zu client(s), %zu worker(s), "
+              "%zu shard(s), window 50, elevator, N=%zu\n\n",
+              flags.clients, flags.workers, flags.shards, flags.size);
+  // `seek pages` (total arm travel, the paper's cost unit) is the aggregate
+  // comparison: the merged sweep serves all clients' queries with fewer
+  // reads (the shared pool reads each page once) and less total travel than
+  // K independent sweeps; the per-read average alone is misleading when the
+  // read counts differ.
+  TablePrinter table({"clustering", "mode", "reads", "seek pages",
+                      "seeks/read", "merged picks", "max depth"});
+
+  for (Clustering clustering :
+       {Clustering::kInterObject, Clustering::kIntraObject,
+        Clustering::kUnclustered}) {
+    AcobOptions options;
+    options.num_complex_objects = flags.size;
+    options.clustering = clustering;
+    options.seed = 42;
+    auto db = MustBuild(options);
+
+    MergedRun merged = RunMerged(db.get(), flags);
+    if (merged.rows != db->roots.size()) {
+      std::fprintf(stderr, "merged run lost rows: %llu of %zu\n",
+                   static_cast<unsigned long long>(merged.rows),
+                   db->roots.size());
+      return 1;
+    }
+    table.AddRow({ClusteringName(clustering), "merged",
+                  FmtInt(merged.metrics.disk.reads),
+                  FmtInt(merged.metrics.disk.read_seek_pages),
+                  Fmt(merged.metrics.disk.AvgSeekPerRead()),
+                  FmtInt(merged.async.merged_picks),
+                  FmtInt(merged.async.max_queue_depth)});
+    {
+      obs::JsonValue run = obs::ToJson(merged.metrics);
+      std::string label = std::string(ClusteringName(clustering)) +
+                          ", elevator, N=" + std::to_string(flags.size) +
+                          ", clients=" + std::to_string(flags.clients);
+      run.Set("label", label);
+      run.Set("mode", "merged");
+      run.Set("clustering", ClusteringName(clustering));
+      run.Set("scheduler", "elevator");
+      run.Set("num_complex_objects", flags.size);
+      run.Set("clients", flags.clients);
+      run.Set("refetched_pages", merged.refetched_pages);
+      run.Set("rows", merged.rows);
+      run.Set("elapsed_ns", merged.elapsed_ns);
+      if (!merged.registry.is_null()) run.Set("registry", merged.registry);
+      reporter.AddRaw(std::move(run));
+    }
+
+    if (flags.clients > 1) {
+      size_t refetched = 0;
+      RunMetrics independent = RunIndependent(db.get(), flags, &refetched);
+      table.AddRow({ClusteringName(clustering), "independent",
+                    FmtInt(independent.disk.reads),
+                    FmtInt(independent.disk.read_seek_pages),
+                    Fmt(independent.disk.AvgSeekPerRead()), "-", "-"});
+      obs::JsonValue run = obs::ToJson(independent);
+      run.Set("label", std::string(ClusteringName(clustering)) +
+                           ", elevator, N=" + std::to_string(flags.size) +
+                           ", independent x" +
+                           std::to_string(flags.clients));
+      run.Set("mode", "independent");
+      run.Set("clustering", ClusteringName(clustering));
+      run.Set("scheduler", "elevator");
+      run.Set("num_complex_objects", flags.size);
+      run.Set("clients", flags.clients);
+      run.Set("refetched_pages", refetched);
+      reporter.AddRaw(std::move(run));
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+  return reporter.Finish();
+}

@@ -425,6 +425,17 @@ Status AssemblyOperator::ResolveOne() {
   PendingRef ref = scheduler_->Pop(store_->buffer()->disk()->head());
   stats_.refs_resolved++;
 
+  if (options_.prefetch_depth > 0) {
+    // Best-effort read-ahead of the pages the scheduler will want next;
+    // failures (e.g. every frame pinned) just mean no overlap this round.
+    for (PageId page : scheduler_->PeekPages(store_->buffer()->disk()->head(),
+                                             options_.prefetch_depth)) {
+      if (page != ref.page && page != kInvalidPageId) {
+        (void)store_->buffer()->PrefetchPage(page);
+      }
+    }
+  }
+
   // References inside an already-failed shared subtree are dead work.
   if (ref.shared_owned) {
     auto owner = shared_map_.find(ref.shared_owner);

@@ -73,6 +73,13 @@ struct AssemblyOptions {
   // trace.  Raise only when the input does no I/O (e.g. an in-memory root
   // list).  0 is treated as 1.
   size_t batch_size = 1;
+  // Async read-ahead: before each resolution, ask the scheduler for the next
+  // pages it expects to visit (Scheduler::PeekPages) and start them through
+  // BufferManager::PrefetchPage.  Only pays off over an AsyncDisk, where the
+  // reads overlap assembly CPU and merge into the elevator queue.  0 (the
+  // default) disables read-ahead and preserves the historical fetch order
+  // exactly.
+  size_t prefetch_depth = 0;
 };
 
 // One step of assembly execution, for observers (tracing, debugging,

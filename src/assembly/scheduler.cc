@@ -97,6 +97,47 @@ PendingRef ElevatorScheduler::Pop(PageId head) {
   return take(by_page_.begin());
 }
 
+std::vector<PageId> ElevatorScheduler::PeekPages(PageId head, size_t k) const {
+  // Simulates the SCAN over the distinct pages without consuming anything.
+  // Same direction rules as Pop, but a whole page's worth of references
+  // drains at once, so each page appears only once.
+  std::vector<PageId> pages;
+  if (k == 0 || by_page_.empty()) {
+    return pages;
+  }
+  std::vector<PageId> keys;
+  keys.reserve(by_page_.size());
+  for (auto it = by_page_.begin(); it != by_page_.end();
+       it = by_page_.upper_bound(it->first)) {
+    keys.push_back(it->first);
+  }
+  bool up = sweeping_up_;
+  auto lo = std::lower_bound(keys.begin(), keys.end(), head);
+  // Indices [lo, end) are >= head (served ascending); [begin, lo) are
+  // < head (served descending on the way back).
+  size_t fwd = static_cast<size_t>(lo - keys.begin());
+  size_t back = fwd;  // first index strictly below head is back-1
+  if (up) {
+    for (size_t i = fwd; i < keys.size() && pages.size() < k; ++i) {
+      pages.push_back(keys[i]);
+    }
+    for (size_t i = back; i > 0 && pages.size() < k; --i) {
+      pages.push_back(keys[i - 1]);
+    }
+  } else {
+    // upper_bound(head): pages <= head drain descending first.
+    auto hi = std::upper_bound(keys.begin(), keys.end(), head);
+    size_t down = static_cast<size_t>(hi - keys.begin());
+    for (size_t i = down; i > 0 && pages.size() < k; --i) {
+      pages.push_back(keys[i - 1]);
+    }
+    for (size_t i = down; i < keys.size() && pages.size() < k; ++i) {
+      pages.push_back(keys[i]);
+    }
+  }
+  return pages;
+}
+
 void ElevatorScheduler::RemoveComplex(uint64_t id) {
   for (auto it = by_page_.begin(); it != by_page_.end();) {
     if (it->second.complex_id == id && !it->second.shared_owned) {

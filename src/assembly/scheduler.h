@@ -84,6 +84,16 @@ class Scheduler {
   // Drops all non-shared-owned references of complex object `id`
   // (predicate abort).
   virtual void RemoveComplex(uint64_t id) = 0;
+
+  // Up to `k` distinct pages the scheduler expects to visit next, in visit
+  // order, without mutating any state.  Feeds the buffer pool's async
+  // prefetch.  Only position-aware schedulers can answer; the default
+  // (empty) disables prefetching.
+  virtual std::vector<PageId> PeekPages(PageId head, size_t k) const {
+    (void)head;
+    (void)k;
+    return {};
+  }
 };
 
 class DepthFirstScheduler : public Scheduler {
@@ -117,6 +127,7 @@ class ElevatorScheduler : public Scheduler {
   size_t Size() const override { return by_page_.size(); }
   PendingRef Pop(PageId head) override;
   void RemoveComplex(uint64_t id) override;
+  std::vector<PageId> PeekPages(PageId head, size_t k) const override;
 
  private:
   // Multimap keeps insertion order among equal pages, so same-page

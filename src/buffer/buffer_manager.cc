@@ -1,10 +1,23 @@
 #include "buffer/buffer_manager.h"
 
 #include <cstring>
+#include <utility>
 
 #include "storage/checksum.h"
 
 namespace cobra {
+namespace {
+
+// splitmix64 finalizer: decorrelates page ids (often sequential) from shard
+// indices so stripes fill evenly.
+inline uint64_t MixPage(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
@@ -13,100 +26,128 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     frame_ = other.frame_;
     page_id_ = other.page_id_;
     other.manager_ = nullptr;
+    other.frame_ = nullptr;
     other.page_id_ = kInvalidPageId;
   }
   return *this;
 }
 
 std::span<std::byte> PageGuard::data() {
-  auto& frame = manager_->frames_[frame_];
-  return std::span<std::byte>(frame.data.data(), frame.data.size());
+  auto* frame = static_cast<BufferManager::Frame*>(frame_);
+  return std::span<std::byte>(frame->data.data(), frame->data.size());
 }
 
 std::span<const std::byte> PageGuard::data() const {
-  const auto& frame = manager_->frames_[frame_];
-  return std::span<const std::byte>(frame.data.data(), frame.data.size());
+  const auto* frame = static_cast<const BufferManager::Frame*>(frame_);
+  return std::span<const std::byte>(frame->data.data(), frame->data.size());
 }
 
-void PageGuard::MarkDirty() { manager_->frames_[frame_].dirty = true; }
+void PageGuard::MarkDirty() {
+  static_cast<BufferManager::Frame*>(frame_)->dirty.store(
+      true, std::memory_order_relaxed);
+}
 
 void PageGuard::Release() {
   if (manager_ != nullptr) {
-    manager_->Unpin(frame_);
+    manager_->Unpin(static_cast<BufferManager::Frame*>(frame_));
     manager_ = nullptr;
+    frame_ = nullptr;
     page_id_ = kInvalidPageId;
   }
 }
 
 BufferManager::BufferManager(SimulatedDisk* disk, BufferOptions options)
-    : disk_(disk),
-      options_(options),
-      policy_(MakeReplacementPolicy(options.replacement, options.num_frames)) {
-  frames_.resize(options_.num_frames);
-  free_list_.reserve(options_.num_frames);
-  for (size_t i = options_.num_frames; i > 0; --i) {
-    free_list_.push_back(i - 1);
+    : disk_(disk), options_(options) {
+  size_t shards = options_.num_shards == 0 ? 1 : options_.num_shards;
+  if (options_.num_frames > 0 && shards > options_.num_frames) {
+    shards = options_.num_frames;
+  }
+  shards_.reserve(shards);
+  size_t base = options_.num_frames / shards;
+  size_t remainder = options_.num_frames % shards;
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    size_t count = base + (s < remainder ? 1 : 0);
+    shard->policy = MakeReplacementPolicy(options_.replacement, count);
+    shard->frames.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      shard->frames.push_back(std::make_unique<Frame>());
+    }
+    shard->free_list.reserve(count);
+    for (size_t i = count; i > 0; --i) {
+      shard->free_list.push_back(i - 1);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
 BufferManager::~BufferManager() {
   // Best effort: persist dirty pages so a test that rebuilds a manager over
-  // the same disk sees its data.
+  // the same disk sees its data.  Pending prefetches must land first — they
+  // target frame memory this destructor is about to free.
   (void)FlushAll();
 }
 
+size_t BufferManager::ShardIndex(PageId id) const {
+  return shards_.size() == 1
+             ? 0
+             : static_cast<size_t>(MixPage(id) % shards_.size());
+}
+
 void BufferManager::NotePin(Frame* frame) {
-  if (frame->pin_count == 0) {
-    ++pinned_frames_;
-    if (pinned_frames_ > stats_.max_pinned) {
-      stats_.max_pinned = pinned_frames_;
+  if (frame->pin_count.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    size_t pinned =
+        pinned_frames_.fetch_add(1, std::memory_order_relaxed) + 1;
+    size_t seen = max_pinned_.load(std::memory_order_relaxed);
+    while (pinned > seen &&
+           !max_pinned_.compare_exchange_weak(seen, pinned,
+                                              std::memory_order_relaxed)) {
     }
   }
-  ++frame->pin_count;
 }
 
-void BufferManager::Unpin(size_t frame_index) {
-  Frame& frame = frames_[frame_index];
-  --frame.pin_count;
-  if (frame.pin_count == 0) {
-    --pinned_frames_;
+void BufferManager::Unpin(Frame* frame) {
+  if (frame->pin_count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    pinned_frames_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
-Status BufferManager::WriteBack(size_t frame_index) {
-  Frame& frame = frames_[frame_index];
-  if (frame.dirty) {
+Status BufferManager::WriteBack(Shard* shard, Frame* frame) {
+  if (frame->dirty.load(std::memory_order_relaxed)) {
     // Stamp the page checksum over the final frame contents; FetchPage
     // verifies it when the page is next faulted in.
-    StampPageChecksum(frame.data.data(), frame.data.size());
-    COBRA_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.data()));
-    frame.dirty = false;
-    stats_.dirty_writebacks++;
+    StampPageChecksum(frame->data.data(), frame->data.size());
+    COBRA_RETURN_IF_ERROR(disk_->WritePage(frame->page_id, frame->data.data()));
+    frame->dirty.store(false, std::memory_order_relaxed);
+    shard->dirty_writebacks++;
   }
   return Status::OK();
 }
 
-Result<size_t> BufferManager::ObtainFrame() {
-  if (!free_list_.empty()) {
-    size_t frame = free_list_.back();
-    free_list_.pop_back();
+Result<size_t> BufferManager::ObtainFrame(Shard* shard) {
+  if (!shard->free_list.empty()) {
+    size_t frame = shard->free_list.back();
+    shard->free_list.pop_back();
     return frame;
   }
-  std::optional<size_t> victim = policy_->Victim(
-      [this](size_t f) { return frames_[f].pin_count == 0; });
+  std::optional<size_t> victim = shard->policy->Victim([shard](size_t f) {
+    const Frame& frame = *shard->frames[f];
+    return frame.pin_count.load(std::memory_order_acquire) == 0 &&
+           !frame.has_pending;
+  });
   if (!victim.has_value()) {
     return Status::ResourceExhausted("all buffer frames are pinned");
   }
   size_t frame_index = *victim;
-  bool was_dirty = frames_[frame_index].dirty;
-  COBRA_RETURN_IF_ERROR(WriteBack(frame_index));
-  Frame& frame = frames_[frame_index];
-  page_table_.erase(frame.page_id);
-  policy_->Remove(frame_index);
+  Frame& frame = *shard->frames[frame_index];
+  bool was_dirty = frame.dirty.load(std::memory_order_relaxed);
+  COBRA_RETURN_IF_ERROR(WriteBack(shard, &frame));
+  shard->page_table.erase(frame.page_id);
+  shard->policy->Remove(frame_index);
   frame.valid = false;
   PageId evicted = frame.page_id;
   frame.page_id = kInvalidPageId;
-  stats_.evictions++;
+  shard->evictions++;
   if (listener_ != nullptr) {
     // `dirty` here reports whether the victim needed a write-back (WriteBack
     // above already cleared the flag after flushing).
@@ -115,116 +156,276 @@ Result<size_t> BufferManager::ObtainFrame() {
   return frame_index;
 }
 
-Result<PageGuard> BufferManager::FetchPage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    stats_.hits++;
-    if (listener_ != nullptr) listener_->OnBufferHit(id);
-    size_t frame_index = it->second;
-    policy_->RecordAccess(frame_index);
-    NotePin(&frames_[frame_index]);
-    return PageGuard(this, frame_index, id);
-  }
-  COBRA_ASSIGN_OR_RETURN(size_t frame_index, ObtainFrame());
-  Frame& frame = frames_[frame_index];
-  frame.data.resize(disk_->page_size());
+Status BufferManager::ReadWithRetry(Shard* shard, PageId id, std::byte* data,
+                                    int attempt) {
   // Bounded retry for transient failures; everything else (NotFound,
   // Corruption, a failed checksum) is permanent and fails immediately.
   int max_attempts = options_.retry.max_read_attempts < 1
                          ? 1
                          : options_.retry.max_read_attempts;
   Status read;
-  for (int attempt = 1;; ++attempt) {
-    read = disk_->ReadPage(id, frame.data.data());
+  for (;; ++attempt) {
+    read = disk_->ReadPage(id, data);
     if (read.ok()) {
-      read = VerifyPageChecksum(frame.data.data(), frame.data.size(), id);
+      read = VerifyPageChecksum(data, disk_->page_size(), id);
       if (read.ok()) break;
-      stats_.checksum_failures++;
+      shard->checksum_failures++;
       if (listener_ != nullptr) listener_->OnBufferChecksumFailure(id);
       break;
     }
     if (!read.IsUnavailable() || attempt >= max_attempts) {
-      if (read.IsUnavailable()) stats_.retries_exhausted++;
+      if (read.IsUnavailable()) shard->retries_exhausted++;
       break;
     }
-    stats_.retries++;
+    shard->retries++;
     if (listener_ != nullptr) listener_->OnBufferRetry(id, attempt);
     // Deterministic linear backoff, accounted in the disk's cost unit.
     disk_->AddSeekPenalty(
         static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
         /*is_read=*/true);
   }
+  return read;
+}
+
+Status BufferManager::ConsumePending(Shard* shard, size_t index, PageId id) {
+  Frame& frame = *shard->frames[index];
+  Status status = frame.pending.get();
+  frame.has_pending = false;
+  frame.pending = {};
+  if (status.ok()) {
+    status = VerifyPageChecksum(frame.data.data(), frame.data.size(), id);
+    if (!status.ok()) {
+      shard->checksum_failures++;
+      if (listener_ != nullptr) listener_->OnBufferChecksumFailure(id);
+    }
+  } else if (status.IsUnavailable()) {
+    // The async attempt was attempt 1; fall back to the synchronous retry
+    // policy for the remainder.
+    int max_attempts = options_.retry.max_read_attempts < 1
+                           ? 1
+                           : options_.retry.max_read_attempts;
+    if (max_attempts > 1) {
+      shard->retries++;
+      if (listener_ != nullptr) listener_->OnBufferRetry(id, 1);
+      disk_->AddSeekPenalty(options_.retry.backoff_seek_pages,
+                            /*is_read=*/true);
+      status = ReadWithRetry(shard, id, frame.data.data(), /*attempt=*/2);
+    } else {
+      shard->retries_exhausted++;
+    }
+  }
+  if (!status.ok()) {
+    // Unfix-on-error: the frame returns to the free list and the page-table
+    // entry disappears, exactly as a failed synchronous fetch.
+    shard->page_table.erase(id);
+    shard->policy->Remove(index);
+    frame.valid = false;
+    frame.page_id = kInvalidPageId;
+    shard->free_list.push_back(index);
+    return status;
+  }
+  frame.valid = true;
+  frame.dirty.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void BufferManager::SettlePending(Shard* shard) {
+  for (size_t i = 0; i < shard->frames.size(); ++i) {
+    Frame& frame = *shard->frames[i];
+    if (frame.has_pending) {
+      // Discard the prefetch entirely (success or failure): callers of
+      // SettlePending are about to flush, drop or destroy the pool.
+      (void)frame.pending.wait();
+      (void)ConsumePending(shard, i, frame.page_id);
+    }
+  }
+}
+
+Result<PageGuard> BufferManager::FetchPage(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(id);
+  if (it != shard.page_table.end()) {
+    size_t frame_index = it->second;
+    Frame* frame = shard.frames[frame_index].get();
+    if (frame->has_pending) {
+      // A prefetched read is in flight; wait for it and account the access
+      // as the fault it is (the disk read really happened).
+      COBRA_RETURN_IF_ERROR(ConsumePending(&shard, frame_index, id));
+      shard.faults++;
+      if (listener_ != nullptr) listener_->OnBufferFault(id);
+      shard.faulted_pages.insert(id);
+    } else {
+      shard.hits++;
+      if (listener_ != nullptr) listener_->OnBufferHit(id);
+    }
+    shard.policy->RecordAccess(frame_index);
+    NotePin(frame);
+    return PageGuard(this, frame, id);
+  }
+  COBRA_ASSIGN_OR_RETURN(size_t frame_index, ObtainFrame(&shard));
+  Frame& frame = *shard.frames[frame_index];
+  frame.data.resize(disk_->page_size());
+  Status read = ReadWithRetry(&shard, id, frame.data.data(), /*attempt=*/1);
   if (!read.ok()) {
-    free_list_.push_back(frame_index);
+    shard.free_list.push_back(frame_index);
     return read;
   }
-  stats_.faults++;
+  shard.faults++;
   if (listener_ != nullptr) listener_->OnBufferFault(id);
-  faulted_pages_.insert(id);
+  shard.faulted_pages.insert(id);
   frame.page_id = id;
   frame.valid = true;
-  frame.dirty = false;
-  frame.pin_count = 0;
-  page_table_[id] = frame_index;
-  policy_->RecordAccess(frame_index);
+  frame.dirty.store(false, std::memory_order_relaxed);
+  shard.page_table[id] = frame_index;
+  shard.policy->RecordAccess(frame_index);
   NotePin(&frame);
-  return PageGuard(this, frame_index, id);
+  return PageGuard(this, &frame, id);
+}
+
+Status BufferManager::PrefetchPage(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.page_table.contains(id)) {
+    return Status::OK();  // resident or already in flight
+  }
+  COBRA_ASSIGN_OR_RETURN(size_t frame_index, ObtainFrame(&shard));
+  Frame& frame = *shard.frames[frame_index];
+  frame.data.resize(disk_->page_size());
+  frame.page_id = id;
+  frame.valid = false;
+  frame.dirty.store(false, std::memory_order_relaxed);
+  frame.has_pending = true;
+  frame.pending = disk_->SubmitRead(id, frame.data.data());
+  shard.page_table[id] = frame_index;
+  shard.policy->RecordAccess(frame_index);
+  shard.prefetches++;
+  return Status::OK();
 }
 
 Result<PageGuard> BufferManager::CreatePage(PageId id) {
-  if (page_table_.contains(id) || disk_->Exists(id)) {
-    return Status::AlreadyExists("page " + std::to_string(id) +
-                                 " already exists");
-  }
   if (id == kInvalidPageId) {
     return Status::InvalidArgument("cannot create the invalid page id");
   }
-  COBRA_ASSIGN_OR_RETURN(size_t frame_index, ObtainFrame());
-  Frame& frame = frames_[frame_index];
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.page_table.contains(id) || disk_->Exists(id)) {
+    return Status::AlreadyExists("page " + std::to_string(id) +
+                                 " already exists");
+  }
+  COBRA_ASSIGN_OR_RETURN(size_t frame_index, ObtainFrame(&shard));
+  Frame& frame = *shard.frames[frame_index];
   frame.data.assign(disk_->page_size(), std::byte{0});
   frame.page_id = id;
   frame.valid = true;
-  frame.dirty = true;
-  frame.pin_count = 0;
-  page_table_[id] = frame_index;
-  policy_->RecordAccess(frame_index);
+  frame.dirty.store(true, std::memory_order_relaxed);
+  shard.page_table[id] = frame_index;
+  shard.policy->RecordAccess(frame_index);
   NotePin(&frame);
-  return PageGuard(this, frame_index, id);
+  return PageGuard(this, &frame, id);
 }
 
 Status BufferManager::FlushPage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(id);
+  if (it == shard.page_table.end()) {
     return Status::NotFound("page not resident");
   }
-  return WriteBack(it->second);
+  Frame* frame = shard.frames[it->second].get();
+  if (frame->has_pending) {
+    COBRA_RETURN_IF_ERROR(ConsumePending(&shard, it->second, id));
+  }
+  return WriteBack(&shard, frame);
 }
 
 Status BufferManager::FlushAll() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].valid) {
-      COBRA_RETURN_IF_ERROR(WriteBack(i));
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    SettlePending(shard.get());
+    for (auto& frame : shard->frames) {
+      if (frame->valid) {
+        COBRA_RETURN_IF_ERROR(WriteBack(shard.get(), frame.get()));
+      }
     }
   }
   return Status::OK();
 }
 
 Status BufferManager::DropAll() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& frame = frames_[i];
-    if (!frame.valid) continue;
-    if (frame.pin_count > 0) {
-      return Status::ResourceExhausted("cannot drop pinned page " +
-                                       std::to_string(frame.page_id));
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    SettlePending(shard.get());
+    for (size_t i = 0; i < shard->frames.size(); ++i) {
+      Frame& frame = *shard->frames[i];
+      if (!frame.valid) continue;
+      if (frame.pin_count.load(std::memory_order_acquire) > 0) {
+        return Status::ResourceExhausted("cannot drop pinned page " +
+                                         std::to_string(frame.page_id));
+      }
+      COBRA_RETURN_IF_ERROR(WriteBack(shard.get(), &frame));
+      shard->page_table.erase(frame.page_id);
+      shard->policy->Remove(i);
+      frame.valid = false;
+      frame.page_id = kInvalidPageId;
+      shard->free_list.push_back(i);
     }
-    COBRA_RETURN_IF_ERROR(WriteBack(i));
-    page_table_.erase(frame.page_id);
-    policy_->Remove(i);
-    frame.valid = false;
-    frame.page_id = kInvalidPageId;
-    free_list_.push_back(i);
   }
   return Status::OK();
+}
+
+bool BufferManager::IsResident(PageId id) const {
+  const Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.page_table.contains(id);
+}
+
+BufferStats BufferManager::stats() const {
+  BufferStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.faults += shard->faults;
+    stats.evictions += shard->evictions;
+    stats.dirty_writebacks += shard->dirty_writebacks;
+    stats.retries += shard->retries;
+    stats.retries_exhausted += shard->retries_exhausted;
+    stats.checksum_failures += shard->checksum_failures;
+    stats.prefetches += shard->prefetches;
+  }
+  stats.max_pinned = max_pinned_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void BufferManager::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->hits = 0;
+    shard->faults = 0;
+    shard->evictions = 0;
+    shard->dirty_writebacks = 0;
+    shard->retries = 0;
+    shard->retries_exhausted = 0;
+    shard->checksum_failures = 0;
+    shard->prefetches = 0;
+  }
+  max_pinned_.store(0, std::memory_order_relaxed);
+}
+
+size_t BufferManager::unique_pages_faulted() const {
+  size_t unique = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    unique += shard->faulted_pages.size();
+  }
+  return unique;
+}
+
+void BufferManager::ResetFetchTrace() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->faulted_pages.clear();
+  }
 }
 
 }  // namespace cobra

@@ -7,13 +7,30 @@
 //
 // Pins are expressed as RAII PageGuards: holding a guard keeps the frame
 // resident; dropping it makes the frame evictable again.
+//
+// Concurrency: the pool is split into `num_shards` lock-striped partitions
+// (hash on page id, each with its own page table, free list and replacement
+// state) so independent queries contend only when they touch the same
+// stripe.  Pin counts are atomic: fixing a page takes the shard lock, but
+// unfixing (PageGuard release) is lock-free, and a pinned frame is never
+// evicted or relocated, so guard data access needs no lock.  The shard lock
+// is held across the disk read that fills a frame — concurrent fetches of
+// one page therefore coalesce into a single read — and the disk serializes
+// internally (or queues, see storage/async_disk.h), so no lock ordering
+// issue exists between shards and the device.  Control-plane calls
+// (FlushAll, DropAll, ResetStats, stats readers) expect a quiesced pool.
+// With num_shards == 1 (the default) behavior, statistics and eviction
+// order are identical to the historical single-threaded pool.
 
 #ifndef COBRA_BUFFER_BUFFER_MANAGER_H_
 #define COBRA_BUFFER_BUFFER_MANAGER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,6 +57,10 @@ struct BufferOptions {
   size_t num_frames = 1024;
   ReplacementKind replacement = ReplacementKind::kLru;
   RetryPolicy retry = {};
+  // Lock stripes.  1 preserves the exact single-threaded behavior; raise it
+  // (typically 2-4x the worker count) for concurrent workloads.  Clamped to
+  // [1, num_frames].
+  size_t num_shards = 1;
 };
 
 struct BufferStats {
@@ -52,6 +73,10 @@ struct BufferStats {
   uint64_t retries_exhausted = 0;
   // Reads rejected because the page checksum did not verify.
   uint64_t checksum_failures = 0;
+  // Async prefetches submitted (PrefetchPage).  Intentionally absent from
+  // the JSON exporters: prefetching is off by default and the bench goldens
+  // predate the field.
+  uint64_t prefetches = 0;
   // High-water mark of simultaneously pinned frames.
   size_t max_pinned = 0;
 
@@ -66,7 +91,9 @@ class BufferManager;
 
 // Per-request event hook (telemetry).  Hit/fault fire on FetchPage,
 // eviction fires whenever a victim frame is recycled.  Implementations must
-// not touch the buffer manager re-entrantly.
+// not touch the buffer manager re-entrantly.  With a sharded pool the hooks
+// fire concurrently from any fetching thread (under that page's shard
+// lock); attach a thread-safe listener when num_shards > 1.
 class BufferEventListener {
  public:
   virtual ~BufferEventListener() = default;
@@ -83,7 +110,8 @@ class BufferEventListener {
   virtual void OnBufferChecksumFailure(PageId page) { (void)page; }
 };
 
-// RAII pin on a buffer frame.  Movable, not copyable.
+// RAII pin on a buffer frame.  Movable, not copyable.  Releasing is
+// lock-free and safe from any thread.
 class PageGuard {
  public:
   PageGuard() = default;
@@ -107,11 +135,11 @@ class PageGuard {
 
  private:
   friend class BufferManager;
-  PageGuard(BufferManager* manager, size_t frame, PageId page_id)
+  PageGuard(BufferManager* manager, void* frame, PageId page_id)
       : manager_(manager), frame_(frame), page_id_(page_id) {}
 
   BufferManager* manager_ = nullptr;
-  size_t frame_ = 0;
+  void* frame_ = nullptr;  // BufferManager::Frame*, stable while pinned
   PageId page_id_ = kInvalidPageId;
 };
 
@@ -126,13 +154,23 @@ class BufferManager {
   // Returns a pinned guard on `id`, reading it from disk on a fault.
   // Transient read failures are retried per the RetryPolicy; pages whose
   // checksum does not verify fail with Corruption.  Fails with
-  // ResourceExhausted when every frame is pinned.  No failure mode leaks a
-  // frame: the obtained frame returns to the free list on every error path.
+  // ResourceExhausted when every frame of the page's shard is pinned.  No
+  // failure mode leaks a frame or a pin: the obtained frame returns to the
+  // shard's free list on every error path.
   Result<PageGuard> FetchPage(PageId id);
 
   // Allocates `id` as a fresh zero-filled dirty page without a disk read.
   // Fails with AlreadyExists if the page is resident or on disk.
   Result<PageGuard> CreatePage(PageId id);
+
+  // Starts an asynchronous read of `id` into a frame and returns without
+  // waiting.  A later FetchPage finds the frame and only waits for the
+  // in-flight read (counting it as a fault, not a hit).  Best effort: if
+  // the page is already resident or in flight this is a no-op; if no frame
+  // is free the prefetch is dropped with ResourceExhausted.  Read errors
+  // surface at consumption time, never here.  With a plain SimulatedDisk
+  // the read happens synchronously (a pure cache warm-up).
+  Status PrefetchPage(PageId id);
 
   // Writes back one dirty page / all dirty pages.
   Status FlushPage(PageId id);
@@ -143,13 +181,18 @@ class BufferManager {
   Status DropAll();
 
   // True if the page currently occupies a frame (no I/O performed).
-  bool IsResident(PageId id) const { return page_table_.contains(id); }
+  bool IsResident(PageId id) const;
 
   size_t num_frames() const { return options_.num_frames; }
-  size_t pinned_frames() const { return pinned_frames_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t pinned_frames() const {
+    return pinned_frames_.load(std::memory_order_relaxed);
+  }
 
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferStats(); }
+  // Aggregated across shards; call on a quiesced pool for an exact
+  // snapshot.
+  BufferStats stats() const;
+  void ResetStats();
 
   // Optional telemetry listener (borrowed; must outlive the manager or be
   // cleared).  Null disables the hook.
@@ -158,8 +201,8 @@ class BufferManager {
   // Distinct pages ever faulted in since the last ResetFetchTrace(); the
   // difference (faults - unique) counts *re-reads*, the §7 buffer-pressure
   // metric.
-  size_t unique_pages_faulted() const { return faulted_pages_.size(); }
-  void ResetFetchTrace() { faulted_pages_.clear(); }
+  size_t unique_pages_faulted() const;
+  void ResetFetchTrace();
 
   SimulatedDisk* disk() { return disk_; }
 
@@ -169,27 +212,66 @@ class BufferManager {
   struct Frame {
     PageId page_id = kInvalidPageId;
     std::vector<std::byte> data;
-    int pin_count = 0;
-    bool dirty = false;
+    std::atomic<int> pin_count{0};
+    std::atomic<bool> dirty{false};
     bool valid = false;
+    // In-flight prefetch read filling this frame; consumed (and checksum
+    // verified) by the first FetchPage that wants the page.  A pending
+    // frame is neither evictable nor pinnable until consumed.
+    bool has_pending = false;
+    std::shared_future<Status> pending;
   };
 
-  void Unpin(size_t frame);
-  // Finds a frame to fill: free-list first, then a replacement victim
-  // (writing it back if dirty).
-  Result<size_t> ObtainFrame();
-  Status WriteBack(size_t frame);
+  // One lock stripe: frames, page table, free list and replacement state
+  // for the pages hashing to it.  Counter fields are guarded by mu.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Frame>> frames;
+    std::vector<size_t> free_list;
+    std::unordered_map<PageId, size_t> page_table;
+    std::unordered_set<PageId> faulted_pages;
+    std::unique_ptr<ReplacementPolicy> policy;
+
+    uint64_t hits = 0;
+    uint64_t faults = 0;
+    uint64_t evictions = 0;
+    uint64_t dirty_writebacks = 0;
+    uint64_t retries = 0;
+    uint64_t retries_exhausted = 0;
+    uint64_t checksum_failures = 0;
+    uint64_t prefetches = 0;
+  };
+
+  Shard& ShardFor(PageId id) {
+    return *shards_[ShardIndex(id)];
+  }
+  const Shard& ShardFor(PageId id) const {
+    return *shards_[ShardIndex(id)];
+  }
+  size_t ShardIndex(PageId id) const;
+
+  void Unpin(Frame* frame);
   void NotePin(Frame* frame);
+  // Finds a frame to fill: free-list first, then a replacement victim
+  // (writing it back if dirty).  Caller holds shard.mu.
+  Result<size_t> ObtainFrame(Shard* shard);
+  Status WriteBack(Shard* shard, Frame* frame);
+  // Reads `id` into `data` with the transient-retry policy, starting the
+  // attempt numbering at `attempt` (a consumed prefetch already spent
+  // attempt 1).  Caller holds shard.mu.
+  Status ReadWithRetry(Shard* shard, PageId id, std::byte* data, int attempt);
+  // Resolves an in-flight prefetch on frame `index`; on failure the frame
+  // is freed and the page-table entry removed.  Caller holds shard.mu.
+  Status ConsumePending(Shard* shard, size_t index, PageId id);
+  // Blocks until no frame of `shard` has an in-flight prefetch.  Caller
+  // holds shard.mu.
+  void SettlePending(Shard* shard);
 
   SimulatedDisk* disk_;
   BufferOptions options_;
-  std::unique_ptr<ReplacementPolicy> policy_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_list_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::unordered_set<PageId> faulted_pages_;
-  size_t pinned_frames_ = 0;
-  BufferStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> pinned_frames_{0};
+  std::atomic<size_t> max_pinned_{0};
   BufferEventListener* listener_ = nullptr;
 };
 

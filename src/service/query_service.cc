@@ -1,0 +1,148 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "exec/scan.h"
+#include "exec/value.h"
+#include "object/object_store.h"
+
+namespace cobra::service {
+
+QueryService::QueryService(BufferManager* buffer, Directory* directory,
+                           ServiceOptions options)
+    : buffer_(buffer), directory_(directory), options_(options) {
+  size_t workers = options_.num_workers == 0 ? 1 : options_.num_workers;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::future<QueryResult> QueryService::Submit(QueryJob job) {
+  Task task;
+  task.job = std::move(job);
+  std::future<QueryResult> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+size_t QueryService::active_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + running_;
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ with an empty queue: outstanding work (if any) belongs to
+        // other workers; this one is done.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      running_++;
+      if (options_.async_disk != nullptr) {
+        // Batch the device exactly as deep as the offered concurrency.
+        options_.async_disk->set_target_queue_depth(running_);
+      }
+    }
+    obs::Registry job_registry;
+    QueryResult result = Execute(task.job, &job_registry);
+    Account(result, job_registry);
+    task.promise.set_value(std::move(result));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_--;
+      if (options_.async_disk != nullptr) {
+        options_.async_disk->set_target_queue_depth(
+            running_ == 0 ? 1 : running_);
+      }
+      if (queue_.empty() && running_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+QueryResult QueryService::Execute(QueryJob& job, obs::Registry* job_registry) {
+  QueryResult result;
+  result.client = job.client;
+  if (job.tmpl == nullptr) {
+    result.status = Status::InvalidArgument("job has no assembly template");
+    return result;
+  }
+  // Private store view: Get() updates per-store stats, so the instance must
+  // not be shared across workers.  Buffer and directory are the shared,
+  // thread-safe layers underneath.
+  ObjectStore store(buffer_, directory_);
+  std::vector<exec::Row> rows;
+  rows.reserve(job.roots.size());
+  for (Oid oid : job.roots) {
+    rows.push_back(exec::Row{exec::Value::Ref(oid)});
+  }
+  AssemblyOperator op(std::make_unique<exec::VectorScan>(std::move(rows)),
+                      job.tmpl, &store, job.assembly);
+  obs::RegistryPublisher publisher(job_registry);
+  op.set_observer(&publisher);
+  result.status = op.Open();
+  if (!result.status.ok()) {
+    return result;
+  }
+  exec::RowBatch batch(job.batch_size == 0 ? 1 : job.batch_size);
+  for (;;) {
+    Result<size_t> n = op.NextBatch(&batch);
+    if (!n.ok()) {
+      result.status = n.status();
+      break;
+    }
+    if (*n == 0) break;
+    result.rows += *n;
+  }
+  result.assembly = op.stats();
+  (void)op.Close();
+  return result;
+}
+
+void QueryService::Account(const QueryResult& result,
+                           const obs::Registry& job_registry) {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  aggregate_.Merge(job_registry);
+  aggregate_.GetCounter("service.jobs_completed")->Inc();
+  if (!result.status.ok()) {
+    aggregate_.GetCounter("service.jobs_failed")->Inc();
+  }
+  aggregate_.GetCounter("service.rows")->Inc(result.rows);
+  aggregate_.GetCounter("service.objects_dropped")
+      ->Inc(result.assembly.objects_dropped);
+  const std::string prefix = "service.client." + result.client;
+  aggregate_.GetCounter(prefix + ".jobs")->Inc();
+  aggregate_.GetCounter(prefix + ".rows")->Inc(result.rows);
+  aggregate_.GetCounter(prefix + ".objects_dropped")
+      ->Inc(result.assembly.objects_dropped);
+}
+
+}  // namespace cobra::service

@@ -1,0 +1,178 @@
+// QueryService: a multi-client front door over one shared storage stack.
+//
+// The paper measures one assembly query at a time; this layer asks the
+// natural systems question behind §6.3 — what happens when several clients
+// run assembly queries *concurrently* against one buffer pool and one disk
+// arm.  A fixed pool of worker threads executes submitted jobs (a root set
+// plus an AssemblyTemplate and AssemblyOptions) against a shared sharded
+// BufferManager; when the disk is an AsyncDisk, each client's fetches feed
+// the cross-client elevator queue, so concurrent windows merge into one arm
+// sweep (see storage/async_disk.h).
+//
+// Isolation model:
+//   * each job gets its own ObjectStore view (ObjectStore::Get mutates its
+//     stats; sharing one instance across threads would race) over the shared
+//     BufferManager + Directory;
+//   * each job publishes assembly events into a job-local obs::Registry
+//     (registries are single-threaded by design) which the service Merges
+//     into one aggregate registry under a lock when the job finishes;
+//   * per-client counters land under "service.client.<name>." and service
+//     totals under "service." in the aggregate registry.
+//
+// Read the aggregate registry and the shared pool/disk stats only when the
+// service is quiesced (Drain() returned and no new jobs submitted).
+
+#ifndef COBRA_SERVICE_QUERY_SERVICE_H_
+#define COBRA_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assembly/assembly_operator.h"
+#include "buffer/buffer_manager.h"
+#include "common/status.h"
+#include "exec/iterator.h"
+#include "object/directory.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
+#include "storage/async_disk.h"
+
+namespace cobra::service {
+
+// Thread-safe fan-in for the shared disk/buffer event hooks: serializes
+// concurrent publishers onto one inner listener (e.g. a RegistryPublisher)
+// with a mutex.  Attach to SimulatedDisk/BufferManager when multiple service
+// workers run; the single-client benches keep using their listener directly.
+class LockedTelemetry : public DiskEventListener, public BufferEventListener {
+ public:
+  LockedTelemetry(DiskEventListener* disk, BufferEventListener* buffer)
+      : disk_(disk), buffer_(buffer) {}
+
+  void OnDiskRead(PageId page, uint64_t seek_pages) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disk_ != nullptr) disk_->OnDiskRead(page, seek_pages);
+  }
+  void OnDiskWrite(PageId page, uint64_t seek_pages) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disk_ != nullptr) disk_->OnDiskWrite(page, seek_pages);
+  }
+  void OnDiskFault(PageId page, FaultKind kind) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disk_ != nullptr) disk_->OnDiskFault(page, kind);
+  }
+  void OnBufferHit(PageId page) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_ != nullptr) buffer_->OnBufferHit(page);
+  }
+  void OnBufferFault(PageId page) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_ != nullptr) buffer_->OnBufferFault(page);
+  }
+  void OnBufferEviction(PageId page, bool dirty) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_ != nullptr) buffer_->OnBufferEviction(page, dirty);
+  }
+  void OnBufferRetry(PageId page, int attempt) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_ != nullptr) buffer_->OnBufferRetry(page, attempt);
+  }
+  void OnBufferChecksumFailure(PageId page) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_ != nullptr) buffer_->OnBufferChecksumFailure(page);
+  }
+
+ private:
+  std::mutex mu_;
+  DiskEventListener* disk_;
+  BufferEventListener* buffer_;
+};
+
+// One assembly query: assemble `roots` with `tmpl` under `assembly` options.
+// `client` names the submitter for per-client metrics.
+struct QueryJob {
+  std::string client = "client";
+  const AssemblyTemplate* tmpl = nullptr;
+  std::vector<Oid> roots;
+  AssemblyOptions assembly;
+  // Output drain granularity (rows per NextBatch call).
+  size_t batch_size = exec::RowBatch::kDefaultCapacity;
+};
+
+struct QueryResult {
+  std::string client;
+  Status status;
+  uint64_t rows = 0;  // complex objects delivered
+  AssemblyStats assembly;
+};
+
+struct ServiceOptions {
+  size_t num_workers = 2;
+  // When the storage stack is fronted by an AsyncDisk, the service keeps its
+  // target queue depth equal to the number of jobs currently executing, so
+  // the I/O thread batches exactly as much as the offered concurrency.
+  AsyncDisk* async_disk = nullptr;
+};
+
+class QueryService {
+ public:
+  // Does not take ownership of `buffer` or `directory`; both must outlive
+  // the service.  Workers start immediately.
+  QueryService(BufferManager* buffer, Directory* directory,
+               ServiceOptions options = {});
+  // Drains outstanding jobs, then joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Enqueues a job; the future delivers the result (including per-job
+  // errors — Submit itself does not fail).
+  std::future<QueryResult> Submit(QueryJob job);
+
+  // Blocks until every submitted job has finished.
+  void Drain();
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t active_jobs() const;
+
+  // Aggregate metrics: job-local assembly registries merged in completion
+  // order plus service.* / service.client.<name>.* instruments.  Quiesce
+  // (Drain) before reading.
+  const obs::Registry& registry() const { return aggregate_; }
+
+ private:
+  struct Task {
+    QueryJob job;
+    std::promise<QueryResult> promise;
+  };
+
+  void WorkerLoop();
+  QueryResult Execute(QueryJob& job, obs::Registry* job_registry);
+  void Account(const QueryResult& result, const obs::Registry& job_registry);
+
+  BufferManager* buffer_;
+  Directory* directory_;
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Task> queue_;
+  size_t running_ = 0;
+  bool stop_ = false;
+
+  std::mutex agg_mu_;
+  obs::Registry aggregate_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cobra::service
+
+#endif  // COBRA_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,163 @@
+#include "storage/async_disk.h"
+
+#include <chrono>
+#include <utility>
+
+namespace cobra {
+namespace {
+
+// How long the I/O thread waits for the queue to fill to the target depth
+// before serving what it has.  Long enough for a descheduled client to
+// enqueue its next request, short enough that a CPU-heavy client cannot
+// hold up the device.
+constexpr auto kBatchWait = std::chrono::microseconds(200);
+
+}  // namespace
+
+std::optional<uint64_t> ElevatorIoQueue::PopNext(PageId head) {
+  if (by_page_.empty()) {
+    return std::nullopt;
+  }
+  // Mirrors ElevatorScheduler::Pop (assembly/scheduler.cc): continue in the
+  // current direction, reverse when nothing remains ahead of the head.
+  auto take = [this](std::multimap<PageId, uint64_t>::iterator it) {
+    uint64_t ticket = it->second;
+    by_page_.erase(it);
+    return ticket;
+  };
+  if (sweeping_up_) {
+    auto it = by_page_.lower_bound(head);
+    if (it != by_page_.end()) {
+      return take(it);
+    }
+    sweeping_up_ = false;
+  }
+  auto it = by_page_.upper_bound(head);
+  if (it != by_page_.begin()) {
+    return take(std::prev(it));
+  }
+  sweeping_up_ = true;
+  return take(by_page_.begin());
+}
+
+AsyncDisk::AsyncDisk(SimulatedDisk* backing)
+    : SimulatedDisk(DiskOptions{backing->page_size()}), backing_(backing) {
+  io_thread_ = std::thread([this] { IoLoop(); });
+}
+
+AsyncDisk::~AsyncDisk() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  io_thread_.join();
+}
+
+std::shared_future<Status> AsyncDisk::Submit(Request request) {
+  std::shared_future<Status> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t ticket = next_ticket_++;
+    future = request.promise.get_future().share();
+    if (request.is_read) {
+      stats_.reads_submitted++;
+    } else {
+      stats_.writes_submitted++;
+    }
+    queue_.Push(request.page, ticket);
+    pending_.emplace(ticket, std::move(request));
+    size_t depth = pending_.size();
+    if (depth > stats_.max_queue_depth) {
+      stats_.max_queue_depth = depth;
+    }
+  }
+  work_cv_.notify_all();
+  return future;
+}
+
+std::shared_future<Status> AsyncDisk::SubmitRead(PageId id, std::byte* out) {
+  Request request;
+  request.page = id;
+  request.is_read = true;
+  request.out = out;
+  return Submit(std::move(request));
+}
+
+std::shared_future<Status> AsyncDisk::SubmitWrite(PageId id,
+                                                  const std::byte* data) {
+  Request request;
+  request.page = id;
+  request.is_read = false;
+  request.in = data;
+  return Submit(std::move(request));
+}
+
+Status AsyncDisk::ReadPage(PageId id, std::byte* out) {
+  return SubmitRead(id, out).get();
+}
+
+Status AsyncDisk::WritePage(PageId id, const std::byte* data) {
+  return SubmitWrite(id, data).get();
+}
+
+void AsyncDisk::set_target_queue_depth(size_t depth) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target_depth_ = depth == 0 ? 1 : depth;
+  }
+  work_cv_.notify_all();
+}
+
+void AsyncDisk::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return pending_.empty() && in_flight_ == 0; });
+}
+
+AsyncDiskStats AsyncDisk::async_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncDisk::IoLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) {
+        return;
+      }
+      continue;
+    }
+    if (pending_.size() < target_depth_ && !stop_) {
+      // Give concurrent clients a moment to enqueue so the elevator has
+      // real choices; the timeout bounds the wait when some client is
+      // CPU-bound (or blocked on a shard lock) instead of on I/O.
+      work_cv_.wait_for(lock, kBatchWait, [this] {
+        return stop_ || pending_.size() >= target_depth_;
+      });
+      if (pending_.empty()) {
+        continue;
+      }
+    }
+    if (pending_.size() >= 2) {
+      stats_.merged_picks++;
+    }
+    std::optional<uint64_t> ticket = queue_.PopNext(backing_->head());
+    Request request = std::move(pending_.at(*ticket));
+    pending_.erase(*ticket);
+    in_flight_++;
+    lock.unlock();
+    Status status = request.is_read
+                        ? backing_->ReadPage(request.page, request.out)
+                        : backing_->WritePage(request.page, request.in);
+    request.promise.set_value(status);
+    lock.lock();
+    in_flight_--;
+    if (pending_.empty() && in_flight_ == 0) {
+      drain_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cobra

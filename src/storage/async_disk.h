@@ -1,0 +1,147 @@
+// AsyncDisk: a background-I/O front-end over a SimulatedDisk.
+//
+// The paper's elevator scheduler wins by giving one query many unresolved
+// references to order by disk position.  AsyncDisk extends that idea across
+// *queries*: every client (buffer-pool shard, worker thread) submits page
+// requests into one queue, and a single I/O thread serves them in elevator
+// (SCAN) order over the shared head position.  Concurrent assembly windows
+// therefore merge into one sweep of the device — the cross-client analogue
+// of §6.3's within-window reordering — while CPU-side assembly overlaps the
+// simulated seeks.
+//
+// Composition: AsyncDisk decorates any SimulatedDisk, including a
+// FaultInjectingDisk, so the fault-injection and checksum layers underneath
+// are untouched; the I/O thread simply observes their failures and forwards
+// them through the completion future.
+//
+// Ordering guarantees:
+//   * a blocking ReadPage/WritePage returns only after the backing disk
+//     executed the request — a single client therefore sees exactly the
+//     same order (and the same seek accounting) as calling the backing
+//     disk directly;
+//   * across clients, requests pending at the same time are served in SCAN
+//     order (nearest page in the current sweep direction; FIFO among equal
+//     pages).  No global FIFO is promised;
+//   * set_target_queue_depth(n) makes the I/O thread briefly wait until n
+//     requests are pending (or a short timeout expires) before serving, so
+//     that n concurrent clients actually get merged instead of being served
+//     in lockstep arrival order.  Depth 1 (the default) serves immediately
+//     and is fully deterministic for a single client.
+//
+// Control-plane calls (stats, traces, ParkHead) belong to the *backing*
+// disk and require quiescence: call Drain() first.
+
+#ifndef COBRA_STORAGE_ASYNC_DISK_H_
+#define COBRA_STORAGE_ASYNC_DISK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace cobra {
+
+// SCAN-ordered request queue keyed by page: continue in the current sweep
+// direction from the head, reverse at the end; FIFO among requests for the
+// same page.  Not thread-safe by itself — AsyncDisk guards it with its
+// queue mutex.  Exposed for the scheduler property tests.
+class ElevatorIoQueue {
+ public:
+  void Push(PageId page, uint64_t ticket) { by_page_.emplace(page, ticket); }
+
+  // Removes and returns the ticket of the next request to serve given the
+  // current head position.  nullopt when empty.
+  std::optional<uint64_t> PopNext(PageId head);
+
+  bool empty() const { return by_page_.empty(); }
+  size_t size() const { return by_page_.size(); }
+  bool sweeping_up() const { return sweeping_up_; }
+
+ private:
+  std::multimap<PageId, uint64_t> by_page_;
+  bool sweeping_up_ = true;
+};
+
+struct AsyncDiskStats {
+  uint64_t reads_submitted = 0;
+  uint64_t writes_submitted = 0;
+  // Largest number of simultaneously pending requests (merge opportunity).
+  size_t max_queue_depth = 0;
+  // Times the I/O thread served a request picked among >= 2 pending ones
+  // (an actual cross-client elevator decision).
+  uint64_t merged_picks = 0;
+};
+
+class AsyncDisk : public SimulatedDisk {
+ public:
+  // Does not take ownership of `backing`, which must outlive this object.
+  // The I/O thread starts immediately.
+  explicit AsyncDisk(SimulatedDisk* backing);
+  ~AsyncDisk() override;
+
+  // Blocking data plane: submits and waits.  A lone client observes
+  // identical behavior (order, stats, errors) to the backing disk.
+  Status ReadPage(PageId id, std::byte* out) override;
+  Status WritePage(PageId id, const std::byte* data) override;
+
+  // Queued read with futures-based completion; the buffer pool's prefetch
+  // path uses it to overlap assembly CPU with seeks.
+  std::shared_future<Status> SubmitRead(PageId id, std::byte* out) override;
+  std::shared_future<Status> SubmitWrite(PageId id, const std::byte* data);
+
+  // Forwarded to the backing disk (its head is the one that moves).
+  bool Exists(PageId id) const override { return backing_->Exists(id); }
+  PageId head() const override { return backing_->head(); }
+  void AddSeekPenalty(uint64_t pages, bool is_read) override {
+    backing_->AddSeekPenalty(pages, is_read);
+  }
+
+  // How many pending requests the I/O thread tries to accumulate before
+  // serving (bounded by a short wait so a CPU-busy client cannot stall the
+  // device).  Set it to the number of concurrently running clients.
+  void set_target_queue_depth(size_t depth);
+
+  // Blocks until every submitted request has completed.
+  void Drain();
+
+  SimulatedDisk* backing() { return backing_; }
+  AsyncDiskStats async_stats() const;
+
+ private:
+  struct Request {
+    PageId page = kInvalidPageId;
+    bool is_read = true;
+    std::byte* out = nullptr;
+    const std::byte* in = nullptr;
+    std::promise<Status> promise;
+  };
+
+  std::shared_future<Status> Submit(Request request);
+  void IoLoop();
+
+  SimulatedDisk* backing_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signals the I/O thread
+  std::condition_variable drain_cv_;  // signals Drain() waiters
+  ElevatorIoQueue queue_;
+  std::unordered_map<uint64_t, Request> pending_;
+  uint64_t next_ticket_ = 0;
+  size_t target_depth_ = 1;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+  AsyncDiskStats stats_;
+
+  std::thread io_thread_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_STORAGE_ASYNC_DISK_H_

@@ -40,7 +40,8 @@ const char* FaultKindName(FaultKind kind) {
 SimulatedDisk::SimulatedDisk(DiskOptions options) : options_(options) {}
 
 void SimulatedDisk::ChargeSeek(PageId id, bool is_read) {
-  uint64_t distance = id > head_ ? id - head_ : head_ - id;
+  PageId head = head_.load(std::memory_order_relaxed);
+  uint64_t distance = id > head ? id - head : head - id;
   if (is_read) {
     stats_.reads++;
     stats_.read_seek_pages += distance;
@@ -48,7 +49,7 @@ void SimulatedDisk::ChargeSeek(PageId id, bool is_read) {
     stats_.writes++;
     stats_.write_seek_pages += distance;
   }
-  head_ = id;
+  head_.store(id, std::memory_order_relaxed);
   if (listener_ != nullptr) {
     if (is_read) {
       listener_->OnDiskRead(id, distance);
@@ -59,6 +60,11 @@ void SimulatedDisk::ChargeSeek(PageId id, bool is_read) {
 }
 
 Status SimulatedDisk::ReadPage(PageId id, std::byte* out) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return ReadPageLocked(id, out);
+}
+
+Status SimulatedDisk::ReadPageLocked(PageId id, std::byte* out) {
   auto it = pages_.find(id);
   if (it == pages_.end()) {
     return Status::NotFound("page " + std::to_string(id) + " never written");
@@ -71,7 +77,20 @@ Status SimulatedDisk::ReadPage(PageId id, std::byte* out) {
   return Status::OK();
 }
 
+std::shared_future<Status> SimulatedDisk::SubmitRead(PageId id,
+                                                     std::byte* out) {
+  // Synchronous fallback: the "future" is ready before it is returned.
+  std::promise<Status> promise;
+  promise.set_value(ReadPage(id, out));
+  return promise.get_future().share();
+}
+
 Status SimulatedDisk::WritePage(PageId id, const std::byte* data) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return WritePageLocked(id, data);
+}
+
+Status SimulatedDisk::WritePageLocked(PageId id, const std::byte* data) {
   if (id == kInvalidPageId) {
     return Status::InvalidArgument("cannot write the invalid page id");
   }

@@ -7,13 +7,24 @@
 // moves the head to p.  Pages are allocated sparsely so that the oversized
 // cluster extents of inter-object clustering (paper Fig. 12) do not cost
 // memory for their unused tails.
+//
+// Threading: the data-plane entry points (ReadPage, WritePage, Exists,
+// AddSeekPenalty, SubmitRead) serialize on an internal mutex so concurrent
+// clients — the sharded buffer pool, the AsyncDisk I/O thread — can share
+// one device.  head() is a lock-free snapshot.  Everything else (stats,
+// ResetStats, ParkHead, read traces, Save/Load) is control-plane: call it
+// only while no I/O is in flight.  Listeners fire under the I/O mutex, on
+// whichever thread performed the operation, and must not re-enter the disk.
 
 #ifndef COBRA_STORAGE_DISK_H_
 #define COBRA_STORAGE_DISK_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -92,16 +103,24 @@ class SimulatedDisk {
 
   // Reads page `id` into `out` (which must hold page_size() bytes).
   // Returns NotFound for a page that was never written.  Virtual so a
-  // fault-injecting decorator (storage/faulty_disk.h) can sabotage reads.
+  // fault-injecting decorator (storage/faulty_disk.h) can sabotage reads
+  // and an async front-end (storage/async_disk.h) can queue them.
   virtual Status ReadPage(PageId id, std::byte* out);
 
   // Writes page `id` from `data` (page_size() bytes), allocating it if new.
-  Status WritePage(PageId id, const std::byte* data);
+  virtual Status WritePage(PageId id, const std::byte* data);
+
+  // Asynchronous read: the base implementation executes synchronously and
+  // returns an already-satisfied future; AsyncDisk queues the request and
+  // completes it from its I/O thread.  `out` must stay valid until the
+  // future is ready.  The buffer pool's prefetch path is built on this.
+  virtual std::shared_future<Status> SubmitRead(PageId id, std::byte* out);
 
   // Charges extra seek-page cost to the read (or write) counters without
   // moving the head: models time the device spends not seeking — retry
   // backoff, injected rotational latency — in the paper's cost unit.
-  void AddSeekPenalty(uint64_t pages, bool is_read) {
+  virtual void AddSeekPenalty(uint64_t pages, bool is_read) {
+    std::lock_guard<std::mutex> lock(io_mu_);
     if (is_read) {
       stats_.read_seek_pages += pages;
     } else {
@@ -109,7 +128,10 @@ class SimulatedDisk {
     }
   }
 
-  bool Exists(PageId id) const { return pages_.contains(id); }
+  virtual bool Exists(PageId id) const {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    return pages_.contains(id);
+  }
 
   // Number of pages ever written (allocated), not the address-space span.
   size_t allocated_pages() const { return pages_.size(); }
@@ -118,12 +140,14 @@ class SimulatedDisk {
   // address-space span that seeks can range over.
   PageId page_span() const { return span_; }
 
-  PageId head() const { return head_; }
+  // Lock-free head snapshot.  Virtual so AsyncDisk can report the backing
+  // device's head (the elevator schedulers order fetches by it).
+  virtual PageId head() const { return head_.load(std::memory_order_relaxed); }
 
   // Repositions the head without charging a seek.  Experiments call this to
   // start each run from a well-defined head position (the paper assumes
   // exclusive control of the device).
-  void ParkHead(PageId id) { head_ = id; }
+  void ParkHead(PageId id) { head_.store(id, std::memory_order_relaxed); }
 
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats(); }
@@ -155,12 +179,27 @@ class SimulatedDisk {
     if (listener_ != nullptr) listener_->OnDiskFault(page, kind);
   }
 
+ protected:
+  // Unlocked implementations, for subclasses that already hold io_mu_.
+  Status ReadPageLocked(PageId id, std::byte* out);
+  Status WritePageLocked(PageId id, const std::byte* data);
+  void AddSeekPenaltyLocked(uint64_t pages, bool is_read) {
+    if (is_read) {
+      stats_.read_seek_pages += pages;
+    } else {
+      stats_.write_seek_pages += pages;
+    }
+  }
+
+  // Serializes the data-plane (page map, stats, trace, listener calls).
+  mutable std::mutex io_mu_;
+
  private:
   void ChargeSeek(PageId id, bool is_read);
 
   DiskOptions options_;
   std::unordered_map<PageId, std::vector<std::byte>> pages_;
-  PageId head_ = 0;
+  std::atomic<PageId> head_{0};
   PageId span_ = 0;
   DiskStats stats_;
   bool trace_enabled_ = false;

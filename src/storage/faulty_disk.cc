@@ -35,6 +35,7 @@ Status FaultInjectingDisk::ReadPage(PageId id, std::byte* out) {
   if (!enabled_ || !base.ok()) {
     return base;
   }
+  std::lock_guard<std::mutex> lock(fault_mu_);
   uint64_t attempt = ++attempts_[id];
 
   // Permanent bad page: decided once per page (attempt-independent), fails

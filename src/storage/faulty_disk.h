@@ -28,6 +28,7 @@
 #define COBRA_STORAGE_FAULTY_DISK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -99,6 +100,7 @@ class FaultInjectingDisk : public SimulatedDisk {
   // Clears fault counters AND per-page attempt numbers, so the next run
   // replays the identical fault schedule.  Cold restarts call this.
   void ResetFaultState() {
+    std::lock_guard<std::mutex> lock(fault_mu_);
     fault_stats_ = FaultStats();
     attempts_.clear();
   }
@@ -110,6 +112,11 @@ class FaultInjectingDisk : public SimulatedDisk {
 
   FaultProfile profile_;
   bool enabled_ = false;
+  // Guards attempts_ and fault_stats_ (injection decisions), so concurrent
+  // readers draw from one coherent per-page attempt sequence.  Ordered
+  // strictly before the base class's I/O mutex: fault bookkeeping may issue
+  // AddSeekPenalty, never the reverse.
+  mutable std::mutex fault_mu_;
   std::unordered_map<PageId, uint64_t> attempts_;
   FaultStats fault_stats_;
 };

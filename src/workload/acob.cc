@@ -57,7 +57,7 @@ Status AcobDatabase::ColdRestart() {
   buffer.reset();
   buffer = std::make_unique<BufferManager>(
       disk.get(), BufferOptions{options.buffer_frames, options.replacement,
-                                options.retry});
+                                options.retry, options.buffer_shards});
   store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
   store->set_next_oid(next_oid);
   disk->ResetStats();

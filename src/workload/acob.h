@@ -83,6 +83,10 @@ struct AcobOptions {
   FaultProfile faults = {};
   // Transient-read retry policy of the measurement buffer pool.
   RetryPolicy retry = {};
+  // Lock stripes of the measurement buffer pool.  1 (the default) is the
+  // exact single-threaded pool; raise it when concurrent clients share the
+  // database (see service/query_service.h).
+  size_t buffer_shards = 1;
 };
 
 // A fully built benchmark database plus everything an experiment needs.

@@ -11,6 +11,7 @@
 
 #include "assembly/assembly_operator.h"
 #include "buffer/buffer_manager.h"
+#include "exec/scan.h"
 #include "file/heap_file.h"
 #include "object/directory.h"
 #include "object/object.h"
@@ -18,6 +19,7 @@
 #include "storage/checksum.h"
 #include "storage/disk.h"
 #include "storage/faulty_disk.h"
+#include "workload/acob.h"
 #include "workload/genealogy.h"
 
 namespace cobra {
@@ -251,6 +253,39 @@ TEST(BufferChecksumTest, VerificationAddsNoReads) {
   EXPECT_EQ(buffer.stats().checksum_failures, 0u);
 }
 
+TEST(BufferChecksumTest, InjectedBitFlipsNeverLeaveAPagePinned) {
+  // Regression: a fetch that obtains a frame and then fails checksum
+  // verification must return the frame *and* the pin — under
+  // ErrorPolicy::kSkipObject the query keeps running, so a leaked pin per
+  // corrupt read would strangle the pool long before the query ends.
+  FaultProfile profile;
+  profile.seed = 3;
+  profile.bit_flip = 1.0;  // every read comes back corrupted
+  FaultInjectingDisk disk(profile);
+  WriteStampedPages(&disk, 8);
+  disk.set_enabled(true);
+
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 4});
+  for (int round = 0; round < 3; ++round) {
+    for (PageId id = 0; id < 8; ++id) {
+      auto guard = buffer.FetchPage(id);
+      ASSERT_FALSE(guard.ok());
+      EXPECT_TRUE(guard.status().IsCorruption());
+      EXPECT_EQ(buffer.pinned_frames(), 0u)
+          << "round " << round << " page " << id;
+    }
+  }
+  EXPECT_EQ(buffer.stats().checksum_failures, 24u);
+
+  // Disarm: the pool is fully usable, no frame was lost.
+  disk.set_enabled(false);
+  for (PageId id = 0; id < 8; ++id) {
+    auto guard = buffer.FetchPage(id);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(guard->data()[100], static_cast<std::byte>(id + 1));
+  }
+}
+
 TEST(BufferFetchTest, NoFrameLeakOnNotFound) {
   SimulatedDisk disk;
   BufferManager buffer(&disk, BufferOptions{.num_frames = 1});
@@ -434,6 +469,50 @@ TEST_F(DegradedModeTest, DropSetIsStableAcrossRuns) {
   ASSERT_TRUE(RunPlan(db_.get(), options, &second, &stats_second).ok());
   EXPECT_EQ(first, second);
   EXPECT_EQ(stats_first.objects_dropped, stats_second.objects_dropped);
+}
+
+TEST(DegradedAssemblyPinTest, SkipObjectUnderBitFlipsLeavesPoolUnpinned) {
+  // End-to-end form of the pin-leak regression: an assembly query that
+  // keeps going past corrupt reads (kSkipObject) must end with every buffer
+  // frame unpinned, however many fetches failed mid-object.
+  AcobOptions options;
+  options.num_complex_objects = 60;
+  options.clustering = Clustering::kUnclustered;
+  options.seed = 42;
+  options.faults.seed = 99;
+  options.faults.bit_flip = 0.10;  // roughly every tenth read corrupted
+  auto built = BuildAcobDatabase(options);
+  ASSERT_TRUE(built.ok());
+  auto db = std::move(*built);
+  ASSERT_TRUE(db->ColdRestart().ok());
+
+  std::vector<exec::Row> rows;
+  for (Oid root : db->roots) rows.push_back(exec::Row{exec::Value::Ref(root)});
+  AssemblyOptions assembly;
+  assembly.window_size = 10;
+  assembly.error_policy = ErrorPolicy::kSkipObject;
+  AssemblyOperator op(std::make_unique<exec::VectorScan>(std::move(rows)),
+                      &db->tmpl, db->store.get(), assembly);
+  ASSERT_TRUE(op.Open().ok());
+  exec::RowBatch batch;
+  uint64_t emitted = 0;
+  for (;;) {
+    auto n = op.NextBatch(&batch);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;
+    emitted += *n;
+  }
+  ASSERT_TRUE(op.Close().ok());
+
+  const AssemblyStats& stats = op.stats();
+  EXPECT_GT(stats.objects_dropped, 0u) << "fault profile injected nothing";
+  EXPECT_EQ(stats.complex_admitted, db->roots.size());
+  EXPECT_EQ(stats.complex_admitted, stats.complex_emitted +
+                                        stats.complex_aborted +
+                                        stats.objects_dropped);
+  EXPECT_EQ(emitted, stats.complex_emitted);
+  EXPECT_EQ(db->buffer->pinned_frames(), 0u);
+  EXPECT_GT(db->buffer->stats().checksum_failures, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,232 @@
+// Property-based coverage of the elevator orderings: the per-query
+// ElevatorScheduler (assembly/scheduler.h), its PeekPages read-ahead view,
+// and the cross-client ElevatorIoQueue (storage/async_disk.h).  All inputs
+// come from a fixed-seed generator, so failures replay exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "assembly/scheduler.h"
+#include "storage/async_disk.h"
+
+namespace cobra {
+namespace {
+
+// Serves every queued request, returning the visit order and accumulating
+// |page - head| travel — the simulated disk's cost model, with the head
+// following each served request as it does on the real device.
+std::vector<PageId> DrainQueue(ElevatorIoQueue* queue,
+                               const std::map<uint64_t, PageId>& pages,
+                               PageId head, uint64_t* travel) {
+  std::vector<PageId> order;
+  while (!queue->empty()) {
+    auto ticket = queue->PopNext(head);
+    if (!ticket.has_value()) {
+      ADD_FAILURE() << "non-empty queue returned nothing";
+      break;
+    }
+    PageId page = pages.at(*ticket);
+    *travel += page >= head ? page - head : head - page;
+    head = page;
+    order.push_back(page);
+  }
+  return order;
+}
+
+std::vector<PageId> RandomPages(std::mt19937_64* rng, size_t max_count,
+                                PageId max_page) {
+  std::uniform_int_distribution<size_t> count_dist(1, max_count);
+  std::uniform_int_distribution<PageId> page_dist(0, max_page);
+  std::vector<PageId> pages(count_dist(*rng));
+  for (PageId& page : pages) page = page_dist(*rng);
+  return pages;
+}
+
+TEST(ElevatorIoQueueProperty, EveryRequestServedExactlyOnce) {
+  std::mt19937_64 rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<PageId> pages = RandomPages(&rng, 64, 500);
+    ElevatorIoQueue queue;
+    std::map<uint64_t, PageId> by_ticket;
+    for (uint64_t ticket = 0; ticket < pages.size(); ++ticket) {
+      queue.Push(pages[ticket], ticket);
+      by_ticket[ticket] = pages[ticket];
+    }
+    PageId head = std::uniform_int_distribution<PageId>(0, 500)(rng);
+    std::set<uint64_t> served;
+    while (!queue.empty()) {
+      auto ticket = queue.PopNext(head);
+      ASSERT_TRUE(ticket.has_value());
+      EXPECT_TRUE(served.insert(*ticket).second)
+          << "ticket " << *ticket << " served twice (trial " << trial << ")";
+      head = by_ticket.at(*ticket);
+    }
+    EXPECT_EQ(served.size(), pages.size()) << "trial " << trial;
+    EXPECT_FALSE(queue.PopNext(head).has_value());
+  }
+}
+
+TEST(ElevatorIoQueueProperty, ExactlyOnceUnderInterleavedArrivals) {
+  // Requests arrive while earlier ones are being served — the actual
+  // AsyncDisk regime.  Every ticket must still be served exactly once.
+  std::mt19937_64 rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    ElevatorIoQueue queue;
+    std::map<uint64_t, PageId> by_ticket;
+    std::set<uint64_t> served;
+    uint64_t next_ticket = 0;
+    PageId head = 0;
+    std::uniform_int_distribution<PageId> page_dist(0, 300);
+    for (int step = 0; step < 150; ++step) {
+      if (queue.empty() || rng() % 2 == 0) {
+        PageId page = page_dist(rng);
+        by_ticket[next_ticket] = page;
+        queue.Push(page, next_ticket++);
+      } else {
+        auto ticket = queue.PopNext(head);
+        ASSERT_TRUE(ticket.has_value());
+        EXPECT_TRUE(served.insert(*ticket).second);
+        head = by_ticket.at(*ticket);
+      }
+    }
+    while (!queue.empty()) {
+      auto ticket = queue.PopNext(head);
+      ASSERT_TRUE(ticket.has_value());
+      EXPECT_TRUE(served.insert(*ticket).second);
+      head = by_ticket.at(*ticket);
+    }
+    EXPECT_EQ(served.size(), next_ticket) << "trial " << trial;
+  }
+}
+
+TEST(ElevatorIoQueueProperty, FifoAmongRequestsForTheSamePage) {
+  ElevatorIoQueue queue;
+  for (uint64_t ticket = 0; ticket < 5; ++ticket) {
+    queue.Push(/*page=*/7, ticket);
+  }
+  for (uint64_t expected = 0; expected < 5; ++expected) {
+    auto ticket = queue.PopNext(/*head=*/7);
+    ASSERT_TRUE(ticket.has_value());
+    EXPECT_EQ(*ticket, expected);
+  }
+}
+
+TEST(ElevatorIoQueueProperty, MergedColdStartNeverCostsMoreThanPerClient) {
+  // The bench's comparison (bench/multi_client.cc): K clients' request sets
+  // served by one merged SCAN from a parked head vs. each client's own SCAN
+  // from its own cold start (ColdRestart parks the head at page 0).  From
+  // the disk's lowest position a SCAN serves everything in one ascending
+  // sweep, so the merged pass travels max(union) while the separate passes
+  // travel sum(max(client_i)) — merging can only help.  (From a mid-disk
+  // head the online SCAN holds no such guarantee: a tiny client below the
+  // head can be forced behind another client's long up-sweep.)
+  std::mt19937_64 rng(987654321);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t num_clients = std::uniform_int_distribution<size_t>(2, 6)(rng);
+    uint64_t merged_travel = 0;
+    uint64_t separate_travel = 0;
+    ElevatorIoQueue merged;
+    std::map<uint64_t, PageId> merged_pages;
+    uint64_t next_ticket = 0;
+    size_t total_requests = 0;
+    for (size_t c = 0; c < num_clients; ++c) {
+      std::vector<PageId> pages = RandomPages(&rng, 40, 2000);
+      total_requests += pages.size();
+      ElevatorIoQueue own;
+      std::map<uint64_t, PageId> own_pages;
+      for (uint64_t t = 0; t < pages.size(); ++t) {
+        own.Push(pages[t], t);
+        own_pages[t] = pages[t];
+        merged.Push(pages[t], next_ticket);
+        merged_pages[next_ticket++] = pages[t];
+      }
+      DrainQueue(&own, own_pages, /*head=*/0, &separate_travel);
+    }
+    std::vector<PageId> order =
+        DrainQueue(&merged, merged_pages, /*head=*/0, &merged_travel);
+    EXPECT_LE(merged_travel, separate_travel) << "trial " << trial;
+    EXPECT_EQ(order.size(), total_requests);
+    // From the parked head the merged pass is one ascending sweep.
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()))
+        << "trial " << trial;
+  }
+}
+
+TEST(ElevatorIoQueueProperty, TravelBoundedByTwoSweeps) {
+  // SCAN reverses at most twice for a static request set: total travel
+  // never exceeds twice the span of the visited region (head included).
+  std::mt19937_64 rng(1357);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<PageId> pages = RandomPages(&rng, 50, 4000);
+    PageId head = std::uniform_int_distribution<PageId>(0, 4000)(rng);
+    ElevatorIoQueue queue;
+    std::map<uint64_t, PageId> by_ticket;
+    for (uint64_t t = 0; t < pages.size(); ++t) {
+      queue.Push(pages[t], t);
+      by_ticket[t] = pages[t];
+    }
+    uint64_t travel = 0;
+    DrainQueue(&queue, by_ticket, head, &travel);
+    PageId lo = std::min(head, *std::min_element(pages.begin(), pages.end()));
+    PageId hi = std::max(head, *std::max_element(pages.begin(), pages.end()));
+    EXPECT_LE(travel, 2 * (hi - lo)) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------- scheduler PeekPages
+
+PendingRef MakeRef(PageId page) {
+  PendingRef ref;
+  ref.page = page;
+  return ref;
+}
+
+TEST(ElevatorSchedulerProperty, PeekPagesMatchesActualPopOrder) {
+  // PeekPages must predict the distinct-page visit order Pop produces when
+  // the head follows each fetched page (how assembly drives it), without
+  // consuming anything.
+  std::mt19937_64 rng(24680);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<PageId> pages = RandomPages(&rng, 30, 400);
+    ElevatorScheduler scheduler;
+    std::vector<PendingRef> batch;
+    for (PageId page : pages) batch.push_back(MakeRef(page));
+    scheduler.AddBatch(batch, /*is_root=*/true);
+
+    PageId head = std::uniform_int_distribution<PageId>(0, 400)(rng);
+    std::vector<PageId> predicted = scheduler.PeekPages(head, pages.size());
+
+    std::vector<PageId> actual;
+    PageId arm = head;
+    while (!scheduler.Empty()) {
+      PendingRef ref = scheduler.Pop(arm);
+      if (actual.empty() || actual.back() != ref.page) {
+        actual.push_back(ref.page);
+      }
+      arm = ref.page;
+    }
+    EXPECT_EQ(predicted, actual) << "trial " << trial << " head " << head;
+  }
+}
+
+TEST(ElevatorSchedulerProperty, PeekPagesIsNonMutatingAndBounded) {
+  ElevatorScheduler scheduler;
+  std::vector<PendingRef> batch = {MakeRef(10), MakeRef(20), MakeRef(30)};
+  scheduler.AddBatch(batch, /*is_root=*/true);
+  EXPECT_EQ(scheduler.PeekPages(0, 2).size(), 2u);
+  EXPECT_EQ(scheduler.PeekPages(0, 99).size(), 3u);
+  EXPECT_TRUE(scheduler.PeekPages(0, 0).empty());
+  EXPECT_EQ(scheduler.Size(), 3u);  // peeking consumed nothing
+  // Base Scheduler interface: non-positional schedulers answer empty.
+  DepthFirstScheduler depth_first;
+  depth_first.AddBatch(batch, /*is_root=*/true);
+  EXPECT_TRUE(depth_first.PeekPages(0, 8).empty());
+}
+
+}  // namespace
+}  // namespace cobra

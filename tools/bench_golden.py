@@ -11,11 +11,33 @@ Usage:
       Normalize a bench --json capture and write it as a golden file.
   bench_golden.py check <golden.json> <run.json>
       Normalize both sides and compare; exit 1 with a diff on mismatch.
+  bench_golden.py crosscheck <reference.json> <run.json>
+      Compare the *I/O subtrees* of runs that describe the same
+      configuration in two different benches.  Runs are matched by
+      (clustering, scheduler, num_complex_objects); for each pair the
+      disk/buffer/assembly stats, seek histogram, refetched_pages and
+      avg_seek must be identical.  Used to pin bench/multi_client.cc
+      --clients 1 to the fig13 single-client numbers: same workload, same
+      metrics, different machinery (query service + async disk + sharded
+      pool vs. the direct single-threaded path).  Bench-specific fields
+      (labels, registry snapshots, client counts) are ignored.
 """
 
 import difflib
 import json
 import sys
+
+# The configuration-identity key and the I/O payload compared by crosscheck.
+CROSSCHECK_KEY = ("clustering", "scheduler", "num_complex_objects")
+CROSSCHECK_FIELDS = (
+    "disk",
+    "buffer",
+    "assembly",
+    "seek_histogram",
+    "refetched_pages",
+    "avg_seek",
+    "avg_write_seek",
+)
 
 
 def strip_nondeterministic(node):
@@ -37,8 +59,61 @@ def normalize(path):
     return json.dumps(strip_nondeterministic(data), indent=2, sort_keys=True)
 
 
+def load_runs(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    runs = {}
+    for run in data.get("runs", []):
+        if all(field in run for field in CROSSCHECK_KEY):
+            key = tuple(run[field] for field in CROSSCHECK_KEY)
+            # First occurrence wins (a bench never repeats a configuration
+            # except as an explicitly differently-moded run, e.g. the
+            # multi-client "independent" baseline — skip those).
+            if run.get("mode", "merged") != "merged":
+                continue
+            runs.setdefault(key, run)
+    return runs
+
+
+def crosscheck(reference_path, run_path):
+    reference = load_runs(reference_path)
+    actual = load_runs(run_path)
+    matched = 0
+    failures = 0
+    for key, run in sorted(actual.items()):
+        if key not in reference:
+            continue
+        matched += 1
+        ref = reference[key]
+        for field in CROSSCHECK_FIELDS:
+            left = strip_nondeterministic(ref.get(field))
+            right = strip_nondeterministic(run.get(field))
+            if left != right:
+                failures += 1
+                sys.stderr.write(
+                    f"CROSSCHECK MISMATCH {key} field '{field}':\n"
+                    f"  {reference_path}: {json.dumps(left, sort_keys=True)}\n"
+                    f"  {run_path}: {json.dumps(right, sort_keys=True)}\n"
+                )
+    if matched == 0:
+        sys.stderr.write(
+            f"CROSSCHECK: no overlapping configurations between "
+            f"{reference_path} and {run_path}\n"
+        )
+        return 1
+    if failures:
+        sys.stderr.write(
+            f"CROSSCHECK: {failures} field mismatch(es) across "
+            f"{matched} matched configuration(s)\n"
+        )
+        return 1
+    print(f"OK: {matched} configuration(s) of {run_path} match "
+          f"{reference_path}")
+    return 0
+
+
 def main(argv):
-    if len(argv) != 4 or argv[1] not in ("extract", "check"):
+    if len(argv) != 4 or argv[1] not in ("extract", "check", "crosscheck"):
         sys.stderr.write(__doc__)
         return 2
     mode, a, b = argv[1], argv[2], argv[3]
@@ -47,6 +122,8 @@ def main(argv):
             f.write(normalize(a) + "\n")
         print(f"wrote {b}")
         return 0
+    if mode == "crosscheck":
+        return crosscheck(a, b)
     golden = normalize(a).splitlines(keepends=True)
     actual = normalize(b).splitlines(keepends=True)
     if golden == actual:
