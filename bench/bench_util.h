@@ -104,6 +104,41 @@ struct BatchFlags {
   }
 };
 
+// Vectored-I/O batch size: --io-batch N (or --io-batch=N).  Sets
+// AssemblyOptions::io_batch_pages; 1 (the default) preserves the historical
+// single-page read path bit-for-bit.
+struct IoBatchFlags {
+  size_t io_batch = 1;
+
+  static IoBatchFlags Parse(int argc, char** argv) {
+    IoBatchFlags flags;
+    auto parse_size = [&flags](const char* value) {
+      unsigned long long n = std::strtoull(value, nullptr, 10);
+      flags.io_batch = n == 0 ? 1 : static_cast<size_t>(n);
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--io-batch" && i + 1 < argc) {
+        parse_size(argv[++i]);
+      } else if (arg.rfind("--io-batch=", 0) == 0) {
+        parse_size(arg.c_str() + 11);
+      }
+    }
+    return flags;
+  }
+
+  void Apply(AssemblyOptions* options) const {
+    options->io_batch_pages = io_batch;
+  }
+  // JSON extra recording the swept parameter; only emitted when it differs
+  // from the default so --io-batch 1 output stays bit-identical to seed.
+  void Annotate(obs::JsonValue* extra) const {
+    if (io_batch != 1 && extra->is_object()) {
+      extra->Set("io_batch", static_cast<uint64_t>(io_batch));
+    }
+  }
+};
+
 struct RunResult {
   DiskStats disk;
   BufferStats buffer;

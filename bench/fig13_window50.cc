@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     reporter.Set("fault_seed", faults.seed);
     reporter.Set("error_policy", ErrorPolicyName(faults.policy));
   }
+  IoBatchFlags io_batch = IoBatchFlags::Parse(argc, argv);
 
   for (Clustering clustering :
        {Clustering::kInterObject, Clustering::kIntraObject,
@@ -47,12 +48,14 @@ int main(int argc, char** argv) {
         aopts.window_size = 50;
         aopts.scheduler = scheduler;
         faults.Apply(&aopts);
+        io_batch.Apply(&aopts);
         RunResult result = RunAssembly(db.get(), aopts);
         row.push_back(Fmt(result.avg_seek()));
         obs::JsonValue extra = obs::JsonValue::MakeObject();
         extra.Set("clustering", ClusteringName(clustering));
         extra.Set("scheduler", SchedulerKindName(scheduler));
         extra.Set("num_complex_objects", size);
+        io_batch.Annotate(&extra);
         reporter.AddRun(std::string(ClusteringName(clustering)) + ", " +
                             SchedulerKindName(scheduler) + ", N=" +
                             std::to_string(size),

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     reporter.Set("fault_seed", faults.seed);
     reporter.Set("error_policy", ErrorPolicyName(faults.policy));
   }
+  IoBatchFlags io_batch = IoBatchFlags::Parse(argc, argv);
 
   std::printf(
       "Figure 14 — database = 4000 complex objects, elevator scheduling\n");
@@ -46,11 +47,13 @@ int main(int argc, char** argv) {
       aopts.window_size = window;
       aopts.scheduler = SchedulerKind::kElevator;
       faults.Apply(&aopts);
+      io_batch.Apply(&aopts);
       RunResult result = RunAssembly(db.get(), aopts);
       row.push_back(Fmt(result.avg_seek()));
       obs::JsonValue extra = obs::JsonValue::MakeObject();
       extra.Set("clustering", ClusteringName(clustering));
       extra.Set("window_size", window);
+      io_batch.Annotate(&extra);
       reporter.AddRun(std::string(ClusteringName(clustering)) +
                           ", W=" + std::to_string(window),
                       result, std::move(extra));

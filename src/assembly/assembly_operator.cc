@@ -435,7 +435,75 @@ Status AssemblyOperator::ResolveOne() {
       }
     }
   }
+  return ResolveRef(ref, /*fix_error=*/nullptr);
+}
 
+Status AssemblyOperator::ResolveRun() {
+  RefRun run = scheduler_->PopRun(store_->buffer()->disk()->head(),
+                                  options_.io_batch_pages);
+  stats_.refs_resolved += run.refs.size();
+
+  if (options_.prefetch_depth > 0) {
+    // Run-granular read-ahead: group the predicted visit order into
+    // consecutive stretches and start each as one (coalescible) run.
+    std::vector<PageId> peek = scheduler_->PeekPages(
+        store_->buffer()->disk()->head(), options_.prefetch_depth);
+    const PageId run_lo = run.first_page;
+    const PageId run_hi = run.first_page + (run.pages - 1);
+    size_t i = 0;
+    while (i < peek.size()) {
+      size_t j = i + 1;
+      while (j < peek.size() &&
+             SeekDistancePages(peek[j], peek[j - 1]) == 1 &&
+             (j == i + 1 || (peek[j] > peek[j - 1]) ==
+                                (peek[j - 1] > peek[j - 2]))) {
+        j++;
+      }
+      PageId lo = std::min(peek[i], peek[j - 1]);
+      PageId hi = std::max(peek[i], peek[j - 1]);
+      if (lo != kInvalidPageId && (hi < run_lo || lo > run_hi)) {
+        store_->buffer()->PrefetchRun(lo, static_cast<size_t>(hi - lo) + 1);
+      }
+      i = j;
+    }
+  }
+
+  if (run.pages == 1 && run.refs.size() == 1) {
+    // Nothing to coalesce; take the exact single-page path.
+    return ResolveRef(run.refs.front(), /*fix_error=*/nullptr);
+  }
+
+  // Pin the whole run with one vectored transfer.  While `fixed` is alive
+  // every good page of the run is resident, so the per-reference fetches
+  // below are buffer hits; the guards release when it goes out of scope
+  // (including on early error returns).
+  std::vector<Result<PageGuard>> fixed;
+  store_->buffer()->FixRun(run.first_page, run.pages, run.ascending, &fixed);
+
+  std::vector<PendingRef> deferred;
+  for (const PendingRef& ref : run.refs) {
+    const size_t offset = static_cast<size_t>(ref.page - run.first_page);
+    const Result<PageGuard>& slot = fixed[offset];
+    if (slot.ok()) {
+      COBRA_RETURN_IF_ERROR(ResolveRef(ref, /*fix_error=*/nullptr));
+    } else if (slot.status().IsResourceExhausted()) {
+      // The shard had no frame for this page while the run held its pins;
+      // resolve it alone after they release.
+      deferred.push_back(ref);
+    } else {
+      Status page_error = slot.status();
+      COBRA_RETURN_IF_ERROR(ResolveRef(ref, &page_error));
+    }
+  }
+  fixed.clear();
+  for (const PendingRef& ref : deferred) {
+    COBRA_RETURN_IF_ERROR(ResolveRef(ref, /*fix_error=*/nullptr));
+  }
+  return Status::OK();
+}
+
+Status AssemblyOperator::ResolveRef(const PendingRef& ref,
+                                    const Status* fix_error) {
   // References inside an already-failed shared subtree are dead work.
   if (ref.shared_owned) {
     auto owner = shared_map_.find(ref.shared_owner);
@@ -505,7 +573,9 @@ Status AssemblyOperator::ResolveOne() {
     }
   }
 
-  Result<AssembledObject*> fetched = FetchAndExpand(ref);
+  Result<AssembledObject*> fetched =
+      fix_error != nullptr ? Result<AssembledObject*>(*fix_error)
+                           : FetchAndExpand(ref);
   if (!fetched.ok()) {
     if (options_.error_policy != ErrorPolicy::kSkipObject ||
         !IsSkippableDataError(fetched.status())) {
@@ -578,7 +648,8 @@ Result<size_t> AssemblyOperator::NextBatch(exec::RowBatch* out) {
       }
       continue;
     }
-    if (Status s = ResolveOne(); !s.ok()) {
+    if (Status s = options_.io_batch_pages > 1 ? ResolveRun() : ResolveOne();
+        !s.ok()) {
       return exec::AnnotateError(s, "Assembly");
     }
   }

@@ -80,6 +80,15 @@ struct AssemblyOptions {
   // default) disables read-ahead and preserves the historical fetch order
   // exactly.
   size_t prefetch_depth = 0;
+  // Vectored I/O: how many consecutive pages one resolution step may pull in
+  // a single coalesced disk transfer.  With > 1 the operator pops reference
+  // *runs* (Scheduler::PopRun) and faults their pages with
+  // BufferManager::FixRun — one positioning seek plus sequential transfers —
+  // instead of paying a full read per page.  1 (the default) preserves the
+  // historical page-at-a-time path exactly, bit-identical goldens included.
+  // 0 is treated as 1.  Only the elevator scheduler produces multi-page
+  // runs; position-blind schedulers degrade gracefully to single-ref runs.
+  size_t io_batch_pages = 1;
 };
 
 // One step of assembly execution, for observers (tracing, debugging,
@@ -203,6 +212,15 @@ class AssemblyOperator : public exec::Iterator {
   Status AdmitOne();
   // Pops and resolves one reference from the scheduler.
   Status ResolveOne();
+  // Vectored resolution (io_batch_pages > 1): pops a run of references on
+  // consecutive pages, faults the whole run with one coalesced transfer and
+  // resolves every reference against the pinned pages.
+  Status ResolveRun();
+  // Resolves one already-popped reference.  When `fix_error` is non-null the
+  // reference's page already failed its coalesced read; the error is handled
+  // exactly as a failed fetch (no second read — the run's per-page result is
+  // authoritative, and refetching would advance the fault schedule).
+  Status ResolveRef(const PendingRef& ref, const Status* fix_error);
   // Fetches, swizzles, predicate-checks and expands one object.  On
   // predicate failure *handled* (aborts owner), returns nullptr.
   Result<AssembledObject*> FetchAndExpand(const PendingRef& ref);

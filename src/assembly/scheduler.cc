@@ -16,6 +16,14 @@ const char* SchedulerKindName(SchedulerKind kind) {
   return "?";
 }
 
+RefRun Scheduler::PopRun(PageId head, size_t max_run_pages) {
+  (void)max_run_pages;
+  RefRun run;
+  run.refs.push_back(Pop(head));
+  run.first_page = run.refs.front().page;
+  return run;
+}
+
 void DepthFirstScheduler::AddBatch(const std::vector<PendingRef>& batch,
                                    bool is_root) {
   if (is_root) {
@@ -74,27 +82,58 @@ void ElevatorScheduler::AddBatch(const std::vector<PendingRef>& batch,
 }
 
 PendingRef ElevatorScheduler::Pop(PageId head) {
-  // Classic SCAN: keep moving in the current direction; when no request
-  // remains ahead of the head, reverse.
-  auto take = [this](std::multimap<PageId, PendingRef>::iterator it) {
-    PendingRef ref = it->second;
-    by_page_.erase(it);
-    return ref;
-  };
-  if (sweeping_up_) {
-    auto it = by_page_.lower_bound(head);
-    if (it != by_page_.end()) {
-      return take(it);
+  // Classic SCAN, via the shared sweep helper (storage/disk.h).
+  auto it = ScanNext(by_page_, head, &sweeping_up_);
+  PendingRef ref = it->second;
+  by_page_.erase(it);
+  return ref;
+}
+
+RefRun ElevatorScheduler::PopRun(PageId head, size_t max_run_pages) {
+  auto it = ScanNext(by_page_, head, &sweeping_up_);
+  RefRun run;
+  run.ascending = sweeping_up_;
+  const PageId entry = it->first;
+  // The entry page drains completely (ties on one page drain together, as
+  // in the repeated-Pop regime where the head parks on the page).
+  auto drain_page = [this, &run](PageId page) {
+    auto [lo, hi] = by_page_.equal_range(page);
+    for (auto w = lo; w != hi; ++w) {
+      run.refs.push_back(w->second);
     }
-    sweeping_up_ = false;
+    by_page_.erase(lo, hi);
+  };
+  drain_page(entry);
+  // Coalesce further pending pages along the sweep direction as long as the
+  // whole span stays within max_run_pages.  Gaps are bridged: the arm
+  // travels over the intermediate pages either way, so transferring them
+  // costs no extra seek travel, and once the buffer pool retains them their
+  // own future fetch becomes a hit.  A run always ends on a pending page
+  // (never speculates past the last request) and never spans a sweep
+  // reversal because extension only moves with the sweep.
+  const size_t budget = max_run_pages == 0 ? 1 : max_run_pages;
+  PageId cursor = entry;
+  while (run.pages < budget) {
+    PageId next_page;
+    if (run.ascending) {
+      auto next = by_page_.upper_bound(cursor);
+      if (next == by_page_.end()) break;
+      next_page = next->first;
+      if (next_page - entry >= budget) break;
+    } else {
+      auto next = by_page_.lower_bound(cursor);
+      if (next == by_page_.begin()) break;
+      next_page = std::prev(next)->first;
+      if (entry - next_page >= budget) break;
+    }
+    drain_page(next_page);
+    cursor = next_page;
+    run.pages = static_cast<size_t>(run.ascending ? next_page - entry
+                                                  : entry - next_page) +
+                1;
   }
-  // Sweeping down: the largest page <= head; if none, reverse again.
-  auto it = by_page_.upper_bound(head);
-  if (it != by_page_.begin()) {
-    return take(std::prev(it));
-  }
-  sweeping_up_ = true;
-  return take(by_page_.begin());
+  run.first_page = run.ascending ? entry : cursor;
+  return run;
 }
 
 std::vector<PageId> ElevatorScheduler::PeekPages(PageId head, size_t k) const {

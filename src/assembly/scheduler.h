@@ -64,6 +64,21 @@ struct PendingRef {
   Oid shared_owner = kInvalidOid;
 };
 
+// One vectored pop: every reference on a span of up to `pages` consecutive
+// pages in the current sweep direction, resolved against a single coalesced
+// disk transfer (BufferManager::FixRun).  `refs` is in resolution order —
+// grouped by page in transfer order, arrival order within a page.  Not
+// every page of the span need carry a reference: the elevator bridges small
+// gaps (the arm travels over them regardless, so transferring them is free)
+// and the buffer pool retains the filler pages for their future fetch.  A
+// span always starts and ends on a referenced page.
+struct RefRun {
+  std::vector<PendingRef> refs;
+  PageId first_page = kInvalidPageId;  // lowest page of the span
+  size_t pages = 1;                    // span length in pages
+  bool ascending = true;               // transfer direction
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -80,6 +95,13 @@ class Scheduler {
   // Removes and returns the next reference to resolve; `head` is the
   // current disk head position.  Must not be called when Empty().
   virtual PendingRef Pop(PageId head) = 0;
+
+  // Vectored pop: the next reference plus everything else waiting on up to
+  // `max_run_pages` consecutive pages along the same sweep.  The default —
+  // and the only meaningful behavior for position-blind schedulers — is a
+  // single-ref run, which keeps them byte-identical to the Pop path.  Must
+  // not be called when Empty().
+  virtual RefRun PopRun(PageId head, size_t max_run_pages);
 
   // Drops all non-shared-owned references of complex object `id`
   // (predicate abort).
@@ -126,6 +148,7 @@ class ElevatorScheduler : public Scheduler {
   bool Empty() const override { return by_page_.empty(); }
   size_t Size() const override { return by_page_.size(); }
   PendingRef Pop(PageId head) override;
+  RefRun PopRun(PageId head, size_t max_run_pages) override;
   void RemoveComplex(uint64_t id) override;
   std::vector<PageId> PeekPages(PageId head, size_t k) const override;
 

@@ -1,5 +1,6 @@
 #include "buffer/buffer_manager.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -281,6 +282,199 @@ Result<PageGuard> BufferManager::FetchPage(PageId id) {
   shard.policy->RecordAccess(frame_index);
   NotePin(&frame);
   return PageGuard(this, &frame, id);
+}
+
+void BufferManager::FixRun(PageId first, size_t n, bool ascending,
+                           std::vector<Result<PageGuard>>* out) {
+  out->clear();
+  if (n == 0) {
+    return;
+  }
+  if (n - 1 > kInvalidPageId - first) {
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(Status::InvalidArgument("run overflows the page space"));
+    }
+    return;
+  }
+  if (n == 1) {
+    out->push_back(FetchPage(first));
+    return;
+  }
+
+  // Lock every shard the run touches, in shard-index order.  The canonical
+  // order makes concurrent FixRuns deadlock-free against each other, and
+  // FetchPage (single shard lock, waits only on the disk) cannot close a
+  // cycle.
+  std::vector<size_t> shard_indices;
+  shard_indices.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shard_indices.push_back(ShardIndex(first + i));
+  }
+  std::sort(shard_indices.begin(), shard_indices.end());
+  shard_indices.erase(
+      std::unique(shard_indices.begin(), shard_indices.end()),
+      shard_indices.end());
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shard_indices.size());
+  for (size_t s : shard_indices) {
+    locks.emplace_back(shards_[s]->mu);
+  }
+
+  // Phase 1: pin residents (and in-flight prefetches) as FetchPage would;
+  // obtain a frame for each miss.  Slots of pages still waiting on the
+  // vectored read hold a placeholder that phase 2 always overwrites.
+  struct MissingPage {
+    size_t offset = 0;  // page = first + offset
+    size_t frame = 0;   // frame index within the page's shard
+  };
+  std::vector<MissingPage> missing;
+  missing.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const PageId id = first + i;
+    Shard& shard = *shards_[ShardIndex(id)];
+    auto it = shard.page_table.find(id);
+    if (it != shard.page_table.end()) {
+      size_t frame_index = it->second;
+      Frame* frame = shard.frames[frame_index].get();
+      if (frame->has_pending) {
+        Status consumed = ConsumePending(&shard, frame_index, id);
+        if (!consumed.ok()) {
+          out->push_back(std::move(consumed));
+          continue;
+        }
+        shard.faults++;
+        if (listener_ != nullptr) listener_->OnBufferFault(id);
+        shard.faulted_pages.insert(id);
+      } else {
+        shard.hits++;
+        if (listener_ != nullptr) listener_->OnBufferHit(id);
+      }
+      shard.policy->RecordAccess(frame_index);
+      NotePin(frame);
+      out->push_back(PageGuard(this, frame, id));
+      continue;
+    }
+    Result<size_t> frame_index = ObtainFrame(&shard);
+    if (!frame_index.ok()) {
+      // Shard exhausted: report without reading; the page stays fetchable
+      // one-at-a-time once the caller releases other pins.
+      out->push_back(frame_index.status());
+      continue;
+    }
+    shard.frames[*frame_index]->data.resize(disk_->page_size());
+    out->push_back(Status::Internal("run read still pending"));
+    missing.push_back(MissingPage{i, *frame_index});
+  }
+
+  // Phase 2: serve each maximal consecutive group of misses with vectored
+  // reads.  A transient failure retries only the untransferred tail; a
+  // permanent failure (or exhausted retries) marks its own page and the
+  // transfer continues behind it.
+  const int max_attempts = options_.retry.max_read_attempts < 1
+                               ? 1
+                               : options_.retry.max_read_attempts;
+  size_t group_begin = 0;
+  while (group_begin < missing.size()) {
+    size_t group_end = group_begin;  // inclusive
+    while (group_end + 1 < missing.size() &&
+           missing[group_end + 1].offset == missing[group_end].offset + 1) {
+      group_end++;
+    }
+    const size_t m = group_end - group_begin + 1;
+    // t-th page of the group in transfer order.
+    auto at = [&](size_t t) -> MissingPage& {
+      return missing[ascending ? group_begin + t : group_end - t];
+    };
+    auto frame_of = [&](const MissingPage& mp) -> Frame& {
+      return *shards_[ShardIndex(first + mp.offset)]->frames[mp.frame];
+    };
+    std::vector<uint8_t> good(m, 0);  // indexed in transfer order
+    size_t pos = 0;
+    int attempt = 1;
+    while (pos < m) {
+      const size_t remaining = m - pos;
+      const PageId front_page = first + at(pos).offset;
+      const PageId low_page =
+          ascending ? front_page : front_page - (remaining - 1);
+      std::vector<std::byte*> outs(remaining, nullptr);
+      for (size_t t = 0; t < remaining; ++t) {
+        MissingPage& mp = at(pos + t);
+        outs[(first + mp.offset) - low_page] = frame_of(mp).data.data();
+      }
+      RunReadResult read =
+          disk_->ReadRun(low_page, remaining, ascending, outs.data());
+      for (size_t t = 0; t < read.pages_ok; ++t) {
+        good[pos + t] = 1;
+      }
+      if (read.pages_ok > 0) {
+        attempt = 1;  // the failing front page changed; restart its budget
+      }
+      pos += read.pages_ok;
+      if (pos >= m) {
+        break;
+      }
+      const PageId failed_page = first + at(pos).offset;
+      Shard& failed_shard = *shards_[ShardIndex(failed_page)];
+      if (read.status.IsUnavailable() && attempt < max_attempts) {
+        failed_shard.retries++;
+        if (listener_ != nullptr) {
+          listener_->OnBufferRetry(failed_page, attempt);
+        }
+        disk_->AddSeekPenalty(
+            static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
+            /*is_read=*/true);
+        attempt++;
+        continue;  // re-read from the same front page
+      }
+      if (read.status.IsUnavailable()) {
+        failed_shard.retries_exhausted++;
+      }
+      (*out)[at(pos).offset] = read.status;
+      pos++;  // the transfer resumes behind the bad page
+      attempt = 1;
+    }
+    // Finalize the group: verify checksums, publish good pages, free the
+    // frames of failed ones (they were never in the page table).
+    for (size_t t = 0; t < m; ++t) {
+      MissingPage& mp = at(t);
+      const PageId id = first + mp.offset;
+      Shard& shard = *shards_[ShardIndex(id)];
+      Frame& frame = frame_of(mp);
+      if (!good[t]) {
+        shard.free_list.push_back(mp.frame);
+        continue;
+      }
+      Status verified =
+          VerifyPageChecksum(frame.data.data(), frame.data.size(), id);
+      if (!verified.ok()) {
+        shard.checksum_failures++;
+        if (listener_ != nullptr) listener_->OnBufferChecksumFailure(id);
+        (*out)[mp.offset] = std::move(verified);
+        shard.free_list.push_back(mp.frame);
+        continue;
+      }
+      shard.faults++;
+      if (listener_ != nullptr) listener_->OnBufferFault(id);
+      shard.faulted_pages.insert(id);
+      frame.page_id = id;
+      frame.valid = true;
+      frame.dirty.store(false, std::memory_order_relaxed);
+      shard.page_table[id] = mp.frame;
+      shard.policy->RecordAccess(mp.frame);
+      NotePin(&frame);
+      (*out)[mp.offset] = PageGuard(this, &frame, id);
+    }
+    group_begin = group_end + 1;
+  }
+}
+
+void BufferManager::PrefetchRun(PageId first, size_t n) {
+  if (n == 0 || n - 1 > kInvalidPageId - first) {
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    (void)PrefetchPage(first + i);  // best effort, like single-page prefetch
+  }
 }
 
 Status BufferManager::PrefetchPage(PageId id) {

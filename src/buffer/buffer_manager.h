@@ -159,6 +159,26 @@ class BufferManager {
   // shard's free list on every error path.
   Result<PageGuard> FetchPage(PageId id);
 
+  // Vectored fetch of the consecutive run [first, first + n): resident
+  // pages are pinned as hits, missing pages are faulted in with as few
+  // Disk::ReadRun transfers as possible (consecutive misses share one
+  // transfer, issued in `ascending` direction).  (*out)[i] corresponds to
+  // page first + i and receives either a pinned guard or that page's own
+  // error; one bad page never poisons its neighbors.  Per-page semantics
+  // match FetchPage exactly: transient failures retry with backoff against
+  // the run's remaining tail (already-transferred pages are never re-read),
+  // checksums verify per page, and no error path leaks a frame or a pin.
+  // A page that cannot get a frame (shard exhausted mid-run) reports
+  // ResourceExhausted without any read — callers fall back to FetchPage
+  // after releasing other pins.
+  void FixRun(PageId first, size_t n, bool ascending,
+              std::vector<Result<PageGuard>>* out);
+
+  // Read-ahead for a whole run: best-effort PrefetchPage on every page of
+  // [first, first + n).  Over an AsyncDisk with coalescing enabled the
+  // submitted reads merge back into vectored transfers at the device.
+  void PrefetchRun(PageId first, size_t n);
+
   // Allocates `id` as a fresh zero-filled dirty page without a disk read.
   // Fails with AlreadyExists if the page is resident or on disk.
   Result<PageGuard> CreatePage(PageId id);

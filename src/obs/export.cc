@@ -10,6 +10,12 @@ JsonValue ToJson(const DiskStats& stats) {
   out.Set("write_seek_pages", stats.write_seek_pages);
   out.Set("avg_seek_per_read", stats.AvgSeekPerRead());
   out.Set("avg_seek_per_write", stats.AvgSeekPerWrite());
+  // Vectored-I/O fields appear only once a multi-page run happened, so
+  // single-page workloads keep the historical (golden) field set.
+  if (stats.coalesced_runs > 0) {
+    out.Set("pages_read", stats.pages_read);
+    out.Set("coalesced_runs", stats.coalesced_runs);
+  }
   return out;
 }
 

@@ -5,7 +5,8 @@
 namespace cobra::obs {
 
 RegistryPublisher::RegistryPublisher(Registry* registry, const Clock* clock)
-    : clock_(OrDefault(clock)),
+    : registry_(registry),
+      clock_(OrDefault(clock)),
       disk_reads_(registry->GetCounter("disk.reads")),
       disk_writes_(registry->GetCounter("disk.writes")),
       seek_distance_(registry->GetHistogram("disk.seek_distance")),
@@ -77,6 +78,33 @@ void RegistryPublisher::OnEvent(const AssemblyEvent& event) {
 void RegistryPublisher::OnDiskRead(PageId, uint64_t seek_pages) {
   disk_reads_->Inc();
   seek_distance_->Add(seek_pages);
+  // Once coalescing has appeared, single-page transfers contribute to the
+  // run-length mix too, so io.pages_per_read reflects the whole read stream.
+  if (io_pages_per_read_ != nullptr) {
+    io_pages_per_read_->Add(1);
+  }
+}
+
+void RegistryPublisher::BindRunInstruments() {
+  io_coalesced_runs_ = registry_->GetCounter("io.coalesced_runs");
+  io_run_length_ = registry_->GetHistogram("io.run_length");
+  io_pages_per_read_ = registry_->GetHistogram("io.pages_per_read");
+}
+
+void RegistryPublisher::OnDiskReadRun(PageId, size_t pages,
+                                      uint64_t seek_pages) {
+  disk_reads_->Inc();
+  seek_distance_->Add(seek_pages);
+  if (pages >= 2) {
+    if (io_coalesced_runs_ == nullptr) {
+      BindRunInstruments();
+    }
+    io_coalesced_runs_->Inc();
+    io_run_length_->Add(static_cast<uint64_t>(pages));
+  }
+  if (io_pages_per_read_ != nullptr) {
+    io_pages_per_read_->Add(static_cast<uint64_t>(pages));
+  }
 }
 
 void RegistryPublisher::OnDiskWrite(PageId, uint64_t seek_pages) {

@@ -47,6 +47,14 @@ class RegistryPublisher : public AssemblyObserver,
 
   void OnEvent(const AssemblyEvent& event) override;
   void OnDiskRead(PageId page, uint64_t seek_pages) override;
+  // Vectored reads keep disk.reads / disk.seek_distance comparable to the
+  // single-page regime (one read, one seek sample per transfer) and, once a
+  // multi-page run is seen, additionally publish io.coalesced_runs,
+  // io.run_length and io.pages_per_read.  The io.* instruments bind lazily
+  // on the first >= 2 page run so workloads that never coalesce produce
+  // output bit-identical to the pre-vectored registry.
+  void OnDiskReadRun(PageId first_page, size_t pages,
+                     uint64_t seek_pages) override;
   void OnDiskWrite(PageId page, uint64_t seek_pages) override;
   void OnDiskFault(PageId page, FaultKind kind) override;
   void OnBufferHit(PageId page) override;
@@ -56,6 +64,10 @@ class RegistryPublisher : public AssemblyObserver,
   void OnBufferChecksumFailure(PageId page) override;
 
  private:
+  // Creates the io.* instruments on first use (see OnDiskReadRun).
+  void BindRunInstruments();
+
+  Registry* registry_;
   const Clock* clock_;
 
   Counter* disk_reads_;
@@ -84,6 +96,12 @@ class RegistryPublisher : public AssemblyObserver,
   Histogram* window_occupancy_dist_;
   Histogram* pool_size_dist_;
   Histogram* fetch_latency_ns_;
+
+  // Lazily bound vectored-I/O instruments; null until the first multi-page
+  // run event so single-page workloads keep the historical registry shape.
+  Counter* io_coalesced_runs_ = nullptr;
+  Histogram* io_run_length_ = nullptr;
+  Histogram* io_pages_per_read_ = nullptr;
 
   uint64_t last_assembly_ns_ = 0;
   bool saw_assembly_event_ = false;
@@ -116,6 +134,12 @@ class TelemetryHub : public AssemblyObserver,
   void OnDiskRead(PageId page, uint64_t seek_pages) override {
     for (DiskEventListener* listener : disk_) {
       listener->OnDiskRead(page, seek_pages);
+    }
+  }
+  void OnDiskReadRun(PageId first_page, size_t pages,
+                     uint64_t seek_pages) override {
+    for (DiskEventListener* listener : disk_) {
+      listener->OnDiskReadRun(first_page, pages, seek_pages);
     }
   }
   void OnDiskWrite(PageId page, uint64_t seek_pages) override {

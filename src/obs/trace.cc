@@ -131,6 +131,17 @@ void TraceRecorder::OnDiskRead(PageId page, uint64_t seek_pages) {
   Push(out);
 }
 
+void TraceRecorder::OnDiskReadRun(PageId first_page, size_t pages,
+                                  uint64_t seek_pages) {
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kDiskRead;
+  out.ts_ns = clock_->NowNanos();
+  out.page = first_page;
+  out.seek_pages = seek_pages;
+  out.run_pages = pages == 0 ? 1 : pages;
+  Push(out);
+}
+
 void TraceRecorder::OnDiskWrite(PageId page, uint64_t seek_pages) {
   TraceEvent out;
   out.kind = TraceEvent::Kind::kDiskWrite;
@@ -253,11 +264,24 @@ JsonValue TraceRecorder::ToChromeTrace() const {
         break;
       case TraceEvent::Kind::kDiskRead:
       case TraceEvent::Kind::kDiskWrite:
-        e.Set("name", TraceEventKindName(event.kind));
-        e.Set("ph", "i");
-        e.Set("s", "t");
         e.Set("tid", kDiskTid);
-        e.Set("ts", micros(event.ts_ns));
+        if (event.kind == TraceEvent::Kind::kDiskRead &&
+            event.run_pages > 1) {
+          // Coalesced runs render as slices sized by their page count (one
+          // microsecond per page — the simulated disk has no wall-clock
+          // transfer time) so vectored transfers are visually distinct from
+          // the single-page instants around them.
+          e.Set("name", "disk-read-run");
+          e.Set("ph", "X");
+          e.Set("ts", micros(event.ts_ns));
+          e.Set("dur", static_cast<double>(event.run_pages));
+          args.Set("pages", event.run_pages);
+        } else {
+          e.Set("name", TraceEventKindName(event.kind));
+          e.Set("ph", "i");
+          e.Set("s", "t");
+          e.Set("ts", micros(event.ts_ns));
+        }
         args.Set("page", event.page);
         args.Set("seek_pages", event.seek_pages);
         break;

@@ -59,6 +59,9 @@ struct TraceEvent {
   Oid oid = kInvalidOid;
   PageId page = kInvalidPageId;
   uint64_t seek_pages = 0;
+  // Pages transferred by a kDiskRead (> 1 for a coalesced vectored run;
+  // the exporter renders those as run-sized slices instead of instants).
+  uint64_t run_pages = 1;
   int lane = -1;  // window-slot index for assembly events, else -1
 };
 
@@ -75,6 +78,8 @@ class TraceRecorder : public AssemblyObserver,
   void OnEvent(const AssemblyEvent& event) override;
   // DiskEventListener.
   void OnDiskRead(PageId page, uint64_t seek_pages) override;
+  void OnDiskReadRun(PageId first_page, size_t pages,
+                     uint64_t seek_pages) override;
   void OnDiskWrite(PageId page, uint64_t seek_pages) override;
   // BufferEventListener.
   void OnBufferHit(PageId page) override;

@@ -1,6 +1,7 @@
 #include "storage/async_disk.h"
 
 #include <chrono>
+#include <cstring>
 #include <utility>
 
 namespace cobra {
@@ -15,29 +16,72 @@ constexpr auto kBatchWait = std::chrono::microseconds(200);
 }  // namespace
 
 std::optional<uint64_t> ElevatorIoQueue::PopNext(PageId head) {
-  if (by_page_.empty()) {
+  auto it = ScanNext(by_page_, head, &sweeping_up_);
+  if (it == by_page_.end()) {
     return std::nullopt;
   }
-  // Mirrors ElevatorScheduler::Pop (assembly/scheduler.cc): continue in the
-  // current direction, reverse when nothing remains ahead of the head.
-  auto take = [this](std::multimap<PageId, uint64_t>::iterator it) {
-    uint64_t ticket = it->second;
-    by_page_.erase(it);
-    return ticket;
-  };
-  if (sweeping_up_) {
-    auto it = by_page_.lower_bound(head);
-    if (it != by_page_.end()) {
-      return take(it);
+  uint64_t ticket = it->second.ticket;
+  by_page_.erase(it);
+  return ticket;
+}
+
+std::optional<IoRun> ElevatorIoQueue::PopRun(PageId head,
+                                             size_t max_run_pages) {
+  auto it = ScanNext(by_page_, head, &sweeping_up_);
+  if (it == by_page_.end()) {
+    return std::nullopt;
+  }
+  IoRun run;
+  run.ascending = sweeping_up_;
+  const PageId entry = it->first;
+  // FIFO among the entry page's waiters: start from its *oldest* request
+  // (ScanNext lands on the newest one on a down-sweep), then drain the read
+  // prefix — reads enqueued after a write must not overtake it.
+  auto oldest = by_page_.lower_bound(entry);
+  run.is_read = oldest->second.is_read;
+  run.tickets.emplace_back(entry, oldest->second.ticket);
+  by_page_.erase(oldest);
+  run.first = entry;
+  if (!run.is_read || max_run_pages <= 1) {
+    return run;
+  }
+  for (auto next = by_page_.lower_bound(entry);
+       next != by_page_.end() && next->first == entry && next->second.is_read;
+       next = by_page_.lower_bound(entry)) {
+    run.tickets.emplace_back(entry, next->second.ticket);
+    by_page_.erase(next);
+  }
+  // Coalesce consecutive pages along the sweep direction.  A reversal never
+  // happens inside a run: extension stops at the first gap.
+  PageId cursor = entry;
+  while (run.pages < max_run_pages) {
+    if (run.ascending ? cursor >= kInvalidPageId - 1 : cursor == 0) {
+      break;  // edge of the page space
     }
-    sweeping_up_ = false;
+    const PageId next_page = run.ascending ? cursor + 1 : cursor - 1;
+    auto [lo, hi] = by_page_.equal_range(next_page);
+    if (lo == hi) {
+      break;
+    }
+    bool all_reads = true;
+    for (auto w = lo; w != hi; ++w) {
+      if (!w->second.is_read) {
+        all_reads = false;
+        break;
+      }
+    }
+    if (!all_reads) {
+      break;
+    }
+    for (auto w = lo; w != hi; ++w) {
+      run.tickets.emplace_back(next_page, w->second.ticket);
+    }
+    by_page_.erase(lo, hi);
+    cursor = next_page;
+    run.pages++;
   }
-  auto it = by_page_.upper_bound(head);
-  if (it != by_page_.begin()) {
-    return take(std::prev(it));
-  }
-  sweeping_up_ = true;
-  return take(by_page_.begin());
+  run.first = run.ascending ? entry : cursor;
+  return run;
 }
 
 AsyncDisk::AsyncDisk(SimulatedDisk* backing)
@@ -65,7 +109,7 @@ std::shared_future<Status> AsyncDisk::Submit(Request request) {
     } else {
       stats_.writes_submitted++;
     }
-    queue_.Push(request.page, ticket);
+    queue_.Push(request.page, ticket, request.is_read);
     pending_.emplace(ticket, std::move(request));
     size_t depth = pending_.size();
     if (depth > stats_.max_queue_depth) {
@@ -109,6 +153,47 @@ void AsyncDisk::set_target_queue_depth(size_t depth) {
   work_cv_.notify_all();
 }
 
+void AsyncDisk::set_max_run_pages(size_t pages) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_run_pages_ = pages == 0 ? 1 : pages;
+  }
+  work_cv_.notify_all();
+}
+
+RunReadResult AsyncDisk::ReadRun(PageId first, size_t n, bool ascending,
+                                 std::byte* const* outs) {
+  RunReadResult result;
+  if (n == 0) {
+    result.status = Status::InvalidArgument("empty run");
+    return result;
+  }
+  if (n - 1 > kInvalidPageId - first) {
+    result.status = Status::InvalidArgument("run overflows the page space");
+    return result;
+  }
+  std::vector<std::shared_future<Status>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(SubmitRead(first + i, outs[i]));
+  }
+  // Report the good prefix in transfer order, matching the base contract.
+  std::vector<Status> statuses;
+  statuses.reserve(n);
+  for (auto& future : futures) {
+    statuses.push_back(future.get());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t offset = ascending ? i : n - 1 - i;
+    if (!statuses[offset].ok()) {
+      result.status = statuses[offset];
+      return result;
+    }
+    result.pages_ok++;
+  }
+  return result;
+}
+
 void AsyncDisk::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   drain_cv_.wait(lock, [this] { return pending_.empty() && in_flight_ == 0; });
@@ -143,21 +228,113 @@ void AsyncDisk::IoLoop() {
     if (pending_.size() >= 2) {
       stats_.merged_picks++;
     }
-    std::optional<uint64_t> ticket = queue_.PopNext(backing_->head());
-    Request request = std::move(pending_.at(*ticket));
-    pending_.erase(*ticket);
-    in_flight_++;
-    lock.unlock();
-    Status status = request.is_read
-                        ? backing_->ReadPage(request.page, request.out)
-                        : backing_->WritePage(request.page, request.in);
-    request.promise.set_value(status);
-    lock.lock();
-    in_flight_--;
+    if (max_run_pages_ <= 1) {
+      // Historical page-at-a-time service: identical picks, identical stats.
+      std::optional<uint64_t> ticket = queue_.PopNext(backing_->head());
+      Request request = std::move(pending_.at(*ticket));
+      pending_.erase(*ticket);
+      in_flight_++;
+      lock.unlock();
+      Status status = request.is_read
+                          ? backing_->ReadPage(request.page, request.out)
+                          : backing_->WritePage(request.page, request.in);
+      request.promise.set_value(status);
+      lock.lock();
+      in_flight_--;
+    } else {
+      std::optional<IoRun> run =
+          queue_.PopRun(backing_->head(), max_run_pages_);
+      ServeRun(std::move(*run), lock);
+    }
     if (pending_.empty() && in_flight_ == 0) {
       drain_cv_.notify_all();
     }
   }
+}
+
+void AsyncDisk::ServeRun(IoRun run, std::unique_lock<std::mutex>& lock) {
+  // Pull every ticket's Request out of the pending map.  `executing` stays
+  // in transfer order (grouped by page, FIFO within a page).
+  std::vector<std::pair<PageId, Request>> executing;
+  executing.reserve(run.tickets.size());
+  for (const auto& [page, ticket] : run.tickets) {
+    executing.emplace_back(page, std::move(pending_.at(ticket)));
+    pending_.erase(ticket);
+  }
+  in_flight_ += executing.size();
+  lock.unlock();
+
+  if (!run.is_read) {
+    // Writes are never coalesced: exactly one ticket.
+    Request& request = executing.front().second;
+    request.promise.set_value(backing_->WritePage(request.page, request.in));
+  } else if (run.pages == 1 && executing.size() == 1) {
+    Request& request = executing.front().second;
+    request.promise.set_value(backing_->ReadPage(request.page, request.out));
+  } else {
+    // One vectored backing transfer; the first waiter of each page is the
+    // scatter target, later waiters copy from it on success.
+    std::vector<std::byte*> outs(run.pages, nullptr);
+    for (auto& [page, request] : executing) {
+      const size_t offset = static_cast<size_t>(page - run.first);
+      if (outs[offset] == nullptr) {
+        outs[offset] = request.out;
+      }
+    }
+    RunReadResult result =
+        backing_->ReadRun(run.first, run.pages, run.ascending, outs.data());
+
+    // Offsets (relative to run.first) of the good prefix, the failed page,
+    // and the untouched tail — all derived from transfer order.
+    auto transfer_offset = [&](size_t position) {
+      return run.ascending ? position : run.pages - 1 - position;
+    };
+    std::vector<int> page_state(run.pages, 0);  // 0 = untouched
+    for (size_t p = 0; p < result.pages_ok; ++p) {
+      page_state[transfer_offset(p)] = 1;  // good
+    }
+    if (!result.status.ok() && result.pages_ok < run.pages) {
+      page_state[transfer_offset(result.pages_ok)] = -1;  // failed
+    }
+
+    std::vector<Request> requeue;
+    for (auto& [page, request] : executing) {
+      const size_t offset = static_cast<size_t>(page - run.first);
+      switch (page_state[offset]) {
+        case 1:
+          if (request.out != outs[offset]) {
+            std::memcpy(request.out, outs[offset], backing_->page_size());
+          }
+          request.promise.set_value(Status::OK());
+          break;
+        case -1:
+          // The faulty page's waiters see the per-page error; the buffer
+          // layer's retry policy decides what happens next.
+          request.promise.set_value(result.status);
+          break;
+        default:
+          // Never reached by the device — goes back in the queue and will
+          // be served by a later (likely coalesced) pick.
+          requeue.push_back(std::move(request));
+          break;
+      }
+    }
+    if (result.pages_ok >= 2) {
+      std::lock_guard<std::mutex> stats_lock(mu_);
+      stats_.coalesced_runs++;
+    }
+    if (!requeue.empty()) {
+      std::lock_guard<std::mutex> requeue_lock(mu_);
+      for (Request& request : requeue) {
+        uint64_t ticket = next_ticket_++;
+        queue_.Push(request.page, ticket, request.is_read);
+        pending_.emplace(ticket, std::move(request));
+      }
+    }
+  }
+
+  lock.lock();
+  in_flight_ -= executing.size() /* completed or requeued */;
 }
 
 }  // namespace cobra

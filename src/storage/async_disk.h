@@ -42,11 +42,25 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/disk.h"
 
 namespace cobra {
+
+// One coalesced pick from the queue: every request on up to `pages`
+// consecutive pages, served as a single transfer in `ascending` direction.
+// `tickets` lists (page, ticket) pairs in transfer order, FIFO within a
+// page.  Writes never coalesce (a write run is always one ticket).
+struct IoRun {
+  PageId first = kInvalidPageId;  // lowest page of the run
+  size_t pages = 1;               // distinct consecutive pages
+  bool ascending = true;
+  bool is_read = true;
+  std::vector<std::pair<PageId, uint64_t>> tickets;
+};
 
 // SCAN-ordered request queue keyed by page: continue in the current sweep
 // direction from the head, reverse at the end; FIFO among requests for the
@@ -54,18 +68,35 @@ namespace cobra {
 // queue mutex.  Exposed for the scheduler property tests.
 class ElevatorIoQueue {
  public:
-  void Push(PageId page, uint64_t ticket) { by_page_.emplace(page, ticket); }
+  void Push(PageId page, uint64_t ticket, bool is_read = true) {
+    by_page_.emplace(page, Waiter{ticket, is_read});
+  }
 
   // Removes and returns the ticket of the next request to serve given the
   // current head position.  nullopt when empty.
   std::optional<uint64_t> PopNext(PageId head);
+
+  // Vectored pop: picks the SCAN-next request, then coalesces reads waiting
+  // on consecutive pages further along the current sweep direction, bounded
+  // by `max_run_pages` distinct pages.  A run never spans a sweep reversal
+  // (coalescing only continues the direction the first pick established)
+  // and never reorders a page's FIFO: the entry page contributes its oldest
+  // waiters up to (not including) its first queued write, and an extension
+  // page joins only if every waiter on it is a read.  A write is therefore
+  // always served alone.  nullopt when empty.
+  std::optional<IoRun> PopRun(PageId head, size_t max_run_pages);
 
   bool empty() const { return by_page_.empty(); }
   size_t size() const { return by_page_.size(); }
   bool sweeping_up() const { return sweeping_up_; }
 
  private:
-  std::multimap<PageId, uint64_t> by_page_;
+  struct Waiter {
+    uint64_t ticket = 0;
+    bool is_read = true;
+  };
+
+  std::multimap<PageId, Waiter> by_page_;
   bool sweeping_up_ = true;
 };
 
@@ -77,6 +108,9 @@ struct AsyncDiskStats {
   // Times the I/O thread served a request picked among >= 2 pending ones
   // (an actual cross-client elevator decision).
   uint64_t merged_picks = 0;
+  // Times the I/O thread served >= 2 consecutive pages as one vectored
+  // transfer (requires set_max_run_pages(>= 2)).
+  uint64_t coalesced_runs = 0;
 };
 
 class AsyncDisk : public SimulatedDisk {
@@ -96,6 +130,14 @@ class AsyncDisk : public SimulatedDisk {
   std::shared_future<Status> SubmitRead(PageId id, std::byte* out) override;
   std::shared_future<Status> SubmitWrite(PageId id, const std::byte* data);
 
+  // Vectored read through the queue: submits one request per page and waits
+  // for all of them.  With set_max_run_pages(>= n) and no competing traffic
+  // the I/O thread serves them as one backing ReadRun; under competition
+  // they may be split or merged with other clients' adjacent requests.  The
+  // result reports the good prefix in transfer order, like the base class.
+  RunReadResult ReadRun(PageId first, size_t n, bool ascending,
+                        std::byte* const* outs) override;
+
   // Forwarded to the backing disk (its head is the one that moves).
   bool Exists(PageId id) const override { return backing_->Exists(id); }
   PageId head() const override { return backing_->head(); }
@@ -107,6 +149,11 @@ class AsyncDisk : public SimulatedDisk {
   // serving (bounded by a short wait so a CPU-busy client cannot stall the
   // device).  Set it to the number of concurrently running clients.
   void set_target_queue_depth(size_t depth);
+
+  // Upper bound on how many consecutive pages the I/O thread may coalesce
+  // into one backing transfer.  1 (the default) preserves the historical
+  // page-at-a-time service exactly — same picks, same stats.
+  void set_max_run_pages(size_t pages);
 
   // Blocks until every submitted request has completed.
   void Drain();
@@ -125,6 +172,9 @@ class AsyncDisk : public SimulatedDisk {
 
   std::shared_future<Status> Submit(Request request);
   void IoLoop();
+  // Serves one coalesced pick.  Entered with `lock` held; returns with it
+  // held.  The backing transfer itself runs unlocked.
+  void ServeRun(IoRun run, std::unique_lock<std::mutex>& lock);
 
   SimulatedDisk* backing_;
 
@@ -135,6 +185,7 @@ class AsyncDisk : public SimulatedDisk {
   std::unordered_map<uint64_t, Request> pending_;
   uint64_t next_ticket_ = 0;
   size_t target_depth_ = 1;
+  size_t max_run_pages_ = 1;
   size_t in_flight_ = 0;
   bool stop_ = false;
   AsyncDiskStats stats_;

@@ -70,11 +70,81 @@ Status SimulatedDisk::ReadPageLocked(PageId id, std::byte* out) {
     return Status::NotFound("page " + std::to_string(id) + " never written");
   }
   ChargeSeek(id, /*is_read=*/true);
+  stats_.pages_read++;
   if (trace_enabled_) {
     read_trace_.push_back(id);
   }
   std::memcpy(out, it->second.data(), options_.page_size);
   return Status::OK();
+}
+
+RunReadResult SimulatedDisk::ReadRun(PageId first, size_t n, bool ascending,
+                                     std::byte* const* outs) {
+  RunReadResult result;
+  if (n == 0) {
+    result.status = Status::InvalidArgument("empty run");
+    return result;
+  }
+  if (n - 1 > kInvalidPageId - first) {
+    result.status = Status::InvalidArgument("run overflows the page space");
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(io_mu_);
+  const PageId entry = ascending ? first : first + (n - 1);
+  uint64_t travel = 0;       // head movement only (what the listener reports)
+  size_t transferred = 0;    // pages physically moved over the bus
+  size_t good = 0;           // usable prefix (transferred minus a faulted tail)
+  for (size_t i = 0; i < n; ++i) {
+    const size_t offset = ascending ? i : n - 1 - i;
+    const PageId page = first + offset;
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      result.status =
+          Status::NotFound("page " + std::to_string(page) + " never written");
+      break;
+    }
+    // The entry page pays the positioning seek and counts the transfer; the
+    // rest of the run is sequential, one page of travel each.
+    const uint64_t distance =
+        transferred == 0
+            ? SeekDistancePages(page, head_.load(std::memory_order_relaxed))
+            : 1;
+    if (transferred == 0) {
+      stats_.reads++;
+    }
+    stats_.read_seek_pages += distance;
+    stats_.pages_read++;
+    travel += distance;
+    head_.store(page, std::memory_order_relaxed);
+    if (trace_enabled_) {
+      read_trace_.push_back(page);
+    }
+    std::memcpy(outs[offset], it->second.data(), options_.page_size);
+    ++transferred;
+    uint64_t penalty = 0;
+    Status injected = InjectRunPageFault(page, outs[offset], &penalty);
+    if (penalty > 0) {
+      AddSeekPenaltyLocked(penalty, /*is_read=*/true);
+    }
+    if (!injected.ok()) {
+      // The page was physically visited (seek charged, trace recorded) but
+      // its payload is not usable — exclude it from the good prefix, exactly
+      // like a failed single-page read.
+      result.status = std::move(injected);
+      break;
+    }
+    ++good;
+  }
+  result.pages_ok = good;
+  if (transferred > 0) {
+    if (transferred >= 2) {
+      stats_.coalesced_runs++;
+    }
+    if (listener_ != nullptr) {
+      listener_->OnDiskReadRun(entry, transferred, travel);
+    }
+  }
+  return result;
 }
 
 std::shared_future<Status> SimulatedDisk::SubmitRead(PageId id,

@@ -37,6 +37,39 @@ namespace cobra {
 using PageId = uint64_t;
 inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
 
+// |a - b| in pages: the simulated device's cost of moving the head between
+// two positions.
+inline uint64_t SeekDistancePages(PageId a, PageId b) {
+  return a > b ? a - b : b - a;
+}
+
+// One step of a SCAN (elevator) sweep over a position-keyed ordered multimap:
+// continue in the current direction from `head`, reverse when nothing remains
+// ahead.  Returns the entry to serve (end() only when the map is empty) and
+// updates `*sweeping_up` in place.  Shared by the per-query ElevatorScheduler
+// (assembly/scheduler.cc) and the cross-client ElevatorIoQueue
+// (storage/async_disk.cc), which used to duplicate this arithmetic.
+template <typename Map>
+typename Map::iterator ScanNext(Map& map, PageId head, bool* sweeping_up) {
+  if (map.empty()) {
+    return map.end();
+  }
+  if (*sweeping_up) {
+    auto it = map.lower_bound(head);
+    if (it != map.end()) {
+      return it;
+    }
+    *sweeping_up = false;
+  }
+  // Sweeping down: the largest key <= head; if none, reverse again.
+  auto it = map.upper_bound(head);
+  if (it != map.begin()) {
+    return std::prev(it);
+  }
+  *sweeping_up = true;
+  return map.begin();
+}
+
 struct DiskOptions {
   size_t page_size = 1024;  // The paper's 1 KB pages.
 };
@@ -48,6 +81,13 @@ struct DiskStats {
   uint64_t writes = 0;
   uint64_t read_seek_pages = 0;
   uint64_t write_seek_pages = 0;
+  // Vectored-I/O accounting: `reads` counts transfers (one per ReadRun call
+  // that moves data), `pages_read` counts pages moved, and `coalesced_runs`
+  // counts transfers that moved two or more pages.  All three stay in
+  // lockstep with the single-page path (pages_read == reads) until a caller
+  // actually coalesces, which keeps the seed goldens bit-identical.
+  uint64_t pages_read = 0;
+  uint64_t coalesced_runs = 0;
 
   // The paper's headline metric: average seek distance per read, in pages.
   double AvgSeekPerRead() const {
@@ -75,6 +115,16 @@ enum class FaultKind {
 
 const char* FaultKindName(FaultKind kind);
 
+// Outcome of a vectored read.  `pages_ok` is the length of the successfully
+// transferred prefix *in transfer order* (from the entry page toward the far
+// end of the run); `status` is OK only when the whole run transferred.  A
+// faulty or missing page terminates the run: pages before it are good, the
+// error names the failure, and pages after it were never touched.
+struct RunReadResult {
+  size_t pages_ok = 0;
+  Status status = Status::OK();
+};
+
 // Per-operation event hook (telemetry).  The listener fires on every page
 // read/write *after* the seek is charged; `seek_pages` is the head travel
 // the operation cost.  Implementations must not touch the disk re-entrantly.
@@ -83,6 +133,16 @@ class DiskEventListener {
   virtual ~DiskEventListener() = default;
   virtual void OnDiskRead(PageId page, uint64_t seek_pages) = 0;
   virtual void OnDiskWrite(PageId page, uint64_t seek_pages) = 0;
+  // Fired once per ReadRun transfer that moved data: `first_page` is the
+  // entry page (first in transfer order), `pages` the number of pages moved,
+  // `seek_pages` the total head travel of the transfer.  Default forwards to
+  // OnDiskRead so run-unaware listeners keep counting one event per transfer
+  // with the full seek cost — exactly what they saw before vectored I/O.
+  virtual void OnDiskReadRun(PageId first_page, size_t pages,
+                             uint64_t seek_pages) {
+    (void)pages;
+    OnDiskRead(first_page, seek_pages);
+  }
   // Fired by a fault-injecting disk when a read is sabotaged.  Default
   // no-op so existing listeners need no change.
   virtual void OnDiskFault(PageId page, FaultKind kind) {
@@ -109,6 +169,20 @@ class SimulatedDisk {
 
   // Writes page `id` from `data` (page_size() bytes), allocating it if new.
   virtual Status WritePage(PageId id, const std::byte* data);
+
+  // Vectored read of the consecutive run [first, first + n).  `outs[i]`
+  // receives page `first + i` and must hold page_size() bytes.  The transfer
+  // enters at the run end matching `ascending` (first page when ascending,
+  // last when descending) and moves the head sequentially across the run, so
+  // the cost is one positioning seek of |entry - head| pages plus one page of
+  // travel per additional page — on either sweep direction the head travels
+  // exactly as far as n single-page SCAN reads would, but the device serves
+  // it as ONE transfer (stats().reads += 1, pages_read += n).  A missing or
+  // faulty page splits the run per RunReadResult; its seek cost (if any) is
+  // still charged, and untouched trailing pages cost nothing.  n == 1 is
+  // accounting-identical to ReadPage.
+  virtual RunReadResult ReadRun(PageId first, size_t n, bool ascending,
+                                std::byte* const* outs);
 
   // Asynchronous read: the base implementation executes synchronously and
   // returns an already-satisfied future; AsyncDisk queues the request and
@@ -177,6 +251,21 @@ class SimulatedDisk {
   // fault-injecting subclasses.
   void NotifyFault(PageId page, FaultKind kind) {
     if (listener_ != nullptr) listener_->OnDiskFault(page, kind);
+  }
+
+  // Per-page sabotage hook for vectored reads, called by ReadRun under
+  // io_mu_ after each page's payload lands in its output buffer.  The
+  // default injects nothing.  FaultInjectingDisk overrides it to apply the
+  // same deterministic per-(page, attempt) fault schedule the single-page
+  // path uses; implementations must only take leaf locks (never io_mu_) and
+  // report latency-style costs through `*penalty_pages` instead of calling
+  // AddSeekPenalty.
+  virtual Status InjectRunPageFault(PageId id, std::byte* out,
+                                    uint64_t* penalty_pages) {
+    (void)id;
+    (void)out;
+    (void)penalty_pages;
+    return Status::OK();
   }
 
  protected:

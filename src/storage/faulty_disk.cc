@@ -35,6 +35,24 @@ Status FaultInjectingDisk::ReadPage(PageId id, std::byte* out) {
   if (!enabled_ || !base.ok()) {
     return base;
   }
+  uint64_t penalty = 0;
+  Status injected = DrawPageFault(id, out, &penalty);
+  if (penalty > 0) {
+    AddSeekPenalty(penalty, /*is_read=*/true);
+  }
+  return injected;
+}
+
+Status FaultInjectingDisk::InjectRunPageFault(PageId id, std::byte* out,
+                                              uint64_t* penalty_pages) {
+  if (!enabled_) {
+    return Status::OK();
+  }
+  return DrawPageFault(id, out, penalty_pages);
+}
+
+Status FaultInjectingDisk::DrawPageFault(PageId id, std::byte* out,
+                                         uint64_t* penalty_pages) {
   std::lock_guard<std::mutex> lock(fault_mu_);
   uint64_t attempt = ++attempts_[id];
 
@@ -62,7 +80,7 @@ Status FaultInjectingDisk::ReadPage(PageId id, std::byte* out) {
   if (profile_.extra_latency > 0.0 &&
       Draw(id, attempt, 2) < profile_.extra_latency) {
     fault_stats_.latency_injections++;
-    AddSeekPenalty(profile_.latency_seek_pages, /*is_read=*/true);
+    *penalty_pages += profile_.latency_seek_pages;
     NotifyFault(id, FaultKind::kExtraLatency);
   }
 

@@ -105,7 +105,20 @@ class FaultInjectingDisk : public SimulatedDisk {
     attempts_.clear();
   }
 
+ protected:
+  // Vectored-read sabotage: ReadRun calls this per page under io_mu_.
+  // Applies the identical (seed, page, attempt) schedule as ReadPage —
+  // coalescing a run never changes which faults fire, only how they are
+  // delivered (the run splits at the faulty page).
+  Status InjectRunPageFault(PageId id, std::byte* out,
+                            uint64_t* penalty_pages) override;
+
  private:
+  // The shared fault schedule: draws this page's next attempt under
+  // fault_mu_ and applies any fault to `out`.  Latency-style cost is
+  // reported through `*penalty_pages`; the caller charges it.
+  Status DrawPageFault(PageId id, std::byte* out, uint64_t* penalty_pages);
+
   // Deterministic uniform double in [0, 1) from (seed, page, attempt, salt).
   double Draw(PageId id, uint64_t attempt, uint64_t salt) const;
   uint64_t Mix(PageId id, uint64_t attempt, uint64_t salt) const;
@@ -113,9 +126,10 @@ class FaultInjectingDisk : public SimulatedDisk {
   FaultProfile profile_;
   bool enabled_ = false;
   // Guards attempts_ and fault_stats_ (injection decisions), so concurrent
-  // readers draw from one coherent per-page attempt sequence.  Ordered
-  // strictly before the base class's I/O mutex: fault bookkeeping may issue
-  // AddSeekPenalty, never the reverse.
+  // readers draw from one coherent per-page attempt sequence.  This is a
+  // leaf lock: nothing is called out to while it is held (latency penalties
+  // are returned to the caller, not charged inline), so it is safe to take
+  // both with and without the base class's I/O mutex held.
   mutable std::mutex fault_mu_;
   std::unordered_map<PageId, uint64_t> attempts_;
   FaultStats fault_stats_;

@@ -515,5 +515,181 @@ TEST(DegradedAssemblyPinTest, SkipObjectUnderBitFlipsLeavesPoolUnpinned) {
   EXPECT_GT(db->buffer->stats().checksum_failures, 0u);
 }
 
+// ------------------------------------------- vectored reads under faults
+
+// SimulatedDisk with a deterministic per-page fault hook: `fault_page`
+// rejects its next `remaining_faults` run transfers with the given status.
+// Tests the ReadRun/FixRun splitting machinery without the probabilistic
+// injector.
+class OnePageFaultDisk : public SimulatedDisk {
+ public:
+  PageId fault_page = kInvalidPageId;
+  int remaining_faults = 0;
+  Status fault = Status::Unavailable("injected");
+
+ protected:
+  Status InjectRunPageFault(PageId id, std::byte*, uint64_t*) override {
+    if (id == fault_page && remaining_faults != 0) {
+      if (remaining_faults > 0) --remaining_faults;
+      return fault;
+    }
+    return Status::OK();
+  }
+};
+
+TEST(VectoredFaultTest, MidRunTransientFaultRetriesOnlyTheTail) {
+  OnePageFaultDisk disk;
+  WriteStampedPages(&disk, 6);
+  disk.fault_page = 3;
+  disk.remaining_faults = 1;
+  disk.ParkHead(0);
+  disk.ResetStats();
+
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 8});
+  std::vector<Result<PageGuard>> out;
+  buffer.FixRun(0, 6, /*ascending=*/true, &out);
+  ASSERT_EQ(out.size(), 6u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_TRUE(out[i].ok()) << "page " << i << ": "
+                             << out[i].status().ToString();
+    EXPECT_EQ(out[i]->data()[100], static_cast<std::byte>(i + 1));
+  }
+  // The fault split one coalesced transfer in two: pages 0-2 landed before
+  // the fault, the retry re-read only the tail 3-5 — never the good prefix.
+  EXPECT_EQ(disk.stats().reads, 2u);
+  EXPECT_EQ(disk.stats().pages_read, 7u);  // 0,1,2,3(faulted) + 3,4,5
+  EXPECT_EQ(buffer.stats().retries, 1u);
+  EXPECT_EQ(buffer.stats().retries_exhausted, 0u);
+  // Travel: 3 sequential transfers + re-entry at page 3 (0) + 2 transfers,
+  // plus one 16-page retry backoff for the failed attempt.
+  EXPECT_EQ(disk.stats().read_seek_pages, 3u + 2u + 16u);
+  out.clear();
+  EXPECT_EQ(buffer.pinned_frames(), 0u);
+}
+
+TEST(VectoredFaultTest, MidRunPermanentFaultPoisonsOnlyItsPage) {
+  OnePageFaultDisk disk;
+  WriteStampedPages(&disk, 5);
+  disk.fault_page = 2;
+  disk.remaining_faults = -1;  // never recovers
+  disk.fault = Status::Corruption("bad sector");
+  disk.ParkHead(0);
+  disk.ResetStats();
+
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 8});
+  std::vector<Result<PageGuard>> out;
+  buffer.FixRun(0, 5, /*ascending=*/true, &out);
+  ASSERT_EQ(out.size(), 5u);
+  for (size_t i : {0u, 1u, 3u, 4u}) {
+    EXPECT_TRUE(out[i].ok()) << "page " << i;
+  }
+  EXPECT_TRUE(out[2].status().IsCorruption());
+  // Permanent faults are never retried: the run resumed past the bad page.
+  EXPECT_EQ(disk.stats().reads, 2u);
+  EXPECT_EQ(buffer.stats().retries, 0u);
+  out.clear();
+  EXPECT_EQ(buffer.pinned_frames(), 0u);
+  // The poisoned page is not cached: a later fetch re-reads (and fails
+  // again while the fault persists).
+  EXPECT_FALSE(buffer.IsResident(2));
+}
+
+TEST(VectoredFaultTest, ChecksumVerifiesPerPageWithinARun) {
+  SimulatedDisk disk;
+  WriteStampedPages(&disk, 3);
+  // Corrupt page 1's payload behind the checksum's back.
+  std::vector<std::byte> raw(disk.page_size());
+  ASSERT_TRUE(disk.ReadPage(1, raw.data()).ok());
+  raw[200] ^= std::byte{0xFF};
+  ASSERT_TRUE(disk.WritePage(1, raw.data()).ok());
+  disk.ResetStats();
+
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 8});
+  std::vector<Result<PageGuard>> out;
+  buffer.FixRun(0, 3, /*ascending=*/true, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].ok());
+  EXPECT_TRUE(out[1].status().IsCorruption());
+  EXPECT_TRUE(out[2].ok());
+  // One coalesced transfer moved all three pages; only page 1 was rejected.
+  EXPECT_EQ(disk.stats().reads, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 3u);
+  EXPECT_EQ(buffer.stats().checksum_failures, 1u);
+  out.clear();
+  EXPECT_EQ(buffer.pinned_frames(), 0u);
+}
+
+TEST(VectoredFaultTest, FixRunMixesHitsAndMissesWithoutRereads) {
+  SimulatedDisk disk;
+  WriteStampedPages(&disk, 6);
+  BufferManager buffer(&disk, BufferOptions{.num_frames = 8});
+  // Warm pages 1 and 4; the run must pin them as hits and read the rest in
+  // consecutive-miss groups.
+  { auto g = buffer.FetchPage(1); ASSERT_TRUE(g.ok()); }
+  { auto g = buffer.FetchPage(4); ASSERT_TRUE(g.ok()); }
+  disk.ResetStats();
+  std::vector<Result<PageGuard>> out;
+  buffer.FixRun(0, 6, /*ascending=*/true, &out);
+  ASSERT_EQ(out.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(out[i].ok()) << "page " << i;
+    EXPECT_EQ(out[i]->data()[100], static_cast<std::byte>(i + 1));
+  }
+  // Miss groups {0}, {2,3}, {5}: three transfers, four pages, zero rereads
+  // of the resident pages.
+  EXPECT_EQ(disk.stats().reads, 3u);
+  EXPECT_EQ(disk.stats().pages_read, 4u);
+  EXPECT_EQ(buffer.stats().hits, 2u);
+  out.clear();
+  EXPECT_EQ(buffer.pinned_frames(), 0u);
+}
+
+TEST(DegradedAssemblyPinTest, VectoredSkipObjectUnderBitFlipsStaysUnpinned) {
+  // The io_batch=8 twin of SkipObjectUnderBitFlipsLeavesPoolUnpinned:
+  // corrupt reads arriving through coalesced FixRun transfers must degrade
+  // exactly as gracefully — no pinned frame survives the query, and the
+  // admitted = emitted + aborted + dropped invariant holds.
+  AcobOptions options;
+  options.num_complex_objects = 60;
+  options.clustering = Clustering::kUnclustered;
+  options.seed = 42;
+  options.faults.seed = 99;
+  options.faults.bit_flip = 0.10;
+  auto built = BuildAcobDatabase(options);
+  ASSERT_TRUE(built.ok());
+  auto db = std::move(*built);
+  ASSERT_TRUE(db->ColdRestart().ok());
+
+  std::vector<exec::Row> rows;
+  for (Oid root : db->roots) rows.push_back(exec::Row{exec::Value::Ref(root)});
+  AssemblyOptions assembly;
+  assembly.window_size = 10;
+  assembly.scheduler = SchedulerKind::kElevator;
+  assembly.error_policy = ErrorPolicy::kSkipObject;
+  assembly.io_batch_pages = 8;
+  AssemblyOperator op(std::make_unique<exec::VectorScan>(std::move(rows)),
+                      &db->tmpl, db->store.get(), assembly);
+  ASSERT_TRUE(op.Open().ok());
+  exec::RowBatch batch;
+  uint64_t emitted = 0;
+  for (;;) {
+    auto n = op.NextBatch(&batch);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;
+    emitted += *n;
+  }
+  ASSERT_TRUE(op.Close().ok());
+
+  const AssemblyStats& stats = op.stats();
+  EXPECT_GT(stats.objects_dropped, 0u) << "fault profile injected nothing";
+  EXPECT_EQ(stats.complex_admitted, db->roots.size());
+  EXPECT_EQ(stats.complex_admitted, stats.complex_emitted +
+                                        stats.complex_aborted +
+                                        stats.objects_dropped);
+  EXPECT_EQ(emitted, stats.complex_emitted);
+  EXPECT_EQ(db->buffer->pinned_frames(), 0u);
+  EXPECT_GT(db->buffer->stats().checksum_failures, 0u);
+}
+
 }  // namespace
 }  // namespace cobra

@@ -178,6 +178,140 @@ TEST(ElevatorIoQueueProperty, TravelBoundedByTwoSweeps) {
   }
 }
 
+// ------------------------------------------------- vectored PopRun (queue)
+
+TEST(ElevatorIoQueueRunProperty, EveryTicketServedExactlyOnceAcrossRuns) {
+  std::mt19937_64 rng(5550123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<PageId> pages = RandomPages(&rng, 64, 300);
+    size_t max_run =
+        std::uniform_int_distribution<size_t>(1, 16)(rng);
+    ElevatorIoQueue queue;
+    std::map<uint64_t, PageId> by_ticket;
+    for (uint64_t ticket = 0; ticket < pages.size(); ++ticket) {
+      queue.Push(pages[ticket], ticket);
+      by_ticket[ticket] = pages[ticket];
+    }
+    PageId head = std::uniform_int_distribution<PageId>(0, 300)(rng);
+    std::set<uint64_t> served;
+    while (!queue.empty()) {
+      auto run = queue.PopRun(head, max_run);
+      ASSERT_TRUE(run.has_value());
+      ASSERT_FALSE(run->tickets.empty());
+      for (const auto& [page, ticket] : run->tickets) {
+        EXPECT_EQ(by_ticket.at(ticket), page);
+        EXPECT_TRUE(served.insert(ticket).second)
+            << "ticket " << ticket << " served twice (trial " << trial << ")";
+      }
+      head = run->tickets.back().first;
+    }
+    EXPECT_EQ(served.size(), pages.size()) << "trial " << trial;
+  }
+}
+
+TEST(ElevatorIoQueueRunProperty, RunsAreAdjacentDirectedAndBounded) {
+  // Device-level runs are strictly adjacent (no gap bridging below the
+  // buffer pool: a filler page would be transferred and thrown away), move
+  // only with the sweep direction, and never exceed max_run_pages — so a
+  // run can never span a sweep reversal.
+  std::mt19937_64 rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<PageId> pages = RandomPages(&rng, 64, 120);
+    size_t max_run = std::uniform_int_distribution<size_t>(1, 8)(rng);
+    ElevatorIoQueue queue;
+    for (uint64_t ticket = 0; ticket < pages.size(); ++ticket) {
+      queue.Push(pages[ticket], ticket);
+    }
+    PageId head = std::uniform_int_distribution<PageId>(0, 120)(rng);
+    while (!queue.empty()) {
+      auto run = queue.PopRun(head, max_run);
+      ASSERT_TRUE(run.has_value());
+      EXPECT_GE(run->pages, 1u);
+      EXPECT_LE(run->pages, max_run) << "trial " << trial;
+      // Transfer order is consecutive in the run direction, starting at the
+      // sweep's entry page.
+      PageId prev = run->ascending ? run->first
+                                   : run->first + (run->pages - 1);
+      bool first_ticket = true;
+      for (const auto& [page, ticket] : run->tickets) {
+        (void)ticket;
+        if (first_ticket) {
+          EXPECT_EQ(page, prev) << "trial " << trial;
+          first_ticket = false;
+        } else {
+          EXPECT_TRUE(page == prev ||
+                      page == (run->ascending ? PageId(prev + 1)
+                                              : PageId(prev - 1)))
+              << "trial " << trial;
+        }
+        prev = page;
+      }
+      head = prev;
+    }
+  }
+}
+
+TEST(ElevatorIoQueueRunProperty, MaxRunOneDegeneratesToSinglePops) {
+  std::mt19937_64 rng(31415);
+  std::vector<PageId> pages = RandomPages(&rng, 64, 200);
+  // Distinct pages: same-page waiters pop oldest-first from PopRun but
+  // keep PopNext's historical within-page order, so ticket-level equality
+  // only holds page-by-page.
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  std::shuffle(pages.begin(), pages.end(), rng);
+  ElevatorIoQueue a;
+  ElevatorIoQueue b;
+  for (uint64_t ticket = 0; ticket < pages.size(); ++ticket) {
+    a.Push(pages[ticket], ticket);
+    b.Push(pages[ticket], ticket);
+  }
+  PageId head_a = 50;
+  PageId head_b = 50;
+  while (!a.empty()) {
+    auto run = a.PopRun(head_a, 1);
+    auto single = b.PopNext(head_b);
+    ASSERT_TRUE(run.has_value());
+    ASSERT_TRUE(single.has_value());
+    ASSERT_EQ(run->tickets.size(), 1u);
+    EXPECT_EQ(run->tickets[0].second, *single);
+    head_a = run->tickets[0].first;
+    head_b = head_a;
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(ElevatorIoQueueRunProperty, WritesServeAloneAndBarrierEntryPageReads) {
+  ElevatorIoQueue queue;
+  queue.Push(/*page=*/7, /*ticket=*/0, /*is_read=*/true);
+  queue.Push(/*page=*/7, /*ticket=*/1, /*is_read=*/false);  // write barrier
+  queue.Push(/*page=*/7, /*ticket=*/2, /*is_read=*/true);
+  queue.Push(/*page=*/8, /*ticket=*/3, /*is_read=*/true);
+
+  // First run: the entry page's read prefix stops at the queued write, then
+  // the run extends into the all-read neighbor page.
+  auto run = queue.PopRun(/*head=*/7, /*max_run_pages=*/8);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->is_read);
+  ASSERT_EQ(run->tickets.size(), 2u);
+  EXPECT_EQ(run->tickets[0].second, 0u);
+  EXPECT_EQ(run->tickets[1].second, 3u);
+
+  // The write is served alone, even with a read queued behind it.
+  run = queue.PopRun(/*head=*/8, /*max_run_pages=*/8);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_FALSE(run->is_read);
+  ASSERT_EQ(run->tickets.size(), 1u);
+  EXPECT_EQ(run->tickets[0].second, 1u);
+
+  run = queue.PopRun(/*head=*/7, /*max_run_pages=*/8);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_TRUE(run->is_read);
+  ASSERT_EQ(run->tickets.size(), 1u);
+  EXPECT_EQ(run->tickets[0].second, 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
 // ---------------------------------------------------- scheduler PeekPages
 
 PendingRef MakeRef(PageId page) {
@@ -226,6 +360,100 @@ TEST(ElevatorSchedulerProperty, PeekPagesIsNonMutatingAndBounded) {
   DepthFirstScheduler depth_first;
   depth_first.AddBatch(batch, /*is_root=*/true);
   EXPECT_TRUE(depth_first.PeekPages(0, 8).empty());
+}
+
+// ------------------------------------------- vectored PopRun (scheduler)
+
+TEST(ElevatorSchedulerRunProperty, EveryRefResolvedExactlyOnceAcrossRuns) {
+  std::mt19937_64 rng(8675309);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<PageId> pages = RandomPages(&rng, 60, 250);
+    size_t max_run = std::uniform_int_distribution<size_t>(1, 16)(rng);
+    ElevatorScheduler scheduler;
+    std::vector<PendingRef> batch;
+    for (size_t i = 0; i < pages.size(); ++i) {
+      PendingRef ref = MakeRef(pages[i]);
+      ref.complex_id = i;  // unique tag to track exactly-once
+      batch.push_back(ref);
+    }
+    scheduler.AddBatch(batch, /*is_root=*/true);
+    PageId head = std::uniform_int_distribution<PageId>(0, 250)(rng);
+    std::set<uint64_t> resolved;
+    while (!scheduler.Empty()) {
+      RefRun run = scheduler.PopRun(head, max_run);
+      ASSERT_FALSE(run.refs.empty());
+      EXPECT_GE(run.pages, 1u);
+      EXPECT_LE(run.pages, max_run) << "trial " << trial;
+      const PageId last_page = run.first_page + (run.pages - 1);
+      PageId prev = run.ascending ? run.first_page : last_page;
+      for (const PendingRef& ref : run.refs) {
+        EXPECT_TRUE(resolved.insert(ref.complex_id).second)
+            << "ref resolved twice (trial " << trial << ")";
+        // refs come grouped by page in transfer order.
+        EXPECT_GE(ref.page, run.first_page);
+        EXPECT_LE(ref.page, last_page);
+        if (run.ascending) {
+          EXPECT_GE(ref.page, prev);
+        } else {
+          EXPECT_LE(ref.page, prev);
+        }
+        prev = ref.page;
+      }
+      // A span never speculates: both endpoints carry references.
+      EXPECT_EQ(run.ascending ? run.refs.front().page
+                              : run.refs.back().page,
+                run.first_page);
+      EXPECT_EQ(run.ascending ? run.refs.back().page
+                              : run.refs.front().page,
+                last_page);
+      head = run.ascending ? last_page : run.first_page;
+    }
+    EXPECT_EQ(resolved.size(), pages.size()) << "trial " << trial;
+  }
+}
+
+TEST(ElevatorSchedulerRunProperty, BridgedGapsStayWithinTheSpanBudget) {
+  // Pages 10 and 14 pend with a 3-page gap: an 8-page budget bridges them
+  // into one span, a 4-page budget cannot (span would be 5).
+  for (auto [budget, want_pages] : {std::pair<size_t, size_t>{8, 5},
+                                    std::pair<size_t, size_t>{4, 1}}) {
+    ElevatorScheduler scheduler;
+    scheduler.AddBatch({MakeRef(10), MakeRef(14)}, /*is_root=*/true);
+    RefRun run = scheduler.PopRun(/*head=*/0, budget);
+    EXPECT_EQ(run.first_page, 10u);
+    EXPECT_EQ(run.pages, want_pages);
+    EXPECT_EQ(run.refs.size(), want_pages == 5 ? 2u : 1u);
+  }
+}
+
+TEST(ElevatorSchedulerRunProperty, RunNeverSpansASweepReversal) {
+  // Head between two pending pages, sweeping up: the run takes the upper
+  // page only; the lower page waits for the reversal even though it is
+  // within the span budget.
+  ElevatorScheduler scheduler;
+  scheduler.AddBatch({MakeRef(8), MakeRef(12)}, /*is_root=*/true);
+  RefRun up = scheduler.PopRun(/*head=*/10, /*max_run_pages=*/16);
+  EXPECT_TRUE(up.ascending);
+  EXPECT_EQ(up.first_page, 12u);
+  EXPECT_EQ(up.pages, 1u);
+  RefRun down = scheduler.PopRun(/*head=*/12, /*max_run_pages=*/16);
+  EXPECT_FALSE(down.ascending);
+  EXPECT_EQ(down.first_page, 8u);
+  EXPECT_EQ(down.pages, 1u);
+  EXPECT_TRUE(scheduler.Empty());
+}
+
+TEST(ElevatorSchedulerRunProperty, DefaultSchedulersPopSingleRefRuns) {
+  // Position-blind schedulers keep their historical one-ref-at-a-time
+  // order under PopRun, whatever the budget.
+  DepthFirstScheduler depth_first;
+  depth_first.AddBatch({MakeRef(30), MakeRef(20), MakeRef(10)},
+                       /*is_root=*/true);
+  RefRun run = depth_first.PopRun(/*head=*/0, /*max_run_pages=*/8);
+  ASSERT_EQ(run.refs.size(), 1u);
+  EXPECT_EQ(run.refs[0].page, 30u);
+  EXPECT_EQ(run.pages, 1u);
+  EXPECT_EQ(run.first_page, 30u);
 }
 
 }  // namespace

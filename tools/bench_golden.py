@@ -21,6 +21,13 @@ Usage:
       metrics, different machinery (query service + async disk + sharded
       pool vs. the direct single-threaded path).  Bench-specific fields
       (labels, registry snapshots, client counts) are ignored.
+  bench_golden.py iobatch <seed.json> <iobatch.json>
+      Assert the vectored-I/O win: over the inter-object-clustered elevator
+      runs of a fig13 capture, the --io-batch run must issue at least 30%
+      fewer disk read calls than the single-page seed and must not travel
+      more total seek pages.  (Non-elevator and non-inter-object runs are
+      excluded: position-blind schedulers pop single-ref runs, so coalescing
+      never engages for them.)
 """
 
 import difflib
@@ -112,11 +119,57 @@ def crosscheck(reference_path, run_path):
     return 0
 
 
+def iobatch_totals(path):
+    """Total (reads, seek pages) over the inter-object elevator runs."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    reads = seeks = matched = 0
+    for run in data.get("runs", []):
+        if (run.get("clustering") == "inter-object"
+                and run.get("scheduler") == "elevator"):
+            reads += run["disk"]["reads"]
+            seeks += run["disk"]["read_seek_pages"]
+            matched += 1
+    return reads, seeks, matched
+
+
+def iobatch(seed_path, batched_path):
+    seed_reads, seed_seeks, seed_n = iobatch_totals(seed_path)
+    run_reads, run_seeks, run_n = iobatch_totals(batched_path)
+    if seed_n == 0 or run_n == 0:
+        sys.stderr.write(
+            f"IOBATCH: no inter-object elevator runs found "
+            f"({seed_path}: {seed_n}, {batched_path}: {run_n})\n"
+        )
+        return 1
+    drop = 1.0 - run_reads / seed_reads
+    print(
+        f"iobatch: reads {seed_reads} -> {run_reads} ({drop:.1%} drop), "
+        f"seek pages {seed_seeks} -> {run_seeks}"
+    )
+    failed = 0
+    if drop < 0.30:
+        sys.stderr.write(
+            f"IOBATCH: read-call drop {drop:.1%} is below the 30% floor\n"
+        )
+        failed = 1
+    if run_seeks > seed_seeks:
+        sys.stderr.write(
+            f"IOBATCH: total seek pages increased "
+            f"({seed_seeks} -> {run_seeks})\n"
+        )
+        failed = 1
+    return failed
+
+
 def main(argv):
-    if len(argv) != 4 or argv[1] not in ("extract", "check", "crosscheck"):
+    if len(argv) != 4 or argv[1] not in ("extract", "check", "crosscheck",
+                                         "iobatch"):
         sys.stderr.write(__doc__)
         return 2
     mode, a, b = argv[1], argv[2], argv[3]
+    if mode == "iobatch":
+        return iobatch(a, b)
     if mode == "extract":
         with open(b, "w", encoding="utf-8") as f:
             f.write(normalize(a) + "\n")
