@@ -32,15 +32,28 @@
 //        --io-batch B  vectored-I/O run length       (default 1; also sets
 //                                                     the AsyncDisk coalescer)
 //        --json PATH   machine-readable output
+//        --slow-ns T   slow-query threshold in ns    (default 0 = off)
+//        --trace PATH  Chrome trace of the first clustering's merged run
+//        --flight PATH flight-recorder + slow-report dump (first clustering)
+//        --latency-golden   assert the latency histograms: one sample per
+//                           client, monotone quantiles, and the exact
+//                           total == queue + io + cpu decomposition
+//
+// Every merged run with --prefetch 0 self-checks the conservation
+// invariant: the service's attributed per-query sums must equal the shared
+// disk/buffer counter deltas exactly (obs/query_context.h).
 
 #include <chrono>
 #include <cstdio>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 #include "storage/async_disk.h"
 
@@ -56,6 +69,10 @@ struct Flags {
   size_t prefetch = 0;
   size_t size = 1000;
   size_t io_batch = 1;
+  uint64_t slow_ns = 0;
+  std::string trace_path;
+  std::string flight_path;
+  bool latency_golden = false;
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -81,6 +98,14 @@ Flags ParseFlags(int argc, char** argv) {
       flags.size = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of(arg, "--io-batch", &i)) {
       flags.io_batch = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--slow-ns", &i)) {
+      flags.slow_ns = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--trace", &i)) {
+      flags.trace_path = v;
+    } else if (const char* v = value_of(arg, "--flight", &i)) {
+      flags.flight_path = v;
+    } else if (arg == "--latency-golden") {
+      flags.latency_golden = true;
     }
   }
   if (flags.clients == 0) flags.clients = 1;
@@ -122,11 +147,20 @@ struct MergedRun {
   uint64_t rows = 0;
   obs::JsonValue registry;
   AsyncDiskStats async;
+  // Attribution rollup read back from the service registry: the
+  // service.attributed.* counters and the latency histograms.
+  obs::QueryIoSnapshot attributed;
+  LogHistogram latency_total;
+  LogHistogram latency_queue;
+  LogHistogram latency_io;
+  LogHistogram latency_cpu;
+  size_t registry_size = 0;
 };
 
 // All K clients concurrently through one QueryService over AsyncDisk +
-// sharded pool.
-MergedRun RunMerged(AcobDatabase* db, const Flags& flags) {
+// sharded pool.  When `capture` is true the run also leaves the Chrome
+// trace / flight-recorder files requested by --trace / --flight.
+MergedRun RunMerged(AcobDatabase* db, const Flags& flags, bool capture) {
   if (auto s = db->ColdRestart(); !s.ok()) {
     std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
     std::exit(1);
@@ -147,11 +181,24 @@ MergedRun RunMerged(AcobDatabase* db, const Flags& flags) {
                                    db->options.replacement, db->options.retry,
                                    flags.shards});
   db->disk->EnableReadTrace(true);
+  // Optional Chrome trace of this run: disk events fire on the I/O thread
+  // with the originating query's context current, so every slice carries a
+  // query-id tag.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  std::unique_ptr<service::LockedTelemetry> telemetry;
+  if (capture && !flags.trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    telemetry = std::make_unique<service::LockedTelemetry>(recorder.get(),
+                                                           recorder.get());
+    db->disk->set_listener(telemetry.get());
+    pool.set_listener(telemetry.get());
+  }
   auto start = std::chrono::steady_clock::now();
   {
     service::ServiceOptions sopts;
     sopts.num_workers = flags.workers;
     sopts.async_disk = &async;
+    sopts.slow_query_ns = flags.slow_ns;
     service::QueryService service(&pool, db->directory.get(), sopts);
     std::vector<std::future<service::QueryResult>> futures;
     futures.reserve(flags.clients);
@@ -170,13 +217,74 @@ MergedRun RunMerged(AcobDatabase* db, const Flags& flags) {
                      result.status.ToString().c_str());
         std::exit(1);
       }
+      if (result.total_ns !=
+          result.queue_ns + result.io_ns + result.cpu_ns) {
+        std::fprintf(stderr,
+                     "latency decomposition broken for query %llu\n",
+                     static_cast<unsigned long long>(result.query_id));
+        std::exit(1);
+      }
       run.rows += result.rows;
       Accumulate(&run.metrics.assembly, result.assembly);
     }
     service.Drain();
     run.registry = service.registry().ToJson();
+    run.registry_size = service.registry().size();
+    auto counter = [&](const std::string& name) -> uint64_t {
+      const obs::Counter* c = service.registry().FindCounter(name);
+      return c == nullptr ? 0 : c->value();
+    };
+    run.attributed.disk_reads = counter("service.attributed.disk_reads");
+    run.attributed.disk_writes = counter("service.attributed.disk_writes");
+    run.attributed.read_seek_pages =
+        counter("service.attributed.read_seek_pages");
+    run.attributed.write_seek_pages =
+        counter("service.attributed.write_seek_pages");
+    run.attributed.pages_read = counter("service.attributed.pages_read");
+    run.attributed.coalesced_runs =
+        counter("service.attributed.coalesced_runs");
+    run.attributed.piggyback_pages =
+        counter("service.attributed.piggyback_pages");
+    run.attributed.buffer_hits = counter("service.attributed.buffer_hits");
+    run.attributed.buffer_faults =
+        counter("service.attributed.buffer_faults");
+    run.attributed.retries = counter("service.attributed.retries");
+    run.attributed.checksum_failures =
+        counter("service.attributed.checksum_failures");
+    run.attributed.faults_injected =
+        counter("service.attributed.faults_injected");
+    auto histogram = [&](const std::string& name) -> LogHistogram {
+      const obs::Histogram* h = service.registry().FindHistogram(name);
+      return h == nullptr ? LogHistogram() : *h;
+    };
+    run.latency_total = histogram("service.latency.total_ns");
+    run.latency_queue = histogram("service.latency.queue_ns");
+    run.latency_io = histogram("service.latency.io_ns");
+    run.latency_cpu = histogram("service.latency.cpu_ns");
+    if (capture && !flags.flight_path.empty()) {
+      obs::JsonValue dump = obs::JsonValue::MakeObject();
+      dump.Set("flight", service.flight_recorder().ToJson());
+      obs::JsonValue reports = obs::JsonValue::MakeArray();
+      for (const obs::SlowQueryReport& report : service.slow_reports()) {
+        reports.Append(report.ToJson());
+      }
+      dump.Set("slow_reports", std::move(reports));
+      if (auto s = obs::WriteJsonFile(flags.flight_path, dump); !s.ok()) {
+        std::fprintf(stderr, "flight dump failed: %s\n",
+                     s.ToString().c_str());
+        std::exit(1);
+      }
+    }
   }
   async.Drain();
+  if (recorder != nullptr) {
+    db->disk->set_listener(nullptr);
+    pool.set_listener(nullptr);
+    if (auto s = recorder->WriteTo(flags.trace_path); !s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
   run.elapsed_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
@@ -242,6 +350,48 @@ RunMetrics RunIndependent(AcobDatabase* db, const Flags& flags,
   return total;
 }
 
+// Exact conservation check: every global disk/buffer counter the merged run
+// bumped must be accounted to some query.  Valid only without prefetch (a
+// fire-and-forget prefetch can charge its query after the service already
+// rolled it up).
+bool CheckConservation(const MergedRun& run, const char* clustering) {
+  struct Pair {
+    const char* name;
+    uint64_t global;
+    uint64_t attributed;
+  };
+  const Pair pairs[] = {
+      {"disk_reads", run.metrics.disk.reads, run.attributed.disk_reads},
+      {"disk_writes", run.metrics.disk.writes, run.attributed.disk_writes},
+      {"read_seek_pages", run.metrics.disk.read_seek_pages,
+       run.attributed.read_seek_pages},
+      {"write_seek_pages", run.metrics.disk.write_seek_pages,
+       run.attributed.write_seek_pages},
+      {"pages_read", run.metrics.disk.pages_read, run.attributed.pages_read},
+      {"coalesced_runs", run.metrics.disk.coalesced_runs,
+       run.attributed.coalesced_runs},
+      {"buffer_hits", run.metrics.buffer.hits, run.attributed.buffer_hits},
+      {"buffer_faults", run.metrics.buffer.faults,
+       run.attributed.buffer_faults},
+      {"retries", run.metrics.buffer.retries, run.attributed.retries},
+      {"checksum_failures", run.metrics.buffer.checksum_failures,
+       run.attributed.checksum_failures},
+  };
+  bool ok = true;
+  for (const Pair& pair : pairs) {
+    if (pair.global != pair.attributed) {
+      std::fprintf(stderr,
+                   "conservation violated (%s): %s global=%llu "
+                   "attributed=%llu\n",
+                   clustering, pair.name,
+                   static_cast<unsigned long long>(pair.global),
+                   static_cast<unsigned long long>(pair.attributed));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,6 +418,7 @@ int main(int argc, char** argv) {
   TablePrinter table({"clustering", "mode", "reads", "seek pages",
                       "seeks/read", "merged picks", "max depth"});
 
+  bool first_clustering = true;
   for (Clustering clustering :
        {Clustering::kInterObject, Clustering::kIntraObject,
         Clustering::kUnclustered}) {
@@ -277,12 +428,38 @@ int main(int argc, char** argv) {
     options.seed = 42;
     auto db = MustBuild(options);
 
-    MergedRun merged = RunMerged(db.get(), flags);
+    MergedRun merged = RunMerged(db.get(), flags, first_clustering);
+    first_clustering = false;
     if (merged.rows != db->roots.size()) {
       std::fprintf(stderr, "merged run lost rows: %llu of %zu\n",
                    static_cast<unsigned long long>(merged.rows),
                    db->roots.size());
       return 1;
+    }
+    if (flags.prefetch == 0 &&
+        !CheckConservation(merged, ClusteringName(clustering))) {
+      return 1;
+    }
+    if (flags.latency_golden) {
+      const LogHistogram& total = merged.latency_total;
+      if (total.count() != flags.clients ||
+          merged.latency_queue.count() != flags.clients ||
+          merged.latency_io.count() != flags.clients ||
+          merged.latency_cpu.count() != flags.clients) {
+        std::fprintf(stderr,
+                     "latency golden (%s): expected %zu samples, got %llu\n",
+                     ClusteringName(clustering), flags.clients,
+                     static_cast<unsigned long long>(total.count()));
+        return 1;
+      }
+      // Quantiles are bucket upper bounds, so p999 can exceed the true max;
+      // monotonicity in q is the invariant.
+      if (total.P50() > total.P99() || total.P99() > total.P999() ||
+          total.max() == 0) {
+        std::fprintf(stderr, "latency golden (%s): quantiles not monotone\n",
+                     ClusteringName(clustering));
+        return 1;
+      }
     }
     table.AddRow({ClusteringName(clustering), "merged",
                   FmtInt(merged.metrics.disk.reads),
@@ -305,6 +482,16 @@ int main(int argc, char** argv) {
       run.Set("refetched_pages", merged.refetched_pages);
       run.Set("rows", merged.rows);
       run.Set("elapsed_ns", merged.elapsed_ns);
+      run.Set("registry_size", merged.registry_size);
+      // Latency decomposition distributions; the `_ns` keys mark every
+      // run-time-dependent summary for the golden comparator.
+      obs::JsonValue latency = obs::JsonValue::MakeObject();
+      latency.Set("total_ns", obs::HistogramToJson(merged.latency_total));
+      latency.Set("queue_ns", obs::HistogramToJson(merged.latency_queue));
+      latency.Set("io_ns", obs::HistogramToJson(merged.latency_io));
+      latency.Set("cpu_ns", obs::HistogramToJson(merged.latency_cpu));
+      run.Set("latency", std::move(latency));
+      run.Set("attributed", obs::QueryIoSnapshotToJson(merged.attributed));
       if (!merged.registry.is_null()) run.Set("registry", merged.registry);
       reporter.AddRaw(std::move(run));
     }

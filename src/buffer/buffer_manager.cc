@@ -4,10 +4,40 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/query_context.h"
 #include "storage/checksum.h"
 
 namespace cobra {
 namespace {
+
+// Attribution helpers: charge the current query (if any) at the same site
+// the shard counter bumps, preserving the conservation invariant per field.
+inline void ChargeHit() {
+  if (obs::QueryContext* query = obs::CurrentQuery()) {
+    query->io.buffer_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+inline void ChargeFault() {
+  if (obs::QueryContext* query = obs::CurrentQuery()) {
+    query->io.buffer_faults.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+inline void ChargeRetry(PageId id, int attempt) {
+  if (obs::QueryContext* query = obs::CurrentQuery()) {
+    query->io.retries.fetch_add(1, std::memory_order_relaxed);
+    query->Record({obs::SpanEventKind::kBufferRetry, 0, 0, id,
+                   static_cast<uint64_t>(attempt), 0});
+  }
+}
+
+inline void ChargeChecksumFailure(PageId id) {
+  if (obs::QueryContext* query = obs::CurrentQuery()) {
+    query->io.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    query->Record({obs::SpanEventKind::kChecksumFailure, 0, 0, id, 0, 0});
+  }
+}
 
 // splitmix64 finalizer: decorrelates page ids (often sequential) from shard
 // indices so stripes fill evenly.
@@ -161,6 +191,7 @@ Status BufferManager::ReadWithRetry(Shard* shard, PageId id, std::byte* data,
                                     int attempt) {
   // Bounded retry for transient failures; everything else (NotFound,
   // Corruption, a failed checksum) is permanent and fails immediately.
+  obs::IoWaitTimer io_wait;
   int max_attempts = options_.retry.max_read_attempts < 1
                          ? 1
                          : options_.retry.max_read_attempts;
@@ -171,6 +202,7 @@ Status BufferManager::ReadWithRetry(Shard* shard, PageId id, std::byte* data,
       read = VerifyPageChecksum(data, disk_->page_size(), id);
       if (read.ok()) break;
       shard->checksum_failures++;
+      ChargeChecksumFailure(id);
       if (listener_ != nullptr) listener_->OnBufferChecksumFailure(id);
       break;
     }
@@ -179,6 +211,7 @@ Status BufferManager::ReadWithRetry(Shard* shard, PageId id, std::byte* data,
       break;
     }
     shard->retries++;
+    ChargeRetry(id, attempt);
     if (listener_ != nullptr) listener_->OnBufferRetry(id, attempt);
     // Deterministic linear backoff, accounted in the disk's cost unit.
     disk_->AddSeekPenalty(
@@ -190,13 +223,20 @@ Status BufferManager::ReadWithRetry(Shard* shard, PageId id, std::byte* data,
 
 Status BufferManager::ConsumePending(Shard* shard, size_t index, PageId id) {
   Frame& frame = *shard->frames[index];
-  Status status = frame.pending.get();
+  Status status;
+  {
+    // Only the wait itself is I/O time; the retry fallback below times its
+    // own reads.
+    obs::IoWaitTimer io_wait;
+    status = frame.pending.get();
+  }
   frame.has_pending = false;
   frame.pending = {};
   if (status.ok()) {
     status = VerifyPageChecksum(frame.data.data(), frame.data.size(), id);
     if (!status.ok()) {
       shard->checksum_failures++;
+      ChargeChecksumFailure(id);
       if (listener_ != nullptr) listener_->OnBufferChecksumFailure(id);
     }
   } else if (status.IsUnavailable()) {
@@ -207,6 +247,7 @@ Status BufferManager::ConsumePending(Shard* shard, size_t index, PageId id) {
                            : options_.retry.max_read_attempts;
     if (max_attempts > 1) {
       shard->retries++;
+      ChargeRetry(id, 1);
       if (listener_ != nullptr) listener_->OnBufferRetry(id, 1);
       disk_->AddSeekPenalty(options_.retry.backoff_seek_pages,
                             /*is_read=*/true);
@@ -254,10 +295,12 @@ Result<PageGuard> BufferManager::FetchPage(PageId id) {
       // as the fault it is (the disk read really happened).
       COBRA_RETURN_IF_ERROR(ConsumePending(&shard, frame_index, id));
       shard.faults++;
+      ChargeFault();
       if (listener_ != nullptr) listener_->OnBufferFault(id);
       shard.faulted_pages.insert(id);
     } else {
       shard.hits++;
+      ChargeHit();
       if (listener_ != nullptr) listener_->OnBufferHit(id);
     }
     shard.policy->RecordAccess(frame_index);
@@ -273,6 +316,7 @@ Result<PageGuard> BufferManager::FetchPage(PageId id) {
     return read;
   }
   shard.faults++;
+  ChargeFault();
   if (listener_ != nullptr) listener_->OnBufferFault(id);
   shard.faulted_pages.insert(id);
   frame.page_id = id;
@@ -343,10 +387,12 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
           continue;
         }
         shard.faults++;
+        ChargeFault();
         if (listener_ != nullptr) listener_->OnBufferFault(id);
         shard.faulted_pages.insert(id);
       } else {
         shard.hits++;
+        ChargeHit();
         if (listener_ != nullptr) listener_->OnBufferHit(id);
       }
       shard.policy->RecordAccess(frame_index);
@@ -401,8 +447,11 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
         MissingPage& mp = at(pos + t);
         outs[(first + mp.offset) - low_page] = frame_of(mp).data.data();
       }
-      RunReadResult read =
-          disk_->ReadRun(low_page, remaining, ascending, outs.data());
+      RunReadResult read;
+      {
+        obs::IoWaitTimer io_wait;
+        read = disk_->ReadRun(low_page, remaining, ascending, outs.data());
+      }
       for (size_t t = 0; t < read.pages_ok; ++t) {
         good[pos + t] = 1;
       }
@@ -417,6 +466,7 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
       Shard& failed_shard = *shards_[ShardIndex(failed_page)];
       if (read.status.IsUnavailable() && attempt < max_attempts) {
         failed_shard.retries++;
+        ChargeRetry(failed_page, attempt);
         if (listener_ != nullptr) {
           listener_->OnBufferRetry(failed_page, attempt);
         }
@@ -448,12 +498,14 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
           VerifyPageChecksum(frame.data.data(), frame.data.size(), id);
       if (!verified.ok()) {
         shard.checksum_failures++;
+        ChargeChecksumFailure(id);
         if (listener_ != nullptr) listener_->OnBufferChecksumFailure(id);
         (*out)[mp.offset] = std::move(verified);
         shard.free_list.push_back(mp.frame);
         continue;
       }
       shard.faults++;
+      ChargeFault();
       if (listener_ != nullptr) listener_->OnBufferFault(id);
       shard.faulted_pages.insert(id);
       frame.page_id = id;
@@ -490,7 +542,12 @@ Status BufferManager::PrefetchPage(PageId id) {
   frame.valid = false;
   frame.dirty.store(false, std::memory_order_relaxed);
   frame.has_pending = true;
-  frame.pending = disk_->SubmitRead(id, frame.data.data());
+  {
+    // Submission may execute synchronously on a plain SimulatedDisk; the
+    // time is I/O either way.
+    obs::IoWaitTimer io_wait;
+    frame.pending = disk_->SubmitRead(id, frame.data.data());
+  }
   shard.page_table[id] = frame_index;
   shard.policy->RecordAccess(frame_index);
   shard.prefetches++;
@@ -620,6 +677,33 @@ void BufferManager::ResetFetchTrace() {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->faulted_pages.clear();
   }
+}
+
+BufferManager::Residency BufferManager::GetResidency() const {
+  Residency residency;
+  residency.per_shard_resident.reserve(shards_.size());
+  // One shard lock at a time: the snapshot is per-shard consistent, which is
+  // all a live dashboard needs.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    size_t resident = 0;
+    for (const auto& frame : shard->frames) {
+      residency.total_frames++;
+      if (frame->has_pending) residency.pending++;
+      if (!frame->valid) continue;
+      resident++;
+      if (frame->pin_count.load(std::memory_order_acquire) > 0) {
+        residency.pinned++;
+      }
+      if (frame->dirty.load(std::memory_order_relaxed)) {
+        residency.dirty++;
+      }
+    }
+    residency.resident += resident;
+    residency.free_frames += shard->free_list.size();
+    residency.per_shard_resident.push_back(resident);
+  }
+  return residency;
 }
 
 }  // namespace cobra

@@ -214,6 +214,20 @@ class BufferManager {
   BufferStats stats() const;
   void ResetStats();
 
+  // Live occupancy snapshot for obs::Snapshot: walks the shards one lock at
+  // a time, so the totals are per-shard-consistent (safe to call while
+  // queries run, unlike stats()).
+  struct Residency {
+    size_t total_frames = 0;
+    size_t resident = 0;  // frames holding a valid page
+    size_t pinned = 0;    // frames with pin_count > 0
+    size_t dirty = 0;
+    size_t free_frames = 0;
+    size_t pending = 0;  // frames with an in-flight prefetch
+    std::vector<size_t> per_shard_resident;
+  };
+  Residency GetResidency() const;
+
   // Optional telemetry listener (borrowed; must outlive the manager or be
   // cleared).  Null disables the hook.
   void set_listener(BufferEventListener* listener) { listener_ = listener; }

@@ -38,6 +38,20 @@ Histogram* Registry::GetHistogram(const std::string& name) {
   return &histograms_.back();
 }
 
+const Counter* Registry::FindCounter(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end() || it->second.kind != Kind::kCounter) return nullptr;
+  return &counters_[it->second.slot];
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end() || it->second.kind != Kind::kHistogram) {
+    return nullptr;
+  }
+  return &histograms_[it->second.slot];
+}
+
 void Registry::Merge(const Registry& other) {
   for (const auto& [name, entry] : other.index_) {
     switch (entry.kind) {
@@ -69,6 +83,7 @@ JsonValue HistogramToJson(const LogHistogram& histogram) {
   out.Set("p50", histogram.P50());
   out.Set("p95", histogram.P95());
   out.Set("p99", histogram.P99());
+  out.Set("p999", histogram.P999());
   JsonValue buckets = JsonValue::MakeArray();
   for (size_t i = 0; i < histogram.num_buckets(); ++i) {
     if (histogram.bucket_count(i) == 0) continue;

@@ -68,6 +68,11 @@ class Registry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  // Read-only lookups: nullptr when the name is absent or holds another
+  // instrument kind.  For tests and exporters that must not create.
+  const Counter* FindCounter(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
   // Accumulates every instrument of `other` into this registry (counters
   // add, gauges take max-of-max / last value, histograms Merge).  Used by
   // multi-device runs to combine per-device registries.
@@ -95,7 +100,7 @@ class Registry {
 };
 
 // Histogram summary used by the registry snapshot and the bench exporter:
-// count/mean/max plus p50/p95/p99 and the non-empty buckets.
+// count/mean/max plus p50/p95/p99/p999 and the non-empty buckets.
 JsonValue HistogramToJson(const LogHistogram& histogram);
 
 }  // namespace cobra::obs

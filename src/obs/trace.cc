@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/query_context.h"
+
 namespace cobra::obs {
 namespace {
 
@@ -128,6 +130,7 @@ void TraceRecorder::OnDiskRead(PageId page, uint64_t seek_pages) {
   out.ts_ns = clock_->NowNanos();
   out.page = page;
   out.seek_pages = seek_pages;
+  out.query_id = CurrentQueryId();
   Push(out);
 }
 
@@ -139,6 +142,7 @@ void TraceRecorder::OnDiskReadRun(PageId first_page, size_t pages,
   out.page = first_page;
   out.seek_pages = seek_pages;
   out.run_pages = pages == 0 ? 1 : pages;
+  out.query_id = CurrentQueryId();
   Push(out);
 }
 
@@ -148,6 +152,7 @@ void TraceRecorder::OnDiskWrite(PageId page, uint64_t seek_pages) {
   out.ts_ns = clock_->NowNanos();
   out.page = page;
   out.seek_pages = seek_pages;
+  out.query_id = CurrentQueryId();
   Push(out);
 }
 
@@ -284,6 +289,7 @@ JsonValue TraceRecorder::ToChromeTrace() const {
         }
         args.Set("page", event.page);
         args.Set("seek_pages", event.seek_pages);
+        args.Set("query", event.query_id);
         break;
       case TraceEvent::Kind::kBufferHit:
       case TraceEvent::Kind::kBufferFault:

@@ -62,6 +62,9 @@ struct TraceEvent {
   // Pages transferred by a kDiskRead (> 1 for a coalesced vectored run;
   // the exporter renders those as run-sized slices instead of instants).
   uint64_t run_pages = 1;
+  // Originating query for disk events (obs::CurrentQueryId() at record
+  // time); 0 when no query context was established.
+  uint64_t query_id = 0;
   int lane = -1;  // window-slot index for assembly events, else -1
 };
 

@@ -1,16 +1,29 @@
 #include "service/query_service.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "assembly/scheduler.h"
 #include "exec/scan.h"
 #include "exec/value.h"
 #include "object/object_store.h"
 
 namespace cobra::service {
+namespace {
+
+// Oldest slow-query reports are dropped past this cap, like the flight
+// recorder's ring: the slow-query log must not grow without bound.
+constexpr size_t kMaxSlowReports = 64;
+
+}  // namespace
 
 QueryService::QueryService(BufferManager* buffer, Directory* directory,
                            ServiceOptions options)
-    : buffer_(buffer), directory_(directory), options_(options) {
+    : buffer_(buffer),
+      directory_(directory),
+      options_(options),
+      flight_(options.flight_capacity) {
   size_t workers = options_.num_workers == 0 ? 1 : options_.num_workers;
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -32,6 +45,15 @@ QueryService::~QueryService() {
 std::future<QueryResult> QueryService::Submit(QueryJob job) {
   Task task;
   task.job = std::move(job);
+  task.ctx = std::make_shared<obs::QueryContext>(
+      next_query_id_.fetch_add(1, std::memory_order_relaxed),
+      task.job.client);
+  // Sink before sharing: every span the query ever records lands in the
+  // always-on flight recorder.
+  task.ctx->set_sink(&flight_);
+  task.ctx->submit_ns.store(obs::SpanNowNanos(), std::memory_order_relaxed);
+  tracker_.Register(task.ctx);
+  task.ctx->Record({obs::SpanEventKind::kQueryBegin, 0, 0, 0, 0, 0});
   std::future<QueryResult> future = task.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -49,6 +71,26 @@ void QueryService::Drain() {
 size_t QueryService::active_jobs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size() + running_;
+}
+
+std::vector<obs::SlowQueryReport> QueryService::slow_reports() const {
+  std::lock_guard<std::mutex> lock(reports_mu_);
+  return std::vector<obs::SlowQueryReport>(slow_reports_.begin(),
+                                           slow_reports_.end());
+}
+
+obs::Snapshot QueryService::TakeSnapshot() const {
+  obs::Snapshot snapshot = tracker_.TakeSnapshot();
+  snapshot.ts_ns = obs::SpanNowNanos();
+  BufferManager::Residency residency = buffer_->GetResidency();
+  snapshot.pool.total_frames = residency.total_frames;
+  snapshot.pool.resident = residency.resident;
+  snapshot.pool.pinned = residency.pinned;
+  snapshot.pool.dirty = residency.dirty;
+  snapshot.pool.free_frames = residency.free_frames;
+  snapshot.pool.pending = residency.pending;
+  snapshot.pool.per_shard_resident = std::move(residency.per_shard_resident);
+  return snapshot;
 }
 
 void QueryService::WorkerLoop() {
@@ -70,9 +112,36 @@ void QueryService::WorkerLoop() {
         options_.async_disk->set_target_queue_depth(running_);
       }
     }
+    const std::shared_ptr<obs::QueryContext>& ctx = task.ctx;
+    const uint64_t start = obs::SpanNowNanos();
+    ctx->start_ns.store(start, std::memory_order_relaxed);
     obs::Registry job_registry;
-    QueryResult result = Execute(task.job, &job_registry);
+    std::string explain;
+    QueryResult result;
+    {
+      obs::ScopedQueryContext scope(ctx);
+      result = Execute(task.job, &job_registry, &explain);
+    }
+    const uint64_t end = obs::SpanNowNanos();
+    ctx->end_ns.store(end, std::memory_order_relaxed);
+    ctx->Record({obs::SpanEventKind::kQueryEnd, 0, 0, 0, result.rows,
+                 result.status.ok() ? uint64_t{0} : uint64_t{1}});
+
+    result.query_id = ctx->query_id();
+    result.io = ctx->io.Snapshot();
+    // Exact decomposition: queue is submit->start, execution is start->end;
+    // the worker's storage-blocked time (clamped — the I/O thread can charge
+    // a trailing prefetch wait) is io, the remainder cpu.
+    const uint64_t submit = ctx->submit_ns.load(std::memory_order_relaxed);
+    const uint64_t exec = end > start ? end - start : 0;
+    result.queue_ns = start > submit ? start - submit : 0;
+    result.io_ns = std::min(result.io.io_wait_ns, exec);
+    result.cpu_ns = exec - result.io_ns;
+    result.total_ns = result.queue_ns + exec;
+
     Account(result, job_registry);
+    tracker_.Complete(ctx, result.rows, result.status.ok(), result.total_ns);
+    MaybeReportSlow(ctx, result, std::move(explain));
     task.promise.set_value(std::move(result));
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -88,7 +157,8 @@ void QueryService::WorkerLoop() {
   }
 }
 
-QueryResult QueryService::Execute(QueryJob& job, obs::Registry* job_registry) {
+QueryResult QueryService::Execute(QueryJob& job, obs::Registry* job_registry,
+                                  std::string* explain) {
   QueryResult result;
   result.client = job.client;
   if (job.tmpl == nullptr) {
@@ -104,26 +174,63 @@ QueryResult QueryService::Execute(QueryJob& job, obs::Registry* job_registry) {
   for (Oid oid : job.roots) {
     rows.push_back(exec::Row{exec::Value::Ref(oid)});
   }
+  const size_t num_roots = job.roots.size();
   AssemblyOperator op(std::make_unique<exec::VectorScan>(std::move(rows)),
                       job.tmpl, &store, job.assembly);
   obs::RegistryPublisher publisher(job_registry);
   op.set_observer(&publisher);
+  const uint64_t exec_begin = obs::SpanNowNanos();
+  uint64_t batches = 0;
   result.status = op.Open();
-  if (!result.status.ok()) {
-    return result;
-  }
-  exec::RowBatch batch(job.batch_size == 0 ? 1 : job.batch_size);
-  for (;;) {
-    Result<size_t> n = op.NextBatch(&batch);
-    if (!n.ok()) {
-      result.status = n.status();
-      break;
+  if (result.status.ok()) {
+    exec::RowBatch batch(job.batch_size == 0 ? 1 : job.batch_size);
+    for (;;) {
+      Result<size_t> n = op.NextBatch(&batch);
+      if (!n.ok()) {
+        result.status = n.status();
+        break;
+      }
+      if (*n == 0) break;
+      result.rows += *n;
+      batches++;
     }
-    if (*n == 0) break;
-    result.rows += *n;
+    result.assembly = op.stats();
+    (void)op.Close();
   }
-  result.assembly = op.stats();
-  (void)op.Close();
+  const uint64_t exec_ns = obs::SpanNowNanos() - exec_begin;
+
+  // EXPLAIN ANALYZE summary of the executed (fixed-shape) plan, kept for
+  // the slow-query report.
+  if (explain != nullptr) {
+    const AssemblyStats& s = result.assembly;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "Assembly(window=%zu, scheduler=%s, io_batch=%zu) "
+                  "(rows=%llu batches=%llu time=%.3fms)\n",
+                  job.assembly.window_size,
+                  SchedulerKindName(job.assembly.scheduler),
+                  job.assembly.io_batch_pages,
+                  static_cast<unsigned long long>(result.rows),
+                  static_cast<unsigned long long>(batches),
+                  static_cast<double>(exec_ns) / 1e6);
+    *explain += line;
+    std::snprintf(line, sizeof(line),
+                  "  fetched=%llu shared_hits=%llu prebuilt_hits=%llu "
+                  "refs=%llu admitted=%llu emitted=%llu aborted=%llu "
+                  "dropped=%llu\n",
+                  static_cast<unsigned long long>(s.objects_fetched),
+                  static_cast<unsigned long long>(s.shared_hits),
+                  static_cast<unsigned long long>(s.prebuilt_hits),
+                  static_cast<unsigned long long>(s.refs_resolved),
+                  static_cast<unsigned long long>(s.complex_admitted),
+                  static_cast<unsigned long long>(s.complex_emitted),
+                  static_cast<unsigned long long>(s.complex_aborted),
+                  static_cast<unsigned long long>(s.objects_dropped));
+    *explain += line;
+    std::snprintf(line, sizeof(line), "  -> VectorScan(roots=%zu)\n",
+                  num_roots);
+    *explain += line;
+  }
   return result;
 }
 
@@ -138,11 +245,75 @@ void QueryService::Account(const QueryResult& result,
   aggregate_.GetCounter("service.rows")->Inc(result.rows);
   aggregate_.GetCounter("service.objects_dropped")
       ->Inc(result.assembly.objects_dropped);
+  // Latency decomposition distributions.  The `_ns` suffix marks them as
+  // run-time-dependent for the golden comparator, like elapsed_ns.
+  aggregate_.GetHistogram("service.latency.total_ns")->Add(result.total_ns);
+  aggregate_.GetHistogram("service.latency.queue_ns")->Add(result.queue_ns);
+  aggregate_.GetHistogram("service.latency.io_ns")->Add(result.io_ns);
+  aggregate_.GetHistogram("service.latency.cpu_ns")->Add(result.cpu_ns);
+  // Per-query attribution rolled up service-wide; under the conservation
+  // invariant these equal the disk/buffer deltas of the same window.
+  const obs::QueryIoSnapshot& io = result.io;
+  aggregate_.GetCounter("service.attributed.disk_reads")->Inc(io.disk_reads);
+  aggregate_.GetCounter("service.attributed.disk_writes")
+      ->Inc(io.disk_writes);
+  aggregate_.GetCounter("service.attributed.read_seek_pages")
+      ->Inc(io.read_seek_pages);
+  aggregate_.GetCounter("service.attributed.write_seek_pages")
+      ->Inc(io.write_seek_pages);
+  aggregate_.GetCounter("service.attributed.pages_read")->Inc(io.pages_read);
+  aggregate_.GetCounter("service.attributed.coalesced_runs")
+      ->Inc(io.coalesced_runs);
+  aggregate_.GetCounter("service.attributed.piggyback_pages")
+      ->Inc(io.piggyback_pages);
+  aggregate_.GetCounter("service.attributed.buffer_hits")
+      ->Inc(io.buffer_hits);
+  aggregate_.GetCounter("service.attributed.buffer_faults")
+      ->Inc(io.buffer_faults);
+  aggregate_.GetCounter("service.attributed.retries")->Inc(io.retries);
+  aggregate_.GetCounter("service.attributed.checksum_failures")
+      ->Inc(io.checksum_failures);
+  aggregate_.GetCounter("service.attributed.faults_injected")
+      ->Inc(io.faults_injected);
   const std::string prefix = "service.client." + result.client;
   aggregate_.GetCounter(prefix + ".jobs")->Inc();
   aggregate_.GetCounter(prefix + ".rows")->Inc(result.rows);
   aggregate_.GetCounter(prefix + ".objects_dropped")
       ->Inc(result.assembly.objects_dropped);
+  aggregate_.GetHistogram(prefix + ".latency.total_ns")
+      ->Add(result.total_ns);
+}
+
+void QueryService::MaybeReportSlow(
+    const std::shared_ptr<obs::QueryContext>& ctx, const QueryResult& result,
+    std::string explain) {
+  const uint64_t exec_ns = result.io_ns + result.cpu_ns;
+  const bool slow =
+      options_.slow_query_ns > 0 && exec_ns >= options_.slow_query_ns;
+  const bool faulted = result.io.faults_injected > 0;
+  const bool failed = !result.status.ok();
+  if (!slow && !faulted && !failed) {
+    return;
+  }
+  obs::SlowQueryReport report;
+  report.query_id = result.query_id;
+  report.client = result.client;
+  report.reason = slow ? "latency-threshold" : faulted ? "fault" : "error";
+  report.status = result.status.ok() ? "OK" : result.status.ToString();
+  report.rows = result.rows;
+  report.total_ns = result.total_ns;
+  report.queue_ns = result.queue_ns;
+  report.io_ns = result.io_ns;
+  report.cpu_ns = result.cpu_ns;
+  report.io = result.io;
+  report.explain = std::move(explain);
+  report.timeline = ctx->Timeline();
+  report.timeline_dropped = ctx->timeline_dropped();
+  std::lock_guard<std::mutex> lock(reports_mu_);
+  slow_reports_.push_back(std::move(report));
+  while (slow_reports_.size() > kMaxSlowReports) {
+    slow_reports_.pop_front();
+  }
 }
 
 }  // namespace cobra::service

@@ -19,16 +19,29 @@
 //   * per-client counters land under "service.client.<name>." and service
 //     totals under "service." in the aggregate registry.
 //
+// Attribution: Submit opens an obs::QueryContext per job; the worker
+// establishes it around execution, so every disk read, seek, retry and
+// fault the job causes — including through AsyncDisk's queue — is charged
+// to that query (see obs/query_context.h for the conservation invariant).
+// The context feeds the service's always-on FlightRecorder; completion
+// stamps the latency decomposition (queue / io / cpu) into per-service and
+// per-client LogHistograms, and a query that trips the slow-query trigger
+// (latency threshold, injected fault, or error) leaves a SlowQueryReport
+// with its EXPLAIN ANALYZE summary and attributed I/O timeline.
+//
 // Read the aggregate registry and the shared pool/disk stats only when the
 // service is quiesced (Drain() returned and no new jobs submitted).
+// TakeSnapshot() is the exception: it is safe while queries run.
 
 #ifndef COBRA_SERVICE_QUERY_SERVICE_H_
 #define COBRA_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -39,7 +52,10 @@
 #include "common/status.h"
 #include "exec/iterator.h"
 #include "object/directory.h"
+#include "obs/flight_recorder.h"
+#include "obs/query_context.h"
 #include "obs/registry.h"
+#include "obs/snapshot.h"
 #include "obs/telemetry.h"
 #include "storage/async_disk.h"
 
@@ -109,6 +125,16 @@ struct QueryResult {
   Status status;
   uint64_t rows = 0;  // complex objects delivered
   AssemblyStats assembly;
+  // Attribution: service-assigned query id, the I/O this query was charged,
+  // and the latency decomposition.  total_ns == queue_ns + io_ns + cpu_ns
+  // exactly (io is the worker's storage-blocked time clamped to execution;
+  // cpu is the remainder).
+  uint64_t query_id = 0;
+  obs::QueryIoSnapshot io;
+  uint64_t queue_ns = 0;
+  uint64_t io_ns = 0;
+  uint64_t cpu_ns = 0;
+  uint64_t total_ns = 0;
 };
 
 struct ServiceOptions {
@@ -117,6 +143,12 @@ struct ServiceOptions {
   // target queue depth equal to the number of jobs currently executing, so
   // the I/O thread batches exactly as much as the offered concurrency.
   AsyncDisk* async_disk = nullptr;
+  // Execution time (io + cpu, excluding queue wait) at or above which a
+  // query leaves a SlowQueryReport.  0 disables the latency trigger;
+  // injected faults and errors always leave one.
+  uint64_t slow_query_ns = 0;
+  // Total events the always-on flight recorder retains.
+  size_t flight_capacity = 4096;
 };
 
 class QueryService {
@@ -142,19 +174,36 @@ class QueryService {
   size_t active_jobs() const;
 
   // Aggregate metrics: job-local assembly registries merged in completion
-  // order plus service.* / service.client.<name>.* instruments.  Quiesce
-  // (Drain) before reading.
+  // order plus service.* / service.client.<name>.* instruments (including
+  // the service.latency.* histograms and service.attributed.* counters).
+  // Quiesce (Drain) before reading.
   const obs::Registry& registry() const { return aggregate_; }
+
+  // The always-on event ring; read it quiesced for a stable view, or live
+  // for a best-effort one (Record is thread-safe).
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
+  // Reports left by queries that tripped the slow-query trigger, oldest
+  // first (bounded; the oldest reports are dropped past the cap).
+  std::vector<obs::SlowQueryReport> slow_reports() const;
+
+  // Live view: in-flight queries with their attributed I/O so far,
+  // per-client cumulative totals, and buffer-pool residency.
+  obs::Snapshot TakeSnapshot() const;
 
  private:
   struct Task {
     QueryJob job;
     std::promise<QueryResult> promise;
+    std::shared_ptr<obs::QueryContext> ctx;
   };
 
   void WorkerLoop();
-  QueryResult Execute(QueryJob& job, obs::Registry* job_registry);
+  QueryResult Execute(QueryJob& job, obs::Registry* job_registry,
+                      std::string* explain);
   void Account(const QueryResult& result, const obs::Registry& job_registry);
+  void MaybeReportSlow(const std::shared_ptr<obs::QueryContext>& ctx,
+                       const QueryResult& result, std::string explain);
 
   BufferManager* buffer_;
   Directory* directory_;
@@ -169,6 +218,13 @@ class QueryService {
 
   std::mutex agg_mu_;
   obs::Registry aggregate_;
+
+  std::atomic<uint64_t> next_query_id_{1};
+  obs::FlightRecorder flight_;
+  obs::QueryTracker tracker_;
+
+  mutable std::mutex reports_mu_;
+  std::deque<obs::SlowQueryReport> slow_reports_;
 
   std::vector<std::thread> workers_;
 };

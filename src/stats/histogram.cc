@@ -37,7 +37,11 @@ uint64_t LogHistogram::BucketLo(size_t i) {
 }
 
 uint64_t LogHistogram::BucketHi(size_t i) {
-  return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+  if (i == 0) return 0;
+  // The top bucket covers [2^63, UINT64_MAX]; a 64-bit shift by 64 would be
+  // undefined, so its upper bound is spelled out.
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
 }
 
 uint64_t LogHistogram::Percentile(double q) const {

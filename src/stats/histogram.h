@@ -39,13 +39,16 @@ class LogHistogram {
   double Mean() const;
 
   // Smallest value v such that at least `q` (in [0,1]) of the samples are
-  // <= v.  Bucket-resolution (upper bucket bound).
+  // <= v.  Bucket-resolution (upper bucket bound).  An empty histogram
+  // reports 0 for every quantile; a single sample answers every quantile
+  // with its own bucket's upper bound.
   uint64_t Percentile(double q) const;
 
   // The standard reporting quantiles, bucket-resolution like Percentile().
   uint64_t P50() const { return Percentile(0.50); }
   uint64_t P95() const { return Percentile(0.95); }
   uint64_t P99() const { return Percentile(0.99); }
+  uint64_t P999() const { return Percentile(0.999); }
 
   // Bucket access for exporters: bucket 0 counts value 0, bucket i counts
   // values in [2^(i-1), 2^i).

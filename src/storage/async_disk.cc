@@ -99,6 +99,7 @@ AsyncDisk::~AsyncDisk() {
 }
 
 std::shared_future<Status> AsyncDisk::Submit(Request request) {
+  request.ctx = obs::CurrentQueryShared();
   std::shared_future<Status> future;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -235,9 +236,13 @@ void AsyncDisk::IoLoop() {
       pending_.erase(*ticket);
       in_flight_++;
       lock.unlock();
-      Status status = request.is_read
-                          ? backing_->ReadPage(request.page, request.out)
-                          : backing_->WritePage(request.page, request.in);
+      Status status;
+      {
+        obs::ScopedQueryContext scope(request.ctx);
+        status = request.is_read
+                     ? backing_->ReadPage(request.page, request.out)
+                     : backing_->WritePage(request.page, request.in);
+      }
       request.promise.set_value(status);
       lock.lock();
       in_flight_--;
@@ -264,13 +269,26 @@ void AsyncDisk::ServeRun(IoRun run, std::unique_lock<std::mutex>& lock) {
   in_flight_ += executing.size();
   lock.unlock();
 
+  // The transfer is charged to the query of the entry page's oldest waiter
+  // (transfer order puts it first); that is the query whose SCAN position
+  // the pick was made for.
   if (!run.is_read) {
     // Writes are never coalesced: exactly one ticket.
     Request& request = executing.front().second;
-    request.promise.set_value(backing_->WritePage(request.page, request.in));
+    Status status;
+    {
+      obs::ScopedQueryContext scope(request.ctx);
+      status = backing_->WritePage(request.page, request.in);
+    }
+    request.promise.set_value(status);
   } else if (run.pages == 1 && executing.size() == 1) {
     Request& request = executing.front().second;
-    request.promise.set_value(backing_->ReadPage(request.page, request.out));
+    Status status;
+    {
+      obs::ScopedQueryContext scope(request.ctx);
+      status = backing_->ReadPage(request.page, request.out);
+    }
+    request.promise.set_value(status);
   } else {
     // One vectored backing transfer; the first waiter of each page is the
     // scatter target, later waiters copy from it on success.
@@ -281,8 +299,13 @@ void AsyncDisk::ServeRun(IoRun run, std::unique_lock<std::mutex>& lock) {
         outs[offset] = request.out;
       }
     }
-    RunReadResult result =
-        backing_->ReadRun(run.first, run.pages, run.ascending, outs.data());
+    obs::QueryContext* entry_ctx = executing.front().second.ctx.get();
+    RunReadResult result;
+    {
+      obs::ScopedQueryContext scope(executing.front().second.ctx);
+      result =
+          backing_->ReadRun(run.first, run.pages, run.ascending, outs.data());
+    }
 
     // Offsets (relative to run.first) of the good prefix, the failed page,
     // and the untouched tail — all derived from transfer order.
@@ -304,6 +327,12 @@ void AsyncDisk::ServeRun(IoRun run, std::unique_lock<std::mutex>& lock) {
         case 1:
           if (request.out != outs[offset]) {
             std::memcpy(request.out, outs[offset], backing_->page_size());
+          }
+          // A page delivered to a different query than the one charged for
+          // the transfer: informational only, outside the conservation sum.
+          if (request.ctx != nullptr && request.ctx.get() != entry_ctx) {
+            request.ctx->io.piggyback_pages.fetch_add(
+                1, std::memory_order_relaxed);
           }
           request.promise.set_value(Status::OK());
           break;

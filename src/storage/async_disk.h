@@ -28,6 +28,13 @@
 //     in lockstep arrival order.  Depth 1 (the default) serves immediately
 //     and is fully deterministic for a single client.
 //
+// Attribution: each request captures the submitting thread's
+// obs::QueryContext; the I/O thread re-establishes the *entry* request's
+// context around the backing call, so the backing disk charges every
+// transfer (and its seeks) to the query that entered it — direct callers
+// and queued callers account identically.  Requests from other queries
+// served by the same coalesced run record `piggyback_pages` only.
+//
 // Control-plane calls (stats, traces, ParkHead) belong to the *backing*
 // disk and require quiescence: call Drain() first.
 
@@ -46,6 +53,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/query_context.h"
 #include "storage/disk.h"
 
 namespace cobra {
@@ -168,6 +176,11 @@ class AsyncDisk : public SimulatedDisk {
     std::byte* out = nullptr;
     const std::byte* in = nullptr;
     std::promise<Status> promise;
+    // The submitter's query context, captured at Submit and re-established
+    // on the I/O thread around the backing call, so the backing disk
+    // attributes the transfer to the query that caused it.  shared_ptr:
+    // a fire-and-forget prefetch may outlive its query.
+    std::shared_ptr<obs::QueryContext> ctx;
   };
 
   std::shared_future<Status> Submit(Request request);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/query_context.h"
+
 namespace cobra {
 namespace {
 
@@ -49,6 +51,19 @@ void SimulatedDisk::ChargeSeek(PageId id, bool is_read) {
     stats_.writes++;
     stats_.write_seek_pages += distance;
   }
+  if (obs::QueryContext* query = obs::CurrentQuery()) {
+    if (is_read) {
+      query->io.disk_reads.fetch_add(1, std::memory_order_relaxed);
+      query->io.read_seek_pages.fetch_add(distance,
+                                          std::memory_order_relaxed);
+      query->Record({obs::SpanEventKind::kDiskRead, 0, 0, id, distance, 1});
+    } else {
+      query->io.disk_writes.fetch_add(1, std::memory_order_relaxed);
+      query->io.write_seek_pages.fetch_add(distance,
+                                           std::memory_order_relaxed);
+      query->Record({obs::SpanEventKind::kDiskWrite, 0, 0, id, distance, 1});
+    }
+  }
   head_.store(id, std::memory_order_relaxed);
   if (listener_ != nullptr) {
     if (is_read) {
@@ -71,6 +86,9 @@ Status SimulatedDisk::ReadPageLocked(PageId id, std::byte* out) {
   }
   ChargeSeek(id, /*is_read=*/true);
   stats_.pages_read++;
+  if (obs::QueryContext* query = obs::CurrentQuery()) {
+    query->io.pages_read.fetch_add(1, std::memory_order_relaxed);
+  }
   if (trace_enabled_) {
     read_trace_.push_back(id);
   }
@@ -90,6 +108,10 @@ RunReadResult SimulatedDisk::ReadRun(PageId first, size_t n, bool ascending,
     return result;
   }
   std::lock_guard<std::mutex> lock(io_mu_);
+  // The whole transfer is charged to the query that entered it; waiters
+  // from other queries piggybacking on the run pay nothing here (see
+  // AsyncDisk::ServeRun for their informational counter).
+  obs::QueryContext* query = obs::CurrentQuery();
   const PageId entry = ascending ? first : first + (n - 1);
   uint64_t travel = 0;       // head movement only (what the listener reports)
   size_t transferred = 0;    // pages physically moved over the bus
@@ -111,9 +133,17 @@ RunReadResult SimulatedDisk::ReadRun(PageId first, size_t n, bool ascending,
             : 1;
     if (transferred == 0) {
       stats_.reads++;
+      if (query != nullptr) {
+        query->io.disk_reads.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     stats_.read_seek_pages += distance;
     stats_.pages_read++;
+    if (query != nullptr) {
+      query->io.read_seek_pages.fetch_add(distance,
+                                          std::memory_order_relaxed);
+      query->io.pages_read.fetch_add(1, std::memory_order_relaxed);
+    }
     travel += distance;
     head_.store(page, std::memory_order_relaxed);
     if (trace_enabled_) {
@@ -139,12 +169,50 @@ RunReadResult SimulatedDisk::ReadRun(PageId first, size_t n, bool ascending,
   if (transferred > 0) {
     if (transferred >= 2) {
       stats_.coalesced_runs++;
+      if (query != nullptr) {
+        query->io.coalesced_runs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (query != nullptr) {
+      query->Record({obs::SpanEventKind::kDiskReadRun, 0, 0, entry, travel,
+                     transferred});
     }
     if (listener_ != nullptr) {
       listener_->OnDiskReadRun(entry, transferred, travel);
     }
   }
   return result;
+}
+
+void SimulatedDisk::AddSeekPenalty(uint64_t pages, bool is_read) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  AddSeekPenaltyLocked(pages, is_read);
+}
+
+void SimulatedDisk::AddSeekPenaltyLocked(uint64_t pages, bool is_read) {
+  if (is_read) {
+    stats_.read_seek_pages += pages;
+  } else {
+    stats_.write_seek_pages += pages;
+  }
+  if (obs::QueryContext* query = obs::CurrentQuery()) {
+    if (is_read) {
+      query->io.read_seek_pages.fetch_add(pages, std::memory_order_relaxed);
+    } else {
+      query->io.write_seek_pages.fetch_add(pages, std::memory_order_relaxed);
+    }
+    query->Record({obs::SpanEventKind::kSeekPenalty, 0, 0, 0, pages,
+                   is_read ? uint64_t{0} : uint64_t{1}});
+  }
+}
+
+void SimulatedDisk::NotifyFault(PageId page, FaultKind kind) {
+  if (obs::QueryContext* query = obs::CurrentQuery()) {
+    query->io.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    query->Record({obs::SpanEventKind::kFault, 0, 0, page,
+                   static_cast<uint64_t>(kind), 0});
+  }
+  if (listener_ != nullptr) listener_->OnDiskFault(page, kind);
 }
 
 std::shared_future<Status> SimulatedDisk::SubmitRead(PageId id,

@@ -15,6 +15,12 @@
 // ResetStats, ParkHead, read traces, Save/Load) is control-plane: call it
 // only while no I/O is in flight.  Listeners fire under the I/O mutex, on
 // whichever thread performed the operation, and must not re-enter the disk.
+//
+// Attribution: every counter increment (reads, seek pages, pages_read,
+// coalesced runs, penalties, injected faults) is also charged to the
+// calling thread's obs::QueryContext when one is current, at the same site
+// as the global increment — the per-query sums therefore equal the global
+// DiskStats exactly (see obs/query_context.h for the conservation rules).
 
 #ifndef COBRA_STORAGE_DISK_H_
 #define COBRA_STORAGE_DISK_H_
@@ -193,14 +199,7 @@ class SimulatedDisk {
   // Charges extra seek-page cost to the read (or write) counters without
   // moving the head: models time the device spends not seeking — retry
   // backoff, injected rotational latency — in the paper's cost unit.
-  virtual void AddSeekPenalty(uint64_t pages, bool is_read) {
-    std::lock_guard<std::mutex> lock(io_mu_);
-    if (is_read) {
-      stats_.read_seek_pages += pages;
-    } else {
-      stats_.write_seek_pages += pages;
-    }
-  }
+  virtual void AddSeekPenalty(uint64_t pages, bool is_read);
 
   virtual bool Exists(PageId id) const {
     std::lock_guard<std::mutex> lock(io_mu_);
@@ -247,11 +246,10 @@ class SimulatedDisk {
   void set_listener(DiskEventListener* listener) { listener_ = listener; }
 
  protected:
-  // Fires the fault hook on the attached listener (if any).  For
-  // fault-injecting subclasses.
-  void NotifyFault(PageId page, FaultKind kind) {
-    if (listener_ != nullptr) listener_->OnDiskFault(page, kind);
-  }
+  // Fires the fault hook on the attached listener (if any) and charges the
+  // fault to the current query context.  For fault-injecting subclasses —
+  // the single funnel every injected fault kind passes through.
+  void NotifyFault(PageId page, FaultKind kind);
 
   // Per-page sabotage hook for vectored reads, called by ReadRun under
   // io_mu_ after each page's payload lands in its output buffer.  The
@@ -272,13 +270,7 @@ class SimulatedDisk {
   // Unlocked implementations, for subclasses that already hold io_mu_.
   Status ReadPageLocked(PageId id, std::byte* out);
   Status WritePageLocked(PageId id, const std::byte* data);
-  void AddSeekPenaltyLocked(uint64_t pages, bool is_read) {
-    if (is_read) {
-      stats_.read_seek_pages += pages;
-    } else {
-      stats_.write_seek_pages += pages;
-    }
-  }
+  void AddSeekPenaltyLocked(uint64_t pages, bool is_read);
 
   // Serializes the data-plane (page map, stats, trace, listener calls).
   mutable std::mutex io_mu_;

@@ -123,6 +123,64 @@ TEST(LogHistogramTest, MergeEmptyIsNoop) {
   EXPECT_EQ(empty.max(), 7u);
 }
 
+TEST(LogHistogramTest, EmptyHistogramAnswersZeroForEveryQuantile) {
+  LogHistogram histogram;
+  EXPECT_EQ(histogram.P50(), 0u);
+  EXPECT_EQ(histogram.P95(), 0u);
+  EXPECT_EQ(histogram.P99(), 0u);
+  EXPECT_EQ(histogram.P999(), 0u);
+  EXPECT_EQ(histogram.Percentile(1.0), 0u);
+}
+
+TEST(LogHistogramTest, SingleSampleAnswersEveryQuantileWithItsBucket) {
+  LogHistogram histogram;
+  histogram.Add(100);  // bucket [64, 127]
+  EXPECT_EQ(histogram.P50(), 127u);
+  EXPECT_EQ(histogram.P99(), 127u);
+  EXPECT_EQ(histogram.P999(), 127u);
+  EXPECT_EQ(histogram.Percentile(0.0), 127u);
+  EXPECT_EQ(histogram.Percentile(1.0), 127u);
+}
+
+TEST(LogHistogramTest, P999ResolvesTheTail) {
+  // 998 small samples and two huge ones: p99 stays small, p999 must reach
+  // the outliers' bucket (threshold 999 > 998 small samples).
+  LogHistogram histogram;
+  for (int i = 0; i < 998; ++i) histogram.Add(1);
+  histogram.Add(uint64_t{1} << 20);
+  histogram.Add(uint64_t{1} << 20);
+  EXPECT_EQ(histogram.P99(), 1u);
+  EXPECT_GE(histogram.P999(), uint64_t{1} << 20);
+  EXPECT_LE(histogram.P99(), histogram.P999());
+}
+
+TEST(LogHistogramTest, TopOverflowBucketHoldsExtremeValues) {
+  // Values at and near 2^64 land in the last bucket, whose upper bound
+  // saturates at UINT64_MAX instead of overflowing the shift.
+  LogHistogram histogram;
+  histogram.Add(UINT64_MAX);
+  histogram.Add(uint64_t{1} << 63);
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_EQ(histogram.max(), UINT64_MAX);
+  EXPECT_EQ(histogram.Percentile(1.0), UINT64_MAX);
+  size_t top = histogram.num_buckets() - 1;
+  EXPECT_EQ(histogram.bucket_count(top), 2u);
+  EXPECT_EQ(LogHistogram::BucketHi(top), UINT64_MAX);
+  EXPECT_GE(LogHistogram::BucketHi(top), LogHistogram::BucketLo(top));
+}
+
+TEST(LogHistogramTest, MergePreservesTopBucket) {
+  LogHistogram a;
+  LogHistogram b;
+  a.Add(UINT64_MAX);
+  b.Add(UINT64_MAX);
+  a.Merge(b);
+  size_t top = a.num_buckets() - 1;
+  EXPECT_EQ(a.bucket_count(top), 2u);
+  EXPECT_EQ(a.max(), UINT64_MAX);
+  EXPECT_EQ(a.count(), 2u);
+}
+
 TEST(LogHistogramTest, BucketBoundsBracketSamples) {
   LogHistogram histogram;
   for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 8ull, 1023ull, 1024ull}) {

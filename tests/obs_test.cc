@@ -20,8 +20,10 @@
 #include "object/directory.h"
 #include "object/object_store.h"
 #include "obs/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/profile.h"
+#include "obs/query_context.h"
 #include "obs/registry.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -396,6 +398,203 @@ TEST_F(ObsTest, ProfiledIteratorCountsWithManualClock) {
   EXPECT_EQ(profiled.total_nanos(), 0u);
   EXPECT_NE(profiled.Summary().find("next=6"), std::string::npos);
   EXPECT_NE(profiled.Summary().find("rows=5"), std::string::npos);
+}
+
+TEST_F(ObsTest, DiskTraceEventsCarryQueryId) {
+  AssemblyTemplate tmpl;
+  std::vector<Oid> roots = BuildChains(&tmpl, 3);
+  obs::ManualClock clock(1);
+  ClockTicker ticker(&clock);
+  obs::TraceRecorder recorder(&clock);
+  obs::TelemetryHub hub;
+  hub.AddAssemblyObserver(&ticker);
+  hub.AddAssemblyObserver(&recorder);
+
+  // Cold pool over the same disk so the assembly actually reads pages;
+  // flush *before* attaching the disk listener so the write-back noise is
+  // not recorded.
+  ASSERT_TRUE(buffer_.FlushAll().ok());
+  disk_.set_listener(&recorder);
+  BufferManager cold(&disk_, BufferOptions{.num_frames = 256});
+  ObjectStore cold_store(&cold, &directory_);
+
+  auto ctx = std::make_shared<obs::QueryContext>(42, "tagged");
+  {
+    obs::ScopedQueryContext scope(ctx);
+    std::vector<Row> rows;
+    for (Oid oid : roots) rows.push_back(Row{Value::Ref(oid)});
+    AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl,
+                        &cold_store, AssemblyOptions{.window_size = 2});
+    op.set_observer(&hub);
+    Drain(&op);
+  }
+  disk_.set_listener(nullptr);
+
+  // Every disk event recorded while query 42 was current carries its id.
+  size_t disk_events = 0;
+  for (const obs::TraceEvent& event : recorder.Events()) {
+    if (event.kind == obs::TraceEvent::Kind::kDiskRead ||
+        event.kind == obs::TraceEvent::Kind::kDiskWrite) {
+      disk_events++;
+      EXPECT_EQ(event.query_id, 42u);
+    }
+  }
+  ASSERT_GT(disk_events, 0u);
+
+  // The Chrome export surfaces the id as args.query on disk slices.
+  std::string path = ::testing::TempDir() + "/cobra_tagged_trace.json";
+  ASSERT_TRUE(recorder.WriteTo(path).ok());
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  auto parsed = obs::JsonValue::Parse(contents.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::remove(path.c_str());
+  size_t tagged = 0;
+  for (const obs::JsonValue& event : parsed->Find("traceEvents")->AsArray()) {
+    const obs::JsonValue* name = event.Find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const std::string& n = name->AsString();
+    if (n != "disk-read" && n != "disk-read-run" && n != "disk-write") {
+      continue;
+    }
+    const obs::JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr) << n;
+    const obs::JsonValue* query = args->Find("query");
+    ASSERT_NE(query, nullptr) << n;
+    EXPECT_EQ(query->AsInt(), 42);
+    tagged++;
+  }
+  EXPECT_EQ(tagged, disk_events);
+}
+
+TEST_F(ObsTest, ChromeTraceInstantsMonotonePerThread) {
+  AssemblyTemplate tmpl;
+  std::vector<Oid> roots = BuildChains(&tmpl, 4);
+  obs::ManualClock clock(1);
+  ClockTicker ticker(&clock);
+  obs::TraceRecorder recorder(&clock);
+  obs::TelemetryHub hub;
+  hub.AddAssemblyObserver(&ticker);
+  hub.AddAssemblyObserver(&recorder);
+  disk_.set_listener(&recorder);
+  buffer_.set_listener(&recorder);
+  std::vector<Row> rows;
+  for (Oid oid : roots) rows.push_back(Row{Value::Ref(oid)});
+  AssemblyOperator op(std::make_unique<VectorScan>(rows), &tmpl, &store_,
+                      AssemblyOptions{.window_size = 2});
+  op.set_observer(&hub);
+  Drain(&op);
+  disk_.set_listener(nullptr);
+  buffer_.set_listener(nullptr);
+
+  std::string path = ::testing::TempDir() + "/cobra_monotone_trace.json";
+  ASSERT_TRUE(recorder.WriteTo(path).ok());
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  auto parsed = obs::JsonValue::Parse(contents.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::remove(path.c_str());
+
+  // Within each lane (tid), instants and span *ends* must appear in
+  // non-decreasing timestamp order — the viewer relies on it.
+  std::map<int64_t, double> last_ts;
+  size_t checked = 0;
+  for (const obs::JsonValue& event : parsed->Find("traceEvents")->AsArray()) {
+    const obs::JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    const std::string& phase = ph->AsString();
+    double ts = 0;
+    if (phase == "i") {
+      ts = event.Find("ts")->AsDouble();
+    } else if (phase == "X") {
+      ts = event.Find("ts")->AsDouble() + event.Find("dur")->AsDouble();
+    } else {
+      continue;
+    }
+    int64_t tid = event.Find("tid")->AsInt();
+    auto [it, inserted] = last_ts.try_emplace(tid, ts);
+    if (!inserted) {
+      EXPECT_LE(it->second, ts) << "tid " << tid;
+      it->second = ts;
+    }
+    checked++;
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_GE(last_ts.size(), 2u);  // at least a window lane and the disk lane
+}
+
+TEST_F(ObsTest, RegistryJsonIsDeterministicAndSorted) {
+  // Same instruments, opposite insertion order: identical serialized bytes.
+  obs::Registry a;
+  a.GetCounter("zeta")->Inc(1);
+  a.GetCounter("alpha")->Inc(2);
+  a.GetHistogram("lat")->Add(100);
+  a.GetGauge("g")->Set(5);
+  obs::Registry b;
+  b.GetGauge("g")->Set(5);
+  b.GetHistogram("lat")->Add(100);
+  b.GetCounter("alpha")->Inc(2);
+  b.GetCounter("zeta")->Inc(1);
+  EXPECT_EQ(a.ToJson().Dump(2), b.ToJson().Dump(2));
+
+  // Counter names come out sorted.
+  obs::JsonValue snapshot = a.ToJson();
+  const obs::JsonValue* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto& members = counters->AsObject();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0].first, "alpha");
+  EXPECT_EQ(members[1].first, "zeta");
+}
+
+TEST_F(ObsTest, HistogramJsonIncludesTailQuantiles) {
+  LogHistogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.Add(i);
+  obs::JsonValue json = obs::HistogramToJson(histogram);
+  ASSERT_NE(json.Find("count"), nullptr);
+  EXPECT_EQ(json.Find("count")->AsInt(), 1000);
+  ASSERT_NE(json.Find("p50"), nullptr);
+  ASSERT_NE(json.Find("p99"), nullptr);
+  ASSERT_NE(json.Find("p999"), nullptr);
+  EXPECT_LE(json.Find("p50")->AsInt(), json.Find("p99")->AsInt());
+  EXPECT_LE(json.Find("p99")->AsInt(), json.Find("p999")->AsInt());
+}
+
+TEST_F(ObsTest, SpanEventJsonShape) {
+  obs::SpanEvent event;
+  event.kind = obs::SpanEventKind::kDiskReadRun;
+  event.ts_ns = 12345;
+  event.query_id = 9;
+  event.page = 77;
+  event.a = 3;
+  event.b = 8;
+  obs::JsonValue json = obs::SpanEventToJson(event);
+  EXPECT_EQ(json.Find("kind")->AsString(),
+            obs::SpanEventKindName(obs::SpanEventKind::kDiskReadRun));
+  EXPECT_EQ(json.Find("ts_ns")->AsInt(), 12345);
+  EXPECT_EQ(json.Find("query")->AsInt(), 9);
+  EXPECT_EQ(json.Find("page")->AsInt(), 77);
+  EXPECT_EQ(json.Find("a")->AsInt(), 3);
+  EXPECT_EQ(json.Find("b")->AsInt(), 8);
+}
+
+TEST_F(ObsTest, FlightRecorderJsonShape) {
+  obs::FlightRecorder recorder(/*capacity=*/16);
+  obs::SpanEvent event;
+  event.kind = obs::SpanEventKind::kDiskRead;
+  event.ts_ns = 1;
+  event.query_id = 2;
+  recorder.Record(event);
+  obs::JsonValue json = recorder.ToJson();
+  EXPECT_EQ(json.Find("capacity")->AsInt(), 16);
+  EXPECT_EQ(json.Find("dropped")->AsInt(), 0);
+  ASSERT_NE(json.Find("events"), nullptr);
+  ASSERT_EQ(json.Find("events")->size(), 1u);
+  // The document round-trips through the parser.
+  auto parsed = obs::JsonValue::Parse(json.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
 }
 
 TEST_F(ObsTest, RegistryMergeAccumulates) {
