@@ -18,6 +18,7 @@
 #include "obs/telemetry.h"
 #include "stats/histogram.h"
 #include "stats/metrics.h"
+#include "wal/wal.h"
 #include "workload/acob.h"
 
 namespace cobra::bench {
@@ -139,6 +140,45 @@ struct IoBatchFlags {
   }
 };
 
+// Crash-safety rig: --wal attaches a recovered WalManager to the database
+// for the measured runs — log extent past the data, buffer write gate
+// armed.  The figure workloads are read-only, so they append nothing and
+// the measured output must stay bit-identical to the WAL-less goldens (CI
+// diffs it); the flag exists to prove exactly that.  No JSON annotation for
+// the same reason.
+struct WalFlags {
+  bool enabled = false;
+  size_t log_pages = 4096;
+
+  static WalFlags Parse(int argc, char** argv) {
+    WalFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--wal") flags.enabled = true;
+    }
+    return flags;
+  }
+
+  // Call after the database is built (and after ColdRestart): the build's
+  // own writes predate the log, exactly like a database that existed before
+  // the WAL was introduced.
+  std::unique_ptr<wal::WalManager> Attach(AcobDatabase* db) const {
+    wal::WalOptions options;
+    options.log_first_page = db->disk->page_span() + 64;
+    options.log_max_pages = log_pages;
+    auto manager = std::make_unique<wal::WalManager>(db->disk.get(), options);
+    if (auto s = manager->Recover(); !s.ok()) {
+      std::fprintf(stderr, "wal recover failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    db->buffer->set_write_gate(manager.get());
+    // The recovery scan touched the (empty) log extent; measured runs must
+    // start from the same head position and counters as a WAL-less run.
+    db->disk->ResetStats();
+    db->disk->ParkHead(0);
+    return manager;
+  }
+};
+
 struct RunResult {
   DiskStats disk;
   BufferStats buffer;
@@ -175,10 +215,15 @@ struct RunResult {
 // seek-distance histogram) and publishes into a fresh telemetry registry.
 inline RunResult RunAssembly(
     AcobDatabase* db, AssemblyOptions options,
-    size_t batch_size = exec::RowBatch::kDefaultCapacity) {
+    size_t batch_size = exec::RowBatch::kDefaultCapacity,
+    const WalFlags* wal_flags = nullptr) {
   if (auto s = db->ColdRestart(); !s.ok()) {
     std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
     std::exit(1);
+  }
+  std::unique_ptr<wal::WalManager> wal;
+  if (wal_flags != nullptr && wal_flags->enabled) {
+    wal = wal_flags->Attach(db);
   }
   obs::Registry registry;
   obs::RegistryPublisher publisher(&registry);
@@ -219,6 +264,7 @@ inline RunResult RunAssembly(
   // database outlives this run).
   db->disk->set_listener(nullptr);
   db->buffer->set_listener(nullptr);
+  db->buffer->set_write_gate(nullptr);  // the WAL dies with this run
   db->disk->EnableReadTrace(false);
   return result;
 }

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     reporter.Set("error_policy", ErrorPolicyName(faults.policy));
   }
   IoBatchFlags io_batch = IoBatchFlags::Parse(argc, argv);
+  WalFlags wal = WalFlags::Parse(argc, argv);
 
   for (Clustering clustering :
        {Clustering::kInterObject, Clustering::kIntraObject,
@@ -55,7 +56,8 @@ int main(int argc, char** argv) {
         aopts.scheduler = scheduler;
         faults.Apply(&aopts);
         io_batch.Apply(&aopts);
-        RunResult result = RunAssembly(db.get(), aopts);
+        RunResult result =
+            RunAssembly(db.get(), aopts, exec::RowBatch::kDefaultCapacity, &wal);
         row.push_back(Fmt(result.avg_seek()));
         obs::JsonValue extra = obs::JsonValue::MakeObject();
         extra.Set("clustering", ClusteringName(clustering));

@@ -144,14 +144,41 @@ void BufferManager::Unpin(Frame* frame) {
 }
 
 Status BufferManager::WriteBack(Shard* shard, Frame* frame) {
-  if (frame->dirty.load(std::memory_order_relaxed)) {
-    // Stamp the page checksum over the final frame contents; FetchPage
-    // verifies it when the page is next faulted in.
-    StampPageChecksum(frame->data.data(), frame->data.size());
-    COBRA_RETURN_IF_ERROR(disk_->WritePage(frame->page_id, frame->data.data()));
-    frame->dirty.store(false, std::memory_order_relaxed);
-    shard->dirty_writebacks++;
+  if (!frame->dirty.load(std::memory_order_relaxed)) {
+    return Status::OK();
   }
+  // Stamp the page checksum over the final frame contents; FetchPage
+  // verifies it when the page is next faulted in.
+  StampPageChecksum(frame->data.data(), frame->data.size());
+  if (write_gate_ != nullptr) {
+    // WAL-before-data: the gate logs a full-page image of exactly these
+    // bytes (checksum already stamped) and blocks until it is durable, so a
+    // torn data write below is repairable from the log.
+    COBRA_RETURN_IF_ERROR(write_gate_->BeforePageWrite(
+        frame->page_id, frame->data.data(), frame->data.size()));
+  }
+  // Bounded retry for transient write failures, mirroring ReadWithRetry.
+  // A torn write is invisible here (the disk reports success); it surfaces
+  // as a checksum failure on the next read and is repaired by recovery.
+  int max_attempts = options_.retry.max_read_attempts < 1
+                         ? 1
+                         : options_.retry.max_read_attempts;
+  Status write;
+  for (int attempt = 1;; ++attempt) {
+    write = disk_->WritePage(frame->page_id, frame->data.data());
+    if (write.ok() || !write.IsUnavailable() || attempt >= max_attempts) {
+      if (!write.ok() && write.IsUnavailable()) shard->retries_exhausted++;
+      break;
+    }
+    shard->write_retries++;
+    if (listener_ != nullptr) listener_->OnBufferRetry(frame->page_id, attempt);
+    disk_->AddSeekPenalty(
+        static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
+        /*is_read=*/false);
+  }
+  COBRA_RETURN_IF_ERROR(write);
+  frame->dirty.store(false, std::memory_order_relaxed);
+  shard->dirty_writebacks++;
   return Status::OK();
 }
 
@@ -161,11 +188,18 @@ Result<size_t> BufferManager::ObtainFrame(Shard* shard) {
     shard->free_list.pop_back();
     return frame;
   }
-  std::optional<size_t> victim = shard->policy->Victim([shard](size_t f) {
-    const Frame& frame = *shard->frames[f];
-    return frame.pin_count.load(std::memory_order_acquire) == 0 &&
-           !frame.has_pending;
-  });
+  std::optional<size_t> victim =
+      shard->policy->Victim([this, shard](size_t f) {
+        const Frame& frame = *shard->frames[f];
+        if (frame.pin_count.load(std::memory_order_acquire) != 0 ||
+            frame.has_pending) {
+          return false;
+        }
+        // NO-STEAL: a page dirtied by an in-flight transaction must never
+        // reach disk (recovery is redo-only), so it is not evictable either.
+        return write_gate_ == nullptr ||
+               !write_gate_->IsUncommitted(frame.page_id);
+      });
   if (!victim.has_value()) {
     return Status::ResourceExhausted("all buffer frames are pinned");
   }
@@ -587,6 +621,9 @@ Status BufferManager::FlushPage(PageId id) {
   if (frame->has_pending) {
     COBRA_RETURN_IF_ERROR(ConsumePending(&shard, it->second, id));
   }
+  if (write_gate_ != nullptr && write_gate_->IsUncommitted(id)) {
+    return Status::OK();  // no-steal: stays dirty until its txn resolves
+  }
   return WriteBack(&shard, frame);
 }
 
@@ -595,7 +632,9 @@ Status BufferManager::FlushAll() {
     std::lock_guard<std::mutex> lock(shard->mu);
     SettlePending(shard.get());
     for (auto& frame : shard->frames) {
-      if (frame->valid) {
+      if (frame->valid &&
+          (write_gate_ == nullptr ||
+           !write_gate_->IsUncommitted(frame->page_id))) {
         COBRA_RETURN_IF_ERROR(WriteBack(shard.get(), frame.get()));
       }
     }
@@ -614,7 +653,12 @@ Status BufferManager::DropAll() {
         return Status::ResourceExhausted("cannot drop pinned page " +
                                          std::to_string(frame.page_id));
       }
-      COBRA_RETURN_IF_ERROR(WriteBack(shard.get(), &frame));
+      if (write_gate_ == nullptr ||
+          !write_gate_->IsUncommitted(frame.page_id)) {
+        COBRA_RETURN_IF_ERROR(WriteBack(shard.get(), &frame));
+      }
+      // An uncommitted page is dropped without write-back: no-steal forbids
+      // it reaching disk, and DropAll models a restart, which loses it.
       shard->page_table.erase(frame.page_id);
       shard->policy->Remove(i);
       frame.valid = false;
@@ -642,6 +686,7 @@ BufferStats BufferManager::stats() const {
     stats.retries += shard->retries;
     stats.retries_exhausted += shard->retries_exhausted;
     stats.checksum_failures += shard->checksum_failures;
+    stats.write_retries += shard->write_retries;
     stats.prefetches += shard->prefetches;
   }
   stats.max_pinned = max_pinned_.load(std::memory_order_relaxed);
@@ -658,6 +703,7 @@ void BufferManager::ResetStats() {
     shard->retries = 0;
     shard->retries_exhausted = 0;
     shard->checksum_failures = 0;
+    shard->write_retries = 0;
     shard->prefetches = 0;
   }
   max_pinned_.store(0, std::memory_order_relaxed);

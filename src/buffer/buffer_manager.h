@@ -73,6 +73,10 @@ struct BufferStats {
   uint64_t retries_exhausted = 0;
   // Reads rejected because the page checksum did not verify.
   uint64_t checksum_failures = 0;
+  // Transient write failures retried during dirty write-back.  Like
+  // `prefetches`, absent from the JSON exporters: write faults are off by
+  // default and the bench goldens predate the field.
+  uint64_t write_retries = 0;
   // Async prefetches submitted (PrefetchPage).  Intentionally absent from
   // the JSON exporters: prefetching is off by default and the bench goldens
   // predate the field.
@@ -108,6 +112,32 @@ class BufferEventListener {
     (void)attempt;
   }
   virtual void OnBufferChecksumFailure(PageId page) { (void)page; }
+};
+
+// Write-ahead gate: consulted on every dirty-page write-back.  Installed by
+// the WAL (src/wal/wal.h) to enforce the two recovery invariants the buffer
+// manager cannot know about on its own:
+//
+//   * WAL-before-data — BeforePageWrite runs immediately before the bytes
+//     hit the disk and must make the log durable up to a point covering
+//     this page state (the WAL logs a full-page image and flushes through
+//     it) before returning OK.  A non-OK status aborts the write-back and
+//     leaves the frame dirty and resident.
+//   * no-steal — IsUncommitted(page) is true while the page carries data
+//     from a transaction that has neither committed nor aborted; such
+//     pages are never chosen as eviction victims and FlushPage/FlushAll
+//     skip them, so an uncommitted change can never reach the disk and
+//     recovery needs no undo pass.
+//
+// Hooks fire under the page's shard lock, possibly from several threads at
+// once; implementations must be thread-safe and must not re-enter the
+// buffer manager.
+class PageWriteGate {
+ public:
+  virtual ~PageWriteGate() = default;
+  virtual Status BeforePageWrite(PageId page, const std::byte* data,
+                                 size_t size) = 0;
+  virtual bool IsUncommitted(PageId page) const = 0;
 };
 
 // RAII pin on a buffer frame.  Movable, not copyable.  Releasing is
@@ -232,6 +262,13 @@ class BufferManager {
   // cleared).  Null disables the hook.
   void set_listener(BufferEventListener* listener) { listener_ = listener; }
 
+  // Optional write-ahead gate (borrowed; must outlive the manager or be
+  // cleared — note ~BufferManager flushes, so destroy the gate *after* the
+  // manager or clear it first).  Null (the default) preserves the historical
+  // write-back behavior exactly.
+  void set_write_gate(PageWriteGate* gate) { write_gate_ = gate; }
+  PageWriteGate* write_gate() const { return write_gate_; }
+
   // Distinct pages ever faulted in since the last ResetFetchTrace(); the
   // difference (faults - unique) counts *re-reads*, the §7 buffer-pressure
   // metric.
@@ -273,6 +310,7 @@ class BufferManager {
     uint64_t retries = 0;
     uint64_t retries_exhausted = 0;
     uint64_t checksum_failures = 0;
+    uint64_t write_retries = 0;
     uint64_t prefetches = 0;
   };
 
@@ -307,6 +345,7 @@ class BufferManager {
   std::atomic<size_t> pinned_frames_{0};
   std::atomic<size_t> max_pinned_{0};
   BufferEventListener* listener_ = nullptr;
+  PageWriteGate* write_gate_ = nullptr;
 };
 
 }  // namespace cobra

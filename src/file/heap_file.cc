@@ -35,6 +35,13 @@ Result<PageGuard> HeapFile::GetOrCreatePage(size_t page_index) {
   }
   COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->CreatePage(id));
   SlottedPage::Init(guard.data().data(), guard.data().size());
+  if (wal_ != nullptr) {
+    // Structural record: the format must replay even when the transaction
+    // that triggered it aborts, because a later committed insert may land
+    // on this page.
+    COBRA_ASSIGN_OR_RETURN(wal::Lsn lsn, wal_->LogPageFormat(id));
+    SlottedPage(guard.data().data(), guard.data().size()).set_lsn(lsn);
+  }
   guard.MarkDirty();
   if (page_index + 1 > pages_used_) {
     pages_used_ = page_index + 1;
@@ -43,6 +50,9 @@ Result<PageGuard> HeapFile::GetOrCreatePage(size_t page_index) {
 }
 
 Result<RecordId> HeapFile::Append(std::span<const std::byte> record) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("unlogged Append on a WAL-attached file");
+  }
   while (append_cursor_ < max_pages_) {
     COBRA_ASSIGN_OR_RETURN(PageGuard guard, GetOrCreatePage(append_cursor_));
     SlottedPage page(guard.data().data(), guard.data().size());
@@ -59,6 +69,10 @@ Result<RecordId> HeapFile::Append(std::span<const std::byte> record) {
 
 Result<RecordId> HeapFile::InsertAtPage(size_t page_index,
                                         std::span<const std::byte> record) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument(
+        "unlogged InsertAtPage on a WAL-attached file");
+  }
   COBRA_ASSIGN_OR_RETURN(PageGuard guard, GetOrCreatePage(page_index));
   SlottedPage page(guard.data().data(), guard.data().size());
   if (!page.CanFit(record.size())) {
@@ -81,6 +95,9 @@ Result<std::vector<std::byte>> HeapFile::Get(RecordId id) const {
 }
 
 Status HeapFile::Delete(RecordId id) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("unlogged Delete on a WAL-attached file");
+  }
   COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
   SlottedPage page(guard.data().data(), guard.data().size());
   COBRA_RETURN_IF_ERROR(page.Delete(id.slot));
@@ -90,10 +107,120 @@ Status HeapFile::Delete(RecordId id) {
 }
 
 Status HeapFile::Update(RecordId id, std::span<const std::byte> record) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("unlogged Update on a WAL-attached file");
+  }
   COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
   SlottedPage page(guard.data().data(), guard.data().size());
   COBRA_RETURN_IF_ERROR(page.Update(id.slot, record));
   guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<RecordId> HeapFile::AppendTxn(wal::TxnId txn,
+                                     std::span<const std::byte> record) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("AppendTxn without an attached WAL");
+  }
+  while (append_cursor_ < max_pages_) {
+    COBRA_ASSIGN_OR_RETURN(PageGuard guard, GetOrCreatePage(append_cursor_));
+    SlottedPage page(guard.data().data(), guard.data().size());
+    if (page.CanFit(record.size())) {
+      COBRA_ASSIGN_OR_RETURN(uint16_t slot, page.Insert(record));
+      // Log the slot Insert() chose: redo replays with InsertAt because a
+      // fresh Insert() could pick differently (aborted neighbors are not
+      // replayed).
+      COBRA_ASSIGN_OR_RETURN(
+          wal::Lsn lsn, wal_->LogHeapInsert(txn, guard.page_id(), slot,
+                                            record));
+      page.set_lsn(lsn);
+      guard.MarkDirty();
+      record_count_++;
+      return RecordId{guard.page_id(), slot};
+    }
+    append_cursor_++;
+  }
+  return Status::ResourceExhausted("heap file extent is full");
+}
+
+Result<RecordId> HeapFile::InsertAtPageTxn(wal::TxnId txn, size_t page_index,
+                                           std::span<const std::byte> record) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("InsertAtPageTxn without an attached WAL");
+  }
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, GetOrCreatePage(page_index));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  if (!page.CanFit(record.size())) {
+    return Status::ResourceExhausted("target page is full");
+  }
+  COBRA_ASSIGN_OR_RETURN(uint16_t slot, page.Insert(record));
+  COBRA_ASSIGN_OR_RETURN(
+      wal::Lsn lsn, wal_->LogHeapInsert(txn, guard.page_id(), slot, record));
+  page.set_lsn(lsn);
+  guard.MarkDirty();
+  record_count_++;
+  return RecordId{guard.page_id(), slot};
+}
+
+Status HeapFile::DeleteTxn(wal::TxnId txn, RecordId id) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("DeleteTxn without an attached WAL");
+  }
+  if (id.page < first_page_ || id.page >= first_page_ + max_pages_) {
+    return Status::OutOfRange("record id outside file extent");
+  }
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_RETURN_IF_ERROR(page.Delete(id.slot));
+  COBRA_ASSIGN_OR_RETURN(wal::Lsn lsn,
+                         wal_->LogHeapDelete(txn, id.page, id.slot));
+  page.set_lsn(lsn);
+  guard.MarkDirty();
+  record_count_--;
+  return Status::OK();
+}
+
+Status HeapFile::UpdateTxn(wal::TxnId txn, RecordId id,
+                           std::span<const std::byte> record) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("UpdateTxn without an attached WAL");
+  }
+  if (id.page < first_page_ || id.page >= first_page_ + max_pages_) {
+    return Status::OutOfRange("record id outside file extent");
+  }
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_RETURN_IF_ERROR(page.Update(id.slot, record));
+  COBRA_ASSIGN_OR_RETURN(wal::Lsn lsn,
+                         wal_->LogHeapUpdate(txn, id.page, id.slot, record));
+  page.set_lsn(lsn);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::UndoInsert(RecordId id) {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_RETURN_IF_ERROR(page.Delete(id.slot));
+  guard.MarkDirty();
+  record_count_--;
+  return Status::OK();
+}
+
+Status HeapFile::UndoUpdate(RecordId id, std::span<const std::byte> before) {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_RETURN_IF_ERROR(page.Update(id.slot, before));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::UndoDelete(RecordId id, std::span<const std::byte> before) {
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard, buffer_->FetchPage(id.page));
+  SlottedPage page(guard.data().data(), guard.data().size());
+  COBRA_RETURN_IF_ERROR(page.InsertAt(id.slot, before));
+  guard.MarkDirty();
+  record_count_++;
   return Status::OK();
 }
 

@@ -26,6 +26,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/disk.h"
+#include "wal/wal.h"
 
 namespace cobra {
 
@@ -87,6 +88,33 @@ class HeapFile {
   // Same-length overwrite.
   Status Update(RecordId id, std::span<const std::byte> record);
 
+  // --- Write-ahead-logged mutations -----------------------------------
+  //
+  // Attaching a WAL switches the file to logged mode: every mutation must
+  // go through a *Txn variant (which logs it and stamps the page LSN), and
+  // the plain mutators above are rejected so no change can slip past the
+  // log.  Reads are unaffected.  Attach after bulk builds: the build's
+  // unlogged pages are history the log never needs to replay.
+  void set_wal(wal::WalManager* wal) { wal_ = wal; }
+  wal::WalManager* wal() const { return wal_; }
+
+  Result<RecordId> AppendTxn(wal::TxnId txn, std::span<const std::byte> record);
+  Result<RecordId> InsertAtPageTxn(wal::TxnId txn, size_t page_index,
+                                   std::span<const std::byte> record);
+  Status DeleteTxn(wal::TxnId txn, RecordId id);
+  Status UpdateTxn(wal::TxnId txn, RecordId id,
+                   std::span<const std::byte> record);
+
+  // Abort-path reversals: physically revert an op this transaction logged,
+  // without writing a new log record.  No-steal means the disk never saw
+  // the change, and recovery skips the transaction's records once the
+  // abort is logged, so the reversal itself needs no log entry.  The page
+  // LSN is deliberately left at the aborted record's value: it only ever
+  // grows, which keeps redo gating monotone.
+  Status UndoInsert(RecordId id);
+  Status UndoUpdate(RecordId id, std::span<const std::byte> before);
+  Status UndoDelete(RecordId id, std::span<const std::byte> before);
+
   // Forward scan over all live records, in (page, slot) order.
   class Cursor {
    public:
@@ -116,6 +144,7 @@ class HeapFile {
   Result<PageGuard> GetOrCreatePage(size_t page_index);
 
   BufferManager* buffer_;
+  wal::WalManager* wal_ = nullptr;
   PageId first_page_;
   size_t max_pages_;
   size_t pages_used_ = 0;

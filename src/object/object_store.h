@@ -10,6 +10,8 @@
 #define COBRA_OBJECT_OBJECT_STORE_H_
 
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 #include "buffer/buffer_manager.h"
 #include "common/result.h"
@@ -18,12 +20,15 @@
 #include "object/directory.h"
 #include "object/object.h"
 #include "object/oid.h"
+#include "wal/wal.h"
 
 namespace cobra {
 
 struct ObjectStoreStats {
   uint64_t objects_read = 0;
   uint64_t objects_written = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
 };
 
 class ObjectStore {
@@ -60,18 +65,53 @@ class ObjectStore {
 
   Status Remove(Oid oid);
 
+  // --- Transactions ------------------------------------------------------
+  //
+  // Available once a WAL is attached (set_wal).  Mutations are logged by
+  // the heap file; the store additionally keeps an in-memory undo list of
+  // before-images so an explicit AbortTxn can physically revert the
+  // buffered pages (the disk never sees uncommitted data — no-steal — so
+  // undo is never needed after a crash).  Not thread-safe: the service
+  // layer serializes writers (service/query_service.h).
+  void set_wal(wal::WalManager* wal) { wal_ = wal; }
+  wal::WalManager* wal() const { return wal_; }
+
+  Result<wal::TxnId> BeginTxn();
+  // Logged insert into `file` (which must share this store's WAL).
+  Result<Oid> InsertTxn(wal::TxnId txn, const ObjectData& obj, HeapFile* file);
+  // Logged same-size overwrite of the stored object with obj.oid.
+  Status UpdateTxn(wal::TxnId txn, const ObjectData& obj, HeapFile* file);
+  // Logged removal.
+  Status RemoveTxn(wal::TxnId txn, Oid oid, HeapFile* file);
+  // Durably commits: returns OK only after the commit record is on disk.
+  Status CommitTxn(wal::TxnId txn);
+  // Reverts every buffered effect of the transaction (reverse order), then
+  // logs the abort.
+  Status AbortTxn(wal::TxnId txn);
+
   BufferManager* buffer() const { return buffer_; }
   Directory* directory() const { return directory_; }
   const ObjectStoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ObjectStoreStats(); }
 
  private:
+  struct UndoEntry {
+    enum class Kind { kInsert, kUpdate, kRemove };
+    Kind kind;
+    Oid oid;
+    RecordId location;
+    HeapFile* file;
+    std::vector<std::byte> before;  // pre-image for kUpdate / kRemove
+  };
+
   Result<Oid> InsertCommon(const ObjectData& obj, HeapFile* file,
                            bool explicit_page, size_t page_index);
 
   BufferManager* buffer_;
   Directory* directory_;
+  wal::WalManager* wal_ = nullptr;
   Oid next_oid_ = 1;
+  std::unordered_map<wal::TxnId, std::vector<UndoEntry>> txns_;
   mutable ObjectStoreStats stats_;
 };
 

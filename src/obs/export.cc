@@ -55,7 +55,41 @@ JsonValue ToJson(const FaultStats& stats) {
   out.Set("bit_flips", stats.bit_flips);
   out.Set("torn_pages", stats.torn_pages);
   out.Set("latency_injections", stats.latency_injections);
+  // Write-side fault kinds postdate the fault-injection goldens, so they
+  // appear only when such a fault actually fired.
+  if (stats.transient_write_failures > 0) {
+    out.Set("transient_write_failures", stats.transient_write_failures);
+  }
+  if (stats.torn_writes > 0) {
+    out.Set("torn_writes", stats.torn_writes);
+  }
   out.Set("total", stats.total());
+  return out;
+}
+
+JsonValue ToJson(const wal::WalStats& stats) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("records_appended", stats.records_appended);
+  out.Set("begins", stats.begins);
+  out.Set("commits", stats.commits);
+  out.Set("aborts", stats.aborts);
+  out.Set("images_logged", stats.images_logged);
+  out.Set("batches_flushed", stats.batches_flushed);
+  out.Set("log_pages_written", stats.log_pages_written);
+  out.Set("bytes_flushed", stats.bytes_flushed);
+  out.Set("flush_retries", stats.flush_retries);
+  out.Set("checkpoints", stats.checkpoints);
+  out.Set("recovered_records", stats.recovered_records);
+  out.Set("recovered_commits", stats.recovered_commits);
+  out.Set("discarded_txns", stats.discarded_txns);
+  out.Set("redo_applied", stats.redo_applied);
+  out.Set("redo_images", stats.redo_images);
+  out.Set("redo_formats", stats.redo_formats);
+  out.Set("redo_skipped_uncommitted", stats.redo_skipped_uncommitted);
+  out.Set("redo_skipped_stale", stats.redo_skipped_stale);
+  out.Set("redo_deferred", stats.redo_deferred);
+  out.Set("pages_repaired", stats.pages_repaired);
+  out.Set("torn_tail_events", stats.torn_tail_events);
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include "stats/metrics.h"
 #include "storage/disk.h"
 #include "storage/faulty_disk.h"
+#include "wal/wal.h"
 
 namespace cobra::obs {
 
@@ -20,6 +21,8 @@ JsonValue ToJson(const DiskStats& stats);
 JsonValue ToJson(const BufferStats& stats);
 JsonValue ToJson(const AssemblyStats& stats);
 JsonValue ToJson(const FaultStats& stats);
+// Append/flush-path and recovery counters of a WalManager.
+JsonValue ToJson(const wal::WalStats& stats);
 
 // Full run export: label, the three stat structs, derived headline metrics
 // (avg_seek, avg_write_seek) and — when the run recorded a read trace —

@@ -31,10 +31,13 @@ RegistryPublisher::RegistryPublisher(Registry* registry, const Clock* clock)
           registry->GetHistogram("assembly.window_occupancy.dist")),
       pool_size_dist_(registry->GetHistogram("assembly.pool_size.dist")),
       fetch_latency_ns_(registry->GetHistogram("assembly.fetch_latency_ns")) {
-  for (int i = 0; i < 5; ++i) {
-    disk_faults_[i] = registry->GetCounter(
-        std::string("disk.faults.") +
-        FaultKindName(static_cast<FaultKind>(i)));
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    // Read-side fault counters bind eagerly (the historical shape); the
+    // write-side kinds appear only once such a fault actually fires.
+    disk_faults_[i] =
+        i < 5 ? registry->GetCounter(std::string("disk.faults.") +
+                                     FaultKindName(static_cast<FaultKind>(i)))
+              : nullptr;
   }
 }
 
@@ -113,7 +116,13 @@ void RegistryPublisher::OnDiskWrite(PageId, uint64_t seek_pages) {
 }
 
 void RegistryPublisher::OnDiskFault(PageId, FaultKind kind) {
-  disk_faults_[static_cast<int>(kind)]->Inc();
+  const int index = static_cast<int>(kind);
+  if (disk_faults_[index] == nullptr) {
+    disk_faults_[index] =
+        registry_->GetCounter(std::string("disk.faults.") +
+                              FaultKindName(kind));
+  }
+  disk_faults_[index]->Inc();
 }
 
 void RegistryPublisher::OnBufferHit(PageId) { buffer_hits_->Inc(); }
@@ -129,6 +138,22 @@ void RegistryPublisher::OnBufferRetry(PageId, int) { buffer_retries_->Inc(); }
 
 void RegistryPublisher::OnBufferChecksumFailure(PageId) {
   buffer_checksum_failures_->Inc();
+}
+
+void RegistryPublisher::OnWalFlush(wal::Lsn, size_t pages, size_t bytes,
+                                   size_t records) {
+  if (wal_flushes_ == nullptr) {
+    wal_flushes_ = registry_->GetCounter("wal.flushes");
+    wal_records_ = registry_->GetCounter("wal.records");
+    wal_pages_ = registry_->GetCounter("wal.pages");
+    wal_bytes_ = registry_->GetCounter("wal.bytes");
+    wal_batch_records_ = registry_->GetHistogram("wal.batch_records");
+  }
+  wal_flushes_->Inc();
+  wal_records_->Inc(records);
+  wal_pages_->Inc(pages);
+  wal_bytes_->Inc(bytes);
+  wal_batch_records_->Add(records);
 }
 
 }  // namespace cobra::obs

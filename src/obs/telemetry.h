@@ -33,12 +33,14 @@
 #include "obs/clock.h"
 #include "obs/registry.h"
 #include "storage/disk.h"
+#include "wal/wal_events.h"
 
 namespace cobra::obs {
 
 class RegistryPublisher : public AssemblyObserver,
                           public DiskEventListener,
-                          public BufferEventListener {
+                          public BufferEventListener,
+                          public wal::WalEventListener {
  public:
   // Binds all instruments eagerly; `registry` must outlive the publisher.
   // The clock feeds the per-fetch latency histogram.
@@ -62,6 +64,14 @@ class RegistryPublisher : public AssemblyObserver,
   void OnBufferEviction(PageId page, bool dirty) override;
   void OnBufferRetry(PageId page, int attempt) override;
   void OnBufferChecksumFailure(PageId page) override;
+  // Publishes wal.flushes / wal.records / wal.pages / wal.bytes and the
+  // wal.batch_records distribution.  Instruments bind lazily on the first
+  // flush so WAL-free runs keep the historical registry shape.  Fired by
+  // the group-commit daemon thread: like every publisher hook, calls must
+  // be externally serialized against other registry users (see
+  // service::LockedTelemetry).
+  void OnWalFlush(wal::Lsn durable_lsn, size_t pages, size_t bytes,
+                  size_t records) override;
 
  private:
   // Creates the io.* instruments on first use (see OnDiskReadRun).
@@ -74,8 +84,11 @@ class RegistryPublisher : public AssemblyObserver,
   Counter* disk_writes_;
   Histogram* seek_distance_;
   Histogram* write_seek_distance_;
-  // One counter per FaultKind, indexed by the enum value.
-  Counter* disk_faults_[5];
+  // One counter per FaultKind, indexed by the enum value.  The read-side
+  // kinds bind eagerly (historical registry shape); the write-side kinds
+  // (transient-write, torn-write) bind lazily on first occurrence so
+  // read-only workloads keep golden-identical registries.
+  Counter* disk_faults_[kNumFaultKinds];
 
   Counter* buffer_hits_;
   Counter* buffer_faults_;
@@ -103,6 +116,13 @@ class RegistryPublisher : public AssemblyObserver,
   Histogram* io_run_length_ = nullptr;
   Histogram* io_pages_per_read_ = nullptr;
 
+  // Lazily bound WAL instruments; null until the first group-commit flush.
+  Counter* wal_flushes_ = nullptr;
+  Counter* wal_records_ = nullptr;
+  Counter* wal_pages_ = nullptr;
+  Counter* wal_bytes_ = nullptr;
+  Histogram* wal_batch_records_ = nullptr;
+
   uint64_t last_assembly_ns_ = 0;
   bool saw_assembly_event_ = false;
 };
@@ -110,7 +130,8 @@ class RegistryPublisher : public AssemblyObserver,
 // Forwards each event to every registered sink, in registration order.
 class TelemetryHub : public AssemblyObserver,
                      public DiskEventListener,
-                     public BufferEventListener {
+                     public BufferEventListener,
+                     public wal::WalEventListener {
  public:
   void AddAssemblyObserver(AssemblyObserver* observer) {
     assembly_.push_back(observer);
@@ -121,11 +142,15 @@ class TelemetryHub : public AssemblyObserver,
   void AddBufferListener(BufferEventListener* listener) {
     buffer_.push_back(listener);
   }
+  void AddWalListener(wal::WalEventListener* listener) {
+    wal_.push_back(listener);
+  }
   // Registers a sink with every interface it implements.
   void Add(RegistryPublisher* publisher) {
     AddAssemblyObserver(publisher);
     AddDiskListener(publisher);
     AddBufferListener(publisher);
+    AddWalListener(publisher);
   }
 
   void OnEvent(const AssemblyEvent& event) override {
@@ -175,11 +200,18 @@ class TelemetryHub : public AssemblyObserver,
       listener->OnBufferChecksumFailure(page);
     }
   }
+  void OnWalFlush(wal::Lsn durable_lsn, size_t pages, size_t bytes,
+                  size_t records) override {
+    for (wal::WalEventListener* listener : wal_) {
+      listener->OnWalFlush(durable_lsn, pages, bytes, records);
+    }
+  }
 
  private:
   std::vector<AssemblyObserver*> assembly_;
   std::vector<DiskEventListener*> disk_;
   std::vector<BufferEventListener*> buffer_;
+  std::vector<wal::WalEventListener*> wal_;
 };
 
 }  // namespace cobra::obs

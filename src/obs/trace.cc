@@ -10,6 +10,7 @@ namespace {
 // Fixed tids for the non-window lanes; window slots start at kFirstSlotTid.
 constexpr int kDiskTid = 1;
 constexpr int kBufferTid = 2;
+constexpr int kWalTid = 3;
 constexpr int kFirstSlotTid = 10;
 
 }  // namespace
@@ -28,6 +29,7 @@ const char* TraceEventKindName(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kBufferHit: return "buffer-hit";
     case TraceEvent::Kind::kBufferFault: return "buffer-fault";
     case TraceEvent::Kind::kBufferEviction: return "buffer-eviction";
+    case TraceEvent::Kind::kWalFlush: return "wal-flush";
   }
   return "?";
 }
@@ -181,6 +183,18 @@ void TraceRecorder::OnBufferEviction(PageId page, bool dirty) {
   Push(out);
 }
 
+void TraceRecorder::OnWalFlush(wal::Lsn durable_lsn, size_t pages,
+                               size_t bytes, size_t records) {
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kWalFlush;
+  out.ts_ns = clock_->NowNanos();
+  out.complex_id = durable_lsn;
+  out.run_pages = pages == 0 ? 1 : pages;
+  out.seek_pages = records;
+  out.page = bytes;
+  Push(out);
+}
+
 std::vector<TraceEvent> TraceRecorder::Events() const {
   std::vector<TraceEvent> out;
   out.reserve(size_);
@@ -216,6 +230,7 @@ JsonValue TraceRecorder::ToChromeTrace() const {
   };
   meta(kDiskTid, "disk");
   meta(kBufferTid, "buffer");
+  meta(kWalTid, "wal");
   for (int lane = 0; lane < num_lanes_; ++lane) {
     meta(kFirstSlotTid + lane, "window slot " + std::to_string(lane));
   }
@@ -303,6 +318,20 @@ JsonValue TraceRecorder::ToChromeTrace() const {
         if (event.kind == TraceEvent::Kind::kBufferEviction) {
           args.Set("dirty", event.seek_pages != 0);
         }
+        break;
+      case TraceEvent::Kind::kWalFlush:
+        // One slice per group-commit batch, sized by its log pages (one
+        // microsecond per page, as for disk-read-run: the simulated disk
+        // has no wall-clock transfer time).
+        e.Set("name", "wal-flush");
+        e.Set("ph", "X");
+        e.Set("tid", kWalTid);
+        e.Set("ts", micros(event.ts_ns));
+        e.Set("dur", static_cast<double>(event.run_pages));
+        args.Set("durable_lsn", event.complex_id);
+        args.Set("pages", event.run_pages);
+        args.Set("records", event.seek_pages);
+        args.Set("bytes", event.page);
         break;
     }
     e.Set("args", std::move(args));

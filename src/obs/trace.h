@@ -33,6 +33,7 @@
 #include "obs/clock.h"
 #include "obs/json.h"
 #include "storage/disk.h"
+#include "wal/wal_events.h"
 
 namespace cobra::obs {
 
@@ -50,6 +51,10 @@ struct TraceEvent {
     kBufferHit,
     kBufferFault,
     kBufferEviction,
+    // A group-commit batch became durable.  Field reuse: complex_id is the
+    // durable LSN, run_pages the log pages written, seek_pages the record
+    // count, page the byte count.
+    kWalFlush,
   };
 
   Kind kind;
@@ -72,7 +77,8 @@ const char* TraceEventKindName(TraceEvent::Kind kind);
 
 class TraceRecorder : public AssemblyObserver,
                       public DiskEventListener,
-                      public BufferEventListener {
+                      public BufferEventListener,
+                      public wal::WalEventListener {
  public:
   explicit TraceRecorder(const Clock* clock = nullptr,
                          size_t capacity = 65536);
@@ -88,6 +94,10 @@ class TraceRecorder : public AssemblyObserver,
   void OnBufferHit(PageId page) override;
   void OnBufferFault(PageId page) override;
   void OnBufferEviction(PageId page, bool dirty) override;
+  // wal::WalEventListener.  Renders as a "wal-flush" slice in its own lane
+  // (one microsecond per log page, like disk-read-run).
+  void OnWalFlush(wal::Lsn durable_lsn, size_t pages, size_t bytes,
+                  size_t records) override;
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return size_; }

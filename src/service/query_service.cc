@@ -23,6 +23,7 @@ QueryService::QueryService(BufferManager* buffer, Directory* directory,
     : buffer_(buffer),
       directory_(directory),
       options_(options),
+      next_write_oid_(options.next_oid),
       flight_(options.flight_capacity) {
   size_t workers = options_.num_workers == 0 ? 1 : options_.num_workers;
   workers_.reserve(workers);
@@ -157,8 +158,80 @@ void QueryService::WorkerLoop() {
   }
 }
 
+WriteResult QueryService::ExecuteWrite(const WriteJob& job) {
+  WriteResult result;
+  result.client = job.client;
+  if (options_.wal == nullptr || options_.write_file == nullptr) {
+    result.status = Status::InvalidArgument(
+        "service has no write path (set ServiceOptions::wal and write_file)");
+    return result;
+  }
+  // Private store view, like Execute(): the txn undo state and stats are
+  // per-call; buffer, directory and WAL are the shared layers underneath.
+  ObjectStore store(buffer_, directory_);
+  store.set_wal(options_.wal);
+  Status status;
+  {
+    std::unique_lock<std::shared_mutex> lock(store_mu_);
+    store.set_next_oid(next_write_oid_);
+    Result<wal::TxnId> begin = store.BeginTxn();
+    if (!begin.ok()) {
+      result.status = begin.status();
+      return result;
+    }
+    result.txn = *begin;
+    for (const WriteOp& op : job.ops) {
+      switch (op.kind) {
+        case WriteOp::Kind::kInsert:
+          status = store.InsertTxn(result.txn, op.obj, options_.write_file)
+                       .status();
+          break;
+        case WriteOp::Kind::kUpdate:
+          status = store.UpdateTxn(result.txn, op.obj, options_.write_file);
+          break;
+        case WriteOp::Kind::kRemove:
+          status = store.RemoveTxn(result.txn, op.oid, options_.write_file);
+          break;
+      }
+      if (!status.ok()) break;
+      result.ops_applied++;
+    }
+    if (!status.ok() || job.abort) {
+      // Physical undo must happen under the exclusive lock — it mutates
+      // the pages queries read.
+      Status abort_status = store.AbortTxn(result.txn);
+      if (status.ok()) status = abort_status;
+      result.aborted = true;
+    }
+    next_write_oid_ = store.next_oid();
+  }
+  if (!result.aborted) {
+    // Outside the lock: the durability wait is where concurrent committers
+    // pile up and share a single group-commit flush.
+    status = store.CommitTxn(result.txn);
+  }
+  result.status = status;
+  {
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    aggregate_.GetCounter("service.writes_submitted")->Inc();
+    aggregate_.GetCounter("service.write_ops")->Inc(result.ops_applied);
+    if (result.aborted) {
+      aggregate_.GetCounter("service.writes_aborted")->Inc();
+    } else if (status.ok()) {
+      aggregate_.GetCounter("service.writes_committed")->Inc();
+    }
+    if (!status.ok()) {
+      aggregate_.GetCounter("service.writes_failed")->Inc();
+    }
+  }
+  return result;
+}
+
 QueryResult QueryService::Execute(QueryJob& job, obs::Registry* job_registry,
                                   std::string* explain) {
+  // Shared side of the writer lock: assembly reads race only with other
+  // readers; write transactions are exclusive.
+  std::shared_lock<std::shared_mutex> store_lock(store_mu_);
   QueryResult result;
   result.client = job.client;
   if (job.tmpl == nullptr) {

@@ -43,6 +43,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,13 +52,16 @@
 #include "buffer/buffer_manager.h"
 #include "common/status.h"
 #include "exec/iterator.h"
+#include "file/heap_file.h"
 #include "object/directory.h"
+#include "object/object.h"
 #include "obs/flight_recorder.h"
 #include "obs/query_context.h"
 #include "obs/registry.h"
 #include "obs/snapshot.h"
 #include "obs/telemetry.h"
 #include "storage/async_disk.h"
+#include "wal/wal.h"
 
 namespace cobra::service {
 
@@ -65,10 +69,13 @@ namespace cobra::service {
 // concurrent publishers onto one inner listener (e.g. a RegistryPublisher)
 // with a mutex.  Attach to SimulatedDisk/BufferManager when multiple service
 // workers run; the single-client benches keep using their listener directly.
-class LockedTelemetry : public DiskEventListener, public BufferEventListener {
+class LockedTelemetry : public DiskEventListener,
+                        public BufferEventListener,
+                        public wal::WalEventListener {
  public:
-  LockedTelemetry(DiskEventListener* disk, BufferEventListener* buffer)
-      : disk_(disk), buffer_(buffer) {}
+  LockedTelemetry(DiskEventListener* disk, BufferEventListener* buffer,
+                  wal::WalEventListener* wal = nullptr)
+      : disk_(disk), buffer_(buffer), wal_(wal) {}
 
   void OnDiskRead(PageId page, uint64_t seek_pages) override {
     std::lock_guard<std::mutex> lock(mu_);
@@ -102,11 +109,19 @@ class LockedTelemetry : public DiskEventListener, public BufferEventListener {
     std::lock_guard<std::mutex> lock(mu_);
     if (buffer_ != nullptr) buffer_->OnBufferChecksumFailure(page);
   }
+  // Fired by the group-commit daemon thread; serialized onto the same
+  // inner sink as the disk/buffer events.
+  void OnWalFlush(wal::Lsn durable_lsn, size_t pages, size_t bytes,
+                  size_t records) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_ != nullptr) wal_->OnWalFlush(durable_lsn, pages, bytes, records);
+  }
 
  private:
   std::mutex mu_;
   DiskEventListener* disk_;
   BufferEventListener* buffer_;
+  wal::WalEventListener* wal_;
 };
 
 // One assembly query: assemble `roots` with `tmpl` under `assembly` options.
@@ -137,6 +152,31 @@ struct QueryResult {
   uint64_t total_ns = 0;
 };
 
+// One logged mutation inside a write transaction.
+struct WriteOp {
+  enum class Kind { kInsert, kUpdate, kRemove };
+  Kind kind = Kind::kInsert;
+  ObjectData obj;         // kInsert / kUpdate payload (obj.oid = target)
+  Oid oid = kInvalidOid;  // kRemove target
+};
+
+// A write transaction: `ops` applied in order under the writer lock, then
+// durably committed — or physically undone when `abort` is set (exercising
+// the in-memory undo path under concurrency).
+struct WriteJob {
+  std::string client = "writer";
+  std::vector<WriteOp> ops;
+  bool abort = false;
+};
+
+struct WriteResult {
+  std::string client;
+  Status status;
+  wal::TxnId txn = 0;
+  uint64_t ops_applied = 0;
+  bool aborted = false;
+};
+
 struct ServiceOptions {
   size_t num_workers = 2;
   // When the storage stack is fronted by an AsyncDisk, the service keeps its
@@ -149,6 +189,13 @@ struct ServiceOptions {
   uint64_t slow_query_ns = 0;
   // Total events the always-on flight recorder retains.
   size_t flight_capacity = 4096;
+  // Write path: both must be set before ExecuteWrite is used.  The caller
+  // wires the stack (WAL recovered, attached to the buffer manager as the
+  // write gate and to `write_file`) before starting traffic.
+  wal::WalManager* wal = nullptr;
+  HeapFile* write_file = nullptr;
+  // OID the first inserted object gets (seed past the preloaded data set).
+  Oid next_oid = 1;
 };
 
 class QueryService {
@@ -166,6 +213,13 @@ class QueryService {
   // Enqueues a job; the future delivers the result (including per-job
   // errors — Submit itself does not fail).
   std::future<QueryResult> Submit(QueryJob job);
+
+  // Runs a write transaction on the caller's thread.  Mutations happen
+  // under the writer-exclusive lock (queries hold it shared), but the
+  // durability wait runs after the lock is released, so concurrent
+  // committers share one group-commit flush.  Thread-safe; requires
+  // ServiceOptions::wal and write_file.
+  WriteResult ExecuteWrite(const WriteJob& job);
 
   // Blocks until every submitted job has finished.
   void Drain();
@@ -208,6 +262,13 @@ class QueryService {
   BufferManager* buffer_;
   Directory* directory_;
   ServiceOptions options_;
+
+  // Queries execute under the shared side, write transactions under the
+  // exclusive side: the directory and heap file are not internally
+  // thread-safe, and exclusivity also gives writers a consistent read of
+  // their own updates.
+  mutable std::shared_mutex store_mu_;
+  Oid next_write_oid_ = 1;  // guarded by store_mu_ (exclusive)
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

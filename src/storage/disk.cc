@@ -35,6 +35,8 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kBitFlip: return "bit-flip";
     case FaultKind::kTornPage: return "torn-page";
     case FaultKind::kExtraLatency: return "extra-latency";
+    case FaultKind::kTransientWrite: return "transient-write";
+    case FaultKind::kTornWrite: return "torn-write";
   }
   return "unknown";
 }

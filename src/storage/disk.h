@@ -117,7 +117,11 @@ enum class FaultKind {
   kBitFlip,         // read succeeded but one payload bit was flipped
   kTornPage,        // read succeeded but the page tail was zeroed
   kExtraLatency,    // read succeeded with extra seek-pages cost charged
+  kTransientWrite,  // write failed, retry may succeed (Status::Unavailable)
+  kTornWrite,       // write "succeeded" but only the page head hit the disk
 };
+
+inline constexpr int kNumFaultKinds = 7;
 
 const char* FaultKindName(FaultKind kind);
 

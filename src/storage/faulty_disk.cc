@@ -1,6 +1,8 @@
 #include "storage/faulty_disk.h"
 
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "storage/checksum.h"
 
@@ -41,6 +43,69 @@ Status FaultInjectingDisk::ReadPage(PageId id, std::byte* out) {
     AddSeekPenalty(penalty, /*is_read=*/true);
   }
   return injected;
+}
+
+FaultInjectingDisk::WriteVerdict FaultInjectingDisk::DrawWriteFault(
+    PageId id) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  // The crash point outranks the probabilistic profile: once the power is
+  // cut nothing else gets a say, and the crash-matrix sweep stays stable
+  // whether or not a profile is also armed.
+  if (crash_armed_) {
+    if (crash_triggered_) {
+      return WriteVerdict::kCrashed;
+    }
+    if (writes_survived_ >= crash_after_writes_) {
+      crash_triggered_ = true;
+      return crash_mode_ == CrashWriteMode::kTornWrite
+                 ? WriteVerdict::kCrashTorn
+                 : WriteVerdict::kCrashed;
+    }
+  }
+  if (enabled_) {
+    uint64_t attempt = ++write_attempts_[id];
+    if (profile_.transient_write_fail > 0.0 &&
+        Draw(id, attempt, 6) < profile_.transient_write_fail) {
+      fault_stats_.transient_write_failures++;
+      NotifyFault(id, FaultKind::kTransientWrite);
+      return WriteVerdict::kReject;
+    }
+    if (profile_.torn_write > 0.0 &&
+        Draw(id, attempt, 7) < profile_.torn_write) {
+      fault_stats_.torn_writes++;
+      NotifyFault(id, FaultKind::kTornWrite);
+      if (crash_armed_) writes_survived_++;
+      return WriteVerdict::kTorn;
+    }
+  }
+  if (crash_armed_) writes_survived_++;
+  return WriteVerdict::kNone;
+}
+
+Status FaultInjectingDisk::WritePage(PageId id, const std::byte* data) {
+  WriteVerdict verdict = DrawWriteFault(id);
+  switch (verdict) {
+    case WriteVerdict::kNone:
+      return SimulatedDisk::WritePage(id, data);
+    case WriteVerdict::kReject:
+      return Status::Unavailable("injected transient write failure on page " +
+                                 std::to_string(id));
+    case WriteVerdict::kTorn:
+    case WriteVerdict::kCrashTorn: {
+      // Only the head half reaches the platter; the tail reads back as
+      // zeros.  Page checksums catch this on the next read.
+      std::vector<std::byte> torn(page_size(), std::byte{0});
+      std::memcpy(torn.data(), data, page_size() / 2);
+      Status status = SimulatedDisk::WritePage(id, torn.data());
+      if (verdict == WriteVerdict::kTorn) {
+        return status;
+      }
+      return Status::Unavailable("simulated crash: disk offline");
+    }
+    case WriteVerdict::kCrashed:
+      return Status::Unavailable("simulated crash: disk offline");
+  }
+  return Status::Internal("unreachable");
 }
 
 Status FaultInjectingDisk::InjectRunPageFault(PageId id, std::byte* out,

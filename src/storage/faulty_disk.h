@@ -46,12 +46,20 @@ struct FaultProfile {
   double bit_flip = 0.0;
   double torn_page = 0.0;
   double extra_latency = 0.0;
+  // Write-path faults.  A transient write failure rejects the write with
+  // Status::Unavailable before touching the platter (the retrying caller —
+  // buffer write-back, WAL group commit — re-draws).  A torn write
+  // "succeeds" but persists only the first half of the page; the page
+  // checksum catches it on the next read.
+  double transient_write_fail = 0.0;
+  double torn_write = 0.0;
   // Seek-pages charged when an extra-latency fault fires.
   uint64_t latency_seek_pages = 32;
 
   bool any() const {
     return transient_read_fail > 0.0 || permanent_page_fail > 0.0 ||
-           bit_flip > 0.0 || torn_page > 0.0 || extra_latency > 0.0;
+           bit_flip > 0.0 || torn_page > 0.0 || extra_latency > 0.0 ||
+           transient_write_fail > 0.0 || torn_write > 0.0;
   }
 
   // The canonical mixed profile the benches' `--faults <seed>` flag enables:
@@ -75,11 +83,19 @@ struct FaultStats {
   uint64_t bit_flips = 0;
   uint64_t torn_pages = 0;
   uint64_t latency_injections = 0;
+  uint64_t transient_write_failures = 0;
+  uint64_t torn_writes = 0;
 
   uint64_t total() const {
     return transient_failures + permanent_failures + bit_flips + torn_pages +
-           latency_injections;
+           latency_injections + transient_write_failures + torn_writes;
   }
+};
+
+// How the scheduled crash point treats the write that trips it.
+enum class CrashWriteMode {
+  kDropWrite,  // the page never reaches the platter
+  kTornWrite,  // only the first half of the page reaches the platter
 };
 
 class FaultInjectingDisk : public SimulatedDisk {
@@ -88,14 +104,54 @@ class FaultInjectingDisk : public SimulatedDisk {
       : SimulatedDisk(options), profile_(profile) {}
 
   Status ReadPage(PageId id, std::byte* out) override;
+  Status WritePage(PageId id, const std::byte* data) override;
 
   // Arms / disarms injection.  Disarmed, the disk behaves exactly like the
-  // base SimulatedDisk (the only cost is one branch per read).
+  // base SimulatedDisk (the only cost is one branch per read).  A scheduled
+  // crash point (below) is independent of this switch.
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
   const FaultProfile& profile() const { return profile_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // --- Deterministic crash points -------------------------------------
+  //
+  // ScheduleCrash(n, mode) arms a power-cut after `n` further successful
+  // page writes: the (n+1)-th write is the crash write — dropped entirely
+  // (kDropWrite) or persisted half-torn (kTornWrite) — and it plus every
+  // subsequent write returns Status::Unavailable("simulated crash...").
+  // Reads keep working so the recovery test can inspect the "platter"
+  // without clearing the crash.  ClearCrash() models the restart.
+  //
+  // The crash-matrix test sweeps n over every write boundary of a
+  // workload, in both modes, and asserts recovery invariants at each.
+  void ScheduleCrash(uint64_t after_writes, CrashWriteMode mode) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    crash_armed_ = true;
+    crash_triggered_ = false;
+    crash_after_writes_ = after_writes;
+    crash_mode_ = mode;
+    writes_survived_ = 0;
+  }
+
+  void ClearCrash() {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    crash_armed_ = false;
+    crash_triggered_ = false;
+  }
+
+  bool crash_triggered() const {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    return crash_triggered_;
+  }
+
+  // Successful page writes since the crash was armed (the sweep uses the
+  // total from an uncrashed run to enumerate crash points).
+  uint64_t writes_survived() const {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    return writes_survived_;
+  }
 
   // Clears fault counters AND per-page attempt numbers, so the next run
   // replays the identical fault schedule.  Cold restarts call this.
@@ -103,6 +159,7 @@ class FaultInjectingDisk : public SimulatedDisk {
     std::lock_guard<std::mutex> lock(fault_mu_);
     fault_stats_ = FaultStats();
     attempts_.clear();
+    write_attempts_.clear();
   }
 
  protected:
@@ -123,16 +180,32 @@ class FaultInjectingDisk : public SimulatedDisk {
   double Draw(PageId id, uint64_t attempt, uint64_t salt) const;
   uint64_t Mix(PageId id, uint64_t attempt, uint64_t salt) const;
 
+  // Write-path decision, taken under fault_mu_ before the base write runs.
+  // kNone: persist `data` as given.  kTorn: persist a half-torn copy and
+  // report success.  kReject / kCrashed: persist nothing, fail the write.
+  // kCrashTorn: the crash write itself in kTornWrite mode — persist the
+  // half-torn copy, then fail like kCrashed.
+  enum class WriteVerdict { kNone, kTorn, kReject, kCrashed, kCrashTorn };
+  WriteVerdict DrawWriteFault(PageId id);
+
   FaultProfile profile_;
   bool enabled_ = false;
-  // Guards attempts_ and fault_stats_ (injection decisions), so concurrent
-  // readers draw from one coherent per-page attempt sequence.  This is a
-  // leaf lock: nothing is called out to while it is held (latency penalties
-  // are returned to the caller, not charged inline), so it is safe to take
-  // both with and without the base class's I/O mutex held.
+  // Guards attempts_, write_attempts_, fault_stats_ and the crash-point
+  // state, so concurrent readers/writers draw from one coherent per-page
+  // attempt sequence.  This is a leaf lock: nothing is called out to while
+  // it is held (latency penalties are returned to the caller, not charged
+  // inline), so it is safe to take both with and without the base class's
+  // I/O mutex held.
   mutable std::mutex fault_mu_;
   std::unordered_map<PageId, uint64_t> attempts_;
+  std::unordered_map<PageId, uint64_t> write_attempts_;
   FaultStats fault_stats_;
+  // Crash-point state (see ScheduleCrash).
+  bool crash_armed_ = false;
+  bool crash_triggered_ = false;
+  uint64_t crash_after_writes_ = 0;
+  uint64_t writes_survived_ = 0;
+  CrashWriteMode crash_mode_ = CrashWriteMode::kDropWrite;
 };
 
 }  // namespace cobra

@@ -1,5 +1,6 @@
 #include "storage/slotted_page.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -25,6 +26,21 @@ void SlottedPage::WriteU16(size_t offset, uint16_t value) {
 }
 
 uint16_t SlottedPage::slot_count() const { return ReadU16(kSlotCountOffset); }
+
+uint64_t SlottedPage::lsn() const {
+  uint64_t value = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<uint8_t>(data_[kLsnOffset + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+void SlottedPage::set_lsn(uint64_t lsn) {
+  for (size_t i = 0; i < 8; ++i) {
+    data_[kLsnOffset + i] = static_cast<std::byte>((lsn >> (8 * i)) & 0xFF);
+  }
+}
 
 uint16_t SlottedPage::SlotOffset(uint16_t slot) const {
   return ReadU16(kHeaderSize + slot * kSlotSize);
@@ -131,6 +147,45 @@ Result<uint16_t> SlottedPage::Insert(std::span<const std::byte> record) {
   SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
   set_free_end(offset);
   return slot;
+}
+
+Status SlottedPage::InsertAt(uint16_t slot, std::span<const std::byte> record) {
+  if (record.empty()) {
+    return Status::InvalidArgument("empty record");
+  }
+  if (slot == kDeadSlot || kHeaderSize + (slot + 1) * kSlotSize > page_size_) {
+    return Status::InvalidArgument("slot number out of page range");
+  }
+  if (IsLive(slot)) {
+    if (SlotLength(slot) == record.size()) {
+      std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
+      return Status::OK();
+    }
+    SetSlot(slot, kDeadSlot, 0);
+  }
+  const size_t slots = std::max<size_t>(slot + 1, slot_count());
+  if (kHeaderSize + slots * kSlotSize + LiveBytes() + record.size() >
+      page_size_) {
+    return Status::ResourceExhausted("record does not fit in page");
+  }
+  const size_t directory_end = kHeaderSize + slots * kSlotSize;
+  if (free_end() < directory_end) {
+    Compact();  // moves bodies to the page tail, clearing the directory area
+  }
+  if (slot >= slot_count()) {
+    for (uint16_t s = slot_count(); s <= slot; ++s) {
+      SetSlot(s, kDeadSlot, 0);
+    }
+    WriteU16(kSlotCountOffset, static_cast<uint16_t>(slot + 1));
+  }
+  if (free_end() < directory_end + record.size()) {
+    Compact();
+  }
+  const uint16_t offset = static_cast<uint16_t>(free_end() - record.size());
+  std::memcpy(data_ + offset, record.data(), record.size());
+  SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
+  set_free_end(offset);
+  return Status::OK();
 }
 
 Result<std::span<const std::byte>> SlottedPage::Get(uint16_t slot) const {

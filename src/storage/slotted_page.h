@@ -8,12 +8,15 @@
 // SlottedPage is a *view* over a caller-owned buffer (typically a buffer-pool
 // frame); it owns no memory itself.
 //
-// Layout (all little-endian uint16 past the checksum):
+// Layout (little-endian past the checksum):
 //   [0..4)   checksum        CRC32C of bytes [4, page_size); stamped by the
 //                            buffer manager on write-back (storage/checksum.h)
 //   [4..6)   slot_count      number of slot directory entries (live or dead)
 //   [6..8)   free_end        lowest byte offset used by any record body
-//   [8..)    slot directory  slot_count entries of {offset, length};
+//   [8..16)  page LSN        uint64 LSN of the last logged mutation; 0 until
+//                            a WAL-logged write touches the page.  Recovery
+//                            redoes a record iff page LSN < record LSN.
+//   [16..)   slot directory  slot_count entries of {offset, length};
 //                            offset == kDeadSlot marks a deleted slot
 //   [free_end..page_size)    record bodies
 
@@ -55,6 +58,13 @@ class SlottedPage {
   // (our workloads use fixed-size records); differing lengths are rejected.
   Status Update(uint16_t slot, std::span<const std::byte> record);
 
+  // Redo-only insert: places `record` in exactly `slot`, growing the slot
+  // directory with dead entries as needed and compacting for space.  WAL
+  // recovery uses it to replay a logged insert into the slot chosen at
+  // do-time, which may differ from what Insert() would pick on the
+  // recovered page (aborted neighbors are never replayed).
+  Status InsertAt(uint16_t slot, std::span<const std::byte> record);
+
   uint16_t slot_count() const;
   // Number of live (non-deleted) records.
   uint16_t live_count() const;
@@ -67,12 +77,19 @@ class SlottedPage {
   // True if `record_size` bytes would fit, possibly after compaction.
   bool CanFit(size_t record_size) const;
 
+  // Page LSN: the LSN of the last WAL record applied to this page (0 on a
+  // freshly formatted page).  The write path stamps it after each logged
+  // mutation; redo recovery uses it as the idempotence gate.
+  uint64_t lsn() const;
+  void set_lsn(uint64_t lsn);
+
  private:
-  // Checksum (4) + slot_count (2) + free_end (2).
-  static constexpr size_t kHeaderSize = 8;
+  // Checksum (4) + slot_count (2) + free_end (2) + page LSN (8).
+  static constexpr size_t kHeaderSize = 16;
   static constexpr size_t kSlotSize = 4;
   static constexpr size_t kSlotCountOffset = 4;
   static constexpr size_t kFreeEndOffset = 6;
+  static constexpr size_t kLsnOffset = 8;
 
   uint16_t ReadU16(size_t offset) const;
   void WriteU16(size_t offset, uint16_t value);

@@ -1,0 +1,154 @@
+#include "wal/log_record.h"
+
+#include <cstring>
+
+#include "storage/checksum.h"
+
+namespace cobra::wal {
+namespace {
+
+void PutU16(std::byte* out, uint16_t v) {
+  out[0] = static_cast<std::byte>(v & 0xFF);
+  out[1] = static_cast<std::byte>(v >> 8);
+}
+
+void PutU32(std::byte* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void PutU64(std::byte* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+uint16_t GetU16(const std::byte* in) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(in[0])) |
+         static_cast<uint16_t>(
+             static_cast<uint16_t>(static_cast<uint8_t>(in[1])) << 8);
+}
+
+uint32_t GetU32(const std::byte* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const std::byte* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+// Records never carry more than one page of payload (images are the largest
+// kind); anything bigger in the stream is framing damage, not a record.
+constexpr size_t kMaxPayload = 1u << 20;
+
+}  // namespace
+
+const char* LogRecordTypeName(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kBegin: return "begin";
+    case LogRecordType::kCommit: return "commit";
+    case LogRecordType::kAbort: return "abort";
+    case LogRecordType::kHeapInsert: return "heap-insert";
+    case LogRecordType::kHeapUpdate: return "heap-update";
+    case LogRecordType::kHeapDelete: return "heap-delete";
+    case LogRecordType::kPageFormat: return "page-format";
+    case LogRecordType::kPageImage: return "page-image";
+    case LogRecordType::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+void EncodeLogRecord(const LogRecord& record, std::vector<std::byte>* out) {
+  const size_t start = out->size();
+  out->resize(start + kLogRecordHeaderSize + record.payload.size());
+  std::byte* p = out->data() + start;
+  PutU32(p + 4, static_cast<uint32_t>(record.payload.size()));
+  PutU64(p + 8, record.lsn);
+  PutU64(p + 16, record.txn);
+  p[24] = static_cast<std::byte>(record.type);
+  PutU64(p + 25, record.page);
+  PutU16(p + 33, record.slot);
+  if (!record.payload.empty()) {
+    std::memcpy(p + kLogRecordHeaderSize, record.payload.data(),
+                record.payload.size());
+  }
+  uint32_t crc = Crc32c(p + 4, kLogRecordHeaderSize - 4 +
+                                   record.payload.size());
+  PutU32(p, crc);
+}
+
+DecodeOutcome DecodeLogRecord(std::span<const std::byte> stream,
+                              size_t* offset, LogRecord* record) {
+  if (stream.size() - *offset < kLogRecordHeaderSize) {
+    return DecodeOutcome::kTruncated;
+  }
+  const std::byte* p = stream.data() + *offset;
+  const uint32_t size = GetU32(p + 4);
+  if (size > kMaxPayload) {
+    return DecodeOutcome::kCorrupt;
+  }
+  if (stream.size() - *offset < kLogRecordHeaderSize + size) {
+    return DecodeOutcome::kTruncated;
+  }
+  const uint32_t stored_crc = GetU32(p);
+  const uint32_t actual_crc =
+      Crc32c(p + 4, kLogRecordHeaderSize - 4 + size);
+  if (stored_crc != actual_crc) {
+    return DecodeOutcome::kCorrupt;
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(p[24]);
+  if (raw_type < static_cast<uint8_t>(LogRecordType::kBegin) ||
+      raw_type > static_cast<uint8_t>(LogRecordType::kCheckpoint)) {
+    return DecodeOutcome::kCorrupt;
+  }
+  record->lsn = GetU64(p + 8);
+  record->txn = GetU64(p + 16);
+  record->type = static_cast<LogRecordType>(raw_type);
+  record->page = GetU64(p + 25);
+  record->slot = GetU16(p + 33);
+  record->payload.assign(p + kLogRecordHeaderSize,
+                         p + kLogRecordHeaderSize + size);
+  *offset += kLogRecordHeaderSize + size;
+  return DecodeOutcome::kRecord;
+}
+
+void SealLogPage(std::byte* page, size_t page_size,
+                 const LogPageHeader& header) {
+  uint16_t used = header.used & kLogPageUsedMask;
+  if (header.continues) {
+    used |= kLogPageContinues;
+  }
+  PutU16(page + 4, used);
+  PutU16(page + 6, header.epoch);
+  PutU64(page + 8, header.batch_first_lsn);
+  StampPageChecksum(page, page_size);
+}
+
+bool ReadLogPage(const std::byte* page, size_t page_size,
+                 LogPageHeader* header) {
+  if (!VerifyPageChecksum(page, page_size, /*page_id=*/0).ok()) {
+    return false;
+  }
+  const uint16_t raw = GetU16(page + 4);
+  LogPageHeader h;
+  h.used = raw & kLogPageUsedMask;
+  h.continues = (raw & kLogPageContinues) != 0;
+  h.epoch = GetU16(page + 6);
+  h.batch_first_lsn = GetU64(page + 8);
+  if (h.used > LogPagePayloadCapacity(page_size)) {
+    return false;
+  }
+  *header = h;
+  return true;
+}
+
+}  // namespace cobra::wal

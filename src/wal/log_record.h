@@ -1,0 +1,134 @@
+// WAL record and log-page framing.
+//
+// The write-ahead log is a byte stream of CRC32C-framed records packed into
+// log pages on the same simulated disk as the data (a reserved extent, so
+// log appends and data write-backs share one head — the seek accounting is
+// honest about the classic "log on the data spindle" cost).
+//
+// Record wire format (little-endian):
+//   [0..4)    crc      CRC32C of bytes [4, 35 + payload_size)
+//   [4..8)    size     payload byte count
+//   [8..16)   lsn      log sequence number, 1-based, dense (lsn of record
+//                      k+1 is lsn of record k plus one)
+//   [16..24)  txn      transaction id; 0 for structural records (page
+//                      format / page image / checkpoint)
+//   [24..25)  type     LogRecordType
+//   [25..33)  page     target data page (kInvalidPageId when unused)
+//   [33..35)  slot     target slot (0 when unused)
+//   [35..)    payload  record body / new page image / empty
+//
+// Log page format (page size inherited from the disk):
+//   [0..4)    crc      CRC32C of bytes [4, page_size) — the same
+//                      storage/checksum.h framing every data page uses
+//   [4..6)    used     payload bytes in this page; bit 15 set means the
+//                      batch continues on the next page
+//   [6..8)    epoch    log generation; bumped by checkpoint truncation so
+//                      pages of a previous generation terminate the scan
+//   [8..16)   batch_first_lsn
+//                      lsn of the first record of the batch this page
+//                      belongs to; lets the scanner reject zombie pages
+//                      left behind by a discarded (torn) batch that was
+//                      later partially overwritten
+//   [16..)    payload  record-stream bytes
+//
+// Every group-commit batch starts on a fresh log page and never rewrites a
+// page a previous batch produced, so a torn or dropped log write can only
+// damage records whose commits were never acknowledged.
+
+#ifndef COBRA_WAL_LOG_RECORD_H_
+#define COBRA_WAL_LOG_RECORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace cobra::wal {
+
+using Lsn = uint64_t;
+using TxnId = uint64_t;
+
+inline constexpr Lsn kInvalidLsn = 0;
+
+enum class LogRecordType : uint8_t {
+  kBegin = 1,       // txn started
+  kCommit = 2,      // txn committed (group-commit waits for this record)
+  kAbort = 3,       // txn aborted (its logical records must not be redone)
+  kHeapInsert = 4,  // payload = record body inserted at (page, slot)
+  kHeapUpdate = 5,  // payload = new record body at (page, slot)
+  kHeapDelete = 6,  // record at (page, slot) deleted
+  kPageFormat = 7,  // page formatted as an empty slotted page (structural)
+  kPageImage = 8,   // payload = full page image logged before write-back
+  kCheckpoint = 9,  // all data pages were durable when this was logged
+};
+
+const char* LogRecordTypeName(LogRecordType type);
+
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  TxnId txn = 0;
+  LogRecordType type = LogRecordType::kBegin;
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+  std::vector<std::byte> payload;
+
+  // True for records replayed regardless of their transaction's fate.
+  bool structural() const {
+    return type == LogRecordType::kPageFormat ||
+           type == LogRecordType::kPageImage ||
+           type == LogRecordType::kCheckpoint;
+  }
+};
+
+// Serialized size of the fixed record header (everything before payload).
+inline constexpr size_t kLogRecordHeaderSize = 35;
+
+// Appends the serialized record (header + payload) to `out`, computing the
+// CRC.  `record.lsn` must already be assigned.
+void EncodeLogRecord(const LogRecord& record, std::vector<std::byte>* out);
+
+// Outcome of decoding one record from a byte stream.
+enum class DecodeOutcome {
+  kRecord,      // *record filled, *offset advanced past it
+  kTruncated,   // stream ends mid-record (torn batch tail)
+  kCorrupt,     // framing present but CRC or size check failed
+};
+
+// Decodes the record starting at `*offset`; on kRecord, advances `*offset`.
+DecodeOutcome DecodeLogRecord(std::span<const std::byte> stream,
+                              size_t* offset, LogRecord* record);
+
+// ---- Log page framing ----------------------------------------------------
+
+inline constexpr size_t kLogPageHeaderSize = 16;
+inline constexpr uint16_t kLogPageContinues = 0x8000;
+inline constexpr uint16_t kLogPageUsedMask = 0x7FFF;
+
+struct LogPageHeader {
+  uint16_t used = 0;        // payload bytes (mask applied)
+  bool continues = false;   // batch continues on the next page
+  uint16_t epoch = 0;
+  Lsn batch_first_lsn = 0;
+};
+
+// Payload capacity of one log page.
+inline size_t LogPagePayloadCapacity(size_t page_size) {
+  return page_size - kLogPageHeaderSize;
+}
+
+// Writes header fields and stamps the page CRC.  `page` must hold
+// `page_size` bytes with payload already placed at kLogPageHeaderSize.
+void SealLogPage(std::byte* page, size_t page_size,
+                 const LogPageHeader& header);
+
+// Verifies the page CRC and parses the header.  Returns false (without
+// touching *header) on checksum mismatch or an out-of-range used count.
+bool ReadLogPage(const std::byte* page, size_t page_size,
+                 LogPageHeader* header);
+
+}  // namespace cobra::wal
+
+#endif  // COBRA_WAL_LOG_RECORD_H_

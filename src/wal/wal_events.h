@@ -1,0 +1,28 @@
+// WAL telemetry hook, in the style of DiskEventListener /
+// BufferEventListener: one virtual call per group-commit flush, fired by
+// the group-commit daemon thread under the WAL mutex.  Implementations
+// must be cheap, thread-safe, and must not re-enter the WAL.
+
+#ifndef COBRA_WAL_WAL_EVENTS_H_
+#define COBRA_WAL_WAL_EVENTS_H_
+
+#include <cstddef>
+
+#include "wal/log_record.h"
+
+namespace cobra::wal {
+
+class WalEventListener {
+ public:
+  virtual ~WalEventListener() = default;
+
+  // One group-commit batch became durable: `records` log records totalling
+  // `bytes` payload-stream bytes were written as `pages` fresh log pages,
+  // advancing the durable watermark to `durable_lsn`.
+  virtual void OnWalFlush(Lsn durable_lsn, size_t pages, size_t bytes,
+                          size_t records) = 0;
+};
+
+}  // namespace cobra::wal
+
+#endif  // COBRA_WAL_WAL_EVENTS_H_

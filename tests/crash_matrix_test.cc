@@ -1,0 +1,321 @@
+// Deterministic crash-point matrix (ctest label `crash`).
+//
+// A fixed write workload — inserts, updates, removes, an explicit abort, a
+// checkpoint, a trailing uncommitted transaction, and a final flush — runs
+// against a FaultInjectingDisk with a power cut scheduled after N
+// successful page writes.  The sweep enumerates N over EVERY write boundary
+// of the workload (counted from an uncrashed run), in both crash modes
+// (write dropped / write half-torn), and after each cut restarts the stack
+// and asserts the ARIES invariants:
+//
+//   * recovery succeeds;
+//   * every surviving data page is checksum-clean;
+//   * acknowledged commits are durable in full;
+//   * unacknowledged transactions are all-or-nothing, and the set of
+//     surviving transactions is a prefix of commit order (the durable log
+//     is a prefix of the appended log);
+//   * aborted and never-committed transactions are invisible;
+//   * running recovery twice leaves bit-identical pages.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "file/heap_file.h"
+#include "object/directory.h"
+#include "object/object.h"
+#include "object/object_store.h"
+#include "storage/checksum.h"
+#include "storage/faulty_disk.h"
+#include "wal/wal.h"
+
+namespace cobra {
+namespace {
+
+constexpr PageId kDataFirst = 0;
+constexpr size_t kDataPages = 8;
+constexpr PageId kLogFirst = 64;
+constexpr size_t kLogPages = 128;
+
+wal::WalOptions LogOptions() {
+  wal::WalOptions options;
+  options.log_first_page = kLogFirst;
+  options.log_max_pages = kLogPages;
+  return options;
+}
+
+ObjectData MakeObject(Oid oid, int32_t tag) {
+  ObjectData obj;
+  obj.oid = oid;
+  obj.type_id = 1;
+  obj.fields = {tag, tag + 1, tag + 2, tag + 3};
+  obj.refs = {};
+  return obj;
+}
+
+// Bulky objects spread the workload across several data pages, so the sweep
+// exercises multi-page flushes (several logged images per checkpoint) rather
+// than collapsing onto a single hot page.
+ObjectData MakeBigObject(Oid oid, int32_t tag) {
+  ObjectData obj;
+  obj.oid = oid;
+  obj.type_id = 2;
+  obj.fields.resize(56);
+  for (int32_t i = 0; i < 56; ++i) obj.fields[i] = tag + i;
+  obj.refs = {};
+  return obj;
+}
+
+// Fixed OIDs so the expected states are written down, not computed.
+constexpr Oid kA = 1, kB = 2, kC = 3, kD = 4, kE = 5;
+constexpr Oid kFillerFirst = 10;
+constexpr int kFillers = 6;
+
+// Commit acknowledgements observed by the workload driver: an acked commit
+// returned OK before the crash and MUST be durable.
+struct Ack {
+  bool t1 = false;
+  bool t2 = false;
+  bool t4 = false;
+};
+
+// Runs the workload until the scheduled crash kills it (or to completion),
+// recording which commits were acknowledged.  The stack is torn down inside
+// (destructor write-backs count as crash points too).  Returns the number
+// of successful page writes the disk served since the crash was armed.
+uint64_t RunWorkload(FaultInjectingDisk* disk, uint64_t crash_after,
+                     CrashWriteMode mode, Ack* ack) {
+  disk->ScheduleCrash(crash_after, mode);
+  {
+    wal::WalManager wal(disk, LogOptions());
+    if (!wal.Recover().ok()) {
+      return disk->writes_survived();
+    }
+    BufferManager buffer(disk, BufferOptions{.num_frames = 32});
+    buffer.set_write_gate(&wal);
+    HeapFile file(&buffer, kDataFirst, kDataPages);
+    file.set_wal(&wal);
+    HashDirectory directory;
+    ObjectStore store(&buffer, &directory);
+    store.set_wal(&wal);
+
+    // One committed transaction; `ops` returns false as soon as the crash
+    // surfaces, after which the driver just walks the remaining steps (each
+    // fails fast on the dead log).
+    auto txn = [&](auto&& ops, bool* acked) {
+      auto t = store.BeginTxn();
+      if (!t.ok()) return;
+      if (!ops(*t)) {
+        (void)store.AbortTxn(*t);
+        return;
+      }
+      if (store.CommitTxn(*t).ok() && acked != nullptr) {
+        *acked = true;
+      }
+    };
+
+    // t1: insert A, B and the bulky fillers (spanning several data pages).
+    txn(
+        [&](wal::TxnId t) {
+          if (!store.InsertTxn(t, MakeObject(kA, 100), &file).ok() ||
+              !store.InsertTxn(t, MakeObject(kB, 200), &file).ok()) {
+            return false;
+          }
+          for (int i = 0; i < kFillers; ++i) {
+            if (!store
+                     .InsertTxn(t, MakeBigObject(kFillerFirst + i, 1000 + i),
+                                &file)
+                     .ok()) {
+              return false;
+            }
+          }
+          return true;
+        },
+        &ack->t1);
+    // t2: insert C, update A.
+    txn(
+        [&](wal::TxnId t) {
+          return store.InsertTxn(t, MakeObject(kC, 300), &file).ok() &&
+                 store.UpdateTxn(t, MakeObject(kA, 101), &file).ok();
+        },
+        &ack->t2);
+    // t3: insert D, then roll it back explicitly.
+    {
+      auto t = store.BeginTxn();
+      if (t.ok()) {
+        (void)store.InsertTxn(*t, MakeObject(kD, 400), &file);
+        (void)store.AbortTxn(*t);
+      }
+    }
+    // Checkpoint: flushes all committed pages and truncates the log.
+    (void)wal.Checkpoint(&buffer);
+    // t4: update B, remove C, rewrite one filler and drop another (dirties
+    // pages on both sides of the checkpoint's truncation).
+    txn(
+        [&](wal::TxnId t) {
+          return store.UpdateTxn(t, MakeObject(kB, 201), &file).ok() &&
+                 store.RemoveTxn(t, kC, &file).ok() &&
+                 store.UpdateTxn(t, MakeBigObject(kFillerFirst, 2000), &file)
+                     .ok() &&
+                 store.RemoveTxn(t, kFillerFirst + kFillers - 1, &file).ok();
+        },
+        &ack->t4);
+    // t5: insert E and walk away — never committed, never aborted.
+    {
+      auto t = store.BeginTxn();
+      if (t.ok()) {
+        (void)store.InsertTxn(*t, MakeObject(kE, 500), &file);
+      }
+    }
+    (void)buffer.FlushAll();
+  }
+  return disk->writes_survived();
+}
+
+using ObjectMap = std::map<Oid, ObjectData>;
+
+// Expected object map after each commit-order prefix of {t1, t2, t4}.
+std::vector<ObjectMap> CandidateStates() {
+  std::vector<ObjectMap> states;
+  ObjectMap s;  // nothing durable
+  states.push_back(s);
+  s[kA] = MakeObject(kA, 100);  // t1
+  s[kB] = MakeObject(kB, 200);
+  for (int i = 0; i < kFillers; ++i) {
+    s[kFillerFirst + i] = MakeBigObject(kFillerFirst + i, 1000 + i);
+  }
+  states.push_back(s);
+  s[kC] = MakeObject(kC, 300);  // t2
+  s[kA] = MakeObject(kA, 101);
+  states.push_back(s);
+  s[kB] = MakeObject(kB, 201);  // t4
+  s.erase(kC);
+  s[kFillerFirst] = MakeBigObject(kFillerFirst, 2000);
+  s.erase(kFillerFirst + kFillers - 1);
+  states.push_back(s);
+  return states;
+}
+
+// Restarts the stack on the crashed disk, recovers, and checks every
+// invariant for this crash point.
+void VerifyRecovery(FaultInjectingDisk* disk, const Ack& ack,
+                    const std::string& label) {
+  SCOPED_TRACE(label);
+  disk->ClearCrash();
+
+  auto snapshot_extent = [&] {
+    std::vector<std::vector<std::byte>> pages;
+    std::vector<std::byte> raw(disk->page_size());
+    for (PageId id = kDataFirst; id < kDataFirst + kDataPages; ++id) {
+      if (disk->Exists(id)) {
+        EXPECT_TRUE(disk->ReadPage(id, raw.data()).ok());
+        pages.push_back(raw);
+      } else {
+        pages.emplace_back();
+      }
+    }
+    return pages;
+  };
+
+  ObjectMap actual;
+  {
+    wal::WalManager wal(disk, LogOptions());
+    Status recovered = wal.Recover();
+    ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+
+    // Invariant: surviving data pages verify their checksums.
+    std::vector<std::byte> raw(disk->page_size());
+    for (PageId id = kDataFirst; id < kDataFirst + kDataPages; ++id) {
+      if (!disk->Exists(id)) continue;
+      ASSERT_TRUE(disk->ReadPage(id, raw.data()).ok());
+      EXPECT_TRUE(VerifyPageChecksum(raw.data(), raw.size(), id).ok())
+          << "torn page " << id << " survived recovery";
+    }
+
+    BufferManager buffer(disk, BufferOptions{.num_frames = 32});
+    buffer.set_write_gate(&wal);
+    auto file = HeapFile::Open(&buffer, kDataFirst, kDataPages);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    auto cursor = file->Scan();
+    RecordId rid;
+    std::vector<std::byte> record;
+    for (;;) {
+      auto more = cursor.Next(&rid, &record);
+      ASSERT_TRUE(more.ok()) << more.status().ToString();
+      if (!*more) break;
+      auto obj = ObjectData::Deserialize(record);
+      ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+      EXPECT_FALSE(actual.contains(obj->oid)) << "duplicate oid " << obj->oid;
+      actual[obj->oid] = *obj;
+    }
+  }
+
+  // Invariant: the durable state is exactly one commit-order prefix, no
+  // further back than the acknowledged commits.
+  std::vector<ObjectMap> candidates = CandidateStates();
+  size_t min_state = ack.t4 ? 3 : ack.t2 ? 2 : ack.t1 ? 1 : 0;
+  bool matched = false;
+  for (size_t i = min_state; i < candidates.size(); ++i) {
+    if (actual == candidates[i]) {
+      matched = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(matched)
+      << "recovered state matches no acknowledged commit prefix ("
+      << actual.size() << " objects, min prefix " << min_state << ")";
+  // The aborted (D) and never-committed (E) objects must never surface.
+  EXPECT_FALSE(actual.contains(kD)) << "aborted insert became durable";
+  EXPECT_FALSE(actual.contains(kE)) << "uncommitted insert became durable";
+
+  // Invariant: recovery is idempotent — a crash during recovery reruns it,
+  // and the second pass must leave bit-identical pages.
+  auto first = snapshot_extent();
+  {
+    wal::WalManager wal(disk, LogOptions());
+    ASSERT_TRUE(wal.Recover().ok());
+  }
+  EXPECT_EQ(first, snapshot_extent()) << "second recovery diverged";
+}
+
+void SweepCrashPoints(CrashWriteMode mode, const char* mode_name) {
+  // Enumerate the write boundaries from an uncrashed run.
+  uint64_t total_writes = 0;
+  {
+    FaultInjectingDisk disk(FaultProfile{});
+    Ack ack;
+    total_writes = RunWorkload(&disk, ~uint64_t{0}, mode, &ack);
+    ASSERT_TRUE(ack.t1 && ack.t2 && ack.t4);
+    ASSERT_FALSE(disk.crash_triggered());
+    Ack all = ack;
+    VerifyRecovery(&disk, all, std::string(mode_name) + " uncrashed");
+  }
+  ASSERT_GT(total_writes, 10u) << "workload too small to be interesting";
+
+  // Crash after every write boundary: n = 0 (the very first write dies)
+  // through n = total_writes - 1 (the last write dies).
+  for (uint64_t n = 0; n < total_writes; ++n) {
+    FaultInjectingDisk disk(FaultProfile{});
+    Ack ack;
+    RunWorkload(&disk, n, mode, &ack);
+    EXPECT_TRUE(disk.crash_triggered()) << "crash point " << n << " unused";
+    VerifyRecovery(&disk, ack,
+                   std::string(mode_name) + " crash after " +
+                       std::to_string(n) + " writes");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashMatrix, DropWriteSweepRecoversAtEveryBoundary) {
+  SweepCrashPoints(CrashWriteMode::kDropWrite, "drop");
+}
+
+TEST(CrashMatrix, TornWriteSweepRecoversAtEveryBoundary) {
+  SweepCrashPoints(CrashWriteMode::kTornWrite, "torn");
+}
+
+}  // namespace
+}  // namespace cobra

@@ -34,7 +34,8 @@ class SlottedPageTest : public ::testing::Test {
 TEST_F(SlottedPageTest, EmptyAfterInit) {
   EXPECT_EQ(page_.slot_count(), 0);
   EXPECT_EQ(page_.live_count(), 0);
-  EXPECT_GT(page_.FreeSpace(), kPageSize - 16);
+  EXPECT_GT(page_.FreeSpace(), kPageSize - 24);
+  EXPECT_EQ(page_.lsn(), 0u);
 }
 
 TEST_F(SlottedPageTest, InsertAndGetRoundTrip) {
@@ -104,7 +105,7 @@ TEST_F(SlottedPageTest, UpdateLengthMismatchRejected) {
 }
 
 TEST_F(SlottedPageTest, FillsToCapacityThenRejects) {
-  // 96-byte records (the paper's object size): 4-byte header + 100 bytes
+  // 96-byte records (the paper's object size): 16-byte header + 100 bytes
   // per record (slot + body) -> 10 records per 1 KB page.
   std::vector<std::byte> rec(96, std::byte{0x5A});
   int inserted = 0;
@@ -161,8 +162,18 @@ TEST_F(SlottedPageTest, VariableSizeRecordsCoexist) {
 }
 
 TEST_F(SlottedPageTest, CanFitAccountsForDirectoryGrowth) {
-  EXPECT_TRUE(page_.CanFit(1000));
-  EXPECT_FALSE(page_.CanFit(1021));  // 4 header + 4 slot + 1021 > 1024
+  EXPECT_TRUE(page_.CanFit(1004));   // 16 header + 4 slot + 1004 == 1024
+  EXPECT_FALSE(page_.CanFit(1005));  // 16 header + 4 slot + 1005 > 1024
+}
+
+TEST_F(SlottedPageTest, PageLsnRoundTripsAndSurvivesMutation) {
+  EXPECT_EQ(page_.lsn(), 0u);
+  page_.set_lsn(0x0123456789ABCDEFULL);
+  EXPECT_EQ(page_.lsn(), 0x0123456789ABCDEFULL);
+  auto s = page_.Insert(Bytes("record"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(page_.lsn(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(ToString(*page_.Get(*s)), "record");
 }
 
 TEST_F(SlottedPageTest, TooLargeRecordRejectedNotCorrupted) {

@@ -1,0 +1,261 @@
+// Recovery-idempotence stress (ctest label `stress`): a large seeded
+// transaction mix — inserts, same-size updates, removes, explicit aborts,
+// periodic flushes — is cut down by power cuts at several write boundaries,
+// in both crash modes.  After each cut the log is replayed once, the data
+// extent snapshotted, and replayed again from scratch: redo must be
+// idempotent (bit-identical pages, second pass all-stale), the recovered
+// store must be checksum-clean, and it must equal the object map after some
+// acknowledged-or-later commit prefix.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "file/heap_file.h"
+#include "object/directory.h"
+#include "object/object.h"
+#include "object/object_store.h"
+#include "storage/checksum.h"
+#include "storage/faulty_disk.h"
+#include "wal/wal.h"
+
+namespace cobra {
+namespace {
+
+constexpr PageId kDataFirst = 0;
+constexpr size_t kDataPages = 32;
+constexpr PageId kLogFirst = 256;
+constexpr size_t kLogPages = 2048;
+constexpr uint64_t kSeed = 20260807;
+constexpr size_t kTxns = 60;
+
+wal::WalOptions LogOptions() {
+  wal::WalOptions options;
+  options.log_first_page = kLogFirst;
+  options.log_max_pages = kLogPages;
+  return options;
+}
+
+ObjectData MakeObject(Oid oid, int32_t tag) {
+  ObjectData obj;
+  obj.oid = oid;
+  obj.type_id = 1;
+  obj.fields = {tag, tag * 3 + 1, tag * 7 + 2, ~tag};
+  obj.refs = {};
+  return obj;
+}
+
+using ObjectMap = std::map<Oid, ObjectData>;
+
+// The workload driver.  The op sequence is a pure function of kSeed, so
+// every crash point replays the identical transaction mix.  `states`
+// receives the expected object map after every commit *attempt* in order;
+// `acked` receives the index into `states` of the last commit that returned
+// OK (size_t(-1) when none did).
+void RunWorkload(FaultInjectingDisk* disk, uint64_t crash_after,
+                 CrashWriteMode mode, std::vector<ObjectMap>* states,
+                 size_t* acked) {
+  states->clear();
+  *acked = static_cast<size_t>(-1);
+  disk->ScheduleCrash(crash_after, mode);
+
+  std::mt19937_64 rng(kSeed);
+  wal::WalManager wal(disk, LogOptions());
+  if (!wal.Recover().ok()) return;
+  BufferManager buffer(disk, BufferOptions{.num_frames = 64});
+  buffer.set_write_gate(&wal);
+  HeapFile file(&buffer, kDataFirst, kDataPages);
+  file.set_wal(&wal);
+  HashDirectory directory;
+  ObjectStore store(&buffer, &directory);
+  store.set_wal(&wal);
+
+  ObjectMap model;  // committed state if every commit lands
+  Oid next_oid = 1;
+  int32_t next_tag = 1000;
+
+  for (size_t i = 0; i < kTxns; ++i) {
+    const bool abort = rng() % 7 == 0;
+    const size_t num_ops = 1 + rng() % 4;
+    ObjectMap scratch = model;
+
+    auto txn = store.BeginTxn();
+    if (!txn.ok()) break;  // log dead: the crash already hit
+    bool ops_ok = true;
+    for (size_t op = 0; op < num_ops && ops_ok; ++op) {
+      const uint64_t dice = rng() % 10;
+      std::vector<Oid> live(scratch.size());
+      size_t k = 0;
+      for (const auto& [oid, obj] : scratch) live[k++] = oid;
+      if (dice < 5 || live.empty()) {
+        ObjectData obj = MakeObject(next_oid++, next_tag++);
+        ops_ok = store.InsertTxn(*txn, obj, &file).ok();
+        if (ops_ok) scratch[obj.oid] = obj;
+      } else if (dice < 8) {
+        Oid target = live[rng() % live.size()];
+        ObjectData obj = MakeObject(target, next_tag++);
+        ops_ok = store.UpdateTxn(*txn, obj, &file).ok();
+        if (ops_ok) scratch[target] = obj;
+      } else {
+        Oid target = live[rng() % live.size()];
+        ops_ok = store.RemoveTxn(*txn, target, &file).ok();
+        if (ops_ok) scratch.erase(target);
+      }
+    }
+
+    if (abort || !ops_ok) {
+      (void)store.AbortTxn(*txn);
+      continue;  // model unchanged
+    }
+    // Commit attempt: whatever happens, `scratch` is a state recovery may
+    // legitimately surface (the commit record may be durable even when the
+    // acknowledgement never arrived).
+    states->push_back(scratch);
+    if (store.CommitTxn(*txn).ok()) {
+      *acked = states->size() - 1;
+    }
+    model = std::move(scratch);
+
+    if (i % 12 == 11) {
+      (void)buffer.FlushAll();
+    }
+  }
+  (void)buffer.FlushAll();
+}
+
+std::vector<std::vector<std::byte>> SnapshotExtent(FaultInjectingDisk* disk) {
+  std::vector<std::vector<std::byte>> pages;
+  std::vector<std::byte> raw(disk->page_size());
+  for (PageId id = kDataFirst; id < kDataFirst + kDataPages; ++id) {
+    if (disk->Exists(id)) {
+      EXPECT_TRUE(disk->ReadPage(id, raw.data()).ok());
+      pages.push_back(raw);
+    } else {
+      pages.emplace_back();
+    }
+  }
+  return pages;
+}
+
+void VerifyCrashPoint(uint64_t crash_after, CrashWriteMode mode,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  FaultInjectingDisk disk(FaultProfile{});
+  std::vector<ObjectMap> states;
+  size_t acked = 0;
+  RunWorkload(&disk, crash_after, mode, &states, &acked);
+  disk.ClearCrash();
+
+  // First replay.
+  uint64_t repaired = 0;
+  {
+    wal::WalManager wal(&disk, LogOptions());
+    Status recovered = wal.Recover();
+    ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+    repaired = wal.stats().pages_repaired;
+  }
+  auto first = SnapshotExtent(&disk);
+
+  // Second replay from scratch: redo twice must be bit-identical.  (A
+  // logical record that postdates its page's last logged image re-applies
+  // on every pass — with identical bytes — so the invariant is the bytes,
+  // not the counter.)
+  {
+    wal::WalManager wal(&disk, LogOptions());
+    ASSERT_TRUE(wal.Recover().ok());
+  }
+  EXPECT_EQ(first, SnapshotExtent(&disk)) << "redo is not idempotent";
+
+  // Checksum-clean store.
+  std::vector<std::byte> raw(disk.page_size());
+  for (PageId id = kDataFirst; id < kDataFirst + kDataPages; ++id) {
+    if (!disk.Exists(id)) continue;
+    ASSERT_TRUE(disk.ReadPage(id, raw.data()).ok());
+    EXPECT_TRUE(VerifyPageChecksum(raw.data(), raw.size(), id).ok())
+        << "page " << id;
+  }
+
+  // The recovered object map equals the model after some commit prefix at
+  // or past the last acknowledged commit.
+  ObjectMap actual;
+  {
+    wal::WalManager wal(&disk, LogOptions());
+    ASSERT_TRUE(wal.Recover().ok());
+    BufferManager buffer(&disk, BufferOptions{.num_frames = 64});
+    buffer.set_write_gate(&wal);
+    auto file = HeapFile::Open(&buffer, kDataFirst, kDataPages);
+    ASSERT_TRUE(file.ok());
+    auto cursor = file->Scan();
+    RecordId rid;
+    std::vector<std::byte> record;
+    for (;;) {
+      auto more = cursor.Next(&rid, &record);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+      auto obj = ObjectData::Deserialize(record);
+      ASSERT_TRUE(obj.ok());
+      actual[obj->oid] = *obj;
+    }
+  }
+  bool matched = actual.empty() && acked == static_cast<size_t>(-1);
+  const size_t from = acked == static_cast<size_t>(-1) ? 0 : acked;
+  for (size_t i = from; i < states.size() && !matched; ++i) {
+    matched = actual == states[i];
+  }
+  EXPECT_TRUE(matched) << "recovered state (" << actual.size()
+                       << " objects) matches no commit prefix >= "
+                       << (acked == static_cast<size_t>(-1)
+                               ? std::string("none")
+                               : std::to_string(acked));
+  (void)repaired;
+}
+
+class WalRecoveryStress
+    : public ::testing::TestWithParam<CrashWriteMode> {};
+
+TEST_P(WalRecoveryStress, RedoTwiceIsBitIdenticalAcrossCrashPoints) {
+  // Size the sweep from an uncrashed run.
+  uint64_t total_writes = 0;
+  {
+    FaultInjectingDisk disk(FaultProfile{});
+    std::vector<ObjectMap> states;
+    size_t acked = 0;
+    RunWorkload(&disk, ~uint64_t{0}, GetParam(), &states, &acked);
+    ASSERT_FALSE(disk.crash_triggered());
+    ASSERT_GT(states.size(), kTxns / 2) << "too few commits to stress";
+    ASSERT_EQ(acked, states.size() - 1);
+    total_writes = disk.writes_survived();
+  }
+  ASSERT_GT(total_writes, 20u);
+
+  // A spread of crash points across the whole run, denser than the tier-1
+  // tests but bounded so the stress suite stays fast.
+  std::vector<uint64_t> points;
+  for (uint64_t n = 0; n < total_writes; n += 1 + total_writes / 40) {
+    points.push_back(n);
+  }
+  points.push_back(total_writes - 1);
+  for (uint64_t n : points) {
+    VerifyCrashPoint(n, GetParam(),
+                     "crash after " + std::to_string(n) + " of " +
+                         std::to_string(total_writes) + " writes");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashModes, WalRecoveryStress,
+                         ::testing::Values(CrashWriteMode::kDropWrite,
+                                           CrashWriteMode::kTornWrite),
+                         [](const auto& info) {
+                           return info.param == CrashWriteMode::kDropWrite
+                                      ? "DropWrite"
+                                      : "TornWrite";
+                         });
+
+}  // namespace
+}  // namespace cobra
