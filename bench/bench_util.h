@@ -140,6 +140,55 @@ struct IoBatchFlags {
   }
 };
 
+// Disk-array geometry: --spindles N (or --spindles=N) and --stripe-width W.
+// The defaults (1 spindle, stripe width 1) are the degenerate geometry that
+// reproduces the paper's single-arm device bit-for-bit; CI diffs exactly
+// that.  Annotate() only marks the JSON when the geometry is non-default,
+// so single-spindle output stays byte-identical to seed.
+struct SpindleFlags {
+  uint32_t spindles = 1;
+  uint32_t stripe_width = 1;
+
+  static SpindleFlags Parse(int argc, char** argv) {
+    SpindleFlags flags;
+    auto parse_u32 = [](const char* value, uint32_t* out) {
+      unsigned long long n = std::strtoull(value, nullptr, 10);
+      *out = n == 0 ? 1 : static_cast<uint32_t>(n);
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--spindles" && i + 1 < argc) {
+        parse_u32(argv[++i], &flags.spindles);
+      } else if (arg.rfind("--spindles=", 0) == 0) {
+        parse_u32(arg.c_str() + 11, &flags.spindles);
+      } else if (arg == "--stripe-width" && i + 1 < argc) {
+        parse_u32(argv[++i], &flags.stripe_width);
+      } else if (arg.rfind("--stripe-width=", 0) == 0) {
+        parse_u32(arg.c_str() + 15, &flags.stripe_width);
+      }
+    }
+    return flags;
+  }
+
+  bool single_spindle() const { return spindles == 1; }
+
+  void Apply(DiskGeometry* geometry) const {
+    geometry->spindles = spindles;
+    geometry->stripe_width = stripe_width;
+  }
+  void Apply(AcobOptions* options) const { Apply(&options->geometry); }
+  // "spindles" is the per-spindle stats array in run objects, so the swept
+  // geometry annotates as num_spindles/stripe_width.
+  void Annotate(obs::JsonValue* extra) const {
+    if (extra->is_object() && !single_spindle()) {
+      extra->Set("num_spindles", static_cast<uint64_t>(spindles));
+      if (stripe_width != 1) {
+        extra->Set("stripe_width", static_cast<uint64_t>(stripe_width));
+      }
+    }
+  }
+};
+
 // Crash-safety rig: --wal attaches a recovered WalManager to the database
 // for the measured runs — log extent past the data, buffer write gate
 // armed.  The figure workloads are read-only, so they append nothing and
@@ -149,11 +198,26 @@ struct IoBatchFlags {
 struct WalFlags {
   bool enabled = false;
   size_t log_pages = 4096;
+  // --wal-spindle K pins the whole log extent onto spindle K (a dedicated
+  // log device, classic commit-latency tuning).  -1 = stripe the log like
+  // data.  Implies --wal.
+  int wal_spindle = -1;
 
   static WalFlags Parse(int argc, char** argv) {
     WalFlags flags;
     for (int i = 1; i < argc; ++i) {
-      if (std::string(argv[i]) == "--wal") flags.enabled = true;
+      std::string arg = argv[i];
+      if (arg == "--wal") {
+        flags.enabled = true;
+      } else if (arg == "--wal-spindle" && i + 1 < argc) {
+        flags.enabled = true;
+        flags.wal_spindle =
+            static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      } else if (arg.rfind("--wal-spindle=", 0) == 0) {
+        flags.enabled = true;
+        flags.wal_spindle =
+            static_cast<int>(std::strtol(arg.c_str() + 14, nullptr, 10));
+      }
     }
     return flags;
   }
@@ -165,6 +229,12 @@ struct WalFlags {
     wal::WalOptions options;
     options.log_first_page = db->disk->page_span() + 64;
     options.log_max_pages = log_pages;
+    if (wal_spindle >= 0) {
+      // Pin the log extent to a dedicated spindle before any log I/O so
+      // recovery and appends agree on the mapping.
+      db->disk->SetLogRegion(options.log_first_page, log_pages,
+                             static_cast<uint32_t>(wal_spindle));
+    }
     auto manager = std::make_unique<wal::WalManager>(db->disk.get(), options);
     if (auto s = manager->Recover(); !s.ok()) {
       std::fprintf(stderr, "wal recover failed: %s\n", s.ToString().c_str());
@@ -188,6 +258,9 @@ struct RunResult {
   size_t refetched_pages = 0;  // faults on pages already faulted before
   SeekHistogram read_seeks;    // seek-distance distribution (read trace)
   obs::JsonValue registry;     // telemetry registry snapshot
+  // Per-spindle breakdown; empty on the single-spindle geometry so the
+  // default JSON stays bit-identical to seed.  Fields sum to `disk`.
+  std::vector<DiskStats> spindle_disk;
 
   double avg_seek() const { return disk.AvgSeekPerRead(); }
   double avg_write_seek() const { return disk.AvgSeekPerWrite(); }
@@ -204,6 +277,13 @@ struct RunResult {
     obs::JsonValue out = obs::ToJson(metrics);
     out.Set("refetched_pages", refetched_pages);
     if (fault_injection) out.Set("faults", obs::ToJson(faults));
+    if (!spindle_disk.empty()) {
+      obs::JsonValue spindles = obs::JsonValue::MakeArray();
+      for (const DiskStats& stats : spindle_disk) {
+        spindles.Append(obs::ToJson(stats));
+      }
+      out.Set("spindles", std::move(spindles));
+    }
     if (!registry.is_null()) out.Set("registry", registry);
     return out;
   }
@@ -257,7 +337,17 @@ inline RunResult RunAssembly(
   }
   result.refetched_pages = static_cast<size_t>(
       result.buffer.faults - db->buffer->unique_pages_faulted());
-  result.read_seeks = SeekHistogram::FromReadTrace(db->disk->read_trace());
+  if (db->disk->num_spindles() > 1) {
+    // Arms move independently; the charged per-read distances — not
+    // consecutive-page deltas — are the real seek distribution.
+    result.read_seeks = SeekHistogram::FromDistances(db->disk->seek_trace());
+    result.spindle_disk.reserve(db->disk->num_spindles());
+    for (uint32_t s = 0; s < db->disk->num_spindles(); ++s) {
+      result.spindle_disk.push_back(db->disk->spindle_stats(s));
+    }
+  } else {
+    result.read_seeks = SeekHistogram::FromReadTrace(db->disk->read_trace());
+  }
   result.registry = registry.ToJson();
   (void)op.Close();
   // The publisher is stack-local; detach before it goes out of scope (the

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   }
   IoBatchFlags io_batch = IoBatchFlags::Parse(argc, argv);
   WalFlags wal = WalFlags::Parse(argc, argv);
+  SpindleFlags spindle = SpindleFlags::Parse(argc, argv);
 
   for (Clustering clustering :
        {Clustering::kInterObject, Clustering::kIntraObject,
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
         options.clustering = clustering;
         options.seed = 42;
         faults.Apply(&options);
+        spindle.Apply(&options);
         auto db = MustBuild(options);
         AssemblyOptions aopts;
         aopts.window_size = 50;
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
         extra.Set("scheduler", SchedulerKindName(scheduler));
         extra.Set("num_complex_objects", size);
         io_batch.Annotate(&extra);
+        spindle.Annotate(&extra);
         reporter.AddRun(std::string(ClusteringName(clustering)) + ", " +
                             SchedulerKindName(scheduler) + ", N=" +
                             std::to_string(size),

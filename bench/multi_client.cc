@@ -155,6 +155,8 @@ struct MergedRun {
   LogHistogram latency_io;
   LogHistogram latency_cpu;
   size_t registry_size = 0;
+  // Per-spindle breakdown; empty on the single-spindle geometry.
+  std::vector<DiskStats> spindle_disk;
 };
 
 // All K clients concurrently through one QueryService over AsyncDisk +
@@ -294,7 +296,18 @@ MergedRun RunMerged(AcobDatabase* db, const Flags& flags, bool capture) {
   run.metrics.buffer = pool.stats();
   run.refetched_pages = static_cast<size_t>(run.metrics.buffer.faults -
                                             pool.unique_pages_faulted());
-  run.metrics.read_seeks = SeekHistogram::FromReadTrace(db->disk->read_trace());
+  if (db->disk->num_spindles() > 1) {
+    // Independent arms: histogram the charged per-read distances, not
+    // consecutive trace deltas (those mix spindles).
+    run.metrics.read_seeks =
+        SeekHistogram::FromDistances(db->disk->seek_trace());
+    for (uint32_t s = 0; s < db->disk->num_spindles(); ++s) {
+      run.spindle_disk.push_back(db->disk->spindle_stats(s));
+    }
+  } else {
+    run.metrics.read_seeks =
+        SeekHistogram::FromReadTrace(db->disk->read_trace());
+  }
   db->disk->EnableReadTrace(false);
   return run;
 }
@@ -389,6 +402,42 @@ bool CheckConservation(const MergedRun& run, const char* clustering) {
       ok = false;
     }
   }
+  // Spindle-dimension conservation: the per-spindle breakdown must sum
+  // exactly to the globals — a read charged to no spindle (or to two)
+  // would silently corrupt the array accounting.
+  if (!run.spindle_disk.empty()) {
+    DiskStats sum;
+    for (const DiskStats& s : run.spindle_disk) {
+      sum.reads += s.reads;
+      sum.writes += s.writes;
+      sum.read_seek_pages += s.read_seek_pages;
+      sum.write_seek_pages += s.write_seek_pages;
+      sum.pages_read += s.pages_read;
+      sum.coalesced_runs += s.coalesced_runs;
+    }
+    const Pair spindle_pairs[] = {
+        {"spindle reads", run.metrics.disk.reads, sum.reads},
+        {"spindle writes", run.metrics.disk.writes, sum.writes},
+        {"spindle read_seek_pages", run.metrics.disk.read_seek_pages,
+         sum.read_seek_pages},
+        {"spindle write_seek_pages", run.metrics.disk.write_seek_pages,
+         sum.write_seek_pages},
+        {"spindle pages_read", run.metrics.disk.pages_read, sum.pages_read},
+        {"spindle coalesced_runs", run.metrics.disk.coalesced_runs,
+         sum.coalesced_runs},
+    };
+    for (const Pair& pair : spindle_pairs) {
+      if (pair.global != pair.attributed) {
+        std::fprintf(stderr,
+                     "conservation violated (%s): %s global=%llu "
+                     "spindle-sum=%llu\n",
+                     clustering, pair.name,
+                     static_cast<unsigned long long>(pair.global),
+                     static_cast<unsigned long long>(pair.attributed));
+        ok = false;
+      }
+    }
+  }
   return ok;
 }
 
@@ -396,6 +445,7 @@ bool CheckConservation(const MergedRun& run, const char* clustering) {
 
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
+  SpindleFlags spindle = SpindleFlags::Parse(argc, argv);
 
   JsonReporter reporter("multi_client", argc, argv);
   reporter.Set("window_size", 50);
@@ -406,6 +456,12 @@ int main(int argc, char** argv) {
   // Only annotate non-default batching so --io-batch 1 output stays
   // bit-identical to the seed goldens.
   if (flags.io_batch != 1) reporter.Set("io_batch", flags.io_batch);
+  if (!spindle.single_spindle()) {
+    reporter.Set("spindles", spindle.spindles);
+    if (spindle.stripe_width != 1) {
+      reporter.Set("stripe_width", spindle.stripe_width);
+    }
+  }
 
   std::printf("Multi-client assembly — %zu client(s), %zu worker(s), "
               "%zu shard(s), window 50, elevator, N=%zu\n\n",
@@ -426,6 +482,7 @@ int main(int argc, char** argv) {
     options.num_complex_objects = flags.size;
     options.clustering = clustering;
     options.seed = 42;
+    spindle.Apply(&options);
     auto db = MustBuild(options);
 
     MergedRun merged = RunMerged(db.get(), flags, first_clustering);
@@ -492,6 +549,13 @@ int main(int argc, char** argv) {
       latency.Set("cpu_ns", obs::HistogramToJson(merged.latency_cpu));
       run.Set("latency", std::move(latency));
       run.Set("attributed", obs::QueryIoSnapshotToJson(merged.attributed));
+      if (!merged.spindle_disk.empty()) {
+        obs::JsonValue spindles = obs::JsonValue::MakeArray();
+        for (const DiskStats& stats : merged.spindle_disk) {
+          spindles.Append(obs::ToJson(stats));
+        }
+        run.Set("spindles", std::move(spindles));
+      }
       if (!merged.registry.is_null()) run.Set("registry", merged.registry);
       reporter.AddRaw(std::move(run));
     }

@@ -13,6 +13,10 @@
 //
 // Flags: --threads-max K   sweep 1..K doubling        (default 8)
 //        --txns N          transactions per thread    (default 200)
+//        --spindles N      disk-array geometry; the whole log extent is
+//                          pinned to the last spindle (a dedicated log
+//                          device), so commit flushes never contend with
+//                          data writebacks for arm position (default 1)
 //        --json PATH       machine-readable output
 
 #include <cstdio>
@@ -30,6 +34,7 @@
 #include "object/object.h"
 #include "service/query_service.h"
 #include "storage/disk.h"
+#include "storage/disk_array.h"
 #include "wal/wal.h"
 
 namespace {
@@ -86,6 +91,8 @@ struct CommitRun {
   uint64_t failures = 0;
   wal::WalStats wal;
   DiskStats disk;
+  // Per-spindle breakdown; empty on the single-spindle geometry.
+  std::vector<DiskStats> spindle_disk;
 
   double commits_per_flush() const {
     return wal.batches_flushed == 0
@@ -95,8 +102,20 @@ struct CommitRun {
   }
 };
 
-CommitRun RunCommitters(size_t threads, size_t txns_per_thread) {
-  SimulatedDisk disk;
+CommitRun RunCommitters(size_t threads, size_t txns_per_thread,
+                        const SpindleFlags& spindle) {
+  std::unique_ptr<SimulatedDisk> disk_owner;
+  if (spindle.single_spindle()) {
+    disk_owner = std::make_unique<SimulatedDisk>();
+  } else {
+    DiskGeometry geometry;
+    spindle.Apply(&geometry);
+    disk_owner = std::make_unique<DiskArray>(ValidateGeometry(geometry));
+    // Dedicated log device: the whole log extent lives on the last spindle,
+    // so the group-commit daemon's sequential appends keep their own arm.
+    disk_owner->SetLogRegion(kLogFirst, kLogPages, geometry.spindles - 1);
+  }
+  SimulatedDisk& disk = *disk_owner;
   wal::WalOptions wal_options;
   wal_options.log_first_page = kLogFirst;
   wal_options.log_max_pages = kLogPages;
@@ -172,6 +191,11 @@ CommitRun RunCommitters(size_t threads, size_t txns_per_thread) {
   }
   run.wal = wal.stats();
   run.disk = disk.stats();
+  if (disk.num_spindles() > 1) {
+    for (uint32_t s = 0; s < disk.num_spindles(); ++s) {
+      run.spindle_disk.push_back(disk.spindle_stats(s));
+    }
+  }
   return run;
 }
 
@@ -195,6 +219,16 @@ obs::JsonValue RunToJson(const CommitRun& run) {
   d.Set("writes", run.disk.writes);
   d.Set("write_seek_pages", run.disk.write_seek_pages);
   out.Set("disk", std::move(d));
+  if (!run.spindle_disk.empty()) {
+    obs::JsonValue spindles = obs::JsonValue::MakeArray();
+    for (const DiskStats& stats : run.spindle_disk) {
+      obs::JsonValue s = obs::JsonValue::MakeObject();
+      s.Set("writes", stats.writes);
+      s.Set("write_seek_pages", stats.write_seek_pages);
+      spindles.Append(std::move(s));
+    }
+    out.Set("spindles", std::move(spindles));
+  }
   out.Set("commits_per_flush", run.commits_per_flush());
   return out;
 }
@@ -203,14 +237,18 @@ obs::JsonValue RunToJson(const CommitRun& run) {
 
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
+  SpindleFlags spindle = SpindleFlags::Parse(argc, argv);
   JsonReporter reporter("wal_commit", argc, argv);
   reporter.Set("txns_per_thread", static_cast<uint64_t>(flags.txns));
+  if (!spindle.single_spindle()) {
+    reporter.Set("spindles", spindle.spindles);
+  }
 
   std::printf("Group commit — %zu transactions per thread\n", flags.txns);
   TablePrinter table({"threads", "commits", "flushes", "commits/flush",
                       "log pages", "commits/s"});
   for (size_t threads = 1; threads <= flags.threads_max; threads *= 2) {
-    CommitRun run = RunCommitters(threads, flags.txns);
+    CommitRun run = RunCommitters(threads, flags.txns, spindle);
     if (run.failures != 0) {
       std::fprintf(stderr, "%llu write jobs failed\n",
                    static_cast<unsigned long long>(run.failures));

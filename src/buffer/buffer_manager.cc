@@ -172,7 +172,8 @@ Status BufferManager::WriteBack(Shard* shard, Frame* frame) {
     }
     shard->write_retries++;
     if (listener_ != nullptr) listener_->OnBufferRetry(frame->page_id, attempt);
-    disk_->AddSeekPenalty(
+    disk_->AddSeekPenaltyAt(
+        frame->page_id,
         static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
         /*is_read=*/false);
   }
@@ -248,8 +249,8 @@ Status BufferManager::ReadWithRetry(Shard* shard, PageId id, std::byte* data,
     ChargeRetry(id, attempt);
     if (listener_ != nullptr) listener_->OnBufferRetry(id, attempt);
     // Deterministic linear backoff, accounted in the disk's cost unit.
-    disk_->AddSeekPenalty(
-        static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
+    disk_->AddSeekPenaltyAt(
+        id, static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
         /*is_read=*/true);
   }
   return read;
@@ -283,8 +284,8 @@ Status BufferManager::ConsumePending(Shard* shard, size_t index, PageId id) {
       shard->retries++;
       ChargeRetry(id, 1);
       if (listener_ != nullptr) listener_->OnBufferRetry(id, 1);
-      disk_->AddSeekPenalty(options_.retry.backoff_seek_pages,
-                            /*is_read=*/true);
+      disk_->AddSeekPenaltyAt(id, options_.retry.backoff_seek_pages,
+                              /*is_read=*/true);
       status = ReadWithRetry(shard, id, frame.data.data(), /*attempt=*/2);
     } else {
       shard->retries_exhausted++;
@@ -453,11 +454,19 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
   const int max_attempts = options_.retry.max_read_attempts < 1
                                ? 1
                                : options_.retry.max_read_attempts;
+  // On a disk array a group never crosses a stripe seam: pages on different
+  // spindles are separate arms, so chaining them into one transfer would
+  // serialize what the per-spindle elevators can overlap.  The virtual
+  // SpindleOf calls are skipped entirely on a single-spindle device.
+  const bool multi_spindle = disk_->num_spindles() > 1;
   size_t group_begin = 0;
   while (group_begin < missing.size()) {
     size_t group_end = group_begin;  // inclusive
     while (group_end + 1 < missing.size() &&
-           missing[group_end + 1].offset == missing[group_end].offset + 1) {
+           missing[group_end + 1].offset == missing[group_end].offset + 1 &&
+           (!multi_spindle ||
+            disk_->SpindleOf(first + missing[group_end + 1].offset) ==
+                disk_->SpindleOf(first + missing[group_end].offset))) {
       group_end++;
     }
     const size_t m = group_end - group_begin + 1;
@@ -504,7 +513,8 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
         if (listener_ != nullptr) {
           listener_->OnBufferRetry(failed_page, attempt);
         }
-        disk_->AddSeekPenalty(
+        disk_->AddSeekPenaltyAt(
+            failed_page,
             static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
             /*is_read=*/true);
         attempt++;

@@ -63,6 +63,9 @@ JsonValue ToJson(const FaultStats& stats) {
   if (stats.torn_writes > 0) {
     out.Set("torn_writes", stats.torn_writes);
   }
+  if (stats.degraded_reads > 0) {
+    out.Set("degraded_reads", stats.degraded_reads);
+  }
   out.Set("total", stats.total());
   return out;
 }

@@ -1,5 +1,6 @@
 #include "obs/json.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -15,13 +16,16 @@ void EscapeString(const std::string& in, std::string* out) {
     switch (ch) {
       case '"': *out += "\\\""; break;
       case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
       case '\n': *out += "\\n"; break;
       case '\r': *out += "\\r"; break;
       case '\t': *out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(ch) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
           *out += buf;
         } else {
           out->push_back(ch);
@@ -294,12 +298,21 @@ void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
       return;
     }
     out->push_back('{');
-    for (size_t i = 0; i < obj.size(); ++i) {
+    // Emit members in sorted key order so serialized documents are
+    // byte-stable regardless of construction order (golden diffs must not
+    // depend on which compiler/stdlib ordered an intermediate container).
+    // Stable sort: duplicate keys (parser-produced) keep document order.
+    std::vector<size_t> order(obj.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&obj](size_t a, size_t b) {
+      return obj[a].first < obj[b].first;
+    });
+    for (size_t i = 0; i < order.size(); ++i) {
       if (i > 0) out->push_back(',');
       newline(depth + 1);
-      EscapeString(obj[i].first, out);
+      EscapeString(obj[order[i]].first, out);
       *out += indent > 0 ? ": " : ":";
-      obj[i].second.DumpTo(out, indent, depth + 1);
+      obj[order[i]].second.DumpTo(out, indent, depth + 1);
     }
     newline(depth);
     out->push_back('}');

@@ -2,7 +2,9 @@
 // (`BENCH_*.json`), registry snapshots, and Chrome trace_event files —
 // without an external dependency.
 //
-// Objects preserve insertion order (stable, diffable output).  Numbers are
+// Objects preserve insertion order in memory, but Dump() emits members in
+// sorted key order so serialized output is byte-stable across compilers and
+// construction paths (golden diffs stay order-independent).  Numbers are
 // stored as int64 or double; integers print without a fractional part so
 // counters round-trip exactly.  The parser exists chiefly so tests can
 // validate that exported files are well-formed.

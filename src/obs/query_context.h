@@ -27,6 +27,7 @@
 #ifndef COBRA_OBS_QUERY_CONTEXT_H_
 #define COBRA_OBS_QUERY_CONTEXT_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -36,6 +37,11 @@
 #include <vector>
 
 namespace cobra::obs {
+
+// How many spindles the per-query attribution arrays track individually; a
+// wider array folds the overflow into the last slot (the disk layer clamps).
+// Kept small and fixed so QueryIoStats stays a flat block of atomics.
+inline constexpr size_t kMaxTrackedSpindles = 8;
 
 // Plain-value snapshot of a context's attributed counters (QueryIoStats
 // holds atomics and cannot be copied).
@@ -53,6 +59,10 @@ struct QueryIoSnapshot {
   uint64_t checksum_failures = 0;
   uint64_t faults_injected = 0;
   uint64_t io_wait_ns = 0;
+  // Per-spindle split of disk_reads / read_seek_pages (disk-array runs).
+  // All-zero beyond index 0 on a single-spindle device.
+  std::array<uint64_t, kMaxTrackedSpindles> spindle_reads{};
+  std::array<uint64_t, kMaxTrackedSpindles> spindle_seek_pages{};
 };
 
 // Attributed I/O counters.  Atomic because a query's charges arrive from
@@ -77,6 +87,11 @@ struct QueryIoStats {
   // (buffer-layer reads, prefetch consumption).  Part of the latency
   // decomposition, not of the conservation invariant.
   std::atomic<uint64_t> io_wait_ns{0};
+  // Per-spindle split of the read charges above, filled by the disk layer
+  // at the same increment sites: sum(spindle_reads) == disk_reads and
+  // sum(spindle_seek_pages) == read_seek_pages, always.
+  std::array<std::atomic<uint64_t>, kMaxTrackedSpindles> spindle_reads{};
+  std::array<std::atomic<uint64_t>, kMaxTrackedSpindles> spindle_seek_pages{};
 
   QueryIoSnapshot Snapshot() const {
     QueryIoSnapshot s;
@@ -93,6 +108,11 @@ struct QueryIoStats {
     s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
     s.faults_injected = faults_injected.load(std::memory_order_relaxed);
     s.io_wait_ns = io_wait_ns.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kMaxTrackedSpindles; ++i) {
+      s.spindle_reads[i] = spindle_reads[i].load(std::memory_order_relaxed);
+      s.spindle_seek_pages[i] =
+          spindle_seek_pages[i].load(std::memory_order_relaxed);
+    }
     return s;
   }
 };

@@ -115,6 +115,76 @@ void RegistryPublisher::OnDiskWrite(PageId, uint64_t seek_pages) {
   write_seek_distance_->Add(seek_pages);
 }
 
+void RegistryPublisher::BindSpindleTracking() {
+  spindle_tracking_ = true;
+  // Everything published so far came from spindle 0 (this is the first
+  // event from any other spindle, and it has not been counted yet), so the
+  // global totals ARE spindle 0's history.  Backfilling here keeps the
+  // per-spindle sums equal to the globals from the first sample on.
+  EnsureSpindleSlot(0);
+  spindle_reads_[0]->Inc(disk_reads_->value());
+  spindle_writes_[0]->Inc(disk_writes_->value());
+  spindle_read_seek_[0]->Inc(seek_distance_->total());
+  spindle_write_seek_[0]->Inc(write_seek_distance_->total());
+}
+
+void RegistryPublisher::EnsureSpindleSlot(uint32_t spindle) {
+  if (spindle < spindle_reads_.size()) {
+    return;
+  }
+  for (uint32_t k = static_cast<uint32_t>(spindle_reads_.size()); k <= spindle;
+       ++k) {
+    const std::string prefix = "disk.s" + std::to_string(k) + ".";
+    spindle_reads_.push_back(registry_->GetCounter(prefix + "reads"));
+    spindle_writes_.push_back(registry_->GetCounter(prefix + "writes"));
+    spindle_read_seek_.push_back(
+        registry_->GetCounter(prefix + "read_seek_pages"));
+    spindle_write_seek_.push_back(
+        registry_->GetCounter(prefix + "write_seek_pages"));
+  }
+}
+
+void RegistryPublisher::OnDiskReadAt(uint32_t spindle, PageId page,
+                                     uint64_t seek_pages) {
+  if (spindle > 0 && !spindle_tracking_) {
+    BindSpindleTracking();
+  }
+  OnDiskRead(page, seek_pages);
+  if (spindle_tracking_) {
+    EnsureSpindleSlot(spindle);
+    spindle_reads_[spindle]->Inc();
+    spindle_read_seek_[spindle]->Inc(seek_pages);
+  }
+}
+
+void RegistryPublisher::OnDiskWriteAt(uint32_t spindle, PageId page,
+                                      uint64_t seek_pages) {
+  if (spindle > 0 && !spindle_tracking_) {
+    BindSpindleTracking();
+  }
+  OnDiskWrite(page, seek_pages);
+  if (spindle_tracking_) {
+    EnsureSpindleSlot(spindle);
+    spindle_writes_[spindle]->Inc();
+    spindle_write_seek_[spindle]->Inc(seek_pages);
+  }
+}
+
+void RegistryPublisher::OnDiskReadRunAt(uint32_t spindle, PageId first_page,
+                                        size_t pages, uint64_t seek_pages) {
+  if (spindle > 0 && !spindle_tracking_) {
+    BindSpindleTracking();
+  }
+  OnDiskReadRun(first_page, pages, seek_pages);
+  if (spindle_tracking_) {
+    // A run is reported once, from its entry spindle, like the global
+    // disk.reads sample it produced.
+    EnsureSpindleSlot(spindle);
+    spindle_reads_[spindle]->Inc();
+    spindle_read_seek_[spindle]->Inc(seek_pages);
+  }
+}
+
 void RegistryPublisher::OnDiskFault(PageId, FaultKind kind) {
   const int index = static_cast<int>(kind);
   if (disk_faults_[index] == nullptr) {

@@ -58,6 +58,20 @@ class RegistryPublisher : public AssemblyObserver,
   void OnDiskReadRun(PageId first_page, size_t pages,
                      uint64_t seek_pages) override;
   void OnDiskWrite(PageId page, uint64_t seek_pages) override;
+  // Spindle-dimensioned forms (what a disk actually fires).  They forward
+  // to the legacy hooks for the global instruments, then track per-spindle
+  // disk.s<k>.{reads,writes,read_seek_pages,write_seek_pages} counters.
+  // The per-spindle instruments bind lazily on the first event from a
+  // spindle > 0 — a single-spindle run keeps the historical registry shape
+  // bit-identical — and spindle 0 is backfilled from the already-bound
+  // global instruments at that moment (every earlier event was spindle 0),
+  // so the per-spindle sums equal the globals exactly from the start.
+  void OnDiskReadAt(uint32_t spindle, PageId page,
+                    uint64_t seek_pages) override;
+  void OnDiskWriteAt(uint32_t spindle, PageId page,
+                     uint64_t seek_pages) override;
+  void OnDiskReadRunAt(uint32_t spindle, PageId first_page, size_t pages,
+                       uint64_t seek_pages) override;
   void OnDiskFault(PageId page, FaultKind kind) override;
   void OnBufferHit(PageId page) override;
   void OnBufferFault(PageId page) override;
@@ -76,6 +90,12 @@ class RegistryPublisher : public AssemblyObserver,
  private:
   // Creates the io.* instruments on first use (see OnDiskReadRun).
   void BindRunInstruments();
+
+  // Starts per-spindle tracking: backfills spindle 0 from the global
+  // instruments, then EnsureSpindleSlot creates disk.s<k>.* counters as
+  // spindles appear.
+  void BindSpindleTracking();
+  void EnsureSpindleSlot(uint32_t spindle);
 
   Registry* registry_;
   const Clock* clock_;
@@ -115,6 +135,14 @@ class RegistryPublisher : public AssemblyObserver,
   Counter* io_coalesced_runs_ = nullptr;
   Histogram* io_run_length_ = nullptr;
   Histogram* io_pages_per_read_ = nullptr;
+
+  // Lazily bound per-spindle counters, indexed by spindle; empty until the
+  // first event from a spindle > 0 (see OnDiskReadAt).
+  bool spindle_tracking_ = false;
+  std::vector<Counter*> spindle_reads_;
+  std::vector<Counter*> spindle_writes_;
+  std::vector<Counter*> spindle_read_seek_;
+  std::vector<Counter*> spindle_write_seek_;
 
   // Lazily bound WAL instruments; null until the first group-commit flush.
   Counter* wal_flushes_ = nullptr;
@@ -170,6 +198,26 @@ class TelemetryHub : public AssemblyObserver,
   void OnDiskWrite(PageId page, uint64_t seek_pages) override {
     for (DiskEventListener* listener : disk_) {
       listener->OnDiskWrite(page, seek_pages);
+    }
+  }
+  // The At-forms forward as At-forms so spindle-aware sinks see the spindle
+  // and spindle-unaware ones fall through their own defaults.
+  void OnDiskReadAt(uint32_t spindle, PageId page,
+                    uint64_t seek_pages) override {
+    for (DiskEventListener* listener : disk_) {
+      listener->OnDiskReadAt(spindle, page, seek_pages);
+    }
+  }
+  void OnDiskReadRunAt(uint32_t spindle, PageId first_page, size_t pages,
+                       uint64_t seek_pages) override {
+    for (DiskEventListener* listener : disk_) {
+      listener->OnDiskReadRunAt(spindle, first_page, pages, seek_pages);
+    }
+  }
+  void OnDiskWriteAt(uint32_t spindle, PageId page,
+                     uint64_t seek_pages) override {
+    for (DiskEventListener* listener : disk_) {
+      listener->OnDiskWriteAt(spindle, page, seek_pages);
     }
   }
   void OnDiskFault(PageId page, FaultKind kind) override {

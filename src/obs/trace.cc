@@ -158,6 +158,46 @@ void TraceRecorder::OnDiskWrite(PageId page, uint64_t seek_pages) {
   Push(out);
 }
 
+void TraceRecorder::OnDiskReadAt(uint32_t spindle, PageId page,
+                                 uint64_t seek_pages) {
+  if (spindle > 0) saw_multi_spindle_ = true;
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kDiskRead;
+  out.ts_ns = clock_->NowNanos();
+  out.page = page;
+  out.seek_pages = seek_pages;
+  out.query_id = CurrentQueryId();
+  out.spindle = spindle;
+  Push(out);
+}
+
+void TraceRecorder::OnDiskReadRunAt(uint32_t spindle, PageId first_page,
+                                    size_t pages, uint64_t seek_pages) {
+  if (spindle > 0) saw_multi_spindle_ = true;
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kDiskRead;
+  out.ts_ns = clock_->NowNanos();
+  out.page = first_page;
+  out.seek_pages = seek_pages;
+  out.run_pages = pages == 0 ? 1 : pages;
+  out.query_id = CurrentQueryId();
+  out.spindle = spindle;
+  Push(out);
+}
+
+void TraceRecorder::OnDiskWriteAt(uint32_t spindle, PageId page,
+                                  uint64_t seek_pages) {
+  if (spindle > 0) saw_multi_spindle_ = true;
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kDiskWrite;
+  out.ts_ns = clock_->NowNanos();
+  out.page = page;
+  out.seek_pages = seek_pages;
+  out.query_id = CurrentQueryId();
+  out.spindle = spindle;
+  Push(out);
+}
+
 void TraceRecorder::OnBufferHit(PageId page) {
   TraceEvent out;
   out.kind = TraceEvent::Kind::kBufferHit;
@@ -212,6 +252,7 @@ void TraceRecorder::Clear() {
   lane_in_use_.clear();
   num_lanes_ = 0;
   saw_assembly_event_ = false;
+  saw_multi_spindle_ = false;
 }
 
 JsonValue TraceRecorder::ToChromeTrace() const {
@@ -305,6 +346,7 @@ JsonValue TraceRecorder::ToChromeTrace() const {
         args.Set("page", event.page);
         args.Set("seek_pages", event.seek_pages);
         args.Set("query", event.query_id);
+        if (saw_multi_spindle_) args.Set("spindle", event.spindle);
         break;
       case TraceEvent::Kind::kBufferHit:
       case TraceEvent::Kind::kBufferFault:

@@ -70,6 +70,8 @@ struct TraceEvent {
   // Originating query for disk events (obs::CurrentQueryId() at record
   // time); 0 when no query context was established.
   uint64_t query_id = 0;
+  // Serving spindle for disk events (always 0 on a single-spindle device).
+  uint32_t spindle = 0;
   int lane = -1;  // window-slot index for assembly events, else -1
 };
 
@@ -85,11 +87,19 @@ class TraceRecorder : public AssemblyObserver,
 
   // AssemblyObserver.
   void OnEvent(const AssemblyEvent& event) override;
-  // DiskEventListener.
+  // DiskEventListener.  The At-forms stamp the serving spindle on the
+  // event; disk slices gain a "spindle" arg once any event arrives from a
+  // spindle > 0 (single-spindle traces keep their historical shape).
   void OnDiskRead(PageId page, uint64_t seek_pages) override;
   void OnDiskReadRun(PageId first_page, size_t pages,
                      uint64_t seek_pages) override;
   void OnDiskWrite(PageId page, uint64_t seek_pages) override;
+  void OnDiskReadAt(uint32_t spindle, PageId page,
+                    uint64_t seek_pages) override;
+  void OnDiskReadRunAt(uint32_t spindle, PageId first_page, size_t pages,
+                       uint64_t seek_pages) override;
+  void OnDiskWriteAt(uint32_t spindle, PageId page,
+                     uint64_t seek_pages) override;
   // BufferEventListener.
   void OnBufferHit(PageId page) override;
   void OnBufferFault(PageId page) override;
@@ -140,6 +150,9 @@ class TraceRecorder : public AssemblyObserver,
   int num_lanes_ = 0;
   uint64_t last_assembly_ns_ = 0;
   bool saw_assembly_event_ = false;
+  // True once any disk event arrived from a spindle > 0; gates the
+  // "spindle" arg in the export so single-spindle traces are unchanged.
+  bool saw_multi_spindle_ = false;
 };
 
 }  // namespace cobra::obs

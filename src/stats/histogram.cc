@@ -72,6 +72,15 @@ SeekHistogram SeekHistogram::FromReadTrace(const std::vector<PageId>& trace,
   return histogram;
 }
 
+SeekHistogram SeekHistogram::FromDistances(
+    const std::vector<uint64_t>& distances) {
+  SeekHistogram histogram;
+  for (uint64_t distance : distances) {
+    histogram.Add(distance);
+  }
+  return histogram;
+}
+
 void SeekHistogram::Print(std::ostream& os) const {
   os << "seek distance      count  cum%\n";
   uint64_t seen = 0;

@@ -69,9 +69,16 @@ class LogHistogram {
 class SeekHistogram : public LogHistogram {
  public:
   // Builds the histogram from a read trace (consecutive page distances),
-  // starting from head position `start`.
+  // starting from head position `start`.  Only valid for a single-spindle
+  // device, where consecutive-page distance IS the charged arm travel.
   static SeekHistogram FromReadTrace(const std::vector<PageId>& trace,
                                      PageId start = 0);
+
+  // Builds the histogram from already-charged per-read distances (the
+  // disk's seek_trace()).  On a disk array the arms move independently, so
+  // this — not FromReadTrace — reflects what each read actually cost.
+  // Identical to FromReadTrace on one spindle.
+  static SeekHistogram FromDistances(const std::vector<uint64_t>& distances);
 
   // "seek distance     count  cumulative%" rows, one per non-empty bucket.
   void Print(std::ostream& os) const;

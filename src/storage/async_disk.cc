@@ -85,8 +85,13 @@ std::optional<IoRun> ElevatorIoQueue::PopRun(PageId head,
 }
 
 AsyncDisk::AsyncDisk(SimulatedDisk* backing)
-    : SimulatedDisk(DiskOptions{backing->page_size()}), backing_(backing) {
-  io_thread_ = std::thread([this] { IoLoop(); });
+    : SimulatedDisk(DiskOptions{backing->page_size()}),
+      backing_(backing),
+      queues_(backing->num_spindles()) {
+  io_threads_.reserve(queues_.size());
+  for (uint32_t s = 0; s < queues_.size(); ++s) {
+    io_threads_.emplace_back([this, s] { IoLoop(s); });
+  }
 }
 
 AsyncDisk::~AsyncDisk() {
@@ -95,7 +100,9 @@ AsyncDisk::~AsyncDisk() {
     stop_ = true;
   }
   work_cv_.notify_all();
-  io_thread_.join();
+  for (std::thread& t : io_threads_) {
+    t.join();
+  }
 }
 
 std::shared_future<Status> AsyncDisk::Submit(Request request) {
@@ -110,7 +117,8 @@ std::shared_future<Status> AsyncDisk::Submit(Request request) {
     } else {
       stats_.writes_submitted++;
     }
-    queue_.Push(request.page, ticket, request.is_read);
+    queues_[backing_->SpindleOf(request.page)].Push(request.page, ticket,
+                                                    request.is_read);
     pending_.emplace(ticket, std::move(request));
     size_t depth = pending_.size();
     if (depth > stats_.max_queue_depth) {
@@ -205,11 +213,12 @@ AsyncDiskStats AsyncDisk::async_stats() const {
   return stats_;
 }
 
-void AsyncDisk::IoLoop() {
+void AsyncDisk::IoLoop(uint32_t spindle) {
+  ElevatorIoQueue& queue = queues_[spindle];
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
-    if (pending_.empty()) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue.empty(); });
+    if (queue.empty()) {
       if (stop_) {
         return;
       }
@@ -222,16 +231,20 @@ void AsyncDisk::IoLoop() {
       work_cv_.wait_for(lock, kBatchWait, [this] {
         return stop_ || pending_.size() >= target_depth_;
       });
-      if (pending_.empty()) {
+      if (queue.empty()) {
         continue;
       }
     }
     if (pending_.size() >= 2) {
       stats_.merged_picks++;
     }
+    // SCAN runs against this spindle's own arm, not the global head: the
+    // arms move independently, and each queue only holds its own spindle's
+    // pages.  On one spindle this is the historical head().
+    const PageId head = backing_->spindle_head_page(spindle);
     if (max_run_pages_ <= 1) {
       // Historical page-at-a-time service: identical picks, identical stats.
-      std::optional<uint64_t> ticket = queue_.PopNext(backing_->head());
+      std::optional<uint64_t> ticket = queue.PopNext(head);
       Request request = std::move(pending_.at(*ticket));
       pending_.erase(*ticket);
       in_flight_++;
@@ -247,8 +260,7 @@ void AsyncDisk::IoLoop() {
       lock.lock();
       in_flight_--;
     } else {
-      std::optional<IoRun> run =
-          queue_.PopRun(backing_->head(), max_run_pages_);
+      std::optional<IoRun> run = queue.PopRun(head, max_run_pages_);
       ServeRun(std::move(*run), lock);
     }
     if (pending_.empty() && in_flight_ == 0) {
@@ -356,7 +368,8 @@ void AsyncDisk::ServeRun(IoRun run, std::unique_lock<std::mutex>& lock) {
       std::lock_guard<std::mutex> requeue_lock(mu_);
       for (Request& request : requeue) {
         uint64_t ticket = next_ticket_++;
-        queue_.Push(request.page, ticket, request.is_read);
+        queues_[backing_->SpindleOf(request.page)].Push(request.page, ticket,
+                                                        request.is_read);
         pending_.emplace(ticket, std::move(request));
       }
     }

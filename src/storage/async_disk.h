@@ -3,11 +3,20 @@
 // The paper's elevator scheduler wins by giving one query many unresolved
 // references to order by disk position.  AsyncDisk extends that idea across
 // *queries*: every client (buffer-pool shard, worker thread) submits page
-// requests into one queue, and a single I/O thread serves them in elevator
-// (SCAN) order over the shared head position.  Concurrent assembly windows
+// requests into a queue, and an I/O thread serves them in elevator (SCAN)
+// order over the shared head position.  Concurrent assembly windows
 // therefore merge into one sweep of the device — the cross-client analogue
 // of §6.3's within-window reordering — while CPU-side assembly overlaps the
 // simulated seeks.
+//
+// On a multi-spindle backing array there is one ElevatorIoQueue and one I/O
+// thread *per spindle*: Submit routes each request to its page's spindle,
+// every queue runs SCAN against its own spindle's arm
+// (spindle_head_page()), and transfers on different spindles are in flight
+// concurrently.  Because a queue only ever holds its own spindle's pages,
+// run coalescing structurally cannot cross a stripe seam — the adjacent
+// page on another spindle lives in another queue.  With a 1-spindle backing
+// this degenerates to exactly the historical single queue + single thread.
 //
 // Composition: AsyncDisk decorates any SimulatedDisk, including a
 // FaultInjectingDisk, so the fault-injection and checksum layers underneath
@@ -152,6 +161,20 @@ class AsyncDisk : public SimulatedDisk {
   void AddSeekPenalty(uint64_t pages, bool is_read) override {
     backing_->AddSeekPenalty(pages, is_read);
   }
+  void AddSeekPenaltyAt(PageId near_page, uint64_t pages,
+                        bool is_read) override {
+    backing_->AddSeekPenaltyAt(near_page, pages, is_read);
+  }
+  uint32_t num_spindles() const override { return backing_->num_spindles(); }
+  uint32_t SpindleOf(PageId id) const override {
+    return backing_->SpindleOf(id);
+  }
+  PageId spindle_head_page(uint32_t s) const override {
+    return backing_->spindle_head_page(s);
+  }
+  DiskStats spindle_stats(uint32_t s) const override {
+    return backing_->spindle_stats(s);
+  }
 
   // How many pending requests the I/O thread tries to accumulate before
   // serving (bounded by a short wait so a CPU-busy client cannot stall the
@@ -184,7 +207,8 @@ class AsyncDisk : public SimulatedDisk {
   };
 
   std::shared_future<Status> Submit(Request request);
-  void IoLoop();
+  // One service loop per spindle; each serves only queues_[spindle].
+  void IoLoop(uint32_t spindle);
   // Serves one coalesced pick.  Entered with `lock` held; returns with it
   // held.  The backing transfer itself runs unlocked.
   void ServeRun(IoRun run, std::unique_lock<std::mutex>& lock);
@@ -192,9 +216,13 @@ class AsyncDisk : public SimulatedDisk {
   SimulatedDisk* backing_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // signals the I/O thread
+  std::condition_variable work_cv_;   // signals the I/O threads
   std::condition_variable drain_cv_;  // signals Drain() waiters
-  ElevatorIoQueue queue_;
+  // One SCAN queue per backing spindle; Submit routes by SpindleOf(page),
+  // so a queue (and hence a coalesced run) never holds a foreign spindle's
+  // page.  All queues share mu_/pending_ — the split buys independent SCAN
+  // order and concurrent in-flight transfers, not lock-free submission.
+  std::vector<ElevatorIoQueue> queues_;
   std::unordered_map<uint64_t, Request> pending_;
   uint64_t next_ticket_ = 0;
   size_t target_depth_ = 1;
@@ -203,7 +231,7 @@ class AsyncDisk : public SimulatedDisk {
   bool stop_ = false;
   AsyncDiskStats stats_;
 
-  std::thread io_thread_;
+  std::vector<std::thread> io_threads_;
 };
 
 }  // namespace cobra

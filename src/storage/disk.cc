@@ -26,6 +26,13 @@ bool ReadU64(std::FILE* file, uint64_t* value) {
   return std::fread(value, sizeof(*value), 1, file) == 1;
 }
 
+// Per-query spindle attribution is clamped to the tracked-array size; an
+// array wider than kMaxTrackedSpindles folds the overflow into the last slot.
+size_t TrackedSpindle(uint32_t spindle) {
+  return spindle < obs::kMaxTrackedSpindles ? spindle
+                                            : obs::kMaxTrackedSpindles - 1;
+}
+
 }  // namespace
 
 const char* FaultKindName(FaultKind kind) {
@@ -41,39 +48,95 @@ const char* FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
-SimulatedDisk::SimulatedDisk(DiskOptions options) : options_(options) {}
+SimulatedDisk::SimulatedDisk(DiskOptions options)
+    : options_(options),
+      placement_(options.geometry),
+      spindles_(placement_.spindles()) {}
 
-void SimulatedDisk::ChargeSeek(PageId id, bool is_read) {
-  PageId head = head_.load(std::memory_order_relaxed);
-  uint64_t distance = id > head ? id - head : head - id;
+SpindleSlot SimulatedDisk::ResolveSlot(PageId id) const {
+  if (log_first_ != kInvalidPageId && id >= log_first_ &&
+      id - log_first_ < log_pages_) {
+    // The log extent lives past every data page, so offset == page keeps the
+    // log spindle's page order == offset order.
+    return SpindleSlot{log_spindle_, id};
+  }
+  return placement_.Resolve(id);
+}
+
+void SimulatedDisk::SetLogRegion(PageId first, size_t pages, uint32_t spindle) {
+  log_first_ = first;
+  log_pages_ = pages;
+  log_spindle_ =
+      spindle < placement_.spindles() ? spindle : placement_.spindles() - 1;
+}
+
+void SimulatedDisk::ParkHead(PageId id) {
+  const SpindleSlot slot = ResolveSlot(id);
+  for (uint32_t s = 0; s < spindles_.size(); ++s) {
+    SpindleState& sp = spindles_[s];
+    if (s == slot.spindle) {
+      sp.head_offset = slot.offset;
+      sp.head_page.store(id, std::memory_order_relaxed);
+    } else {
+      sp.head_offset = 0;
+      sp.head_page.store(placement_.PageAt(s, 0), std::memory_order_relaxed);
+    }
+  }
+  head_.store(id, std::memory_order_relaxed);
+}
+
+void SimulatedDisk::ResetStats() {
+  stats_ = DiskStats{};
+  for (SpindleState& sp : spindles_) {
+    sp.stats = DiskStats{};
+  }
+}
+
+uint64_t SimulatedDisk::ChargeSeek(PageId id, bool is_read) {
+  const SpindleSlot slot = ResolveSlot(id);
+  SpindleState& sp = spindles_[slot.spindle];
+  const uint64_t distance = SeekDistancePages(slot.offset, sp.head_offset);
   if (is_read) {
     stats_.reads++;
     stats_.read_seek_pages += distance;
+    sp.stats.reads++;
+    sp.stats.read_seek_pages += distance;
   } else {
     stats_.writes++;
     stats_.write_seek_pages += distance;
+    sp.stats.writes++;
+    sp.stats.write_seek_pages += distance;
   }
   if (obs::QueryContext* query = obs::CurrentQuery()) {
     if (is_read) {
       query->io.disk_reads.fetch_add(1, std::memory_order_relaxed);
       query->io.read_seek_pages.fetch_add(distance,
                                           std::memory_order_relaxed);
-      query->Record({obs::SpanEventKind::kDiskRead, 0, 0, id, distance, 1});
+      const size_t qs = TrackedSpindle(slot.spindle);
+      query->io.spindle_reads[qs].fetch_add(1, std::memory_order_relaxed);
+      query->io.spindle_seek_pages[qs].fetch_add(distance,
+                                                 std::memory_order_relaxed);
+      query->Record({obs::SpanEventKind::kDiskRead, 0, 0, id, distance,
+                     uint64_t{slot.spindle} + 1});
     } else {
       query->io.disk_writes.fetch_add(1, std::memory_order_relaxed);
       query->io.write_seek_pages.fetch_add(distance,
                                            std::memory_order_relaxed);
-      query->Record({obs::SpanEventKind::kDiskWrite, 0, 0, id, distance, 1});
+      query->Record({obs::SpanEventKind::kDiskWrite, 0, 0, id, distance,
+                     uint64_t{slot.spindle} + 1});
     }
   }
+  sp.head_offset = slot.offset;
+  sp.head_page.store(id, std::memory_order_relaxed);
   head_.store(id, std::memory_order_relaxed);
   if (listener_ != nullptr) {
     if (is_read) {
-      listener_->OnDiskRead(id, distance);
+      listener_->OnDiskReadAt(slot.spindle, id, distance);
     } else {
-      listener_->OnDiskWrite(id, distance);
+      listener_->OnDiskWriteAt(slot.spindle, id, distance);
     }
   }
+  return distance;
 }
 
 Status SimulatedDisk::ReadPage(PageId id, std::byte* out) {
@@ -86,13 +149,15 @@ Status SimulatedDisk::ReadPageLocked(PageId id, std::byte* out) {
   if (it == pages_.end()) {
     return Status::NotFound("page " + std::to_string(id) + " never written");
   }
-  ChargeSeek(id, /*is_read=*/true);
+  const uint64_t distance = ChargeSeek(id, /*is_read=*/true);
   stats_.pages_read++;
+  spindles_[ResolveSlot(id).spindle].stats.pages_read++;
   if (obs::QueryContext* query = obs::CurrentQuery()) {
     query->io.pages_read.fetch_add(1, std::memory_order_relaxed);
   }
   if (trace_enabled_) {
     read_trace_.push_back(id);
+    seek_trace_.push_back(distance);
   }
   std::memcpy(out, it->second.data(), options_.page_size);
   return Status::OK();
@@ -118,6 +183,23 @@ RunReadResult SimulatedDisk::ReadRun(PageId first, size_t n, bool ascending,
   uint64_t travel = 0;       // head movement only (what the listener reports)
   size_t transferred = 0;    // pages physically moved over the bus
   size_t good = 0;           // usable prefix (transferred minus a faulted tail)
+  // On an array a run is served as one device transfer per same-spindle
+  // segment: each segment's entry page pays that spindle's positioning seek
+  // and counts one read; within a segment the arm moves one page per page.
+  // Upper layers split runs at stripe seams, so multi-segment runs are the
+  // exception, and on one spindle the whole run is a single segment —
+  // accounting-identical to the historical single-disk transfer.
+  uint32_t segment_spindle = 0;
+  size_t segment_pages = 0;
+  auto close_segment = [&] {
+    if (segment_pages >= 2) {
+      stats_.coalesced_runs++;
+      spindles_[segment_spindle].stats.coalesced_runs++;
+      if (query != nullptr) {
+        query->io.coalesced_runs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
   for (size_t i = 0; i < n; ++i) {
     const size_t offset = ascending ? i : n - 1 - i;
     const PageId page = first + offset;
@@ -127,36 +209,51 @@ RunReadResult SimulatedDisk::ReadRun(PageId first, size_t n, bool ascending,
           Status::NotFound("page " + std::to_string(page) + " never written");
       break;
     }
-    // The entry page pays the positioning seek and counts the transfer; the
-    // rest of the run is sequential, one page of travel each.
-    const uint64_t distance =
-        transferred == 0
-            ? SeekDistancePages(page, head_.load(std::memory_order_relaxed))
-            : 1;
-    if (transferred == 0) {
+    const SpindleSlot slot = ResolveSlot(page);
+    SpindleState& sp = spindles_[slot.spindle];
+    const bool new_segment =
+        transferred == 0 || slot.spindle != segment_spindle;
+    if (new_segment) {
+      close_segment();
+      segment_spindle = slot.spindle;
+      segment_pages = 0;
       stats_.reads++;
+      sp.stats.reads++;
       if (query != nullptr) {
         query->io.disk_reads.fetch_add(1, std::memory_order_relaxed);
+        query->io.spindle_reads[TrackedSpindle(slot.spindle)].fetch_add(
+            1, std::memory_order_relaxed);
       }
     }
+    // Segment entry pays the positioning seek; within a segment consecutive
+    // pages sit at consecutive offsets, so this is 1 page of travel each.
+    const uint64_t distance = SeekDistancePages(slot.offset, sp.head_offset);
     stats_.read_seek_pages += distance;
     stats_.pages_read++;
+    sp.stats.read_seek_pages += distance;
+    sp.stats.pages_read++;
     if (query != nullptr) {
       query->io.read_seek_pages.fetch_add(distance,
                                           std::memory_order_relaxed);
       query->io.pages_read.fetch_add(1, std::memory_order_relaxed);
+      query->io.spindle_seek_pages[TrackedSpindle(slot.spindle)].fetch_add(
+          distance, std::memory_order_relaxed);
     }
     travel += distance;
+    sp.head_offset = slot.offset;
+    sp.head_page.store(page, std::memory_order_relaxed);
     head_.store(page, std::memory_order_relaxed);
     if (trace_enabled_) {
       read_trace_.push_back(page);
+      seek_trace_.push_back(distance);
     }
     std::memcpy(outs[offset], it->second.data(), options_.page_size);
     ++transferred;
+    ++segment_pages;
     uint64_t penalty = 0;
     Status injected = InjectRunPageFault(page, outs[offset], &penalty);
     if (penalty > 0) {
-      AddSeekPenaltyLocked(penalty, /*is_read=*/true);
+      AddSeekPenaltyAtLocked(page, penalty, /*is_read=*/true);
     }
     if (!injected.ok()) {
       // The page was physically visited (seek charged, trace recorded) but
@@ -167,20 +264,16 @@ RunReadResult SimulatedDisk::ReadRun(PageId first, size_t n, bool ascending,
     }
     ++good;
   }
+  close_segment();
   result.pages_ok = good;
   if (transferred > 0) {
-    if (transferred >= 2) {
-      stats_.coalesced_runs++;
-      if (query != nullptr) {
-        query->io.coalesced_runs.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
     if (query != nullptr) {
       query->Record({obs::SpanEventKind::kDiskReadRun, 0, 0, entry, travel,
                      transferred});
     }
     if (listener_ != nullptr) {
-      listener_->OnDiskReadRun(entry, transferred, travel);
+      listener_->OnDiskReadRunAt(ResolveSlot(entry).spindle, entry,
+                                 transferred, travel);
     }
   }
   return result;
@@ -191,15 +284,33 @@ void SimulatedDisk::AddSeekPenalty(uint64_t pages, bool is_read) {
   AddSeekPenaltyLocked(pages, is_read);
 }
 
+void SimulatedDisk::AddSeekPenaltyAt(PageId near_page, uint64_t pages,
+                                     bool is_read) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  AddSeekPenaltyAtLocked(near_page, pages, is_read);
+}
+
 void SimulatedDisk::AddSeekPenaltyLocked(uint64_t pages, bool is_read) {
+  // No page context: the penalty belongs to whichever spindle served last.
+  AddSeekPenaltyAtLocked(head_.load(std::memory_order_relaxed), pages,
+                         is_read);
+}
+
+void SimulatedDisk::AddSeekPenaltyAtLocked(PageId near_page, uint64_t pages,
+                                           bool is_read) {
+  const uint32_t spindle = ResolveSlot(near_page).spindle;
   if (is_read) {
     stats_.read_seek_pages += pages;
+    spindles_[spindle].stats.read_seek_pages += pages;
   } else {
     stats_.write_seek_pages += pages;
+    spindles_[spindle].stats.write_seek_pages += pages;
   }
   if (obs::QueryContext* query = obs::CurrentQuery()) {
     if (is_read) {
       query->io.read_seek_pages.fetch_add(pages, std::memory_order_relaxed);
+      query->io.spindle_seek_pages[TrackedSpindle(spindle)].fetch_add(
+          pages, std::memory_order_relaxed);
     } else {
       query->io.write_seek_pages.fetch_add(pages, std::memory_order_relaxed);
     }

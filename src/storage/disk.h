@@ -8,13 +8,28 @@
 // cluster extents of inter-object clustering (paper Fig. 12) do not cost
 // memory for their unused tails.
 //
+// Multi-spindle arrays: DiskOptions::geometry generalizes the device to N
+// spindles with a PlacementPolicy (storage/placement.h) mapping each page
+// to a (spindle, offset) slot.  Each spindle has its own arm: a read or
+// write of page p costs |offset(p) - arm(spindle(p))| pages and moves only
+// that spindle's arm.  Global DiskStats keep their historical meaning
+// (every operation is counted once); per-spindle DiskStats are charged at
+// the same sites, so the per-spindle sums equal the global counters exactly
+// — the same conservation shape as per-query attribution.  With the default
+// 1-spindle geometry, offset == page and the array is bit-identical to the
+// historical single-disk device.
+//
 // Threading: the data-plane entry points (ReadPage, WritePage, Exists,
 // AddSeekPenalty, SubmitRead) serialize on an internal mutex so concurrent
-// clients — the sharded buffer pool, the AsyncDisk I/O thread — can share
-// one device.  head() is a lock-free snapshot.  Everything else (stats,
-// ResetStats, ParkHead, read traces, Save/Load) is control-plane: call it
-// only while no I/O is in flight.  Listeners fire under the I/O mutex, on
-// whichever thread performed the operation, and must not re-enter the disk.
+// clients — the sharded buffer pool, the AsyncDisk I/O threads — can share
+// one device.  The critical section per transfer is short (a memcpy plus
+// accounting); cross-spindle parallelism lives in the per-spindle elevator
+// threads above (storage/async_disk.h), which overlap their seeks and queue
+// service.  head() and spindle_head_page() are lock-free snapshots.
+// Everything else (stats, ResetStats, ParkHead, read traces, Save/Load,
+// SetLogRegion) is control-plane: call it only while no I/O is in flight.
+// Listeners fire under the I/O mutex, on whichever thread performed the
+// operation, and must not re-enter the disk.
 //
 // Attribution: every counter increment (reads, seek pages, pages_read,
 // coalesced runs, penalties, injected faults) is also charged to the
@@ -37,11 +52,9 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/placement.h"
 
 namespace cobra {
-
-using PageId = uint64_t;
-inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
 
 // |a - b| in pages: the simulated device's cost of moving the head between
 // two positions.
@@ -78,6 +91,8 @@ typename Map::iterator ScanNext(Map& map, PageId head, bool* sweeping_up) {
 
 struct DiskOptions {
   size_t page_size = 1024;  // The paper's 1 KB pages.
+  // Array geometry; the default is the single-spindle device.
+  DiskGeometry geometry;
 };
 
 // Counters split by operation so that benchmarks can report the paper's
@@ -138,6 +153,11 @@ struct RunReadResult {
 // Per-operation event hook (telemetry).  The listener fires on every page
 // read/write *after* the seek is charged; `seek_pages` is the head travel
 // the operation cost.  Implementations must not touch the disk re-entrantly.
+//
+// Spindle dimension: the disk always fires the ...At forms, which carry the
+// serving spindle.  Their defaults forward to the historical hooks, so
+// spindle-unaware listeners keep working unchanged (and on a 1-spindle
+// device the spindle argument is always 0).
 class DiskEventListener {
  public:
   virtual ~DiskEventListener() = default;
@@ -152,6 +172,25 @@ class DiskEventListener {
                              uint64_t seek_pages) {
     (void)pages;
     OnDiskRead(first_page, seek_pages);
+  }
+  // Spindle-carrying forms; the disk calls only these.
+  virtual void OnDiskReadAt(uint32_t spindle, PageId page,
+                            uint64_t seek_pages) {
+    (void)spindle;
+    OnDiskRead(page, seek_pages);
+  }
+  virtual void OnDiskWriteAt(uint32_t spindle, PageId page,
+                             uint64_t seek_pages) {
+    (void)spindle;
+    OnDiskWrite(page, seek_pages);
+  }
+  // `spindle` is the entry page's spindle (a run that crosses a stripe seam
+  // at the device level is accounted per segment internally, but reported
+  // once, from its entry).
+  virtual void OnDiskReadRunAt(uint32_t spindle, PageId first_page,
+                               size_t pages, uint64_t seek_pages) {
+    (void)spindle;
+    OnDiskReadRun(first_page, pages, seek_pages);
   }
   // Fired by a fault-injecting disk when a read is sabotaged.  Default
   // no-op so existing listeners need no change.
@@ -187,10 +226,14 @@ class SimulatedDisk {
   // the cost is one positioning seek of |entry - head| pages plus one page of
   // travel per additional page — on either sweep direction the head travels
   // exactly as far as n single-page SCAN reads would, but the device serves
-  // it as ONE transfer (stats().reads += 1, pages_read += n).  A missing or
-  // faulty page splits the run per RunReadResult; its seek cost (if any) is
-  // still charged, and untouched trailing pages cost nothing.  n == 1 is
-  // accounting-identical to ReadPage.
+  // it as ONE transfer (stats().reads += 1, pages_read += n).  On an array,
+  // a run that crosses a stripe seam is served as one device transfer per
+  // same-spindle segment (each segment pays its spindle's positioning seek
+  // and counts one read); upper layers split runs at seams so this is the
+  // uncommon path.  A missing or faulty page splits the run per
+  // RunReadResult; its seek cost (if any) is still charged, and untouched
+  // trailing pages cost nothing.  n == 1 is accounting-identical to
+  // ReadPage.
   virtual RunReadResult ReadRun(PageId first, size_t n, bool ascending,
                                 std::byte* const* outs);
 
@@ -203,7 +246,14 @@ class SimulatedDisk {
   // Charges extra seek-page cost to the read (or write) counters without
   // moving the head: models time the device spends not seeking — retry
   // backoff, injected rotational latency — in the paper's cost unit.
+  // The page-less form charges the spindle currently under the global head;
+  // AddSeekPenaltyAt charges the spindle that holds `near_page` (callers
+  // that know which page the penalty belongs to should use it, so the
+  // per-spindle accounting stays faithful on an array).  Identical on a
+  // 1-spindle device.
   virtual void AddSeekPenalty(uint64_t pages, bool is_read);
+  virtual void AddSeekPenaltyAt(PageId near_page, uint64_t pages,
+                                bool is_read);
 
   virtual bool Exists(PageId id) const {
     std::lock_guard<std::mutex> lock(io_mu_);
@@ -217,17 +267,50 @@ class SimulatedDisk {
   // address-space span that seeks can range over.
   PageId page_span() const { return span_; }
 
-  // Lock-free head snapshot.  Virtual so AsyncDisk can report the backing
-  // device's head (the elevator schedulers order fetches by it).
+  // Lock-free head snapshot: the page most recently served by any spindle.
+  // Virtual so AsyncDisk can report the backing device's head (the elevator
+  // schedulers order fetches by it).
   virtual PageId head() const { return head_.load(std::memory_order_relaxed); }
 
-  // Repositions the head without charging a seek.  Experiments call this to
-  // start each run from a well-defined head position (the paper assumes
+  // --- Array geometry --------------------------------------------------
+
+  const DiskGeometry& geometry() const { return placement_.geometry(); }
+
+  // Virtual so AsyncDisk forwards to its backing device: callers that hold
+  // the decorator (buffer pool, elevator queues) see the real geometry.
+  virtual uint32_t num_spindles() const { return placement_.spindles(); }
+  virtual uint32_t SpindleOf(PageId id) const {
+    return ResolveSlot(id).spindle;
+  }
+
+  // Lock-free: the page most recently served by spindle `s` (the SCAN head
+  // of that spindle's elevator).  Parked pages count as served.
+  virtual PageId spindle_head_page(uint32_t s) const {
+    return spindles_[s].head_page.load(std::memory_order_relaxed);
+  }
+
+  // Control-plane snapshot of one spindle's counters.  The per-spindle
+  // sums over all spindles equal stats() field by field.
+  virtual DiskStats spindle_stats(uint32_t s) const {
+    return spindles_[s].stats;
+  }
+
+  // Places the log extent [first, first + pages) on a fixed spindle,
+  // overriding the placement policy (the WAL's dedicated-log-spindle mode:
+  // group-commit flushes stop contending with data-page arms).  The extent
+  // must lie past every data page (the WAL allocates it past page_span()),
+  // which keeps each spindle's page order == offset order invariant intact.
+  // Control-plane; call before the measured run.  No-op on 1 spindle.
+  void SetLogRegion(PageId first, size_t pages, uint32_t spindle);
+
+  // Repositions every arm without charging a seek: `id`'s spindle parks at
+  // `id`'s offset, every other spindle at offset 0.  Experiments call this
+  // to start each run from a well-defined head position (the paper assumes
   // exclusive control of the device).
-  void ParkHead(PageId id) { head_.store(id, std::memory_order_relaxed); }
+  void ParkHead(PageId id);
 
   const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats(); }
+  void ResetStats();
 
   // Persists the disk image (all allocated pages) to a host file, and loads
   // it back.  Statistics and head position are not part of the image.
@@ -237,12 +320,17 @@ class SimulatedDisk {
       const std::string& path);
 
   // Optional read trace: when enabled, records the page id of every read in
-  // order.  Tests use it to assert scheduler fetch orders.
+  // order, and in parallel the seek distance each read was charged
+  // (seek_trace).  Tests use the page trace to assert scheduler fetch
+  // orders; the seek trace feeds the seek histogram on arrays, where
+  // consecutive-page distance no longer equals charged arm travel.
   void EnableReadTrace(bool enabled) {
     trace_enabled_ = enabled;
     read_trace_.clear();
+    seek_trace_.clear();
   }
   const std::vector<PageId>& read_trace() const { return read_trace_; }
+  const std::vector<uint64_t>& seek_trace() const { return seek_trace_; }
 
   // Optional telemetry listener (borrowed; must outlive the disk or be
   // cleared).  Null disables the hook — the only cost on the I/O path is
@@ -275,20 +363,43 @@ class SimulatedDisk {
   Status ReadPageLocked(PageId id, std::byte* out);
   Status WritePageLocked(PageId id, const std::byte* data);
   void AddSeekPenaltyLocked(uint64_t pages, bool is_read);
+  void AddSeekPenaltyAtLocked(PageId near_page, uint64_t pages, bool is_read);
 
   // Serializes the data-plane (page map, stats, trace, listener calls).
   mutable std::mutex io_mu_;
 
  private:
-  void ChargeSeek(PageId id, bool is_read);
+  // One arm per spindle.  `head_offset` is the arm position in the
+  // spindle's own offset space (what seeks are measured against);
+  // `head_page` is the logical page the arm last served, for the
+  // per-spindle SCAN schedulers.
+  struct SpindleState {
+    PageId head_offset = 0;
+    std::atomic<PageId> head_page{0};
+    DiskStats stats;
+  };
+
+  // Placement plus the log-region override.
+  SpindleSlot ResolveSlot(PageId id) const;
+
+  // Charges one read/write of `id` to its spindle and the globals; moves
+  // that spindle's arm.  Returns the charged distance.
+  uint64_t ChargeSeek(PageId id, bool is_read);
 
   DiskOptions options_;
+  PlacementPolicy placement_;
   std::unordered_map<PageId, std::vector<std::byte>> pages_;
   std::atomic<PageId> head_{0};
   PageId span_ = 0;
   DiskStats stats_;
+  std::vector<SpindleState> spindles_;
+  // Log-region override (SetLogRegion); kInvalidPageId = none.
+  PageId log_first_ = kInvalidPageId;
+  size_t log_pages_ = 0;
+  uint32_t log_spindle_ = 0;
   bool trace_enabled_ = false;
   std::vector<PageId> read_trace_;
+  std::vector<uint64_t> seek_trace_;
   DiskEventListener* listener_ = nullptr;
 };
 

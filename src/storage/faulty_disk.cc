@@ -34,24 +34,52 @@ double FaultInjectingDisk::Draw(PageId id, uint64_t attempt,
 
 Status FaultInjectingDisk::ReadPage(PageId id, std::byte* out) {
   Status base = SimulatedDisk::ReadPage(id, out);
-  if (!enabled_ || !base.ok()) {
+  if (!base.ok()) {
+    return base;
+  }
+  // The seek was charged (the arm really moved there) but the spindle
+  // cannot deliver the payload.  Independent of set_enabled().
+  Status degraded = CheckDegraded(id);
+  if (!degraded.ok()) {
+    return degraded;
+  }
+  if (!enabled_) {
     return base;
   }
   uint64_t penalty = 0;
   Status injected = DrawPageFault(id, out, &penalty);
   if (penalty > 0) {
-    AddSeekPenalty(penalty, /*is_read=*/true);
+    AddSeekPenaltyAt(id, penalty, /*is_read=*/true);
   }
   return injected;
+}
+
+Status FaultInjectingDisk::CheckDegraded(PageId id) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  if (degraded_spindle_ < 0 ||
+      SpindleOf(id) != static_cast<uint32_t>(degraded_spindle_)) {
+    return Status::OK();
+  }
+  fault_stats_.degraded_reads++;
+  NotifyFault(id, FaultKind::kPermanentBadPage);
+  return Status::Corruption("spindle " + std::to_string(degraded_spindle_) +
+                            " degraded: cannot read page " +
+                            std::to_string(id));
 }
 
 FaultInjectingDisk::WriteVerdict FaultInjectingDisk::DrawWriteFault(
     PageId id) {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  // A crash scoped to one spindle only governs that spindle's writes; the
+  // rest of the array neither counts toward the crash point nor fails.
+  const bool crash_in_scope =
+      crash_armed_ &&
+      (crash_spindle_ < 0 ||
+       SpindleOf(id) == static_cast<uint32_t>(crash_spindle_));
   // The crash point outranks the probabilistic profile: once the power is
   // cut nothing else gets a say, and the crash-matrix sweep stays stable
   // whether or not a profile is also armed.
-  if (crash_armed_) {
+  if (crash_in_scope) {
     if (crash_triggered_) {
       return WriteVerdict::kCrashed;
     }
@@ -62,7 +90,10 @@ FaultInjectingDisk::WriteVerdict FaultInjectingDisk::DrawWriteFault(
                  : WriteVerdict::kCrashed;
     }
   }
-  if (enabled_) {
+  const bool fault_in_scope =
+      fault_spindle_ < 0 ||
+      SpindleOf(id) == static_cast<uint32_t>(fault_spindle_);
+  if (enabled_ && fault_in_scope) {
     uint64_t attempt = ++write_attempts_[id];
     if (profile_.transient_write_fail > 0.0 &&
         Draw(id, attempt, 6) < profile_.transient_write_fail) {
@@ -74,11 +105,11 @@ FaultInjectingDisk::WriteVerdict FaultInjectingDisk::DrawWriteFault(
         Draw(id, attempt, 7) < profile_.torn_write) {
       fault_stats_.torn_writes++;
       NotifyFault(id, FaultKind::kTornWrite);
-      if (crash_armed_) writes_survived_++;
+      if (crash_in_scope) writes_survived_++;
       return WriteVerdict::kTorn;
     }
   }
-  if (crash_armed_) writes_survived_++;
+  if (crash_in_scope) writes_survived_++;
   return WriteVerdict::kNone;
 }
 
@@ -110,6 +141,10 @@ Status FaultInjectingDisk::WritePage(PageId id, const std::byte* data) {
 
 Status FaultInjectingDisk::InjectRunPageFault(PageId id, std::byte* out,
                                               uint64_t* penalty_pages) {
+  Status degraded = CheckDegraded(id);
+  if (!degraded.ok()) {
+    return degraded;
+  }
   if (!enabled_) {
     return Status::OK();
   }
@@ -119,6 +154,12 @@ Status FaultInjectingDisk::InjectRunPageFault(PageId id, std::byte* out,
 Status FaultInjectingDisk::DrawPageFault(PageId id, std::byte* out,
                                          uint64_t* penalty_pages) {
   std::lock_guard<std::mutex> lock(fault_mu_);
+  // Out-of-scope pages skip the attempt draw entirely: scoping faults to
+  // one spindle leaves the in-scope schedule byte-identical.
+  if (fault_spindle_ >= 0 &&
+      SpindleOf(id) != static_cast<uint32_t>(fault_spindle_)) {
+    return Status::OK();
+  }
   uint64_t attempt = ++attempts_[id];
 
   // Permanent bad page: decided once per page (attempt-independent), fails

@@ -85,10 +85,14 @@ struct FaultStats {
   uint64_t latency_injections = 0;
   uint64_t transient_write_failures = 0;
   uint64_t torn_writes = 0;
+  // Reads rejected because their spindle is marked degraded
+  // (set_degraded_spindle); not part of the probabilistic profile.
+  uint64_t degraded_reads = 0;
 
   uint64_t total() const {
     return transient_failures + permanent_failures + bit_flips + torn_pages +
-           latency_injections + transient_write_failures + torn_writes;
+           latency_injections + transient_write_failures + torn_writes +
+           degraded_reads;
   }
 };
 
@@ -115,6 +119,27 @@ class FaultInjectingDisk : public SimulatedDisk {
   const FaultProfile& profile() const { return profile_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
 
+  // --- Per-spindle fault scoping (disk arrays) -------------------------
+  //
+  // Restricts the probabilistic profile to one spindle's pages (-1 = all
+  // spindles, the default).  Out-of-scope pages skip their attempt-number
+  // draw entirely, so scoping does not perturb the in-scope schedule.
+  void set_fault_spindle(int spindle) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    fault_spindle_ = spindle;
+  }
+
+  // Marks one spindle as failed (-1 = none): every read of a page it holds
+  // returns Status::Corruption and counts fault_stats().degraded_reads,
+  // regardless of set_enabled().  Composes with the assembly layer's
+  // kSkipObject degraded mode — objects resident on the dead spindle drop,
+  // the rest of the workload completes.  Writes are unaffected (the page
+  // map is shared; re-written pages still fail to read back).
+  void set_degraded_spindle(int spindle) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    degraded_spindle_ = spindle;
+  }
+
   // --- Deterministic crash points -------------------------------------
   //
   // ScheduleCrash(n, mode) arms a power-cut after `n` further successful
@@ -126,12 +151,19 @@ class FaultInjectingDisk : public SimulatedDisk {
   //
   // The crash-matrix test sweeps n over every write boundary of a
   // workload, in both modes, and asserts recovery invariants at each.
-  void ScheduleCrash(uint64_t after_writes, CrashWriteMode mode) {
+  //
+  // `spindle` scopes the power cut to one spindle of an array (-1 = whole
+  // device, the historical behavior): writes to other spindles neither
+  // count toward `after_writes` nor fail once the cut fires — the model of
+  // one enclosure losing power while the rest of the array keeps serving.
+  void ScheduleCrash(uint64_t after_writes, CrashWriteMode mode,
+                     int spindle = -1) {
     std::lock_guard<std::mutex> lock(fault_mu_);
     crash_armed_ = true;
     crash_triggered_ = false;
     crash_after_writes_ = after_writes;
     crash_mode_ = mode;
+    crash_spindle_ = spindle;
     writes_survived_ = 0;
   }
 
@@ -188,8 +220,17 @@ class FaultInjectingDisk : public SimulatedDisk {
   enum class WriteVerdict { kNone, kTorn, kReject, kCrashed, kCrashTorn };
   WriteVerdict DrawWriteFault(PageId id);
 
+  // Degraded-spindle verdict for a read of `id`; OK when the page's
+  // spindle is healthy.  Takes fault_mu_.
+  Status CheckDegraded(PageId id);
+
   FaultProfile profile_;
   bool enabled_ = false;
+  // Spindle scoping (-1 = unscoped); guarded by fault_mu_ like the rest of
+  // the fault state.
+  int fault_spindle_ = -1;
+  int degraded_spindle_ = -1;
+  int crash_spindle_ = -1;
   // Guards attempts_, write_attempts_, fault_stats_ and the crash-point
   // state, so concurrent readers/writers draw from one coherent per-page
   // attempt sequence.  This is a leaf lock: nothing is called out to while

@@ -1,0 +1,13 @@
+#include "storage/placement.h"
+
+namespace cobra {
+
+const char* PlacementKindName(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kRoundRobinStripe: return "round-robin";
+    case PlacementKind::kClustered: return "clustered";
+  }
+  return "unknown";
+}
+
+}  // namespace cobra

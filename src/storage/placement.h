@@ -1,0 +1,119 @@
+// Page placement for a multi-spindle disk array.
+//
+// The paper's cost model assumes one disk arm; generalizing to an N-spindle
+// array makes *placement policy* a first-class experimental axis alongside
+// clustering policy: the same logical page sequence costs very different
+// head travel depending on how pages map onto spindles.  A PlacementPolicy
+// maps a logical PageId to a (spindle, offset) slot:
+//
+//   * round-robin stripe — stripes of `stripe_width` consecutive pages
+//     rotate across spindles (RAID-0 layout).  Every spindle's offset space
+//     is compressed by ~N, so seeks shrink with spindle count even for a
+//     workload that never runs two transfers in parallel;
+//   * clustered — the page space is split into N contiguous extents, one
+//     per spindle (the "one database region per device" layout).  Seeks
+//     within a region are unchanged; only cross-region jumps get cheaper.
+//
+// Invariant both policies keep: for pages on the same spindle, page order
+// equals offset order.  A SCAN sweep over logical pages is therefore also a
+// SCAN sweep over each spindle's physical offsets, so the per-spindle
+// elevators inherit the paper's scheduling argument unchanged.
+//
+// With spindles == 1 and stripe_width == 1 every page maps to (0, page) —
+// the degenerate policy under which the whole stack must be bit-identical
+// to the single-disk implementation it replaces.
+
+#ifndef COBRA_STORAGE_PLACEMENT_H_
+#define COBRA_STORAGE_PLACEMENT_H_
+
+#include <cstdint>
+
+namespace cobra {
+
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~static_cast<PageId>(0);
+
+enum class PlacementKind {
+  kRoundRobinStripe,
+  kClustered,
+};
+
+const char* PlacementKindName(PlacementKind kind);
+
+// Geometry of the simulated array.  Part of DiskOptions; the defaults are
+// the single-spindle degenerate case.
+struct DiskGeometry {
+  uint32_t spindles = 1;
+  // Consecutive pages per stripe unit (round-robin placement only).
+  uint32_t stripe_width = 1;
+  PlacementKind placement = PlacementKind::kRoundRobinStripe;
+  // Pages per spindle extent (clustered placement only; must be > 0 when
+  // placement == kClustered and spindles > 1).  The last spindle absorbs
+  // the tail of the page space.
+  uint64_t clustered_pages_per_spindle = 0;
+
+  bool single_spindle() const { return spindles <= 1; }
+};
+
+// A physical slot: which spindle holds the page and at what arm offset.
+struct SpindleSlot {
+  uint32_t spindle = 0;
+  PageId offset = 0;
+};
+
+class PlacementPolicy {
+ public:
+  PlacementPolicy() = default;
+  explicit PlacementPolicy(DiskGeometry geometry) : g_(geometry) {
+    if (g_.spindles == 0) g_.spindles = 1;
+    if (g_.stripe_width == 0) g_.stripe_width = 1;
+  }
+
+  const DiskGeometry& geometry() const { return g_; }
+  uint32_t spindles() const { return g_.spindles; }
+
+  SpindleSlot Resolve(PageId page) const {
+    if (g_.spindles <= 1) {
+      return SpindleSlot{0, page};
+    }
+    if (g_.placement == PlacementKind::kClustered &&
+        g_.clustered_pages_per_spindle > 0) {
+      uint64_t spindle = page / g_.clustered_pages_per_spindle;
+      if (spindle >= g_.spindles) spindle = g_.spindles - 1;
+      return SpindleSlot{
+          static_cast<uint32_t>(spindle),
+          page - spindle * g_.clustered_pages_per_spindle};
+    }
+    const uint64_t w = g_.stripe_width;
+    const uint64_t stripe = page / w;
+    const uint64_t within = page % w;
+    return SpindleSlot{static_cast<uint32_t>(stripe % g_.spindles),
+                       (stripe / g_.spindles) * w + within};
+  }
+
+  uint32_t SpindleOf(PageId page) const { return Resolve(page).spindle; }
+
+  // Inverse of Resolve: the logical page stored at (spindle, offset).
+  // Round-trips with Resolve for every reachable slot.
+  PageId PageAt(uint32_t spindle, PageId offset) const {
+    if (g_.spindles <= 1) {
+      return offset;
+    }
+    if (g_.placement == PlacementKind::kClustered &&
+        g_.clustered_pages_per_spindle > 0) {
+      return static_cast<uint64_t>(spindle) * g_.clustered_pages_per_spindle +
+             offset;
+    }
+    const uint64_t w = g_.stripe_width;
+    const uint64_t stripe_in_spindle = offset / w;
+    const uint64_t within = offset % w;
+    return (stripe_in_spindle * g_.spindles + spindle) * w + within;
+  }
+
+ private:
+  DiskGeometry g_;
+};
+
+}  // namespace cobra
+
+#endif  // COBRA_STORAGE_PLACEMENT_H_

@@ -144,8 +144,8 @@ Status WalManager::WritePageWithRetry(PageId id, const std::byte* data,
     }
     if (attempt < options_.max_write_attempts) {
       ++*retries;
-      disk_->AddSeekPenalty(
-          static_cast<uint64_t>(attempt) * options_.backoff_seek_pages,
+      disk_->AddSeekPenaltyAt(
+          id, static_cast<uint64_t>(attempt) * options_.backoff_seek_pages,
           /*is_read=*/false);
     }
   }

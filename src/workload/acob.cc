@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/rng.h"
+#include "storage/disk_array.h"
 
 namespace cobra {
 
@@ -86,10 +87,17 @@ Result<std::unique_ptr<AcobDatabase>> BuildAcobDatabase(
 
   auto db = std::make_unique<AcobDatabase>();
   db->options = options;
+  DiskOptions disk_options;
+  disk_options.geometry = ValidateGeometry(options.geometry);
   if (options.faults.any()) {
-    auto faulty = std::make_unique<FaultInjectingDisk>(options.faults);
+    // The fault layer subclasses SimulatedDisk, so it carries the array
+    // geometry itself — per-spindle fault scoping composes for free.
+    auto faulty =
+        std::make_unique<FaultInjectingDisk>(options.faults, disk_options);
     db->faulty = faulty.get();
     db->disk = std::move(faulty);
+  } else if (!disk_options.geometry.single_spindle()) {
+    db->disk = std::make_unique<DiskArray>(disk_options.geometry);
   } else {
     db->disk = std::make_unique<SimulatedDisk>();
   }

@@ -87,6 +87,9 @@ struct AcobOptions {
   // exact single-threaded pool; raise it when concurrent clients share the
   // database (see service/query_service.h).
   size_t buffer_shards = 1;
+  // Disk-array geometry (storage/placement.h).  The default single-spindle
+  // geometry reproduces the paper's one-arm device bit-for-bit.
+  DiskGeometry geometry = {};
 };
 
 // A fully built benchmark database plus everything an experiment needs.

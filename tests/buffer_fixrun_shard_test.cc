@@ -1,0 +1,197 @@
+// FixRun across buffer-pool shard boundaries.
+//
+// A sharded pool hashes pages to lock stripes, so a consecutive run almost
+// always straddles shards: FixRun must lock every touched shard in
+// canonical order, pin residents per shard, obtain frames per shard, and —
+// on every error path (transient retries, permanent failures, exhausted
+// shards) — release exactly the pins and frames it took.  These tests pin
+// down the pin accounting (pinned_frames() returns to zero, DropAll
+// succeeds) and the retry path under a sharded pool.  The file lives in
+// the concurrency binary so TSan also checks the multi-threaded FixRun
+// storm against FetchPage.
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "buffer/buffer_manager.h"
+#include "storage/checksum.h"
+#include "storage/disk.h"
+#include "storage/faulty_disk.h"
+
+namespace cobra {
+namespace {
+
+// Raw pages bypass the buffer manager, so bytes [0, kPageChecksumSize) must
+// stay zero ("unstamped"); the per-page marker byte lives just past the
+// checksum field.
+constexpr size_t kMarker = kPageChecksumSize;
+
+void FillDisk(SimulatedDisk* disk, PageId first, size_t n) {
+  std::vector<std::byte> page(disk->page_size());
+  for (PageId id = first; id < first + n; ++id) {
+    page[kMarker] = static_cast<std::byte>(id & 0xFF);
+    ASSERT_TRUE(disk->WritePage(id, page.data()).ok());
+  }
+}
+
+// A run over a many-sharded pool touches several stripes (MixPage spreads
+// consecutive pages); every page must come back pinned and correct, and
+// releasing the guards must leave zero pins.
+TEST(FixRunShardTest, RunStraddlingShardsPinsAndReleasesAll) {
+  SimulatedDisk disk;
+  FillDisk(&disk, 100, 32);
+  BufferManager pool(&disk, BufferOptions{.num_frames = 64, .num_shards = 8});
+  ASSERT_GT(pool.num_shards(), 1u);
+  {
+    std::vector<Result<PageGuard>> guards;
+    pool.FixRun(100, 32, true, &guards);
+    ASSERT_EQ(guards.size(), 32u);
+    for (size_t i = 0; i < guards.size(); ++i) {
+      ASSERT_TRUE(guards[i].ok()) << "page " << (100 + i) << ": "
+                                  << guards[i].status().ToString();
+      EXPECT_EQ(guards[i]->page_id(), PageId{100 + i});
+      EXPECT_EQ(guards[i]->data()[kMarker],
+                std::byte{static_cast<uint8_t>((100 + i) & 0xFF)});
+    }
+    EXPECT_GT(pool.pinned_frames(), 0u);
+  }
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  // No leaked pin anywhere: DropAll refuses if any frame is still pinned.
+  EXPECT_TRUE(pool.DropAll().ok());
+}
+
+// Mixed hits and misses: pre-warm a scattered subset so phase 1 pins
+// residents in several shards while phase 2 does vectored reads around
+// them.  Descending direction exercises the reversed transfer order.
+TEST(FixRunShardTest, MixedResidencyAcrossShardsBothDirections) {
+  SimulatedDisk disk;
+  FillDisk(&disk, 0, 48);
+  BufferManager pool(&disk, BufferOptions{.num_frames = 96, .num_shards = 8});
+  for (PageId id : {PageId{3}, PageId{11}, PageId{12}, PageId{30}}) {
+    auto guard = pool.FetchPage(id);
+    ASSERT_TRUE(guard.ok());
+  }
+  for (bool ascending : {true, false}) {
+    std::vector<Result<PageGuard>> guards;
+    pool.FixRun(0, 48, ascending, &guards);
+    ASSERT_EQ(guards.size(), 48u);
+    for (size_t i = 0; i < guards.size(); ++i) {
+      ASSERT_TRUE(guards[i].ok()) << "ascending=" << ascending << " page "
+                                  << i;
+      EXPECT_EQ(guards[i]->data()[kMarker], std::byte{static_cast<uint8_t>(i)});
+    }
+    guards.clear();
+    EXPECT_EQ(pool.pinned_frames(), 0u);
+  }
+  EXPECT_TRUE(pool.DropAll().ok());
+}
+
+// Transient read faults during the vectored phase: the retry loop re-reads
+// only the untransferred tail, counts its retries, and still returns every
+// page pinned — with zero pins left after release (the retry error path
+// must not leak the frames it had already handed out).
+TEST(FixRunShardTest, TransientRetriesAcrossShardsLeakNothing) {
+  FaultProfile profile;
+  profile.seed = 11;
+  profile.transient_read_fail = 0.25;
+  FaultInjectingDisk disk(profile);
+  FillDisk(&disk, 0, 40);
+  disk.set_enabled(true);
+  RetryPolicy retry;
+  retry.max_read_attempts = 8;  // enough that 0.25 never exhausts
+  BufferManager pool(&disk, BufferOptions{.num_frames = 80,
+                                          .retry = retry,
+                                          .num_shards = 8});
+  std::vector<Result<PageGuard>> guards;
+  pool.FixRun(0, 40, true, &guards);
+  ASSERT_EQ(guards.size(), 40u);
+  for (size_t i = 0; i < guards.size(); ++i) {
+    ASSERT_TRUE(guards[i].ok()) << "page " << i << ": "
+                                << guards[i].status().ToString();
+  }
+  EXPECT_GT(pool.stats().retries, 0u);
+  guards.clear();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  disk.set_enabled(false);
+  EXPECT_TRUE(pool.DropAll().ok());
+}
+
+// A shard too small for its share of the run: the starved pages report
+// ResourceExhausted without poisoning their neighbors, and the error slots
+// hold no frame (the successful ones release cleanly).
+TEST(FixRunShardTest, ExhaustedShardReportsWithoutLeaking) {
+  SimulatedDisk disk;
+  FillDisk(&disk, 0, 64);
+  // 8 shards x ~2 frames each: a 64-page run overruns every shard.
+  BufferManager pool(&disk, BufferOptions{.num_frames = 16, .num_shards = 8});
+  std::vector<Result<PageGuard>> guards;
+  pool.FixRun(0, 64, true, &guards);
+  ASSERT_EQ(guards.size(), 64u);
+  size_t ok = 0;
+  size_t exhausted = 0;
+  for (const auto& guard : guards) {
+    if (guard.ok()) {
+      ++ok;
+    } else if (guard.status().IsResourceExhausted()) {
+      ++exhausted;
+    } else {
+      FAIL() << "unexpected error: " << guard.status().ToString();
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(exhausted, 0u);
+  guards.clear();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  // Every starved page is still fetchable one-at-a-time afterwards.
+  for (PageId id = 0; id < 4; ++id) {
+    auto guard = pool.FetchPage(id);
+    EXPECT_TRUE(guard.ok());
+  }
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_TRUE(pool.DropAll().ok());
+}
+
+// TSan target: concurrent overlapping FixRuns and FetchPages over one
+// sharded pool.  The canonical shard-lock order must keep this
+// deadlock-free, the pin accounting exact.
+TEST(FixRunShardTest, ConcurrentFixRunStorm) {
+  SimulatedDisk disk;
+  FillDisk(&disk, 0, 128);
+  BufferManager pool(&disk,
+                     BufferOptions{.num_frames = 512, .num_shards = 8});
+  constexpr size_t kThreads = 6;
+  constexpr size_t kRounds = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const PageId first = (t * 13 + round * 7) % 96;
+        if (t % 2 == 0) {
+          std::vector<Result<PageGuard>> guards;
+          pool.FixRun(first, 24, round % 2 == 0, &guards);
+          for (const auto& guard : guards) {
+            ASSERT_TRUE(guard.ok() ||
+                        guard.status().IsResourceExhausted());
+          }
+        } else {
+          for (PageId id = first; id < first + 8; ++id) {
+            auto guard = pool.FetchPage(id);
+            ASSERT_TRUE(guard.ok() ||
+                        guard.status().IsResourceExhausted());
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_TRUE(pool.DropAll().ok());
+}
+
+}  // namespace
+}  // namespace cobra

@@ -28,6 +28,15 @@ Usage:
       more total seek pages.  (Non-elevator and non-inter-object runs are
       excluded: position-blind schedulers pop single-ref runs, so coalescing
       never engages for them.)
+  bench_golden.py spindles <seed.json> <array.json>
+      Assert the disk-array win: for every configuration shared between a
+      single-spindle capture and a --spindles N capture, the array run must
+      issue exactly as many disk reads (striping relocates pages, it never
+      adds I/O) with per-run non-increasing read seek pages, and the
+      aggregate seek pages across matched runs must be strictly lower.
+      Also verifies conservation: wherever a run carries a per-spindle
+      "spindles" breakdown, its reads/seek-page fields must sum exactly to
+      the run's global disk stats.
 """
 
 import difflib
@@ -162,14 +171,73 @@ def iobatch(seed_path, batched_path):
     return failed
 
 
+def spindles(seed_path, array_path):
+    seed = load_runs(seed_path)
+    array = load_runs(array_path)
+    matched = failures = 0
+    seed_seeks_total = array_seeks_total = 0
+    for key, run in sorted(array.items()):
+        if key not in seed:
+            continue
+        matched += 1
+        ref_disk = seed[key]["disk"]
+        run_disk = run["disk"]
+        if run_disk["reads"] != ref_disk["reads"]:
+            failures += 1
+            sys.stderr.write(
+                f"SPINDLES {key}: read count changed "
+                f"({ref_disk['reads']} -> {run_disk['reads']}); striping "
+                f"must never add or remove I/O\n"
+            )
+        if run_disk["read_seek_pages"] > ref_disk["read_seek_pages"]:
+            failures += 1
+            sys.stderr.write(
+                f"SPINDLES {key}: read seek pages increased "
+                f"({ref_disk['read_seek_pages']} -> "
+                f"{run_disk['read_seek_pages']})\n"
+            )
+        seed_seeks_total += ref_disk["read_seek_pages"]
+        array_seeks_total += run_disk["read_seek_pages"]
+        per_spindle = run.get("spindles")
+        if per_spindle:
+            for field in ("reads", "read_seek_pages", "writes",
+                          "write_seek_pages"):
+                total = sum(s.get(field, 0) for s in per_spindle)
+                if total != run_disk.get(field, 0):
+                    failures += 1
+                    sys.stderr.write(
+                        f"SPINDLES {key}: per-spindle '{field}' sums to "
+                        f"{total}, global says {run_disk.get(field, 0)}\n"
+                    )
+    if matched == 0:
+        sys.stderr.write(
+            f"SPINDLES: no overlapping configurations between "
+            f"{seed_path} and {array_path}\n"
+        )
+        return 1
+    print(
+        f"spindles: {matched} configuration(s), seek pages "
+        f"{seed_seeks_total} -> {array_seeks_total}"
+    )
+    if array_seeks_total >= seed_seeks_total:
+        sys.stderr.write(
+            f"SPINDLES: aggregate seek pages did not drop "
+            f"({seed_seeks_total} -> {array_seeks_total})\n"
+        )
+        failures += 1
+    return 1 if failures else 0
+
+
 def main(argv):
     if len(argv) != 4 or argv[1] not in ("extract", "check", "crosscheck",
-                                         "iobatch"):
+                                         "iobatch", "spindles"):
         sys.stderr.write(__doc__)
         return 2
     mode, a, b = argv[1], argv[2], argv[3]
     if mode == "iobatch":
         return iobatch(a, b)
+    if mode == "spindles":
+        return spindles(a, b)
     if mode == "extract":
         with open(b, "w", encoding="utf-8") as f:
             f.write(normalize(a) + "\n")

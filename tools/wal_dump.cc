@@ -7,12 +7,24 @@
 // A torn tail — the page or batch recovery would discard — is flagged with
 // the scanner's reason.
 //
-//   wal_dump <image> --log-first P [--log-pages N]
+//   wal_dump <image> --log-first P [--log-pages N] [--json]
 //   wal_dump --selftest
+//
+// --json replaces the tables with one machine-readable document on stdout:
+//
+//   {"log_first": ..., "log_pages": ...,
+//    "pages":   [{"page": ..., "crc_ok": ..., "used": ..., "continues": ...,
+//                 "epoch": ..., "batch_first_lsn": ...}, ...],
+//    "records": [{"lsn": ..., "type": ..., "txn": ..., "page": ...,
+//                 "slot": ..., "payload_bytes": ...}, ...],
+//    "summary": {"records": ..., "complete_batches": ..., "epoch": ...,
+//                "next_lsn": ..., "torn_tail": ..., "tail_reason": ...}}
 //
 // --selftest needs no image: it builds a small logged workload in memory,
 // dumps it, then tears the tail and verifies the dump flags exactly the
-// final batch.  CI runs it as a smoke test of both the tool and ScanLog.
+// final batch — in both the table and the JSON renderings (the JSON is
+// parsed back and its summary asserted).  CI runs it as a smoke test of
+// the tool, ScanLog, and the JSON framing.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "storage/disk.h"
 #include "wal/log_record.h"
 #include "wal/wal.h"
@@ -35,6 +48,7 @@ struct Flags {
   bool log_first_set = false;
   size_t log_pages = 4096;
   bool selftest = false;
+  bool json = false;
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -50,6 +64,8 @@ Flags ParseFlags(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--selftest") {
       flags.selftest = true;
+    } else if (arg == "--json") {
+      flags.json = true;
     } else if (const char* v = value_of(arg, "--log-first", &i)) {
       flags.log_first = std::strtoull(v, nullptr, 10);
       flags.log_first_set = true;
@@ -117,8 +133,98 @@ wal::LogScanResult Dump(SimulatedDisk* disk, PageId first, size_t max_pages) {
   return scan;
 }
 
+// The --json rendering: same framing and record walk as the tables, one
+// parseable document.
+obs::JsonValue JsonPageFrames(SimulatedDisk* disk, PageId first,
+                              size_t max_pages) {
+  obs::JsonValue pages = obs::JsonValue::MakeArray();
+  std::vector<std::byte> raw(disk->page_size());
+  for (size_t i = 0; i < max_pages; ++i) {
+    PageId id = first + i;
+    if (!disk->Exists(id)) break;
+    if (!disk->ReadPage(id, raw.data()).ok()) break;
+    obs::JsonValue frame = obs::JsonValue::MakeObject();
+    frame.Set("page", id);
+    wal::LogPageHeader header;
+    if (!wal::ReadLogPage(raw.data(), raw.size(), &header)) {
+      frame.Set("crc_ok", false);
+      pages.Append(std::move(frame));
+      break;  // the scan stops at the first bad frame too
+    }
+    frame.Set("crc_ok", true);
+    frame.Set("used", header.used);
+    frame.Set("continues", header.continues);
+    frame.Set("epoch", header.epoch);
+    frame.Set("batch_first_lsn", header.batch_first_lsn);
+    pages.Append(std::move(frame));
+  }
+  return pages;
+}
+
+obs::JsonValue JsonDump(SimulatedDisk* disk, PageId first, size_t max_pages,
+                        wal::LogScanResult* scan_out = nullptr) {
+  obs::JsonValue doc = obs::JsonValue::MakeObject();
+  doc.Set("log_first", first);
+  doc.Set("log_pages", max_pages);
+  doc.Set("pages", JsonPageFrames(disk, first, max_pages));
+  wal::LogScanResult scan = wal::ScanLog(disk, first, max_pages);
+  obs::JsonValue records = obs::JsonValue::MakeArray();
+  for (const wal::LogRecord& record : scan.records) {
+    obs::JsonValue r = obs::JsonValue::MakeObject();
+    r.Set("lsn", record.lsn);
+    r.Set("type", wal::LogRecordTypeName(record.type));
+    r.Set("txn", record.txn);
+    r.Set("page", record.page == kInvalidPageId ? uint64_t{0} : record.page);
+    r.Set("slot", record.slot);
+    r.Set("payload_bytes", record.payload.size());
+    records.Append(std::move(r));
+  }
+  doc.Set("records", std::move(records));
+  obs::JsonValue summary = obs::JsonValue::MakeObject();
+  summary.Set("records", scan.records.size());
+  summary.Set("complete_batches", scan.complete_batches);
+  summary.Set("epoch", scan.epoch);
+  summary.Set("next_lsn", scan.next_lsn);
+  summary.Set("torn_tail", scan.torn_tail);
+  summary.Set("tail_reason", scan.tail_note);
+  doc.Set("summary", std::move(summary));
+  if (scan_out != nullptr) *scan_out = std::move(scan);
+  return doc;
+}
+
 constexpr PageId kSelftestLogFirst = 64;
 constexpr size_t kSelftestLogPages = 64;
+
+// Serializes `doc`, parses it back, and asserts the summary matches the
+// expected scan outcome — the machine-readable contract CI relies on.
+bool CheckJsonDump(const obs::JsonValue& doc, bool torn, int64_t records,
+                   int64_t batches) {
+  auto parsed = obs::JsonValue::Parse(doc.Dump(2));
+  if (!parsed.ok()) return false;
+  const obs::JsonValue* pages = parsed->Find("pages");
+  if (pages == nullptr || !pages->is_array() || pages->size() == 0) {
+    return false;
+  }
+  const obs::JsonValue* recs = parsed->Find("records");
+  if (recs == nullptr || !recs->is_array() ||
+      recs->size() != static_cast<size_t>(records)) {
+    return false;
+  }
+  const obs::JsonValue* summary = parsed->Find("summary");
+  if (summary == nullptr || !summary->is_object()) return false;
+  const obs::JsonValue* t = summary->Find("torn_tail");
+  const obs::JsonValue* r = summary->Find("records");
+  const obs::JsonValue* b = summary->Find("complete_batches");
+  const obs::JsonValue* reason = summary->Find("tail_reason");
+  if (t == nullptr || !t->is_bool() || t->AsBool() != torn) return false;
+  if (r == nullptr || !r->is_int() || r->AsInt() != records) return false;
+  if (b == nullptr || !b->is_int() || b->AsInt() != batches) return false;
+  // A torn tail must carry the scanner's reason.  (An intact log may still
+  // have a benign end-of-log note, so only the torn side is asserted.)
+  if (reason == nullptr || !reason->is_string()) return false;
+  if (torn && reason->AsString().empty()) return false;
+  return true;
+}
 
 int Selftest() {
   SimulatedDisk disk;
@@ -150,6 +256,11 @@ int Selftest() {
     std::fprintf(stderr, "selftest: intact log mis-scanned\n");
     return 1;
   }
+  if (!CheckJsonDump(JsonDump(&disk, kSelftestLogFirst, kSelftestLogPages),
+                     /*torn=*/false, /*records=*/6, /*batches=*/2)) {
+    std::fprintf(stderr, "selftest: intact JSON dump malformed\n");
+    return 1;
+  }
 
   // Corrupt the last written page inside its used payload: the dump must
   // flag a torn tail and keep exactly the first batch.
@@ -165,6 +276,11 @@ int Selftest() {
     std::fprintf(stderr, "selftest: torn tail not flagged\n");
     return 1;
   }
+  if (!CheckJsonDump(JsonDump(&disk, kSelftestLogFirst, kSelftestLogPages),
+                     /*torn=*/true, /*records=*/3, /*batches=*/1)) {
+    std::fprintf(stderr, "selftest: torn-tail JSON dump malformed\n");
+    return 1;
+  }
   std::printf("\nselftest passed\n");
   return 0;
 }
@@ -176,7 +292,8 @@ int main(int argc, char** argv) {
   if (flags.selftest) return Selftest();
   if (flags.image.empty() || !flags.log_first_set) {
     std::fprintf(stderr,
-                 "usage: wal_dump <image> --log-first P [--log-pages N]\n"
+                 "usage: wal_dump <image> --log-first P [--log-pages N] "
+                 "[--json]\n"
                  "       wal_dump --selftest\n");
     return 2;
   }
@@ -185,6 +302,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "loading %s failed: %s\n", flags.image.c_str(),
                  disk.status().ToString().c_str());
     return 1;
+  }
+  if (flags.json) {
+    obs::JsonValue doc =
+        JsonDump(disk->get(), flags.log_first, flags.log_pages);
+    doc.Set("image", flags.image);
+    std::printf("%s\n", doc.Dump(2).c_str());
+    return 0;
   }
   Dump(disk->get(), flags.log_first, flags.log_pages);
   return 0;
