@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "assembly/assembly_operator.h"
+#include "cache/cached_assembly.h"
+#include "cache/object_cache.h"
 #include "exec/scan.h"
 #include "obs/export.h"
 #include "obs/json.h"
@@ -249,6 +251,67 @@ struct WalFlags {
   }
 };
 
+// Assembled-object cache: --object-cache off|2q|arc|lru|clock (default off,
+// the exact historical read path) and --cache-capacity N (entries).  With
+// the cache off nothing is even constructed — CI diffs `--object-cache off`
+// output against the pre-cache goldens byte for byte.
+struct CacheFlags {
+  cache::CachePolicyKind policy = cache::CachePolicyKind::kOff;
+  size_t capacity = 4096;
+
+  static CacheFlags Parse(int argc, char** argv) {
+    CacheFlags flags;
+    auto parse_policy = [&flags](const std::string& value) {
+      if (!cache::ParseCachePolicyKind(value, &flags.policy)) {
+        std::fprintf(stderr,
+                     "unknown --object-cache '%s' "
+                     "(want off|2q|arc|lru|clock)\n",
+                     value.c_str());
+        std::exit(2);
+      }
+    };
+    auto parse_capacity = [&flags](const char* value) {
+      unsigned long long n = std::strtoull(value, nullptr, 10);
+      flags.capacity = n == 0 ? 1 : static_cast<size_t>(n);
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--object-cache" && i + 1 < argc) {
+        parse_policy(argv[++i]);
+      } else if (arg.rfind("--object-cache=", 0) == 0) {
+        parse_policy(arg.substr(15));
+      } else if (arg == "--cache-capacity" && i + 1 < argc) {
+        parse_capacity(argv[++i]);
+      } else if (arg.rfind("--cache-capacity=", 0) == 0) {
+        parse_capacity(arg.c_str() + 17);
+      }
+    }
+    return flags;
+  }
+
+  bool enabled() const {
+    return policy != cache::CachePolicyKind::kOff;
+  }
+
+  // Null when disabled — the cache must not exist at all on the off path.
+  std::unique_ptr<cache::ObjectCache> MakeCache() const {
+    if (!enabled()) return nullptr;
+    cache::CacheOptions options;
+    options.capacity = capacity;
+    options.policy = policy;
+    return std::make_unique<cache::ObjectCache>(options);
+  }
+
+  // Only marks the JSON when a cache ran, like the other swept parameters.
+  void Annotate(obs::JsonValue* extra) const {
+    if (enabled() && extra->is_object()) {
+      extra->Set("object_cache",
+                 std::string(cache::CachePolicyKindName(policy)));
+      extra->Set("cache_capacity", static_cast<uint64_t>(capacity));
+    }
+  }
+};
+
 struct RunResult {
   DiskStats disk;
   BufferStats buffer;
@@ -261,6 +324,11 @@ struct RunResult {
   // Per-spindle breakdown; empty on the single-spindle geometry so the
   // default JSON stays bit-identical to seed.  Fields sum to `disk`.
   std::vector<DiskStats> spindle_disk;
+  // Assembled-object cache outcomes; `cached` stays false on the off path
+  // so the JSON keeps its historical shape.
+  bool cached = false;
+  std::string cache_policy;
+  cache::CacheStats cache;
 
   double avg_seek() const { return disk.AvgSeekPerRead(); }
   double avg_write_seek() const { return disk.AvgSeekPerWrite(); }
@@ -284,6 +352,18 @@ struct RunResult {
       }
       out.Set("spindles", std::move(spindles));
     }
+    if (cached) {
+      obs::JsonValue c = obs::JsonValue::MakeObject();
+      c.Set("policy", cache_policy);
+      c.Set("hits", cache.hits);
+      c.Set("misses", cache.misses);
+      c.Set("insertions", cache.insertions);
+      c.Set("evictions", cache.evictions);
+      c.Set("invalidations", cache.invalidations);
+      c.Set("patches", cache.patches);
+      c.Set("shared_reuses", cache.shared_reuses);
+      out.Set("cache", std::move(c));
+    }
     if (!registry.is_null()) out.Set("registry", registry);
     return out;
   }
@@ -296,7 +376,8 @@ struct RunResult {
 inline RunResult RunAssembly(
     AcobDatabase* db, AssemblyOptions options,
     size_t batch_size = exec::RowBatch::kDefaultCapacity,
-    const WalFlags* wal_flags = nullptr) {
+    const WalFlags* wal_flags = nullptr,
+    const CacheFlags* cache_flags = nullptr) {
   if (auto s = db->ColdRestart(); !s.ok()) {
     std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
     std::exit(1);
@@ -305,32 +386,53 @@ inline RunResult RunAssembly(
   if (wal_flags != nullptr && wal_flags->enabled) {
     wal = wal_flags->Attach(db);
   }
+  // Per-run cache, null unless requested: a single full sweep sees every
+  // root once (all misses), so this measures the insert-path overhead and
+  // proves off-path identity; cache_zipf is the hit-rate bench.
+  std::unique_ptr<cache::ObjectCache> object_cache;
+  if (cache_flags != nullptr) object_cache = cache_flags->MakeCache();
   obs::Registry registry;
   obs::RegistryPublisher publisher(&registry);
   db->disk->EnableReadTrace(true);
   db->disk->set_listener(&publisher);
   db->buffer->set_listener(&publisher);
-  AssemblyOperator op(RootScan(db->roots), &db->tmpl, db->store.get(),
-                      options);
-  op.set_observer(&publisher);
-  if (auto s = op.Open(); !s.ok()) {
-    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
-    std::exit(1);
-  }
-  exec::RowBatch batch(batch_size);
-  for (;;) {
-    auto n = op.NextBatch(&batch);
-    if (!n.ok()) {
+  RunResult result;
+  if (object_cache != nullptr) {
+    cache::CachedAssemblyResult assembled = cache::AssembleThroughCache(
+        object_cache.get(), &db->tmpl, db->store.get(), db->roots, options,
+        batch_size, &publisher);
+    if (!assembled.status.ok()) {
       std::fprintf(stderr, "assembly failed: %s\n",
-                   n.status().ToString().c_str());
+                   assembled.status.ToString().c_str());
       std::exit(1);
     }
-    if (*n == 0) break;
+    result.assembly = assembled.assembly;
+    result.cached = true;
+    result.cache_policy = object_cache->policy_name();
+    result.cache = object_cache->stats();
+  } else {
+    AssemblyOperator op(RootScan(db->roots), &db->tmpl, db->store.get(),
+                        options);
+    op.set_observer(&publisher);
+    if (auto s = op.Open(); !s.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    exec::RowBatch batch(batch_size);
+    for (;;) {
+      auto n = op.NextBatch(&batch);
+      if (!n.ok()) {
+        std::fprintf(stderr, "assembly failed: %s\n",
+                     n.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (*n == 0) break;
+    }
+    result.assembly = op.stats();
+    (void)op.Close();
   }
-  RunResult result;
   result.disk = db->disk->stats();
   result.buffer = db->buffer->stats();
-  result.assembly = op.stats();
   if (db->faulty != nullptr) {
     result.fault_injection = true;
     result.faults = db->faulty->fault_stats();
@@ -349,7 +451,6 @@ inline RunResult RunAssembly(
     result.read_seeks = SeekHistogram::FromReadTrace(db->disk->read_trace());
   }
   result.registry = registry.ToJson();
-  (void)op.Close();
   // The publisher is stack-local; detach before it goes out of scope (the
   // database outlives this run).
   db->disk->set_listener(nullptr);

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   IoBatchFlags io_batch = IoBatchFlags::Parse(argc, argv);
   WalFlags wal = WalFlags::Parse(argc, argv);
   SpindleFlags spindle = SpindleFlags::Parse(argc, argv);
+  CacheFlags object_cache = CacheFlags::Parse(argc, argv);
 
   for (Clustering clustering :
        {Clustering::kInterObject, Clustering::kIntraObject,
@@ -53,7 +54,8 @@ int main(int argc, char** argv) {
         faults.Apply(&aopts);
         io_batch.Apply(&aopts);
         RunResult result =
-            RunAssembly(db.get(), aopts, exec::RowBatch::kDefaultCapacity, &wal);
+            RunAssembly(db.get(), aopts, exec::RowBatch::kDefaultCapacity,
+                        &wal, &object_cache);
         row.push_back(Fmt(result.avg_seek()));
         obs::JsonValue extra = obs::JsonValue::MakeObject();
         extra.Set("clustering", ClusteringName(clustering));
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
         extra.Set("num_complex_objects", size);
         io_batch.Annotate(&extra);
         spindle.Annotate(&extra);
+        object_cache.Annotate(&extra);
         reporter.AddRun(std::string(ClusteringName(clustering)) + ", " +
                             SchedulerKindName(scheduler) + ", N=" +
                             std::to_string(size),

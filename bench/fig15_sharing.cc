@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     reporter.Set("fault_seed", faults.seed);
     reporter.Set("error_policy", ErrorPolicyName(faults.policy));
   }
+  CacheFlags object_cache = CacheFlags::Parse(argc, argv);
 
   struct Config {
     const char* label;
@@ -73,7 +74,9 @@ int main(int argc, char** argv) {
         aopts.window_size = config.window;
         aopts.use_sharing_statistics = config.sharing_stats;
         faults.Apply(&aopts);
-        RunResult result = RunAssembly(db.get(), aopts);
+        RunResult result =
+            RunAssembly(db.get(), aopts, exec::RowBatch::kDefaultCapacity,
+                        nullptr, &object_cache);
         if (metric[0] == 'a') {
           // Each (config, size) cell is re-measured per metric view; export
           // it once, on the first pass.
@@ -82,6 +85,7 @@ int main(int argc, char** argv) {
           extra.Set("window_size", config.window);
           extra.Set("sharing_statistics", config.sharing_stats);
           extra.Set("num_complex_objects", size);
+          object_cache.Annotate(&extra);
           reporter.AddRun(std::string(config.label) + ", N=" +
                               std::to_string(size),
                           result, std::move(extra));

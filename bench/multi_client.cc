@@ -157,12 +157,18 @@ struct MergedRun {
   size_t registry_size = 0;
   // Per-spindle breakdown; empty on the single-spindle geometry.
   std::vector<DiskStats> spindle_disk;
+  // Assembled-object cache outcomes (cached == false on the off path, and
+  // the JSON keeps its historical shape).
+  bool cached = false;
+  std::string cache_policy;
+  cache::CacheStats cache;
 };
 
 // All K clients concurrently through one QueryService over AsyncDisk +
 // sharded pool.  When `capture` is true the run also leaves the Chrome
 // trace / flight-recorder files requested by --trace / --flight.
-MergedRun RunMerged(AcobDatabase* db, const Flags& flags, bool capture) {
+MergedRun RunMerged(AcobDatabase* db, const Flags& flags,
+                    const CacheFlags& cache_flags, bool capture) {
   if (auto s = db->ColdRestart(); !s.ok()) {
     std::fprintf(stderr, "cold restart failed: %s\n", s.ToString().c_str());
     std::exit(1);
@@ -183,6 +189,10 @@ MergedRun RunMerged(AcobDatabase* db, const Flags& flags, bool capture) {
                                    db->options.replacement, db->options.retry,
                                    flags.shards});
   db->disk->EnableReadTrace(true);
+  // Null unless --object-cache was given: the off path must not construct
+  // the cache at all.  Declared before the service scope — queries pin
+  // entries only while executing, but stats are read after Drain().
+  std::unique_ptr<cache::ObjectCache> object_cache = cache_flags.MakeCache();
   // Optional Chrome trace of this run: disk events fire on the I/O thread
   // with the originating query's context current, so every slice carries a
   // query-id tag.
@@ -201,6 +211,7 @@ MergedRun RunMerged(AcobDatabase* db, const Flags& flags, bool capture) {
     sopts.num_workers = flags.workers;
     sopts.async_disk = &async;
     sopts.slow_query_ns = flags.slow_ns;
+    sopts.cache = object_cache.get();
     service::QueryService service(&pool, db->directory.get(), sopts);
     std::vector<std::future<service::QueryResult>> futures;
     futures.reserve(flags.clients);
@@ -292,6 +303,11 @@ MergedRun RunMerged(AcobDatabase* db, const Flags& flags, bool capture) {
           std::chrono::steady_clock::now() - start)
           .count());
   run.async = async.async_stats();
+  if (object_cache != nullptr) {
+    run.cached = true;
+    run.cache_policy = object_cache->policy_name();
+    run.cache = object_cache->stats();
+  }
   run.metrics.disk = db->disk->stats();
   run.metrics.buffer = pool.stats();
   run.refetched_pages = static_cast<size_t>(run.metrics.buffer.faults -
@@ -446,6 +462,7 @@ bool CheckConservation(const MergedRun& run, const char* clustering) {
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   SpindleFlags spindle = SpindleFlags::Parse(argc, argv);
+  CacheFlags object_cache = CacheFlags::Parse(argc, argv);
 
   JsonReporter reporter("multi_client", argc, argv);
   reporter.Set("window_size", 50);
@@ -461,6 +478,11 @@ int main(int argc, char** argv) {
     if (spindle.stripe_width != 1) {
       reporter.Set("stripe_width", spindle.stripe_width);
     }
+  }
+  if (object_cache.enabled()) {
+    reporter.Set("object_cache",
+                 std::string(cache::CachePolicyKindName(object_cache.policy)));
+    reporter.Set("cache_capacity", object_cache.capacity);
   }
 
   std::printf("Multi-client assembly — %zu client(s), %zu worker(s), "
@@ -485,7 +507,8 @@ int main(int argc, char** argv) {
     spindle.Apply(&options);
     auto db = MustBuild(options);
 
-    MergedRun merged = RunMerged(db.get(), flags, first_clustering);
+    MergedRun merged =
+        RunMerged(db.get(), flags, object_cache, first_clustering);
     first_clustering = false;
     if (merged.rows != db->roots.size()) {
       std::fprintf(stderr, "merged run lost rows: %llu of %zu\n",
@@ -549,6 +572,18 @@ int main(int argc, char** argv) {
       latency.Set("cpu_ns", obs::HistogramToJson(merged.latency_cpu));
       run.Set("latency", std::move(latency));
       run.Set("attributed", obs::QueryIoSnapshotToJson(merged.attributed));
+      if (merged.cached) {
+        obs::JsonValue c = obs::JsonValue::MakeObject();
+        c.Set("policy", merged.cache_policy);
+        c.Set("hits", merged.cache.hits);
+        c.Set("misses", merged.cache.misses);
+        c.Set("insertions", merged.cache.insertions);
+        c.Set("evictions", merged.cache.evictions);
+        c.Set("invalidations", merged.cache.invalidations);
+        c.Set("patches", merged.cache.patches);
+        c.Set("shared_reuses", merged.cache.shared_reuses);
+        run.Set("cache", std::move(c));
+      }
       if (!merged.spindle_disk.empty()) {
         obs::JsonValue spindles = obs::JsonValue::MakeArray();
         for (const DiskStats& stats : merged.spindle_disk) {

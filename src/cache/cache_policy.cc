@@ -1,0 +1,315 @@
+#include "cache/cache_policy.h"
+
+#include <algorithm>
+
+namespace cobra::cache {
+namespace {
+
+// An LRU-ordered set of keys: front = most recent, back = oldest.  The
+// building block for every list a policy keeps (resident or ghost).
+class KeyList {
+ public:
+  bool contains(uint64_t key) const { return index_.count(key) != 0; }
+  size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  // Inserts at the MRU end (no-op if present).
+  void PushFront(uint64_t key) {
+    if (contains(key)) return;
+    order_.push_front(key);
+    index_[key] = order_.begin();
+  }
+
+  void Erase(uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void MoveToFront(uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.splice(order_.begin(), order_, it->second);
+    index_[key] = order_.begin();
+  }
+
+  // Oldest key passing the predicate, or 0.
+  uint64_t OldestWhere(const std::function<bool(uint64_t)>& pred) const {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      if (pred(*it)) return *it;
+    }
+    return 0;
+  }
+
+  // Drops oldest keys until size() <= limit.
+  void TrimTo(size_t limit) {
+    while (index_.size() > limit) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+ private:
+  std::list<uint64_t> order_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+class LruPolicy final : public CacheReplacementPolicy {
+ public:
+  void OnInsert(uint64_t key) override { list_.PushFront(key); }
+  void OnHit(uint64_t key) override { list_.MoveToFront(key); }
+  void OnEvict(uint64_t key) override { list_.Erase(key); }
+  void OnErase(uint64_t key) override { list_.Erase(key); }
+  uint64_t Victim(const std::function<bool(uint64_t)>& evictable) override {
+    return list_.OldestWhere(evictable);
+  }
+  const char* name() const override { return "lru"; }
+
+ private:
+  KeyList list_;
+};
+
+// Second-chance clock at entry granularity: a hit sets the entry's
+// reference bit; the sweeping hand clears bits until it finds an evictable
+// entry whose bit is already clear.
+class ClockPolicy final : public CacheReplacementPolicy {
+ public:
+  void OnInsert(uint64_t key) override {
+    if (index_.count(key) != 0) return;
+    ring_.push_back({key, false});
+    index_[key] = std::prev(ring_.end());
+    if (!hand_valid_) {
+      hand_ = index_[key];
+      hand_valid_ = true;
+    }
+  }
+  void OnHit(uint64_t key) override {
+    auto it = index_.find(key);
+    if (it != index_.end()) it->second->referenced = true;
+  }
+  void OnEvict(uint64_t key) override { Remove(key); }
+  void OnErase(uint64_t key) override { Remove(key); }
+  uint64_t Victim(const std::function<bool(uint64_t)>& evictable) override {
+    if (ring_.empty()) return 0;
+    if (!hand_valid_) {
+      hand_ = ring_.begin();
+      hand_valid_ = true;
+    }
+    // Two sweeps clear every reference bit; a third pass would revisit
+    // unevictable (pinned) entries forever, so give up after that.
+    const size_t max_steps = 2 * ring_.size();
+    for (size_t step = 0; step < max_steps; ++step) {
+      if (hand_->referenced) {
+        hand_->referenced = false;
+      } else if (evictable(hand_->key)) {
+        return hand_->key;
+      }
+      Advance();
+    }
+    // All bits clear by now: any evictable entry at all?
+    for (const Slot& slot : ring_) {
+      if (evictable(slot.key)) return slot.key;
+    }
+    return 0;
+  }
+  const char* name() const override { return "clock"; }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    bool referenced;
+  };
+
+  void Advance() {
+    ++hand_;
+    if (hand_ == ring_.end()) hand_ = ring_.begin();
+  }
+
+  void Remove(uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    if (hand_valid_ && hand_ == it->second) {
+      Advance();
+      if (hand_ == it->second) hand_valid_ = false;  // last slot going away
+    }
+    ring_.erase(it->second);
+    index_.erase(it);
+    if (ring_.empty()) hand_valid_ = false;
+  }
+
+  std::list<Slot> ring_;
+  std::unordered_map<uint64_t, std::list<Slot>::iterator> index_;
+  std::list<Slot>::iterator hand_;
+  bool hand_valid_ = false;
+};
+
+// 2Q with the classic sizing: Kin = capacity/4, Kout = capacity/2.
+class TwoQPolicy final : public CacheReplacementPolicy {
+ public:
+  explicit TwoQPolicy(size_t capacity)
+      : kin_(std::max<size_t>(1, capacity / 4)),
+        kout_(std::max<size_t>(1, capacity / 2)) {}
+
+  void OnInsert(uint64_t key) override {
+    if (a1out_.contains(key)) {
+      // Re-reference after falling out of the FIFO: proven hot, goes to Am.
+      a1out_.Erase(key);
+      am_.PushFront(key);
+    } else {
+      a1in_.PushFront(key);
+    }
+  }
+  void OnHit(uint64_t key) override {
+    // A1in hits do not reorder (FIFO); Am hits refresh recency.
+    if (am_.contains(key)) am_.MoveToFront(key);
+  }
+  void OnEvict(uint64_t key) override {
+    if (a1in_.contains(key)) {
+      a1in_.Erase(key);
+      // Remember it: a prompt re-reference is the promotion signal.
+      a1out_.PushFront(key);
+      a1out_.TrimTo(kout_);
+    } else {
+      am_.Erase(key);
+    }
+  }
+  void OnErase(uint64_t key) override {
+    a1in_.Erase(key);
+    am_.Erase(key);
+    a1out_.Erase(key);
+  }
+  uint64_t Victim(const std::function<bool(uint64_t)>& evictable) override {
+    const bool drain_a1in = a1in_.size() >= kin_ || am_.empty();
+    uint64_t key = drain_a1in ? a1in_.OldestWhere(evictable)
+                              : am_.OldestWhere(evictable);
+    if (key != 0) return key;
+    // Preferred list exhausted (all pinned / empty): try the other.
+    return drain_a1in ? am_.OldestWhere(evictable)
+                      : a1in_.OldestWhere(evictable);
+  }
+  const char* name() const override { return "2q"; }
+
+ private:
+  const size_t kin_;
+  const size_t kout_;
+  KeyList a1in_;  // FIFO of first-touch entries
+  KeyList a1out_; // ghost keys recently evicted from a1in_
+  KeyList am_;    // LRU of proven-hot entries
+};
+
+class ArcPolicy final : public CacheReplacementPolicy {
+ public:
+  explicit ArcPolicy(size_t capacity)
+      : c_(std::max<size_t>(1, capacity)) {}
+
+  void OnInsert(uint64_t key) override {
+    if (b1_.contains(key)) {
+      // Recency ghost hit: grow the recency target.
+      p_ = std::min(c_, p_ + std::max<size_t>(1, b2_.size() /
+                                                     std::max<size_t>(
+                                                         1, b1_.size())));
+      b1_.Erase(key);
+      t2_.PushFront(key);
+    } else if (b2_.contains(key)) {
+      // Frequency ghost hit: shrink it.
+      const size_t delta =
+          std::max<size_t>(1, b1_.size() / std::max<size_t>(1, b2_.size()));
+      p_ = p_ > delta ? p_ - delta : 0;
+      b2_.Erase(key);
+      t2_.PushFront(key);
+    } else {
+      t1_.PushFront(key);
+      b1_.TrimTo(c_ > t1_.size() ? c_ - t1_.size() : 0);
+    }
+    TrimGhosts();
+  }
+  void OnHit(uint64_t key) override {
+    // Any resident re-reference promotes to the frequency list.
+    if (t1_.contains(key)) {
+      t1_.Erase(key);
+      t2_.PushFront(key);
+    } else {
+      t2_.MoveToFront(key);
+    }
+  }
+  void OnEvict(uint64_t key) override {
+    if (t1_.contains(key)) {
+      t1_.Erase(key);
+      b1_.PushFront(key);
+    } else if (t2_.contains(key)) {
+      t2_.Erase(key);
+      b2_.PushFront(key);
+    }
+    TrimGhosts();
+  }
+  void OnErase(uint64_t key) override {
+    t1_.Erase(key);
+    t2_.Erase(key);
+    b1_.Erase(key);
+    b2_.Erase(key);
+  }
+  uint64_t Victim(const std::function<bool(uint64_t)>& evictable) override {
+    // REPLACE: evict from T1 while it exceeds the target p, else from T2.
+    const bool from_t1 =
+        !t1_.empty() && (t1_.size() > std::max<size_t>(1, p_) || t2_.empty());
+    uint64_t key = from_t1 ? t1_.OldestWhere(evictable)
+                           : t2_.OldestWhere(evictable);
+    if (key != 0) return key;
+    return from_t1 ? t2_.OldestWhere(evictable)
+                   : t1_.OldestWhere(evictable);
+  }
+  const char* name() const override { return "arc"; }
+
+ private:
+  void TrimGhosts() {
+    // |T1|+|B1| <= c and the four lists together <= 2c.
+    b1_.TrimTo(c_ > t1_.size() ? c_ - t1_.size() : 0);
+    const size_t used = t1_.size() + t2_.size() + b1_.size();
+    b2_.TrimTo(2 * c_ > used ? 2 * c_ - used : 0);
+  }
+
+  const size_t c_;
+  size_t p_ = 0;  // target size of t1_, adapted by ghost hits
+  KeyList t1_;    // resident, seen once
+  KeyList t2_;    // resident, seen at least twice
+  KeyList b1_;    // ghosts evicted from t1_
+  KeyList b2_;    // ghosts evicted from t2_
+};
+
+}  // namespace
+
+const char* CachePolicyKindName(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::kOff: return "off";
+    case CachePolicyKind::kTwoQ: return "2q";
+    case CachePolicyKind::kArc: return "arc";
+    case CachePolicyKind::kLru: return "lru";
+    case CachePolicyKind::kClock: return "clock";
+  }
+  return "unknown";
+}
+
+bool ParseCachePolicyKind(const std::string& name, CachePolicyKind* out) {
+  if (name == "off") *out = CachePolicyKind::kOff;
+  else if (name == "2q") *out = CachePolicyKind::kTwoQ;
+  else if (name == "arc") *out = CachePolicyKind::kArc;
+  else if (name == "lru") *out = CachePolicyKind::kLru;
+  else if (name == "clock") *out = CachePolicyKind::kClock;
+  else return false;
+  return true;
+}
+
+std::unique_ptr<CacheReplacementPolicy> MakeCachePolicy(CachePolicyKind kind,
+                                                        size_t capacity) {
+  switch (kind) {
+    case CachePolicyKind::kOff: return nullptr;
+    case CachePolicyKind::kTwoQ: return std::make_unique<TwoQPolicy>(capacity);
+    case CachePolicyKind::kArc: return std::make_unique<ArcPolicy>(capacity);
+    case CachePolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case CachePolicyKind::kClock: return std::make_unique<ClockPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace cobra::cache

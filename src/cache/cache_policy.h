@@ -1,0 +1,76 @@
+// Replacement policies for the assembled-object cache.
+//
+// The buffer pool's policies (buffer/replacement.h) are frame-indexed: they
+// manage a fixed array of slots.  The object cache holds a varying set of
+// entries keyed by (template space, root OID), and — unlike the page pool —
+// its canonical workloads mix a skewed hot set with occasional full scans
+// (every figure bench assembles *all* roots once).  Plain LRU lets one scan
+// flush the entire hot set; the scan-resistant policies here do not:
+//
+//   * 2Q (Johnson & Shasha):  new entries enter a small FIFO (A1in).  Only
+//     entries re-referenced *after* falling out of A1in — tracked by a ghost
+//     list of keys (A1out) — are promoted into the main LRU (Am).  A scan's
+//     one-touch entries die in A1in without displacing Am.
+//   * ARC (Megiddo & Modha):  two resident lists (T1 recency, T2 frequency)
+//     plus two ghost lists (B1, B2); the adaptive target `p` moves toward
+//     whichever ghost list is being re-referenced.
+//
+// LRU and Clock are provided at entry granularity too, so bench/cache_zipf
+// can compare all four head-to-head under the methodology of Darmont &
+// Gruenwald (PAPERS.md).
+//
+// Policies see entries as opaque uint64 keys that are stable across
+// evictions (the cache derives them from the space id + root OID), which is
+// what makes the ghost lists meaningful.  Victim() takes an `evictable`
+// predicate because pinned entries (currently handed out to a reader) must
+// be skipped.  Policies are not thread-safe; the cache calls them under its
+// own mutex.
+
+#ifndef COBRA_CACHE_CACHE_POLICY_H_
+#define COBRA_CACHE_CACHE_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace cobra::cache {
+
+enum class CachePolicyKind { kOff, kTwoQ, kArc, kLru, kClock };
+
+const char* CachePolicyKindName(CachePolicyKind kind);
+// Accepts "off", "2q", "arc", "lru", "clock".  False on anything else.
+bool ParseCachePolicyKind(const std::string& name, CachePolicyKind* out);
+
+class CacheReplacementPolicy {
+ public:
+  virtual ~CacheReplacementPolicy() = default;
+
+  // A new entry became resident (was not resident before).
+  virtual void OnInsert(uint64_t key) = 0;
+  // A lookup hit the resident entry.
+  virtual void OnHit(uint64_t key) = 0;
+  // The entry was evicted by replacement (Victim() chose it).  Policies
+  // with ghost lists remember the key here.
+  virtual void OnEvict(uint64_t key) = 0;
+  // The entry was removed for a non-replacement reason (invalidation,
+  // Clear).  No ghost is recorded: the cached value is dead, not cold.
+  virtual void OnErase(uint64_t key) = 0;
+  // Chooses a resident entry to evict, skipping keys the predicate rejects.
+  // Returns 0 when nothing evictable remains (0 is never a valid key).
+  virtual uint64_t Victim(
+      const std::function<bool(uint64_t)>& evictable) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Capacity is the cache's resident-entry limit; ghost lists are sized from
+// it (2Q: |A1out| = capacity/2; ARC: |B1|+|B2| <= capacity).
+std::unique_ptr<CacheReplacementPolicy> MakeCachePolicy(CachePolicyKind kind,
+                                                        size_t capacity);
+
+}  // namespace cobra::cache
+
+#endif  // COBRA_CACHE_CACHE_POLICY_H_

@@ -20,6 +20,8 @@ const char* SpanEventKindName(SpanEventKind kind) {
     case SpanEventKind::kBufferRetry: return "buffer-retry";
     case SpanEventKind::kChecksumFailure: return "checksum-failure";
     case SpanEventKind::kFault: return "fault";
+    case SpanEventKind::kCacheHit: return "cache-hit";
+    case SpanEventKind::kCacheMiss: return "cache-miss";
   }
   return "?";
 }

@@ -58,6 +58,10 @@ struct QueryIoSnapshot {
   uint64_t retries = 0;
   uint64_t checksum_failures = 0;
   uint64_t faults_injected = 0;
+  // Object-cache outcomes (cache/object_cache.h).  Informational, outside
+  // the disk/buffer conservation invariant: a hit touches neither layer.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   uint64_t io_wait_ns = 0;
   // Per-spindle split of disk_reads / read_seek_pages (disk-array runs).
   // All-zero beyond index 0 on a single-spindle device.
@@ -83,6 +87,9 @@ struct QueryIoStats {
   std::atomic<uint64_t> retries{0};
   std::atomic<uint64_t> checksum_failures{0};
   std::atomic<uint64_t> faults_injected{0};
+  // Assembled-object cache outcomes; charged by the cache layer at lookup.
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
   // Wall time the query's worker spent blocked on the storage stack
   // (buffer-layer reads, prefetch consumption).  Part of the latency
   // decomposition, not of the conservation invariant.
@@ -107,6 +114,8 @@ struct QueryIoStats {
     s.retries = retries.load(std::memory_order_relaxed);
     s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
     s.faults_injected = faults_injected.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses.load(std::memory_order_relaxed);
     s.io_wait_ns = io_wait_ns.load(std::memory_order_relaxed);
     for (size_t i = 0; i < kMaxTrackedSpindles; ++i) {
       s.spindle_reads[i] = spindle_reads[i].load(std::memory_order_relaxed);
@@ -129,6 +138,8 @@ enum class SpanEventKind : uint8_t {
   kBufferRetry,  // page, a = failed attempt number (1-based)
   kChecksumFailure,  // page
   kFault,       // page, a = FaultKind as integer
+  kCacheHit,    // a = root OID served from the assembled-object cache
+  kCacheMiss,   // a = root OID that will be assembled from pages
 };
 
 const char* SpanEventKindName(SpanEventKind kind);

@@ -11,6 +11,7 @@ namespace {
 constexpr int kDiskTid = 1;
 constexpr int kBufferTid = 2;
 constexpr int kWalTid = 3;
+constexpr int kCacheTid = 4;
 constexpr int kFirstSlotTid = 10;
 
 }  // namespace
@@ -30,6 +31,10 @@ const char* TraceEventKindName(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kBufferFault: return "buffer-fault";
     case TraceEvent::Kind::kBufferEviction: return "buffer-eviction";
     case TraceEvent::Kind::kWalFlush: return "wal-flush";
+    case TraceEvent::Kind::kCacheHit: return "cache-hit";
+    case TraceEvent::Kind::kCacheMiss: return "cache-miss";
+    case TraceEvent::Kind::kCacheInvalidate: return "cache-invalidate";
+    case TraceEvent::Kind::kCachePatch: return "cache-patch";
   }
   return "?";
 }
@@ -235,6 +240,42 @@ void TraceRecorder::OnWalFlush(wal::Lsn durable_lsn, size_t pages,
   Push(out);
 }
 
+void TraceRecorder::OnCacheHit(Oid root) {
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kCacheHit;
+  out.ts_ns = clock_->NowNanos();
+  out.oid = root;
+  out.query_id = CurrentQueryId();
+  Push(out);
+}
+
+void TraceRecorder::OnCacheMiss(Oid root) {
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kCacheMiss;
+  out.ts_ns = clock_->NowNanos();
+  out.oid = root;
+  out.query_id = CurrentQueryId();
+  Push(out);
+}
+
+void TraceRecorder::OnCacheInvalidate(Oid root, PageId page) {
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kCacheInvalidate;
+  out.ts_ns = clock_->NowNanos();
+  out.oid = root;
+  out.page = page;
+  Push(out);
+}
+
+void TraceRecorder::OnCachePatch(Oid oid, PageId page) {
+  TraceEvent out;
+  out.kind = TraceEvent::Kind::kCachePatch;
+  out.ts_ns = clock_->NowNanos();
+  out.oid = oid;
+  out.page = page;
+  Push(out);
+}
+
 std::vector<TraceEvent> TraceRecorder::Events() const {
   std::vector<TraceEvent> out;
   out.reserve(size_);
@@ -272,6 +313,7 @@ JsonValue TraceRecorder::ToChromeTrace() const {
   meta(kDiskTid, "disk");
   meta(kBufferTid, "buffer");
   meta(kWalTid, "wal");
+  meta(kCacheTid, "cache");
   for (int lane = 0; lane < num_lanes_; ++lane) {
     meta(kFirstSlotTid + lane, "window slot " + std::to_string(lane));
   }
@@ -374,6 +416,22 @@ JsonValue TraceRecorder::ToChromeTrace() const {
         args.Set("pages", event.run_pages);
         args.Set("records", event.seek_pages);
         args.Set("bytes", event.page);
+        break;
+      case TraceEvent::Kind::kCacheHit:
+      case TraceEvent::Kind::kCacheMiss:
+      case TraceEvent::Kind::kCacheInvalidate:
+      case TraceEvent::Kind::kCachePatch:
+        e.Set("name", TraceEventKindName(event.kind));
+        e.Set("ph", "i");
+        e.Set("s", "t");
+        e.Set("tid", kCacheTid);
+        e.Set("ts", micros(event.ts_ns));
+        args.Set("oid", event.oid);
+        if (event.page != kInvalidPageId) args.Set("page", event.page);
+        if (event.kind == TraceEvent::Kind::kCacheHit ||
+            event.kind == TraceEvent::Kind::kCacheMiss) {
+          args.Set("query", event.query_id);
+        }
         break;
     }
     e.Set("args", std::move(args));

@@ -30,6 +30,7 @@
 
 #include "assembly/assembly_operator.h"
 #include "buffer/buffer_manager.h"
+#include "cache/cache_events.h"
 #include "obs/clock.h"
 #include "obs/json.h"
 #include "storage/disk.h"
@@ -55,6 +56,12 @@ struct TraceEvent {
     // durable LSN, run_pages the log pages written, seek_pages the record
     // count, page the byte count.
     kWalFlush,
+    // Assembled-object cache outcomes.  `oid` is the root (or, for a patch,
+    // the patched component); invalidate/patch carry the written page.
+    kCacheHit,
+    kCacheMiss,
+    kCacheInvalidate,
+    kCachePatch,
   };
 
   Kind kind;
@@ -80,7 +87,8 @@ const char* TraceEventKindName(TraceEvent::Kind kind);
 class TraceRecorder : public AssemblyObserver,
                       public DiskEventListener,
                       public BufferEventListener,
-                      public wal::WalEventListener {
+                      public wal::WalEventListener,
+                      public cache::CacheEventListener {
  public:
   explicit TraceRecorder(const Clock* clock = nullptr,
                          size_t capacity = 65536);
@@ -108,6 +116,12 @@ class TraceRecorder : public AssemblyObserver,
   // (one microsecond per log page, like disk-read-run).
   void OnWalFlush(wal::Lsn durable_lsn, size_t pages, size_t bytes,
                   size_t records) override;
+  // cache::CacheEventListener.  Hit/miss slices carry the current query id
+  // (like disk events) so traces tag which query the outcome belongs to.
+  void OnCacheHit(Oid root) override;
+  void OnCacheMiss(Oid root) override;
+  void OnCacheInvalidate(Oid root, PageId page) override;
+  void OnCachePatch(Oid oid, PageId page) override;
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return size_; }

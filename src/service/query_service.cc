@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "assembly/scheduler.h"
+#include "cache/cached_assembly.h"
+#include "cache/object_cache.h"
 #include "exec/scan.h"
 #include "exec/value.h"
 #include "object/object_store.h"
@@ -171,6 +173,11 @@ WriteResult QueryService::ExecuteWrite(const WriteJob& job) {
   ObjectStore store(buffer_, directory_);
   store.set_wal(options_.wal);
   Status status;
+  // Cache maintenance collected as ops apply, deferred to commit: entries
+  // must never drop (or patch) while the transaction can still abort — undo
+  // would restore the pages but not the cache.
+  std::vector<cache::CommittedWrite> cache_ops;
+  cache::WriteEffect cache_effect;
   {
     std::unique_lock<std::shared_mutex> lock(store_mu_);
     store.set_next_oid(next_write_oid_);
@@ -182,16 +189,53 @@ WriteResult QueryService::ExecuteWrite(const WriteJob& job) {
     result.txn = *begin;
     for (const WriteOp& op : job.ops) {
       switch (op.kind) {
-        case WriteOp::Kind::kInsert:
-          status = store.InsertTxn(result.txn, op.obj, options_.write_file)
-                       .status();
+        case WriteOp::Kind::kInsert: {
+          Result<Oid> inserted =
+              store.InsertTxn(result.txn, op.obj, options_.write_file);
+          status = inserted.status();
+          if (status.ok() && options_.cache != nullptr) {
+            // The new record may share its heap page with cached components;
+            // footprint intersection decides whether anything drops.
+            Result<RecordId> loc = store.Locate(*inserted);
+            if (loc.ok()) {
+              cache_ops.push_back({loc->page, /*patch=*/false, {}});
+            }
+          }
           break;
-        case WriteOp::Kind::kUpdate:
+        }
+        case WriteOp::Kind::kUpdate: {
+          bool patchable = false;
+          if (options_.cache != nullptr) {
+            // Scalar-only change (same type, same refs, same field count)
+            // can be patched into resident copies; anything that moves
+            // references must invalidate — it changes assembly structure.
+            Result<ObjectData> before = store.Get(op.obj.oid);
+            patchable = before.ok() && before->type_id == op.obj.type_id &&
+                        before->refs == op.obj.refs &&
+                        before->fields.size() == op.obj.fields.size();
+          }
           status = store.UpdateTxn(result.txn, op.obj, options_.write_file);
+          if (status.ok() && options_.cache != nullptr) {
+            Result<RecordId> loc = store.Locate(op.obj.oid);
+            if (loc.ok()) {
+              cache_ops.push_back({loc->page, patchable, op.obj});
+            }
+          }
           break;
-        case WriteOp::Kind::kRemove:
+        }
+        case WriteOp::Kind::kRemove: {
+          // Locate before the removal unregisters the OID.
+          RecordId removed{};
+          if (options_.cache != nullptr) {
+            Result<RecordId> loc = store.Locate(op.oid);
+            if (loc.ok()) removed = *loc;
+          }
           status = store.RemoveTxn(result.txn, op.oid, options_.write_file);
+          if (status.ok() && removed.valid()) {
+            cache_ops.push_back({removed.page, /*patch=*/false, {}});
+          }
           break;
+        }
       }
       if (!status.ok()) break;
       result.ops_applied++;
@@ -202,6 +246,14 @@ WriteResult QueryService::ExecuteWrite(const WriteJob& job) {
       Status abort_status = store.AbortTxn(result.txn);
       if (status.ok()) status = abort_status;
       result.aborted = true;
+      cache_ops.clear();  // the pages roll back; cached entries stay valid
+    } else if (options_.cache != nullptr && !cache_ops.empty()) {
+      // Commit-time invalidation, still under the exclusive lock: no reader
+      // can observe the new pages before the stale entries are gone, and no
+      // entry drops before the outcome is decided.  The durability wait
+      // below happens after — a crash between commit record and here just
+      // means recovery restarts with a cold (trivially consistent) cache.
+      cache_effect = options_.cache->ApplyCommittedWrite(cache_ops);
     }
     next_write_oid_ = store.next_oid();
   }
@@ -223,6 +275,14 @@ WriteResult QueryService::ExecuteWrite(const WriteJob& job) {
     if (!status.ok()) {
       aggregate_.GetCounter("service.writes_failed")->Inc();
     }
+    // Lazy, like cache.hits/cache.misses on the read side.
+    if (cache_effect.invalidated > 0) {
+      aggregate_.GetCounter("cache.invalidations")
+          ->Inc(cache_effect.invalidated);
+    }
+    if (cache_effect.patched > 0) {
+      aggregate_.GetCounter("cache.patches")->Inc(cache_effect.patched);
+    }
   }
   return result;
 }
@@ -242,33 +302,25 @@ QueryResult QueryService::Execute(QueryJob& job, obs::Registry* job_registry,
   // not be shared across workers.  Buffer and directory are the shared,
   // thread-safe layers underneath.
   ObjectStore store(buffer_, directory_);
-  std::vector<exec::Row> rows;
-  rows.reserve(job.roots.size());
-  for (Oid oid : job.roots) {
-    rows.push_back(exec::Row{exec::Value::Ref(oid)});
-  }
   const size_t num_roots = job.roots.size();
-  AssemblyOperator op(std::make_unique<exec::VectorScan>(std::move(rows)),
-                      job.tmpl, &store, job.assembly);
   obs::RegistryPublisher publisher(job_registry);
-  op.set_observer(&publisher);
   const uint64_t exec_begin = obs::SpanNowNanos();
-  uint64_t batches = 0;
-  result.status = op.Open();
-  if (result.status.ok()) {
-    exec::RowBatch batch(job.batch_size == 0 ? 1 : job.batch_size);
-    for (;;) {
-      Result<size_t> n = op.NextBatch(&batch);
-      if (!n.ok()) {
-        result.status = n.status();
-        break;
-      }
-      if (*n == 0) break;
-      result.rows += *n;
-      batches++;
-    }
-    result.assembly = op.stats();
-    (void)op.Close();
+  // With no cache configured this is the historical drain, operator for
+  // operator; with one, hits are served from resident copies and only the
+  // miss set is assembled (still under the shared store lock, so cached and
+  // fresh values are mutually consistent).
+  cache::CachedAssemblyResult assembled = cache::AssembleThroughCache(
+      options_.cache, job.tmpl, &store, job.roots, job.assembly,
+      job.batch_size, &publisher, job.on_object);
+  result.status = assembled.status;
+  result.rows = assembled.rows;
+  result.assembly = assembled.assembly;
+  const uint64_t batches = assembled.batches;
+  // Lazy instruments, like the WAL counters: only queries that actually ran
+  // against a cache emit them, so cache-off registries are unchanged.
+  if (assembled.cache_hits > 0 || assembled.cache_misses > 0) {
+    job_registry->GetCounter("cache.hits")->Inc(assembled.cache_hits);
+    job_registry->GetCounter("cache.misses")->Inc(assembled.cache_misses);
   }
   const uint64_t exec_ns = obs::SpanNowNanos() - exec_begin;
 

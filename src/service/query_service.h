@@ -50,6 +50,7 @@
 
 #include "assembly/assembly_operator.h"
 #include "buffer/buffer_manager.h"
+#include "cache/cache_events.h"
 #include "common/status.h"
 #include "exec/iterator.h"
 #include "file/heap_file.h"
@@ -63,6 +64,10 @@
 #include "storage/async_disk.h"
 #include "wal/wal.h"
 
+namespace cobra::cache {
+class ObjectCache;
+}  // namespace cobra::cache
+
 namespace cobra::service {
 
 // Thread-safe fan-in for the shared disk/buffer event hooks: serializes
@@ -71,11 +76,13 @@ namespace cobra::service {
 // workers run; the single-client benches keep using their listener directly.
 class LockedTelemetry : public DiskEventListener,
                         public BufferEventListener,
-                        public wal::WalEventListener {
+                        public wal::WalEventListener,
+                        public cache::CacheEventListener {
  public:
   LockedTelemetry(DiskEventListener* disk, BufferEventListener* buffer,
-                  wal::WalEventListener* wal = nullptr)
-      : disk_(disk), buffer_(buffer), wal_(wal) {}
+                  wal::WalEventListener* wal = nullptr,
+                  cache::CacheEventListener* cache = nullptr)
+      : disk_(disk), buffer_(buffer), wal_(wal), cache_(cache) {}
 
   void OnDiskRead(PageId page, uint64_t seek_pages) override {
     std::lock_guard<std::mutex> lock(mu_);
@@ -116,12 +123,35 @@ class LockedTelemetry : public DiskEventListener,
     std::lock_guard<std::mutex> lock(mu_);
     if (wal_ != nullptr) wal_->OnWalFlush(durable_lsn, pages, bytes, records);
   }
+  // Object-cache events arrive from every worker (lookups) and from writer
+  // threads (invalidations); serialized onto the same inner sink.
+  void OnCacheHit(Oid root) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_ != nullptr) cache_->OnCacheHit(root);
+  }
+  void OnCacheMiss(Oid root) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_ != nullptr) cache_->OnCacheMiss(root);
+  }
+  void OnCacheInvalidate(Oid root, PageId page) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_ != nullptr) cache_->OnCacheInvalidate(root, page);
+  }
+  void OnCachePatch(Oid oid, PageId page) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_ != nullptr) cache_->OnCachePatch(oid, page);
+  }
+  void OnCacheEvict(Oid root) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_ != nullptr) cache_->OnCacheEvict(root);
+  }
 
  private:
   std::mutex mu_;
   DiskEventListener* disk_;
   BufferEventListener* buffer_;
   wal::WalEventListener* wal_;
+  cache::CacheEventListener* cache_;
 };
 
 // One assembly query: assemble `roots` with `tmpl` under `assembly` options.
@@ -133,6 +163,12 @@ struct QueryJob {
   AssemblyOptions assembly;
   // Output drain granularity (rows per NextBatch call).
   size_t batch_size = exec::RowBatch::kDefaultCapacity;
+  // Optional per-object observer, invoked once per delivered complex object
+  // (cached or freshly assembled) on the worker thread, *inside* the shared
+  // store lock — the delivered value and the pages are guaranteed mutually
+  // consistent for the duration of the callback.  The pointer target is only
+  // valid during the call.  Used by the stale-read property harness.
+  std::function<void(const AssembledObject&)> on_object;
 };
 
 struct QueryResult {
@@ -196,6 +232,12 @@ struct ServiceOptions {
   HeapFile* write_file = nullptr;
   // OID the first inserted object gets (seed past the preloaded data set).
   Oid next_oid = 1;
+  // Assembled-object cache (cache/object_cache.h), or null for the exact
+  // historical uncached read path.  Borrowed; must outlive the service.
+  // Queries look up / insert under the shared side of the store lock; write
+  // transactions invalidate (or patch) at commit time under the exclusive
+  // side, which is what makes stale reads impossible (see DESIGN.md §12).
+  cache::ObjectCache* cache = nullptr;
 };
 
 class QueryService {

@@ -128,6 +128,7 @@ void BuildFuzzWorld(uint64_t seed, FuzzWorld* out) {
 class FuzzAssemblyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzAssemblyTest, OperatorMatchesNaiveOracle) {
+  SCOPED_TRACE("seed=" + std::to_string(GetParam()));
   FuzzWorld world;
   BuildFuzzWorld(GetParam(), &world);
   ASSERT_TRUE(world.tmpl->Validate().ok());
@@ -181,8 +182,14 @@ TEST_P(FuzzAssemblyTest, OperatorMatchesNaiveOracle) {
   }
 }
 
+// Seeds are pinned (never derived from time or run order) and embedded in
+// the test name, so a failing ctest line like Seeds/FuzzAssemblyTest.
+// OperatorMatchesNaiveOracle/Seed7 reproduces the exact world as-is.
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAssemblyTest,
-                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+                         ::testing::Range(uint64_t{1}, uint64_t{25}),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace cobra

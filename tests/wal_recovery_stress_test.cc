@@ -219,6 +219,9 @@ class WalRecoveryStress
     : public ::testing::TestWithParam<CrashWriteMode> {};
 
 TEST_P(WalRecoveryStress, RedoTwiceIsBitIdenticalAcrossCrashPoints) {
+  // The whole op mix is a pure function of kSeed; log it so any failure
+  // line carries everything needed to replay the identical schedule.
+  SCOPED_TRACE("workload seed=" + std::to_string(kSeed));
   // Size the sweep from an uncrashed run.
   uint64_t total_writes = 0;
   {

@@ -37,6 +37,14 @@ Usage:
       Also verifies conservation: wherever a run carries a per-spindle
       "spindles" breakdown, its reads/seek-page fields must sum exactly to
       the run's global disk stats.
+  bench_golden.py cache <zipf.json>
+      Assert the assembled-object-cache win over a bench/cache_zipf capture:
+      every cached run must deliver exactly the rows of the off baseline
+      (the Zipf streams are seed-pinned, so a row-count drift means lost or
+      duplicated objects), reach a >= 80% hit rate, run >= 3x the off rows/
+      sec, and issue fewer disk reads than off.  Floors rather than exact
+      diffs: rows/sec is wall-clock, and hit counts shift by a few requests
+      with thread interleaving.
 """
 
 import difflib
@@ -228,7 +236,59 @@ def spindles(seed_path, array_path):
     return 1 if failures else 0
 
 
+def cache(zipf_path, hit_floor=0.80, speedup_floor=3.0):
+    with open(zipf_path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    runs = data.get("runs", [])
+    off = next((r for r in runs if r.get("policy") == "off"), None)
+    cached = [r for r in runs if r.get("policy") != "off"]
+    if off is None or not cached:
+        sys.stderr.write(
+            f"CACHE: {zipf_path} needs an 'off' baseline and at least one "
+            f"cached run\n"
+        )
+        return 1
+    failures = 0
+    for run in cached:
+        policy = run.get("policy", "?")
+        if run.get("rows") != off.get("rows"):
+            failures += 1
+            sys.stderr.write(
+                f"CACHE {policy}: delivered {run.get('rows')} rows, off "
+                f"baseline delivered {off.get('rows')} — the cache lost or "
+                f"duplicated objects\n"
+            )
+        hit_rate = run.get("hit_rate", 0.0)
+        if hit_rate < hit_floor:
+            failures += 1
+            sys.stderr.write(
+                f"CACHE {policy}: hit rate {hit_rate:.3f} below the "
+                f"{hit_floor:.0%} floor\n"
+            )
+        speedup = run.get("speedup_vs_off", 0.0)
+        if speedup < speedup_floor:
+            failures += 1
+            sys.stderr.write(
+                f"CACHE {policy}: {speedup:.2f}x rows/sec vs off, floor is "
+                f"{speedup_floor:.1f}x\n"
+            )
+        if run.get("disk_reads", 0) >= off.get("disk_reads", 0):
+            failures += 1
+            sys.stderr.write(
+                f"CACHE {policy}: disk reads did not drop "
+                f"({off.get('disk_reads')} -> {run.get('disk_reads')})\n"
+            )
+        print(
+            f"cache {policy}: hit rate {hit_rate:.3f}, {speedup:.2f}x "
+            f"rows/sec, disk reads {off.get('disk_reads')} -> "
+            f"{run.get('disk_reads')}"
+        )
+    return 1 if failures else 0
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "cache":
+        return cache(argv[2])
     if len(argv) != 4 or argv[1] not in ("extract", "check", "crosscheck",
                                          "iobatch", "spindles"):
         sys.stderr.write(__doc__)
