@@ -25,6 +25,8 @@
 //        --seed X           workload RNG seed             (default 42)
 //        --cache-capacity C cache entries                 (default 4096)
 //        --object-cache P   compare off vs P only
+//        --spindles N       disk-array arms (striped placement, default 1)
+//        --stripe-width W   pages per stripe unit          (default 1)
 //        --json PATH        machine-readable output (bench_golden.py cache)
 
 #include <algorithm>
@@ -130,6 +132,8 @@ struct PolicyRun {
   cache::CacheStats cache;
   DiskStats disk;
   BufferStats buffer;
+  // Per-spindle breakdown; empty on the single-spindle geometry.
+  std::vector<DiskStats> spindle_disk;
 
   double hit_rate() const {
     uint64_t total = cache.hits + cache.misses;
@@ -225,6 +229,12 @@ PolicyRun RunPolicy(AcobDatabase* db, const Flags& flags,
   }
   run.disk = db->disk->stats();
   run.buffer = pool.stats();
+  if (db->disk->num_spindles() > 1) {
+    run.spindle_disk.reserve(db->disk->num_spindles());
+    for (uint32_t s = 0; s < db->disk->num_spindles(); ++s) {
+      run.spindle_disk.push_back(db->disk->spindle_stats(s));
+    }
+  }
   return run;
 }
 
@@ -233,11 +243,13 @@ PolicyRun RunPolicy(AcobDatabase* db, const Flags& flags,
 int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   CacheFlags cache_flags = CacheFlags::Parse(argc, argv);
+  SpindleFlags spindle = SpindleFlags::Parse(argc, argv);
 
   AcobOptions options;
   options.num_complex_objects = flags.size;
   options.clustering = Clustering::kInterObject;
   options.seed = 42;
+  spindle.Apply(&options);
   auto db = MustBuild(options);
 
   // Default: every policy head-to-head.  --object-cache P narrows the
@@ -263,6 +275,13 @@ int main(int argc, char** argv) {
   reporter.Set("cache_capacity", cache_flags.capacity);
   reporter.Set("seed", flags.seed);
   if (flags.scan_every > 0) reporter.Set("scan_every", flags.scan_every);
+  if (!spindle.single_spindle()) {
+    reporter.Set("num_spindles", static_cast<uint64_t>(spindle.spindles));
+    if (spindle.stripe_width != 1) {
+      reporter.Set("stripe_width",
+                   static_cast<uint64_t>(spindle.stripe_width));
+    }
+  }
 
   std::printf("Zipfian cache bench — %zu clients x %zu queries x %zu roots, "
               "theta=%.2f, N=%zu, %zu frames\n\n",
@@ -302,6 +321,13 @@ int main(int argc, char** argv) {
       out.Set("evictions", run.cache.evictions);
       out.Set("invalidations", run.cache.invalidations);
       out.Set("shared_reuses", run.cache.shared_reuses);
+    }
+    if (!run.spindle_disk.empty()) {
+      obs::JsonValue spindles = obs::JsonValue::MakeArray();
+      for (const DiskStats& stats : run.spindle_disk) {
+        spindles.Append(obs::ToJson(stats));
+      }
+      out.Set("spindles", std::move(spindles));
     }
     reporter.AddRaw(std::move(out));
   }

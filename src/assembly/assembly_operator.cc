@@ -422,13 +422,13 @@ Result<AssembledObject*> AssemblyOperator::FetchAndExpand(
 }
 
 Status AssemblyOperator::ResolveOne() {
-  PendingRef ref = scheduler_->Pop(store_->buffer()->disk()->head());
+  PendingRef ref = scheduler_->Pop(store_->buffer()->HeadLogical());
   stats_.refs_resolved++;
 
   if (options_.prefetch_depth > 0) {
     // Best-effort read-ahead of the pages the scheduler will want next;
     // failures (e.g. every frame pinned) just mean no overlap this round.
-    for (PageId page : scheduler_->PeekPages(store_->buffer()->disk()->head(),
+    for (PageId page : scheduler_->PeekPages(store_->buffer()->HeadLogical(),
                                              options_.prefetch_depth)) {
       if (page != ref.page && page != kInvalidPageId) {
         (void)store_->buffer()->PrefetchPage(page);
@@ -439,7 +439,7 @@ Status AssemblyOperator::ResolveOne() {
 }
 
 Status AssemblyOperator::ResolveRun() {
-  RefRun run = scheduler_->PopRun(store_->buffer()->disk()->head(),
+  RefRun run = scheduler_->PopRun(store_->buffer()->HeadLogical(),
                                   options_.io_batch_pages);
   stats_.refs_resolved += run.refs.size();
 
@@ -447,7 +447,7 @@ Status AssemblyOperator::ResolveRun() {
     // Run-granular read-ahead: group the predicted visit order into
     // consecutive stretches and start each as one (coalescible) run.
     std::vector<PageId> peek = scheduler_->PeekPages(
-        store_->buffer()->disk()->head(), options_.prefetch_depth);
+        store_->buffer()->HeadLogical(), options_.prefetch_depth);
     const PageId run_lo = run.first_page;
     const PageId run_hi = run.first_page + (run.pages - 1);
     size_t i = 0;

@@ -164,8 +164,9 @@ Status BufferManager::WriteBack(Shard* shard, Frame* frame) {
                          ? 1
                          : options_.retry.max_read_attempts;
   Status write;
+  PageId phys = Phys(frame->page_id);
   for (int attempt = 1;; ++attempt) {
-    write = disk_->WritePage(frame->page_id, frame->data.data());
+    write = disk_->WritePage(phys, frame->data.data());
     if (write.ok() || !write.IsUnavailable() || attempt >= max_attempts) {
       if (!write.ok() && write.IsUnavailable()) shard->retries_exhausted++;
       break;
@@ -173,7 +174,7 @@ Status BufferManager::WriteBack(Shard* shard, Frame* frame) {
     shard->write_retries++;
     if (listener_ != nullptr) listener_->OnBufferRetry(frame->page_id, attempt);
     disk_->AddSeekPenaltyAt(
-        frame->page_id,
+        phys,
         static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
         /*is_read=*/false);
   }
@@ -231,8 +232,9 @@ Status BufferManager::ReadWithRetry(Shard* shard, PageId id, std::byte* data,
                          ? 1
                          : options_.retry.max_read_attempts;
   Status read;
+  PageId phys = Phys(id);
   for (;; ++attempt) {
-    read = disk_->ReadPage(id, data);
+    read = disk_->ReadPage(phys, data);
     if (read.ok()) {
       read = VerifyPageChecksum(data, disk_->page_size(), id);
       if (read.ok()) break;
@@ -250,7 +252,8 @@ Status BufferManager::ReadWithRetry(Shard* shard, PageId id, std::byte* data,
     if (listener_ != nullptr) listener_->OnBufferRetry(id, attempt);
     // Deterministic linear backoff, accounted in the disk's cost unit.
     disk_->AddSeekPenaltyAt(
-        id, static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
+        phys,
+        static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
         /*is_read=*/true);
   }
   return read;
@@ -284,7 +287,7 @@ Status BufferManager::ConsumePending(Shard* shard, size_t index, PageId id) {
       shard->retries++;
       ChargeRetry(id, 1);
       if (listener_ != nullptr) listener_->OnBufferRetry(id, 1);
-      disk_->AddSeekPenaltyAt(id, options_.retry.backoff_seek_pages,
+      disk_->AddSeekPenaltyAt(Phys(id), options_.retry.backoff_seek_pages,
                               /*is_read=*/true);
       status = ReadWithRetry(shard, id, frame.data.data(), /*attempt=*/2);
     } else {
@@ -462,11 +465,19 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
   size_t group_begin = 0;
   while (group_begin < missing.size()) {
     size_t group_end = group_begin;  // inclusive
+    // A group must be consecutive in *physical* addresses too: with a
+    // forwarding table attached, a logical run may be scattered until the
+    // mover has packed it, and each physically-contiguous fragment is its
+    // own transfer.  Without a table Phys is the identity, so the physical
+    // condition is implied by the offset condition and grouping is
+    // unchanged.
     while (group_end + 1 < missing.size() &&
            missing[group_end + 1].offset == missing[group_end].offset + 1 &&
+           Phys(first + missing[group_end + 1].offset) ==
+               Phys(first + missing[group_end].offset) + 1 &&
            (!multi_spindle ||
-            disk_->SpindleOf(first + missing[group_end + 1].offset) ==
-                disk_->SpindleOf(first + missing[group_end].offset))) {
+            disk_->SpindleOf(Phys(first + missing[group_end + 1].offset)) ==
+                disk_->SpindleOf(Phys(first + missing[group_end].offset)))) {
       group_end++;
     }
     const size_t m = group_end - group_begin + 1;
@@ -482,13 +493,15 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
     int attempt = 1;
     while (pos < m) {
       const size_t remaining = m - pos;
-      const PageId front_page = first + at(pos).offset;
+      // The transfer runs in physical address space (the group is
+      // physically consecutive by construction above).
+      const PageId front_page = Phys(first + at(pos).offset);
       const PageId low_page =
           ascending ? front_page : front_page - (remaining - 1);
       std::vector<std::byte*> outs(remaining, nullptr);
       for (size_t t = 0; t < remaining; ++t) {
         MissingPage& mp = at(pos + t);
-        outs[(first + mp.offset) - low_page] = frame_of(mp).data.data();
+        outs[Phys(first + mp.offset) - low_page] = frame_of(mp).data.data();
       }
       RunReadResult read;
       {
@@ -514,7 +527,7 @@ void BufferManager::FixRun(PageId first, size_t n, bool ascending,
           listener_->OnBufferRetry(failed_page, attempt);
         }
         disk_->AddSeekPenaltyAt(
-            failed_page,
+            Phys(failed_page),
             static_cast<uint64_t>(attempt) * options_.retry.backoff_seek_pages,
             /*is_read=*/true);
         attempt++;
@@ -590,7 +603,7 @@ Status BufferManager::PrefetchPage(PageId id) {
     // Submission may execute synchronously on a plain SimulatedDisk; the
     // time is I/O either way.
     obs::IoWaitTimer io_wait;
-    frame.pending = disk_->SubmitRead(id, frame.data.data());
+    frame.pending = disk_->SubmitRead(Phys(id), frame.data.data());
   }
   shard.page_table[id] = frame_index;
   shard.policy->RecordAccess(frame_index);
@@ -604,7 +617,7 @@ Result<PageGuard> BufferManager::CreatePage(PageId id) {
   }
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.page_table.contains(id) || disk_->Exists(id)) {
+  if (shard.page_table.contains(id) || disk_->Exists(Phys(id))) {
     return Status::AlreadyExists("page " + std::to_string(id) +
                                  " already exists");
   }

@@ -40,6 +40,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/disk.h"
+#include "storage/recluster/forwarding.h"
 
 namespace cobra {
 
@@ -277,6 +278,28 @@ class BufferManager {
 
   SimulatedDisk* disk() { return disk_; }
 
+  // Optional page-forwarding table (borrowed; must outlive the manager or
+  // be cleared).  When set, the manager translates page ids to physical
+  // addresses at its disk boundary — ReadPage/WritePage/ReadRun/
+  // SubmitRead/Exists and seek-penalty charges — while the page table,
+  // checksums, listeners, and the write gate keep operating on logical
+  // ids.  Null (the default) is the identity map and preserves historical
+  // behavior bit-for-bit.  See storage/recluster/forwarding.h.
+  void set_forwarding(const recluster::PageForwarding* forwarding) {
+    forwarding_ = forwarding;
+  }
+  const recluster::PageForwarding* forwarding() const { return forwarding_; }
+
+  // The arm position in *logical* space: the logical id of the page under
+  // the head.  Schedulers plan their sweeps over logical ids, so handing
+  // them the raw physical head would make fetch order depend on the
+  // current layout (and re-clustering would chase a moving target).
+  // Identity without a forwarding table.
+  PageId HeadLogical() const {
+    PageId head = disk_->head();
+    return forwarding_ == nullptr ? head : forwarding_->ToLogical(head);
+  }
+
  private:
   friend class PageGuard;
 
@@ -339,6 +362,11 @@ class BufferManager {
   // holds shard.mu.
   void SettlePending(Shard* shard);
 
+  // Logical -> physical disk address; identity when no table is attached.
+  PageId Phys(PageId id) const {
+    return forwarding_ == nullptr ? id : forwarding_->ToPhysical(id);
+  }
+
   SimulatedDisk* disk_;
   BufferOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -346,6 +374,7 @@ class BufferManager {
   std::atomic<size_t> max_pinned_{0};
   BufferEventListener* listener_ = nullptr;
   PageWriteGate* write_gate_ = nullptr;
+  const recluster::PageForwarding* forwarding_ = nullptr;
 };
 
 }  // namespace cobra

@@ -85,6 +85,10 @@ JsonValue ToJson(const wal::WalStats& stats) {
   out.Set("recovered_records", stats.recovered_records);
   out.Set("recovered_commits", stats.recovered_commits);
   out.Set("discarded_txns", stats.discarded_txns);
+  // Re-clustering counters predate no golden: emitted only when non-zero
+  // so captures without a mover stay bit-identical.
+  if (stats.moves_logged > 0) out.Set("moves_logged", stats.moves_logged);
+  if (stats.redo_moves > 0) out.Set("redo_moves", stats.redo_moves);
   out.Set("redo_applied", stats.redo_applied);
   out.Set("redo_images", stats.redo_images);
   out.Set("redo_formats", stats.redo_formats);

@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -286,6 +287,16 @@ class QueryService {
   // Live view: in-flight queries with their attributed I/O so far,
   // per-client cumulative totals, and buffer-pool residency.
   obs::Snapshot TakeSnapshot() const;
+
+  // Runs `fn` holding the shared (reader) side of the store lock: `fn` can
+  // never overlap a write transaction's exclusive section.  This is the
+  // exclusion the re-clustering mover batches under (see
+  // storage/recluster/mover.h) — it guarantees no page the mover copies
+  // carries uncommitted bytes, without blocking concurrent queries.
+  void WithReadLock(const std::function<void()>& fn) const {
+    std::shared_lock<std::shared_mutex> lock(store_mu_);
+    fn();
+  }
 
  private:
   struct Task {

@@ -1,0 +1,151 @@
+// PageForwarding: the indirection table that makes online re-clustering
+// invisible to everything above the buffer manager.
+//
+// The whole system — HeapFile, ObjectStore, the assembly scheduler, the
+// WAL's logical records — names pages by *logical* id: the id a page was
+// created with and that RIDs embed.  Re-clustering relocates page *bytes*
+// to different physical addresses so that the disk arm sweeps instead of
+// seeking; this table records the resulting logical -> physical bijection.
+// The buffer manager consults it at its disk boundary (and nowhere else),
+// so a relocated page keeps its logical identity everywhere above.
+//
+// The table is built exclusively from swaps of two logical pages'
+// physical locations.  Swaps compose to a permutation of the existing
+// data extent: the physical page set never grows, shrinks, or collides,
+// which is what makes "a crash mid-move never loses or duplicates a
+// page" a structural property rather than a protocol promise.  An empty
+// table is the identity map, and the buffer manager treats a null table
+// pointer as identity too — the `--recluster off` path does not pay even
+// a hash lookup and stays bit-identical to the pre-recluster system.
+//
+// Thread safety: reads take a shared lock (many concurrent readers on
+// the buffer's fault path), swaps take an exclusive lock and flip both
+// directions atomically.  Readers therefore always observe a consistent
+// bijection; the mover's protocol (pin both frames resident before the
+// flip) guarantees no reader needs the *old* mapping once the flip runs.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/placement.h"
+
+namespace cobra::recluster {
+
+class PageForwarding {
+ public:
+  PageForwarding() = default;
+  PageForwarding(const PageForwarding&) = delete;
+  PageForwarding& operator=(const PageForwarding&) = delete;
+
+  // Where do the bytes of logical page `logical` live?  Identity when
+  // unmapped.
+  PageId ToPhysical(PageId logical) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = to_phys_.find(logical);
+    return it == to_phys_.end() ? logical : it->second;
+  }
+
+  // Which logical page's bytes live at physical address `physical`?
+  // Exact inverse of ToPhysical for every page id.
+  PageId ToLogical(PageId physical) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = to_log_.find(physical);
+    return it == to_log_.end() ? physical : it->second;
+  }
+
+  // Atomically exchanges the physical locations of logical pages `a` and
+  // `b`.  Both directions flip under one exclusive section, so readers
+  // never observe a half-applied swap.  No-op when a == b.
+  void SwapPhysical(PageId a, PageId b) {
+    if (a == b) return;
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    PageId pa = LookupPhysLocked(a);
+    PageId pb = LookupPhysLocked(b);
+    SetLocked(a, pb);
+    SetLocked(b, pa);
+    ++swaps_;
+  }
+
+  // Installs logical -> physical directly while preserving the bijection:
+  // whatever logical page currently occupies `physical` takes over this
+  // page's old slot (i.e. Install is SwapPhysical phrased by target
+  // address).  Used by WAL recovery to rebuild the table from move
+  // records and checkpoint snapshots.
+  void Install(PageId logical, PageId physical) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    PageId old_phys = LookupPhysLocked(logical);
+    if (old_phys == physical) return;
+    PageId displaced = LookupLogLocked(physical);
+    SetLocked(logical, physical);
+    SetLocked(displaced, old_phys);
+  }
+
+  // Drops every mapping (back to identity).
+  void Clear() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    to_phys_.clear();
+    to_log_.clear();
+  }
+
+  // Number of logical pages currently mapped away from identity.
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return to_phys_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  // Cumulative SwapPhysical calls (monitoring).
+  uint64_t swaps() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return swaps_;
+  }
+
+  // All non-identity (logical, physical) pairs, sorted by logical id.
+  // Stable snapshot for checkpointing and the obs recluster view.
+  std::vector<std::pair<PageId, PageId>> Snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::vector<std::pair<PageId, PageId>> out(to_phys_.begin(),
+                                               to_phys_.end());
+    lock.unlock();
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  PageId LookupPhysLocked(PageId logical) const {
+    auto it = to_phys_.find(logical);
+    return it == to_phys_.end() ? logical : it->second;
+  }
+  PageId LookupLogLocked(PageId physical) const {
+    auto it = to_log_.find(physical);
+    return it == to_log_.end() ? physical : it->second;
+  }
+  // Writes logical -> physical in both directions, erasing identity
+  // entries so `size()` counts displaced pages and the off path stays
+  // lean after a layout happens to cycle back.
+  void SetLocked(PageId logical, PageId physical) {
+    if (logical == physical) {
+      to_phys_.erase(logical);
+      to_log_.erase(physical);
+      return;
+    }
+    to_phys_[logical] = physical;
+    to_log_[physical] = logical;
+  }
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<PageId, PageId> to_phys_;
+  std::unordered_map<PageId, PageId> to_log_;
+  uint64_t swaps_ = 0;
+};
+
+}  // namespace cobra::recluster

@@ -1,0 +1,191 @@
+#include "storage/recluster/mover.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/checksum.h"
+
+namespace cobra::recluster {
+
+namespace {
+// Synthetic query id for the mover's context.  Real query ids are
+// service-assigned small integers; a high fixed id keeps the mover
+// distinguishable in flight-recorder output without colliding.
+constexpr uint64_t kMoverQueryId = 0xC0B7A;
+}  // namespace
+
+PageMover::PageMover(BufferManager* buffer, PageForwarding* forwarding,
+                     MoverOptions options)
+    : buffer_(buffer),
+      forwarding_(forwarding),
+      options_(options),
+      context_(std::make_shared<obs::QueryContext>(kMoverQueryId,
+                                                   "recluster-mover")) {}
+
+Result<size_t> PageMover::ExecuteBatch(const LayoutPlan& plan,
+                                       size_t* cursor) {
+  obs::ScopedQueryContext scope(context_);
+  size_t applied = 0;
+  while (*cursor < plan.swaps.size() &&
+         applied < options_.max_swaps_per_batch) {
+    const auto& [a, b] = plan.swaps[*cursor];
+    ++*cursor;
+    Status status = SwapOne(a, b);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.failures++;
+      return status;
+    }
+    ++applied;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.batches++;
+  return applied;
+}
+
+Status PageMover::SwapOne(PageId a, PageId b) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.swaps_attempted++;
+  }
+  if (a == b) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.skipped_identity++;
+    return Status::OK();
+  }
+
+  // 1. Pin both pages resident.  From here no concurrent reader reaches
+  // the disk for either page: fetches hit the frames, prefetches no-op on
+  // resident pages, eviction is blocked by the pins.
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard_a, buffer_->FetchPage(a));
+  COBRA_ASSIGN_OR_RETURN(PageGuard guard_b, buffer_->FetchPage(b));
+
+  // 2. No-steal: a page carrying uncommitted bytes must not be written to
+  // disk at any address.  (Under a service the exclusion wrapper already
+  // prevents this; standalone callers race real writers, so check.)
+  PageWriteGate* gate = buffer_->write_gate();
+  if (gate != nullptr && (gate->IsUncommitted(a) || gate->IsUncommitted(b))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.skipped_uncommitted++;
+    return Status::OK();
+  }
+
+  // 3. Snapshot the committed frame bytes and stamp their checksums (frame
+  // contents are only stamped at write-back time).
+  const size_t ps = buffer_->disk()->page_size();
+  std::vector<std::byte> copy_a(guard_a.data().begin(), guard_a.data().end());
+  std::vector<std::byte> copy_b(guard_b.data().begin(), guard_b.data().end());
+  StampPageChecksum(copy_a.data(), ps);
+  StampPageChecksum(copy_b.data(), ps);
+
+  const PageId phys_a = forwarding_->ToPhysical(a);
+  const PageId phys_b = forwarding_->ToPhysical(b);
+
+  // 4. WAL: both relocations in one transaction, durable before any data
+  // write (WAL-before-data for moves).
+  if (wal_ != nullptr) {
+    COBRA_ASSIGN_OR_RETURN(wal::TxnId txn, wal_->Begin());
+    Status logged =
+        wal_->LogPageMove(txn, a, phys_a, phys_b, copy_a).status();
+    if (logged.ok()) {
+      logged = wal_->LogPageMove(txn, b, phys_b, phys_a, copy_b).status();
+    }
+    if (!logged.ok()) {
+      (void)wal_->Abort(txn);
+      return logged;
+    }
+    COBRA_RETURN_IF_ERROR(wal_->Commit(txn));
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.txns_committed++;
+  }
+
+  // 5. Flip the mapping.  Readers switch to the new addresses atomically;
+  // the pins above guarantee nobody needs the disk during the window
+  // between the flip and the writes below.
+  forwarding_->SwapPhysical(a, b);
+
+  // 6. Land the bytes.  Through an AsyncDisk these ride the per-spindle
+  // elevators like any foreground write.
+  COBRA_RETURN_IF_ERROR(buffer_->disk()->WritePage(phys_b, copy_a.data()));
+  COBRA_RETURN_IF_ERROR(buffer_->disk()->WritePage(phys_a, copy_b.data()));
+
+  // 7. Tell the object cache, through the same commit-time hook real
+  // writes use.  Logically nothing changed, so invalidation is
+  // conservative — but it keeps "every committed mutation reports its
+  // footprint" an invariant without exceptions.
+  if (cache_ != nullptr) {
+    std::vector<cache::CommittedWrite> ops(2);
+    ops[0].page = a;
+    ops[1].page = b;
+    (void)cache_->ApplyCommittedWrite(ops);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.swaps_applied++;
+  stats_.pages_moved += 2;
+  return Status::OK();
+}
+
+MoverStats PageMover::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---- ReclusterDaemon -------------------------------------------------------
+
+ReclusterDaemon::ReclusterDaemon(PageMover* mover, AffinitySketch* sketch,
+                                 PageForwarding* forwarding,
+                                 DaemonOptions options)
+    : mover_(mover),
+      sketch_(sketch),
+      forwarding_(forwarding),
+      options_(options) {}
+
+ReclusterDaemon::~ReclusterDaemon() { Stop(); }
+
+void ReclusterDaemon::Start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread(&ReclusterDaemon::Loop, this);
+}
+
+void ReclusterDaemon::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReclusterDaemon::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(options_.cycle_sleep);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (sketch_->observations() < options_.min_observations) continue;
+    LayoutPlan plan = PlanLayout(*sketch_, *forwarding_, options_.data_first,
+                                 options_.data_pages);
+    if (plan.swaps.empty()) continue;
+    // One rate-limited prefix per cycle; the next cycle replans against
+    // the moved state, so a stale plan can at worst waste a few swaps,
+    // never corrupt (every prefix of a schedule is a valid layout).
+    size_t cursor = 0;
+    size_t budget = options_.swaps_per_cycle;
+    while (cursor < plan.swaps.size() && budget > 0 &&
+           !stop_.load(std::memory_order_acquire)) {
+      auto run_batch = [&] {
+        Result<size_t> applied = mover_->ExecuteBatch(plan, &cursor);
+        if (applied.ok()) {
+          budget -= std::min(budget, *applied);
+          if (*applied == 0) budget = 0;
+        } else {
+          budget = 0;  // back off until the next cycle
+        }
+      };
+      if (exclusion_) {
+        exclusion_(run_batch);
+      } else {
+        run_batch();
+      }
+    }
+    cycles_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace cobra::recluster

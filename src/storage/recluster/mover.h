@@ -1,0 +1,177 @@
+// PageMover: the crash-safe executor of the re-clustering loop, plus the
+// rate-limited background daemon that drives it.
+//
+// A move schedule (planner.h) is a list of logical-page swaps.  One swap
+// exchanges where two logical pages live on disk without changing either
+// page's logical content, via a protocol that is safe against concurrent
+// readers, concurrent committed-data write-backs, and power cuts at any
+// write boundary:
+//
+//   1. Pin both pages resident (BufferManager::FetchPage).  A pinned
+//      frame cannot be evicted, and every concurrent FetchPage of these
+//      pages is served from the frames — no reader touches the disk for
+//      either page for the duration of the swap.
+//   2. Skip the swap if either page carries uncommitted transaction data
+//      (no-steal: such bytes must not reach disk, at either address).
+//   3. Snapshot both frames and checksum-stamp the copies.
+//   4. With a WAL attached: Begin, log two kPageMove records (full
+//      images, old and new physical address each), Commit.  The swap is
+//      now durable-atomic: recovery replays both relocations or neither,
+//      and the images heal any torn data write below.
+//   5. Flip the forwarding table (atomic for readers).
+//   6. Write each snapshot to its new physical address through the
+//      buffer's disk — under a service this is the AsyncDisk, so mover
+//      writes ride the per-spindle elevators alongside foreground I/O
+//      and never preempt queued reads.
+//   7. Unpin.  Dirty flags are left untouched: if a writer dirtied a
+//      frame mid-swap, its eventual write-back simply lands the newer
+//      bytes at the new address (the WAL orders the move image before
+//      the writer's records, so recovery reaches the same state).
+//
+// Crash before the commit record is durable: neither physical page was
+// written (WAL-before-data), the table was never flipped — the move
+// simply never happened.  Crash after: recovery's forwarding-aware redo
+// rewrites both pages at their new homes.  Either way every logical page
+// exists exactly once.
+//
+// The mover charges all its I/O to its own synthetic query context
+// ("recluster-mover"), so per-query attribution keeps its exact
+// conservation invariant: sum(queries) + mover == global.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "cache/object_cache.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/query_context.h"
+#include "storage/recluster/affinity.h"
+#include "storage/recluster/forwarding.h"
+#include "storage/recluster/planner.h"
+#include "wal/wal.h"
+
+namespace cobra::recluster {
+
+struct MoverOptions {
+  // Swaps executed per ExecuteBatch call (the daemon's rate-limit unit).
+  size_t max_swaps_per_batch = 16;
+};
+
+struct MoverStats {
+  uint64_t swaps_attempted = 0;
+  uint64_t swaps_applied = 0;
+  uint64_t pages_moved = 0;  // 2 per applied swap
+  uint64_t skipped_uncommitted = 0;
+  uint64_t skipped_identity = 0;
+  uint64_t txns_committed = 0;
+  uint64_t batches = 0;
+  uint64_t failures = 0;
+};
+
+class PageMover {
+ public:
+  PageMover(BufferManager* buffer, PageForwarding* forwarding,
+            MoverOptions options = {});
+
+  PageMover(const PageMover&) = delete;
+  PageMover& operator=(const PageMover&) = delete;
+
+  // Optional collaborators (borrowed; attach before moving).  With a WAL
+  // the swap is durable-atomic; without one it is still reader-safe but a
+  // crash mid-swap is undefined (benches run the WAL-less fast path).
+  void set_wal(wal::WalManager* wal) { wal_ = wal; }
+  // With a cache, every applied swap pushes CommittedWrite invalidations
+  // for both pages (conservative: a move never changes logical content,
+  // but it exercises the same commit-time hook as real writes).
+  void set_cache(cache::ObjectCache* cache) { cache_ = cache; }
+
+  // Executes up to max_swaps_per_batch swaps of `plan` starting at
+  // *cursor, advancing it.  Returns the number of swaps applied.  Runs
+  // under the mover's own query context.
+  Result<size_t> ExecuteBatch(const LayoutPlan& plan, size_t* cursor);
+
+  // Executes one swap (already under a query context via ExecuteBatch, or
+  // standalone).  Skips are not errors.
+  Status SwapOne(PageId a, PageId b);
+
+  MoverStats stats() const;
+  obs::QueryIoSnapshot io() const { return context_->io.Snapshot(); }
+  const std::shared_ptr<obs::QueryContext>& context() const {
+    return context_;
+  }
+
+ private:
+  BufferManager* buffer_;
+  PageForwarding* forwarding_;
+  MoverOptions options_;
+  wal::WalManager* wal_ = nullptr;
+  cache::ObjectCache* cache_ = nullptr;
+  std::shared_ptr<obs::QueryContext> context_;
+
+  mutable std::mutex mu_;
+  MoverStats stats_;
+};
+
+struct DaemonOptions {
+  // Data extent the planner may permute (never the WAL log extent).
+  PageId data_first = 0;
+  size_t data_pages = 0;
+  // Rate limit: at most `swaps_per_cycle` swaps, then `cycle_sleep`.
+  size_t swaps_per_cycle = 16;
+  std::chrono::milliseconds cycle_sleep{2};
+  // Don't plan until the sketch has seen this many reads.
+  uint64_t min_observations = 64;
+};
+
+// Background thread: replan from the live sketch each cycle, execute a
+// rate-limited prefix, sleep, repeat.  Replanning against the live
+// forwarding table makes the loop self-correcting and idempotent — a
+// converged layout plans an empty schedule.
+class ReclusterDaemon {
+ public:
+  ReclusterDaemon(PageMover* mover, AffinitySketch* sketch,
+                  PageForwarding* forwarding, DaemonOptions options);
+  ~ReclusterDaemon();
+
+  ReclusterDaemon(const ReclusterDaemon&) = delete;
+  ReclusterDaemon& operator=(const ReclusterDaemon&) = delete;
+
+  // Exclusion wrapper run around every mover batch.  Under a
+  // QueryService, pass a wrapper that holds the shared side of the
+  // store lock (QueryService::WithReadLock): batches then never overlap
+  // a write transaction, so no page the mover touches can be
+  // uncommitted mid-protocol.
+  void set_exclusion(
+      std::function<void(const std::function<void()>&)> exclusion) {
+    exclusion_ = std::move(exclusion);
+  }
+
+  void Start();
+  void Stop();
+
+  uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  PageMover* mover_;
+  AffinitySketch* sketch_;
+  PageForwarding* forwarding_;
+  DaemonOptions options_;
+  std::function<void(const std::function<void()>&)> exclusion_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> cycles_{0};
+  std::thread thread_;
+};
+
+}  // namespace cobra::recluster

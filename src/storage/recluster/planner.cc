@@ -1,0 +1,140 @@
+#include "storage/recluster/planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cobra::recluster {
+
+namespace {
+
+// Union-find over chain membership, used only to reject cycle-closing
+// edges; path-halving keeps it near-O(1).
+class ChainSets {
+ public:
+  PageId Find(PageId x) {
+    auto it = parent_.find(x);
+    while (it != parent_.end()) {
+      x = it->second;
+      it = parent_.find(x);
+    }
+    return x;
+  }
+  void Union(PageId a, PageId b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::unordered_map<PageId, PageId> parent_;
+};
+
+}  // namespace
+
+LayoutPlan PlanLayout(const AffinitySketch& sketch,
+                      const PageForwarding& forwarding, PageId data_first,
+                      size_t data_pages) {
+  LayoutPlan plan;
+  const PageId data_end = data_first + data_pages;
+  auto in_extent = [&](PageId p) { return p >= data_first && p < data_end; };
+
+  std::vector<AffinityEdge> edges = sketch.Edges();
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [&](const AffinityEdge& e) {
+                               return !in_extent(e.from) || !in_extent(e.to);
+                             }),
+              edges.end());
+  // Weight-descending, deterministic tie-break.
+  std::sort(edges.begin(), edges.end(),
+            [](const AffinityEdge& a, const AffinityEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+
+  // Greedy chain building: each page gets at most one successor and one
+  // predecessor; cycles are refused, so accepted edges are vertex-disjoint
+  // paths.
+  std::unordered_map<PageId, PageId> next;
+  std::unordered_set<PageId> has_pred;
+  ChainSets sets;
+  for (const AffinityEdge& e : edges) {
+    if (next.contains(e.from) || has_pred.contains(e.to)) continue;
+    if (sets.Find(e.from) == sets.Find(e.to)) continue;  // would cycle
+    next.emplace(e.from, e.to);
+    has_pred.insert(e.to);
+    sets.Union(e.from, e.to);
+  }
+
+  // Chain heads = chained pages nobody points at.  Singletons (observed
+  // but never chained) keep their slots: the permutation below only
+  // covers chain members, so leaving singletons out means leaving them
+  // in place.
+  std::vector<PageId> heads;
+  for (const auto& [from, to] : next) {
+    (void)to;
+    if (!has_pred.contains(from)) heads.push_back(from);
+  }
+
+  // Order chains by the current physical position of their head: the
+  // packed extent then grows in the same direction the data already
+  // leans, which minimizes displacement (and swap count) for layouts
+  // that are already partially converged — replanning a converged layout
+  // yields the identity and an empty schedule.
+  std::sort(heads.begin(), heads.end(), [&](PageId a, PageId b) {
+    PageId pa = forwarding.ToPhysical(a);
+    PageId pb = forwarding.ToPhysical(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  // Deal the chains' own physical slots back out in chain order.
+  std::vector<PageId> sequence;  // logical pages, target order
+  for (PageId head : heads) {
+    PageId cur = head;
+    while (true) {
+      sequence.push_back(cur);
+      auto it = next.find(cur);
+      if (it == next.end()) break;
+      cur = it->second;
+    }
+  }
+  plan.pages_planned = sequence.size();
+  plan.chains = heads.size();
+  if (sequence.empty()) return plan;
+
+  std::vector<PageId> slots;
+  slots.reserve(sequence.size());
+  for (PageId logical : sequence) {
+    slots.push_back(forwarding.ToPhysical(logical));
+  }
+  std::sort(slots.begin(), slots.end());
+
+  // desired[slot] = logical page that should occupy it.
+  std::unordered_map<PageId, PageId> desired;
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    desired.emplace(slots[i], sequence[i]);
+  }
+
+  // Cycle decomposition against the *current* table: simulate occupancy
+  // and, slot by slot in ascending order, swap the desired page in.  Each
+  // swap finalizes at least its slot's page, so any prefix of the
+  // schedule is a valid partial layout.
+  std::unordered_map<PageId, PageId> occupant;  // slot -> logical (sim)
+  std::unordered_map<PageId, PageId> location;  // logical -> slot (sim)
+  for (PageId logical : sequence) {
+    PageId slot = forwarding.ToPhysical(logical);
+    occupant[slot] = logical;
+    location[logical] = slot;
+  }
+  for (PageId slot : slots) {
+    PageId wanted = desired.at(slot);
+    PageId holder = occupant[slot];
+    if (holder == wanted) continue;
+    PageId wanted_slot = location[wanted];
+    plan.swaps.emplace_back(wanted, holder);
+    occupant[slot] = wanted;
+    occupant[wanted_slot] = holder;
+    location[wanted] = slot;
+    location[holder] = wanted_slot;
+  }
+  return plan;
+}
+
+}  // namespace cobra::recluster

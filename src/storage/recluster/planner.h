@@ -1,0 +1,55 @@
+// LayoutPlanner: turns learned page affinity into a move schedule.
+//
+// Greedy chain packing, the classic locality-clustering heuristic (cf.
+// the strategies surveyed by Darmont & Gruenwald): sort the sketch's
+// directed edges by weight, accept an edge when its head page has no
+// successor yet, its tail no predecessor, and accepting it would not
+// close a cycle — the accepted edges then form disjoint *chains*, each a
+// maximal run of pages the workload faults consecutively.
+//
+// The target layout permutes the observed pages **among their own current
+// physical slots**: collect the slots the chained pages occupy today,
+// sort them ascending, and deal them out in chain order.  That makes the
+// plan a bijection by construction (it is a permutation of an existing
+// slot set), leaves every unobserved page untouched, keeps the physical
+// page set of the database invariant, and — because slots are dealt in
+// ascending physical order per the learned fault order — turns the next
+// epoch's fault sequence into a near-monotone arm sweep.  Placement
+// invertibility (PlacementPolicy::Resolve / PageAt) is untouched: the
+// plan relabels which logical page lives at which physical address, never
+// which addresses exist or how they map to spindles.
+//
+// The returned schedule is a list of *swaps of logical pages*, the
+// cycle decomposition of the permutation, ordered so that executing any
+// prefix leaves the layout a valid bijection (each swap parks at least
+// one page at its final slot).  The mover can therefore stop after any
+// rate-limited prefix and resume — or replan — later.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "storage/recluster/affinity.h"
+#include "storage/recluster/forwarding.h"
+
+namespace cobra::recluster {
+
+struct LayoutPlan {
+  // Pairs of logical pages whose physical locations should be exchanged,
+  // in execution order.
+  std::vector<std::pair<PageId, PageId>> swaps;
+  size_t pages_planned = 0;  // observed pages covered by the plan
+  size_t chains = 0;         // affinity chains formed
+};
+
+// Plans a layout for the data extent [data_first, data_first + data_pages)
+// from the sketch's current edges, relative to the live forwarding table.
+// Pages outside the extent are ignored (the WAL log extent, for example,
+// must never be remapped).  Deterministic for a given sketch state.
+LayoutPlan PlanLayout(const AffinitySketch& sketch,
+                      const PageForwarding& forwarding, PageId data_first,
+                      size_t data_pages);
+
+}  // namespace cobra::recluster

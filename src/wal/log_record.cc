@@ -63,6 +63,7 @@ const char* LogRecordTypeName(LogRecordType type) {
     case LogRecordType::kPageFormat: return "page-format";
     case LogRecordType::kPageImage: return "page-image";
     case LogRecordType::kCheckpoint: return "checkpoint";
+    case LogRecordType::kPageMove: return "page-move";
   }
   return "unknown";
 }
@@ -107,7 +108,7 @@ DecodeOutcome DecodeLogRecord(std::span<const std::byte> stream,
   }
   const uint8_t raw_type = static_cast<uint8_t>(p[24]);
   if (raw_type < static_cast<uint8_t>(LogRecordType::kBegin) ||
-      raw_type > static_cast<uint8_t>(LogRecordType::kCheckpoint)) {
+      raw_type > static_cast<uint8_t>(LogRecordType::kPageMove)) {
     return DecodeOutcome::kCorrupt;
   }
   record->lsn = GetU64(p + 8);

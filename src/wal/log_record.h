@@ -63,6 +63,10 @@ enum class LogRecordType : uint8_t {
   kPageFormat = 7,  // page formatted as an empty slotted page (structural)
   kPageImage = 8,   // payload = full page image logged before write-back
   kCheckpoint = 9,  // all data pages were durable when this was logged
+  kPageMove = 10,   // re-clustering move: `page` is the logical id, payload
+                    // = [from_phys 8][to_phys 8][full page image].  Logged
+                    // inside a transaction (a swap is two moves in one txn)
+                    // so recovery applies both relocations or neither.
 };
 
 const char* LogRecordTypeName(LogRecordType type);

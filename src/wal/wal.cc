@@ -333,6 +333,51 @@ Result<Lsn> WalManager::LogPageFormat(PageId page) {
   return AppendLocked(std::move(rec));
 }
 
+namespace {
+
+// kPageMove payload layout: [from_phys 8][to_phys 8][page image].
+void PutMoveU64(std::byte* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint64_t GetMoveU64(const std::byte* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+constexpr size_t kMoveHeaderSize = 16;
+
+}  // namespace
+
+Result<Lsn> WalManager::LogPageMove(TxnId txn, PageId logical,
+                                    PageId from_phys, PageId to_phys,
+                                    std::span<const std::byte> image) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!active_.contains(txn)) {
+    return Status::InvalidArgument("unknown or closed transaction");
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kPageMove;
+  rec.txn = txn;
+  rec.page = logical;
+  rec.payload.resize(kMoveHeaderSize + image.size());
+  PutMoveU64(rec.payload.data(), from_phys);
+  PutMoveU64(rec.payload.data() + 8, to_phys);
+  std::memcpy(rec.payload.data() + kMoveHeaderSize, image.data(),
+              image.size());
+  Result<Lsn> lsn = AppendLocked(std::move(rec));
+  if (lsn.ok()) stats_.moves_logged++;
+  // A move does not alter the page's logical content, so it does not pin
+  // the page into `uncommitted_pages_`: the bytes a concurrent write-back
+  // would flush are committed data wherever they land.
+  return lsn;
+}
+
 void WalManager::ReleaseTxnLocked(TxnId txn) {
   auto it = active_.find(txn);
   if (it == active_.end()) {
@@ -434,6 +479,18 @@ Status WalManager::Checkpoint(BufferManager* buffer) {
   LogRecord rec;
   rec.type = LogRecordType::kCheckpoint;
   rec.txn = 0;
+  if (forwarding_ != nullptr) {
+    // Truncation discards the kPageMove history, so the checkpoint record
+    // carries the live logical -> physical table: 16-byte (logical, phys)
+    // pairs.  An empty table (or no table) leaves the payload empty,
+    // byte-identical to the pre-recluster checkpoint record.
+    auto snapshot = forwarding_->Snapshot();
+    rec.payload.resize(snapshot.size() * 16);
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      PutMoveU64(rec.payload.data() + 16 * i, snapshot[i].first);
+      PutMoveU64(rec.payload.data() + 16 * i + 8, snapshot[i].second);
+    }
+  }
   Result<Lsn> lsn = AppendLocked(std::move(rec));
   COBRA_RETURN_IF_ERROR(lsn.status());
   COBRA_RETURN_IF_ERROR(FlushUntilLocked(*lsn, lock));
@@ -490,12 +547,22 @@ Status WalManager::Recover() {
     recovery.torn_tail_events = 1;
   }
 
+  // Re-clustering: the logical -> physical map as of the record being
+  // replayed.  Rebuilt progressively, in LSN order, from the checkpoint
+  // snapshot and committed kPageMove records, so every disk access below
+  // uses the address that was current *at that point of the history*.
+  std::unordered_map<PageId, PageId> fwd;
+  auto phys = [&](PageId id) -> PageId {
+    auto it = fwd.find(id);
+    return it == fwd.end() ? id : it->second;
+  };
+
   std::unordered_map<PageId, RecoveredPage> pages;
   auto load = [&](PageId id) -> RecoveredPage& {
     auto [it, fresh] = pages.try_emplace(id);
     if (fresh) {
       it->second.data.resize(ps);
-      Status read = disk_->ReadPage(id, it->second.data.data());
+      Status read = disk_->ReadPage(phys(id), it->second.data.data());
       it->second.valid =
           read.ok() &&
           VerifyPageChecksum(it->second.data.data(), ps, id).ok();
@@ -508,8 +575,41 @@ Status WalManager::Recover() {
       case LogRecordType::kBegin:
       case LogRecordType::kCommit:
       case LogRecordType::kAbort:
-      case LogRecordType::kCheckpoint:
         break;
+      case LogRecordType::kCheckpoint: {
+        // The checkpoint payload is the authoritative forwarding snapshot
+        // at truncation time (empty = identity, the pre-recluster format).
+        if (rec.payload.size() % 16 != 0) {
+          return Status::Corruption("checkpoint forwarding has wrong size");
+        }
+        fwd.clear();
+        for (size_t off = 0; off < rec.payload.size(); off += 16) {
+          fwd[GetMoveU64(rec.payload.data() + off)] =
+              GetMoveU64(rec.payload.data() + off + 8);
+        }
+        break;
+      }
+      case LogRecordType::kPageMove: {
+        if (rec.payload.size() != kMoveHeaderSize + ps) {
+          return Status::Corruption("page move record has wrong size");
+        }
+        if (!committed.contains(rec.txn)) {
+          recovery.redo_skipped_uncommitted++;
+          break;
+        }
+        RecoveredPage& page = load(rec.page);
+        // The logged image is the page's committed content at move time;
+        // apply it unconditionally (like kPageImage — it heals a torn
+        // write at either the old or the new address) and retarget the
+        // page's write-out to its new home.
+        std::memcpy(page.data.data(), rec.payload.data() + kMoveHeaderSize,
+                    ps);
+        page.valid = true;
+        page.dirty = true;
+        fwd[rec.page] = GetMoveU64(rec.payload.data() + 8);
+        recovery.redo_moves++;
+        break;
+      }
       case LogRecordType::kPageFormat: {
         RecoveredPage& page = load(rec.page);
         SlottedPage view(page.data.data(), ps);
@@ -589,8 +689,17 @@ Status WalManager::Recover() {
     }
     StampPageChecksum(page.data.data(), ps);
     COBRA_RETURN_IF_ERROR(
-        WritePageWithRetry(id, page.data.data(), &repair_retries));
+        WritePageWithRetry(phys(id), page.data.data(), &repair_retries));
     recovery.pages_repaired++;
+  }
+
+  // Publish the recovered forwarding table so the buffer manager resolves
+  // relocated pages at their post-crash addresses.
+  if (forwarding_ != nullptr) {
+    forwarding_->Clear();
+    for (const auto& [logical, physical] : fwd) {
+      forwarding_->Install(logical, physical);
+    }
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -605,6 +714,7 @@ Status WalManager::Recover() {
   stats_.recovered_commits += recovery.recovered_commits;
   stats_.discarded_txns += recovery.discarded_txns;
   stats_.redo_applied += recovery.redo_applied;
+  stats_.redo_moves += recovery.redo_moves;
   stats_.redo_images += recovery.redo_images;
   stats_.redo_formats += recovery.redo_formats;
   stats_.redo_skipped_uncommitted += recovery.redo_skipped_uncommitted;

@@ -83,7 +83,9 @@ struct WalStats {
   uint64_t recovered_records = 0;
   uint64_t recovered_commits = 0;
   uint64_t discarded_txns = 0;    // logged but without a durable commit
+  uint64_t moves_logged = 0;      // kPageMove records appended
   uint64_t redo_applied = 0;      // logical records replayed
+  uint64_t redo_moves = 0;        // committed page moves replayed
   uint64_t redo_images = 0;       // page images applied
   uint64_t redo_formats = 0;      // page formats applied
   uint64_t redo_skipped_uncommitted = 0;
@@ -134,6 +136,14 @@ class WalManager : public PageWriteGate {
   // Structural (transaction-independent): a page freshly formatted as an
   // empty slotted page.
   Result<Lsn> LogPageFormat(PageId page);
+  // Re-clustering move: logical page `logical` (whose current bytes are
+  // `image`) is being relocated from physical address `from_phys` to
+  // `to_phys`.  Logged inside `txn` so a swap — two moves — commits
+  // atomically: recovery applies both relocations or neither.  The full
+  // image makes redo self-contained (a torn data write at either address
+  // is healed from the log).
+  Result<Lsn> LogPageMove(TxnId txn, PageId logical, PageId from_phys,
+                          PageId to_phys, std::span<const std::byte> image);
 
   // Appends the commit record and blocks until the group-commit daemon
   // has made it durable.  On OK the transaction is durably committed.
@@ -165,6 +175,18 @@ class WalManager : public PageWriteGate {
   // Optional telemetry listener (borrowed; must outlive the manager or
   // be cleared).
   void set_listener(WalEventListener* listener);
+
+  // Optional page-forwarding table (borrowed), wired when re-clustering is
+  // enabled alongside the WAL.  Must be attached *before* Recover():
+  // recovery then reads and repairs data pages through the logical ->
+  // physical map it rebuilds from checkpoint snapshots and committed
+  // kPageMove records, and installs the final map into `forwarding`.
+  // Checkpoint() serializes the table into its checkpoint record so the
+  // mapping survives log truncation.  Null (the default) keeps the
+  // historical identity behavior.
+  void set_forwarding(recluster::PageForwarding* forwarding) {
+    forwarding_ = forwarding;
+  }
 
   const WalOptions& options() const { return options_; }
 
@@ -208,6 +230,7 @@ class WalManager : public PageWriteGate {
 
   WalStats stats_;
   WalEventListener* listener_ = nullptr;
+  recluster::PageForwarding* forwarding_ = nullptr;
 
   std::thread daemon_;
 };

@@ -59,6 +59,11 @@ Status AcobDatabase::ColdRestart() {
   buffer = std::make_unique<BufferManager>(
       disk.get(), BufferOptions{options.buffer_frames, options.replacement,
                                 options.retry, options.buffer_shards});
+  if (forwarding != nullptr) {
+    // The new pool must keep resolving relocated pages; the physical
+    // layout survives the restart even though the frames do not.
+    buffer->set_forwarding(forwarding);
+  }
   store = std::make_unique<ObjectStore>(buffer.get(), directory.get());
   store->set_next_oid(next_oid);
   disk->ResetStats();

@@ -116,6 +116,11 @@ struct AcobDatabase {
   size_t total_objects = 0;
   size_t data_pages = 0;
 
+  // Optional re-clustering forwarding table (borrowed).  When set,
+  // ColdRestart re-attaches it to each fresh buffer pool so relocated
+  // pages stay resolvable across restarts.
+  recluster::PageForwarding* forwarding = nullptr;
+
   // Drops the buffer pool (flushing first) and reopens a cold one, resets
   // disk statistics and parks the head at page 0.  With fault injection
   // configured, arms the injector and resets its per-page attempt state so

@@ -1,0 +1,255 @@
+// Crash-point sweep for WAL'd page moves (ctest label `crash`).
+//
+// A power cut may land on any disk write of a move batch: mid move-record,
+// between the two full-page images of a swap, on the commit record, on a
+// checkpoint that snapshots the forwarding table, or on a data write-back
+// landing at a freshly swapped address.  After every such cut (dropped and
+// torn modes) recovery must leave the database with
+//
+//   * a forwarding table that is a bijection confined to the data extent
+//     (no page lost, none duplicated, nothing remapped into the log);
+//   * every acknowledged object readable with its exact committed fields,
+//     exactly once, through the recovered table;
+//   * idempotent recovery: running it twice yields the identical table
+//     and the identical heap contents.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "file/heap_file.h"
+#include "object/directory.h"
+#include "object/object.h"
+#include "object/object_store.h"
+#include "storage/faulty_disk.h"
+#include "storage/recluster/forwarding.h"
+#include "storage/recluster/mover.h"
+#include "wal/wal.h"
+
+namespace cobra {
+namespace {
+
+using recluster::PageForwarding;
+using recluster::PageMover;
+
+constexpr PageId kDataFirst = 0;
+constexpr size_t kDataPages = 8;
+constexpr PageId kLogFirst = 64;
+constexpr size_t kLogPages = 128;
+constexpr size_t kObjects = 40;
+
+wal::WalOptions LogOptions() {
+  wal::WalOptions options;
+  options.log_first_page = kLogFirst;
+  options.log_max_pages = kLogPages;
+  return options;
+}
+
+ObjectData MakeObject(Oid oid) {
+  ObjectData obj;
+  obj.oid = oid;
+  obj.type_id = 1;
+  obj.fields = {static_cast<int32_t>(1000 + oid), 0, 0, 0};
+  obj.refs.assign(8, kInvalidOid);
+  return obj;
+}
+
+struct Ack {
+  bool populate = false;
+  int swaps = 0;  // SwapOne calls that returned OK after a durable commit
+};
+
+// Populate an object heap, then run a move schedule with a mid-schedule
+// checkpoint.  Mirrors the daemon's batch protocol single-threaded so the
+// scheduled crash can land on any underlying write.
+uint64_t RunMoveWorkload(FaultInjectingDisk* disk, uint64_t crash_after,
+                         CrashWriteMode mode, Ack* ack) {
+  disk->ScheduleCrash(crash_after, mode);
+  {
+    PageForwarding fwd;
+    wal::WalManager wal(disk, LogOptions());
+    wal.set_forwarding(&fwd);
+    if (!wal.Recover().ok()) return disk->writes_survived();
+    BufferManager buffer(disk, BufferOptions{.num_frames = 32});
+    buffer.set_write_gate(&wal);
+    buffer.set_forwarding(&fwd);
+    HeapFile file(&buffer, kDataFirst, kDataPages);
+    file.set_wal(&wal);
+    HashDirectory directory;
+    ObjectStore store(&buffer, &directory);
+    store.set_wal(&wal);
+
+    std::vector<PageId> data_pages;
+    {
+      auto t = store.BeginTxn();
+      if (!t.ok()) return disk->writes_survived();
+      bool ok = true;
+      for (Oid oid = 1; ok && oid <= kObjects; ++oid) {
+        ok = store.InsertTxn(*t, MakeObject(oid), &file).ok();
+      }
+      if (!ok) {
+        (void)store.AbortTxn(*t);
+      } else if (store.CommitTxn(*t).ok()) {
+        ack->populate = true;
+        for (Oid oid = 1; oid <= kObjects; ++oid) {
+          auto loc = store.Locate(oid);
+          if (loc.ok()) data_pages.push_back(loc->page);
+        }
+        std::sort(data_pages.begin(), data_pages.end());
+        data_pages.erase(
+            std::unique(data_pages.begin(), data_pages.end()),
+            data_pages.end());
+      }
+    }
+
+    if (ack->populate && data_pages.size() >= 2) {
+      PageMover mover(&buffer, &fwd);
+      mover.set_wal(&wal);
+      auto swap = [&](size_t i, size_t j) {
+        if (i < data_pages.size() && j < data_pages.size() && i != j &&
+            mover.SwapOne(data_pages[i], data_pages[j]).ok()) {
+          ack->swaps++;
+        }
+      };
+      swap(0, data_pages.size() - 1);
+      swap(1, data_pages.size() / 2);
+      // Checkpoint mid-schedule: the forwarding snapshot becomes the
+      // recovery baseline; later moves must compose on top of it.
+      (void)wal.Checkpoint(&buffer);
+      swap(0, 1);
+      swap(data_pages.size() - 1, data_pages.size() / 2);
+    }
+    (void)buffer.FlushAll();
+  }
+  return disk->writes_survived();
+}
+
+struct Recovered {
+  std::vector<std::pair<PageId, PageId>> forwarding;
+  std::map<Oid, ObjectData> objects;
+  std::map<Oid, int> copies;
+};
+
+Recovered RecoverAndScan(FaultInjectingDisk* disk) {
+  Recovered out;
+  PageForwarding fwd;
+  wal::WalManager wal(disk, LogOptions());
+  wal.set_forwarding(&fwd);
+  Status recovered = wal.Recover();
+  EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+  if (!recovered.ok()) return out;
+  out.forwarding = fwd.Snapshot();
+
+  BufferManager buffer(disk, BufferOptions{.num_frames = 32});
+  buffer.set_write_gate(&wal);
+  buffer.set_forwarding(&fwd);
+  auto file = HeapFile::Open(&buffer, kDataFirst, kDataPages);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  if (!file.ok()) return out;
+  auto cursor = file->Scan();
+  RecordId rid;
+  std::vector<std::byte> record;
+  for (;;) {
+    auto more = cursor.Next(&rid, &record);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    auto obj = ObjectData::Deserialize(record);
+    EXPECT_TRUE(obj.ok()) << obj.status().ToString();
+    if (!obj.ok()) break;
+    out.objects[obj->oid] = *obj;
+    out.copies[obj->oid]++;
+  }
+  return out;
+}
+
+void VerifyRecovered(FaultInjectingDisk* disk, const Ack& ack,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  disk->ClearCrash();
+  Recovered first = RecoverAndScan(disk);
+
+  // The table is a bijection confined to the data extent: the logical and
+  // physical sides of the snapshot are the same page set, once each.
+  std::vector<PageId> logicals, physicals;
+  for (const auto& [logical, physical] : first.forwarding) {
+    EXPECT_LT(logical, kDataFirst + kDataPages);
+    EXPECT_LT(physical, kDataFirst + kDataPages);
+    logicals.push_back(logical);
+    physicals.push_back(physical);
+  }
+  std::sort(logicals.begin(), logicals.end());
+  std::sort(physicals.begin(), physicals.end());
+  EXPECT_EQ(logicals, physicals) << "forwarding lost or duplicated a page";
+  EXPECT_TRUE(std::adjacent_find(logicals.begin(), logicals.end()) ==
+              logicals.end());
+
+  if (ack.populate) {
+    for (Oid oid = 1; oid <= kObjects; ++oid) {
+      ASSERT_TRUE(first.objects.contains(oid)) << "lost oid " << oid;
+      EXPECT_EQ(first.objects.at(oid).fields[0],
+                static_cast<int32_t>(1000 + oid));
+    }
+  }
+  for (const auto& [oid, copies] : first.copies) {
+    EXPECT_EQ(copies, 1) << "oid " << oid << " appears " << copies
+                         << " times";
+  }
+
+  // Recovery is idempotent: a second cold start sees the identical table
+  // and heap.
+  Recovered second = RecoverAndScan(disk);
+  EXPECT_EQ(second.forwarding, first.forwarding);
+  EXPECT_EQ(second.copies, first.copies);
+  for (const auto& [oid, obj] : first.objects) {
+    ASSERT_TRUE(second.objects.contains(oid));
+    EXPECT_EQ(second.objects.at(oid).fields, obj.fields);
+  }
+}
+
+void SweepMoveCrashPoints(CrashWriteMode mode, const char* mode_name) {
+  uint64_t total_writes = 0;
+  {
+    FaultInjectingDisk disk(FaultProfile{});
+    Ack ack;
+    total_writes = RunMoveWorkload(&disk, ~uint64_t{0}, mode, &ack);
+    ASSERT_TRUE(ack.populate);
+    ASSERT_GE(ack.swaps, 3) << "workload must actually move pages";
+    ASSERT_FALSE(disk.crash_triggered());
+    VerifyRecovered(&disk, ack, std::string(mode_name) + " uncrashed");
+  }
+  ASSERT_GT(total_writes, 10u) << "workload too small to be interesting";
+
+  // The group-commit daemon's batching varies by a write or two with
+  // thread scheduling; a tail point may not exist as a boundary in a given
+  // run (the workload then completed and is verified uncrashed).  Nearly
+  // all points must still trigger.
+  uint64_t unused_points = 0;
+  for (uint64_t n = 0; n < total_writes; ++n) {
+    FaultInjectingDisk disk(FaultProfile{});
+    Ack ack;
+    RunMoveWorkload(&disk, n, mode, &ack);
+    if (!disk.crash_triggered()) ++unused_points;
+    VerifyRecovered(&disk, ack,
+                    std::string(mode_name) + " crash after " +
+                        std::to_string(n) + " writes");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_LE(unused_points, total_writes / 4)
+      << "sweep barely crashed: write counts diverged wildly across runs";
+}
+
+TEST(ReclusterCrash, DropWriteSweepRecoversMoves) {
+  SweepMoveCrashPoints(CrashWriteMode::kDropWrite, "drop");
+}
+
+TEST(ReclusterCrash, TornWriteSweepRecoversMoves) {
+  SweepMoveCrashPoints(CrashWriteMode::kTornWrite, "torn");
+}
+
+}  // namespace
+}  // namespace cobra

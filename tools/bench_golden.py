@@ -37,6 +37,18 @@ Usage:
       Also verifies conservation: wherever a run carries a per-spindle
       "spindles" breakdown, its reads/seek-page fields must sum exactly to
       the run's global disk stats.
+  bench_golden.py recluster <trajectory.json>
+      Assert online re-clustering convergence over a
+      bench/recluster_convergence capture: the final epoch's read seek
+      pages must land within 1.3x of the clustered reference and strictly
+      below the unclustered starting point; the back half of the
+      trajectory must be monotone-ish (each epoch <= 1.10x its
+      predecessor — early epochs may transiently regress while a
+      rate-limited prefix of the plan scrambles the unmoved region);
+      every epoch must deliver identical rows (moves never lose or
+      duplicate objects); and mid-move assembly throughput must stay
+      >= 0.8x of epoch 0 (CPU-time rows/sec, so the floor is machine-load
+      immune).
   bench_golden.py cache <zipf.json>
       Assert the assembled-object-cache win over a bench/cache_zipf capture:
       every cached run must deliver exactly the rows of the off baseline
@@ -286,9 +298,71 @@ def cache(zipf_path, hit_floor=0.80, speedup_floor=3.0):
     return 1 if failures else 0
 
 
+def recluster(trajectory_path, ref_ratio=1.3, regress_ratio=1.10,
+              throughput_floor=0.8):
+    with open(trajectory_path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    ref = data.get("clustered_ref")
+    epochs = sorted(
+        (r for r in data.get("runs", []) if "epoch" in r),
+        key=lambda r: r["epoch"],
+    )
+    if ref is None or len(epochs) < 2:
+        sys.stderr.write(
+            f"RECLUSTER: {trajectory_path} needs a clustered_ref and at "
+            f"least two epochs (found {len(epochs)}) — was the bench run "
+            f"with --recluster off?\n"
+        )
+        return 1
+    seeks = [r["disk"]["read_seek_pages"] for r in epochs]
+    print(
+        f"recluster: seek pages {seeks[0]} -> {seeks[-1]} over "
+        f"{len(epochs)} epochs (clustered ref {ref['read_seek_pages']})"
+    )
+    failures = 0
+    bound = ref_ratio * ref["read_seek_pages"]
+    if seeks[-1] > bound:
+        failures += 1
+        sys.stderr.write(
+            f"RECLUSTER: final epoch travels {seeks[-1]} seek pages, above "
+            f"{ref_ratio}x the clustered reference ({bound:.0f})\n"
+        )
+    if seeks[-1] >= seeks[0]:
+        failures += 1
+        sys.stderr.write(
+            f"RECLUSTER: no net improvement ({seeks[0]} -> {seeks[-1]})\n"
+        )
+    for i in range(len(epochs) // 2, len(epochs) - 1):
+        if seeks[i + 1] > regress_ratio * seeks[i]:
+            failures += 1
+            sys.stderr.write(
+                f"RECLUSTER: late-trajectory regression at epoch "
+                f"{epochs[i + 1]['epoch']} ({seeks[i]} -> {seeks[i + 1]}, "
+                f"allowed {regress_ratio}x)\n"
+            )
+    rows = {r.get("rows") for r in epochs}
+    if len(rows) != 1:
+        failures += 1
+        sys.stderr.write(
+            f"RECLUSTER: row counts drifted across epochs ({sorted(rows)}) "
+            f"— the mover lost or duplicated objects\n"
+        )
+    baseline = epochs[0].get("rows_per_sec", 0.0)
+    worst = min(r.get("rows_per_sec", 0.0) for r in epochs)
+    if baseline > 0 and worst < throughput_floor * baseline:
+        failures += 1
+        sys.stderr.write(
+            f"RECLUSTER: mid-move throughput fell to {worst:.0f} rows/sec, "
+            f"below {throughput_floor}x of epoch 0 ({baseline:.0f})\n"
+        )
+    return 1 if failures else 0
+
+
 def main(argv):
     if len(argv) == 3 and argv[1] == "cache":
         return cache(argv[2])
+    if len(argv) == 3 and argv[1] == "recluster":
+        return recluster(argv[2])
     if len(argv) != 4 or argv[1] not in ("extract", "check", "crosscheck",
                                          "iobatch", "spindles"):
         sys.stderr.write(__doc__)
